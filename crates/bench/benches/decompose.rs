@@ -1,0 +1,56 @@
+//! Tutte-decomposition benchmarks (E10): build + compose across chord
+//! densities, and the interlacement sweep vs the quadratic reference.
+
+use c1p_tutte::{compose, decompose, Arrangement};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn chords_for(n: usize, m: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut state = seed;
+    let mut next = |md: usize| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as usize) % md
+    };
+    (0..m)
+        .map(|_| {
+            let lo = next(n - 1) as u32;
+            let hi = lo + 1 + next((n - lo as usize).min(24)) as u32;
+            (lo, hi.min(n as u32))
+        })
+        .collect()
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tutte_decompose");
+    g.sample_size(20);
+    for n in [1024usize, 16_384, 131_072] {
+        let chords = chords_for(n, 2 * n, 42);
+        g.throughput(Throughput::Elements(chords.len() as u64));
+        g.bench_with_input(BenchmarkId::new("build", n), &chords, |b, ch| {
+            b.iter(|| decompose(n, ch).unwrap().n_members())
+        });
+        let tree = decompose(n, &chords).unwrap();
+        g.bench_with_input(BenchmarkId::new("compose", n), &tree, |b, t| {
+            b.iter(|| compose(t, &Arrangement::identity(t)).len())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("interlacement");
+    g.sample_size(20);
+    for m in [256usize, 2048] {
+        let mut spans = chords_for(100_000, m, 7);
+        spans.sort_unstable();
+        spans.dedup();
+        g.throughput(Throughput::Elements(spans.len() as u64));
+        g.bench_with_input(BenchmarkId::new("sweep", m), &spans, |b, s| {
+            b.iter(|| c1p_tutte::interlace::classes_sweep(s).len())
+        });
+        g.bench_with_input(BenchmarkId::new("naive", m), &spans, |b, s| {
+            b.iter(|| c1p_tutte::interlace::classes_naive(s).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_decompose);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! PQ-tree microbenchmarks (E10): reduction throughput by column length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pqtree_reduce");
+    g.sample_size(20);
+    for (n, m) in [(1024usize, 2048usize), (8192, 16_384)] {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (ens, _) = c1p_matrix::generate::planted_c1p(
+            c1p_matrix::generate::PlantedShape {
+                n_atoms: n,
+                n_columns: m,
+                min_len: 2,
+                max_len: 24,
+            },
+            &mut rng,
+        );
+        let cols = ens.columns().to_vec();
+        g.throughput(Throughput::Elements(ens.p() as u64));
+        g.bench_with_input(BenchmarkId::new("full_solve", n), &cols, |b, cols| {
+            b.iter(|| c1p_pqtree::solve(n, cols).is_some())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reduce);
+criterion_main!(benches);

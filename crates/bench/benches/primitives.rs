@@ -1,0 +1,41 @@
+//! PRAM-primitive microbenchmarks (E10): scan, sort, list ranking, Euler
+//! tours, connected components.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_primitives(c: &mut Criterion) {
+    let n = 1 << 20;
+    let xs: Vec<u64> = (0..n as u64).map(|i| i % 17).collect();
+    let mut g = c.benchmark_group("pram");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function(BenchmarkId::new("prefix_sum", n), |b| {
+        b.iter(|| c1p_pram::scan::prefix_sum(&xs).1)
+    });
+    g.bench_function(BenchmarkId::new("par_sort", n), |b| {
+        b.iter(|| c1p_pram::sort::par_sort_by_key(&xs, |&x| x).0.len())
+    });
+    let mut next_list = vec![c1p_pram::list_rank::NIL; n];
+    for v in 0..n - 1 {
+        next_list[v] = (v + 1) as u32;
+    }
+    g.bench_function(BenchmarkId::new("list_rank", n), |b| {
+        b.iter(|| c1p_pram::list_rank::list_rank(&next_list).0[0])
+    });
+    let mut parent = vec![c1p_pram::list_rank::NIL; n / 4];
+    for v in 1..n / 4 {
+        parent[v] = (v / 2) as u32;
+    }
+    g.bench_function(BenchmarkId::new("euler_times", n / 4), |b| {
+        b.iter(|| c1p_pram::euler::euler_times(&parent).0.enter[0])
+    });
+    let edges: Vec<(u32, u32)> =
+        (0..(n / 4) as u32 - 1).map(|v| (v, v + 1)).collect();
+    g.bench_function(BenchmarkId::new("connected_components", n / 4), |b| {
+        b.iter(|| c1p_pram::components::connected_components(n / 4, &edges).0[0])
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! End-to-end solver benchmarks (E10): divide-and-conquer (pure and with
+//! the PQ base case) vs the Booth–Lueker baseline, accept and reject paths.
+
+use c1p_bench::workloads::planted;
+use c1p_core::Config;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve_planted");
+    g.sample_size(10);
+    for k in [10usize, 12, 14] {
+        let n = 1 << k;
+        let ens = planted(n, 1);
+        let cols = ens.columns().to_vec();
+        g.throughput(Throughput::Elements(ens.p() as u64));
+        g.bench_with_input(BenchmarkId::new("dc", n), &ens, |b, e| {
+            b.iter(|| c1p_core::solve(e).is_some())
+        });
+        g.bench_with_input(BenchmarkId::new("dc_pq_base", n), &ens, |b, e| {
+            b.iter(|| c1p_core::solve_with(e, &Config::fast()).0.is_some())
+        });
+        g.bench_with_input(BenchmarkId::new("pqtree", n), &cols, |b, cols| {
+            b.iter(|| c1p_pqtree::solve(n, cols).is_some())
+        });
+        g.bench_with_input(BenchmarkId::new("dc_parallel", n), &ens, |b, e| {
+            b.iter(|| c1p_core::parallel::solve_par(e).0.is_some())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("solve_reject");
+    g.sample_size(10);
+    for n in [256usize, 2048] {
+        // obstruction embedded mid-instance: rejection path
+        let emb = c1p_matrix::tucker::embed_obstruction(
+            &c1p_matrix::tucker::m_iv(),
+            n,
+            n / 2,
+            &[(0, n / 3), (n / 3, n / 3), (2 * n / 3, n / 4)],
+        );
+        g.bench_with_input(BenchmarkId::new("dc", n), &emb, |b, e| {
+            b.iter(|| c1p_core::solve(e).is_none())
+        });
+        let cols = emb.columns().to_vec();
+        g.bench_with_input(BenchmarkId::new("pqtree", n), &cols, |b, cols| {
+            b.iter(|| c1p_pqtree::solve(n, cols).is_none())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Adversarial stress for the divide-and-conquer solver: cross-check
+//! against brute force (small) and the PQ-tree (large) over planted,
+//! noisy, and random instances.
+use c1p_matrix::generate::{planted_c1p, random_ensemble, PlantedShape};
+use c1p_matrix::noise;
+use c1p_matrix::verify::{brute_force_linear, verify_linear};
+use c1p_matrix::Ensemble;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+fn check(e: &Ensemble, ctx: &str) {
+    let dc = c1p_core::solve(e);
+    let pq = c1p_pqtree::solve(e.n_atoms(), e.columns());
+    if dc.is_some() != pq.is_some() {
+        eprintln!("DISAGREE ({ctx}): dc={} pq={}\n{}", dc.is_some(), pq.is_some(), e.to_matrix());
+        std::process::exit(1);
+    }
+    if let Some(o) = &dc {
+        verify_linear(e, o).expect("witness");
+    }
+    if e.n_atoms() <= 8 {
+        let bf = brute_force_linear(e);
+        assert_eq!(dc.is_some(), bf.is_some(), "brute disagree ({ctx})\n{}", e.to_matrix());
+    }
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(0xABCDEF);
+    // exhaustive small: every 5-atom 3-column instance (32^3 = 32768)
+    for c1 in 0..32usize {
+        for c2 in 0..32usize {
+            for c3 in 0..32usize {
+                let cols: Vec<Vec<u32>> = [c1, c2, c3]
+                    .iter()
+                    .map(|&m| (0..5u32).filter(|&a| m >> a & 1 == 1).collect())
+                    .collect();
+                check(&Ensemble::from_columns(5, cols).unwrap(), "exh5x3");
+            }
+        }
+    }
+    println!("exhaustive 5x3 ok");
+    // random 6-7 atom instances
+    for t in 0..60_000 {
+        let n = 6 + t % 2;
+        let m = 2 + rng.random_range(0..5);
+        let cols: Vec<Vec<u32>> = (0..m)
+            .map(|_| {
+                let mask = 1 + rng.random_range(0..(1usize << n) - 1);
+                (0..n as u32).filter(|&a| mask >> a & 1 == 1).collect()
+            })
+            .collect();
+        check(&Ensemble::from_columns(n, cols).unwrap(), "rand67");
+    }
+    println!("random 6-7 ok");
+    // noisy planted at medium sizes: accept/reject both exercised
+    for t in 0..4000u64 {
+        let mut r2 = SmallRng::seed_from_u64(t);
+        let n = 12 + (t as usize % 50);
+        let (e, _) = planted_c1p(
+            PlantedShape { n_atoms: n, n_columns: 2 * n, min_len: 2, max_len: n / 2 },
+            &mut r2,
+        );
+        let noisy = match t % 4 {
+            0 => e,
+            1 => noise::flip_random(&e, 1 + t as usize % 3, &mut r2),
+            2 => noise::chimerize(&e, 1 + t as usize % 3, &mut r2),
+            3 => noise::false_positives(&e, 1 + t as usize % 4, &mut r2),
+            _ => unreachable!(),
+        };
+        check(&noisy, "noisy");
+    }
+    println!("noisy planted ok");
+    // sparse random (mixed answers)
+    for t in 0..3000u64 {
+        let mut r2 = SmallRng::seed_from_u64(t.wrapping_mul(77));
+        let n = 9 + (t as usize % 40);
+        let e = random_ensemble(n, 4 + t as usize % 6, 2.5 / n as f64, &mut r2);
+        check(&e, "sparse");
+    }
+    println!("sparse random ok");
+    // large planted smoke
+    for n in [2_000usize, 20_000] {
+        let (e, _) = planted_c1p(
+            PlantedShape { n_atoms: n, n_columns: 2 * n, min_len: 2, max_len: 40 },
+            &mut rng,
+        );
+        assert!(c1p_core::solve(&e).is_some(), "large planted n={n}");
+    }
+    println!("large planted ok");
+    println!("ALL STRESS PASSED");
+}

@@ -1,0 +1,47 @@
+//! Shared experiment workloads (deterministic seeds so tables reproduce).
+
+use c1p_matrix::generate::{planted_c1p, PlantedShape};
+use c1p_matrix::Ensemble;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The standard planted instance used by the scaling experiments:
+/// `m = 2n` interval columns of mean length ≈ 12 (the clone-coverage shape
+/// of Section 1.1), deterministic in `(n, seed)`.
+pub fn planted(n: usize, seed: u64) -> Ensemble {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC190u64);
+    planted_c1p(
+        PlantedShape { n_atoms: n, n_columns: 2 * n, min_len: 2, max_len: 24.min(n.max(3) - 1) },
+        &mut rng,
+    )
+    .0
+}
+
+/// A planted instance with every column of length exactly `k` (density
+/// factor `f = n/k`), for experiment E7.
+pub fn planted_k(n: usize, m: usize, k: usize, seed: u64) -> Ensemble {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+    planted_c1p(PlantedShape { n_atoms: n, n_columns: m, min_len: k, max_len: k }, &mut rng).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c1p_matrix::verify::verify_linear;
+
+    #[test]
+    fn planted_is_solvable_and_deterministic() {
+        let a = planted(200, 1);
+        let b = planted(200, 1);
+        assert_eq!(a, b);
+        let order = c1p_core::solve(&a).expect("planted is C1P");
+        verify_linear(&a, &order).unwrap();
+    }
+
+    #[test]
+    fn planted_k_controls_density() {
+        let e = planted_k(100, 50, 5, 3);
+        assert!(e.columns().iter().all(|c| c.len() == 5));
+        assert_eq!(e.density_factor(), Some(100.0 / 5.0));
+    }
+}

@@ -1,0 +1,80 @@
+//! Circular-ones testing (the paper's cycle-graphic ensembles, Section 2).
+//!
+//! Tucker's reduction: fix any atom `a`; complementing every column that
+//! contains `a` yields an instance that has C1P iff the original has the
+//! circular-ones property — and any linear realization of the transform,
+//! read cyclically, realizes the original.
+
+use c1p_matrix::{verify_circular, Atom, Ensemble};
+
+/// Decides the circular-ones property; returns a cyclic witness order.
+pub fn solve_circular(ens: &Ensemble) -> Option<Vec<Atom>> {
+    let n = ens.n_atoms();
+    if n <= 2 || ens.n_columns() == 0 {
+        let order: Vec<Atom> = (0..n as Atom).collect();
+        return Some(order);
+    }
+    // fix atom 0; complement the columns containing it
+    let anchor: Atom = 0;
+    let mut present = vec![false; n];
+    let mut cols = Vec::with_capacity(ens.n_columns());
+    for col in ens.columns() {
+        if col.binary_search(&anchor).is_ok() {
+            for &a in col {
+                present[a as usize] = true;
+            }
+            let comp: Vec<Atom> = (0..n as Atom).filter(|&a| !present[a as usize]).collect();
+            for &a in col {
+                present[a as usize] = false;
+            }
+            cols.push(comp);
+        } else {
+            cols.push(col.clone());
+        }
+    }
+    let reduced = Ensemble::from_sorted_columns(n, cols).expect("complement is valid");
+    let order = crate::solve(&reduced)?;
+    verify_circular(ens, &order).expect("internal error: circular witness failed verification");
+    Some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ens(n: usize, cols: Vec<Vec<Atom>>) -> Ensemble {
+        Ensemble::from_columns(n, cols).unwrap()
+    }
+
+    #[test]
+    fn cycle_matrix_is_circular() {
+        // M_I(1) is not C1P but *is* circular-ones
+        let e = ens(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]);
+        assert_eq!(crate::solve(&e), None);
+        assert!(solve_circular(&e).is_some());
+    }
+
+    #[test]
+    fn bigger_cycle_cover() {
+        // consecutive pairs around a 6-cycle, including the wrap pair
+        let cols: Vec<Vec<Atom>> = (0..6).map(|i| vec![i, (i + 1) % 6]).collect();
+        let e = ens(6, cols);
+        assert_eq!(crate::solve(&e), None);
+        let order = solve_circular(&e).expect("circular-ones");
+        verify_circular(&e, &order).unwrap();
+    }
+
+    #[test]
+    fn not_even_circular() {
+        // M_IV is neither C1P nor circular-ones
+        let e = c1p_matrix::tucker::m_iv();
+        assert_eq!(solve_circular(&e), None);
+    }
+
+    #[test]
+    fn linear_implies_circular() {
+        let e = ens(5, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4]]);
+        let order = solve_circular(&e).expect("C1P implies circular-ones");
+        verify_circular(&e, &order).unwrap();
+    }
+}

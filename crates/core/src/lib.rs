@@ -1,0 +1,38 @@
+//! # c1p-core: divide-and-conquer consecutive-ones testing
+//!
+//! The paper's contribution (Annexstein & Swaminathan): `Path-Realization`
+//! (Fig. 3) decides C1P by
+//!
+//! 1. partitioning the atoms into a balanced pair `{A1, A2}` where `A1` is
+//!    a connected segment — directly from a *proper-size column* (Case 1),
+//!    or, after Tucker's complement transform, from a grown connected
+//!    column union (Case 2, reducing to circular-ones);
+//! 2. recursively realizing both subensembles;
+//! 3. aligning the two realizations with **Whitney switches** — computed on
+//!    the **Tutte decompositions** of the realizations — until the GAP/GAC
+//!    conditions (Definitions 1–2) hold;
+//! 4. merging: splitting the host realization at the *split vertex* `w` and
+//!    inserting the segment realization (Theorems 3–6).
+//!
+//! The solver is exact: it returns a verified witness order for every C1P
+//! instance and `None` otherwise. [`solve`] runs the sequential algorithm
+//! (Theorem 9: `O(p log p)`); [`parallel::solve_par`] runs the recursion on
+//! rayon with PRAM cost accounting (Theorem 9: `O(log² n)` modelled depth).
+
+pub mod align;
+pub mod circular;
+pub mod interval_graphs;
+pub mod merge;
+pub mod parallel;
+pub mod partition;
+pub mod realizations;
+pub mod solver;
+pub mod stats;
+
+pub use realizations::{count_realizations, count_realizations_pq};
+pub use solver::{solve, solve_with, Config};
+pub use stats::SolveStats;
+
+/// The instance is not consecutive-ones realizable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotC1p;

@@ -1,0 +1,364 @@
+//! Merging aligned realizations (paper Step 7, Theorems 3–6).
+//!
+//! After alignment, the host realization is split at a *split vertex* `w`
+//! and the segment realization is inserted (GAP; Theorem 3), or the cycle
+//! is cut at `w` (GAC; Theorem 5). The feasible `w` are pinned down exactly
+//! as the paper says ("one can be found, if one exists, by computing the
+//! common intersection of all the crossing columns … using a prefix scan"):
+//!
+//! * every type-b column's host span must *end* at `w`;
+//! * every type-a column's host span must contain or touch `w`;
+//! * no type-c column's host span may strictly contain `w`.
+//!
+//! With type-b chords present there are at most two candidate vertices;
+//! each candidate (× the two segment orientations — GAP condition (3))
+//! is verified against **all** columns of the subproblem in `O(p)`, so the
+//! merge is sound by construction.
+
+use crate::align::CrossType;
+use crate::NotC1p;
+
+/// Linear (GAP) or cyclic (GAC) merge semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeMode {
+    /// Theorem 3: insert the segment into the host path at `w`.
+    Linear,
+    /// Theorem 5: cut the host cycle at `w` and splice the segment in.
+    Cyclic,
+}
+
+/// One column's split across the partition, with its crossing type.
+#[derive(Debug, Clone)]
+pub struct SplitColumn {
+    /// Atoms (subproblem-local) in the segment side `A1`.
+    pub seg_part: Vec<u32>,
+    /// Atoms in the host side `A2`.
+    pub host_part: Vec<u32>,
+    /// Crossing classification.
+    pub ty: CrossType,
+}
+
+/// Merges `seg` into `host` at a feasible split vertex. `seg` and `host`
+/// are sequences of subproblem-local atoms.
+///
+/// Correctness layering: the candidate filter guarantees the type-a
+/// (containment) and type-c (non-interior) conditions; the per-candidate
+/// check below enforces the type-b conditions (GAP (1)/(3): the segment
+/// part must sit at the junction-facing end). Debug builds re-verify every
+/// column of the merged order, and the top-level solver always validates
+/// its final witness, so release-mode trust is bounded.
+pub fn merge(
+    seg: &[u32],
+    host: &[u32],
+    columns: &[SplitColumn],
+    mode: MergeMode,
+) -> Result<Vec<u32>, NotC1p> {
+    let hn = host.len();
+    let host_pos = PosMap::new(seg.len() + hn, host);
+    // Host spans per crossing/type-c column.
+    let mut type_b: Vec<(usize, u32, u32)> = Vec::new(); // (column, x, y)
+    let mut type_a_spans: Vec<(u32, u32)> = Vec::new();
+    let mut type_c_spans: Vec<(u32, u32)> = Vec::new();
+    for (ci, col) in columns.iter().enumerate() {
+        let Some((x, y)) = host_pos.span(&col.host_part) else { continue };
+        match col.ty {
+            CrossType::B => type_b.push((ci, x, y)),
+            CrossType::A => type_a_spans.push((x, y)),
+            CrossType::C => {
+                if col.host_part.len() >= 2 {
+                    type_c_spans.push((x, y));
+                }
+            }
+        }
+    }
+    // On the cycle, split vertices 0 and hn coincide (the glue point).
+    let alt = |w: u32| -> Option<u32> {
+        match mode {
+            MergeMode::Linear => None,
+            MergeMode::Cyclic if w == 0 => Some(hn as u32),
+            MergeMode::Cyclic if w == hn as u32 => Some(0),
+            MergeMode::Cyclic => None,
+        }
+    };
+    let touches =
+        |w: u32, x: u32, y: u32| w == x || w == y || alt(w).is_some_and(|a| a == x || a == y);
+    // Candidate split vertices.
+    let mut candidates: Vec<u32> = Vec::new();
+    if let Some(&(_, x0, y0)) = type_b.first() {
+        let mut seeds = vec![x0, y0];
+        seeds.extend(alt(x0));
+        seeds.extend(alt(y0));
+        seeds.dedup();
+        for w in seeds {
+            if type_b.iter().all(|&(_, x, y)| touches(w, x, y)) && !candidates.contains(&w) {
+                candidates.push(w);
+            }
+        }
+    } else {
+        // no type-b: w must lie in the intersection of the type-a spans and
+        // outside every type-c interior; find the extremes of that set.
+        let lo_bound = type_a_spans.iter().map(|&(x, _)| x).max().unwrap_or(0);
+        let hi_bound = type_a_spans.iter().map(|&(_, y)| y).min().unwrap_or(hn as u32);
+        if lo_bound <= hi_bound {
+            // merge forbidden open intervals and scan for the first/last gap
+            let mut forbidden: Vec<(u32, u32)> = type_c_spans
+                .iter()
+                .filter(|&&(x, y)| x + 1 < y)
+                .map(|&(x, y)| (x + 1, y - 1)) // closed forbidden vertex range
+                .collect();
+            forbidden.sort_unstable();
+            let mut w = lo_bound;
+            for &(fx, fy) in &forbidden {
+                if fx <= w && w <= fy {
+                    w = fy + 1;
+                }
+            }
+            if w <= hi_bound {
+                candidates.push(w);
+            }
+            let mut w = hi_bound;
+            for &(fx, fy) in forbidden.iter().rev() {
+                if fx <= w && w <= fy {
+                    w = fx.saturating_sub(1); // fx ≥ 1 by construction
+                }
+            }
+            if w >= lo_bound && !candidates.contains(&w) {
+                candidates.push(w);
+            }
+        }
+    }
+    // filter candidates against the remaining constraints
+    candidates.retain(|&w| {
+        type_a_spans.iter().all(|&(x, y)| (x <= w && w <= y) || touches(w, x, y))
+            && type_c_spans.iter().all(|&(x, y)| !(x < w && w < y))
+    });
+    if mode == MergeMode::Cyclic && candidates.contains(&0) {
+        candidates.retain(|&w| w != hn as u32);
+    }
+    // Segment-side positions of each atom (forward orientation).
+    let mut seg_pos = vec![u32::MAX; host_pos.pos.len()];
+    for (i, &a) in seg.iter().enumerate() {
+        seg_pos[a as usize] = i as u32;
+    }
+    let sn = seg.len() as u32;
+    for &w in &candidates {
+        'orient: for rev in [false, true] {
+            // GAP conditions (1)/(3): each type-b column's segment part
+            // must occupy the end of the segment facing its host part.
+            for &(ci, x, y) in &type_b {
+                let part = &columns[ci].seg_part;
+                let mut lo = u32::MAX;
+                let mut hi = 0;
+                for &a in part {
+                    let p = seg_pos[a as usize];
+                    let p = if rev { sn - 1 - p } else { p };
+                    lo = lo.min(p);
+                    hi = hi.max(p);
+                }
+                if (hi - lo + 1) as usize != part.len() {
+                    continue 'orient; // segment part not contiguous this way
+                }
+                // host part left of the junction (ends at w) → prefix;
+                // right of it (starts at w) → suffix.
+                let want_prefix = y == w || (mode == MergeMode::Cyclic && y == hn as u32 && w == 0);
+                let want_suffix = x == w || (mode == MergeMode::Cyclic && x == 0 && w == hn as u32);
+                let ok = (want_prefix && lo == 0) || (want_suffix && hi == sn - 1);
+                if !ok {
+                    continue 'orient;
+                }
+            }
+            let mut merged = Vec::with_capacity(seg.len() + hn);
+            merged.extend_from_slice(&host[..w as usize]);
+            if rev {
+                merged.extend(seg.iter().rev());
+            } else {
+                merged.extend_from_slice(seg);
+            }
+            merged.extend_from_slice(&host[w as usize..]);
+            debug_assert!(
+                verify_merged(&merged, columns, mode),
+                "candidate checks must imply full merged validity"
+            );
+            return Ok(merged);
+        }
+    }
+    if std::env::var_os("C1P_TRACE").is_some() {
+        eprintln!("merge failed ({mode:?}): seg={seg:?} host={host:?}");
+        eprintln!("  candidates={candidates:?}");
+        eprintln!("  type_b={type_b:?} type_a={type_a_spans:?} type_c={type_c_spans:?}");
+    }
+    Err(NotC1p)
+}
+
+/// Checks contiguity (linear or cyclic) of every column in the merged
+/// order.
+fn verify_merged(merged: &[u32], columns: &[SplitColumn], mode: MergeMode) -> bool {
+    let n = merged.len();
+    let mut pos = vec![u32::MAX; n];
+    for (i, &a) in merged.iter().enumerate() {
+        pos[a as usize] = i as u32;
+    }
+    let mut in_col = vec![false; n];
+    for col in columns {
+        let len = col.seg_part.len() + col.host_part.len();
+        if len <= 1 {
+            continue;
+        }
+        match mode {
+            MergeMode::Linear => {
+                let mut lo = u32::MAX;
+                let mut hi = 0;
+                for &a in col.seg_part.iter().chain(&col.host_part) {
+                    let p = pos[a as usize];
+                    lo = lo.min(p);
+                    hi = hi.max(p);
+                }
+                if (hi - lo + 1) as usize != len {
+                    return false;
+                }
+            }
+            MergeMode::Cyclic => {
+                if len >= n - 1 {
+                    continue; // always an arc
+                }
+                for &a in col.seg_part.iter().chain(&col.host_part) {
+                    in_col[pos[a as usize] as usize] = true;
+                }
+                let mut runs = 0;
+                for i in 0..n {
+                    if in_col[i] && !in_col[(i + n - 1) % n] {
+                        runs += 1;
+                    }
+                }
+                for &a in col.seg_part.iter().chain(&col.host_part) {
+                    in_col[pos[a as usize] as usize] = false;
+                }
+                if runs != 1 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Position lookup for a sequence of local atom ids.
+struct PosMap {
+    pos: Vec<u32>,
+}
+
+impl PosMap {
+    fn new(universe: usize, seq: &[u32]) -> Self {
+        let mut pos = vec![u32::MAX; universe];
+        for (i, &a) in seq.iter().enumerate() {
+            pos[a as usize] = i as u32;
+        }
+        PosMap { pos }
+    }
+
+    /// `(lo, hi)` positions covered by `atoms` (must be contiguous —
+    /// guaranteed because each side's order realizes its restrictions;
+    /// enforced with a debug assertion). `None` for empty.
+    fn span(&self, atoms: &[u32]) -> Option<(u32, u32)> {
+        if atoms.is_empty() {
+            return None;
+        }
+        let mut lo = u32::MAX;
+        let mut hi = 0;
+        for &a in atoms {
+            let p = self.pos[a as usize];
+            debug_assert_ne!(p, u32::MAX, "atom must be on the host side");
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        debug_assert_eq!(
+            (hi - lo + 1) as usize,
+            atoms.len(),
+            "side realization must keep restrictions contiguous"
+        );
+        Some((lo, hi + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc(seg: &[u32], host: &[u32], ty: CrossType) -> SplitColumn {
+        SplitColumn { seg_part: seg.to_vec(), host_part: host.to_vec(), ty }
+    }
+
+    #[test]
+    fn plain_insert_no_crossing() {
+        // host 0,1; seg 2,3; no constraints → w = 0 works
+        let merged = merge(&[2, 3], &[0, 1], &[], MergeMode::Linear).unwrap();
+        assert_eq!(merged.len(), 4);
+    }
+
+    fn contiguous(merged: &[u32], atoms: &[u32]) -> bool {
+        let p: Vec<usize> =
+            atoms.iter().map(|&a| merged.iter().position(|&x| x == a).unwrap()).collect();
+        let (lo, hi) = (*p.iter().min().unwrap(), *p.iter().max().unwrap());
+        hi - lo + 1 == atoms.len()
+    }
+
+    #[test]
+    fn type_b_pins_the_split() {
+        // host = [0,1,2]; seg = [3,4]; column {2,3} must come out contiguous
+        let cols =
+            vec![sc(&[3], &[2], CrossType::B), sc(&[3, 4], &[], CrossType::C)];
+        let merged = merge(&[3, 4], &[0, 1, 2], &cols, MergeMode::Linear).unwrap();
+        assert!(contiguous(&merged, &[2, 3]), "{merged:?}");
+        assert!(contiguous(&merged, &[3, 4]), "{merged:?}");
+    }
+
+    #[test]
+    fn type_b_with_reversal() {
+        // column {4, 0}: seg's 4-end must touch the host's 0-end
+        let cols = vec![sc(&[4], &[0], CrossType::B)];
+        let merged = merge(&[3, 4], &[0, 1, 2], &cols, MergeMode::Linear).unwrap();
+        assert!(contiguous(&merged, &[0, 4]), "{merged:?}");
+    }
+
+    #[test]
+    fn conflicting_type_b_fails() {
+        // {3}-{0} wants w=0; {4}-{2} wants w=3; seg has only two ends but
+        // both want opposite... actually both can work via orientation;
+        // make it impossible: both seg parts share atom 3.
+        let cols = vec![sc(&[3], &[0], CrossType::B), sc(&[3], &[2], CrossType::B)];
+        assert_eq!(merge(&[3, 4], &[0, 1, 2], &cols, MergeMode::Linear), Err(NotC1p));
+    }
+
+    #[test]
+    fn type_a_needs_containment() {
+        // type-a column = all of seg + host atom 1 (middle): w must be 1 or 2
+        let cols = vec![sc(&[3, 4], &[1], CrossType::A)];
+        let merged = merge(&[3, 4], &[0, 1, 2], &cols, MergeMode::Linear).unwrap();
+        let pos1 = merged.iter().position(|&a| a == 1).unwrap();
+        let pos3 = merged.iter().position(|&a| a == 3).unwrap();
+        let pos4 = merged.iter().position(|&a| a == 4).unwrap();
+        let lo = pos1.min(pos3).min(pos4);
+        let hi = pos1.max(pos3).max(pos4);
+        assert_eq!(hi - lo, 2, "type-a column contiguous in {merged:?}");
+    }
+
+    #[test]
+    fn type_c_blocks_interior() {
+        // host column {0,1,2} entirely: w must be 0 or 3
+        let cols = vec![sc(&[], &[0, 1, 2], CrossType::C)];
+        let merged = merge(&[3, 4], &[0, 1, 2], &cols, MergeMode::Linear).unwrap();
+        let p: Vec<usize> =
+            [0u32, 1, 2].iter().map(|&a| merged.iter().position(|&x| x == a).unwrap()).collect();
+        let (lo, hi) = (*p.iter().min().unwrap(), *p.iter().max().unwrap());
+        assert_eq!(hi - lo, 2);
+    }
+
+    #[test]
+    fn cyclic_wraparound_merge() {
+        // cyclic: column {4, 0} with host [0,1,2], seg [3,4]: an arc may wrap
+        let cols = vec![sc(&[4], &[0], CrossType::B)];
+        let merged = merge(&[3, 4], &[0, 1, 2], &cols, MergeMode::Cyclic).unwrap();
+        // contiguity holds cyclically
+        assert!(verify_merged(&merged, &cols, MergeMode::Cyclic));
+    }
+}

@@ -1,0 +1,182 @@
+//! The divide step (paper Section 3.2): choosing the balanced connected
+//! segment `A1`.
+//!
+//! **Case 1** — a *proper-size* column exists (`|A|/3 ≤ |C| ≤ 2|A|/3`):
+//! take `A1 = C`. A column is trivially connected and always a segment.
+//!
+//! **Case 2** — all columns are small (`< |A|/3`) or large (`> 2|A|/3`):
+//! apply Tucker's complement transform (add atom `r`, complement the large
+//! columns) so every column becomes small and the problem turns circular;
+//! then grow a connected union of columns past `|A'|/3` atoms. Because each
+//! column is small the union lands in a balanced window, and a connected
+//! union of arcs of a cycle is an arc — a segment. When every connected
+//! component is smaller than the window, the instance "trivially
+//! decomposes" into independent subproblems.
+
+use crate::solver::SubProblem;
+
+/// Finds a proper-size column: `|A|/3 ≤ |C| ≤ 2|A|/3` (paper Case 1).
+pub fn proper_column(sub: &SubProblem) -> Option<usize> {
+    let k = sub.n;
+    sub.cols.iter().position(|c| 3 * c.len() >= k && 3 * c.len() <= 2 * k)
+}
+
+/// The transformed instance of Case 2 over `k + 1` atoms (`r = k`), per
+/// column: the kept-or-complemented atom set (columns reduced below two
+/// atoms are dropped).
+pub fn tucker_transform(sub: &SubProblem) -> SubProblem {
+    let k = sub.n;
+    let r = k as u32;
+    let mut cols = Vec::with_capacity(sub.cols.len());
+    let mut present = vec![false; k];
+    for col in &sub.cols {
+        if 3 * col.len() <= 2 * k {
+            // small column (Case-2 precondition: actually < k/3) — keep
+            if col.len() >= 2 {
+                cols.push(col.clone());
+            }
+            continue;
+        }
+        for &a in col {
+            present[a as usize] = true;
+        }
+        let mut comp: Vec<u32> = (0..k as u32).filter(|&a| !present[a as usize]).collect();
+        comp.push(r);
+        for &a in col {
+            present[a as usize] = false;
+        }
+        if comp.len() >= 2 {
+            cols.push(comp);
+        }
+    }
+    SubProblem { n: k + 1, cols }
+}
+
+/// Result of the Case-2 growth.
+pub enum Growth {
+    /// A connected column union with `|A'|/3 < |A1|`, sorted ascending.
+    Segment(Vec<u32>),
+    /// Every connected component is small: the transformed instance
+    /// decomposes into these independent components
+    /// `(atom sets, column index sets)`; isolated atoms form singleton
+    /// components.
+    Components(Vec<(Vec<u32>, Vec<u32>)>),
+}
+
+/// Grows a connected set of columns of the transformed instance until its
+/// atom union exceeds `|A'|/3` (paper Section 3.2's tree-contraction step,
+/// done here by BFS over the column–atom bipartite graph).
+pub fn grow_segment(sub: &SubProblem) -> Growth {
+    let k = sub.n;
+    let mut atom_cols: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for (ci, col) in sub.cols.iter().enumerate() {
+        for &a in col {
+            atom_cols[a as usize].push(ci as u32);
+        }
+    }
+    let mut col_seen = vec![false; sub.cols.len()];
+    let mut atom_seen = vec![false; k];
+    let mut components: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
+    for start in 0..sub.cols.len() {
+        if col_seen[start] {
+            continue;
+        }
+        // BFS accumulating whole columns
+        let mut queue = std::collections::VecDeque::from([start as u32]);
+        col_seen[start] = true;
+        let mut atoms: Vec<u32> = Vec::new();
+        let mut cols: Vec<u32> = Vec::new();
+        while let Some(ci) = queue.pop_front() {
+            cols.push(ci);
+            for &a in &sub.cols[ci as usize] {
+                if !atom_seen[a as usize] {
+                    atom_seen[a as usize] = true;
+                    atoms.push(a);
+                    for &cj in &atom_cols[a as usize] {
+                        if !col_seen[cj as usize] {
+                            col_seen[cj as usize] = true;
+                            queue.push_back(cj);
+                        }
+                    }
+                }
+            }
+            if 3 * atoms.len() > k {
+                atoms.sort_unstable();
+                return Growth::Segment(atoms);
+            }
+        }
+        atoms.sort_unstable();
+        components.push((atoms, cols));
+    }
+    // isolated atoms become singleton components
+    for a in 0..k as u32 {
+        if !atom_seen[a as usize] {
+            components.push((vec![a], Vec::new()));
+        }
+    }
+    Growth::Components(components)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sub(n: usize, cols: &[&[u32]]) -> SubProblem {
+        SubProblem { n, cols: cols.iter().map(|c| c.to_vec()).collect() }
+    }
+
+    #[test]
+    fn proper_column_window() {
+        let s = sub(9, &[&[0, 1], &[0, 1, 2], &[0, 1, 2, 3, 4, 5, 6]]);
+        // sizes 2 (too small: 6 < 9), 3 (9 ∈ [9, 18] ✓), 7 (21 > 18)
+        assert_eq!(proper_column(&s), Some(1));
+        let none = sub(9, &[&[0, 1], &[0, 1, 2, 3, 4, 5, 6]]);
+        assert_eq!(proper_column(&none), None);
+    }
+
+    #[test]
+    fn transform_complements_large() {
+        let s = sub(6, &[&[0, 1, 2, 3, 4], &[0, 1]]);
+        let t = tucker_transform(&s);
+        assert_eq!(t.n, 7);
+        assert_eq!(t.cols, vec![vec![5, 6], vec![0, 1]]);
+    }
+
+    #[test]
+    fn transform_drops_trivial_complements() {
+        // full column complements to {r} alone → dropped
+        let s = sub(5, &[&[0, 1, 2, 3, 4]]);
+        let t = tucker_transform(&s);
+        assert!(t.cols.is_empty());
+    }
+
+    #[test]
+    fn growth_finds_window() {
+        // chain of overlapping pairs over 9 atoms: grows to > 3 atoms
+        let s = sub(9, &[&[0, 1], &[1, 2], &[2, 3], &[5, 6], &[7, 8]]);
+        match grow_segment(&s) {
+            Growth::Segment(a1) => {
+                assert!(3 * a1.len() > 9, "window: {a1:?}");
+                assert!(a1.len() < 9);
+                // connected: must be a prefix chain {0,1,2,...}
+                assert!(a1.windows(2).all(|w| w[1] == w[0] + 1));
+            }
+            Growth::Components(_) => panic!("expected a segment"),
+        }
+    }
+
+    #[test]
+    fn growth_reports_components() {
+        // all components have ≤ 2 atoms over 9: nothing crosses 3
+        let s = sub(9, &[&[0, 1], &[3, 4], &[6, 7]]);
+        match grow_segment(&s) {
+            Growth::Segment(_) => panic!("components expected"),
+            Growth::Components(comps) => {
+                // three column components + isolated atoms 2, 5, 8
+                assert_eq!(comps.len(), 6);
+                let sizes: Vec<usize> = comps.iter().map(|(a, _)| a.len()).collect();
+                assert_eq!(sizes.iter().sum::<usize>(), 9);
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Counting all realizations of a C1P instance.
+//!
+//! The Tutte decomposition of a gp-realization represents the *entire*
+//! 2-isomorphism class (paper Theorem 2), i.e. every valid linearization:
+//! polygons contribute a free permutation of their non-parent edges, rigid
+//! members a reflection, bonds nothing. Distinct arrangements give distinct
+//! atom orders (members expand to disjoint, nonempty atom segments), so the
+//! number of realizations is
+//!
+//! ```text
+//!   Π_polygons (#non-parent ring edges)!  ×  2^(#rigid members)
+//! ```
+//!
+//! — the exact analogue of Booth–Lueker's `Π_P (#children)! × 2^#Q`
+//! permutation count, which [`c1p_pqtree::solve`]-side code computes
+//! independently; the test suites check the two always agree.
+//!
+//! In physical mapping this number measures *map ambiguity*: how many STS
+//! orders are consistent with the clone fingerprints (1 and 2 mean the map
+//! is determined up to reversal).
+
+use c1p_matrix::Ensemble;
+use c1p_tutte::{EdgeRef, MemberShape};
+
+/// The number of atom orders realizing `ens`, saturating at `u128::MAX`;
+/// `None` if the ensemble is not C1P. Counts both directions (reversals)
+/// separately, like Booth–Lueker's frontier count; an edgeless instance on
+/// `n` atoms yields `n!`.
+pub fn count_realizations(ens: &Ensemble) -> Option<u128> {
+    let order = crate::solve(ens)?;
+    let n = ens.n_atoms();
+    if n <= 1 {
+        return Some(1);
+    }
+    let mut pos = vec![0u32; n];
+    for (i, &a) in order.iter().enumerate() {
+        pos[a as usize] = i as u32;
+    }
+    // One decomposition over the full witness covers multi-component
+    // instances too: component blocks become polygon edges of the same
+    // tree, so cross-component arrangements (which C1P permits freely —
+    // only column intervals constrain) are counted by the polygon
+    // factorials.
+    let chords: Vec<(u32, u32)> = ens
+        .columns()
+        .iter()
+        .filter(|c| c.len() >= 2)
+        .map(|col| {
+            let mut lo = u32::MAX;
+            let mut hi = 0;
+            for &a in col {
+                lo = lo.min(pos[a as usize]);
+                hi = hi.max(pos[a as usize]);
+            }
+            (lo, hi + 1)
+        })
+        .collect();
+    let tree = c1p_tutte::decompose(n, &chords).expect("witness spans are valid");
+    let mut count: u128 = 1;
+    for m in &tree.members {
+        match &m.shape {
+            MemberShape::Bond { .. } => {}
+            MemberShape::Polygon { ring } => {
+                // free permutation of the non-parent edges (the parent
+                // marker — or e at the root — anchors the cycle)
+                let j = ring
+                    .iter()
+                    .filter(|e| match e {
+                        EdgeRef::E => false,
+                        EdgeRef::Virt(_) => true,
+                        _ => true,
+                    })
+                    .count()
+                    - usize::from(m.parent.is_some());
+                count = count.saturating_mul(factorial(j));
+            }
+            MemberShape::Rigid { .. } => {
+                count = count.saturating_mul(2);
+            }
+        }
+    }
+    Some(count)
+}
+
+/// Booth–Lueker's independent count: build the PQ-tree for the instance and
+/// evaluate `Π_P (#children)! × 2^#Q` over its nodes. `None` if not C1P.
+pub fn count_realizations_pq(ens: &Ensemble) -> Option<u128> {
+    let n = ens.n_atoms();
+    if n <= 1 {
+        return c1p_pqtree::solve(n, ens.columns()).map(|_| 1);
+    }
+    let mut tree = c1p_pqtree::PqTree::universal(n);
+    for col in ens.columns() {
+        if col.len() >= 2 && col.len() < n && tree.reduce(col).is_err() {
+            return None;
+        }
+    }
+    Some(tree.count_permutations())
+}
+
+fn factorial(j: usize) -> u128 {
+    let mut out: u128 = 1;
+    for i in 2..=j as u128 {
+        out = out.saturating_mul(i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c1p_matrix::Atom;
+
+    fn brute_count(ens: &Ensemble) -> u128 {
+        use c1p_matrix::verify_linear;
+        let n = ens.n_atoms();
+        assert!(n <= 8);
+        let mut order: Vec<Atom> = (0..n as Atom).collect();
+        let mut count = 0u128;
+        permute(&mut order, n, &mut |o| {
+            if verify_linear(ens, o).is_ok() {
+                count += 1;
+            }
+        });
+        count
+    }
+
+    fn permute(xs: &mut Vec<Atom>, k: usize, f: &mut impl FnMut(&[Atom])) {
+        if k <= 1 {
+            f(xs);
+            return;
+        }
+        for i in 0..k {
+            permute(xs, k - 1, f);
+            if k.is_multiple_of(2) {
+                xs.swap(i, k - 1);
+            } else {
+                xs.swap(0, k - 1);
+            }
+        }
+    }
+
+    fn ens(n: usize, cols: Vec<Vec<Atom>>) -> Ensemble {
+        Ensemble::from_columns(n, cols).unwrap()
+    }
+
+    #[test]
+    fn unconstrained_counts_factorial() {
+        assert_eq!(count_realizations(&ens(4, vec![])), Some(24));
+        assert_eq!(count_realizations_pq(&ens(4, vec![])), Some(24));
+    }
+
+    #[test]
+    fn single_pair_counts() {
+        // {0,1} adjacent within 3 atoms: 2·2·... brute = 4
+        let e = ens(3, vec![vec![0, 1]]);
+        assert_eq!(brute_count(&e), 4);
+        assert_eq!(count_realizations(&e), Some(4));
+        assert_eq!(count_realizations_pq(&e), Some(4));
+    }
+
+    #[test]
+    fn fully_determined_up_to_reversal() {
+        let e = ens(4, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 1, 2]]);
+        assert_eq!(brute_count(&e), 2);
+        assert_eq!(count_realizations(&e), Some(2));
+        assert_eq!(count_realizations_pq(&e), Some(2));
+    }
+
+    #[test]
+    fn non_c1p_counts_none() {
+        let e = c1p_matrix::tucker::m_i(1);
+        assert_eq!(count_realizations(&e), None);
+        assert_eq!(count_realizations_pq(&e), None);
+    }
+
+    #[test]
+    fn exhaustive_counts_match_brute_force() {
+        // all 2-column ensembles over 4 and 5 atoms
+        for n in [4usize, 5] {
+            let masks = 1usize << n;
+            for c1 in 0..masks {
+                for c2 in 0..masks {
+                    let cols: Vec<Vec<Atom>> = [c1, c2]
+                        .iter()
+                        .map(|&m| (0..n as Atom).filter(|&a| m >> a & 1 == 1).collect())
+                        .collect();
+                    let e = ens(n, cols);
+                    let expect = brute_count(&e);
+                    let got = count_realizations(&e).unwrap_or(0);
+                    let got_pq = count_realizations_pq(&e).unwrap_or(0);
+                    assert_eq!(got, expect, "tutte count differs:\n{}", e.to_matrix());
+                    assert_eq!(got_pq, expect, "pq count differs:\n{}", e.to_matrix());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_instances_two_counters_agree() {
+        let mut state = 0xFEEDu64;
+        let mut next = |m: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m
+        };
+        for _ in 0..2000 {
+            let n = 3 + next(18);
+            let m = next(8);
+            let cols: Vec<Vec<Atom>> = (0..m)
+                .map(|_| {
+                    let len = 2 + next(n - 1);
+                    let start = next(n - len + 1);
+                    (start as Atom..(start + len) as Atom).collect()
+                })
+                .collect();
+            let e = ens(n, cols);
+            assert_eq!(
+                count_realizations(&e),
+                count_realizations_pq(&e),
+                "counters disagree:\n{}",
+                e.to_matrix()
+            );
+        }
+    }
+}

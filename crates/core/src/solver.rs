@@ -1,0 +1,479 @@
+//! `Path-Realization` (paper Fig. 3): the main divide-and-conquer solver.
+//!
+//! Steps per recursive call (numbering as in the paper):
+//!
+//! * **Step 0** — `|A| ≤ 2`: any order realizes the ensemble.
+//! * **Step 1** — trivial columns never enter subproblems (restrictions
+//!   below two atoms are dropped); the distinguished edge `e` is structural
+//!   in our Tutte trees, so the complete column need not be materialized.
+//! * **Step 2** — the divide: Case 1 (proper-size column) or Case 2
+//!   (Tucker transform + connected growth), then two recursive calls.
+//! * **Steps 3–5** — decompose each returned realization (`c1p-tutte`),
+//!   classify chords (type a/b/c), take minimal decompositions.
+//! * **Step 6** — compute the Whitney switches ([`crate::align`]).
+//! * **Step 7** — merge at a feasible split vertex ([`crate::merge`]);
+//!   Case 2 additionally cuts the merged cycle at the transform atom `r`.
+
+use crate::align::{align_side1, align_side2, ChordInfo, CrossType};
+use crate::merge::{merge, MergeMode, SplitColumn};
+use crate::partition::{grow_segment, proper_column, tucker_transform, Growth};
+use crate::stats::SolveStats;
+use crate::NotC1p;
+use c1p_matrix::{verify_linear, Atom, Ensemble};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Nanosecond phase counters, printed when `C1P_PHASE_TIMING` is set
+/// (diagnostic aid for the scaling experiments).
+pub static T_PARTITION: AtomicU64 = AtomicU64::new(0);
+pub static T_RECURSE_PREP: AtomicU64 = AtomicU64::new(0);
+pub static T_DECOMPOSE: AtomicU64 = AtomicU64::new(0);
+pub static T_ALIGN: AtomicU64 = AtomicU64::new(0);
+pub static T_MERGE: AtomicU64 = AtomicU64::new(0);
+
+macro_rules! phase {
+    ($counter:ident, $e:expr) => {{
+        let __t0 = std::time::Instant::now();
+        let __r = $e;
+        $counter.fetch_add(__t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        __r
+    }};
+}
+
+/// Prints and resets the phase counters.
+pub fn dump_phase_timing() {
+    for (name, c) in [
+        ("partition", &T_PARTITION),
+        ("prepare", &T_RECURSE_PREP),
+        ("decompose", &T_DECOMPOSE),
+        ("align", &T_ALIGN),
+        ("merge", &T_MERGE),
+    ] {
+        eprintln!("  phase {name:>9}: {:.3}s", c.swap(0, Ordering::Relaxed) as f64 / 1e9);
+    }
+}
+
+/// A subproblem: `n` local atoms (`0..n`) and restricted columns (sorted
+/// atom lists, each with ≥ 2 atoms).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubProblem {
+    /// Local atom count.
+    pub n: usize,
+    /// Columns over local atoms.
+    pub cols: Vec<Vec<u32>>,
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Subproblems with at most this many atoms are handed to the
+    /// Booth–Lueker baseline (`c1p-pqtree`), as the paper's Section 5
+    /// suggests for small `p_i`. `0` disables the shortcut — the pure
+    /// paper algorithm recurses to `|A| ≤ 2`.
+    pub pq_base_threshold: usize,
+    /// Verify every intermediate realization (O(p log n) extra work);
+    /// always on in debug builds.
+    pub paranoid: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { pq_base_threshold: 0, paranoid: cfg!(debug_assertions) }
+    }
+}
+
+impl Config {
+    /// The practical profile: PQ-tree base case at the paper's `p_i ≲ log n`
+    /// granularity (we cut on atom count instead; see EXPERIMENTS.md E10).
+    pub fn fast() -> Self {
+        Config { pq_base_threshold: 32, paranoid: false }
+    }
+}
+
+/// Decides C1P for `ens`; returns a verified witness order of the atoms.
+pub fn solve(ens: &Ensemble) -> Option<Vec<Atom>> {
+    solve_with(ens, &Config::default()).0
+}
+
+/// [`solve`] with explicit configuration; also returns run statistics.
+pub fn solve_with(ens: &Ensemble, cfg: &Config) -> (Option<Vec<Atom>>, SolveStats) {
+    let mut stats = SolveStats::default();
+    let mut order: Vec<Atom> = Vec::with_capacity(ens.n_atoms());
+    // Solve each connected component independently and concatenate
+    // (isolated atoms ride along as singleton components).
+    for (atoms, col_ids) in ens.components() {
+        let sub = build_sub(&atoms, col_ids.iter().map(|&ci| ens.column(ci as usize)));
+        match realize(&sub, cfg, &mut stats, 0) {
+            Ok(local) => order.extend(local.iter().map(|&i| atoms[i as usize])),
+            Err(NotC1p) => return (None, stats),
+        }
+    }
+    // The witness is always validated: soundness does not depend on any
+    // solver internals.
+    verify_linear(ens, &order).expect("internal error: produced order failed verification");
+    (Some(order), stats)
+}
+
+/// Re-indexes global columns onto a local atom set.
+fn build_sub<'a>(atoms: &[Atom], cols: impl Iterator<Item = &'a [Atom]>) -> SubProblem {
+    let max = atoms.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut place = vec![u32::MAX; max];
+    for (i, &a) in atoms.iter().enumerate() {
+        place[a as usize] = i as u32;
+    }
+    let mut out = Vec::new();
+    for col in cols {
+        let mut local: Vec<u32> = col
+            .iter()
+            .filter_map(|&a| {
+                let p = place[a as usize];
+                (p != u32::MAX).then_some(p)
+            })
+            .collect();
+        if local.len() >= 2 {
+            local.sort_unstable();
+            out.push(local);
+        }
+    }
+    SubProblem { n: atoms.len(), cols: out }
+}
+
+/// The recursive Path-Realization procedure. Returns an order of the local
+/// atoms realizing all columns.
+pub(crate) fn realize(
+    sub: &SubProblem,
+    cfg: &Config,
+    stats: &mut SolveStats,
+    depth: usize,
+) -> Result<Vec<u32>, NotC1p> {
+    stats.subproblems += 1;
+    stats.max_depth = stats.max_depth.max(depth);
+    let k = sub.n;
+    // Step 0
+    if k <= 2 {
+        stats.base_cases += 1;
+        return Ok((0..k as u32).collect());
+    }
+    if cfg.pq_base_threshold > 0 && k <= cfg.pq_base_threshold {
+        stats.pq_base_cases += 1;
+        return c1p_pqtree::solve(k, &sub.cols).ok_or(NotC1p);
+    }
+    // Step 2: the divide
+    if let Some(ci) = phase!(T_PARTITION, proper_column(sub)) {
+        stats.case1 += 1;
+        let a1 = sub.cols[ci].clone();
+        split_and_merge(sub, &a1, MergeMode::Linear, cfg, stats, depth)
+    } else {
+        stats.case2 += 1;
+        let t = phase!(T_PARTITION, tucker_transform(sub));
+        let cyclic = match phase!(T_PARTITION, grow_segment(&t)) {
+            Growth::Segment(a1) => split_and_merge(&t, &a1, MergeMode::Cyclic, cfg, stats, depth)?,
+            Growth::Components(comps) => {
+                // trivially decomposes: concatenate independent solutions
+                let mut order = Vec::with_capacity(t.n);
+                for (atoms, col_ids) in comps {
+                    let csub = SubProblem {
+                        n: atoms.len(),
+                        cols: col_ids
+                            .iter()
+                            .map(|&ci| {
+                                let col = &t.cols[ci as usize];
+                                let mut local: Vec<u32> = col
+                                    .iter()
+                                    .map(|&a| {
+                                        atoms.binary_search(&a).expect("column atom in comp")
+                                            as u32
+                                    })
+                                    .collect();
+                                local.sort_unstable();
+                                local
+                            })
+                            .collect(),
+                    };
+                    let local = realize(&csub, cfg, stats, depth + 1)?;
+                    order.extend(local.iter().map(|&i| atoms[i as usize]));
+                }
+                order
+            }
+        };
+        // cut the cycle at r = k (paper Step 7 Case 2)
+        let order = cut_at_r(&cyclic, k);
+        if cfg.paranoid {
+            debug_verify(sub, &order);
+        }
+        Ok(order)
+    }
+}
+
+/// Shared Case-1/Case-2 body: split on `a1`, recurse, align, merge.
+fn split_and_merge(
+    sub: &SubProblem,
+    a1: &[u32],
+    mode: MergeMode,
+    cfg: &Config,
+    stats: &mut SolveStats,
+    depth: usize,
+) -> Result<Vec<u32>, NotC1p> {
+    let data = phase!(T_RECURSE_PREP, prepare_split(sub, a1));
+    let order1 = realize(&data.sub1, cfg, stats, depth + 1)?;
+    let order2 = realize(&data.sub2, cfg, stats, depth + 1)?;
+    combine(&data, &order1, &order2, mode, stats)
+}
+
+/// Everything the combine step needs, precomputed before recursion
+/// (shared between the sequential and the parallel drivers).
+pub(crate) struct SplitData {
+    /// Segment atoms (subproblem-local, sorted).
+    pub a1: Vec<u32>,
+    /// Host atoms.
+    pub a2: Vec<u32>,
+    /// Per-column split + crossing type.
+    pub split_cols: Vec<SplitColumn>,
+    /// Segment subproblem.
+    pub sub1: SubProblem,
+    /// Host subproblem.
+    pub sub2: SubProblem,
+}
+
+/// The divide: split columns across `{A1, A2}` and classify (Step 2 +
+/// Step 4's type identification).
+pub(crate) fn prepare_split(sub: &SubProblem, a1: &[u32]) -> SplitData {
+    let k = sub.n;
+    let mut in_a1 = vec![false; k];
+    for &a in a1 {
+        in_a1[a as usize] = true;
+    }
+    let a2: Vec<u32> = (0..k as u32).filter(|&a| !in_a1[a as usize]).collect();
+    debug_assert!(!a1.is_empty() && !a2.is_empty(), "partition must be proper");
+    let mut split_cols: Vec<SplitColumn> = Vec::with_capacity(sub.cols.len());
+    for col in &sub.cols {
+        let (mut seg_part, mut host_part) = (Vec::new(), Vec::new());
+        for &a in col {
+            if in_a1[a as usize] {
+                seg_part.push(a);
+            } else {
+                host_part.push(a);
+            }
+        }
+        let ty = if host_part.is_empty() || seg_part.is_empty() {
+            CrossType::C
+        } else if seg_part.len() == a1.len() {
+            CrossType::A
+        } else {
+            CrossType::B
+        };
+        split_cols.push(SplitColumn { seg_part, host_part, ty });
+    }
+    let sub1 = project(a1, &split_cols, true);
+    let sub2 = project(&a2, &split_cols, false);
+    SplitData { a1: a1.to_vec(), a2, split_cols, sub1, sub2 }
+}
+
+/// The combine: Steps 3–7 (decompose, align, merge). Each side's alignment
+/// yields a small set of candidate re-arrangements (Section 4's switches);
+/// every pair is checked by the verifying merge.
+pub(crate) fn combine(
+    data: &SplitData,
+    order1: &[u32],
+    order2: &[u32],
+    mode: MergeMode,
+    stats: &mut SolveStats,
+) -> Result<Vec<u32>, NotC1p> {
+    let seg_cands = phase!(T_ALIGN, align_one_side(&data.a1, order1, &data.split_cols, true, stats));
+    let host_cands =
+        phase!(T_ALIGN, align_one_side(&data.a2, order2, &data.split_cols, false, stats));
+    phase!(T_MERGE, {
+        let mut result = Err(NotC1p);
+        'outer: for host in &host_cands {
+            for seg in &seg_cands {
+                if let Ok(m) = merge(seg, host, &data.split_cols, mode) {
+                    result = Ok(m);
+                    break 'outer;
+                }
+            }
+        }
+        result
+    })
+}
+
+/// Step 7, Case 2: cut the merged cycle at the transform atom `r = k`.
+pub(crate) fn cut_at_r(cyclic: &[u32], k: usize) -> Vec<u32> {
+    let rpos = cyclic.iter().position(|&a| a == k as u32).expect("r on the cycle");
+    let mut order = Vec::with_capacity(k);
+    for i in 1..=k {
+        order.push(cyclic[(rpos + i) % (k + 1)]);
+    }
+    order
+}
+
+/// Projects split columns onto one side as a local subproblem.
+fn project(atoms: &[u32], split_cols: &[SplitColumn], seg_side: bool) -> SubProblem {
+    let mut place = vec![u32::MAX; atoms.iter().map(|&a| a as usize + 1).max().unwrap_or(0)];
+    for (i, &a) in atoms.iter().enumerate() {
+        place[a as usize] = i as u32;
+    }
+    let mut cols = Vec::new();
+    for sc in split_cols {
+        let part = if seg_side { &sc.seg_part } else { &sc.host_part };
+        if part.len() >= 2 && part.len() < atoms.len() {
+            let mut local: Vec<u32> = part.iter().map(|&a| place[a as usize]).collect();
+            local.sort_unstable();
+            cols.push(local);
+        }
+    }
+    SubProblem { n: atoms.len(), cols }
+}
+
+/// Steps 3–6 for one side: build the gp-realization's chords from the
+/// returned order, compute the Tutte decomposition, run the alignment, and
+/// compose each candidate back into an order over the side's
+/// (subproblem-local) atoms.
+fn align_one_side(
+    atoms: &[u32],
+    order: &[u32],
+    split_cols: &[SplitColumn],
+    seg_side: bool,
+    stats: &mut SolveStats,
+) -> Vec<Vec<u32>> {
+    let kn = atoms.len();
+    // pos[subproblem-local atom] = position in this side's order
+    let mut pos = vec![u32::MAX; atoms.iter().map(|&a| a as usize + 1).max().unwrap_or(0)];
+    for (i, &x) in order.iter().enumerate() {
+        pos[atoms[x as usize] as usize] = i as u32;
+    }
+    // chords: every column restriction with ≥ 2 atoms (decomposition
+    // fidelity: they pin the polygon re-linkings), plus crossing
+    // restrictions of 1 atom (they must still reach the split vertex).
+    let mut spans: Vec<(u32, u32)> = Vec::new();
+    let mut infos: Vec<ChordInfo> = Vec::new();
+    for sc in split_cols {
+        let part = if seg_side { &sc.seg_part } else { &sc.host_part };
+        if part.is_empty() {
+            continue;
+        }
+        if part.len() == 1 && sc.ty == CrossType::C {
+            continue;
+        }
+        let mut lo = u32::MAX;
+        let mut hi = 0;
+        for &a in part {
+            let p = pos[a as usize];
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        debug_assert_eq!(
+            (hi - lo + 1) as usize,
+            part.len(),
+            "recursive order must realize the restriction"
+        );
+        spans.push((lo, hi + 1));
+        infos.push(ChordInfo { span: (lo, hi + 1), ty: sc.ty });
+    }
+    let needs_alignment = infos.iter().any(|i| i.ty != CrossType::C);
+    if !needs_alignment {
+        // nothing constrains the junction; keep the recursive order
+        return vec![order.iter().map(|&x| atoms[x as usize]).collect()];
+    }
+    let tree = phase!(T_DECOMPOSE, c1p_tutte::decompose(kn, &spans).expect("valid spans"));
+    stats.decompositions += 1;
+    stats.members += tree.n_members();
+    let aligned = if seg_side { align_side1(&tree, &infos) } else { align_side2(&tree, &infos) };
+    let mut out: Vec<Vec<u32>> = Vec::with_capacity(aligned.len());
+    for cand in &aligned {
+        let composed = cand.compose();
+        // composed[i] = original order position at new position i
+        let seq: Vec<u32> =
+            composed.iter().map(|&p| atoms[order[p as usize] as usize]).collect();
+        if !out.contains(&seq) {
+            out.push(seq);
+        }
+    }
+    out
+}
+
+/// Paranoid check: `order` realizes the subproblem.
+fn debug_verify(sub: &SubProblem, order: &[u32]) {
+    let mut pos = vec![u32::MAX; sub.n];
+    for (i, &a) in order.iter().enumerate() {
+        pos[a as usize] = i as u32;
+    }
+    for col in &sub.cols {
+        let mut lo = u32::MAX;
+        let mut hi = 0;
+        for &a in col {
+            lo = lo.min(pos[a as usize]);
+            hi = hi.max(pos[a as usize]);
+        }
+        assert_eq!(
+            (hi - lo + 1) as usize,
+            col.len(),
+            "realization invariant violated for {col:?} in {order:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c1p_matrix::io::fig2_matrix;
+    use c1p_matrix::tucker;
+    use c1p_matrix::verify::brute_force_linear;
+
+    fn ens(n: usize, cols: Vec<Vec<Atom>>) -> Ensemble {
+        Ensemble::from_columns(n, cols).unwrap()
+    }
+
+    #[test]
+    fn trivial_instances() {
+        assert_eq!(solve(&ens(0, vec![])), Some(vec![]));
+        assert_eq!(solve(&ens(1, vec![vec![0]])), Some(vec![0]));
+        assert!(solve(&ens(2, vec![vec![0, 1]])).is_some());
+        assert!(solve(&ens(5, vec![])).is_some());
+    }
+
+    #[test]
+    fn simple_intervals() {
+        let e = ens(5, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4]]);
+        let order = solve(&e).expect("C1P");
+        verify_linear(&e, &order).unwrap();
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let e = ens(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]);
+        assert_eq!(solve(&e), None);
+    }
+
+    #[test]
+    fn fig2_running_example() {
+        let e = fig2_matrix();
+        let order = solve(&e).expect("the paper's Fig. 2 matrix is C1P");
+        verify_linear(&e, &order).unwrap();
+    }
+
+    #[test]
+    fn rejects_all_tucker() {
+        for (name, e) in tucker::small_obstructions() {
+            assert_eq!(solve(&e), None, "{name} must be rejected");
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_small() {
+        // exhaustive 4-atom, 2-column instances
+        for n in [3usize, 4] {
+            let masks = 1usize << n;
+            for c1 in 0..masks {
+                for c2 in 0..masks {
+                    let cols: Vec<Vec<Atom>> = [c1, c2]
+                        .iter()
+                        .map(|&m| (0..n as Atom).filter(|&a| m >> a & 1 == 1).collect())
+                        .collect();
+                    let e = ens(n, cols);
+                    let got = solve(&e).is_some();
+                    let expect = brute_force_linear(&e).is_some();
+                    assert_eq!(got, expect, "mismatch on {:?}", e.to_matrix());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Run instrumentation: the counters behind experiment E8 (recursion
+//! structure) and the PRAM cost accounting of experiment E2.
+
+use c1p_pram::Cost;
+
+/// Counters collected across one solve.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveStats {
+    /// Recursive calls (subproblems realized).
+    pub subproblems: usize,
+    /// Deepest recursion level reached (paper: `O(log n)`).
+    pub max_depth: usize,
+    /// Case-1 divides (proper-size column found).
+    pub case1: usize,
+    /// Case-2 divides (Tucker transform + growth).
+    pub case2: usize,
+    /// `|A| ≤ 2` base cases.
+    pub base_cases: usize,
+    /// Subproblems delegated to the PQ-tree base solver.
+    pub pq_base_cases: usize,
+    /// Tutte decompositions computed (Steps 3/4).
+    pub decompositions: usize,
+    /// Total members across all decompositions.
+    pub members: usize,
+    /// Modelled PRAM cost (filled by the parallel driver).
+    pub cost: Cost,
+}
+
+impl SolveStats {
+    /// Merges another run's counters into this one (parallel driver joins).
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.subproblems += other.subproblems;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.case1 += other.case1;
+        self.case2 += other.case2;
+        self.base_cases += other.base_cases;
+        self.pq_base_cases += other.pq_base_cases;
+        self.decompositions += other.decompositions;
+        self.members += other.members;
+        // costs are composed explicitly by the parallel driver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_and_maxes() {
+        let mut a = SolveStats { subproblems: 2, max_depth: 3, case1: 1, ..Default::default() };
+        let b = SolveStats { subproblems: 5, max_depth: 2, case2: 4, ..Default::default() };
+        a.absorb(&b);
+        assert_eq!(a.subproblems, 7);
+        assert_eq!(a.max_depth, 3);
+        assert_eq!(a.case1, 1);
+        assert_eq!(a.case2, 4);
+    }
+}

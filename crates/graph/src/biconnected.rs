@@ -1,0 +1,130 @@
+//! Biconnected components (blocks): the edge partition into maximal
+//! 2-connected pieces. Proposition 1 of the paper says gp-realizations of
+//! connected ensembles are 2-connected, i.e. consist of a single block —
+//! an invariant our tests assert through this module.
+
+use crate::multigraph::{EdgeId, MultiGraph, VertexId};
+
+/// Partitions the edges into biconnected components (blocks). Bridges form
+/// singleton blocks. Runs iterative Tarjan with an edge stack.
+pub fn biconnected_components(g: &MultiGraph) -> Vec<Vec<EdgeId>> {
+    let n = g.n_vertices();
+    let adj = g.adjacency();
+    let mut disc = vec![0u32; n];
+    let mut low = vec![0u32; n];
+    let mut visited = vec![false; n];
+    let mut timer = 1u32;
+    let mut blocks: Vec<Vec<EdgeId>> = Vec::new();
+    let mut edge_stack: Vec<EdgeId> = Vec::new();
+    let mut edge_seen = vec![false; g.n_edges()];
+    let mut stack: Vec<(VertexId, EdgeId, usize)> = Vec::new();
+    for root in 0..n as VertexId {
+        if visited[root as usize] {
+            continue;
+        }
+        visited[root as usize] = true;
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        stack.push((root, EdgeId::MAX, 0));
+        while !stack.is_empty() {
+            let (v, pe, cursor) = {
+                let top = stack.last_mut().unwrap();
+                let c = top.2;
+                top.2 += 1;
+                (top.0, top.1, c)
+            };
+            if cursor < adj[v as usize].len() {
+                let (w, eid) = adj[v as usize][cursor];
+                if eid == pe {
+                    continue;
+                }
+                if !edge_seen[eid as usize] {
+                    edge_seen[eid as usize] = true;
+                    edge_stack.push(eid);
+                }
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    stack.push((w, eid, 0));
+                } else {
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+            } else {
+                stack.pop();
+                if let Some(top) = stack.last_mut() {
+                    let parent = top.0;
+                    let pe_of_v = pe;
+                    low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                    if low[v as usize] >= disc[parent as usize] {
+                        // v's subtree hangs off an articulation (or root):
+                        // pop the block delimited by the tree edge pe_of_v.
+                        let mut block = Vec::new();
+                        while let Some(&top_edge) = edge_stack.last() {
+                            edge_stack.pop();
+                            block.push(top_edge);
+                            if top_edge == pe_of_v {
+                                break;
+                            }
+                        }
+                        if !block.is_empty() {
+                            blocks.push(block);
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert!(edge_stack.is_empty(), "root pops all remaining edges");
+    }
+    for b in &mut blocks {
+        b.sort_unstable();
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_block_for_biconnected() {
+        let g = MultiGraph::gp_graph(5, &[(1, 3), (2, 4)]);
+        let blocks = biconnected_components(&g);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].len(), g.n_edges());
+    }
+
+    #[test]
+    fn bowtie_splits_into_two_triangles() {
+        let g = MultiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let mut blocks = biconnected_components(&g);
+        blocks.sort();
+        assert_eq!(blocks, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn bridges_are_singletons() {
+        // path of 3 edges
+        let g = MultiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let blocks = biconnected_components(&g);
+        assert_eq!(blocks.len(), 3);
+        assert!(blocks.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn parallel_edges_share_a_block() {
+        let g = MultiGraph::from_edges(3, &[(0, 1), (0, 1), (1, 2)]);
+        let mut blocks = biconnected_components(&g);
+        blocks.sort();
+        assert_eq!(blocks, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn disconnected_graphs_handled() {
+        let g = MultiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let blocks = biconnected_components(&g);
+        assert_eq!(blocks.len(), 2);
+    }
+}

@@ -1,0 +1,218 @@
+//! Cycle spaces over GF(2), used to decide 2-isomorphism.
+//!
+//! Whitney's theorem (the paper's Theorem 1): two 2-connected graphs on the
+//! same edge set have the same set of cycles iff they are 2-isomorphic.
+//! Cycle *sets* coincide exactly when cycle *spaces* (GF(2) spans of the
+//! cycle indicator vectors) coincide — every space element is a disjoint
+//! union of cycles and the cycles are its minimal nonzero elements — so
+//! 2-isomorphism reduces to comparing reduced bases of the two spaces.
+
+use crate::multigraph::{EdgeId, MultiGraph};
+
+/// A reduced (RREF) basis of a subspace of GF(2)^universe; rows are
+/// bitsets over edge labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gf2Basis {
+    universe: usize,
+    words: usize,
+    rows: Vec<Vec<u64>>,
+}
+
+impl Gf2Basis {
+    /// An empty basis over `universe` labels.
+    pub fn new(universe: usize) -> Self {
+        Gf2Basis { universe, words: universe.div_ceil(64).max(1), rows: Vec::new() }
+    }
+
+    /// Dimension of the spanned subspace.
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn leading_bit(row: &[u64]) -> Option<usize> {
+        for (w, &word) in row.iter().enumerate() {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Inserts a vector, reducing against the basis; returns true if it was
+    /// independent (rank grew).
+    pub fn insert(&mut self, mut vec: Vec<u64>) -> bool {
+        assert_eq!(vec.len(), self.words);
+        for row in &self.rows {
+            let lead = Self::leading_bit(row).expect("basis rows are nonzero");
+            if vec[lead / 64] >> (lead % 64) & 1 == 1 {
+                for (a, b) in vec.iter_mut().zip(row) {
+                    *a ^= b;
+                }
+            }
+        }
+        if vec.iter().all(|&w| w == 0) {
+            return false;
+        }
+        // Back-substitute to keep RREF: clear the new leading bit from
+        // existing rows, then insert keeping rows sorted by leading bit.
+        let lead = Self::leading_bit(&vec).unwrap();
+        for row in &mut self.rows {
+            if row[lead / 64] >> (lead % 64) & 1 == 1 {
+                for (a, b) in row.iter_mut().zip(&vec) {
+                    *a ^= b;
+                }
+            }
+        }
+        let pos = self
+            .rows
+            .partition_point(|r| Self::leading_bit(r).unwrap() < lead);
+        self.rows.insert(pos, vec);
+        true
+    }
+
+    /// Is `vec` in the spanned subspace?
+    pub fn contains(&self, mut vec: Vec<u64>) -> bool {
+        assert_eq!(vec.len(), self.words);
+        for row in &self.rows {
+            let lead = Self::leading_bit(row).expect("basis rows are nonzero");
+            if vec[lead / 64] >> (lead % 64) & 1 == 1 {
+                for (a, b) in vec.iter_mut().zip(row) {
+                    *a ^= b;
+                }
+            }
+        }
+        vec.iter().all(|&w| w == 0)
+    }
+}
+
+/// Computes the cycle space of `g` as a reduced basis over `universe` edge
+/// labels, where edge `i` of `g` carries label `labels[i]`.
+///
+/// Uses fundamental cycles of a DFS spanning forest: for each non-tree edge,
+/// the tree path between its endpoints plus the edge itself.
+pub fn cycle_space_with_labels(g: &MultiGraph, labels: &[u32], universe: usize) -> Gf2Basis {
+    assert_eq!(labels.len(), g.n_edges());
+    let n = g.n_vertices();
+    let adj = g.adjacency();
+    let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
+    let mut parent: Vec<u32> = vec![u32::MAX; n];
+    let mut depth = vec![0u32; n];
+    let mut visited = vec![false; n];
+    let mut tree_edge = vec![false; g.n_edges()];
+    let mut order = Vec::with_capacity(n);
+    for root in 0..n as u32 {
+        if visited[root as usize] {
+            continue;
+        }
+        visited[root as usize] = true;
+        let mut stack = vec![root];
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            for &(w, eid) in &adj[v as usize] {
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    parent[w as usize] = v;
+                    parent_edge[w as usize] = Some(eid);
+                    depth[w as usize] = depth[v as usize] + 1;
+                    tree_edge[eid as usize] = true;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    let mut basis = Gf2Basis::new(universe);
+    let words = universe.div_ceil(64).max(1);
+    let set = |vec: &mut Vec<u64>, label: u32| {
+        let b = label as usize;
+        assert!(b < universe, "label out of universe");
+        vec[b / 64] ^= 1 << (b % 64);
+    };
+    for (eid, &(a, b)) in g.edges().iter().enumerate() {
+        if tree_edge[eid] {
+            continue;
+        }
+        let mut vec = vec![0u64; words];
+        set(&mut vec, labels[eid]);
+        let (mut x, mut y) = (a, b);
+        while x != y {
+            if depth[x as usize] < depth[y as usize] {
+                std::mem::swap(&mut x, &mut y);
+            }
+            let pe = parent_edge[x as usize].expect("non-root has a parent edge");
+            set(&mut vec, labels[pe as usize]);
+            x = parent[x as usize];
+        }
+        basis.insert(vec);
+    }
+    basis
+}
+
+/// Cycle space with identity labels (edge `i` ↦ label `i`).
+pub fn cycle_space(g: &MultiGraph) -> Gf2Basis {
+    let labels: Vec<u32> = (0..g.n_edges() as u32).collect();
+    cycle_space_with_labels(g, &labels, g.n_edges())
+}
+
+/// Do two graphs over the same edge-label set have equal cycle spaces?
+/// For 2-connected graphs this decides 2-isomorphism (Whitney / Theorem 1).
+pub fn same_cycle_space(g1: &MultiGraph, g2: &MultiGraph) -> bool {
+    if g1.n_edges() != g2.n_edges() {
+        return false;
+    }
+    cycle_space(g1) == cycle_space(g2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_rank_is_m_minus_n_plus_c() {
+        let g = MultiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        assert_eq!(cycle_space(&g).rank(), 5 - 4 + 1);
+    }
+
+    #[test]
+    fn tree_has_empty_cycle_space() {
+        let g = MultiGraph::from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
+        assert_eq!(cycle_space(&g).rank(), 0);
+    }
+
+    #[test]
+    fn triangle_contains_its_cycle() {
+        let g = MultiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let basis = cycle_space(&g);
+        assert!(basis.contains(vec![0b111]));
+        assert!(!basis.contains(vec![0b011]));
+    }
+
+    #[test]
+    fn relabeling_vertices_preserves_cycle_space() {
+        // same edge ids, different vertex names (an isomorphism fixing edges)
+        let g1 = MultiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let g2 = MultiGraph::from_edges(4, &[(2, 3), (3, 0), (0, 1), (1, 2)]);
+        assert!(same_cycle_space(&g1, &g2));
+    }
+
+    #[test]
+    fn different_structure_differs() {
+        // 4-cycle vs path+parallel: different cycle sets
+        let g1 = MultiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let g2 = MultiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (2, 3)]);
+        assert!(!same_cycle_space(&g1, &g2));
+    }
+
+    #[test]
+    fn parallel_edges_two_cycle() {
+        let g = MultiGraph::from_edges(2, &[(0, 1), (0, 1)]);
+        let basis = cycle_space(&g);
+        assert_eq!(basis.rank(), 1);
+        assert!(basis.contains(vec![0b11]));
+    }
+
+    #[test]
+    fn disconnected_components_independent() {
+        let g = MultiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        assert_eq!(cycle_space(&g).rank(), 2);
+    }
+}

@@ -1,0 +1,23 @@
+//! # c1p-graph: the general graph substrate
+//!
+//! Graph-theoretic foundations for the paper's Section 2: edge-labeled
+//! multigraphs, connectivity and 2-connectivity (Proposition 1), separation
+//! pairs and 2-separations, Whitney switches and 2-isomorphism (Theorem 1),
+//! cycle-space comparison over GF(2), and a **reference Tutte
+//! decomposition** (Section 2.2) computed by naive recursive splitting.
+//!
+//! The reference decomposition is deliberately simple and obviously correct
+//! rather than fast: it exists to differentially validate the specialised
+//! linear-time decomposition in `c1p-tutte` (Cunningham–Edmonds: the Tutte
+//! decomposition is unique, so the two implementations must agree on every
+//! input).
+
+pub mod biconnected;
+pub mod cycle_space;
+pub mod multigraph;
+pub mod separation;
+pub mod tutte_ref;
+pub mod whitney;
+
+pub use multigraph::{EdgeId, MultiGraph, VertexId};
+pub use tutte_ref::{MemberKind, RefDecomposition, RefMember};

@@ -1,0 +1,351 @@
+//! Edge-labeled multigraphs.
+//!
+//! The paper's constructions (gp-realizations, Tutte members) are
+//! multigraphs whose *edges* carry identity (atoms, columns, markers);
+//! vertices are anonymous. Parallel edges are essential (bond members);
+//! self-loops are forbidden.
+
+use std::fmt;
+
+/// Vertex index.
+pub type VertexId = u32;
+/// Edge index (stable: edges are never reordered once added).
+pub type EdgeId = u32;
+
+/// An undirected multigraph with stable edge identifiers.
+#[derive(Clone, PartialEq, Eq)]
+pub struct MultiGraph {
+    n: usize,
+    ends: Vec<(VertexId, VertexId)>,
+}
+
+impl fmt::Debug for MultiGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MultiGraph(n={}, m={}; {:?})", self.n, self.ends.len(), self.ends)
+    }
+}
+
+impl MultiGraph {
+    /// A graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        MultiGraph { n, ends: Vec::new() }
+    }
+
+    /// Builds from an edge list.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut g = MultiGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// The gp-pair graph of the paper's Section 2: a Hamiltonian path on
+    /// `n_atoms` edges (vertices `0..=n_atoms`), the distinguished edge `e`
+    /// joining the path's ends, and one chord per `(lo, hi)` span.
+    ///
+    /// Edge ids: `0..n_atoms` are the path edges (edge `i` joins `i, i+1`),
+    /// `n_atoms` is `e`, and `n_atoms + 1 + j` is chord `j`.
+    pub fn gp_graph(n_atoms: usize, chords: &[(u32, u32)]) -> Self {
+        let mut g = MultiGraph::new(n_atoms + 1);
+        for i in 0..n_atoms as u32 {
+            g.add_edge(i, i + 1);
+        }
+        g.add_edge(0, n_atoms as u32); // e
+        for &(lo, hi) in chords {
+            assert!(lo < hi && (hi as usize) <= n_atoms, "chord out of range");
+            g.add_edge(lo, hi);
+        }
+        g
+    }
+
+    /// Adds an edge, returning its id. Panics on self-loops or out-of-range
+    /// endpoints.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> EdgeId {
+        assert!(u != v, "self-loops are not allowed");
+        assert!((u as usize) < self.n && (v as usize) < self.n, "endpoint out of range");
+        let id = self.ends.len() as EdgeId;
+        self.ends.push((u, v));
+        id
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Endpoints of edge `e`.
+    #[inline]
+    pub fn ends(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.ends[e as usize]
+    }
+
+    /// All endpoint pairs, indexed by edge id.
+    #[inline]
+    pub fn edges(&self) -> &[(VertexId, VertexId)] {
+        &self.ends
+    }
+
+    /// The endpoint of `e` that is not `v` (panics if `v` is not an end).
+    pub fn other_end(&self, e: EdgeId, v: VertexId) -> VertexId {
+        let (a, b) = self.ends(e);
+        if a == v {
+            b
+        } else {
+            assert_eq!(b, v, "vertex is not an endpoint of the edge");
+            a
+        }
+    }
+
+    /// Adjacency lists `(neighbour, edge_id)`, built fresh on each call.
+    pub fn adjacency(&self) -> Vec<Vec<(VertexId, EdgeId)>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for (id, &(u, v)) in self.ends.iter().enumerate() {
+            adj[u as usize].push((v, id as EdgeId));
+            adj[v as usize].push((u, id as EdgeId));
+        }
+        adj
+    }
+
+    /// Vertex degrees (parallel edges counted with multiplicity).
+    pub fn degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.n];
+        for &(u, v) in &self.ends {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        deg
+    }
+
+    /// Connected-component label per vertex plus the component count.
+    /// Isolated vertices form their own components.
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let adj = self.adjacency();
+        let mut comp = vec![u32::MAX; self.n];
+        let mut count = 0;
+        let mut stack = Vec::new();
+        for s in 0..self.n {
+            if comp[s] != u32::MAX {
+                continue;
+            }
+            comp[s] = count as u32;
+            stack.push(s as VertexId);
+            while let Some(v) = stack.pop() {
+                for &(w, _) in &adj[v as usize] {
+                    if comp[w as usize] == u32::MAX {
+                        comp[w as usize] = count as u32;
+                        stack.push(w);
+                    }
+                }
+            }
+            count += 1;
+        }
+        (comp, count)
+    }
+
+    /// Is the graph connected? (Vacuously true for ≤ 1 vertex.)
+    pub fn is_connected(&self) -> bool {
+        self.components().1 <= 1
+    }
+
+    /// Cut vertices (articulation points), via iterative Tarjan low-points.
+    /// Parallel edges are handled correctly: only the specific tree edge to
+    /// the parent is skipped, so a doubled edge never creates a spurious cut.
+    pub fn cut_vertices(&self) -> Vec<VertexId> {
+        let adj = self.adjacency();
+        let n = self.n;
+        let mut disc = vec![0u32; n];
+        let mut low = vec![0u32; n];
+        let mut visited = vec![false; n];
+        let mut is_cut = vec![false; n];
+        let mut timer = 1u32;
+        // Explicit DFS stack: (vertex, parent_edge, adjacency cursor).
+        let mut stack: Vec<(VertexId, EdgeId, usize)> = Vec::new();
+        for root in 0..n as VertexId {
+            if visited[root as usize] {
+                continue;
+            }
+            visited[root as usize] = true;
+            disc[root as usize] = timer;
+            low[root as usize] = timer;
+            timer += 1;
+            let mut root_children = 0;
+            stack.push((root, EdgeId::MAX, 0));
+            while let Some(&mut (v, pe, ref mut cursor)) = stack.last_mut() {
+                if *cursor < adj[v as usize].len() {
+                    let (w, eid) = adj[v as usize][*cursor];
+                    *cursor += 1;
+                    if eid == pe {
+                        continue;
+                    }
+                    if !visited[w as usize] {
+                        visited[w as usize] = true;
+                        disc[w as usize] = timer;
+                        low[w as usize] = timer;
+                        timer += 1;
+                        if v == root {
+                            root_children += 1;
+                        }
+                        stack.push((w, eid, 0));
+                    } else {
+                        low[v as usize] = low[v as usize].min(disc[w as usize]);
+                    }
+                } else {
+                    stack.pop();
+                    if let Some(&(parent, _, _)) = stack.last() {
+                        low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                        if parent != root && low[v as usize] >= disc[parent as usize] {
+                            is_cut[parent as usize] = true;
+                        }
+                    }
+                }
+            }
+            if root_children >= 2 {
+                is_cut[root as usize] = true;
+            }
+        }
+        (0..n as VertexId).filter(|&v| is_cut[v as usize]).collect()
+    }
+
+    /// Is the graph 2-connected in the paper's sense (Section 2.1: connected
+    /// with no cut vertex)? Requires ≥ 2 edges so bonds qualify; a single
+    /// edge or a lone vertex does not.
+    pub fn is_biconnected(&self) -> bool {
+        self.n >= 2 && self.n_edges() >= 2 && self.is_connected() && self.cut_vertices().is_empty()
+    }
+
+    /// The subgraph induced by an edge set: vertices are renumbered
+    /// compactly; returns (subgraph, vertex_map old→new).
+    pub fn edge_subgraph(&self, edge_ids: &[EdgeId]) -> (MultiGraph, Vec<VertexId>) {
+        let mut map = vec![VertexId::MAX; self.n];
+        let mut next = 0;
+        let mut ends = Vec::with_capacity(edge_ids.len());
+        for &e in edge_ids {
+            let (u, v) = self.ends(e);
+            for x in [u, v] {
+                if map[x as usize] == VertexId::MAX {
+                    map[x as usize] = next;
+                    next += 1;
+                }
+            }
+            ends.push((map[u as usize], map[v as usize]));
+        }
+        let mut g = MultiGraph::new(next as usize);
+        for (u, v) in ends {
+            g.add_edge(u, v);
+        }
+        (g, map)
+    }
+
+    /// True iff the graph is a *bond*: exactly two vertices, ≥ 2 parallel
+    /// edges, connected and loopless (the paper's Section 2.2).
+    pub fn is_bond(&self) -> bool {
+        self.n == 2 && self.n_edges() >= 2
+    }
+
+    /// True iff the graph is a *polygon*: a single cycle with ≥ 3 edges.
+    pub fn is_polygon(&self) -> bool {
+        self.n >= 3
+            && self.n_edges() == self.n
+            && self.is_connected()
+            && self.degrees().iter().all(|&d| d == 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_construction() {
+        let g = MultiGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2), (0, 1)]);
+        assert_eq!(g.n_edges(), 4);
+        assert_eq!(g.ends(3), (0, 1));
+        assert_eq!(g.other_end(1, 2), 1);
+        assert_eq!(g.degrees(), vec![3, 3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loops() {
+        MultiGraph::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let g = MultiGraph::from_edges(5, &[(0, 1), (2, 3)]);
+        let (comp, count) = g.components();
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert!(!g.is_connected());
+        assert!(MultiGraph::from_edges(1, &[]).is_connected());
+    }
+
+    #[test]
+    fn cut_vertices_path_and_cycle() {
+        // path 0-1-2-3: cuts are 1, 2
+        let p = MultiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(p.cut_vertices(), vec![1, 2]);
+        // cycle: no cuts
+        let c = MultiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(c.cut_vertices().is_empty());
+        assert!(c.is_biconnected());
+    }
+
+    #[test]
+    fn parallel_edges_make_biconnected() {
+        // two vertices with a doubled edge: biconnected (a bond)
+        let b = MultiGraph::from_edges(2, &[(0, 1), (0, 1)]);
+        assert!(b.is_biconnected());
+        assert!(b.is_bond());
+        // single edge: not biconnected, not a bond
+        let s = MultiGraph::from_edges(2, &[(0, 1)]);
+        assert!(!s.is_biconnected());
+        assert!(!s.is_bond());
+    }
+
+    #[test]
+    fn bowtie_has_cut_vertex() {
+        // two triangles sharing vertex 2
+        let g = MultiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        assert_eq!(g.cut_vertices(), vec![2]);
+        assert!(!g.is_biconnected());
+    }
+
+    #[test]
+    fn polygon_recognition() {
+        assert!(MultiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).is_polygon());
+        assert!(!MultiGraph::from_edges(2, &[(0, 1), (0, 1)]).is_polygon());
+        // theta graph is not a polygon
+        assert!(!MultiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0), (0, 2)]).is_polygon());
+    }
+
+    #[test]
+    fn gp_graph_layout() {
+        let g = MultiGraph::gp_graph(4, &[(1, 3)]);
+        assert_eq!(g.n_vertices(), 5);
+        assert_eq!(g.n_edges(), 6); // 4 path + e + 1 chord
+        assert_eq!(g.ends(4), (0, 4)); // e
+        assert_eq!(g.ends(5), (1, 3)); // chord
+        assert!(g.is_biconnected());
+    }
+
+    #[test]
+    fn edge_subgraph_renumbers() {
+        let g = MultiGraph::from_edges(5, &[(0, 1), (1, 4), (4, 0), (2, 3)]);
+        let (sub, map) = g.edge_subgraph(&[0, 1, 2]);
+        assert_eq!(sub.n_vertices(), 3);
+        assert_eq!(sub.n_edges(), 3);
+        assert!(sub.is_polygon());
+        assert_eq!(map[2], VertexId::MAX);
+    }
+}

@@ -1,0 +1,229 @@
+//! 2-separations and separation pairs (paper Section 2.1).
+//!
+//! A *2-separation* of a 2-connected graph `G` is a partition `{E1, E2}` of
+//! the edges with `|E1|, |E2| ≥ 2` whose edge-induced subgraphs share exactly
+//! two vertices. A 2-connected graph with no 2-separation is *3-connected*.
+//!
+//! Everything here is brute force (`O(n·m)` per pair enumeration) — this is
+//! the reference layer used to validate the fast decomposition, and to
+//! decide member types in `tutte_ref`.
+
+use crate::multigraph::{EdgeId, MultiGraph, VertexId};
+
+/// The *separation classes* of `G` with respect to the vertex pair
+/// `{u, v}`: edges grouped by the component of `G − {u, v}` they touch;
+/// every edge joining `u` and `v` directly forms its own singleton class.
+/// (These are Hopcroft–Tarjan's separation classes.)
+pub fn separation_classes(g: &MultiGraph, u: VertexId, v: VertexId) -> Vec<Vec<EdgeId>> {
+    let n = g.n_vertices();
+    // Label components of G - {u, v} with a DFS that never enters u or v.
+    let adj = g.adjacency();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut stack = Vec::new();
+    for s in 0..n as VertexId {
+        if s == u || s == v || comp[s as usize] != u32::MAX {
+            continue;
+        }
+        comp[s as usize] = count;
+        stack.push(s);
+        while let Some(x) = stack.pop() {
+            for &(w, _) in &adj[x as usize] {
+                if w != u && w != v && comp[w as usize] == u32::MAX {
+                    comp[w as usize] = count;
+                    stack.push(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    let mut classes: Vec<Vec<EdgeId>> = vec![Vec::new(); count as usize];
+    for (id, &(a, b)) in g.edges().iter().enumerate() {
+        let inner = if a != u && a != v {
+            Some(a)
+        } else if b != u && b != v {
+            Some(b)
+        } else {
+            None
+        };
+        match inner {
+            Some(x) => classes[comp[x as usize] as usize].push(id as EdgeId),
+            None => classes.push(vec![id as EdgeId]), // direct u-v edge
+        }
+    }
+    classes.retain(|c| !c.is_empty());
+    classes
+}
+
+/// A valid 2-separation grouping of the separation classes of `{u, v}`,
+/// if one exists: returns `(E1, E2)` with both sides ≥ 2 edges.
+///
+/// Validity: with `k` classes, a grouping exists iff `k == 2` and both
+/// classes have ≥ 2 edges, or `k ≥ 3` and either some class has ≥ 2 edges
+/// (that class vs the rest) or `k ≥ 4` (two singletons vs the rest).
+pub fn two_separation_at(
+    g: &MultiGraph,
+    u: VertexId,
+    v: VertexId,
+) -> Option<(Vec<EdgeId>, Vec<EdgeId>)> {
+    let classes = separation_classes(g, u, v);
+    let k = classes.len();
+    if k < 2 {
+        return None;
+    }
+    let flat = |ix: &[usize]| -> Vec<EdgeId> {
+        let mut out = Vec::new();
+        for &i in ix {
+            out.extend_from_slice(&classes[i]);
+        }
+        out
+    };
+    if k == 2 {
+        if classes[0].len() >= 2 && classes[1].len() >= 2 {
+            return Some((flat(&[0]), flat(&[1])));
+        }
+        return None;
+    }
+    // k >= 3: prefer isolating a big class.
+    if let Some(big) = (0..k).find(|&i| classes[i].len() >= 2) {
+        let rest: Vec<usize> = (0..k).filter(|&i| i != big).collect();
+        return Some((flat(&[big]), flat(&rest)));
+    }
+    // all singletons
+    if k >= 4 {
+        let rest: Vec<usize> = (2..k).collect();
+        return Some((flat(&[0, 1]), flat(&rest)));
+    }
+    None
+}
+
+/// All separation pairs of a 2-connected graph: vertex pairs admitting a
+/// valid 2-separation. Brute force over all pairs.
+pub fn separation_pairs(g: &MultiGraph) -> Vec<(VertexId, VertexId)> {
+    let n = g.n_vertices() as VertexId;
+    let mut out = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            if two_separation_at(g, u, v).is_some() {
+                out.push((u, v));
+            }
+        }
+    }
+    out
+}
+
+/// Finds one 2-separation of `g`, if any.
+pub fn find_two_separation(
+    g: &MultiGraph,
+) -> Option<(VertexId, VertexId, Vec<EdgeId>, Vec<EdgeId>)> {
+    let n = g.n_vertices() as VertexId;
+    for u in 0..n {
+        for v in u + 1..n {
+            if let Some((e1, e2)) = two_separation_at(g, u, v) {
+                return Some((u, v, e1, e2));
+            }
+        }
+    }
+    None
+}
+
+/// Is `g` 3-connected in the decomposition sense: a simple 2-connected
+/// graph on ≥ 4 vertices with no 2-separation?
+pub fn is_triconnected(g: &MultiGraph) -> bool {
+    if g.n_vertices() < 4 || !g.is_biconnected() {
+        return false;
+    }
+    // simplicity
+    let mut seen = std::collections::HashSet::new();
+    for &(a, b) in g.edges() {
+        if !seen.insert((a.min(b), a.max(b))) {
+            return false;
+        }
+    }
+    find_two_separation(g).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_of_a_theta_graph() {
+        // theta: 0-1 via three internally disjoint paths
+        let g = MultiGraph::from_edges(4, &[(0, 2), (2, 1), (0, 3), (3, 1), (0, 1)]);
+        let classes = separation_classes(&g, 0, 1);
+        assert_eq!(classes.len(), 3);
+        let mut sizes: Vec<usize> = classes.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn cycle_separation_pairs() {
+        // On a 4-cycle every opposite pair separates, and adjacent pairs too
+        // (both arcs have ≥2 edges only for opposite pairs).
+        let g = MultiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let pairs = separation_pairs(&g);
+        assert_eq!(pairs, vec![(0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn triangle_has_no_two_separation() {
+        let g = MultiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(find_two_separation(&g).is_none());
+        // but a triangle is not "3-connected" in the member sense (n < 4):
+        assert!(!is_triconnected(&g));
+    }
+
+    #[test]
+    fn k4_is_triconnected() {
+        let g = MultiGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert!(is_triconnected(&g));
+        assert!(separation_pairs(&g).is_empty());
+    }
+
+    #[test]
+    fn wheel5_is_triconnected() {
+        // hub 0, rim 1-2-3-4
+        let g = MultiGraph::from_edges(
+            5,
+            &[(1, 2), (2, 3), (3, 4), (4, 1), (0, 1), (0, 2), (0, 3), (0, 4)],
+        );
+        assert!(is_triconnected(&g));
+    }
+
+    #[test]
+    fn bond3_has_no_separation() {
+        let g = MultiGraph::from_edges(2, &[(0, 1), (0, 1), (0, 1)]);
+        assert!(find_two_separation(&g).is_none());
+        assert!(!is_triconnected(&g)); // bonds are their own member type
+    }
+
+    #[test]
+    fn bond4_separates() {
+        let g = MultiGraph::from_edges(2, &[(0, 1), (0, 1), (0, 1), (0, 1)]);
+        let (u, v, e1, e2) = find_two_separation(&g).unwrap();
+        assert_eq!((u, v), (0, 1));
+        assert_eq!(e1.len(), 2);
+        assert_eq!(e2.len(), 2);
+    }
+
+    #[test]
+    fn two_triangles_sharing_an_edge() {
+        // vertices 0,1 shared; triangles 0-1-2, 0-1-3, edge 0-1 once
+        let g = MultiGraph::from_edges(4, &[(0, 1), (0, 2), (2, 1), (0, 3), (3, 1)]);
+        let pairs = separation_pairs(&g);
+        assert_eq!(pairs, vec![(0, 1)]);
+        let (e1, e2) = two_separation_at(&g, 0, 1).unwrap();
+        assert!(e1.len() >= 2 && e2.len() >= 2);
+        assert_eq!(e1.len() + e2.len(), 5);
+    }
+
+    #[test]
+    fn gp_graph_with_nested_chords() {
+        // path 0..6 + e + chords (1,3) and (2,4) interlace: K4-ish core
+        let g = MultiGraph::gp_graph(6, &[(1, 3), (2, 4)]);
+        assert!(!separation_pairs(&g).is_empty());
+        assert!(!is_triconnected(&g));
+    }
+}

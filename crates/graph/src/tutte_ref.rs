@@ -1,0 +1,490 @@
+//! Reference Tutte decomposition by naive recursive splitting
+//! (paper Section 2.2; Tutte [20], Cunningham–Edmonds [8]).
+//!
+//! The decomposition of a 2-connected graph is built exactly as the paper
+//! defines it: while some member has a 2-separation, replace it by the two
+//! sides of a simple decomposition with a fresh pair of *marker edges*;
+//! finally merge any two bonds or two polygons sharing a marker. The result
+//! is the unique set of bonds, polygons and 3-connected members.
+//!
+//! This implementation optimizes nothing — it enumerates vertex pairs to
+//! find 2-separations (`O(n²·m)` per split) — and exists as ground truth
+//! for differential tests against the specialised decomposition in
+//! `c1p-tutte`. Use it on small graphs only.
+
+use crate::multigraph::{EdgeId, MultiGraph, VertexId};
+use crate::separation::{find_two_separation, is_triconnected};
+
+/// Member type in a Tutte decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemberKind {
+    /// Two vertices joined by ≥ 3 parallel edges.
+    Bond,
+    /// A cycle of ≥ 3 edges.
+    Polygon,
+    /// A simple 3-connected graph on ≥ 4 vertices.
+    Rigid,
+}
+
+/// An edge of a member: either a real edge of the original graph or a
+/// marker shared with exactly one other member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Element {
+    /// Original edge id.
+    Real(EdgeId),
+    /// Marker id; the same id appears in exactly two members.
+    Marker(u32),
+}
+
+/// One member of the decomposition: a small multigraph whose edge `i`
+/// carries label `elements[i]`.
+#[derive(Debug, Clone)]
+pub struct RefMember {
+    /// Bond / polygon / rigid classification.
+    pub kind: MemberKind,
+    /// The member graph (compact vertex numbering).
+    pub graph: MultiGraph,
+    /// Edge labels aligned with `graph` edge ids.
+    pub elements: Vec<Element>,
+}
+
+impl RefMember {
+    /// Sorted list of the real (original) edges in this member.
+    pub fn real_edges(&self) -> Vec<EdgeId> {
+        let mut v: Vec<EdgeId> = self
+            .elements
+            .iter()
+            .filter_map(|e| match e {
+                Element::Real(id) => Some(*id),
+                Element::Marker(_) => None,
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Sorted list of marker ids in this member.
+    pub fn markers(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .elements
+            .iter()
+            .filter_map(|e| match e {
+                Element::Marker(id) => Some(*id),
+                Element::Real(_) => None,
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// A full reference Tutte decomposition.
+#[derive(Debug, Clone)]
+pub struct RefDecomposition {
+    /// The members (bonds, polygons, rigids).
+    pub members: Vec<RefMember>,
+    /// Number of edges of the decomposed graph.
+    pub n_original_edges: usize,
+}
+
+impl RefDecomposition {
+    /// Canonical signatures for cross-implementation comparison: the sorted
+    /// multiset of `(kind, sorted real edge ids)` per member.
+    pub fn signatures(&self) -> Vec<(MemberKind, Vec<EdgeId>)> {
+        let mut sigs: Vec<(MemberKind, Vec<EdgeId>)> =
+            self.members.iter().map(|m| (m.kind, m.real_edges())).collect();
+        sigs.sort();
+        sigs
+    }
+
+    /// Adjacency signatures: for each marker, the unordered pair of member
+    /// real-edge sets it joins. Together with [`Self::signatures`] this pins
+    /// down the decomposition tree on all but pathological inputs.
+    pub fn adjacency_signatures(&self) -> Vec<(Vec<EdgeId>, Vec<EdgeId>)> {
+        use std::collections::HashMap;
+        let mut by_marker: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (mi, m) in self.members.iter().enumerate() {
+            for mk in m.markers() {
+                by_marker.entry(mk).or_default().push(mi);
+            }
+        }
+        let mut out = Vec::new();
+        for (_, mems) in by_marker {
+            assert_eq!(mems.len(), 2, "every marker joins exactly two members");
+            let mut a = self.members[mems[0]].real_edges();
+            let mut b = self.members[mems[1]].real_edges();
+            if b < a {
+                std::mem::swap(&mut a, &mut b);
+            }
+            out.push((a, b));
+        }
+        out.sort();
+        out
+    }
+
+    /// Re-composes the decomposition into a single graph `m(𝒟)` over the
+    /// original edge ids (marker orientations chosen arbitrarily, so the
+    /// result is determined up to 2-isomorphism — per Cunningham–Edmonds it
+    /// then has the same cycle space as the decomposed graph).
+    pub fn compose(&self) -> (MultiGraph, Vec<EdgeId>) {
+        // Work on a soup of (u, v, element) with globally renumbered
+        // vertices, merging one marker at a time.
+        #[derive(Clone)]
+        struct Piece {
+            edges: Vec<(u32, u32, Element)>,
+        }
+        let mut next_vertex = 0u32;
+        let mut pieces: Vec<Piece> = Vec::new();
+        for m in &self.members {
+            let base = next_vertex;
+            next_vertex += m.graph.n_vertices() as u32;
+            let edges = m
+                .graph
+                .edges()
+                .iter()
+                .zip(&m.elements)
+                .map(|(&(u, v), &el)| (base + u, base + v, el))
+                .collect();
+            pieces.push(Piece { edges });
+        }
+        // Union-find over vertices for the identifications.
+        let mut parent: Vec<u32> = (0..next_vertex).collect();
+        fn find(parent: &mut Vec<u32>, x: u32) -> u32 {
+            let mut r = x;
+            while parent[r as usize] != r {
+                r = parent[r as usize];
+            }
+            let mut c = x;
+            while parent[c as usize] != r {
+                let nxt = parent[c as usize];
+                parent[c as usize] = r;
+                c = nxt;
+            }
+            r
+        }
+        // Find each marker's two occurrences and identify endpoints.
+        use std::collections::HashMap;
+        let mut occurrences: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
+        for p in &pieces {
+            for &(u, v, el) in &p.edges {
+                if let Element::Marker(id) = el {
+                    occurrences.entry(id).or_default().push((u, v));
+                }
+            }
+        }
+        for (_, occ) in occurrences {
+            assert_eq!(occ.len(), 2, "marker must occur exactly twice");
+            let (a1, b1) = occ[0];
+            let (a2, b2) = occ[1];
+            // arbitrary orientation: a1~a2, b1~b2
+            let ra = find(&mut parent, a1);
+            let rb = find(&mut parent, a2);
+            parent[ra as usize] = rb;
+            let ra = find(&mut parent, b1);
+            let rb = find(&mut parent, b2);
+            parent[ra as usize] = rb;
+        }
+        // Collect real edges with identified endpoints.
+        let mut label_of: Vec<(u32, u32, EdgeId)> = Vec::new();
+        for p in &pieces {
+            for &(u, v, el) in &p.edges {
+                if let Element::Real(id) = el {
+                    label_of.push((find(&mut parent, u), find(&mut parent, v), id));
+                }
+            }
+        }
+        // compact vertices
+        let mut map: HashMap<u32, u32> = HashMap::new();
+        for &(u, v, _) in &label_of {
+            let next = map.len() as u32;
+            map.entry(u).or_insert(next);
+            let next = map.len() as u32;
+            map.entry(v).or_insert(next);
+        }
+        let mut g = MultiGraph::new(map.len());
+        label_of.sort_by_key(|&(_, _, id)| id);
+        let mut labels = Vec::with_capacity(label_of.len());
+        for &(u, v, id) in &label_of {
+            g.add_edge(map[&u], map[&v]);
+            labels.push(id);
+        }
+        (g, labels)
+    }
+}
+
+/// Computes the reference Tutte decomposition of a 2-connected graph.
+///
+/// Panics if `g` is not 2-connected (the paper only defines the
+/// decomposition there) or has < 3 edges.
+pub fn decompose(g: &MultiGraph) -> RefDecomposition {
+    assert!(g.is_biconnected(), "Tutte decomposition requires a 2-connected graph");
+    assert!(g.n_edges() >= 3, "need at least 3 edges");
+    let elements: Vec<Element> = (0..g.n_edges() as u32).map(Element::Real).collect();
+    let mut next_marker = 0u32;
+    let mut members = Vec::new();
+    split_recursive(g.clone(), elements, &mut next_marker, &mut members);
+    merge_same_kind(&mut members);
+    RefDecomposition { members, n_original_edges: g.n_edges() }
+}
+
+fn classify(g: &MultiGraph) -> Option<MemberKind> {
+    if g.is_bond() {
+        Some(MemberKind::Bond)
+    } else if g.is_polygon() {
+        Some(MemberKind::Polygon)
+    } else if is_triconnected(g) {
+        Some(MemberKind::Rigid)
+    } else {
+        None
+    }
+}
+
+fn split_recursive(
+    g: MultiGraph,
+    elements: Vec<Element>,
+    next_marker: &mut u32,
+    out: &mut Vec<RefMember>,
+) {
+    if let Some(kind) = classify(&g) {
+        out.push(RefMember { kind, graph: g, elements });
+        return;
+    }
+    let (u, v, e1, e2) =
+        find_two_separation(&g).expect("a non-bond/polygon/rigid 2-connected graph splits");
+    let marker = *next_marker;
+    *next_marker += 1;
+    for side in [e1, e2] {
+        let (mut sub, vmap) = g.edge_subgraph(&side);
+        let mut els: Vec<Element> = side.iter().map(|&e| elements[e as usize]).collect();
+        // add the marker edge between the images of u and v
+        let (mut mu, mut mv) = (vmap[u as usize], vmap[v as usize]);
+        if mu == VertexId::MAX || mv == VertexId::MAX {
+            // the side might not touch u or v compactly if... cannot happen:
+            // every separation class attaches to both u and v in a
+            // 2-connected graph.
+            unreachable!("both separation vertices appear on each side");
+        }
+        if mu > mv {
+            std::mem::swap(&mut mu, &mut mv);
+        }
+        sub.add_edge(mu, mv);
+        els.push(Element::Marker(marker));
+        split_recursive(sub, els, next_marker, out);
+    }
+}
+
+/// Merges pairs of bonds / pairs of polygons sharing a marker until none
+/// remain (the final clean-up in the paper's definition).
+fn merge_same_kind(members: &mut Vec<RefMember>) {
+    loop {
+        // find a marker shared by two members of equal mergeable kind
+        let mut found: Option<(usize, usize, u32)> = None;
+        'outer: for i in 0..members.len() {
+            if members[i].kind == MemberKind::Rigid {
+                continue;
+            }
+            for mk in members[i].markers() {
+                for (j, other) in members.iter().enumerate() {
+                    if j != i && other.kind == members[i].kind && other.markers().contains(&mk) {
+                        found = Some((i.min(j), i.max(j), mk));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let Some((i, j, mk)) = found else { break };
+        let b = members.remove(j);
+        let a = members.remove(i);
+        members.push(merge_pair(a, b, mk));
+    }
+}
+
+/// Merges two members of the same kind at marker `mk`: delete both copies of
+/// the marker edge and identify its endpoints pairwise.
+fn merge_pair(a: RefMember, b: RefMember, mk: u32) -> RefMember {
+    let kind = a.kind;
+    let find_marker = |m: &RefMember| -> usize {
+        m.elements
+            .iter()
+            .position(|e| *e == Element::Marker(mk))
+            .expect("marker present")
+    };
+    let ea = find_marker(&a);
+    let eb = find_marker(&b);
+    let (ua, va) = a.graph.ends(ea as EdgeId);
+    let (ub, vb) = b.graph.ends(eb as EdgeId);
+    // b's vertices get offset; then ub ↦ ua, vb ↦ va (orientation arbitrary —
+    // for bonds and polygons both orientations give the same member type).
+    let offset = a.graph.n_vertices() as u32;
+    let mut soup: Vec<(u32, u32, Element)> = Vec::new();
+    for (id, &(x, y)) in a.graph.edges().iter().enumerate() {
+        if id != ea {
+            soup.push((x, y, a.elements[id]));
+        }
+    }
+    let remap = |x: u32| {
+        if x == ub {
+            ua
+        } else if x == vb {
+            va
+        } else {
+            x + offset
+        }
+    };
+    for (id, &(x, y)) in b.graph.edges().iter().enumerate() {
+        if id != eb {
+            soup.push((remap(x), remap(y), b.elements[id]));
+        }
+    }
+    // compact vertices
+    let mut map = std::collections::HashMap::new();
+    for &(x, y, _) in &soup {
+        let next = map.len() as u32;
+        map.entry(x).or_insert(next);
+        let next = map.len() as u32;
+        map.entry(y).or_insert(next);
+    }
+    let mut graph = MultiGraph::new(map.len());
+    let mut elements = Vec::with_capacity(soup.len());
+    for &(x, y, el) in &soup {
+        graph.add_edge(map[&x], map[&y]);
+        elements.push(el);
+    }
+    debug_assert!(classify(&graph) == Some(kind), "merged member keeps its kind");
+    RefMember { kind, graph, elements }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle_space::{cycle_space, cycle_space_with_labels};
+
+    fn check_invariants(g: &MultiGraph, dec: &RefDecomposition) {
+        // every real edge in exactly one member
+        let mut seen = vec![0u32; g.n_edges()];
+        for m in &dec.members {
+            for e in m.real_edges() {
+                seen[e as usize] += 1;
+            }
+            match m.kind {
+                MemberKind::Bond => {
+                    assert!(m.graph.is_bond() && m.graph.n_edges() >= 3);
+                }
+                MemberKind::Polygon => assert!(m.graph.is_polygon()),
+                MemberKind::Rigid => assert!(is_triconnected(&m.graph)),
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "edge partition violated: {seen:?}");
+        // no two bonds or two polygons share a marker
+        for (i, a) in dec.members.iter().enumerate() {
+            for b in dec.members.iter().skip(i + 1) {
+                if a.kind == b.kind && a.kind != MemberKind::Rigid {
+                    let ma = a.markers();
+                    assert!(
+                        !b.markers().iter().any(|mk| ma.contains(mk)),
+                        "same-kind members share a marker"
+                    );
+                }
+            }
+        }
+        // composition is 2-isomorphic to the original (same cycle space)
+        let (comp, labels) = dec.compose();
+        assert_eq!(comp.n_edges(), g.n_edges());
+        let b1 = cycle_space(g);
+        let labels32: Vec<u32> = labels.iter().copied().collect();
+        let b2 = cycle_space_with_labels(&comp, &labels32, g.n_edges());
+        assert_eq!(b1, b2, "composition must be 2-isomorphic to the input");
+    }
+
+    #[test]
+    fn cycle_is_one_polygon() {
+        let g = MultiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let dec = decompose(&g);
+        assert_eq!(dec.members.len(), 1);
+        assert_eq!(dec.members[0].kind, MemberKind::Polygon);
+        check_invariants(&g, &dec);
+    }
+
+    #[test]
+    fn bond_is_one_bond() {
+        let g = MultiGraph::from_edges(2, &[(0, 1), (0, 1), (0, 1), (0, 1)]);
+        let dec = decompose(&g);
+        assert_eq!(dec.members.len(), 1);
+        assert_eq!(dec.members[0].kind, MemberKind::Bond);
+        check_invariants(&g, &dec);
+    }
+
+    #[test]
+    fn k4_is_one_rigid() {
+        let g = MultiGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let dec = decompose(&g);
+        assert_eq!(dec.members.len(), 1);
+        assert_eq!(dec.members[0].kind, MemberKind::Rigid);
+        check_invariants(&g, &dec);
+    }
+
+    #[test]
+    fn theta_decomposes_into_bond_and_polygons() {
+        // 0-1 direct edge + two 2-edge paths: bond of 3 + two triangles...
+        // actually: polygons {path1+marker}, {path2+marker}, bond{e, m1, m2}
+        let g = MultiGraph::from_edges(4, &[(0, 2), (2, 1), (0, 3), (3, 1), (0, 1)]);
+        let dec = decompose(&g);
+        check_invariants(&g, &dec);
+        let mut kinds: Vec<MemberKind> = dec.members.iter().map(|m| m.kind).collect();
+        kinds.sort();
+        assert_eq!(kinds, vec![MemberKind::Bond, MemberKind::Polygon, MemberKind::Polygon]);
+    }
+
+    #[test]
+    fn single_chord_cycle() {
+        // the paper's simplest example: cycle + one chord = bond + 2 polygons
+        let g = MultiGraph::gp_graph(4, &[(1, 3)]);
+        let dec = decompose(&g);
+        check_invariants(&g, &dec);
+        let sigs = dec.signatures();
+        // bond member holds only the chord (edge 5); polygons hold the arcs.
+        assert!(sigs.iter().any(|(k, re)| *k == MemberKind::Bond && re == &vec![5]));
+    }
+
+    #[test]
+    fn interlacing_chords_make_a_rigid() {
+        // cycle 0..5 + e + chords (1,3),(2,4): chords interlace -> rigid core
+        let g = MultiGraph::gp_graph(5, &[(1, 3), (2, 4)]);
+        let dec = decompose(&g);
+        check_invariants(&g, &dec);
+        assert!(dec.members.iter().any(|m| m.kind == MemberKind::Rigid));
+    }
+
+    #[test]
+    fn nested_chords_make_polygon_chain() {
+        let g = MultiGraph::gp_graph(8, &[(1, 6), (2, 5), (3, 4)]);
+        let dec = decompose(&g);
+        check_invariants(&g, &dec);
+        assert!(dec.members.iter().all(|m| m.kind != MemberKind::Rigid));
+    }
+
+    #[test]
+    fn wheel_plus_pendant_triangle() {
+        // wheel (rigid) with a triangle glued on one rim edge via 2-separation
+        let mut g = MultiGraph::from_edges(
+            5,
+            &[(1, 2), (2, 3), (3, 4), (4, 1), (0, 1), (0, 2), (0, 3), (0, 4)],
+        );
+        let v5 = 5;
+        let mut g2 = MultiGraph::new(6);
+        for &(a, b) in g.edges() {
+            g2.add_edge(a, b);
+        }
+        g2.add_edge(1, v5);
+        g2.add_edge(v5, 2);
+        g = g2;
+        let dec = decompose(&g);
+        check_invariants(&g, &dec);
+        let mut kinds: Vec<MemberKind> = dec.members.iter().map(|m| m.kind).collect();
+        kinds.sort();
+        // rim edge (1,2) + triangle (1,5,2) across pair {1,2}:
+        // rigid wheel, a triangle polygon, and a bond {rim edge, m, m'}? No —
+        // the rim edge and the 2-path form a polygon with the marker; kinds:
+        assert_eq!(kinds[kinds.len() - 1], MemberKind::Rigid);
+    }
+}

@@ -1,0 +1,140 @@
+//! Whitney switches and 2-isomorphism (paper Section 2.1).
+//!
+//! Given a 2-separation `{E1, E2}` sharing vertices `{u, v}`, the *Whitney
+//! switch* exchanges the incidences of `u` and `v` inside `G[E1]`. Graphs
+//! related by a sequence of switches are *2-isomorphic*; by Whitney's
+//! theorem (Theorem 1) this is equivalent to having the same cycle set.
+
+use crate::cycle_space::same_cycle_space;
+use crate::multigraph::{EdgeId, MultiGraph, VertexId};
+
+/// The two vertices shared by `G[part]` and `G[rest]`, or `None` if the
+/// partition does not share exactly two vertices (i.e. is not a
+/// 2-separation boundary).
+pub fn shared_vertices(g: &MultiGraph, part: &[EdgeId]) -> Option<(VertexId, VertexId)> {
+    let mut in_part = vec![false; g.n_edges()];
+    for &e in part {
+        in_part[e as usize] = true;
+    }
+    let mut side = vec![0u8; g.n_vertices()]; // bit 0: touched by part, bit 1: by rest
+    for (id, &(a, b)) in g.edges().iter().enumerate() {
+        let bit = if in_part[id] { 1 } else { 2 };
+        side[a as usize] |= bit;
+        side[b as usize] |= bit;
+    }
+    let mut shared = side.iter().enumerate().filter(|&(_, &s)| s == 3).map(|(v, _)| v as VertexId);
+    let u = shared.next()?;
+    let v = shared.next()?;
+    if shared.next().is_some() {
+        return None;
+    }
+    Some((u, v))
+}
+
+/// Performs the Whitney switch of `u` and `v` inside `G[part]`: every edge
+/// of `part` incident to `u` becomes incident to `v` and vice versa.
+/// `part` must share exactly `{u, v}` with the rest of the graph (checked).
+pub fn whitney_switch(g: &MultiGraph, part: &[EdgeId]) -> MultiGraph {
+    let (u, v) = shared_vertices(g, part).expect("partition must share exactly two vertices");
+    let mut in_part = vec![false; g.n_edges()];
+    for &e in part {
+        in_part[e as usize] = true;
+    }
+    let swap = |x: VertexId| {
+        if x == u {
+            v
+        } else if x == v {
+            u
+        } else {
+            x
+        }
+    };
+    let mut out = MultiGraph::new(g.n_vertices());
+    for (id, &(a, b)) in g.edges().iter().enumerate() {
+        if in_part[id] {
+            out.add_edge(swap(a), swap(b));
+        } else {
+            out.add_edge(a, b);
+        }
+    }
+    out
+}
+
+/// Decides 2-isomorphism of two 2-connected graphs over the same edge-id
+/// set, via Whitney's theorem (equal cycle spaces).
+pub fn are_2_isomorphic(g1: &MultiGraph, g2: &MultiGraph) -> bool {
+    same_cycle_space(g1, g2)
+}
+
+/// A reproduction of the *phenomenon* of the paper's Fig. 1: a pair of
+/// 2-isomorphic graphs on edge set `{0..7}` that are **not** isomorphic
+/// (their degree sequences differ), together with the switched part.
+///
+/// Construction: a 6-cycle `(edges 0..5)` with chords 6 = (0,2) and
+/// 7 = (3,5); switching `{2,3,4,7}` (the half containing vertices 3,4,5 with
+/// its chord) across the separation pair {2, 5} re-embeds that half
+/// reversed, changing which vertices carry degree 3.
+pub fn fig1_pair() -> (MultiGraph, MultiGraph, Vec<EdgeId>) {
+    let g = MultiGraph::from_edges(
+        6,
+        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 2), (3, 5)],
+    );
+    let part: Vec<EdgeId> = vec![2, 3, 4, 7];
+    let switched = whitney_switch(&g, &part);
+    (g, switched, part)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_vertices_of_theta_half() {
+        let g = MultiGraph::from_edges(4, &[(0, 2), (2, 1), (0, 3), (3, 1), (0, 1)]);
+        assert_eq!(shared_vertices(&g, &[0, 1]), Some((0, 1)));
+        // the single direct edge also shares exactly {0,1} with the rest
+        assert_eq!(shared_vertices(&g, &[4]), Some((0, 1)));
+    }
+
+    #[test]
+    fn switch_preserves_cycle_space() {
+        let g = MultiGraph::gp_graph(6, &[(1, 4)]);
+        // separation pair (1, 4): inner arc = path edges 1,2,3 (path 1-2-3-4)
+        let part = vec![1, 2, 3];
+        assert_eq!(shared_vertices(&g, &part), Some((1, 4)));
+        let s = whitney_switch(&g, &part);
+        assert!(are_2_isomorphic(&g, &s));
+        assert_ne!(g, s, "switch must actually change the embedding");
+    }
+
+    #[test]
+    fn switch_is_involutive() {
+        let g = MultiGraph::gp_graph(5, &[(1, 3)]);
+        let part = vec![1, 2];
+        let once = whitney_switch(&g, &part);
+        let twice = whitney_switch(&once, &part);
+        assert_eq!(g, twice);
+    }
+
+    #[test]
+    fn fig1_two_isomorphic_but_not_isomorphic() {
+        let (g1, g2, _) = fig1_pair();
+        assert!(are_2_isomorphic(&g1, &g2), "Fig. 1 graphs share all cycles");
+        let mut d1 = g1.degrees();
+        let mut d2 = g2.degrees();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        // The switch glues both chords onto one separation vertex, creating
+        // a degree-4 vertex that g1 does not have: the degree multisets
+        // differ, so no isomorphism exists at all — yet the cycle sets are
+        // identical. This is exactly the Fig. 1 phenomenon.
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn non_two_isomorphic_rejected() {
+        let g1 = MultiGraph::gp_graph(4, &[(1, 3)]);
+        let g2 = MultiGraph::gp_graph(4, &[(0, 2)]);
+        assert!(!are_2_isomorphic(&g1, &g2));
+    }
+}

@@ -1,0 +1,488 @@
+//! The ensemble `(A, C)` of the paper's Section 2, and the dense
+//! (0,1)-matrix view it abstracts.
+//!
+//! Conventions used throughout the workspace:
+//!
+//! * atoms are `0..n_atoms` and are the objects being linearly ordered
+//!   (the paper's set `A`; the rows of the abstract's matrix, the STS probes
+//!   of Section 1.1);
+//! * a *column* is a sorted, duplicate-free subset of the atoms (the paper's
+//!   `C ∈ 𝒞`; a clone fingerprint in Section 1.1);
+//! * `p` is the sum of column cardinalities — the paper's input-size
+//!   parameter for Theorem 9.
+
+use std::fmt;
+
+/// An atom identifier (an element of the paper's set `A`).
+pub type Atom = u32;
+
+/// Errors raised while constructing or validating an [`Ensemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnsembleError {
+    /// A column referenced an atom `>= n_atoms`.
+    AtomOutOfRange { column: usize, atom: Atom },
+    /// A column listed the same atom twice.
+    DuplicateAtom { column: usize, atom: Atom },
+    /// A column was not sorted ascending (only from `from_sorted_columns`).
+    UnsortedColumn { column: usize },
+    /// A dense matrix row had the wrong width.
+    RaggedMatrix { row: usize, expected: usize, found: usize },
+    /// Parse error for textual matrices.
+    Parse { line: usize, message: String },
+}
+
+impl fmt::Display for EnsembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnsembleError::AtomOutOfRange { column, atom } => {
+                write!(f, "column {column} references atom {atom} out of range")
+            }
+            EnsembleError::DuplicateAtom { column, atom } => {
+                write!(f, "column {column} lists atom {atom} more than once")
+            }
+            EnsembleError::UnsortedColumn { column } => {
+                write!(f, "column {column} is not sorted ascending")
+            }
+            EnsembleError::RaggedMatrix { row, expected, found } => {
+                write!(f, "matrix row {row} has {found} entries, expected {expected}")
+            }
+            EnsembleError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnsembleError {}
+
+/// The paper's ensemble `(A, 𝒞)`: `n_atoms` atoms plus a collection of
+/// columns, each a sorted subset of the atoms.
+///
+/// ```
+/// use c1p_matrix::Ensemble;
+/// let ens = Ensemble::from_columns(4, vec![vec![0, 1], vec![1, 2, 3]]).unwrap();
+/// assert_eq!(ens.n_atoms(), 4);
+/// assert_eq!(ens.n_columns(), 2);
+/// assert_eq!(ens.p(), 5); // Σ|C|, Theorem 9's size parameter
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Ensemble {
+    n_atoms: usize,
+    columns: Vec<Vec<Atom>>,
+}
+
+impl fmt::Debug for Ensemble {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ensemble(n={}, m={}, p={})", self.n_atoms, self.n_columns(), self.p())
+    }
+}
+
+impl Ensemble {
+    /// An ensemble with `n_atoms` atoms and no columns (every layout works).
+    pub fn new(n_atoms: usize) -> Self {
+        Ensemble { n_atoms, columns: Vec::new() }
+    }
+
+    /// Builds an ensemble from columns given in any order; each column is
+    /// sorted and validated (atoms in range, no duplicates).
+    pub fn from_columns(n_atoms: usize, mut columns: Vec<Vec<Atom>>) -> Result<Self, EnsembleError> {
+        for (ci, col) in columns.iter_mut().enumerate() {
+            col.sort_unstable();
+            for w in col.windows(2) {
+                if w[0] == w[1] {
+                    return Err(EnsembleError::DuplicateAtom { column: ci, atom: w[0] });
+                }
+            }
+            if let Some(&last) = col.last() {
+                if last as usize >= n_atoms {
+                    return Err(EnsembleError::AtomOutOfRange { column: ci, atom: last });
+                }
+            }
+        }
+        Ok(Ensemble { n_atoms, columns })
+    }
+
+    /// Like [`Ensemble::from_columns`] but requires columns pre-sorted
+    /// (cheaper; used by generators that already produce sorted intervals).
+    pub fn from_sorted_columns(
+        n_atoms: usize,
+        columns: Vec<Vec<Atom>>,
+    ) -> Result<Self, EnsembleError> {
+        for (ci, col) in columns.iter().enumerate() {
+            for w in col.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(if w[0] == w[1] {
+                        EnsembleError::DuplicateAtom { column: ci, atom: w[0] }
+                    } else {
+                        EnsembleError::UnsortedColumn { column: ci }
+                    });
+                }
+            }
+            if let Some(&last) = col.last() {
+                if last as usize >= n_atoms {
+                    return Err(EnsembleError::AtomOutOfRange { column: ci, atom: last });
+                }
+            }
+        }
+        Ok(Ensemble { n_atoms, columns })
+    }
+
+    /// Appends a column (sorted + validated). Panics on invalid input;
+    /// intended for tests and small fixtures.
+    pub fn push_column(&mut self, mut col: Vec<Atom>) {
+        col.sort_unstable();
+        col.dedup();
+        assert!(
+            col.last().is_none_or(|&a| (a as usize) < self.n_atoms),
+            "atom out of range"
+        );
+        self.columns.push(col);
+    }
+
+    /// Number of atoms `n = |A|`.
+    #[inline]
+    pub fn n_atoms(&self) -> usize {
+        self.n_atoms
+    }
+
+    /// Number of columns `m = |𝒞|`.
+    #[inline]
+    pub fn n_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// `p = Σ_C |C|`, the total number of ones — the size parameter of
+    /// Theorem 9.
+    pub fn p(&self) -> usize {
+        self.columns.iter().map(Vec::len).sum()
+    }
+
+    /// The paper's density factor `f` with `p = nm/f` (Section 5). Returns
+    /// `None` for empty instances.
+    pub fn density_factor(&self) -> Option<f64> {
+        let p = self.p();
+        if p == 0 {
+            return None;
+        }
+        Some((self.n_atoms as f64) * (self.n_columns() as f64) / p as f64)
+    }
+
+    /// Read-only access to the columns.
+    #[inline]
+    pub fn columns(&self) -> &[Vec<Atom>] {
+        &self.columns
+    }
+
+    /// The `ci`-th column.
+    #[inline]
+    pub fn column(&self, ci: usize) -> &[Atom] {
+        &self.columns[ci]
+    }
+
+    /// Inverted index: for each atom, the (ascending) list of column ids
+    /// containing it. This is the adjacency of the paper's associated
+    /// bipartite graph `B` (Section 3).
+    pub fn atom_memberships(&self) -> Vec<Vec<u32>> {
+        let mut memb = vec![Vec::new(); self.n_atoms];
+        for (ci, col) in self.columns.iter().enumerate() {
+            for &a in col {
+                memb[a as usize].push(ci as u32);
+            }
+        }
+        memb
+    }
+
+    /// Connected components of the associated bipartite graph `B` on
+    /// `A ∪ 𝒞` (Section 3: "the vertex set of a component of B induces a
+    /// unique subensemble"). Atoms contained in no column form singleton
+    /// atom-only components. Returns `(atom_sets, column_sets)` per
+    /// component.
+    pub fn components(&self) -> Vec<(Vec<Atom>, Vec<u32>)> {
+        let memb = self.atom_memberships();
+        let mut atom_comp = vec![usize::MAX; self.n_atoms];
+        let mut col_comp = vec![usize::MAX; self.columns.len()];
+        let mut comps: Vec<(Vec<Atom>, Vec<u32>)> = Vec::new();
+        let mut stack: Vec<Atom> = Vec::new();
+        for start in 0..self.n_atoms {
+            if atom_comp[start] != usize::MAX {
+                continue;
+            }
+            let id = comps.len();
+            comps.push((Vec::new(), Vec::new()));
+            atom_comp[start] = id;
+            stack.push(start as Atom);
+            while let Some(a) = stack.pop() {
+                comps[id].0.push(a);
+                for &ci in &memb[a as usize] {
+                    if col_comp[ci as usize] == usize::MAX {
+                        col_comp[ci as usize] = id;
+                        comps[id].1.push(ci);
+                        for &b in &self.columns[ci as usize] {
+                            if atom_comp[b as usize] == usize::MAX {
+                                atom_comp[b as usize] = id;
+                                stack.push(b);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for comp in &mut comps {
+            comp.0.sort_unstable();
+            comp.1.sort_unstable();
+        }
+        comps
+    }
+
+    /// Restriction of this ensemble to a subset of atoms (the paper's
+    /// *subensemble*, Section 3): atoms are renumbered `0..subset.len()` in
+    /// the order given; each column is replaced by its restriction. Columns
+    /// whose restriction has fewer than `min_keep` atoms are dropped.
+    /// Returns the subensemble plus, per kept column, the original column id.
+    pub fn restrict(&self, subset: &[Atom], min_keep: usize) -> (Ensemble, Vec<u32>) {
+        let mut place = vec![u32::MAX; self.n_atoms];
+        for (i, &a) in subset.iter().enumerate() {
+            place[a as usize] = i as u32;
+        }
+        let mut cols = Vec::new();
+        let mut origin = Vec::new();
+        for (ci, col) in self.columns.iter().enumerate() {
+            let mut r: Vec<Atom> =
+                col.iter().filter_map(|&a| {
+                    let p = place[a as usize];
+                    (p != u32::MAX).then_some(p)
+                }).collect();
+            if r.len() >= min_keep {
+                r.sort_unstable();
+                cols.push(r);
+                origin.push(ci as u32);
+            }
+        }
+        (Ensemble { n_atoms: subset.len(), columns: cols }, origin)
+    }
+
+    /// Renumbers atoms by a permutation: atom `a` becomes `perm[a]`.
+    /// `perm` must be a permutation of `0..n_atoms`.
+    pub fn permute_atoms(&self, perm: &[Atom]) -> Ensemble {
+        assert_eq!(perm.len(), self.n_atoms);
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| {
+                let mut c: Vec<Atom> = col.iter().map(|&a| perm[a as usize]).collect();
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        Ensemble { n_atoms: self.n_atoms, columns }
+    }
+
+    /// Dense matrix view (rows = atoms, columns = columns).
+    pub fn to_matrix(&self) -> Matrix01 {
+        let mut m = Matrix01::zeros(self.n_atoms, self.columns.len());
+        for (ci, col) in self.columns.iter().enumerate() {
+            for &a in col {
+                m.set(a as usize, ci, true);
+            }
+        }
+        m
+    }
+}
+
+/// A dense (0,1)-matrix with `n_rows × n_cols` bits, row-major, 64 bits per
+/// word. Rows correspond to atoms, columns to the ensemble's columns: the
+/// C1P question is "permute the rows so each column's ones are consecutive"
+/// (the phrasing of the paper's abstract).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix01 {
+    n_rows: usize,
+    n_cols: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl Matrix01 {
+    /// All-zeros matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        let words_per_row = n_cols.div_ceil(64).max(1);
+        Matrix01 { n_rows, n_cols, words_per_row, bits: vec![0; words_per_row * n_rows] }
+    }
+
+    /// Number of rows (atoms).
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Reads entry `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        debug_assert!(r < self.n_rows && c < self.n_cols);
+        let w = self.bits[r * self.words_per_row + c / 64];
+        (w >> (c % 64)) & 1 == 1
+    }
+
+    /// Writes entry `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        debug_assert!(r < self.n_rows && c < self.n_cols);
+        let w = &mut self.bits[r * self.words_per_row + c / 64];
+        if v {
+            *w |= 1 << (c % 64);
+        } else {
+            *w &= !(1 << (c % 64));
+        }
+    }
+
+    /// Flips entry `(r, c)`, returning the new value.
+    pub fn flip(&mut self, r: usize, c: usize) -> bool {
+        let v = !self.get(r, c);
+        self.set(r, c, v);
+        v
+    }
+
+    /// Total number of ones (`p`).
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Converts to the column-set representation.
+    pub fn to_ensemble(&self) -> Ensemble {
+        let mut columns = vec![Vec::new(); self.n_cols];
+        for r in 0..self.n_rows {
+            for c in 0..self.n_cols {
+                if self.get(r, c) {
+                    columns[c].push(r as Atom);
+                }
+            }
+        }
+        Ensemble { n_atoms: self.n_rows, columns }
+    }
+
+    /// Builds from rows of 0/1 bytes.
+    pub fn from_rows(rows: &[Vec<u8>]) -> Result<Self, EnsembleError> {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut m = Matrix01::zeros(n_rows, n_cols);
+        for (r, row) in rows.iter().enumerate() {
+            if row.len() != n_cols {
+                return Err(EnsembleError::RaggedMatrix { row: r, expected: n_cols, found: row.len() });
+            }
+            for (c, &v) in row.iter().enumerate() {
+                if v != 0 {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// The transpose (rows ↔ columns) — switches between the "permute rows"
+    /// and "permute columns" phrasings of C1P.
+    pub fn transpose(&self) -> Matrix01 {
+        let mut t = Matrix01::zeros(self.n_cols, self.n_rows);
+        for r in 0..self.n_rows {
+            for c in 0..self.n_cols {
+                if self.get(r, c) {
+                    t.set(c, r, true);
+                }
+            }
+        }
+        t
+    }
+}
+
+impl fmt::Display for Matrix01 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.n_rows {
+            for c in 0..self.n_cols {
+                write!(f, "{}", if self.get(r, c) { '1' } else { '0' })?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Matrix01 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix01({}x{})", self.n_rows, self.n_cols)?;
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensemble_basics() {
+        let ens = Ensemble::from_columns(5, vec![vec![3, 1], vec![0, 2, 4]]).unwrap();
+        assert_eq!(ens.column(0), &[1, 3]);
+        assert_eq!(ens.p(), 5);
+        assert_eq!(ens.density_factor(), Some(2.0));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = Ensemble::from_columns(3, vec![vec![0, 3]]).unwrap_err();
+        assert_eq!(err, EnsembleError::AtomOutOfRange { column: 0, atom: 3 });
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = Ensemble::from_columns(3, vec![vec![1, 1]]).unwrap_err();
+        assert_eq!(err, EnsembleError::DuplicateAtom { column: 0, atom: 1 });
+    }
+
+    #[test]
+    fn components_split_disjoint_columns() {
+        // {0,1} and {2,3} never interact; atom 4 is isolated.
+        let ens = Ensemble::from_columns(5, vec![vec![0, 1], vec![2, 3]]).unwrap();
+        let comps = ens.components();
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], (vec![0, 1], vec![0]));
+        assert_eq!(comps[1], (vec![2, 3], vec![1]));
+        assert_eq!(comps[2], (vec![4], vec![]));
+    }
+
+    #[test]
+    fn restriction_renumbers_and_drops() {
+        let ens = Ensemble::from_columns(6, vec![vec![0, 1, 2], vec![4, 5], vec![2, 3]]).unwrap();
+        let (sub, origin) = ens.restrict(&[2, 3, 4], 2);
+        assert_eq!(sub.n_atoms(), 3);
+        // column 2 = {2,3} -> {0,1}; column 0 loses all but atom 2 (dropped);
+        // column 1 = {4,5} -> {4}->{2} single, dropped.
+        assert_eq!(sub.columns(), &[vec![0, 1]]);
+        assert_eq!(origin, vec![2]);
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let ens = Ensemble::from_columns(4, vec![vec![0, 2], vec![1, 2, 3]]).unwrap();
+        let m = ens.to_matrix();
+        assert_eq!(m.count_ones(), 5);
+        assert_eq!(m.to_ensemble(), ens);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn permute_atoms_relabels() {
+        let ens = Ensemble::from_columns(3, vec![vec![0, 1]]).unwrap();
+        let p = ens.permute_atoms(&[2, 0, 1]);
+        assert_eq!(p.columns(), &[vec![0, 2]]);
+    }
+
+    #[test]
+    fn matrix_display() {
+        let m = Matrix01::from_rows(&[vec![1, 0], vec![0, 1]]).unwrap();
+        assert_eq!(format!("{m}"), "10\n01\n");
+    }
+}

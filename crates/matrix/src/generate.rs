@@ -1,0 +1,236 @@
+//! Workload generators.
+//!
+//! The paper reports no datasets, only instance *shapes* (Section 1.1 cites
+//! 18 000–25 000 clones and 9 000–15 000 STSs). These generators synthesize
+//! instances of controllable shape:
+//!
+//! * [`planted_c1p`] — guaranteed-C1P instances with a hidden atom order
+//!   (the positive workload for every experiment);
+//! * [`random_ensemble`] — unconstrained random instances (almost surely not
+//!   C1P once dense enough — the negative workload);
+//! * [`interval_graph_cliques`] — vertex × maximal-clique incidence of a
+//!   random interval graph, which is C1P by the clique-ordering theorem the
+//!   paper invokes in Section 1.4 (interval-graph recognition reduces to
+//!   C1P [6]).
+
+use crate::ensemble::{Atom, Ensemble};
+use rand::{Rng, RngExt};
+
+/// Fisher–Yates shuffle (local helper so we do not depend on `rand::seq`
+/// API details).
+pub fn shuffle<T>(xs: &mut [T], rng: &mut impl Rng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+/// A random permutation of `0..n`.
+pub fn random_permutation(n: usize, rng: &mut impl Rng) -> Vec<Atom> {
+    let mut p: Vec<Atom> = (0..n as Atom).collect();
+    shuffle(&mut p, rng);
+    p
+}
+
+/// Shape parameters for [`planted_c1p`].
+#[derive(Debug, Clone, Copy)]
+pub struct PlantedShape {
+    /// Number of atoms `n`.
+    pub n_atoms: usize,
+    /// Number of columns `m`.
+    pub n_columns: usize,
+    /// Minimum column length (≥ 1).
+    pub min_len: usize,
+    /// Maximum column length (≤ n).
+    pub max_len: usize,
+}
+
+/// Generates a C1P instance by planting intervals in a hidden random atom
+/// order and then revealing the columns under scrambled atom names.
+///
+/// Returns `(ensemble, hidden_order)`; `hidden_order` is a witness
+/// realization (the solver should find *some* realization, not necessarily
+/// this one).
+pub fn planted_c1p(shape: PlantedShape, rng: &mut impl Rng) -> (Ensemble, Vec<Atom>) {
+    let PlantedShape { n_atoms, n_columns, min_len, max_len } = shape;
+    assert!(n_atoms > 0, "need at least one atom");
+    let min_len = min_len.clamp(1, n_atoms);
+    let max_len = max_len.clamp(min_len, n_atoms);
+    // hidden[i] = atom at position i of the hidden layout.
+    let hidden = random_permutation(n_atoms, rng);
+    let mut cols = Vec::with_capacity(n_columns);
+    for _ in 0..n_columns {
+        let len = rng.random_range(min_len..=max_len);
+        let start = rng.random_range(0..=n_atoms - len);
+        let mut col: Vec<Atom> = hidden[start..start + len].to_vec();
+        col.sort_unstable();
+        cols.push(col);
+    }
+    let ens = Ensemble::from_sorted_columns(n_atoms, cols).expect("planted columns are valid");
+    (ens, hidden)
+}
+
+/// Generates an unconstrained random ensemble: each entry is 1 with
+/// probability `density`. With `density·n ≳ 3` such matrices are almost
+/// surely not C1P, giving the rejection workload.
+pub fn random_ensemble(n_atoms: usize, n_columns: usize, density: f64, rng: &mut impl Rng) -> Ensemble {
+    let mut cols = Vec::with_capacity(n_columns);
+    for _ in 0..n_columns {
+        let mut col = Vec::new();
+        for a in 0..n_atoms as Atom {
+            if rng.random_range(0.0..1.0) < density {
+                col.push(a);
+            }
+        }
+        cols.push(col);
+    }
+    Ensemble::from_sorted_columns(n_atoms, cols).expect("random columns are valid")
+}
+
+/// A random ensemble where every column has exactly `k` atoms (uniform
+/// without replacement). Useful for density-controlled sweeps (experiment
+/// E7's density factor `f = nm/p = n/k`).
+pub fn random_k_uniform(n_atoms: usize, n_columns: usize, k: usize, rng: &mut impl Rng) -> Ensemble {
+    assert!(k <= n_atoms);
+    let mut pool: Vec<Atom> = (0..n_atoms as Atom).collect();
+    let mut cols = Vec::with_capacity(n_columns);
+    for _ in 0..n_columns {
+        // partial Fisher-Yates: first k entries are a uniform k-subset
+        for i in 0..k {
+            let j = rng.random_range(i..n_atoms);
+            pool.swap(i, j);
+        }
+        let mut col: Vec<Atom> = pool[..k].to_vec();
+        col.sort_unstable();
+        cols.push(col);
+    }
+    Ensemble::from_sorted_columns(n_atoms, cols).expect("k-subsets are valid")
+}
+
+/// A random interval graph on `n_vertices` and its maximal-clique incidence
+/// ensemble: atoms are the maximal cliques (in left-endpoint order), one
+/// column per vertex listing the cliques containing it.
+///
+/// For interval graphs this ensemble always has C1P with the clique order as
+/// witness (Gilmore–Hoffman); recognition of interval graphs reduces to C1P
+/// of this matrix, the reduction cited by the paper in Section 1.4.
+///
+/// Returns `(ensemble, intervals)` where `intervals[v] = (lo, hi)` endpoints.
+pub fn interval_graph_cliques(
+    n_vertices: usize,
+    span: usize,
+    rng: &mut impl Rng,
+) -> (Ensemble, Vec<(u32, u32)>) {
+    assert!(n_vertices > 0);
+    let line = (4 * n_vertices).max(8) as u32;
+    let mut intervals: Vec<(u32, u32)> = (0..n_vertices)
+        .map(|_| {
+            let lo = rng.random_range(0..line);
+            let len = rng.random_range(1..=span.max(1)) as u32;
+            (lo, (lo + len).min(line))
+        })
+        .collect();
+    // Maximal cliques of an interval graph = cliques at "clique points":
+    // sweep endpoints; a maximal clique forms just before some interval's
+    // right endpoint where no new interval opened since the last clique.
+    // Simpler O(n^2) construction (fine for generation): candidate cliques
+    // at each left endpoint; keep the inclusion-maximal distinct ones.
+    intervals.sort_unstable();
+    // Candidate cliques at each left endpoint, in sweep order. A vertex's
+    // cliques are exactly those whose clique point lies inside its interval,
+    // so they are consecutive in sweep order — and remain so after dropping
+    // non-maximal candidates.
+    let mut points: Vec<u32> = intervals.iter().map(|&(lo, _)| lo).collect();
+    points.sort_unstable();
+    points.dedup();
+    let cliques: Vec<Vec<u32>> = points
+        .iter()
+        .map(|&lo| {
+            intervals
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(l, h))| l <= lo && lo < h)
+                .map(|(v, _)| v as u32)
+                .collect::<Vec<u32>>()
+        })
+        .filter(|c| !c.is_empty())
+        .collect();
+    let mut keep: Vec<Vec<u32>> = cliques
+        .iter()
+        .filter(|c| {
+            !cliques.iter().any(|d| {
+                d.len() > c.len() && c.iter().all(|v| d.binary_search(v).is_ok())
+            })
+        })
+        .cloned()
+        .collect();
+    keep.dedup();
+    let n_cliques = keep.len();
+    let mut cols = vec![Vec::new(); n_vertices];
+    for (qi, clique) in keep.iter().enumerate() {
+        for &v in clique {
+            cols[v as usize].push(qi as Atom);
+        }
+    }
+    let ens = Ensemble::from_sorted_columns(n_cliques, cols).expect("clique matrix is valid");
+    (ens, intervals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_linear;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn planted_is_realized_by_hidden_order() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for n in [1usize, 2, 5, 40, 200] {
+            let (ens, hidden) = planted_c1p(
+                PlantedShape { n_atoms: n, n_columns: 3 * n, min_len: 1, max_len: (n / 3).max(2) },
+                &mut rng,
+            );
+            verify_linear(&ens, &hidden).expect("hidden order must realize the planted instance");
+        }
+    }
+
+    #[test]
+    fn planted_shape_respected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (ens, _) = planted_c1p(
+            PlantedShape { n_atoms: 50, n_columns: 20, min_len: 3, max_len: 7 },
+            &mut rng,
+        );
+        assert_eq!(ens.n_columns(), 20);
+        assert!(ens.columns().iter().all(|c| (3..=7).contains(&c.len())));
+    }
+
+    #[test]
+    fn k_uniform_columns_have_size_k() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let ens = random_k_uniform(30, 10, 4, &mut rng);
+        assert!(ens.columns().iter().all(|c| c.len() == 4));
+        assert_eq!(ens.density_factor(), Some(30.0 / 4.0));
+    }
+
+    #[test]
+    fn interval_clique_matrix_is_c1p_with_clique_order() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let (ens, _) = interval_graph_cliques(12, 6, &mut rng);
+            let order: Vec<Atom> = (0..ens.n_atoms() as Atom).collect();
+            verify_linear(&ens, &order)
+                .expect("clique matrix in left-endpoint order must be consecutive");
+        }
+    }
+
+    #[test]
+    fn random_permutation_is_permutation() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let p = random_permutation(100, &mut rng);
+        let mut q = p.clone();
+        q.sort_unstable();
+        assert_eq!(q, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,113 @@
+//! Textual (0,1)-matrix I/O: the dense format used by examples and the
+//! experiment harness ("one row per line, characters `0`/`1`", `#` comments
+//! and blank lines ignored).
+
+use crate::ensemble::{Ensemble, EnsembleError, Matrix01};
+
+/// Parses a dense matrix. Rows = atoms, columns = ensemble columns.
+///
+/// ```
+/// let m = c1p_matrix::io::parse_matrix("110\n011\n").unwrap();
+/// assert_eq!(m.n_rows(), 2);
+/// assert_eq!(m.n_cols(), 3);
+/// ```
+pub fn parse_matrix(text: &str) -> Result<Matrix01, EnsembleError> {
+    let mut rows: Vec<Vec<u8>> = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut row = Vec::with_capacity(line.len());
+        for ch in line.chars() {
+            match ch {
+                '0' => row.push(0),
+                '1' => row.push(1),
+                ' ' | '\t' | ',' => {}
+                other => {
+                    return Err(EnsembleError::Parse {
+                        line: ln + 1,
+                        message: format!("unexpected character {other:?}"),
+                    })
+                }
+            }
+        }
+        rows.push(row);
+    }
+    Matrix01::from_rows(&rows)
+}
+
+/// Parses a dense matrix directly into an ensemble.
+pub fn parse_ensemble(text: &str) -> Result<Ensemble, EnsembleError> {
+    Ok(parse_matrix(text)?.to_ensemble())
+}
+
+/// Formats an ensemble as a dense matrix string (inverse of
+/// [`parse_ensemble`] up to empty trailing columns).
+pub fn format_ensemble(ens: &Ensemble) -> String {
+    ens.to_matrix().to_string()
+}
+
+/// The running example of the paper's Fig. 2: the 8×7 matrix (rows 1–8,
+/// columns a–g) used to illustrate the GAP conditions and the merge. In our
+/// convention its 8 rows are the atoms and its 7 columns are the ensemble
+/// columns.
+pub fn fig2_matrix() -> Ensemble {
+    // Verbatim from the paper (Fig. 2), rows 1,2,7,8,3,4,5,6 as printed:
+    //   1: 1000100     a,e
+    //   2: 1001100     a,d,e
+    //   7: 0010011     c,f,g
+    //   8: 0010001     c,g
+    //   3: 1001101     a,d,e,g
+    //   4: 0100101     b,e,g
+    //   5: 0110101     b,c,e,g
+    //   6: 0010111     c,e,f,g
+    // Atom numbering follows the printed row order 1,2,7,8,3,4,5,6 → 0..7.
+    parse_ensemble(
+        "1000100\n\
+         1001100\n\
+         0010011\n\
+         0010001\n\
+         1001101\n\
+         0100101\n\
+         0110101\n\
+         0010111\n",
+    )
+    .expect("fig2 matrix is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        let text = "101\n010\n111\n";
+        let m = parse_matrix(text).unwrap();
+        assert_eq!(m.to_string(), text);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_spacing() {
+        let m = parse_matrix("# header\n1 0 1\n\n0,1,1\n").unwrap();
+        assert_eq!(m.to_string(), "101\n011\n");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_matrix("10x1\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_ragged() {
+        assert!(parse_matrix("101\n10\n").is_err());
+    }
+
+    #[test]
+    fn fig2_shape() {
+        let ens = fig2_matrix();
+        assert_eq!(ens.n_atoms(), 8);
+        assert_eq!(ens.n_columns(), 7);
+        assert_eq!(ens.p(), 25);
+    }
+}

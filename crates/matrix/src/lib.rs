@@ -1,0 +1,37 @@
+//! # c1p-matrix: ensembles, (0,1)-matrices and consecutive-ones workloads
+//!
+//! This crate provides the *input model* of Annexstein & Swaminathan,
+//! "On testing consecutive-ones property in parallel" (SPAA'95 / DAM 88,
+//! 1998): the **ensemble** `(A, C)` of Section 2 — a set of atoms `A` and a
+//! collection of columns, each a subset of `A`. A linear layout of the atoms
+//! *realizes* the ensemble when every column occupies a contiguous run; the
+//! ensemble then has the **consecutive-ones property (C1P)**. The circular
+//! variant (every column an arc of a cyclic layout) is the
+//! **circular-ones property**.
+//!
+//! Provided here:
+//!
+//! * [`Ensemble`] / [`Matrix01`] — the two equivalent input representations;
+//! * [`verify`] — linear and circular certificates (`O(p)` checkers);
+//! * [`transform`] — Tucker's complement transform used by Case 2 of the
+//!   paper's divide step (Section 3.2): C1P ⇔ circular-ones of the transform;
+//! * [`generate`] — planted-C1P instances, random ensembles, interval-graph
+//!   clique matrices;
+//! * [`biology`] — the physical-mapping workload of the paper's Section 1.1
+//!   (clone libraries fingerprinted by STS probes), plus the
+//!   consecutive-retrieval workload of Section 1.4;
+//! * [`noise`] — the error model of Section 1.1 (false positives, false
+//!   negatives, chimeric clones);
+//! * [`tucker`] — Tucker's minimal non-C1P obstruction families.
+
+pub mod biology;
+pub mod ensemble;
+pub mod generate;
+pub mod io;
+pub mod noise;
+pub mod transform;
+pub mod tucker;
+pub mod verify;
+
+pub use ensemble::{Atom, Ensemble, EnsembleError, Matrix01};
+pub use verify::{verify_circular, verify_linear, Violation};

@@ -1,0 +1,147 @@
+//! The error model of the paper's Section 1.1.
+//!
+//! "Experimental data is likely to contain numerous errors, including false
+//! positives, false negatives, and other abnormalities, such as chimerisms."
+//! These injectors corrupt a (typically planted-C1P) instance so experiments
+//! can measure how reliably the solvers *reject* corrupted maps (E6).
+
+use crate::ensemble::{Atom, Ensemble};
+use rand::{Rng, RngExt};
+
+/// Adds `count` false positives: entries flipped 0→1 (an STS spuriously
+/// reported in a clone). Duplicate picks are retried a bounded number of
+/// times, so the result may contain slightly fewer flips on dense inputs.
+pub fn false_positives(ens: &Ensemble, count: usize, rng: &mut impl Rng) -> Ensemble {
+    let n = ens.n_atoms();
+    let mut cols: Vec<Vec<Atom>> = ens.columns().to_vec();
+    if n == 0 || cols.is_empty() {
+        return ens.clone();
+    }
+    let mut done = 0;
+    let mut attempts = 0;
+    while done < count && attempts < 20 * count + 100 {
+        attempts += 1;
+        let ci = rng.random_range(0..cols.len());
+        let a = rng.random_range(0..n) as Atom;
+        if cols[ci].binary_search(&a).is_err() {
+            let idx = cols[ci].partition_point(|&x| x < a);
+            cols[ci].insert(idx, a);
+            done += 1;
+        }
+    }
+    Ensemble::from_sorted_columns(n, cols).expect("flips preserve validity")
+}
+
+/// Adds `count` false negatives: entries flipped 1→0 (an STS missed in a
+/// clone's fingerprint).
+pub fn false_negatives(ens: &Ensemble, count: usize, rng: &mut impl Rng) -> Ensemble {
+    let mut cols: Vec<Vec<Atom>> = ens.columns().to_vec();
+    let mut done = 0;
+    let mut attempts = 0;
+    while done < count && attempts < 20 * count + 100 {
+        attempts += 1;
+        let ci = rng.random_range(0..cols.len().max(1));
+        if cols.is_empty() || cols[ci].is_empty() {
+            continue;
+        }
+        let k = rng.random_range(0..cols[ci].len());
+        cols[ci].remove(k);
+        done += 1;
+    }
+    Ensemble::from_sorted_columns(ens.n_atoms(), cols).expect("removals preserve validity")
+}
+
+/// Replaces `count` pairs of columns by their unions — *chimeric clones*:
+/// two DNA fragments spuriously joined during cloning, fingerprinting as one
+/// clone covering two separate regions.
+pub fn chimerize(ens: &Ensemble, count: usize, rng: &mut impl Rng) -> Ensemble {
+    let mut cols: Vec<Vec<Atom>> = ens.columns().to_vec();
+    for _ in 0..count {
+        if cols.len() < 2 {
+            break;
+        }
+        let i = rng.random_range(0..cols.len());
+        let mut j = rng.random_range(0..cols.len() - 1);
+        if j >= i {
+            j += 1;
+        }
+        let (a, b) = (cols[i].clone(), cols[j].clone());
+        let mut merged: Vec<Atom> = a;
+        merged.extend_from_slice(&b);
+        merged.sort_unstable();
+        merged.dedup();
+        let hi = i.max(j);
+        let lo = i.min(j);
+        cols[lo] = merged;
+        cols.swap_remove(hi);
+    }
+    Ensemble::from_sorted_columns(ens.n_atoms(), cols).expect("merges preserve validity")
+}
+
+/// Flips `count` uniformly random entries (either direction) — the generic
+/// perturbation used by property tests.
+pub fn flip_random(ens: &Ensemble, count: usize, rng: &mut impl Rng) -> Ensemble {
+    let mut m = ens.to_matrix();
+    if m.n_rows() == 0 || m.n_cols() == 0 {
+        return ens.clone();
+    }
+    for _ in 0..count {
+        let r = rng.random_range(0..m.n_rows());
+        let c = rng.random_range(0..m.n_cols());
+        m.flip(r, c);
+    }
+    m.to_ensemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{planted_c1p, PlantedShape};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn planted(seed: u64) -> Ensemble {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        planted_c1p(PlantedShape { n_atoms: 40, n_columns: 60, min_len: 2, max_len: 8 }, &mut rng).0
+    }
+
+    #[test]
+    fn false_positives_increase_p() {
+        let ens = planted(1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let noisy = false_positives(&ens, 10, &mut rng);
+        assert_eq!(noisy.p(), ens.p() + 10);
+    }
+
+    #[test]
+    fn false_negatives_decrease_p() {
+        let ens = planted(3);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let noisy = false_negatives(&ens, 10, &mut rng);
+        assert_eq!(noisy.p(), ens.p() - 10);
+    }
+
+    #[test]
+    fn chimerize_reduces_column_count() {
+        let ens = planted(5);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let noisy = chimerize(&ens, 7, &mut rng);
+        assert_eq!(noisy.n_columns(), ens.n_columns() - 7);
+    }
+
+    #[test]
+    fn flip_random_changes_entries() {
+        let ens = planted(7);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let noisy = flip_random(&ens, 1, &mut rng);
+        assert_ne!(noisy, ens);
+    }
+
+    #[test]
+    fn noise_on_empty_is_noop() {
+        let ens = Ensemble::new(0);
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert_eq!(false_positives(&ens, 5, &mut rng).n_atoms(), 0);
+        assert_eq!(flip_random(&ens, 5, &mut rng).n_atoms(), 0);
+    }
+}

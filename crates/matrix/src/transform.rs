@@ -1,0 +1,148 @@
+//! Tucker's complement transform (paper Section 3.2, Case 2; Tucker [19]).
+//!
+//! When no column has "proper size" (between `|A|/3` and `2|A|/3`), the
+//! paper transforms the instance: add a fresh atom `r`, and replace every
+//! large column `C` (`|C| > 2|A'|/3`) by its complement `A' − C`. The
+//! transformed ensemble has the *circular*-ones property iff the original
+//! has the consecutive-ones property, and all transformed columns are small
+//! (`≤ |A'|/3`), which guarantees a balanced segment partition exists.
+
+use crate::ensemble::{Atom, Ensemble};
+
+/// Result of [`circular_transform`].
+#[derive(Debug, Clone)]
+pub struct Transformed {
+    /// The transformed ensemble `(A', 𝒞')` with `n_atoms + 1` atoms.
+    pub ensemble: Ensemble,
+    /// The fresh atom `r` (always `n_atoms` of the original).
+    pub r: Atom,
+    /// For each transformed column: the original column id and whether it
+    /// was complemented.
+    pub provenance: Vec<(u32, bool)>,
+}
+
+/// Applies the paper's `Transform((A, 𝒞))`.
+///
+/// Columns with `|C| ≤ threshold` are kept; larger ones are complemented
+/// with respect to `A' = A ∪ {r}`. The paper uses `threshold = |A'|/3` after
+/// establishing no proper-size column exists; this function takes the
+/// threshold explicitly so it can also be exercised on general inputs.
+/// Transformed columns of fewer than 2 atoms are dropped (they constrain
+/// nothing), recorded in `provenance` only if kept.
+pub fn circular_transform(ens: &Ensemble, threshold: usize) -> Transformed {
+    let n = ens.n_atoms();
+    let r = n as Atom;
+    let mut columns = Vec::with_capacity(ens.n_columns());
+    let mut provenance = Vec::with_capacity(ens.n_columns());
+    let mut present = vec![false; n];
+    for (ci, col) in ens.columns().iter().enumerate() {
+        if col.len() <= threshold {
+            if col.len() >= 2 {
+                columns.push(col.clone());
+                provenance.push((ci as u32, false));
+            }
+            continue;
+        }
+        // Complement with respect to A ∪ {r}: contains r by construction.
+        for &a in col {
+            present[a as usize] = true;
+        }
+        let mut comp: Vec<Atom> = (0..n as Atom).filter(|&a| !present[a as usize]).collect();
+        comp.push(r);
+        for &a in col {
+            present[a as usize] = false;
+        }
+        if comp.len() >= 2 {
+            columns.push(comp);
+            provenance.push((ci as u32, true));
+        }
+    }
+    let ensemble = Ensemble::from_sorted_columns(n + 1, columns).expect("transform preserves validity");
+    Transformed { ensemble, r, provenance }
+}
+
+/// Converts a circular realization of the transformed ensemble back into a
+/// linear realization of the original: rotate so `r` is last, then drop it.
+/// (Cutting the cycle at `r`'s position keeps every original column an
+/// interval — see DESIGN.md §3.2 discussion and the paper's Step 7 Case 2.)
+pub fn untransform_order(circular: &[Atom], r: Atom) -> Vec<Atom> {
+    let pos = circular
+        .iter()
+        .position(|&a| a == r)
+        .expect("r must appear in the circular order");
+    let n = circular.len();
+    let mut out = Vec::with_capacity(n - 1);
+    for i in 1..n {
+        out.push(circular[(pos + i) % n]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{brute_force_circular, brute_force_linear, verify_linear};
+
+    fn ens(n: usize, cols: Vec<Vec<Atom>>) -> Ensemble {
+        Ensemble::from_columns(n, cols).unwrap()
+    }
+
+    #[test]
+    fn transform_complements_large_columns() {
+        let e = ens(6, vec![vec![0, 1, 2, 3, 4], vec![0, 1]]);
+        let t = circular_transform(&e, 2);
+        assert_eq!(t.ensemble.n_atoms(), 7);
+        // {0,1,2,3,4} -> complement {5, r=6}; {0,1} kept.
+        assert_eq!(t.ensemble.columns(), &[vec![5, 6], vec![0, 1]]);
+        assert_eq!(t.provenance, vec![(0, true), (1, false)]);
+    }
+
+    #[test]
+    fn transform_drops_trivial() {
+        // complement of a 5-column over 5 atoms is {r} alone: dropped.
+        let e = ens(5, vec![vec![0, 1, 2, 3, 4]]);
+        let t = circular_transform(&e, 2);
+        assert_eq!(t.ensemble.n_columns(), 0);
+    }
+
+    #[test]
+    fn untransform_rotates_and_drops_r() {
+        assert_eq!(untransform_order(&[2, 9, 0, 1], 9), vec![0, 1, 2]);
+        assert_eq!(untransform_order(&[9, 0, 1, 2], 9), vec![0, 1, 2]);
+    }
+
+    /// Exhaustive check of the transform theorem (Tucker [19]) on all small
+    /// matrices: C1P(original) ⇔ circular-ones(transform).
+    #[test]
+    fn transform_theorem_small_exhaustive() {
+        for n in 1..5usize {
+            for m in 1..3usize {
+                // enumerate all m-column ensembles over n atoms (columns as bitmasks)
+                let masks = 1usize << n;
+                for code in 0..masks.pow(m as u32) {
+                    let mut cc = code;
+                    let mut cols = Vec::new();
+                    for _ in 0..m {
+                        let mask = cc % masks;
+                        cc /= masks;
+                        cols.push((0..n as Atom).filter(|&a| mask >> a & 1 == 1).collect::<Vec<_>>());
+                    }
+                    let e = ens(n, cols);
+                    let t = circular_transform(&e, (e.n_atoms() + 1) / 3);
+                    let lin = brute_force_linear(&e).is_some();
+                    let circ = brute_force_circular(&t.ensemble).is_some();
+                    assert_eq!(lin, circ, "transform theorem violated for {:?}", e.to_matrix());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_via_circular_solution() {
+        let e = ens(6, vec![vec![0, 1, 2, 3, 4], vec![1, 2], vec![4, 5]]);
+        let t = circular_transform(&e, 2);
+        let circ = brute_force_circular(&t.ensemble).expect("transform is circular-ones");
+        let lin = untransform_order(&circ, t.r);
+        assert!(verify_linear(&e, &lin).is_ok(), "{:?} from {:?}", lin, circ);
+    }
+}

@@ -1,0 +1,183 @@
+//! Tucker's minimal non-C1P obstruction families (Tucker [19], cited by the
+//! paper for the Case-2 transform; Booth & Lueker [6] reproduce the
+//! families).
+//!
+//! A (0,1)-matrix has C1P iff it contains none of `M_I(k), M_II(k),
+//! M_III(k)` (`k ≥ 1`), `M_IV`, `M_V` as a submatrix. We state the families
+//! in this workspace's ensemble convention (atoms = Tucker's columns — the
+//! dimension being permuted; ensemble columns = Tucker's rows), so each
+//! generator below is a *certified non-C1P instance* used as the rejection
+//! workload for every solver. Each family is brute-force verified non-C1P
+//! in the tests.
+
+use crate::ensemble::{Atom, Ensemble};
+
+/// `M_I(k)`: the chordless-cycle obstruction on `k + 2` atoms: the paths
+/// `{i, i+1}` plus the closing pair `{0, k+1}`. The smallest non-C1P matrix
+/// is `m_i(1)` (3 atoms × 3 columns).
+pub fn m_i(k: usize) -> Ensemble {
+    assert!(k >= 1);
+    let n = k + 2;
+    let mut cols: Vec<Vec<Atom>> = (0..=k as Atom).map(|i| vec![i, i + 1]).collect();
+    cols.push(vec![0, (k + 1) as Atom]);
+    Ensemble::from_sorted_columns(n, cols).expect("m_i is valid")
+}
+
+/// `M_II(k)`: `k + 3` atoms; the path pairs `{i, i+1}` (`i = 0..k`) plus two
+/// size-`(k+2)` columns `{0..k} ∪ {k+2}` and `{1..k+1} ∪ {k+2}` that force
+/// two interleaved blocks no linear layout satisfies.
+pub fn m_ii(k: usize) -> Ensemble {
+    assert!(k >= 1);
+    let n = k + 3;
+    let far = (k + 2) as Atom;
+    let mut cols: Vec<Vec<Atom>> = (0..=k as Atom).map(|i| vec![i, i + 1]).collect();
+    let mut lo: Vec<Atom> = (0..=k as Atom).collect();
+    lo.push(far);
+    let mut hi: Vec<Atom> = (1..=(k + 1) as Atom).collect();
+    hi.push(far);
+    cols.push(lo);
+    cols.push(hi);
+    Ensemble::from_sorted_columns(n, cols).expect("m_ii is valid")
+}
+
+/// `M_III(k)`: `k + 3` atoms; the path pairs `{i, i+1}` (`i = 0..k`) force a
+/// linear arrangement of `0..k+1`, and the column `{1..k} ∪ {k+2}` demands
+/// the outside atom `k+2` sit against the path's interior — impossible.
+pub fn m_iii(k: usize) -> Ensemble {
+    assert!(k >= 1);
+    let n = k + 3;
+    let far = (k + 2) as Atom;
+    let mut cols: Vec<Vec<Atom>> = (0..=k as Atom).map(|i| vec![i, i + 1]).collect();
+    let mut mid: Vec<Atom> = (1..=k as Atom).collect();
+    mid.push(far);
+    cols.push(mid);
+    Ensemble::from_sorted_columns(n, cols).expect("m_iii is valid")
+}
+
+/// `M_IV`: 6 atoms; three disjoint pairs plus the transversal `{1, 3, 5}`.
+/// The transversal block has two boundary slots but all three pairs demand
+/// one.
+pub fn m_iv() -> Ensemble {
+    Ensemble::from_sorted_columns(
+        6,
+        vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![1, 3, 5]],
+    )
+    .expect("m_iv is valid")
+}
+
+/// `M_V`: 5 atoms; `{0,1}`, `{0,1,2,3}`, `{2,3}`, `{1,2,4}`.
+pub fn m_v() -> Ensemble {
+    Ensemble::from_sorted_columns(
+        5,
+        vec![vec![0, 1], vec![0, 1, 2, 3], vec![2, 3], vec![1, 2, 4]],
+    )
+    .expect("m_v is valid")
+}
+
+/// A sampler of small certified obstructions (all brute-force verified in
+/// tests), for rejection-path test suites.
+pub fn small_obstructions() -> Vec<(String, Ensemble)> {
+    let mut out = Vec::new();
+    for k in 1..=4 {
+        out.push((format!("M_I({k})"), m_i(k)));
+        out.push((format!("M_II({k})"), m_ii(k)));
+        out.push((format!("M_III({k})"), m_iii(k)));
+    }
+    out.push(("M_IV".to_string(), m_iv()));
+    out.push(("M_V".to_string(), m_v()));
+    out
+}
+
+/// Embeds an obstruction into a larger, otherwise-satisfiable instance:
+/// the obstruction's atoms are mapped to `offset..offset+n`, and
+/// `extra_intervals` planted intervals over the full atom range are
+/// appended. The result is still non-C1P (a submatrix obstruction survives
+/// supersets) — used for failure-injection tests at realistic sizes.
+pub fn embed_obstruction(
+    obstruction: &Ensemble,
+    total_atoms: usize,
+    offset: usize,
+    extra_intervals: &[(usize, usize)],
+) -> Ensemble {
+    assert!(offset + obstruction.n_atoms() <= total_atoms);
+    let mut cols: Vec<Vec<Atom>> = obstruction
+        .columns()
+        .iter()
+        .map(|c| c.iter().map(|&a| a + offset as Atom).collect())
+        .collect();
+    for &(lo, len) in extra_intervals {
+        let lo = lo.min(total_atoms - 1);
+        let hi = (lo + len.max(1)).min(total_atoms);
+        cols.push((lo as Atom..hi as Atom).collect());
+    }
+    Ensemble::from_sorted_columns(total_atoms, cols).expect("embedding is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{brute_force_linear, verify_linear};
+
+    #[test]
+    fn all_families_are_non_c1p() {
+        for (name, ens) in small_obstructions() {
+            if ens.n_atoms() <= 8 {
+                assert!(
+                    brute_force_linear(&ens).is_none(),
+                    "{name} must not be C1P:\n{}",
+                    ens.to_matrix()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn families_are_minimal_under_column_deletion() {
+        // Deleting any single column of a minimal obstruction yields C1P.
+        for (name, ens) in small_obstructions() {
+            if ens.n_atoms() > 8 {
+                continue;
+            }
+            for drop in 0..ens.n_columns() {
+                let cols: Vec<Vec<Atom>> = ens
+                    .columns()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != drop)
+                    .map(|(_, c)| c.clone())
+                    .collect();
+                let sub = Ensemble::from_sorted_columns(ens.n_atoms(), cols).unwrap();
+                assert!(
+                    brute_force_linear(&sub).is_some(),
+                    "{name} minus column {drop} should be C1P"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_match_tucker() {
+        assert_eq!((m_i(1).n_atoms(), m_i(1).n_columns()), (3, 3));
+        assert_eq!((m_i(3).n_atoms(), m_i(3).n_columns()), (5, 5));
+        assert_eq!((m_ii(1).n_atoms(), m_ii(1).n_columns()), (4, 4));
+        assert_eq!((m_iii(1).n_atoms(), m_iii(1).n_columns()), (4, 3));
+        assert_eq!((m_iv().n_atoms(), m_iv().n_columns()), (6, 4));
+        assert_eq!((m_v().n_atoms(), m_v().n_columns()), (5, 4));
+    }
+
+    #[test]
+    fn embedding_preserves_rejection_and_extras_are_intervals() {
+        let emb = embed_obstruction(&m_i(1), 8, 2, &[(0, 3), (5, 3)]);
+        assert_eq!(emb.n_atoms(), 8);
+        if emb.n_atoms() <= 8 {
+            assert!(brute_force_linear(&emb).is_none());
+        }
+        // sanity: without the obstruction columns, the extras alone are C1P
+        let extras = Ensemble::from_sorted_columns(
+            8,
+            emb.columns()[m_i(1).n_columns()..].to_vec(),
+        )
+        .unwrap();
+        verify_linear(&extras, &(0..8).collect::<Vec<_>>()).unwrap();
+    }
+}

@@ -1,0 +1,238 @@
+//! Certificate checkers: does a given layout realize an ensemble?
+//!
+//! These are the `O(p)` verifiers used as ground truth throughout the
+//! workspace — every solver's positive answer is validated against them, so
+//! solver soundness never rests on solver internals.
+
+use crate::ensemble::{Atom, Ensemble};
+
+/// Why a layout fails to realize an ensemble.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// `order` is not a permutation of `0..n_atoms`.
+    NotAPermutation,
+    /// Column `column` is not contiguous: it occupies `span` positions but
+    /// only has `len` atoms.
+    Gap { column: usize, span: usize, len: usize },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::NotAPermutation => write!(f, "layout is not a permutation of the atoms"),
+            Violation::Gap { column, span, len } => {
+                write!(f, "column {column} spans {span} positions but has {len} atoms")
+            }
+        }
+    }
+}
+
+/// Returns the position of each atom: `pos[a]` = index of atom `a` in
+/// `order`, or `None` if `order` is not a permutation of `0..n_atoms`.
+pub fn positions(n_atoms: usize, order: &[Atom]) -> Option<Vec<u32>> {
+    if order.len() != n_atoms {
+        return None;
+    }
+    let mut pos = vec![u32::MAX; n_atoms];
+    for (i, &a) in order.iter().enumerate() {
+        let slot = pos.get_mut(a as usize)?;
+        if *slot != u32::MAX {
+            return None;
+        }
+        *slot = i as u32;
+    }
+    Some(pos)
+}
+
+/// Checks that `order` linearly realizes `ens`: every column's atoms occupy
+/// consecutive positions. This is the consecutive-ones certificate.
+pub fn verify_linear(ens: &Ensemble, order: &[Atom]) -> Result<(), Violation> {
+    let pos = positions(ens.n_atoms(), order).ok_or(Violation::NotAPermutation)?;
+    for (ci, col) in ens.columns().iter().enumerate() {
+        if col.len() <= 1 {
+            continue;
+        }
+        let mut lo = u32::MAX;
+        let mut hi = 0u32;
+        for &a in col {
+            let p = pos[a as usize];
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        let span = (hi - lo + 1) as usize;
+        if span != col.len() {
+            return Err(Violation::Gap { column: ci, span, len: col.len() });
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `order`, read cyclically, realizes `ens`: every column's
+/// atoms form a contiguous arc. This is the circular-ones certificate
+/// (Section 2's cycle-graphic ensembles).
+///
+/// A set is an arc iff either it or its complement is an interval of the
+/// linearization, so each column is checked directly in `O(|C|)` by
+/// counting boundary crossings.
+pub fn verify_circular(ens: &Ensemble, order: &[Atom]) -> Result<(), Violation> {
+    let n = ens.n_atoms();
+    let pos = positions(n, order).ok_or(Violation::NotAPermutation)?;
+    let mut in_col = vec![false; n];
+    for (ci, col) in ens.columns().iter().enumerate() {
+        if col.len() <= 1 || col.len() >= n.saturating_sub(1) {
+            // 0, 1, n-1 and n atoms are always an arc of a cycle... except
+            // n-1 which is the complement of a single atom: also an arc.
+            continue;
+        }
+        for &a in col {
+            in_col[pos[a as usize] as usize] = true;
+        }
+        // Count the number of maximal runs of `true` cyclically: it must be 1.
+        let mut runs = 0;
+        for i in 0..n {
+            let prev = in_col[(i + n - 1) % n];
+            if in_col[i] && !prev {
+                runs += 1;
+            }
+        }
+        for &a in col {
+            in_col[pos[a as usize] as usize] = false;
+        }
+        if runs != 1 {
+            return Err(Violation::Gap { column: ci, span: runs, len: col.len() });
+        }
+    }
+    Ok(())
+}
+
+/// Brute-force C1P decision by enumerating all atom permutations.
+/// Exponential — only for `n_atoms ≤ ~9`; the differential-test oracle.
+pub fn brute_force_linear(ens: &Ensemble) -> Option<Vec<Atom>> {
+    let n = ens.n_atoms();
+    assert!(n <= 10, "brute force limited to 10 atoms");
+    let mut order: Vec<Atom> = (0..n as Atom).collect();
+    // Heap's algorithm, checking each permutation.
+    fn heap(ens: &Ensemble, order: &mut Vec<Atom>, k: usize) -> Option<Vec<Atom>> {
+        if k <= 1 {
+            return verify_linear(ens, order).ok().map(|_| order.clone());
+        }
+        for i in 0..k {
+            if let Some(sol) = heap(ens, order, k - 1) {
+                return Some(sol);
+            }
+            if k.is_multiple_of(2) {
+                order.swap(i, k - 1);
+            } else {
+                order.swap(0, k - 1);
+            }
+        }
+        None
+    }
+    if n == 0 {
+        return verify_linear(ens, &order).ok().map(|_| order);
+    }
+    heap(ens, &mut order, n)
+}
+
+/// Brute-force circular-ones decision (for differential tests of the
+/// Case-2 transform). Fixes atom 0 at position 0 — rotations are equivalent.
+pub fn brute_force_circular(ens: &Ensemble) -> Option<Vec<Atom>> {
+    let n = ens.n_atoms();
+    assert!(n <= 10, "brute force limited to 10 atoms");
+    if n <= 2 {
+        let order: Vec<Atom> = (0..n as Atom).collect();
+        return verify_circular(ens, &order).ok().map(|_| order);
+    }
+    let mut rest: Vec<Atom> = (1..n as Atom).collect();
+    fn heap(ens: &Ensemble, rest: &mut Vec<Atom>, k: usize) -> Option<Vec<Atom>> {
+        if k <= 1 {
+            let mut order = Vec::with_capacity(rest.len() + 1);
+            order.push(0);
+            order.extend_from_slice(rest);
+            return verify_circular(ens, &order).ok().map(|_| order);
+        }
+        for i in 0..k {
+            if let Some(sol) = heap(ens, rest, k - 1) {
+                return Some(sol);
+            }
+            if k.is_multiple_of(2) {
+                rest.swap(i, k - 1);
+            } else {
+                rest.swap(0, k - 1);
+            }
+        }
+        None
+    }
+    let k = rest.len();
+    heap(ens, &mut rest, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ens(n: usize, cols: Vec<Vec<Atom>>) -> Ensemble {
+        Ensemble::from_columns(n, cols).unwrap()
+    }
+
+    #[test]
+    fn linear_accepts_and_rejects() {
+        let e = ens(4, vec![vec![0, 1], vec![1, 2, 3]]);
+        assert!(verify_linear(&e, &[0, 1, 2, 3]).is_ok());
+        assert!(verify_linear(&e, &[3, 2, 1, 0]).is_ok()); // reversal always ok
+        assert_eq!(
+            verify_linear(&e, &[1, 0, 2, 3]),
+            Err(Violation::Gap { column: 1, span: 4, len: 3 })
+        );
+    }
+
+    #[test]
+    fn linear_rejects_non_permutations() {
+        let e = ens(3, vec![]);
+        assert_eq!(verify_linear(&e, &[0, 1]), Err(Violation::NotAPermutation));
+        assert_eq!(verify_linear(&e, &[0, 1, 1]), Err(Violation::NotAPermutation));
+        assert_eq!(verify_linear(&e, &[0, 1, 5]), Err(Violation::NotAPermutation));
+    }
+
+    #[test]
+    fn circular_wraps() {
+        // {3,0} is an arc of the cycle 0,1,2,3 but not an interval.
+        let e = ens(4, vec![vec![0, 3]]);
+        assert!(verify_circular(&e, &[0, 1, 2, 3]).is_ok());
+        assert!(verify_linear(&e, &[0, 1, 2, 3]).is_err());
+        // {0,2} is not an arc of 0,1,2,3.
+        let e2 = ens(4, vec![vec![0, 2]]);
+        assert!(verify_circular(&e2, &[0, 1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn circular_big_columns_are_arcs() {
+        // complement of a single atom is always an arc.
+        let e = ens(4, vec![vec![0, 1, 3]]);
+        assert!(verify_circular(&e, &[0, 1, 2, 3]).is_ok());
+    }
+
+    #[test]
+    fn brute_force_finds_cycle_obstruction() {
+        // The 3-cycle matrix M_I(1): pairwise adjacency demands are cyclic.
+        let e = ens(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]);
+        assert_eq!(brute_force_linear(&e), None);
+        // But it IS circular-ones.
+        assert!(brute_force_circular(&e).is_some());
+    }
+
+    #[test]
+    fn brute_force_solves_interval_instance() {
+        let e = ens(5, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4]]);
+        let sol = brute_force_linear(&e).expect("is c1p");
+        assert!(verify_linear(&e, &sol).is_ok());
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let e = ens(0, vec![]);
+        assert_eq!(brute_force_linear(&e), Some(vec![]));
+        let e1 = ens(1, vec![vec![0]]);
+        assert_eq!(brute_force_linear(&e1), Some(vec![0]));
+    }
+}

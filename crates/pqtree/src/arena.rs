@@ -1,0 +1,346 @@
+//! PQ-tree node arena and tree surgery.
+
+/// Node index.
+pub type NodeId = u32;
+/// Null node.
+pub const NIL: NodeId = u32::MAX;
+
+/// Node kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A leaf carrying an atom.
+    Leaf(u32),
+    /// Children may be permuted arbitrarily.
+    P,
+    /// Children order fixed up to reversal.
+    Q,
+    /// Freed node (must never be reachable).
+    Dead,
+}
+
+/// A PQ-tree over atoms `0..n`.
+///
+/// Invariants (checked by [`PqTree::validate`]):
+/// * every atom appears on exactly one live leaf;
+/// * P-nodes have ≥ 2 children, Q-nodes ≥ 3;
+/// * parent pointers mirror child lists.
+#[derive(Debug, Clone)]
+pub struct PqTree {
+    pub(crate) kind: Vec<Kind>,
+    pub(crate) children: Vec<Vec<NodeId>>,
+    pub(crate) parent: Vec<NodeId>,
+    pub(crate) root: NodeId,
+    n_atoms: usize,
+    /// scratch: pertinent leaf count per node (cleared after each reduce)
+    pub(crate) count: Vec<u32>,
+    /// scratch: template label per node (cleared after each reduce)
+    pub(crate) label: Vec<crate::reduce::Label>,
+    /// scratch: nodes touched during the current reduce
+    pub(crate) touched: Vec<NodeId>,
+    /// scratch: pertinent children per node (cleared after each reduce)
+    pub(crate) pert_children: Vec<Vec<NodeId>>,
+    /// index of the node within its parent's child list (maintained so
+    /// P-node surgeries run in O(pertinent) instead of O(children))
+    pub(crate) pslot: Vec<u32>,
+    /// leaf node of each atom
+    pub(crate) leaf_of: Vec<NodeId>,
+}
+
+impl PqTree {
+    /// The universal tree on `n` atoms: a single P-node over all leaves
+    /// (for `n == 1` just the leaf; `n == 0` an empty tree).
+    pub fn universal(n: usize) -> Self {
+        let mut t = PqTree {
+            kind: Vec::new(),
+            children: Vec::new(),
+            parent: Vec::new(),
+            root: NIL,
+            n_atoms: n,
+            count: Vec::new(),
+            label: Vec::new(),
+            touched: Vec::new(),
+            pert_children: Vec::new(),
+            pslot: Vec::new(),
+            leaf_of: vec![NIL; n],
+        };
+        if n == 0 {
+            return t;
+        }
+        let leaves: Vec<NodeId> = (0..n).map(|a| t.new_node(Kind::Leaf(a as u32))).collect();
+        for (a, &l) in leaves.iter().enumerate() {
+            t.leaf_of[a] = l;
+        }
+        if n == 1 {
+            t.root = leaves[0];
+        } else {
+            let root = t.new_node(Kind::P);
+            t.set_children(root, leaves);
+            t.root = root;
+        }
+        t
+    }
+
+    /// Number of atoms.
+    pub fn n_atoms(&self) -> usize {
+        self.n_atoms
+    }
+
+    /// Allocates a node.
+    pub(crate) fn new_node(&mut self, kind: Kind) -> NodeId {
+        let id = self.kind.len() as NodeId;
+        self.kind.push(kind);
+        self.children.push(Vec::new());
+        self.parent.push(NIL);
+        self.count.push(0);
+        self.label.push(crate::reduce::Label::Empty);
+        self.pert_children.push(Vec::new());
+        self.pslot.push(0);
+        id
+    }
+
+    /// Replaces `x`'s children, fixing the children's parent pointers and
+    /// slot indices.
+    pub(crate) fn set_children(&mut self, x: NodeId, kids: Vec<NodeId>) {
+        for (i, &k) in kids.iter().enumerate() {
+            self.parent[k as usize] = x;
+            self.pslot[k as usize] = i as u32;
+        }
+        self.children[x as usize] = kids;
+    }
+
+    /// Removes `child` from P-node `x` in O(1) via its slot index
+    /// (swap-remove; child order is irrelevant for P-nodes).
+    pub(crate) fn p_remove_child(&mut self, x: NodeId, child: NodeId) {
+        debug_assert_eq!(self.kind[x as usize], Kind::P);
+        debug_assert_eq!(self.parent[child as usize], x);
+        let slot = self.pslot[child as usize] as usize;
+        let kids = &mut self.children[x as usize];
+        debug_assert_eq!(kids[slot], child);
+        kids.swap_remove(slot);
+        if slot < kids.len() {
+            self.pslot[kids[slot] as usize] = slot as u32;
+        }
+    }
+
+    /// Appends `child` to P-node `x` in O(1).
+    pub(crate) fn p_push_child(&mut self, x: NodeId, child: NodeId) {
+        self.parent[child as usize] = x;
+        self.pslot[child as usize] = self.children[x as usize].len() as u32;
+        self.children[x as usize].push(child);
+    }
+
+    /// Marks `x` dead (must already be unlinked).
+    pub(crate) fn free(&mut self, x: NodeId) {
+        self.kind[x as usize] = Kind::Dead;
+        self.children[x as usize].clear();
+        self.parent[x as usize] = NIL;
+    }
+
+    /// Groups `nodes` under one node: returns the single node unchanged for
+    /// `len == 1`, otherwise a fresh P-node over them. Panics on empty.
+    pub(crate) fn group_p(&mut self, nodes: Vec<NodeId>) -> NodeId {
+        assert!(!nodes.is_empty(), "group of nothing");
+        if nodes.len() == 1 {
+            return nodes[0];
+        }
+        let p = self.new_node(Kind::P);
+        self.set_children(p, nodes);
+        p
+    }
+
+    /// Replaces node `old` by `new` inside `old`'s parent (or at the tree
+    /// root), preserving position.
+    pub(crate) fn replace_in_parent(&mut self, old: NodeId, new: NodeId) {
+        let p = self.parent[old as usize];
+        if p == NIL {
+            debug_assert_eq!(self.root, old);
+            self.root = new;
+            self.parent[new as usize] = NIL;
+        } else {
+            let slot = if self.kind[p as usize] == Kind::P {
+                self.pslot[old as usize] as usize
+            } else {
+                self.children[p as usize]
+                    .iter()
+                    .position(|&c| c == old)
+                    .expect("old is a child of its parent")
+            };
+            debug_assert_eq!(self.children[p as usize][slot], old);
+            self.children[p as usize][slot] = new;
+            self.parent[new as usize] = p;
+            self.pslot[new as usize] = slot as u32;
+        }
+    }
+
+    /// If `x` has exactly one child, splice the child into `x`'s place.
+    /// If `x` is a Q-node with two children, turn it into a P-node.
+    pub(crate) fn normalize(&mut self, x: NodeId) {
+        match self.kind[x as usize] {
+            Kind::P | Kind::Q => match self.children[x as usize].len() {
+                0 => panic!("childless internal node"),
+                1 => {
+                    let c = self.children[x as usize][0];
+                    self.replace_in_parent(x, c);
+                    self.free(x);
+                }
+                2 => self.kind[x as usize] = Kind::P,
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    /// The frontier: atoms in left-to-right leaf order — one permutation
+    /// represented by the tree (Booth–Lueker's certificate order).
+    pub fn frontier(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.n_atoms);
+        if self.root == NIL {
+            return out;
+        }
+        let mut stack = vec![self.root];
+        while let Some(x) = stack.pop() {
+            match self.kind[x as usize] {
+                Kind::Leaf(a) => out.push(a),
+                Kind::P | Kind::Q => {
+                    for &c in self.children[x as usize].iter().rev() {
+                        stack.push(c);
+                    }
+                }
+                Kind::Dead => panic!("dead node reachable"),
+            }
+        }
+        out
+    }
+
+    /// Booth–Lueker's consistent-permutation count:
+    /// `Π over P-nodes (#children)! × 2^(#Q-nodes)`, saturating at
+    /// `u128::MAX`. Distinct arrangements produce distinct frontiers
+    /// because sibling subtrees carry disjoint atom sets.
+    pub fn count_permutations(&self) -> u128 {
+        if self.root == NIL {
+            return 1;
+        }
+        let mut count: u128 = 1;
+        let mut stack = vec![self.root];
+        while let Some(x) = stack.pop() {
+            match self.kind[x as usize] {
+                Kind::Leaf(_) => {}
+                Kind::P => {
+                    let c = self.children[x as usize].len() as u128;
+                    let mut f: u128 = 1;
+                    for i in 2..=c {
+                        f = f.saturating_mul(i);
+                    }
+                    count = count.saturating_mul(f);
+                }
+                Kind::Q => count = count.saturating_mul(2),
+                Kind::Dead => panic!("dead node reachable"),
+            }
+            stack.extend(&self.children[x as usize]);
+        }
+        count
+    }
+
+    /// Structural validation (tests / debug builds).
+    pub fn validate(&self) {
+        if self.n_atoms == 0 {
+            assert_eq!(self.root, NIL);
+            return;
+        }
+        assert_ne!(self.root, NIL);
+        assert_eq!(self.parent[self.root as usize], NIL);
+        let mut seen_atoms = vec![false; self.n_atoms];
+        let mut stack = vec![self.root];
+        let mut live = 0usize;
+        while let Some(x) = stack.pop() {
+            live += 1;
+            match self.kind[x as usize] {
+                Kind::Leaf(a) => {
+                    assert!(!seen_atoms[a as usize], "atom {a} appears twice");
+                    seen_atoms[a as usize] = true;
+                    assert_eq!(self.leaf_of[a as usize], x, "leaf_of consistency");
+                    assert!(self.children[x as usize].is_empty());
+                }
+                Kind::P => {
+                    assert!(self.children[x as usize].len() >= 2, "P-node arity");
+                }
+                Kind::Q => {
+                    assert!(self.children[x as usize].len() >= 3, "Q-node arity");
+                }
+                Kind::Dead => panic!("dead node reachable"),
+            }
+            for (i, &c) in self.children[x as usize].iter().enumerate() {
+                assert_eq!(self.parent[c as usize], x, "parent pointer mirror");
+                if self.kind[x as usize] == Kind::P {
+                    assert_eq!(self.pslot[c as usize] as usize, i, "slot index mirror");
+                }
+                stack.push(c);
+            }
+        }
+        assert!(seen_atoms.iter().all(|&s| s), "every atom reachable");
+        let _ = live;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universal_tree_shape() {
+        let t = PqTree::universal(5);
+        t.validate();
+        assert_eq!(t.kind[t.root as usize], Kind::P);
+        assert_eq!(t.children[t.root as usize].len(), 5);
+        let mut f = t.frontier();
+        f.sort_unstable();
+        assert_eq!(f, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tiny_trees() {
+        let t0 = PqTree::universal(0);
+        assert!(t0.frontier().is_empty());
+        t0.validate();
+        let t1 = PqTree::universal(1);
+        assert_eq!(t1.frontier(), vec![0]);
+        t1.validate();
+    }
+
+    #[test]
+    fn normalize_one_child_and_q2() {
+        let mut t = PqTree::universal(3);
+        // fabricate: root P with child q(Q) holding two leaves + one leaf
+        let l0 = t.leaf_of[0];
+        let l1 = t.leaf_of[1];
+        let l2 = t.leaf_of[2];
+        let q = t.new_node(Kind::Q);
+        t.set_children(q, vec![l0, l1]);
+        let root = t.root;
+        t.set_children(root, vec![q, l2]);
+        t.normalize(q); // Q with 2 children -> P
+        assert_eq!(t.kind[q as usize], Kind::P);
+        t.validate();
+        // now collapse a single-child node
+        let wrap = t.new_node(Kind::P);
+        t.set_children(root, vec![wrap, l2]);
+        t.set_children(wrap, vec![q]);
+        t.normalize(wrap);
+        assert_eq!(t.children[root as usize][0], q);
+        t.validate();
+    }
+
+    #[test]
+    fn replace_at_root() {
+        let mut t = PqTree::universal(2);
+        let old_root = t.root;
+        let p = t.new_node(Kind::P);
+        let kids = t.children[old_root as usize].clone();
+        t.set_children(p, kids);
+        t.children[old_root as usize].clear();
+        t.replace_in_parent(old_root, p);
+        t.free(old_root);
+        assert_eq!(t.root, p);
+        t.validate();
+    }
+}

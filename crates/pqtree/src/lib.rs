@@ -1,0 +1,33 @@
+//! # c1p-pqtree: Booth–Lueker PQ-trees
+//!
+//! The classic data structure for consecutive-ones testing (Booth & Lueker
+//! [6]) — the baseline the paper positions itself against ("avoiding the
+//! complex implementations associated with PQ-trees") and the sanctioned
+//! solver for small subproblems in its Section 5 ("for subproblems where
+//! p_i ≤ log n we can apply ours or any near linear time sequential
+//! algorithm [6, 4]").
+//!
+//! A PQ-tree over `n` leaves represents a set of permutations closed under
+//! (a) arbitrary reordering of P-node children and (b) reversal of Q-node
+//! children. `REDUCE(S)` restricts the represented set to permutations
+//! where the leaves of `S` are consecutive, applying the templates
+//! L1, P1–P6, Q1–Q3; reduction fails exactly when no permutation survives —
+//! i.e. the column set is not C1P.
+//!
+//! Implementation notes (documented deviations from the letter of [6]):
+//! every child keeps a parent pointer (Booth–Lueker only maintain them for
+//! endmost Q-children to reach strict linearity; full pointers are simpler
+//! and amortize well at our scales), and the pertinent subtree is located
+//! by leaf-count walks rather than the BUBBLE pass. The represented
+//! permutation set is identical; only constant/log factors differ. The
+//! pseudo-node of BUBBLE is unnecessary because the pertinent root is
+//! found exactly (interior Q-blocks are handled by template Q3 at that
+//! root).
+
+pub mod arena;
+pub mod reduce;
+pub mod solve;
+
+pub use arena::{Kind, NodeId, PqTree, NIL};
+pub use reduce::{Label, NotC1p};
+pub use solve::{solve, solve_with_stats, PqStats};

@@ -1,0 +1,470 @@
+//! `REDUCE(S)` — the Booth–Lueker template engine (templates L1, P1–P6,
+//! Q1–Q3 of [6]).
+//!
+//! Per reduction: (1) walk each pertinent leaf to the root accumulating
+//! subtree counts, which locates the *pertinent root* (the deepest node
+//! whose subtree holds all of `S`); (2) process the pertinent subtree in
+//! post-order, applying to each node the unique applicable template;
+//! (3) reset the scratch state.
+//!
+//! Canonical orientation invariant: every node labeled **partial** is a
+//! Q-node whose children read `[empty…, full…]` left to right. Templates
+//! preserve this, which makes the splice directions of P4–P6/Q2/Q3
+//! deterministic.
+
+use crate::arena::{Kind, NodeId, PqTree, NIL};
+
+/// Pertinence label of a node during one reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Label {
+    /// No pertinent leaf below.
+    #[default]
+    Empty,
+    /// Every leaf below is pertinent.
+    Full,
+    /// Some but not all leaves below are pertinent, arranged `[E…, F…]`.
+    Partial,
+}
+
+/// The reduction failed: the column cannot be made consecutive — the
+/// matrix is not C1P (Booth–Lueker's null tree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotC1p;
+
+impl PqTree {
+    /// Restricts the tree to permutations where `column`'s atoms are
+    /// consecutive. On `Err(NotC1p)` the tree is poisoned (callers stop).
+    pub fn reduce(&mut self, column: &[u32]) -> Result<(), NotC1p> {
+        let s = column.len();
+        if s <= 1 || s >= self.n_atoms() {
+            return Ok(()); // always consecutive
+        }
+        debug_assert!(
+            {
+                let mut c = column.to_vec();
+                c.sort_unstable();
+                c.dedup();
+                c.len() == s
+            },
+            "column must be a set"
+        );
+        // 1. count walks (also recording each node's pertinent children so
+        // the templates never scan empty children of fat P-nodes)
+        for &a in column {
+            let mut cur = self.leaf_of[a as usize];
+            loop {
+                let first_touch = self.count[cur as usize] == 0;
+                if first_touch {
+                    self.touched.push(cur);
+                }
+                self.count[cur as usize] += 1;
+                let p = self.parent[cur as usize];
+                if p == NIL {
+                    break;
+                }
+                if first_touch {
+                    self.pert_children[p as usize].push(cur);
+                }
+                cur = p;
+            }
+        }
+        // pertinent root: deepest node with full count
+        let mut proot = self.leaf_of[column[0] as usize];
+        while (self.count[proot as usize] as usize) < s {
+            proot = self.parent[proot as usize];
+        }
+        // 2. post-order over pertinent nodes (collected before any surgery)
+        let mut order: Vec<NodeId> = Vec::new();
+        let mut stack: Vec<(NodeId, bool)> = vec![(proot, false)];
+        while let Some((x, expanded)) = stack.pop() {
+            if expanded {
+                order.push(x);
+                continue;
+            }
+            stack.push((x, true));
+            for i in 0..self.pert_children[x as usize].len() {
+                stack.push((self.pert_children[x as usize][i], false));
+            }
+        }
+        let mut result = Ok(());
+        for &x in &order {
+            let is_root = x == proot;
+            let lab = match self.kind[x as usize] {
+                Kind::Leaf(_) => Ok(Label::Full), // L1
+                Kind::P => self.template_p(x, is_root),
+                Kind::Q => self.template_q(x, is_root),
+                Kind::Dead => unreachable!("dead node in pertinent subtree"),
+            };
+            match lab {
+                Ok(l) => self.label[x as usize] = l,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+            if is_root {
+                break;
+            }
+        }
+        // 3. cleanup scratch
+        for i in 0..self.touched.len() {
+            let t = self.touched[i];
+            self.count[t as usize] = 0;
+            self.label[t as usize] = Label::Empty;
+            self.pert_children[t as usize].clear();
+        }
+        self.touched.clear();
+        result
+    }
+
+    /// Templates P1–P6.
+    ///
+    /// Classification walks only the pertinent children (recorded during
+    /// the count pass); the root templates P2/P4/P6 restructure with
+    /// O(pertinent) slot-indexed removals. P3/P5 must gather the empty
+    /// children to re-parent them (O(|children|)) — the price of keeping
+    /// full parent pointers; see the crate docs.
+    fn template_p(&mut self, x: NodeId, is_root: bool) -> Result<Label, NotC1p> {
+        let mut full = Vec::new();
+        let mut partial = Vec::new();
+        for i in 0..self.pert_children[x as usize].len() {
+            let c = self.pert_children[x as usize][i];
+            match self.label[c as usize] {
+                Label::Full => full.push(c),
+                Label::Partial => partial.push(c),
+                Label::Empty => unreachable!("pertinent child must be labeled"),
+            }
+        }
+        let n_children = self.children[x as usize].len();
+        let n_empty = n_children - full.len() - partial.len();
+        match partial.len() {
+            0 => {
+                if n_empty == 0 {
+                    return Ok(Label::Full); // P1
+                }
+                debug_assert!(!full.is_empty(), "pertinent node has pertinent children");
+                if is_root {
+                    // P2: group the full children under one new P-child.
+                    if full.len() >= 2 {
+                        for &c in &full {
+                            self.p_remove_child(x, c);
+                        }
+                        let pf = self.group_p(full);
+                        self.p_push_child(x, pf);
+                    }
+                    Ok(Label::Full) // root label is irrelevant
+                } else {
+                    // P3: become partial: Q[ P(empties), P(fulls) ]
+                    for &c in &full {
+                        self.p_remove_child(x, c);
+                    }
+                    let empties = std::mem::take(&mut self.children[x as usize]);
+                    let pe = self.group_p(empties);
+                    let pf = self.group_p(full);
+                    self.kind[x as usize] = Kind::Q;
+                    self.set_children(x, vec![pe, pf]);
+                    Ok(Label::Partial)
+                }
+            }
+            1 => {
+                let q = partial[0];
+                debug_assert_eq!(self.kind[q as usize], Kind::Q, "partial nodes are Q-nodes");
+                if is_root {
+                    // P4: hang the fulls on q's full (right) end.
+                    if !full.is_empty() {
+                        for &c in &full {
+                            self.p_remove_child(x, c);
+                        }
+                        let pf = self.group_p(full);
+                        self.parent[pf as usize] = q;
+                        self.pslot[pf as usize] = self.children[q as usize].len() as u32;
+                        self.children[q as usize].push(pf);
+                    }
+                    self.normalize(x); // x may have a single child now
+                    Ok(Label::Full)
+                } else {
+                    // P5: become partial: Q[ P(empties), q's children…, P(fulls) ]
+                    for &c in &full {
+                        self.p_remove_child(x, c);
+                    }
+                    self.p_remove_child(x, q);
+                    let empties = std::mem::take(&mut self.children[x as usize]);
+                    let mut kids = Vec::with_capacity(empties.len().min(1) + full.len().min(1) + self.children[q as usize].len());
+                    if !empties.is_empty() {
+                        kids.push(self.group_p(empties));
+                    }
+                    kids.extend(self.children[q as usize].clone());
+                    if !full.is_empty() {
+                        kids.push(self.group_p(full));
+                    }
+                    self.kind[x as usize] = Kind::Q;
+                    self.set_children(x, kids);
+                    self.free(q);
+                    Ok(Label::Partial)
+                }
+            }
+            2 if is_root => {
+                // P6: merge the two partials around the fulls.
+                let (q1, q2) = (partial[0], partial[1]);
+                let mut combined = self.children[q1 as usize].clone();
+                if !full.is_empty() {
+                    for &c in &full {
+                        self.p_remove_child(x, c);
+                    }
+                    combined.push(self.group_p(full));
+                }
+                combined.extend(self.children[q2 as usize].iter().rev().copied());
+                self.set_children(q1, combined);
+                self.p_remove_child(x, q2);
+                self.free(q2);
+                self.normalize(x);
+                Ok(Label::Full)
+            }
+            _ => Err(NotC1p),
+        }
+    }
+
+    /// Templates Q1–Q3, block-based: the pertinent children must form a
+    /// contiguous run of the child sequence (positions come from the
+    /// maintained slot indices, so the non-splicing common case never
+    /// scans the Q-node's empty children). Patterns:
+    ///
+    /// * non-root (Q2): the run touches one end of the sequence, with at
+    ///   most one partial child at its inner edge — the node becomes
+    ///   partial in the canonical `[empty…, full…]` orientation;
+    /// * root (Q3): the run may sit anywhere, with at most one partial
+    ///   child at each edge, empties facing outward.
+    fn template_q(&mut self, x: NodeId, is_root: bool) -> Result<Label, NotC1p> {
+        let pert = std::mem::take(&mut self.pert_children[x as usize]);
+        let len = self.children[x as usize].len();
+        let cnt = pert.len();
+        debug_assert!(cnt >= 1);
+        let mut lo = u32::MAX;
+        let mut hi = 0;
+        let mut n_partial = 0usize;
+        let mut partial_pos: [Option<u32>; 2] = [None, None];
+        for &c in &pert {
+            let slot = self.pslot[c as usize];
+            debug_assert_eq!(self.children[x as usize][slot as usize], c);
+            lo = lo.min(slot);
+            hi = hi.max(slot);
+            if self.label[c as usize] == Label::Partial {
+                if n_partial == 2 {
+                    self.pert_children[x as usize] = pert;
+                    return Err(NotC1p);
+                }
+                partial_pos[n_partial] = Some(slot);
+                n_partial += 1;
+            }
+        }
+        self.pert_children[x as usize] = pert;
+        // the pertinent children must be consecutive
+        if (hi - lo + 1) as usize != cnt {
+            return Err(NotC1p);
+        }
+        // partial children may only sit at the run's edges
+        for p in partial_pos.iter().flatten() {
+            if *p != lo && *p != hi {
+                return Err(NotC1p);
+            }
+        }
+        if n_partial == 2 && (partial_pos[0] == partial_pos[1] || !is_root) {
+            return Err(NotC1p);
+        }
+        if cnt == len && n_partial == 0 {
+            return Ok(Label::Full); // Q1
+        }
+        if !is_root {
+            // Q2: some orientation must put the run at the right end of the
+            // sequence with the partial child (if any) at the run's inner
+            // (left) edge — the canonical [E…, F…] layout.
+            let p = partial_pos[0];
+            let as_is = hi as usize == len - 1 && p.is_none_or(|p| p == lo);
+            let flipped = lo == 0 && p.is_none_or(|p| p == hi);
+            if as_is {
+                // keep
+            } else if flipped {
+                self.reverse_q(x);
+                let new_lo = (len - 1 - hi as usize) as u32;
+                let new_hi = (len - 1 - lo as usize) as u32;
+                lo = new_lo;
+                hi = new_hi;
+                for p in partial_pos.iter_mut().flatten() {
+                    *p = (len - 1) as u32 - *p;
+                }
+            } else {
+                return Err(NotC1p);
+            }
+        }
+        // splice partial children, empties facing outward from the run:
+        // a partial at the run's left edge keeps its canonical [E…, F…]
+        // order; one at the right edge is reversed. (For a run of one the
+        // orientation is free and as-stored works in both positions.)
+        let mut splices: Vec<(u32, bool)> =
+            partial_pos.iter().flatten().map(|&p| (p, p == hi && hi != lo)).collect();
+        if !splices.is_empty() {
+            let mut kids = std::mem::take(&mut self.children[x as usize]);
+            // splice from the rightmost slot so indices stay valid
+            splices.sort_unstable_by_key(|&(slot, _)| std::cmp::Reverse(slot));
+            for (slot, reversed) in splices {
+                let q = kids[slot as usize];
+                debug_assert_eq!(self.kind[q as usize], Kind::Q);
+                let mut sub = self.children[q as usize].clone();
+                if reversed {
+                    sub.reverse();
+                }
+                kids.splice(slot as usize..=slot as usize, sub);
+                self.free(q);
+            }
+            self.set_children(x, kids);
+        }
+        if is_root {
+            Ok(Label::Full) // root label unused
+        } else {
+            Ok(Label::Partial)
+        }
+    }
+
+    /// Physically reverses a Q-node's children (a legal Q re-orientation),
+    /// fixing slot indices.
+    fn reverse_q(&mut self, x: NodeId) {
+        self.children[x as usize].reverse();
+        let len = self.children[x as usize].len();
+        for i in 0..len {
+            let c = self.children[x as usize][i];
+            self.pslot[c as usize] = i as u32;
+        }
+    }
+
+}
+
+/// Parse result of a Q-node's child labels (retained as the executable
+/// specification of the Q2/Q3 patterns; the production path uses the
+/// block-based matcher above).
+#[cfg(test)]
+#[allow(dead_code)]
+struct QParse {
+    /// Index of the first partial child, if any.
+    p1: Option<usize>,
+    /// Index of the second partial child (root reductions only).
+    p2: Option<usize>,
+}
+
+/// Checks the label sequence against `E* P? F* (P? E*)`: the parenthesized
+/// tail is allowed only at the pertinent root (template Q3); non-root
+/// sequences must end with the full block (template Q2).
+#[cfg(test)]
+fn q_parse(labs: &[Label], is_root: bool) -> Option<QParse> {
+    let n = labs.len();
+    let mut i = 0;
+    while i < n && labs[i] == Label::Empty {
+        i += 1;
+    }
+    let mut p1 = None;
+    if i < n && labs[i] == Label::Partial {
+        p1 = Some(i);
+        i += 1;
+    }
+    while i < n && labs[i] == Label::Full {
+        i += 1;
+    }
+    if i == n {
+        return Some(QParse { p1, p2: None });
+    }
+    if !is_root {
+        return None;
+    }
+    let mut p2 = None;
+    if labs[i] == Label::Partial {
+        p2 = Some(i);
+        i += 1;
+    }
+    while i < n && labs[i] == Label::Empty {
+        i += 1;
+    }
+    if i == n {
+        Some(QParse { p1, p2 })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labs(s: &str) -> Vec<Label> {
+        s.chars()
+            .map(|c| match c {
+                'E' => Label::Empty,
+                'F' => Label::Full,
+                'P' => Label::Partial,
+                _ => panic!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn q_parse_non_root() {
+        assert!(q_parse(&labs("EEFF"), false).is_some());
+        assert!(q_parse(&labs("EPF"), false).is_some());
+        assert!(q_parse(&labs("EP"), false).is_some());
+        assert!(q_parse(&labs("FFE"), false).is_none()); // fulls must end it
+        assert!(q_parse(&labs("EPE"), false).is_none());
+        assert!(q_parse(&labs("EFPF"), false).is_none());
+        assert!(q_parse(&labs("PP"), false).is_none());
+    }
+
+    #[test]
+    fn q_parse_root() {
+        assert!(q_parse(&labs("EFFE"), true).is_some());
+        assert!(q_parse(&labs("EPFPE"), true).is_some());
+        assert!(q_parse(&labs("EPPE"), true).is_some());
+        assert!(q_parse(&labs("PFP"), true).is_some());
+        assert!(q_parse(&labs("FEF"), true).is_none());
+        assert!(q_parse(&labs("PFPF"), true).is_none());
+        assert!(q_parse(&labs("EPFPFE"), true).is_none());
+    }
+
+    #[test]
+    fn reduce_simple_pair() {
+        let mut t = PqTree::universal(4);
+        t.reduce(&[1, 2]).unwrap();
+        t.validate();
+        let f = t.frontier();
+        let pos: Vec<usize> =
+            [1u32, 2].iter().map(|&a| f.iter().position(|&x| x == a).unwrap()).collect();
+        assert_eq!((pos[0] as i64 - pos[1] as i64).abs(), 1, "frontier {f:?}");
+    }
+
+    #[test]
+    fn reduce_cycle_fails() {
+        // M_I(1): {0,1}, {1,2}, {0,2} over 3 atoms cannot all be consecutive
+        let mut t = PqTree::universal(3);
+        t.reduce(&[0, 1]).unwrap();
+        t.reduce(&[1, 2]).unwrap();
+        assert_eq!(t.reduce(&[0, 2]), Err(NotC1p));
+    }
+
+    #[test]
+    fn reduce_overlapping_chain() {
+        let mut t = PqTree::universal(5);
+        t.reduce(&[0, 1, 2]).unwrap();
+        t.reduce(&[1, 2, 3]).unwrap();
+        t.reduce(&[2, 3, 4]).unwrap();
+        t.validate();
+        let f = t.frontier();
+        // the only valid orders are 0..5 or its reverse
+        assert!(f == vec![0, 1, 2, 3, 4] || f == vec![4, 3, 2, 1, 0], "frontier {f:?}");
+    }
+
+    #[test]
+    fn trivial_columns_are_noops() {
+        let mut t = PqTree::universal(3);
+        t.reduce(&[]).unwrap();
+        t.reduce(&[2]).unwrap();
+        t.reduce(&[0, 1, 2]).unwrap();
+        t.validate();
+        assert_eq!(t.frontier().len(), 3);
+    }
+}

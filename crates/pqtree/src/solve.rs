@@ -1,0 +1,131 @@
+//! Driving a PQ-tree over a whole column collection: the Booth–Lueker C1P
+//! decision procedure plus a witness order (the frontier).
+
+use crate::arena::PqTree;
+
+/// Statistics from a solve run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PqStats {
+    /// Columns actually reduced (after skipping trivial ones).
+    pub reductions: usize,
+    /// Columns skipped as trivial (≤ 1 atom or all atoms).
+    pub skipped: usize,
+    /// Arena nodes allocated over the run.
+    pub nodes_allocated: usize,
+}
+
+/// Decides C1P for `columns` over `n_atoms` atoms; returns a witness atom
+/// order on success (columns with < 2 atoms constrain nothing).
+pub fn solve(n_atoms: usize, columns: &[Vec<u32>]) -> Option<Vec<u32>> {
+    solve_with_stats(n_atoms, columns).0
+}
+
+/// [`solve`] plus run statistics.
+pub fn solve_with_stats(n_atoms: usize, columns: &[Vec<u32>]) -> (Option<Vec<u32>>, PqStats) {
+    let mut stats = PqStats::default();
+    if n_atoms == 0 {
+        return (Some(Vec::new()), stats);
+    }
+    let mut tree = PqTree::universal(n_atoms);
+    for col in columns {
+        if col.len() <= 1 || col.len() >= n_atoms {
+            stats.skipped += 1;
+            continue;
+        }
+        stats.reductions += 1;
+        if tree.reduce(col).is_err() {
+            stats.nodes_allocated = tree.kind.len();
+            return (None, stats);
+        }
+        #[cfg(debug_assertions)]
+        tree.validate();
+    }
+    stats.nodes_allocated = tree.kind.len();
+    (Some(tree.frontier()), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(p) certificate check local to this crate (mirrors
+    /// `c1p_matrix::verify::verify_linear`, kept dependency-free here).
+    fn is_valid(n: usize, columns: &[Vec<u32>], order: &[u32]) -> bool {
+        let mut pos = vec![usize::MAX; n];
+        if order.len() != n {
+            return false;
+        }
+        for (i, &a) in order.iter().enumerate() {
+            pos[a as usize] = i;
+        }
+        columns.iter().all(|col| {
+            if col.len() <= 1 {
+                return true;
+            }
+            let ps: Vec<usize> = col.iter().map(|&a| pos[a as usize]).collect();
+            let (lo, hi) = (*ps.iter().min().unwrap(), *ps.iter().max().unwrap());
+            hi - lo + 1 == col.len()
+        })
+    }
+
+    #[test]
+    fn solves_interval_instance() {
+        let cols = vec![vec![0, 1, 2], vec![2, 3], vec![3, 4], vec![1, 2, 3]];
+        let (order, stats) = solve_with_stats(5, &cols);
+        let order = order.expect("instance is C1P");
+        assert!(is_valid(5, &cols, &order), "order {order:?}");
+        assert_eq!(stats.reductions, 4);
+    }
+
+    #[test]
+    fn rejects_tucker_cycle() {
+        let cols = vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]];
+        assert_eq!(solve(4, &cols), None);
+    }
+
+    #[test]
+    fn rejects_m_iv() {
+        let cols = vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![1, 3, 5]];
+        assert_eq!(solve(6, &cols), None);
+    }
+
+    #[test]
+    fn empty_and_trivial() {
+        assert_eq!(solve(0, &[]), Some(vec![]));
+        assert_eq!(solve(1, &[vec![0]]), Some(vec![0]));
+        let (order, stats) = solve_with_stats(3, &[vec![0, 1, 2], vec![2]]);
+        assert!(order.is_some());
+        assert_eq!(stats.skipped, 2);
+        assert_eq!(stats.reductions, 0);
+    }
+
+    #[test]
+    fn q_node_chains() {
+        // force Q-node creation and repeated Q2/Q3 splices
+        let cols = vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 3],
+            vec![3, 4],
+            vec![4, 5],
+            vec![0, 1, 2, 3],
+            vec![2, 3, 4, 5],
+        ];
+        let order = solve(6, &cols).expect("chain is C1P");
+        assert!(is_valid(6, &cols, &order));
+    }
+
+    #[test]
+    fn partial_merge_p6() {
+        // two partial blocks meeting at the root
+        let cols = vec![
+            vec![0, 1, 2],
+            vec![4, 5, 6],
+            vec![2, 3, 4], // bridges the two partial sides at the root
+            vec![1, 2],
+            vec![4, 5],
+        ];
+        let order = solve(7, &cols).expect("is C1P");
+        assert!(is_valid(7, &cols, &order));
+    }
+}

@@ -1,0 +1,153 @@
+//! Differential validation of the PQ-tree against brute force and planted
+//! instances. Any template bug shows up here: acceptance must match the
+//! permutation-enumeration oracle exactly, and every accepted instance must
+//! come with a verified witness order.
+
+use c1p_matrix::generate::{planted_c1p, PlantedShape};
+use c1p_matrix::tucker;
+use c1p_matrix::verify::{brute_force_linear, verify_linear};
+use c1p_matrix::Ensemble;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn check(ens: &Ensemble) {
+    let got = c1p_pqtree::solve(ens.n_atoms(), &columns(ens));
+    let expect = brute_force_linear(ens);
+    match (got, expect) {
+        (Some(order), Some(_)) => {
+            verify_linear(ens, &order)
+                .unwrap_or_else(|v| panic!("invalid witness {order:?}: {v} for {:?}", ens.to_matrix()));
+        }
+        (None, None) => {}
+        (got, expect) => panic!(
+            "pq-tree={} oracle={} for\n{}",
+            got.is_some(),
+            expect.is_some(),
+            ens.to_matrix()
+        ),
+    }
+}
+
+fn columns(ens: &Ensemble) -> Vec<Vec<u32>> {
+    ens.columns().to_vec()
+}
+
+#[test]
+fn exhaustive_small_matrices() {
+    // every ensemble with n atoms and m columns, columns as bitmasks
+    for (n, m) in [(3usize, 3usize), (4, 2), (4, 3), (5, 2)] {
+        let masks = 1usize << n;
+        let total = masks.pow(m as u32);
+        // full enumeration up to ~70k instances per shape
+        for code in 0..total {
+            let mut cc = code;
+            let mut cols = Vec::with_capacity(m);
+            for _ in 0..m {
+                let mask = cc % masks;
+                cc /= masks;
+                cols.push((0..n as u32).filter(|&a| mask >> a & 1 == 1).collect::<Vec<_>>());
+            }
+            let ens = Ensemble::from_columns(n, cols).unwrap();
+            check(&ens);
+        }
+    }
+}
+
+#[test]
+fn exhaustive_denser_five_atoms() {
+    // 5 atoms, 3 random-ish columns — LCG-driven but wide coverage
+    let masks = 1usize << 5;
+    let mut seed = 0xC0FFEEu64;
+    let mut next = || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((seed >> 33) as usize) % masks
+    };
+    for _ in 0..20_000 {
+        let cols: Vec<Vec<u32>> = (0..4)
+            .map(|_| {
+                let mask = next();
+                (0..5u32).filter(|&a| mask >> a & 1 == 1).collect()
+            })
+            .collect();
+        let ens = Ensemble::from_columns(5, cols).unwrap();
+        check(&ens);
+    }
+}
+
+#[test]
+fn exhaustive_medium_vs_oracle() {
+    // 6-7 atoms with interval-biased columns: mostly-C1P region where
+    // template interactions get deep
+    let mut seed = 0xBADC0DEu64;
+    let mut next = |m: usize| {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((seed >> 33) as usize) % m
+    };
+    for _ in 0..4_000 {
+        let n = 6 + next(2);
+        let m = 2 + next(5);
+        let mut cols = Vec::with_capacity(m);
+        for _ in 0..m {
+            if next(3) < 2 {
+                // planted interval in a scrambled order
+                let len = 2 + next(n - 2);
+                let start = next(n - len + 1);
+                cols.push((start as u32..(start + len) as u32).collect::<Vec<u32>>());
+            } else {
+                let mask = 1 + next((1 << n) - 1);
+                cols.push((0..n as u32).filter(|&a| mask >> a & 1 == 1).collect());
+            }
+        }
+        let ens = Ensemble::from_columns(n, cols).unwrap();
+        check(&ens);
+    }
+}
+
+#[test]
+fn accepts_all_planted() {
+    let mut rng = SmallRng::seed_from_u64(2024);
+    for trial in 0..60 {
+        let n = 10 + (trial % 17) * 13;
+        let (ens, _) = planted_c1p(
+            PlantedShape {
+                n_atoms: n,
+                n_columns: 3 * n,
+                min_len: 2,
+                max_len: (n / 2).max(3),
+            },
+            &mut rng,
+        );
+        let order = c1p_pqtree::solve(ens.n_atoms(), &columns(&ens))
+            .unwrap_or_else(|| panic!("rejected planted C1P instance (n={n})"));
+        verify_linear(&ens, &order).expect("witness must verify");
+    }
+}
+
+#[test]
+fn rejects_all_tucker_obstructions() {
+    for (name, ens) in tucker::small_obstructions() {
+        assert_eq!(
+            c1p_pqtree::solve(ens.n_atoms(), &columns(&ens)),
+            None,
+            "{name} must be rejected"
+        );
+    }
+    // obstructions embedded in larger C1P context
+    let emb = tucker::embed_obstruction(&tucker::m_iv(), 40, 17, &[(0, 10), (20, 15), (30, 10)]);
+    assert_eq!(c1p_pqtree::solve(emb.n_atoms(), &columns(&emb)), None);
+}
+
+#[test]
+fn column_order_does_not_matter() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let (ens, _) = planted_c1p(
+        PlantedShape { n_atoms: 30, n_columns: 50, min_len: 2, max_len: 10 },
+        &mut rng,
+    );
+    let mut cols = columns(&ens);
+    for rot in 0..5 {
+        cols.rotate_left(rot * 7 + 1);
+        let order = c1p_pqtree::solve(30, &cols).expect("still C1P under reordering");
+        verify_linear(&ens, &order).expect("witness valid");
+    }
+}

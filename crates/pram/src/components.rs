@@ -1,0 +1,150 @@
+//! Connected components by parallel hooking + pointer jumping — the
+//! Shiloach–Vishkin style CRCW primitive. The paper's Step 2 (Case 2)
+//! identifies "maximally connected collections of columns" with tree
+//! contraction [16]; hooking computes the same components within the same
+//! `O(log n)`-depth budget (DESIGN.md §4) and is what our parallel driver
+//! uses on the column–atom bipartite graph.
+
+use crate::cost::{log2ceil, Cost};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Connected-component labels (smallest-id representative) of an undirected
+/// graph given as an edge list over `n` vertices. Runs hooking rounds with
+/// CAS-min, each followed by full pointer jumping, until stable.
+///
+/// Modelled cost: `O((n + m) log n)` work, `O(log² n)` depth (each of the
+/// `O(log n)` rounds does an `O(log n)`-depth jump).
+pub fn connected_components(n: usize, edges: &[(u32, u32)]) -> (Vec<u32>, Cost) {
+    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let mut rounds = 0u64;
+    loop {
+        rounds += 1;
+        // hook: for each edge, point the larger root at the smaller root
+        let changed: bool = edges
+            .par_iter()
+            .with_min_len(1 << 12)
+            .map(|&(u, v)| {
+                let ru = labels[u as usize].load(Ordering::Relaxed);
+                let rv = labels[v as usize].load(Ordering::Relaxed);
+                if ru == rv {
+                    return false;
+                }
+                let (hi, lo) = if ru > rv { (ru, rv) } else { (rv, ru) };
+                // CAS-min onto the larger representative
+                let slot = &labels[hi as usize];
+                let mut cur = slot.load(Ordering::Relaxed);
+                loop {
+                    if cur <= lo {
+                        break;
+                    }
+                    match slot.compare_exchange_weak(cur, lo, Ordering::Relaxed, Ordering::Relaxed)
+                    {
+                        Ok(_) => break,
+                        Err(now) => cur = now,
+                    }
+                }
+                true
+            })
+            .reduce(|| false, |a, b| a | b);
+        // jump: full path compression
+        let mut jumping = true;
+        while jumping {
+            jumping = (0..n)
+                .into_par_iter()
+                .with_min_len(1 << 12)
+                .map(|v| {
+                    let l = labels[v].load(Ordering::Relaxed);
+                    let ll = labels[l as usize].load(Ordering::Relaxed);
+                    if ll < l {
+                        labels[v].store(ll, Ordering::Relaxed);
+                        true
+                    } else {
+                        false
+                    }
+                })
+                .reduce(|| false, |a, b| a | b);
+        }
+        if !changed {
+            break;
+        }
+        if rounds > (2 * log2ceil(n.max(2)) + 4) * 4 {
+            // safety valve — hooking converges in O(log n) rounds
+            break;
+        }
+    }
+    let out: Vec<u32> = labels.into_iter().map(AtomicU32::into_inner).collect();
+    let lg = log2ceil(n.max(2));
+    let cost = Cost::of(((n + edges.len()) as u64) * rounds, rounds * lg.max(1));
+    (out, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_components() {
+        let (labels, _) = connected_components(6, &[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_eq!(labels[5], 5);
+        // representatives are minima
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[3], 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let (labels, _) = connected_components(4, &[]);
+        assert_eq!(labels, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn long_path_converges() {
+        let n = 20_000;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|v| (v, v + 1)).collect();
+        let (labels, cost) = connected_components(n, &edges);
+        assert!(labels.iter().all(|&l| l == 0));
+        assert!(cost.depth < 4000, "depth {} should be polylog", cost.depth);
+    }
+
+    #[test]
+    fn random_graph_matches_sequential() {
+        let n = 500;
+        let mut seed = 42u64;
+        let mut next = |m: usize| {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as usize) % m
+        };
+        let edges: Vec<(u32, u32)> =
+            (0..300).map(|_| (next(n) as u32, next(n) as u32)).filter(|&(a, b)| a != b).collect();
+        let (par_labels, _) = connected_components(n, &edges);
+        // sequential union-find reference
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(p: &mut Vec<u32>, x: u32) -> u32 {
+            if p[x as usize] != x {
+                let r = find(p, p[x as usize]);
+                p[x as usize] = r;
+                r
+            } else {
+                x
+            }
+        }
+        for &(a, b) in &edges {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra.max(rb) as usize] = ra.min(rb);
+            }
+        }
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                let same_par = par_labels[u as usize] == par_labels[v as usize];
+                let same_seq = find(&mut parent, u) == find(&mut parent, v);
+                assert_eq!(same_par, same_seq, "disagree on ({u},{v})");
+            }
+        }
+    }
+}

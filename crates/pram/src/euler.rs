@@ -1,0 +1,149 @@
+//! Euler tours of rooted trees (Tarjan–Vishkin [17]) — the technique the
+//! paper's Step 5 uses to extract minimal decompositions within the PRAM
+//! bounds.
+//!
+//! A tree on `n` nodes (parent array, root has parent `NIL`) is turned into
+//! the standard Euler circuit of its directed-edge doubling; list ranking
+//! the circuit yields entry/exit times, hence subtree membership tests and
+//! subtree aggregates in `O(log n)` depth.
+
+use crate::cost::Cost;
+use crate::list_rank::{list_rank, NIL};
+
+/// Entry/exit times of every node under an Euler tour of the tree.
+#[derive(Debug, Clone)]
+pub struct EulerTimes {
+    /// `enter[v] < enter[u] && exit[u] ≤ exit[v]` ⟺ `u` in `v`'s subtree.
+    pub enter: Vec<u32>,
+    /// Exit time (post-visit).
+    pub exit: Vec<u32>,
+}
+
+impl EulerTimes {
+    /// Is `u` inside the subtree rooted at `v` (inclusive)?
+    pub fn in_subtree(&self, v: u32, u: u32) -> bool {
+        self.enter[v as usize] <= self.enter[u as usize]
+            && self.exit[u as usize] <= self.exit[v as usize]
+    }
+}
+
+/// Computes Euler entry/exit times for the rooted tree given by `parent`
+/// (root: `parent[r] == NIL`). Children are ordered by node id.
+///
+/// Construction: each node contributes a down-edge and an up-edge; the
+/// successor function of the Euler circuit is built in `O(n)` work, then
+/// one list-ranking gives positions. Modelled cost: `O(n log n)` work,
+/// `O(log n)` depth.
+pub fn euler_times(parent: &[u32]) -> (EulerTimes, Cost) {
+    let n = parent.len();
+    if n == 0 {
+        return (EulerTimes { enter: vec![], exit: vec![] }, Cost::ZERO);
+    }
+    let mut root = NIL;
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for v in 0..n as u32 {
+        if parent[v as usize] == NIL {
+            assert_eq!(root, NIL, "exactly one root expected");
+            root = v;
+        } else {
+            children[parent[v as usize] as usize].push(v);
+        }
+    }
+    assert_ne!(root, NIL, "tree must have a root");
+    // Edge ids: down(v) = 2v, up(v) = 2v+1 (for v != root, the edge
+    // parent(v)→v and back). For the root we use a virtual start.
+    // successor(down(v)) = down(first child of v) or up(v) if leaf
+    // successor(up(v))   = down(next sibling of v) or up(parent) (or end)
+    let m = 2 * n;
+    let mut next = vec![NIL; m];
+    let down = |v: u32| 2 * v;
+    let up = |v: u32| 2 * v + 1;
+    for v in 0..n as u32 {
+        // down(v) -> first child or up(v)
+        next[down(v) as usize] =
+            children[v as usize].first().map_or(up(v), |&c| down(c));
+        // up(v) -> next sibling or up(parent)
+        let p = parent[v as usize];
+        if p == NIL {
+            next[up(v) as usize] = NIL;
+        } else {
+            let sibs = &children[p as usize];
+            let idx = sibs.iter().position(|&c| c == v).expect("child listed");
+            next[up(v) as usize] = sibs.get(idx + 1).map_or(up(p), |&s| down(s));
+        }
+    }
+    let (ranks, rank_cost) = list_rank(&next);
+    // position of tour element e = rank(head) - rank(e); head = down(root)
+    let head_rank = ranks[down(root) as usize];
+    let mut enter = vec![0u32; n];
+    let mut exit = vec![0u32; n];
+    for v in 0..n as u32 {
+        enter[v as usize] = head_rank - ranks[down(v) as usize];
+        exit[v as usize] = head_rank - ranks[up(v) as usize];
+    }
+    let cost = Cost::step(n as u64).seq(rank_cost).seq(Cost::step(n as u64));
+    (EulerTimes { enter, exit }, cost)
+}
+
+/// Subtree sizes from Euler times: `(exit - enter + 1) / 2`.
+pub fn subtree_sizes(times: &EulerTimes) -> Vec<u32> {
+    times
+        .enter
+        .iter()
+        .zip(&times.exit)
+        .map(|(&e, &x)| (x - e).div_ceil(2))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// parent array for:      0
+    ///                       / \
+    ///                      1   2
+    ///                     / \
+    ///                    3   4
+    fn tree() -> Vec<u32> {
+        vec![NIL, 0, 0, 1, 1]
+    }
+
+    #[test]
+    fn subtree_tests() {
+        let (t, _) = euler_times(&tree());
+        assert!(t.in_subtree(0, 4));
+        assert!(t.in_subtree(1, 3));
+        assert!(t.in_subtree(1, 4));
+        assert!(!t.in_subtree(1, 2));
+        assert!(!t.in_subtree(2, 1));
+        assert!(t.in_subtree(2, 2));
+    }
+
+    #[test]
+    fn sizes() {
+        let (t, _) = euler_times(&tree());
+        assert_eq!(subtree_sizes(&t), vec![5, 3, 1, 1, 1]);
+    }
+
+    #[test]
+    fn path_tree_logarithmic_depth() {
+        let n = 4096;
+        let mut parent = vec![NIL; n];
+        for v in 1..n {
+            parent[v] = (v - 1) as u32;
+        }
+        let (t, cost) = euler_times(&parent);
+        assert!(t.in_subtree(0, (n - 1) as u32));
+        assert!(t.in_subtree(100, 4000));
+        assert!(!t.in_subtree(4000, 100));
+        assert!(cost.depth <= 40, "depth {} should be logarithmic", cost.depth);
+    }
+
+    #[test]
+    fn single_node() {
+        let (t, _) = euler_times(&[NIL]);
+        assert_eq!(t.enter, vec![0]);
+        assert_eq!(t.exit, vec![1]);
+        assert_eq!(subtree_sizes(&t), vec![1]);
+    }
+}

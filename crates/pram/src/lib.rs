@@ -1,0 +1,32 @@
+//! # c1p-pram: PRAM-style parallel primitives with a work/depth cost model
+//!
+//! The paper analyzes its algorithm on a CRCW PRAM (Theorem 9:
+//! `O(log² n)` time, `p·log log n / log n` processors). A 1995 PRAM cannot
+//! be run directly, so this crate separates the two things a PRAM analysis
+//! talks about:
+//!
+//! * **modelled cost** — every primitive returns a [`Cost`] recording the
+//!   work and depth (parallel time) the corresponding PRAM primitive would
+//!   charge, composing sequentially (`seq`: work +, depth +) and in
+//!   parallel (`par`: work +, depth max). Experiment E2 validates the
+//!   paper's bounds from these counters.
+//! * **wall-clock execution** — the primitives actually run in parallel on
+//!   rayon (chunked to amortize task overhead), so experiment E3 can report
+//!   honest multicore speedups.
+//!
+//! Primitives provided (with their classical sources as cited by the
+//! paper): prefix scan, compaction, parallel sorting, pointer-jumping list
+//! ranking, Euler tours of trees (Tarjan–Vishkin [17]), and connected
+//! components by hooking (used where the paper invokes tree contraction
+//! [16] to find connected column sets — see DESIGN.md §4).
+
+pub mod components;
+pub mod cost;
+pub mod euler;
+pub mod list_rank;
+pub mod pool;
+pub mod scan;
+pub mod sort;
+
+pub use cost::Cost;
+pub use pool::with_threads;

@@ -1,0 +1,114 @@
+//! List ranking by pointer jumping (Wyllie) — the primitive underlying the
+//! Euler-tour techniques the paper invokes for Step 5 (Tarjan–Vishkin [17]).
+//!
+//! Given a successor array describing disjoint linked lists, computes each
+//! node's distance to the end of its list. Genuinely parallel: every round
+//! doubles pointers across all nodes with rayon; `⌈log n⌉` rounds, so the
+//! modelled cost is `O(n log n)` work, `O(log n)` depth (the paper's cited
+//! techniques shave the work to `O(n)`, which changes constants only).
+
+use crate::cost::{log2ceil, Cost};
+use rayon::prelude::*;
+
+/// Sentinel for "no successor" (end of list).
+pub const NIL: u32 = u32::MAX;
+
+/// Computes, for every node, its distance (number of links) to the end of
+/// its list. `next[v] == NIL` marks list tails (rank 0).
+///
+/// Returns `(ranks, cost)`.
+pub fn list_rank(next: &[u32]) -> (Vec<u32>, Cost) {
+    let n = next.len();
+    let mut ptr: Vec<u32> = next.to_vec();
+    let mut rank: Vec<u32> = next.iter().map(|&nx| if nx == NIL { 0 } else { 1 }).collect();
+    let rounds = log2ceil(n.max(1)) + 1;
+    for _ in 0..rounds {
+        let (new_rank, new_ptr): (Vec<u32>, Vec<u32>) = (0..n)
+            .into_par_iter()
+            .with_min_len(1 << 12)
+            .map(|v| {
+                let p = ptr[v];
+                if p == NIL {
+                    (rank[v], NIL)
+                } else {
+                    (rank[v] + rank[p as usize], ptr[p as usize])
+                }
+            })
+            .unzip();
+        rank = new_rank;
+        ptr = new_ptr;
+    }
+    debug_assert!(ptr.iter().all(|&p| p == NIL), "all pointers collapse to NIL");
+    let cost = Cost::of((n as u64) * rounds.max(1), rounds.max(1));
+    (rank, cost)
+}
+
+/// Positions within a *single* list with head `head`: `pos[head] = 0`,
+/// increasing toward the tail. Nodes not on the list get `NIL`.
+pub fn list_positions(next: &[u32], head: u32) -> (Vec<u32>, Cost) {
+    let (ranks, cost) = list_rank(next);
+    let head_rank = ranks[head as usize];
+    let pos: Vec<u32> = (0..next.len())
+        .into_par_iter()
+        .with_min_len(1 << 12)
+        .map(|v| if ranks[v] > head_rank { NIL } else { head_rank - ranks[v] })
+        .collect();
+    (pos, cost.seq(Cost::step(next.len() as u64)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_chain() {
+        // 3 -> 1 -> 4 -> 0 -> NIL ; node 2 isolated
+        let mut next = vec![NIL; 5];
+        next[3] = 1;
+        next[1] = 4;
+        next[4] = 0;
+        next[2] = NIL;
+        let (ranks, cost) = list_rank(&next);
+        assert_eq!(ranks[3], 3);
+        assert_eq!(ranks[1], 2);
+        assert_eq!(ranks[4], 1);
+        assert_eq!(ranks[0], 0);
+        assert_eq!(ranks[2], 0);
+        assert!(cost.depth <= 8);
+    }
+
+    #[test]
+    fn long_chain() {
+        let n = 10_000;
+        let mut next = vec![NIL; n];
+        for v in 0..n - 1 {
+            next[v] = (v + 1) as u32;
+        }
+        let (ranks, cost) = list_rank(&next);
+        for v in 0..n {
+            assert_eq!(ranks[v] as usize, n - 1 - v);
+        }
+        // depth must be logarithmic, not linear
+        assert!(cost.depth <= 2 * (log2ceil(n) + 1));
+    }
+
+    #[test]
+    fn many_small_lists() {
+        // pairs: 0->1, 2->3, ...
+        let n = 100;
+        let mut next = vec![NIL; n];
+        for v in (0..n).step_by(2) {
+            next[v] = (v + 1) as u32;
+        }
+        let (ranks, _) = list_rank(&next);
+        for v in 0..n {
+            assert_eq!(ranks[v], (v % 2 == 0) as u32);
+        }
+    }
+
+    #[test]
+    fn empty() {
+        let (ranks, _) = list_rank(&[]);
+        assert!(ranks.is_empty());
+    }
+}

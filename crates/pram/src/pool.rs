@@ -1,0 +1,42 @@
+//! Thread-pool control for the speedup experiments (E3): run a closure on
+//! a rayon pool with a fixed number of worker threads, so self-relative
+//! speedup can be measured at 1, 2, 4, 8 threads.
+
+/// Runs `f` on a dedicated rayon thread pool with `threads` workers.
+/// All rayon parallelism inside `f` is confined to that pool.
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("failed to build thread pool")
+        .install(f)
+}
+
+/// The number of logical CPUs rayon would use by default.
+pub fn default_parallelism() -> usize {
+    rayon::current_num_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn pool_restricts_thread_count() {
+        let inside = with_threads(2, rayon::current_num_threads);
+        assert_eq!(inside, 2);
+    }
+
+    #[test]
+    fn work_runs_inside_pool() {
+        let sum: u64 = with_threads(3, || (0..1000u64).into_par_iter().sum());
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    fn single_thread_pool() {
+        let inside = with_threads(1, rayon::current_num_threads);
+        assert_eq!(inside, 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Parallel sorting with PRAM cost accounting.
+//!
+//! Executes rayon's parallel merge sort; charges the cost of Cole's
+//! pipelined merge sort (the standard PRAM sorting bound contemporaries of
+//! the paper would cite): `O(n log n)` work, `O(log n)` depth.
+
+use crate::cost::{log2ceil, Cost};
+use rayon::prelude::*;
+
+/// Sorts a copy of `xs` by key. Returns the sorted vector and modelled cost.
+pub fn par_sort_by_key<T, K, F>(xs: &[T], key: F) -> (Vec<T>, Cost)
+where
+    T: Clone + Send + Sync,
+    K: Ord + Send,
+    F: Fn(&T) -> K + Send + Sync,
+{
+    let mut out = xs.to_vec();
+    out.par_sort_unstable_by_key(&key);
+    (out, sort_cost(xs.len()))
+}
+
+/// Sorts indices `0..n` by key — the PRAM "sort the records by rank" idiom
+/// without moving payloads.
+pub fn par_sort_indices<K, F>(n: usize, key: F) -> (Vec<u32>, Cost)
+where
+    K: Ord + Send,
+    F: Fn(u32) -> K + Send + Sync,
+{
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.par_sort_unstable_by_key(|&i| key(i));
+    (idx, sort_cost(n))
+}
+
+/// The modelled cost of sorting `n` records on a PRAM (Cole):
+/// `O(n log n)` work, `O(log n)` depth.
+pub fn sort_cost(n: usize) -> Cost {
+    let lg = log2ceil(n).max(1);
+    Cost::of(n as u64 * lg, lg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_by_key() {
+        let xs = vec![(3, 'c'), (1, 'a'), (2, 'b')];
+        let (out, cost) = par_sort_by_key(&xs, |&(k, _)| k);
+        assert_eq!(out, vec![(1, 'a'), (2, 'b'), (3, 'c')]);
+        assert!(cost.work >= 3);
+    }
+
+    #[test]
+    fn sorts_indices() {
+        let vals = [30u32, 10, 20];
+        let (idx, _) = par_sort_indices(3, |i| vals[i as usize]);
+        assert_eq!(idx, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn large_sort_matches_std() {
+        let xs: Vec<u64> = (0..50_000u64).map(|i| i.wrapping_mul(0x9E3779B9) % 10_000).collect();
+        let (out, _) = par_sort_by_key(&xs, |&x| x);
+        let mut expect = xs.clone();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+}

@@ -1,0 +1,642 @@
+//! Building the Tutte decomposition of a gp-pair from its chord spans.
+//!
+//! Input: `n_atoms` path edges (the realization's atoms in order) plus one
+//! chord `(lo, hi)` per column (`0 ≤ lo < hi ≤ n_atoms`, meaning the column
+//! occupies atom positions `lo..hi`). The cycle is `path ∪ {e}` with `e`
+//! joining path vertices `0` and `n_atoms`.
+//!
+//! Construction (see crate docs for why this equals the general Tutte
+//! decomposition on this graph class):
+//!
+//! 1. chords with the full span `(0, n)` are parallel to `e` → root bond;
+//! 2. remaining chords are grouped by span (identical spans → bonds);
+//! 3. distinct spans are partitioned into interlacement classes;
+//! 4. class hulls form a laminar family → nesting forest;
+//! 5. members are emitted bottom-up: multi-span classes become rigids
+//!    (perimeter = endpoint sequence), singleton classes become bonds,
+//!    gaps with ≥ 2 items become polygons; 2-edge members are suppressed
+//!    by splicing (the bond/polygon merge rule).
+
+use crate::interlace::classes_sweep;
+use crate::tree::{EdgeRef, Member, MemberId, MemberShape, TutteTree, VirtId};
+
+/// Errors for malformed chord inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecomposeError {
+    /// `n_atoms` must be ≥ 1.
+    NoAtoms,
+    /// A chord had `lo ≥ hi` or `hi > n_atoms`.
+    BadChord { index: usize, lo: u32, hi: u32 },
+}
+
+impl std::fmt::Display for DecomposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecomposeError::NoAtoms => write!(f, "decomposition requires at least one atom"),
+            DecomposeError::BadChord { index, lo, hi } => {
+                write!(f, "chord {index} has invalid span ({lo}, {hi})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecomposeError {}
+
+/// A group of chords sharing one span.
+#[derive(Debug, Clone)]
+struct SpanGroup {
+    lo: u32,
+    hi: u32,
+    chords: Vec<u32>,
+}
+
+/// One interlacement class of span groups.
+#[derive(Debug, Clone)]
+struct Class {
+    /// Indices into the span-group table.
+    groups: Vec<u32>,
+    /// Sorted distinct endpoint positions.
+    endpoints: Vec<u32>,
+    hull_lo: u32,
+    hull_hi: u32,
+    /// Children in the nesting forest, in increasing `hull_lo` order.
+    children: Vec<u32>,
+}
+
+/// An item encountered while walking an interval of the cycle.
+#[derive(Debug, Clone, Copy)]
+enum Item {
+    PathEdge(u32),
+    Child(u32), // class index
+}
+
+struct Builder {
+    members: Vec<Member>,
+    virt_parent: Vec<MemberId>,
+    virt_child: Vec<MemberId>,
+    chord_member: Vec<MemberId>,
+    path_member: Vec<MemberId>,
+    class_member: Vec<MemberId>,
+    class_outer: Vec<VirtId>,
+}
+
+const UNSET: u32 = u32::MAX;
+
+impl Builder {
+    fn new_virt(&mut self) -> VirtId {
+        self.virt_parent.push(UNSET);
+        self.virt_child.push(UNSET);
+        (self.virt_parent.len() - 1) as VirtId
+    }
+
+    fn push_member(&mut self, shape: MemberShape) -> MemberId {
+        let id = self.members.len() as MemberId;
+        for e in match &shape {
+            MemberShape::Bond { edges } => edges.clone(),
+            MemberShape::Polygon { ring } => ring.clone(),
+            MemberShape::Rigid { ring, chords } => {
+                let mut v = ring.clone();
+                v.extend(chords.iter().map(|&(_, _, e)| e));
+                v
+            }
+        } {
+            match e {
+                EdgeRef::Path(i) => self.path_member[i as usize] = id,
+                EdgeRef::Chord(c) => self.chord_member[c as usize] = id,
+                _ => {}
+            }
+        }
+        self.members.push(Member { shape, parent: None });
+        id
+    }
+
+    /// Builds the edge representing interval `(lo, hi)` whose direct
+    /// contents are `children` classes (already built, ordered by hull_lo)
+    /// plus uncovered path edges. Returns the edge plus the marker (if any)
+    /// whose `virt_parent` the caller must claim.
+    fn interval_edge(
+        &mut self,
+        lo: u32,
+        hi: u32,
+        children: &[u32],
+        classes: &[Class],
+    ) -> (EdgeRef, Option<VirtId>) {
+        let items = walk_items(lo, hi, children, classes);
+        debug_assert!(!items.is_empty(), "non-degenerate interval");
+        if items.len() == 1 {
+            return match items[0] {
+                Item::PathEdge(i) => (EdgeRef::Path(i), None),
+                Item::Child(c) => {
+                    let v = self.class_outer[c as usize];
+                    self.virt_child[v as usize] = self.class_member[c as usize];
+                    (EdgeRef::Virt(v), Some(v))
+                }
+            };
+        }
+        // polygon member: [items..., parent marker]
+        let v_poly = self.new_virt();
+        let mut ring = Vec::with_capacity(items.len() + 1);
+        let mut to_fix: Vec<VirtId> = Vec::new();
+        for item in &items {
+            match *item {
+                Item::PathEdge(i) => ring.push(EdgeRef::Path(i)),
+                Item::Child(c) => {
+                    let v = self.class_outer[c as usize];
+                    self.virt_child[v as usize] = self.class_member[c as usize];
+                    ring.push(EdgeRef::Virt(v));
+                    to_fix.push(v);
+                }
+            }
+        }
+        ring.push(EdgeRef::Virt(v_poly));
+        let pid = self.push_member(MemberShape::Polygon { ring });
+        for v in to_fix {
+            self.virt_parent[v as usize] = pid;
+        }
+        self.virt_child[v_poly as usize] = pid;
+        (EdgeRef::Virt(v_poly), Some(v_poly))
+    }
+
+    /// Builds the member for class `c` (children must be built already).
+    fn build_class(&mut self, c: usize, classes: &[Class], groups: &[SpanGroup]) {
+        let class = &classes[c];
+        let outer = self.class_outer[c];
+        if class.groups.len() == 1 {
+            // singleton class → bond {chords…, inner, outer}
+            let g = &groups[class.groups[0] as usize];
+            let (inner, claim) = self.interval_edge(g.lo, g.hi, &class.children, classes);
+            let mut edges: Vec<EdgeRef> = g.chords.iter().map(|&i| EdgeRef::Chord(i)).collect();
+            edges.push(inner);
+            edges.push(EdgeRef::Virt(outer));
+            let mid = self.push_member(MemberShape::Bond { edges });
+            if let Some(v) = claim {
+                self.virt_parent[v as usize] = mid;
+            }
+            self.class_member[c] = mid;
+            return;
+        }
+        // multi-span class → rigid
+        let eps = &class.endpoints;
+        let t = eps.len();
+        debug_assert!(t >= 4, "interlacing spans have ≥ 4 distinct endpoints");
+        // children are distributed into the gaps between consecutive endpoints
+        let mut gap_children: Vec<Vec<u32>> = vec![Vec::new(); t - 1];
+        for &ch in &class.children {
+            let (clo, chi) = (classes[ch as usize].hull_lo, classes[ch as usize].hull_hi);
+            let gi = match eps.binary_search(&clo) {
+                Ok(i) => i,
+                Err(i) => i - 1,
+            };
+            assert!(
+                gi + 1 < t && chi <= eps[gi + 1],
+                "nested class must fit within one gap of its parent"
+            );
+            gap_children[gi].push(ch);
+        }
+        let mut ring = Vec::with_capacity(t);
+        let mut claims: Vec<VirtId> = Vec::new();
+        for gi in 0..t - 1 {
+            let (edge, claim) =
+                self.interval_edge(eps[gi], eps[gi + 1], &gap_children[gi], classes);
+            ring.push(edge);
+            claims.extend(claim);
+        }
+        ring.push(EdgeRef::Virt(outer));
+        // chord edges of the rigid, one per span group; parallel groups
+        // hang off as bonds
+        let mut chords = Vec::with_capacity(class.groups.len());
+        for &gidx in &class.groups {
+            let g = &groups[gidx as usize];
+            let pa = eps.binary_search(&g.lo).expect("span endpoint is a class endpoint") as u32;
+            let pb = eps.binary_search(&g.hi).expect("span endpoint is a class endpoint") as u32;
+            let edge = if g.chords.len() == 1 {
+                EdgeRef::Chord(g.chords[0])
+            } else {
+                let vb = self.new_virt();
+                let mut edges: Vec<EdgeRef> =
+                    g.chords.iter().map(|&i| EdgeRef::Chord(i)).collect();
+                edges.push(EdgeRef::Virt(vb));
+                let bid = self.push_member(MemberShape::Bond { edges });
+                self.virt_child[vb as usize] = bid;
+                claims.push(vb);
+                EdgeRef::Virt(vb)
+            };
+            chords.push((pa, pb, edge));
+        }
+        let mid = self.push_member(MemberShape::Rigid { ring, chords });
+        for v in claims {
+            self.virt_parent[v as usize] = mid;
+        }
+        self.class_member[c] = mid;
+    }
+}
+
+/// Walks interval `(lo, hi)` producing the ordered item list: maximal
+/// nested classes interleaved with uncovered path edges.
+fn walk_items(lo: u32, hi: u32, children: &[u32], classes: &[Class]) -> Vec<Item> {
+    let mut items = Vec::new();
+    let mut pos = lo;
+    let mut ci = 0;
+    while pos < hi {
+        if ci < children.len() && classes[children[ci] as usize].hull_lo == pos {
+            let c = children[ci];
+            items.push(Item::Child(c));
+            pos = classes[c as usize].hull_hi;
+            ci += 1;
+        } else {
+            debug_assert!(
+                ci >= children.len() || classes[children[ci] as usize].hull_lo > pos,
+                "children must be disjoint and ordered"
+            );
+            items.push(Item::PathEdge(pos));
+            pos += 1;
+        }
+    }
+    debug_assert_eq!(pos, hi, "children must not overrun the interval");
+    debug_assert_eq!(ci, children.len(), "all children must be consumed");
+    items
+}
+
+/// Computes the rooted Tutte decomposition of the gp-pair with `n_atoms`
+/// path edges and the given chord spans (one per column).
+///
+/// Runs in `O(n + s log s + p α)` where `s` is the number of chords.
+pub fn decompose(n_atoms: usize, chords: &[(u32, u32)]) -> Result<TutteTree, DecomposeError> {
+    if n_atoms == 0 {
+        return Err(DecomposeError::NoAtoms);
+    }
+    let n = n_atoms as u32;
+    for (i, &(lo, hi)) in chords.iter().enumerate() {
+        if lo >= hi || hi > n {
+            return Err(DecomposeError::BadChord { index: i, lo, hi });
+        }
+    }
+    // 1. e-parallel chords; 2. span groups
+    let mut ep: Vec<u32> = Vec::new();
+    let mut order: Vec<u32> = Vec::new();
+    for (i, &(lo, hi)) in chords.iter().enumerate() {
+        if lo == 0 && hi == n {
+            ep.push(i as u32);
+        } else {
+            order.push(i as u32);
+        }
+    }
+    order.sort_unstable_by_key(|&i| chords[i as usize]);
+    let mut groups: Vec<SpanGroup> = Vec::new();
+    for &i in &order {
+        let (lo, hi) = chords[i as usize];
+        match groups.last_mut() {
+            Some(g) if g.lo == lo && g.hi == hi => g.chords.push(i),
+            _ => groups.push(SpanGroup { lo, hi, chords: vec![i] }),
+        }
+    }
+    // 3. interlacement classes over distinct spans
+    let spans: Vec<(u32, u32)> = groups.iter().map(|g| (g.lo, g.hi)).collect();
+    let class_groups = classes_sweep(&spans);
+    let mut classes: Vec<Class> = class_groups
+        .into_iter()
+        .map(|grp| {
+            let mut endpoints: Vec<u32> = grp
+                .iter()
+                .flat_map(|&gi| [groups[gi as usize].lo, groups[gi as usize].hi])
+                .collect();
+            endpoints.sort_unstable();
+            endpoints.dedup();
+            let hull_lo = endpoints[0];
+            let hull_hi = *endpoints.last().unwrap();
+            Class { groups: grp, endpoints, hull_lo, hull_hi, children: Vec::new() }
+        })
+        .collect();
+    // 4. nesting forest over hulls. Sort order: by (hull_lo asc, hull_hi
+    // desc); on identical hulls the singleton class is the parent of the
+    // multi-span class (the parallel chord's bond encloses the rigid).
+    let mut idx: Vec<u32> = (0..classes.len() as u32).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        let ca = &classes[a as usize];
+        let cb = &classes[b as usize];
+        ca.hull_lo
+            .cmp(&cb.hull_lo)
+            .then(cb.hull_hi.cmp(&ca.hull_hi))
+            .then((ca.groups.len() > 1).cmp(&(cb.groups.len() > 1)))
+    });
+    let mut top: Vec<u32> = Vec::new();
+    let mut stack: Vec<u32> = Vec::new();
+    for &c in &idx {
+        let (lo, hi) = (classes[c as usize].hull_lo, classes[c as usize].hull_hi);
+        while let Some(&t) = stack.last() {
+            let (tlo, thi) = (classes[t as usize].hull_lo, classes[t as usize].hull_hi);
+            let contains = tlo <= lo && hi <= thi && t != c;
+            if contains {
+                break;
+            }
+            assert!(
+                thi <= lo || (tlo <= lo && hi <= thi),
+                "class hulls must be laminar: ({tlo},{thi}) vs ({lo},{hi})"
+            );
+            stack.pop();
+        }
+        match stack.last() {
+            Some(&p) => classes[p as usize].children.push(c),
+            None => top.push(c),
+        }
+        stack.push(c);
+    }
+    // 5. build members bottom-up (children precede parents in post-order)
+    let mut b = Builder {
+        members: Vec::new(),
+        virt_parent: Vec::new(),
+        virt_child: Vec::new(),
+        chord_member: vec![UNSET; chords.len()],
+        path_member: vec![UNSET; n_atoms],
+        class_member: vec![UNSET; classes.len()],
+        class_outer: Vec::new(),
+    };
+    for _ in 0..classes.len() {
+        let v = b.new_virt();
+        b.class_outer.push(v);
+    }
+    // post-order traversal of the forest
+    let mut post: Vec<u32> = Vec::new();
+    {
+        let mut dfs: Vec<(u32, bool)> = top.iter().rev().map(|&c| (c, false)).collect();
+        while let Some((c, expanded)) = dfs.pop() {
+            if expanded {
+                post.push(c);
+            } else {
+                dfs.push((c, true));
+                for &ch in classes[c as usize].children.iter().rev() {
+                    dfs.push((ch, false));
+                }
+            }
+        }
+    }
+    for c in post {
+        b.build_class(c as usize, &classes, &groups);
+    }
+    // 6. the root
+    let root: MemberId;
+    if !ep.is_empty() {
+        // root bond {e, e-parallel chords, inner}
+        let (inner, claim) = b.interval_edge(0, n, &top, &classes);
+        let mut edges: Vec<EdgeRef> = vec![EdgeRef::E];
+        edges.extend(ep.iter().map(|&i| EdgeRef::Chord(i)));
+        edges.push(inner);
+        root = b.push_member(MemberShape::Bond { edges });
+        if let Some(v) = claim {
+            b.virt_parent[v as usize] = root;
+        }
+    } else {
+        let items = walk_items(0, n, &top, &classes);
+        if items.len() == 1 {
+            match items[0] {
+                Item::Child(c) => {
+                    // suppress the 2-polygon {e, class}: e joins the class
+                    // member directly, replacing its outer marker.
+                    root = b.class_member[c as usize];
+                    let outer = b.class_outer[c as usize];
+                    replace_edge(
+                        &mut b.members[root as usize].shape,
+                        EdgeRef::Virt(outer),
+                        EdgeRef::E,
+                    );
+                    // retire the unused marker id by popping it if it is the
+                    // last one; otherwise mark it as self-paired for
+                    // validate() to skip. Markers are allocated per class up
+                    // front, so compact by swapping with the last id.
+                    retire_virt(&mut b, outer);
+                }
+                Item::PathEdge(_) => {
+                    // degenerate n == 1: bond {e, path 0}
+                    root = b.push_member(MemberShape::Bond {
+                        edges: vec![EdgeRef::Path(0), EdgeRef::E],
+                    });
+                }
+            }
+        } else {
+            let mut ring = Vec::with_capacity(items.len() + 1);
+            let mut to_fix = Vec::new();
+            for item in &items {
+                match *item {
+                    Item::PathEdge(i) => ring.push(EdgeRef::Path(i)),
+                    Item::Child(c) => {
+                        let v = b.class_outer[c as usize];
+                        b.virt_child[v as usize] = b.class_member[c as usize];
+                        ring.push(EdgeRef::Virt(v));
+                        to_fix.push(v);
+                    }
+                }
+            }
+            ring.push(EdgeRef::E);
+            root = b.push_member(MemberShape::Polygon { ring });
+            for v in to_fix {
+                b.virt_parent[v as usize] = root;
+            }
+        }
+    }
+    // 7. parent pointers
+    let mut tree = TutteTree {
+        n_atoms,
+        members: b.members,
+        root,
+        virt_parent: b.virt_parent,
+        virt_child: b.virt_child,
+        chord_member: b.chord_member,
+        path_member: b.path_member,
+    };
+    for v in 0..tree.virt_parent.len() {
+        let (p, c) = (tree.virt_parent[v], tree.virt_child[v]);
+        assert!(p != UNSET && c != UNSET, "marker {v} left unpaired");
+        tree.members[c as usize].parent = Some((p, v as VirtId));
+    }
+    #[cfg(debug_assertions)]
+    tree.validate();
+    Ok(tree)
+}
+
+/// Replaces one edge reference inside a member shape.
+fn replace_edge(shape: &mut MemberShape, from: EdgeRef, to: EdgeRef) {
+    let replace = |v: &mut Vec<EdgeRef>| {
+        let pos = v.iter().position(|&e| e == from).expect("edge to replace present");
+        v[pos] = to;
+    };
+    match shape {
+        MemberShape::Bond { edges } => replace(edges),
+        MemberShape::Polygon { ring } => replace(ring),
+        MemberShape::Rigid { ring, chords } => {
+            if ring.contains(&from) {
+                replace(ring);
+            } else {
+                let pos = chords.iter().position(|&(_, _, e)| e == from).expect("chord present");
+                chords[pos].2 = to;
+            }
+        }
+    }
+}
+
+/// Removes an unused marker id by swapping with the last allocated marker
+/// and renaming that marker's references.
+fn retire_virt(b: &mut Builder, v: VirtId) {
+    let last = (b.virt_parent.len() - 1) as VirtId;
+    if v != last {
+        // rename `last` to `v` everywhere
+        b.virt_parent.swap(v as usize, last as usize);
+        b.virt_child.swap(v as usize, last as usize);
+        for m in &mut b.members {
+            match &mut m.shape {
+                MemberShape::Bond { edges } => {
+                    for e in edges {
+                        if *e == EdgeRef::Virt(last) {
+                            *e = EdgeRef::Virt(v);
+                        }
+                    }
+                }
+                MemberShape::Polygon { ring } => {
+                    for e in ring {
+                        if *e == EdgeRef::Virt(last) {
+                            *e = EdgeRef::Virt(v);
+                        }
+                    }
+                }
+                MemberShape::Rigid { ring, chords } => {
+                    for e in ring {
+                        if *e == EdgeRef::Virt(last) {
+                            *e = EdgeRef::Virt(v);
+                        }
+                    }
+                    for c in chords {
+                        if c.2 == EdgeRef::Virt(last) {
+                            c.2 = EdgeRef::Virt(v);
+                        }
+                    }
+                }
+            }
+        }
+        for i in 0..b.class_outer.len() {
+            if b.class_outer[i] == last {
+                b.class_outer[i] = v;
+            }
+        }
+    }
+    b.virt_parent.pop();
+    b.virt_child.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::MemberKind;
+
+    fn kinds(tree: &TutteTree) -> Vec<MemberKind> {
+        let mut k: Vec<MemberKind> = tree.members.iter().map(|m| m.kind()).collect();
+        k.sort();
+        k
+    }
+
+    #[test]
+    fn bare_cycle_is_one_polygon() {
+        let t = decompose(4, &[]).unwrap();
+        t.validate();
+        assert_eq!(kinds(&t), vec![MemberKind::Polygon]);
+        assert_eq!(t.members[t.root as usize].edges().len(), 5); // 4 path + e
+    }
+
+    #[test]
+    fn single_chord_bond_between_polygons() {
+        // cycle of 5 path edges + e, chord (1, 4)
+        let t = decompose(5, &[(1, 4)]).unwrap();
+        t.validate();
+        // bond {chord, inner polygon marker, outer marker};
+        // inner polygon = path edges 1,2,3 + marker; outer polygon = path 0,4 + e + marker
+        assert_eq!(kinds(&t), vec![MemberKind::Bond, MemberKind::Polygon, MemberKind::Polygon]);
+        assert_eq!(t.members[t.root as usize].kind(), MemberKind::Polygon);
+    }
+
+    #[test]
+    fn chord_parallel_to_path_edge() {
+        // chord (2,3) is parallel to path edge 2: bond {chord, path 2, marker}
+        let t = decompose(4, &[(2, 3)]).unwrap();
+        t.validate();
+        assert_eq!(kinds(&t), vec![MemberKind::Bond, MemberKind::Polygon]);
+        let bond = &t.members[t.chord_member[0] as usize];
+        assert!(bond.contains(EdgeRef::Path(2)));
+    }
+
+    #[test]
+    fn full_span_chord_joins_e_bond() {
+        let t = decompose(3, &[(0, 3)]).unwrap();
+        t.validate();
+        assert_eq!(kinds(&t), vec![MemberKind::Bond, MemberKind::Polygon]);
+        assert_eq!(t.members[t.root as usize].kind(), MemberKind::Bond);
+        assert!(t.members[t.root as usize].contains(EdgeRef::E));
+        assert!(t.members[t.root as usize].contains(EdgeRef::Chord(0)));
+    }
+
+    #[test]
+    fn interlacing_pair_is_rigid_root() {
+        // chords (0,2) and (1,3) over 3 atoms: whole graph is 3-connected
+        // (cycle of 4 + 2 crossing chords = K4)
+        let t = decompose(3, &[(0, 2), (1, 3)]).unwrap();
+        t.validate();
+        assert_eq!(kinds(&t), vec![MemberKind::Rigid]);
+        let root = &t.members[t.root as usize];
+        assert!(root.contains(EdgeRef::E));
+        match &root.shape {
+            MemberShape::Rigid { ring, chords } => {
+                assert_eq!(ring.len(), 4);
+                assert_eq!(chords.len(), 2);
+            }
+            other => panic!("expected rigid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_spans_form_bond_under_rigid() {
+        // two copies of (1,3) + interlacing (2,4) + (0,2)... keep it small:
+        // chords (1,3), (1,3), (2,4) over 5 atoms
+        let t = decompose(5, &[(1, 3), (1, 3), (2, 4)]).unwrap();
+        t.validate();
+        let k = kinds(&t);
+        assert!(k.contains(&MemberKind::Rigid));
+        assert!(k.contains(&MemberKind::Bond));
+        // both chords of the duplicate span live in the same bond member
+        assert_eq!(t.chord_member[0], t.chord_member[1]);
+        assert_ne!(t.chord_member[0], t.chord_member[2]);
+    }
+
+    #[test]
+    fn nested_chords_polygon_chain() {
+        let t = decompose(8, &[(1, 7), (2, 6), (3, 5)]).unwrap();
+        t.validate();
+        let k = kinds(&t);
+        assert_eq!(k.iter().filter(|&&x| x == MemberKind::Bond).count(), 3);
+        assert!(!k.contains(&MemberKind::Rigid));
+        // depth: root polygon -> bond(1,7) -> polygon -> bond(2,6) -> ...
+        let deepest = t.chord_member[2];
+        assert!(t.depth(deepest) >= 4);
+    }
+
+    #[test]
+    fn degenerate_single_atom() {
+        let t = decompose(1, &[]).unwrap();
+        assert_eq!(t.members.len(), 1);
+        let t2 = decompose(1, &[(0, 1), (0, 1)]).unwrap();
+        t2.validate();
+        assert_eq!(t2.members[t2.root as usize].kind(), MemberKind::Bond);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(decompose(0, &[]), Err(DecomposeError::NoAtoms)));
+        assert!(matches!(decompose(3, &[(2, 2)]), Err(DecomposeError::BadChord { .. })));
+        assert!(matches!(decompose(3, &[(1, 4)]), Err(DecomposeError::BadChord { .. })));
+    }
+
+    #[test]
+    fn fig2_left_subensemble_structure() {
+        // (A1, C1) of the paper's Fig. 2 worked example has columns
+        // restricted to the 4 chosen atoms; decomposition is small and valid.
+        let t = decompose(4, &[(0, 2), (1, 3), (0, 4), (2, 4)]).unwrap();
+        t.validate();
+        assert!(kinds(&t).contains(&MemberKind::Rigid));
+    }
+}

@@ -1,0 +1,214 @@
+//! Composition `m(𝒟)`: re-linearizing a (possibly re-arranged)
+//! decomposition into an atom order.
+//!
+//! A 2-isomorphism class is parameterized by (Theorem 2):
+//! * a permutation of each polygon's edges — represented by mutating the
+//!   polygon's `ring` in a cloned tree (the alignment step does this);
+//! * an orientation for each marker edge — the [`Arrangement`] flip bits;
+//! * a reflection of each rigid member — subsumed by the flip bit of the
+//!   marker above it (the root's global reflection is `root_flip`).
+//!
+//! Composing with the identity arrangement reproduces the original path
+//! order; composing with any other arrangement yields a 2-isomorphic
+//! gp-realization, i.e. another valid linearization of the same ensemble —
+//! a property the tests exercise heavily.
+
+use crate::tree::{EdgeRef, MemberId, MemberShape, TutteTree};
+
+/// Marker orientations for a composition.
+#[derive(Debug, Clone)]
+pub struct Arrangement {
+    /// Per marker: traverse the subtree below it reversed?
+    pub virt_flip: Vec<bool>,
+    /// Reverse the whole realization?
+    pub root_flip: bool,
+}
+
+impl Arrangement {
+    /// The identity arrangement for `tree`.
+    pub fn identity(tree: &TutteTree) -> Self {
+        Arrangement { virt_flip: vec![false; tree.virt_parent.len()], root_flip: false }
+    }
+}
+
+/// Expands the decomposition into the sequence of original atom positions
+/// (values in `0..n_atoms`, each exactly once). The caller maps positions
+/// back to atoms of its realization.
+pub fn compose(tree: &TutteTree, arr: &Arrangement) -> Vec<u32> {
+    let mut out = Vec::with_capacity(tree.n_atoms);
+    // Work stack of (edge, direction) tasks; LIFO, so children are pushed
+    // in reverse of the order they must be emitted.
+    let mut stack: Vec<(EdgeRef, bool)> = Vec::new();
+    push_member(tree, arr, tree.root, EdgeRef::E, arr.root_flip, &mut stack);
+    while let Some((edge, dir)) = stack.pop() {
+        match edge {
+            EdgeRef::Path(i) => out.push(i),
+            EdgeRef::Virt(v) => {
+                let child = tree.virt_child[v as usize];
+                let d = dir ^ arr.virt_flip[v as usize];
+                push_member(tree, arr, child, EdgeRef::Virt(v), d, &mut stack);
+            }
+            EdgeRef::E => unreachable!("e is only ever an entry edge"),
+            EdgeRef::Chord(_) => unreachable!("chords are never traversed"),
+        }
+    }
+    debug_assert_eq!(out.len(), tree.n_atoms, "every atom appears exactly once");
+    out
+}
+
+/// Pushes the non-entry edges of member `m`, entered via `entry` with
+/// direction `dir`, onto the task stack (reversed, so they pop in order).
+fn push_member(
+    tree: &TutteTree,
+    _arr: &Arrangement,
+    m: MemberId,
+    entry: EdgeRef,
+    dir: bool,
+    stack: &mut Vec<(EdgeRef, bool)>,
+) {
+    match &tree.members[m as usize].shape {
+        MemberShape::Bond { edges } => {
+            // exactly one path-carrying edge besides the entry
+            let carrier = edges
+                .iter()
+                .copied()
+                .find(|&e| e != entry && (matches!(e, EdgeRef::Path(_)) || e.is_virt()))
+                .expect("bond has a path carrier");
+            stack.push((carrier, dir));
+        }
+        MemberShape::Polygon { ring } => push_ring(ring, entry, dir, stack),
+        MemberShape::Rigid { ring, .. } => push_ring(ring, entry, dir, stack),
+    }
+}
+
+fn push_ring(ring: &[EdgeRef], entry: EdgeRef, dir: bool, stack: &mut Vec<(EdgeRef, bool)>) {
+    let k = ring.len();
+    let idx = ring.iter().position(|&e| e == entry).expect("entry edge on the ring");
+    // Emission order: forward = idx+1, idx+2, …, idx+k-1 (mod k);
+    // reversed = idx-1, idx-2, …  Push in reverse so pops emit in order.
+    if !dir {
+        for off in (1..k).rev() {
+            stack.push((ring[(idx + off) % k], dir));
+        }
+    } else {
+        for off in (1..k).rev() {
+            stack.push((ring[(idx + k - off) % k], dir));
+        }
+    }
+}
+
+/// Convenience: positions of every chord's span under the composed order.
+/// Returns, per chord, `(lo, hi)` in *new* positions — the chord's column
+/// occupies new positions `lo..hi`. Useful for GAP-condition scans.
+///
+/// `order` must be the output of [`compose`] for the same tree, and
+/// `spans` the chord spans the tree was built from (original positions).
+pub fn chord_spans_after(order: &[u32], spans: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    // new_pos[original_position] = new index
+    let mut new_pos = vec![0u32; order.len()];
+    for (i, &orig) in order.iter().enumerate() {
+        new_pos[orig as usize] = i as u32;
+    }
+    spans
+        .iter()
+        .map(|&(lo, hi)| {
+            let mut nlo = u32::MAX;
+            let mut nhi = 0u32;
+            for p in lo..hi {
+                let np = new_pos[p as usize];
+                nlo = nlo.min(np);
+                nhi = nhi.max(np);
+            }
+            (nlo, nhi + 1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::decompose;
+
+    fn identity_roundtrip(n: usize, chords: &[(u32, u32)]) {
+        let t = decompose(n, chords).unwrap();
+        let order = compose(&t, &Arrangement::identity(&t));
+        assert_eq!(order, (0..n as u32).collect::<Vec<_>>(), "identity failed for {chords:?}");
+    }
+
+    #[test]
+    fn identity_reproduces_input_order() {
+        identity_roundtrip(1, &[]);
+        identity_roundtrip(2, &[]);
+        identity_roundtrip(5, &[]);
+        identity_roundtrip(5, &[(1, 4)]);
+        identity_roundtrip(5, &[(0, 5), (1, 4), (2, 3)]);
+        identity_roundtrip(6, &[(0, 2), (1, 3), (2, 4), (3, 5)]);
+        identity_roundtrip(8, &[(1, 7), (2, 6), (3, 5), (0, 4)]);
+        identity_roundtrip(4, &[(0, 2), (1, 3), (0, 4), (2, 4), (1, 3)]);
+    }
+
+    #[test]
+    fn root_flip_reverses() {
+        let t = decompose(6, &[(1, 3), (2, 5)]).unwrap();
+        let mut arr = Arrangement::identity(&t);
+        arr.root_flip = true;
+        let order = compose(&t, &arr);
+        assert_eq!(order, vec![5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn flips_preserve_span_contiguity() {
+        // Any arrangement yields a 2-isomorphic gp-realization, so every
+        // chord span must stay contiguous (it is, by construction of
+        // chord_spans_after, checked through span widths).
+        let chords = [(1u32, 4u32), (4, 7), (2, 3), (0, 5)];
+        let t = decompose(8, &chords).unwrap();
+        for mask in 0..(1u32 << t.virt_parent.len().min(12)) {
+            let arr = Arrangement {
+                virt_flip: (0..t.virt_parent.len()).map(|i| mask >> i & 1 == 1).collect(),
+                root_flip: mask.count_ones() % 2 == 1,
+            };
+            let order = compose(&t, &arr);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+            for (ci, &(lo, hi)) in chords.iter().enumerate() {
+                let spans = chord_spans_after(&order, &chords);
+                let (nlo, nhi) = spans[ci];
+                assert_eq!(
+                    nhi - nlo,
+                    hi - lo,
+                    "chord {ci} must stay contiguous under arrangement {mask:#b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn polygon_relink_is_a_valid_switch() {
+        // permuting a polygon ring produces another valid linearization
+        let chords = [(1u32, 3u32), (4, 6)];
+        let mut t = decompose(7, &chords).unwrap();
+        // find the root polygon and rotate its non-e edges
+        let root = t.root as usize;
+        if let MemberShape::Polygon { ring } = &mut t.members[root].shape {
+            let e_pos = ring.iter().position(|&e| e == EdgeRef::E).unwrap();
+            ring.remove(e_pos);
+            ring.rotate_left(1);
+            ring.push(EdgeRef::E);
+        } else {
+            panic!("expected polygon root");
+        }
+        let order = compose(&t, &Arrangement::identity(&t));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..7).collect::<Vec<_>>());
+        let spans = chord_spans_after(&order, &chords);
+        for (ci, &(lo, hi)) in chords.iter().enumerate() {
+            let (nlo, nhi) = spans[ci];
+            assert_eq!(nhi - nlo, hi - lo, "chord {ci} contiguous after relink");
+        }
+        // and the order genuinely changed
+        assert_ne!(order, (0..7).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,304 @@
+//! Chord interlacement classes.
+//!
+//! Two chords of a cycle *interlace* when their endpoints strictly
+//! alternate around the cycle. The transitive closure partitions the chords
+//! into **interlacement classes**; each multi-chord class spans a
+//! 3-connected member of the Tutte decomposition and each singleton class a
+//! bond. Since every chord of a gp-realization avoids the distinguished
+//! edge `e`, chords are plain intervals `(lo, hi)` over path vertices and
+//! interlacement is *strict partial overlap* of intervals.
+//!
+//! Two implementations:
+//! * [`classes_naive`] — `O(s²)` pairwise unions, obviously correct;
+//! * [`classes_sweep`] — the linear-time stack sweep (the component-merging
+//!   technique of Gauss-code/planarity interlacement analyses): scanning
+//!   endpoints left to right, a closing interval merges with every
+//!   still-open component opened after its own component's earliest open
+//!   interval.
+//!
+//! Property tests assert the two agree; the solver uses the sweep.
+
+/// Union-find over `n` items with path compression + union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Unions the sets of `a` and `b`; returns the new representative.
+    pub fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        big
+    }
+
+    /// Groups item indices by representative, in first-seen order.
+    pub fn groups(&mut self, n: usize) -> Vec<Vec<u32>> {
+        let mut index: Vec<i32> = vec![-1; n];
+        let mut out: Vec<Vec<u32>> = Vec::new();
+        for x in 0..n as u32 {
+            let r = self.find(x);
+            let slot = if index[r as usize] >= 0 {
+                index[r as usize] as usize
+            } else {
+                index[r as usize] = out.len() as i32;
+                out.push(Vec::new());
+                out.len() - 1
+            };
+            out[slot].push(x);
+        }
+        out
+    }
+}
+
+/// Do spans `a` and `b` strictly interlace (endpoints alternate)?
+#[inline]
+pub fn interlaces(a: (u32, u32), b: (u32, u32)) -> bool {
+    (a.0 < b.0 && b.0 < a.1 && a.1 < b.1) || (b.0 < a.0 && a.0 < b.1 && b.1 < a.1)
+}
+
+/// Interlacement classes by pairwise testing: `O(s²)`. Returns classes as
+/// lists of span indices (each sorted ascending), ordered by smallest
+/// member.
+pub fn classes_naive(spans: &[(u32, u32)]) -> Vec<Vec<u32>> {
+    let mut uf = UnionFind::new(spans.len());
+    for i in 0..spans.len() {
+        for j in i + 1..spans.len() {
+            if interlaces(spans[i], spans[j]) {
+                uf.union(i as u32, j as u32);
+            }
+        }
+    }
+    uf.groups(spans.len())
+}
+
+/// Interlacement classes by the stack sweep: `O(s α(s))` after sorting.
+///
+/// **Precondition**: spans are pairwise distinct (identical spans never
+/// interlace; the decomposition builder groups them into bonds before
+/// calling this). Checked with a debug assertion.
+///
+/// Events run left to right over positions; at equal positions all closes
+/// fire before all opens (shared endpoints never interlace). Closes at the
+/// same position fire innermost-first (larger `lo` first); opens at the
+/// same position push longer spans first (they close later, so they sit
+/// deeper). When a span closes, every still-open component stacked above
+/// its own component's entry is merged into it: each such component holds
+/// an open span that began inside the closing span and survives it, i.e.
+/// an interlacement witness (directly or through earlier merges).
+pub fn classes_sweep(spans: &[(u32, u32)]) -> Vec<Vec<u32>> {
+    let s = spans.len();
+    debug_assert!(
+        {
+            let mut sorted = spans.to_vec();
+            sorted.sort_unstable();
+            sorted.windows(2).all(|w| w[0] != w[1])
+        },
+        "classes_sweep requires pairwise-distinct spans"
+    );
+    let mut uf = UnionFind::new(s);
+    // events: (position, is_open, span index); sort key arranges:
+    //   closes before opens at equal position;
+    //   closes: larger lo first (innermost);
+    //   opens: larger hi first (deepest).
+    let mut events: Vec<(u32, bool, u32)> = Vec::with_capacity(2 * s);
+    for (i, &(lo, hi)) in spans.iter().enumerate() {
+        debug_assert!(lo < hi, "span must be non-degenerate");
+        events.push((lo, true, i as u32));
+        events.push((hi, false, i as u32));
+    }
+    events.sort_unstable_by(|&(p1, o1, i1), &(p2, o2, i2)| {
+        p1.cmp(&p2)
+            .then(o1.cmp(&o2)) // false (close) < true (open)
+            .then_with(|| {
+                if o1 {
+                    spans[i2 as usize].1.cmp(&spans[i1 as usize].1) // open: larger hi first
+                } else {
+                    spans[i2 as usize].0.cmp(&spans[i1 as usize].0) // close: larger lo first
+                }
+            })
+    });
+    // stack entries: (component representative at push time, open count)
+    let mut stack: Vec<(u32, u32)> = Vec::new();
+    for (_, is_open, idx) in events {
+        if is_open {
+            stack.push((idx, 1));
+        } else {
+            let mut root = uf.find(idx);
+            let mut opens: u32 = 0;
+            loop {
+                let (entry_class, entry_open) =
+                    stack.pop().expect("closing span must be on the stack");
+                let entry_root = uf.find(entry_class);
+                if entry_root == root {
+                    let remaining = entry_open + opens - 1;
+                    if remaining > 0 {
+                        stack.push((root, remaining));
+                    }
+                    break;
+                }
+                root = uf.union(root, entry_root);
+                opens += entry_open;
+            }
+            // Coalesce adjacent entries of the same (possibly just-merged)
+            // class so each class occupies one stack entry.
+            while stack.len() >= 2 {
+                let (c1, o1) = stack[stack.len() - 1];
+                let (c2, o2) = stack[stack.len() - 2];
+                if uf.find(c1) == uf.find(c2) {
+                    stack.truncate(stack.len() - 2);
+                    stack.push((uf.find(c1), o1 + o2));
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    debug_assert!(stack.is_empty(), "all spans must close");
+    uf.groups(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn normalize(mut classes: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+        for c in &mut classes {
+            c.sort_unstable();
+        }
+        classes.sort();
+        classes
+    }
+
+    fn check_agree(spans: &[(u32, u32)]) {
+        let a = normalize(classes_naive(spans));
+        let b = normalize(classes_sweep(spans));
+        assert_eq!(a, b, "sweep disagrees with naive on {spans:?}");
+    }
+
+    #[test]
+    fn interlace_predicate() {
+        assert!(interlaces((0, 2), (1, 3)));
+        assert!(interlaces((1, 3), (0, 2)));
+        assert!(!interlaces((0, 1), (1, 2))); // shared endpoint
+        assert!(!interlaces((0, 3), (1, 2))); // nested
+        assert!(!interlaces((0, 1), (2, 3))); // disjoint
+        assert!(!interlaces((0, 3), (0, 2))); // shared left endpoint
+    }
+
+    #[test]
+    fn simple_chains() {
+        check_agree(&[(0, 2), (1, 3)]);
+        check_agree(&[(0, 2), (1, 3), (2, 4)]);
+        check_agree(&[(0, 10), (1, 4), (2, 8), (3, 9)]);
+        check_agree(&[(0, 5), (1, 4), (2, 3)]); // nested: three classes
+    }
+
+    #[test]
+    fn chain_through_merged_components() {
+        // the tricky case from the design discussion: d=(5,15) interlaces
+        // only y=(11,31), which merged earlier with c=(10,12).
+        let spans = [(0, 30), (10, 12), (11, 31), (5, 15)];
+        check_agree(&spans);
+        let classes = normalize(classes_sweep(&spans));
+        assert_eq!(classes, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn shared_endpoints_do_not_merge() {
+        check_agree(&[(0, 5), (5, 10)]);
+        check_agree(&[(0, 5), (0, 10)]);
+        check_agree(&[(0, 10), (5, 10)]);
+        let classes = normalize(classes_sweep(&[(0, 5), (5, 10), (0, 10)]));
+        assert_eq!(classes.len(), 3);
+    }
+
+    #[test]
+    fn exhaustive_small() {
+        // random distinct-span subsets over positions 0..7
+        let mut all: Vec<(u32, u32)> = Vec::new();
+        for lo in 0..7u32 {
+            for hi in lo + 1..7 {
+                all.push((lo, hi));
+            }
+        }
+        let mut seed = 123456789u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for _ in 0..5000 {
+            let k = next() % 7;
+            let mut spans: Vec<(u32, u32)> = (0..k).map(|_| all[next() % all.len()]).collect();
+            spans.sort_unstable();
+            spans.dedup();
+            // shuffle back to a random order
+            for i in (1..spans.len()).rev() {
+                spans.swap(i, next() % (i + 1));
+            }
+            check_agree(&spans);
+        }
+    }
+
+    #[test]
+    fn exhaustive_triples() {
+        let mut all: Vec<(u32, u32)> = Vec::new();
+        for lo in 0..5u32 {
+            for hi in lo + 1..5 {
+                all.push((lo, hi));
+            }
+        }
+        for &a in &all {
+            for &b in &all {
+                for &c in &all {
+                    if a != b && b != c && a != c {
+                        check_agree(&[a, b, c]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_ne!(uf.find(0), uf.find(1));
+        uf.union(0, 1);
+        uf.union(3, 4);
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_eq!(uf.find(3), uf.find(4));
+        assert_ne!(uf.find(1), uf.find(3));
+        let groups = uf.groups(5);
+        assert_eq!(groups.len(), 3);
+    }
+}

@@ -1,0 +1,38 @@
+//! # c1p-tutte: Tutte decomposition of gp/gc-realizations
+//!
+//! The paper's primary data structure (Section 2.2): the decomposition of a
+//! 2-connected graph into bonds, polygons and 3-connected (rigid) members.
+//! The general linear-time algorithm is Hopcroft–Tarjan [12] (parallel:
+//! Fussell–Ramachandran–Thurimella [10]); **this crate exploits that every
+//! graph the C1P algorithm decomposes is a gp-realization** — a known
+//! Hamiltonian cycle `P ∪ {e}` plus chords (Propositions 3–4) — for which
+//! the decomposition reduces to *chord interlacement classes* on a cycle:
+//!
+//! * chords with identical spans merge into **bond** members;
+//! * an interlacement class with ≥ 2 distinct spans forms a **rigid**
+//!   member whose perimeter visits the class's endpoints in cycle order;
+//! * a singleton class forms a bond `{chord, inside, outside}`;
+//! * the gaps between consecutive endpoints become **polygon** members
+//!   (suppressed when they would have only two edges).
+//!
+//! Cunningham–Edmonds uniqueness guarantees this agrees with the general
+//! decomposition; `tests/` verifies that differentially against
+//! `c1p_graph::tutte_ref` on thousands of random inputs.
+//!
+//! The crate also provides everything the alignment step (paper Section 4)
+//! consumes: rooted tree navigation (root = the member containing `e`),
+//! minimal decompositions with respect to an edge set, and *composition*
+//! `m(𝒟)` under an arbitrary choice of Whitney-switch arrangement (polygon
+//! re-linkings + marker-edge orientations), which re-linearizes the
+//! realization.
+
+pub mod build;
+pub mod compose;
+pub mod interlace;
+pub mod minimal;
+pub mod tree;
+
+pub use build::{decompose, DecomposeError};
+pub use compose::{chord_spans_after, compose, Arrangement};
+pub use minimal::{minimal_subtree, path_between, MinimalTree};
+pub use tree::{EdgeRef, Member, MemberId, MemberKind, MemberShape, TutteTree, VirtId};

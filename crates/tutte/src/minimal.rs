@@ -1,0 +1,128 @@
+//! Minimal decompositions (paper Section 2.2): the connected subtree
+//! `𝒟' ⊆ 𝒟` such that every edge of a given set lies in some member of
+//! `𝒟'` and every leaf of `𝒟'` contains one of the edges.
+//!
+//! The alignment algorithms of Section 4 operate on minimal decompositions
+//! with respect to `{e} ∪ crossing edges`; the leaf count drives the case
+//! analysis of Sections 4.2.1–4.2.2 ("check that 𝒟 has at most two leaf
+//! members").
+
+use crate::tree::{MemberId, TutteTree};
+
+/// The minimal connected subtree of a rooted [`TutteTree`] covering a set
+/// of members (always includes the root, per Section 4's rooting at `e`).
+#[derive(Debug, Clone)]
+pub struct MinimalTree {
+    /// Members of the subtree (sorted ascending).
+    pub nodes: Vec<MemberId>,
+    /// Marked members with no marked (or covering) members strictly below
+    /// them — the paper's leaf members.
+    pub leaves: Vec<MemberId>,
+}
+
+impl MinimalTree {
+    /// Is `m` in the subtree?
+    pub fn contains(&self, m: MemberId) -> bool {
+        self.nodes.binary_search(&m).is_ok()
+    }
+}
+
+/// Computes the minimal subtree spanning `marked` members plus the root.
+///
+/// `marked` is the set of members containing the distinguished edge set
+/// (e.g. `e` and all crossing chords). Leaves are subtree members with no
+/// subtree member strictly below them; by minimality every leaf is marked.
+pub fn minimal_subtree(tree: &TutteTree, marked: &[MemberId]) -> MinimalTree {
+    let mut in_set = vec![false; tree.members.len()];
+    in_set[tree.root as usize] = true;
+    for &m in marked {
+        let mut cur = m;
+        loop {
+            if in_set[cur as usize] {
+                break;
+            }
+            in_set[cur as usize] = true;
+            match tree.members[cur as usize].parent {
+                Some((p, _)) => cur = p,
+                None => break,
+            }
+        }
+    }
+    let nodes: Vec<MemberId> =
+        (0..tree.members.len() as MemberId).filter(|&m| in_set[m as usize]).collect();
+    // leaves: nodes none of whose subtree-children are in the set
+    let mut has_child_in_set = vec![false; tree.members.len()];
+    for &m in &nodes {
+        if let Some((p, _)) = tree.members[m as usize].parent {
+            if in_set[p as usize] {
+                has_child_in_set[p as usize] = true;
+            }
+        }
+    }
+    let leaves: Vec<MemberId> =
+        nodes.iter().copied().filter(|&m| !has_child_in_set[m as usize]).collect();
+    MinimalTree { nodes, leaves }
+}
+
+/// The members along the path from `from` (inclusive) up to `to`
+/// (inclusive); panics if `to` is not an ancestor-or-self of `from`.
+pub fn path_between(tree: &TutteTree, from: MemberId, to: MemberId) -> Vec<MemberId> {
+    let mut out = vec![from];
+    let mut cur = from;
+    while cur != to {
+        let (p, _) = tree.members[cur as usize]
+            .parent
+            .unwrap_or_else(|| panic!("{to} is not an ancestor of {from}"));
+        out.push(p);
+        cur = p;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::decompose;
+
+    #[test]
+    fn root_only_when_nothing_marked() {
+        let t = decompose(6, &[(1, 3), (2, 5)]).unwrap();
+        let mt = minimal_subtree(&t, &[]);
+        assert_eq!(mt.nodes, vec![t.root]);
+        assert_eq!(mt.leaves, vec![t.root]);
+    }
+
+    #[test]
+    fn chain_to_nested_chord() {
+        let t = decompose(8, &[(1, 7), (2, 6), (3, 5)]).unwrap();
+        let deep = t.chord_member[2];
+        let mt = minimal_subtree(&t, &[deep]);
+        // path root → … → deep, all on one chain: exactly one leaf
+        assert_eq!(mt.leaves, vec![deep]);
+        assert_eq!(mt.nodes.len(), t.depth(deep) + 1);
+        assert!(mt.contains(t.root));
+    }
+
+    #[test]
+    fn two_disjoint_chords_two_leaves() {
+        let t = decompose(8, &[(1, 3), (5, 7)]).unwrap();
+        let m0 = t.chord_member[0];
+        let m1 = t.chord_member[1];
+        let mt = minimal_subtree(&t, &[m0, m1]);
+        let mut leaves = mt.leaves.clone();
+        leaves.sort_unstable();
+        let mut expect = vec![m0, m1];
+        expect.sort_unstable();
+        assert_eq!(leaves, expect);
+    }
+
+    #[test]
+    fn path_between_endpoints() {
+        let t = decompose(8, &[(1, 7), (2, 6)]).unwrap();
+        let deep = t.chord_member[1];
+        let path = path_between(&t, deep, t.root);
+        assert_eq!(path.first(), Some(&deep));
+        assert_eq!(path.last(), Some(&t.root));
+        assert_eq!(path.len(), t.depth(deep) + 1);
+    }
+}

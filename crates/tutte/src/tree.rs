@@ -1,0 +1,289 @@
+//! The decomposition tree: members (bonds / polygons / rigids), marker
+//! edges, and rooted navigation.
+//!
+//! Members reference edges of the decomposed gp-pair symbolically:
+//! path edges by position, chords by input index, the distinguished edge
+//! `e`, and marker ("virtual") edges by id. The tree is rooted at the
+//! member containing `e`, exactly as the paper's Section 4 prescribes
+//! ("view the resulting Tutte decomposition as a rooted tree with the
+//! member containing e as the root").
+
+/// Member index within a [`TutteTree`].
+pub type MemberId = u32;
+/// Marker-edge (virtual edge) index.
+pub type VirtId = u32;
+
+/// A symbolic reference to an edge of the decomposed graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeRef {
+    /// Path edge `i` (joins path vertices `i` and `i+1`); carries atom
+    /// position `i` of the realization being decomposed.
+    Path(u32),
+    /// The distinguished edge `e` joining the two ends of the path
+    /// (the chord of the complete column).
+    E,
+    /// Input chord `i` (a column's non-path edge).
+    Chord(u32),
+    /// Marker edge shared by exactly two members.
+    Virt(VirtId),
+}
+
+impl EdgeRef {
+    /// Is this a marker edge?
+    pub fn is_virt(self) -> bool {
+        matches!(self, EdgeRef::Virt(_))
+    }
+
+    /// Is this a real (non-marker) edge?
+    pub fn is_real(self) -> bool {
+        !self.is_virt()
+    }
+}
+
+/// Member classification (paper Section 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemberKind {
+    /// ≥ 3 parallel edges on two vertices.
+    Bond,
+    /// A cycle of ≥ 3 edges; polygons carry no chords (Proposition 4).
+    Polygon,
+    /// A 3-connected member: its perimeter (the restriction of the
+    /// Hamiltonian cycle, Proposition 3) plus ≥ 2 interlacing chords.
+    Rigid,
+}
+
+/// The structure of one member.
+///
+/// Ring conventions: `ring[i]` joins local perimeter vertex `i` to
+/// `i+1 (mod len)`. As built, the member's parent-side edge (marker to the
+/// parent, or `e` at the root) is the **last** ring entry, so an identity
+/// traversal entering there walks the member's contents in original path
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemberShape {
+    /// Parallel edges between two vertices. Contains exactly one
+    /// *path-carrying* edge (a `Path` or `Virt`), one parent-side edge
+    /// (`Virt` or `E`), and any number of chords.
+    Bond {
+        /// The parallel edges.
+        edges: Vec<EdgeRef>,
+    },
+    /// A cycle of edges; free to re-link (permute) under Whitney switches.
+    Polygon {
+        /// The cyclic edge order.
+        ring: Vec<EdgeRef>,
+    },
+    /// A 3-connected member: rigid up to reflection.
+    Rigid {
+        /// Perimeter edges in local Hamiltonian-cycle order.
+        ring: Vec<EdgeRef>,
+        /// Chords as `(perimeter position a, perimeter position b, edge)`,
+        /// with `a < b`; position `p` is the local vertex between
+        /// `ring[p-1]` and `ring[p]` (so positions range over
+        /// `0..ring.len()`).
+        chords: Vec<(u32, u32, EdgeRef)>,
+    },
+}
+
+/// A member plus its tree linkage.
+#[derive(Debug, Clone)]
+pub struct Member {
+    /// Bond / polygon / rigid payload.
+    pub shape: MemberShape,
+    /// Parent member and the marker connecting to it (`None` at the root).
+    pub parent: Option<(MemberId, VirtId)>,
+}
+
+impl Member {
+    /// The member kind.
+    pub fn kind(&self) -> MemberKind {
+        match self.shape {
+            MemberShape::Bond { .. } => MemberKind::Bond,
+            MemberShape::Polygon { .. } => MemberKind::Polygon,
+            MemberShape::Rigid { .. } => MemberKind::Rigid,
+        }
+    }
+
+    /// All edges of the member (ring + chords for rigids).
+    pub fn edges(&self) -> Vec<EdgeRef> {
+        match &self.shape {
+            MemberShape::Bond { edges } => edges.clone(),
+            MemberShape::Polygon { ring } => ring.clone(),
+            MemberShape::Rigid { ring, chords } => {
+                let mut v = ring.clone();
+                v.extend(chords.iter().map(|&(_, _, e)| e));
+                v
+            }
+        }
+    }
+
+    /// Does the member contain this edge?
+    pub fn contains(&self, e: EdgeRef) -> bool {
+        match &self.shape {
+            MemberShape::Bond { edges } => edges.contains(&e),
+            MemberShape::Polygon { ring } => ring.contains(&e),
+            MemberShape::Rigid { ring, chords } => {
+                ring.contains(&e) || chords.iter().any(|&(_, _, c)| c == e)
+            }
+        }
+    }
+}
+
+/// The full rooted Tutte decomposition of a gp-pair.
+#[derive(Debug, Clone)]
+pub struct TutteTree {
+    /// Number of atoms (path edges) of the decomposed realization.
+    pub n_atoms: usize,
+    /// All members.
+    pub members: Vec<Member>,
+    /// Root member (contains `e`).
+    pub root: MemberId,
+    /// Per marker: the member on the root side.
+    pub virt_parent: Vec<MemberId>,
+    /// Per marker: the member away from the root.
+    pub virt_child: Vec<MemberId>,
+    /// Per input chord: the member holding its `Chord` edge.
+    pub chord_member: Vec<MemberId>,
+    /// Per path edge: the member holding its `Path` edge.
+    pub path_member: Vec<MemberId>,
+}
+
+impl TutteTree {
+    /// Number of members.
+    pub fn n_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The member ids from `m` up to and including the root.
+    pub fn path_to_root(&self, mut m: MemberId) -> Vec<MemberId> {
+        let mut out = vec![m];
+        while let Some((p, _)) = self.members[m as usize].parent {
+            out.push(p);
+            m = p;
+        }
+        out
+    }
+
+    /// Depth of member `m` (root = 0).
+    pub fn depth(&self, m: MemberId) -> usize {
+        self.path_to_root(m).len() - 1
+    }
+
+    /// Structural validation: marker pairing, parent pointers, edge
+    /// partition, member arity, and the no-same-kind-adjacency rule.
+    /// Panics with a description on violation (used by tests and
+    /// `debug_assertions` builds). Degenerate inputs (`n_atoms ≤ 2` with no
+    /// chords) may produce a 2-edge root accepted here.
+    pub fn validate(&self) {
+        let n = self.n_atoms;
+        let mut path_seen = vec![0u32; n];
+        let mut chord_seen = vec![0u32; self.chord_member.len()];
+        let mut e_seen = 0u32;
+        let mut virt_seen = vec![0u32; self.virt_parent.len()];
+        for (mi, m) in self.members.iter().enumerate() {
+            for e in m.edges() {
+                match e {
+                    EdgeRef::Path(i) => {
+                        assert_eq!(self.path_member[i as usize], mi as u32, "path_member index");
+                        path_seen[i as usize] += 1;
+                    }
+                    EdgeRef::Chord(i) => {
+                        assert_eq!(self.chord_member[i as usize], mi as u32, "chord_member index");
+                        chord_seen[i as usize] += 1;
+                    }
+                    EdgeRef::E => {
+                        assert_eq!(mi as u32, self.root, "e must live in the root");
+                        e_seen += 1;
+                    }
+                    EdgeRef::Virt(v) => {
+                        virt_seen[v as usize] += 1;
+                        assert!(
+                            self.virt_parent[v as usize] == mi as u32
+                                || self.virt_child[v as usize] == mi as u32,
+                            "marker endpoints must match pairing"
+                        );
+                    }
+                }
+            }
+            match &m.shape {
+                MemberShape::Bond { edges } => {
+                    assert!(edges.len() >= 2, "bond arity");
+                    let carriers = edges
+                        .iter()
+                        .filter(|e| matches!(e, EdgeRef::Path(_)) || e.is_virt())
+                        .count();
+                    assert!(carriers <= 2, "bond has at most parent + one carrier");
+                }
+                MemberShape::Polygon { ring } => {
+                    assert!(ring.len() >= 3, "polygon arity");
+                    assert!(
+                        ring.iter().all(|e| !matches!(e, EdgeRef::Chord(_))),
+                        "polygons carry no chords (Proposition 4)"
+                    );
+                }
+                MemberShape::Rigid { ring, chords } => {
+                    assert!(ring.len() >= 4, "rigid perimeter has ≥ 4 vertices");
+                    assert!(chords.len() >= 2, "rigid needs ≥ 2 chord edges");
+                    for &(a, b, _) in chords {
+                        assert!(a < b && (b as usize) < ring.len(), "chord positions");
+                    }
+                }
+            }
+        }
+        assert_eq!(e_seen, 1, "e appears exactly once");
+        assert!(path_seen.iter().all(|&c| c == 1), "each path edge in exactly one member");
+        assert!(chord_seen.iter().all(|&c| c == 1), "each chord in exactly one member");
+        assert!(virt_seen.iter().all(|&c| c == 2), "each marker in exactly two members");
+        // parent pointers and same-kind adjacency
+        for v in 0..self.virt_parent.len() {
+            let p = self.virt_parent[v];
+            let c = self.virt_child[v];
+            assert_eq!(
+                self.members[c as usize].parent,
+                Some((p, v as VirtId)),
+                "child's parent pointer matches marker"
+            );
+            let (kp, kc) = (self.members[p as usize].kind(), self.members[c as usize].kind());
+            assert!(
+                !(kp == kc && kp != MemberKind::Rigid),
+                "two {kp:?}s share a marker — must have been merged"
+            );
+        }
+        assert!(self.members[self.root as usize].parent.is_none(), "root has no parent");
+        // every non-root member reaches the root
+        for mi in 0..self.members.len() as MemberId {
+            let path = self.path_to_root(mi);
+            assert_eq!(*path.last().unwrap(), self.root, "tree is connected to the root");
+            assert!(path.len() <= self.members.len(), "no parent cycles");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_ref_predicates() {
+        assert!(EdgeRef::Virt(0).is_virt());
+        assert!(EdgeRef::Path(3).is_real());
+        assert!(EdgeRef::E.is_real());
+        assert!(EdgeRef::Chord(1).is_real());
+    }
+
+    #[test]
+    fn member_kind_and_contains() {
+        let m = Member {
+            shape: MemberShape::Rigid {
+                ring: vec![EdgeRef::Path(0), EdgeRef::Path(1), EdgeRef::Path(2), EdgeRef::Virt(0)],
+                chords: vec![(0, 2, EdgeRef::Chord(0)), (1, 3, EdgeRef::Chord(1))],
+            },
+            parent: None,
+        };
+        assert_eq!(m.kind(), MemberKind::Rigid);
+        assert!(m.contains(EdgeRef::Chord(1)));
+        assert!(m.contains(EdgeRef::Virt(0)));
+        assert!(!m.contains(EdgeRef::Path(3)));
+        assert_eq!(m.edges().len(), 6);
+    }
+}

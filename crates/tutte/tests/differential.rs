@@ -1,0 +1,193 @@
+//! Differential validation of the specialised Tutte decomposition against
+//! the general-graph reference implementation (`c1p_graph::tutte_ref`).
+//!
+//! Cunningham–Edmonds (Theorem 1 of [8], cited by the paper): the Tutte
+//! decomposition of a 2-connected graph is unique. Hence the fast
+//! cycle-plus-chords builder and the naive recursive splitter must produce
+//! identical member sets (same kinds, same real-edge contents, same
+//! adjacency structure) on every gp-pair.
+
+use c1p_graph::tutte_ref;
+use c1p_graph::MultiGraph;
+use c1p_tutte::{decompose, EdgeRef, MemberKind, TutteTree};
+
+/// Maps a fast-tree member's edges onto gp-graph edge ids:
+/// path edge `i` → `i`, `e` → `n`, chord `j` → `n + 1 + j`.
+fn real_edges_of(tree: &TutteTree, m: u32, n: usize) -> Vec<u32> {
+    let mut out: Vec<u32> = tree.members[m as usize]
+        .edges()
+        .into_iter()
+        .filter_map(|e| match e {
+            EdgeRef::Path(i) => Some(i),
+            EdgeRef::E => Some(n as u32),
+            EdgeRef::Chord(j) => Some(n as u32 + 1 + j),
+            EdgeRef::Virt(_) => None,
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn kind_of(k: MemberKind) -> tutte_ref::MemberKind {
+    match k {
+        MemberKind::Bond => tutte_ref::MemberKind::Bond,
+        MemberKind::Polygon => tutte_ref::MemberKind::Polygon,
+        MemberKind::Rigid => tutte_ref::MemberKind::Rigid,
+    }
+}
+
+fn fast_signatures(tree: &TutteTree, n: usize) -> Vec<(tutte_ref::MemberKind, Vec<u32>)> {
+    let mut sigs: Vec<(tutte_ref::MemberKind, Vec<u32>)> = (0..tree.members.len() as u32)
+        .map(|m| (kind_of(tree.members[m as usize].kind()), real_edges_of(tree, m, n)))
+        .collect();
+    sigs.sort();
+    sigs
+}
+
+fn fast_adjacency(tree: &TutteTree, n: usize) -> Vec<(Vec<u32>, Vec<u32>)> {
+    let mut out = Vec::new();
+    for v in 0..tree.virt_parent.len() {
+        let mut a = real_edges_of(tree, tree.virt_parent[v], n);
+        let mut b = real_edges_of(tree, tree.virt_child[v], n);
+        if b < a {
+            std::mem::swap(&mut a, &mut b);
+        }
+        out.push((a, b));
+    }
+    out.sort();
+    out
+}
+
+fn check(n: usize, chords: &[(u32, u32)]) {
+    let fast = decompose(n, chords).unwrap();
+    fast.validate();
+    let g = MultiGraph::gp_graph(n, chords);
+    let slow = tutte_ref::decompose(&g);
+    assert_eq!(
+        fast_signatures(&fast, n),
+        slow.signatures(),
+        "member sets differ for n={n}, chords={chords:?}"
+    );
+    assert_eq!(
+        fast_adjacency(&fast, n),
+        slow.adjacency_signatures(),
+        "tree adjacency differs for n={n}, chords={chords:?}"
+    );
+    // every rigid member of the fast tree must be genuinely 3-connected
+    for m in &fast.members {
+        if m.kind() == MemberKind::Rigid {
+            if let c1p_tutte::MemberShape::Rigid { ring, chords } = &m.shape {
+                let t = ring.len();
+                let mut mg = MultiGraph::new(t);
+                for i in 0..t {
+                    mg.add_edge(i as u32, ((i + 1) % t) as u32);
+                }
+                for &(a, b, _) in chords {
+                    mg.add_edge(a, b);
+                }
+                assert!(
+                    c1p_graph::separation::is_triconnected(&mg),
+                    "rigid member is not 3-connected: n={n}, chords={chords:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn handpicked_structures() {
+    check(3, &[]);
+    check(5, &[(1, 4)]);
+    check(5, &[(1, 4), (1, 4)]);
+    check(3, &[(0, 2), (1, 3)]);
+    check(4, &[(0, 4), (0, 4)]);
+    check(8, &[(1, 7), (2, 6), (3, 5)]);
+    check(8, &[(0, 2), (1, 3), (2, 4), (3, 5), (4, 6), (5, 7)]);
+    check(6, &[(0, 3), (2, 5), (1, 4)]);
+    check(10, &[(0, 5), (4, 9), (1, 3), (6, 8), (2, 3), (2, 3)]);
+    check(4, &[(0, 2), (1, 3), (0, 4), (2, 4), (1, 3)]);
+    // equal hulls: single chord (1,5) parallel to the rigid {(1,3),(2,5)}…
+    check(6, &[(1, 5), (1, 3), (2, 5)]);
+    // chord parallel to a path edge inside a rigid gap
+    check(6, &[(1, 4), (2, 5), (2, 3)]);
+}
+
+#[test]
+fn exhaustive_tiny() {
+    // all chord sets of size ≤ 2 over n = 3, 4
+    for n in 3u32..=4 {
+        let mut all = vec![];
+        for lo in 0..n {
+            for hi in lo + 1..=n {
+                all.push((lo, hi));
+            }
+        }
+        check(n as usize, &[]);
+        for &a in &all {
+            check(n as usize, &[a]);
+            for &b in &all {
+                check(n as usize, &[a, b]);
+            }
+        }
+    }
+}
+
+#[test]
+fn randomized_against_reference() {
+    // deterministic LCG so failures are reproducible
+    let mut seed = 0x9E3779B97F4A7C15u64;
+    let mut next = |m: usize| {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((seed >> 33) as usize) % m
+    };
+    for trial in 0..400 {
+        let n = 3 + next(12);
+        let n_chords = next(8);
+        let chords: Vec<(u32, u32)> = (0..n_chords)
+            .map(|_| {
+                let lo = next(n) as u32;
+                let hi = (lo as usize + 1 + next(n - lo as usize)) as u32;
+                (lo, hi)
+            })
+            .collect();
+        let _ = trial;
+        check(n, &chords);
+    }
+}
+
+#[test]
+fn randomized_larger_self_checks() {
+    // bigger instances: reference is too slow, but validate() + composition
+    // identity + arrangement contiguity still apply.
+    let mut seed = 0xDEADBEEFCAFEu64;
+    let mut next = |m: usize| {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((seed >> 33) as usize) % m
+    };
+    for _ in 0..40 {
+        let n = 50 + next(200);
+        let n_chords = next(120);
+        let chords: Vec<(u32, u32)> = (0..n_chords)
+            .map(|_| {
+                let lo = next(n) as u32;
+                let hi = (lo as usize + 1 + next(n - lo as usize)) as u32;
+                (lo, hi)
+            })
+            .collect();
+        let tree = decompose(n, &chords).unwrap();
+        tree.validate();
+        let order = c1p_tutte::compose(&tree, &c1p_tutte::Arrangement::identity(&tree));
+        assert_eq!(order, (0..n as u32).collect::<Vec<_>>());
+        // random arrangement keeps spans contiguous
+        let arr = c1p_tutte::Arrangement {
+            virt_flip: (0..tree.virt_parent.len()).map(|_| next(2) == 1).collect(),
+            root_flip: next(2) == 1,
+        };
+        let order2 = c1p_tutte::compose(&tree, &arr);
+        let spans = c1p_tutte::chord_spans_after(&order2, &chords);
+        for (ci, &(lo, hi)) in chords.iter().enumerate() {
+            let (nlo, nhi) = spans[ci];
+            assert_eq!(nhi - nlo, hi - lo, "chord {ci} broken by arrangement");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Whitney switches and 2-isomorphism — the paper's Fig. 1 phenomenon.
+//!
+//! ```text
+//! cargo run --example whitney_switch
+//! ```
+//!
+//! Two graphs on the same edge set can have identical cycle structure (be
+//! *2-isomorphic*, Whitney's theorem / the paper's Theorem 1) without being
+//! isomorphic at all. We build the pair, verify equal cycle spaces, show
+//! the degree sequences differ, and list all separation pairs — the places
+//! where switches are available, which is exactly what the Tutte
+//! decomposition catalogues (Theorem 2).
+
+use c1p::graph::cycle_space::cycle_space;
+use c1p::graph::separation::separation_pairs;
+use c1p::graph::tutte_ref;
+use c1p::graph::whitney::{are_2_isomorphic, fig1_pair};
+
+fn main() {
+    let (g1, g2, part) = fig1_pair();
+    println!("G1 edges: {:?}", g1.edges());
+    println!("G2 edges: {:?}  (switched part: edges {part:?})", g2.edges());
+
+    println!("\n2-isomorphic (same cycle set)? {}", are_2_isomorphic(&g1, &g2));
+    println!("cycle space rank: {} = {}", cycle_space(&g1).rank(), cycle_space(&g2).rank());
+
+    let mut d1 = g1.degrees();
+    let mut d2 = g2.degrees();
+    d1.sort_unstable();
+    d2.sort_unstable();
+    println!("degree multisets: G1 {d1:?} vs G2 {d2:?}");
+    println!("isomorphic? no — the degree multisets differ, yet every cycle is shared.");
+
+    println!("\nseparation pairs of G1 (each admits a Whitney switch): ");
+    for (u, v) in separation_pairs(&g1) {
+        println!("  {{{u}, {v}}}");
+    }
+
+    let dec = tutte_ref::decompose(&g1);
+    println!("\nTutte decomposition of G1 ({} members):", dec.members.len());
+    for m in &dec.members {
+        println!("  {:?}: real edges {:?}", m.kind, m.real_edges());
+    }
+    println!(
+        "polygons may re-link and markers may re-orient — composing all \
+         choices enumerates exactly the 2-isomorphism class (Theorem 2)."
+    );
+}

@@ -1,0 +1,61 @@
+//! # c1p — parallel consecutive-ones testing via Tutte decomposition
+//!
+//! A from-scratch reproduction of **Annexstein & Swaminathan, "On testing
+//! consecutive-ones property in parallel"** (SPAA 1995; DAM 88, 1998): a
+//! divide-and-conquer C1P solver whose combine step computes Whitney
+//! switches on the Tutte decompositions of partial realizations — the
+//! paper's alternative to PQ-trees — plus everything the paper builds on
+//! or compares against, each implemented in its own crate:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`matrix`] | ensembles, verifiers, Tucker transform/obstructions, workload generators |
+//! | [`graph`] | multigraphs, 2-connectivity, Whitney switches, reference Tutte decomposition |
+//! | [`tutte`] | fast Tutte decomposition of gp-realizations (interlacement classes) |
+//! | [`pram`] | work/depth-instrumented PRAM primitives on rayon |
+//! | [`pqtree`] | the Booth–Lueker baseline |
+//! | [`core_alg`] | the paper's `Path-Realization` algorithm, sequential and parallel |
+//!
+//! # Quickstart
+//!
+//! Decide C1P and get a witness atom order (the paper's Fig. 2 matrix):
+//!
+//! ```
+//! use c1p::matrix::io::parse_ensemble;
+//!
+//! let ens = parse_ensemble(
+//!     "1000100\n1001100\n0010011\n0010001\n1001101\n0100101\n0110101\n0010111\n",
+//! ).unwrap();
+//! let order = c1p::solve(&ens).expect("the paper's running example is C1P");
+//! c1p::matrix::verify_linear(&ens, &order).unwrap();
+//! ```
+//!
+//! Not-C1P inputs return `None`:
+//!
+//! ```
+//! let bad = c1p::matrix::tucker::m_iv(); // Tucker's M_IV obstruction
+//! assert_eq!(c1p::solve(&bad), None);
+//! ```
+
+pub use c1p_core::circular::solve_circular;
+pub use c1p_core::interval_graphs;
+pub use c1p_core::parallel::{solve_par, solve_par_with};
+pub use c1p_core::{solve, solve_with, Config, SolveStats};
+
+/// Ensembles, matrices, verifiers and workload generators.
+pub use c1p_matrix as matrix;
+
+/// General graph substrate (reference implementations).
+pub use c1p_graph as graph;
+
+/// Fast Tutte decomposition of gp-realizations.
+pub use c1p_tutte as tutte;
+
+/// PRAM cost model and parallel primitives.
+pub use c1p_pram as pram;
+
+/// The Booth–Lueker PQ-tree baseline.
+pub use c1p_pqtree as pqtree;
+
+/// The divide-and-conquer solver internals.
+pub use c1p_core as core_alg;

@@ -1,0 +1,111 @@
+//! Failure-injection tests: corrupted inputs must be *rejected*, malformed
+//! inputs must produce typed errors, and embedded obstructions must
+//! survive any amount of satisfiable context (the error-detection story of
+//! the paper's Section 1.1).
+
+use c1p::matrix::generate::{planted_c1p, PlantedShape};
+use c1p::matrix::{noise, tucker, Ensemble, EnsembleError};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn embedded_obstructions_always_rejected() {
+    let mut rng = SmallRng::seed_from_u64(404);
+    for (name, obs) in tucker::small_obstructions() {
+        for offset in [0usize, 13, 40] {
+            let total = 60;
+            let emb = tucker::embed_obstruction(
+                &obs,
+                total,
+                offset,
+                &[(0, 9), (10, 14), (30, 20), (50, 10)],
+            );
+            assert_eq!(c1p::solve(&emb), None, "{name} embedded at {offset}");
+        }
+        // also embedded inside an otherwise-busy planted instance
+        let (planted, _) = planted_c1p(
+            PlantedShape { n_atoms: 60, n_columns: 80, min_len: 2, max_len: 12 },
+            &mut rng,
+        );
+        let mut cols = planted.columns().to_vec();
+        cols.extend(obs.columns().iter().map(|c| c.iter().map(|&a| a + 20).collect::<Vec<_>>()));
+        let mixed = Ensemble::from_columns(60, cols).unwrap();
+        assert_eq!(c1p::solve(&mixed), None, "{name} inside planted context");
+    }
+}
+
+#[test]
+fn chimeric_merges_usually_detected() {
+    // the paper's motivating failure: chimeric clones produce two separate
+    // coverage regions in one fingerprint; with enough overlap structure
+    // the merged library loses consistency
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut detected = 0;
+    let trials = 50;
+    for _ in 0..trials {
+        let (ens, _) = planted_c1p(
+            PlantedShape { n_atoms: 80, n_columns: 240, min_len: 3, max_len: 10 },
+            &mut rng,
+        );
+        let noisy = noise::chimerize(&ens, 2, &mut rng);
+        if c1p::solve(&noisy).is_none() {
+            detected += 1;
+        }
+    }
+    assert!(
+        detected >= trials * 3 / 5,
+        "chimerism detection should usually fire ({detected}/{trials})"
+    );
+}
+
+#[test]
+fn malformed_inputs_are_typed_errors() {
+    assert!(matches!(
+        Ensemble::from_columns(3, vec![vec![0, 5]]),
+        Err(EnsembleError::AtomOutOfRange { .. })
+    ));
+    assert!(matches!(
+        Ensemble::from_columns(3, vec![vec![1, 1]]),
+        Err(EnsembleError::DuplicateAtom { .. })
+    ));
+    assert!(matches!(
+        c1p::matrix::io::parse_ensemble("10\n1"),
+        Err(EnsembleError::RaggedMatrix { .. })
+    ));
+    assert!(matches!(
+        c1p::matrix::io::parse_ensemble("1x0"),
+        Err(EnsembleError::Parse { .. })
+    ));
+    assert!(matches!(
+        c1p::tutte::decompose(0, &[]),
+        Err(c1p::tutte::DecomposeError::NoAtoms)
+    ));
+    assert!(matches!(
+        c1p::tutte::decompose(4, &[(3, 3)]),
+        Err(c1p::tutte::DecomposeError::BadChord { .. })
+    ));
+}
+
+#[test]
+fn rejection_is_stable_under_column_shuffles() {
+    // rejection must not depend on column processing order
+    let obs = tucker::m_ii(2);
+    let mut cols = obs.columns().to_vec();
+    for rot in 0..cols.len() {
+        cols.rotate_left(1);
+        let e = Ensemble::from_columns(obs.n_atoms(), cols.clone()).unwrap();
+        assert_eq!(c1p::solve(&e), None, "rotation {rot}");
+    }
+}
+
+#[test]
+fn empty_and_degenerate_inputs() {
+    assert_eq!(c1p::solve(&Ensemble::new(0)), Some(vec![]));
+    assert_eq!(c1p::solve(&Ensemble::new(1)), Some(vec![0]));
+    // all-empty columns constrain nothing
+    let e = Ensemble::from_columns(4, vec![vec![], vec![], vec![]]).unwrap();
+    assert!(c1p::solve(&e).is_some());
+    // single full column
+    let f = Ensemble::from_columns(4, vec![vec![0, 1, 2, 3]]).unwrap();
+    assert!(c1p::solve(&f).is_some());
+}

@@ -1,0 +1,138 @@
+//! Property-based tests (proptest) over the full pipeline: the three
+//! solvers agree everywhere, witnesses always verify, planted instances
+//! are always accepted, and the structural substrates keep their
+//! invariants under random inputs.
+
+use c1p::matrix::verify::brute_force_linear;
+use c1p::matrix::{verify_linear, Ensemble};
+use proptest::prelude::*;
+
+/// Random ensemble strategy: n atoms, up to m columns as bitmasks.
+fn ensembles(max_n: usize, max_m: usize) -> impl Strategy<Value = Ensemble> {
+    (2..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec(1u64..(1 << n), 0..=max_m).prop_map(move |masks| {
+            let cols: Vec<Vec<u32>> = masks
+                .iter()
+                .map(|&mask| (0..n as u32).filter(|&a| mask >> a & 1 == 1).collect())
+                .collect();
+            Ensemble::from_columns(n, cols).unwrap()
+        })
+    })
+}
+
+/// Planted-C1P strategy: intervals in a scrambled hidden order.
+fn planted(max_n: usize) -> impl Strategy<Value = Ensemble> {
+    (3..=max_n, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        c1p::matrix::generate::planted_c1p(
+            c1p::matrix::generate::PlantedShape {
+                n_atoms: n,
+                n_columns: 2 * n,
+                min_len: 2,
+                max_len: (n / 2).max(2),
+            },
+            &mut rng,
+        )
+        .0
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// D&C and PQ-tree agree on every random instance, and any witness
+    /// verifies.
+    #[test]
+    fn solvers_agree(ens in ensembles(9, 6)) {
+        let dc = c1p::solve(&ens);
+        let pq = c1p::pqtree::solve(ens.n_atoms(), ens.columns());
+        prop_assert_eq!(dc.is_some(), pq.is_some());
+        if let Some(o) = &dc {
+            prop_assert!(verify_linear(&ens, o).is_ok());
+        }
+        if ens.n_atoms() <= 7 {
+            prop_assert_eq!(dc.is_some(), brute_force_linear(&ens).is_some());
+        }
+    }
+
+    /// Planted instances are always accepted — the completeness property
+    /// the alignment machinery must provide.
+    #[test]
+    fn planted_always_accepted(ens in planted(120)) {
+        let order = c1p::solve(&ens);
+        prop_assert!(order.is_some());
+        prop_assert!(verify_linear(&ens, &order.unwrap()).is_ok());
+    }
+
+    /// The parallel driver agrees with the sequential one.
+    #[test]
+    fn parallel_matches_sequential(ens in ensembles(10, 6)) {
+        let seq = c1p::solve(&ens).is_some();
+        let (par, _) = c1p::solve_par(&ens);
+        prop_assert_eq!(seq, par.is_some());
+    }
+
+    /// Atom relabeling never changes the verdict (C1P is permutation
+    /// invariant).
+    #[test]
+    fn verdict_is_permutation_invariant(ens in ensembles(8, 5), seed in any::<u64>()) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let perm = c1p::matrix::generate::random_permutation(ens.n_atoms(), &mut rng);
+        let relabeled = ens.permute_atoms(&perm);
+        prop_assert_eq!(c1p::solve(&ens).is_some(), c1p::solve(&relabeled).is_some());
+    }
+
+    /// Duplicating a column never changes the verdict.
+    #[test]
+    fn duplicate_columns_are_harmless(ens in ensembles(8, 4), pick in any::<prop::sample::Index>()) {
+        let before = c1p::solve(&ens).is_some();
+        if ens.n_columns() > 0 {
+            let mut cols = ens.columns().to_vec();
+            let dup = cols[pick.index(cols.len())].clone();
+            cols.push(dup);
+            let doubled = Ensemble::from_columns(ens.n_atoms(), cols).unwrap();
+            prop_assert_eq!(before, c1p::solve(&doubled).is_some());
+        }
+    }
+
+    /// The Tutte decomposition of arbitrary valid chord sets always
+    /// validates and composes back to the identity.
+    #[test]
+    fn decomposition_invariants(n in 1usize..40, raw in proptest::collection::vec((0u32..40, 1u32..40), 0..25)) {
+        let chords: Vec<(u32, u32)> = raw
+            .iter()
+            .filter_map(|&(a, len)| {
+                let lo = a % n as u32;
+                let hi = (lo + 1 + len % n as u32).min(n as u32);
+                (lo < hi).then_some((lo, hi))
+            })
+            .collect();
+        let tree = c1p::tutte::decompose(n, &chords).unwrap();
+        tree.validate();
+        let order = c1p::tutte::compose(&tree, &c1p::tutte::Arrangement::identity(&tree));
+        prop_assert_eq!(order, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    /// Interlacement classes: the linear-time sweep equals the quadratic
+    /// reference.
+    #[test]
+    fn interlacement_sweep_equals_naive(raw in proptest::collection::vec((0u32..30, 1u32..30), 0..20)) {
+        let mut spans: Vec<(u32, u32)> =
+            raw.iter().map(|&(lo, len)| (lo, lo + len)).collect();
+        spans.sort_unstable();
+        spans.dedup();
+        let norm = |mut cs: Vec<Vec<u32>>| {
+            for c in &mut cs { c.sort_unstable(); }
+            cs.sort();
+            cs
+        };
+        prop_assert_eq!(
+            norm(c1p::tutte::interlace::classes_naive(&spans)),
+            norm(c1p::tutte::interlace::classes_sweep(&spans))
+        );
+    }
+}
