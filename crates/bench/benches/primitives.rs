@@ -16,21 +16,20 @@ fn bench_primitives(c: &mut Criterion) {
         b.iter(|| c1p_pram::sort::par_sort_by_key(&xs, |&x| x).0.len())
     });
     let mut next_list = vec![c1p_pram::list_rank::NIL; n];
-    for v in 0..n - 1 {
-        next_list[v] = (v + 1) as u32;
+    for (v, nx) in next_list.iter_mut().enumerate().take(n - 1) {
+        *nx = (v + 1) as u32;
     }
     g.bench_function(BenchmarkId::new("list_rank", n), |b| {
         b.iter(|| c1p_pram::list_rank::list_rank(&next_list).0[0])
     });
     let mut parent = vec![c1p_pram::list_rank::NIL; n / 4];
-    for v in 1..n / 4 {
-        parent[v] = (v / 2) as u32;
+    for (v, p) in parent.iter_mut().enumerate().skip(1) {
+        *p = (v / 2) as u32;
     }
     g.bench_function(BenchmarkId::new("euler_times", n / 4), |b| {
         b.iter(|| c1p_pram::euler::euler_times(&parent).0.enter[0])
     });
-    let edges: Vec<(u32, u32)> =
-        (0..(n / 4) as u32 - 1).map(|v| (v, v + 1)).collect();
+    let edges: Vec<(u32, u32)> = (0..(n / 4) as u32 - 1).map(|v| (v, v + 1)).collect();
     g.bench_function(BenchmarkId::new("connected_components", n / 4), |b| {
         b.iter(|| c1p_pram::components::connected_components(n / 4, &edges).0[0])
     });

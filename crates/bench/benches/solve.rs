@@ -28,6 +28,25 @@ fn bench_solvers(c: &mut Criterion) {
     }
     g.finish();
 
+    // The divide step on the live representation, isolated — rerun this
+    // group before/after a change to the split path to see its effect
+    // without whole-solver noise (benches/split.rs compares against the
+    // seed's nested-vec formulation).
+    let mut g = c.benchmark_group("split");
+    g.sample_size(20);
+    for k in [12usize, 14] {
+        let n = 1 << k;
+        let ens = planted(n, 1);
+        let sub =
+            c1p_core::solver::SubProblem { n, cols: c1p_core::FlatCols::from_cols(ens.columns()) };
+        let a1: Vec<u32> = (0..(n / 2) as u32).collect();
+        g.throughput(Throughput::Elements(ens.p() as u64));
+        g.bench_with_input(BenchmarkId::new("prepare", n), &sub, |b, s| {
+            b.iter(|| c1p_core::solver::prepare_split(s, &a1).sub1.n)
+        });
+    }
+    g.finish();
+
     let mut g = c.benchmark_group("solve_reject");
     g.sample_size(10);
     for n in [256usize, 2048] {

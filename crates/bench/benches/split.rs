@@ -1,0 +1,43 @@
+//! Divide-step microbenchmarks: the flat-CSR `prepare_split` against the
+//! seed's nested-`Vec<Vec<u32>>` formulation (`c1p_bench::naive`) — the
+//! per-column heap vectors plus the per-level `sort_unstable` the CSR
+//! path eliminated.
+
+use c1p_bench::naive::{naive_prepare_split, NaiveSub};
+use c1p_core::solver::{prepare_split, SubProblem};
+use c1p_core::FlatCols;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// A planted-instance subproblem over all `n` atoms, plus a balanced
+/// contiguous `A1` in hidden-order coordinates (representative of a
+/// Case-1 divide).
+fn workload(n: usize) -> (SubProblem, NaiveSub, Vec<u32>) {
+    let ens = c1p_bench::workloads::planted(n, 1);
+    let nested: Vec<Vec<u32>> = ens.columns().to_vec();
+    let flat = SubProblem { n, cols: FlatCols::from_cols(&nested) };
+    let a1: Vec<u32> = (0..(n / 2) as u32).collect();
+    (flat, NaiveSub { n, cols: nested }, a1)
+}
+
+fn bench_split(c: &mut Criterion) {
+    // distinct group name from benches/solve.rs's "split" group: that one
+    // tracks the live prepare_split across PRs, this one is the fixed
+    // seed-vs-CSR comparison
+    let mut g = c.benchmark_group("split_vs_seed");
+    g.sample_size(20);
+    for k in [12usize, 14] {
+        let n = 1 << k;
+        let (flat, naive, a1) = workload(n);
+        g.throughput(Throughput::Elements(flat.cols.total_len() as u64));
+        g.bench_with_input(BenchmarkId::new("flat_csr", n), &flat, |b, sub| {
+            b.iter(|| prepare_split(sub, &a1).sub1.n)
+        });
+        g.bench_with_input(BenchmarkId::new("nested_vec", n), &naive, |b, sub| {
+            b.iter(|| naive_prepare_split(sub, &a1).1.n)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_split);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Phase-timing + allocation probe for the divide-and-conquer solver.
+//!
+//! ```text
+//! cargo run --release -p c1p-bench --bin phase_probe [log2_n]
+//! ```
+
+use c1p_bench::workloads::planted;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+fn main() {
+    let log2_n: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(14);
+    let ens = planted(1 << log2_n, 1);
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let b0 = BYTES.load(Ordering::Relaxed);
+    let t0 = std::time::Instant::now();
+    let (o, stats) = c1p_core::solve_with(&ens, &c1p_core::Config::default());
+    let dt = t0.elapsed();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+    let bytes = BYTES.load(Ordering::Relaxed) - b0;
+    eprintln!(
+        "solve: {dt:?} ok={} subproblems={} depth={} decompositions={}",
+        o.is_some(),
+        stats.subproblems,
+        stats.max_depth,
+        stats.decompositions
+    );
+    eprintln!("allocations: {allocs} ({:.1} MB total)", bytes as f64 / 1e6);
+    c1p_core::solver::dump_phase_timing();
+}

@@ -5,6 +5,7 @@
 //! outcomes. Criterion microbenches (E10) live under `benches/`.
 
 pub mod models;
+pub mod naive;
 pub mod tables;
 pub mod workloads;
 

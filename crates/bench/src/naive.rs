@@ -1,0 +1,71 @@
+//! The seed's nested-`Vec<Vec<u32>>` divide step, preserved as a
+//! regression baseline for the flat-CSR rewrite (see `benches/split.rs`
+//! and the `e10` JSON experiment). Semantically identical to the old
+//! `c1p_core::solver::prepare_split` + `project`, including the
+//! per-level `sort_unstable` the CSR path proved redundant.
+
+/// Nested-vec subproblem (the seed representation).
+pub struct NaiveSub {
+    pub n: usize,
+    pub cols: Vec<Vec<u32>>,
+}
+
+/// One split column: segment part, host part, crossing class
+/// (0 = type a, 1 = type b, 2 = type c).
+pub struct NaiveSplitColumn {
+    pub seg_part: Vec<u32>,
+    pub host_part: Vec<u32>,
+    pub ty: u8,
+}
+
+/// The seed's `prepare_split`: per-column heap vectors, then projection
+/// with a sort per kept column.
+pub fn naive_prepare_split(
+    sub: &NaiveSub,
+    a1: &[u32],
+) -> (Vec<NaiveSplitColumn>, NaiveSub, NaiveSub) {
+    let k = sub.n;
+    let mut in_a1 = vec![false; k];
+    for &a in a1 {
+        in_a1[a as usize] = true;
+    }
+    let a2: Vec<u32> = (0..k as u32).filter(|&a| !in_a1[a as usize]).collect();
+    let mut split_cols: Vec<NaiveSplitColumn> = Vec::with_capacity(sub.cols.len());
+    for col in &sub.cols {
+        let (mut seg_part, mut host_part) = (Vec::new(), Vec::new());
+        for &a in col {
+            if in_a1[a as usize] {
+                seg_part.push(a);
+            } else {
+                host_part.push(a);
+            }
+        }
+        let ty = if host_part.is_empty() || seg_part.is_empty() {
+            2
+        } else if seg_part.len() == a1.len() {
+            0
+        } else {
+            1
+        };
+        split_cols.push(NaiveSplitColumn { seg_part, host_part, ty });
+    }
+    let project = |atoms: &[u32], seg_side: bool| -> NaiveSub {
+        let mut place = vec![u32::MAX; atoms.iter().map(|&a| a as usize + 1).max().unwrap_or(0)];
+        for (i, &a) in atoms.iter().enumerate() {
+            place[a as usize] = i as u32;
+        }
+        let mut cols = Vec::new();
+        for sc in &split_cols {
+            let part = if seg_side { &sc.seg_part } else { &sc.host_part };
+            if part.len() >= 2 && part.len() < atoms.len() {
+                let mut local: Vec<u32> = part.iter().map(|&a| place[a as usize]).collect();
+                local.sort_unstable();
+                cols.push(local);
+            }
+        }
+        NaiveSub { n: atoms.len(), cols }
+    };
+    let sub1 = project(a1, true);
+    let sub2 = project(&a2, false);
+    (split_cols, sub1, sub2)
+}

@@ -31,6 +31,7 @@ use crate::NotC1p;
 use c1p_tutte::{
     minimal_subtree, Arrangement, EdgeRef, MemberId, MemberKind, MemberShape, TutteTree,
 };
+use std::borrow::Cow;
 
 /// Crossing classification of a column with respect to a partition
 /// `{A1, A2}` (paper Section 3.1).
@@ -61,13 +62,15 @@ enum Side {
     Right,
 }
 
-/// One aligned tree + arrangement, ready to compose.
-pub struct Aligned {
-    tree: TutteTree,
+/// One aligned tree + arrangement, ready to compose. The tree starts
+/// borrowed from the decomposition and is only deep-cloned on the first
+/// polygon re-linking (most candidates never mutate it).
+pub struct Aligned<'t> {
+    tree: Cow<'t, TutteTree>,
     arr: Arrangement,
 }
 
-impl Aligned {
+impl Aligned<'_> {
     /// Composes into the new sequence of original order positions.
     pub fn compose(&self) -> Vec<u32> {
         c1p_tutte::compose(&self.tree, &self.arr)
@@ -76,7 +79,7 @@ impl Aligned {
 
 /// Section 4.2.1 — candidates satisfying GAP condition (1): every type-b
 /// chord of the segment realization reaches an end vertex of the path.
-pub fn align_side1(tree: &TutteTree, infos: &[ChordInfo]) -> Vec<Aligned> {
+pub fn align_side1<'t>(tree: &'t TutteTree, infos: &[ChordInfo]) -> Vec<Aligned<'t>> {
     let type_b: Vec<u32> = pick(infos, |t| t == CrossType::B);
     let mut out = Vec::new();
     if type_b.is_empty() {
@@ -116,7 +119,7 @@ pub fn align_side1(tree: &TutteTree, infos: &[ChordInfo]) -> Vec<Aligned> {
 
 /// Section 4.2.2 — candidates satisfying GAP/GAC condition (2): crossing
 /// chords funnelled to a common split vertex.
-pub fn align_side2(tree: &TutteTree, infos: &[ChordInfo]) -> Vec<Aligned> {
+pub fn align_side2<'t>(tree: &'t TutteTree, infos: &[ChordInfo]) -> Vec<Aligned<'t>> {
     let crossing: Vec<u32> = pick(infos, |t| t != CrossType::C);
     let mut out = Vec::new();
     if crossing.is_empty() {
@@ -129,7 +132,7 @@ pub fn align_side2(tree: &TutteTree, infos: &[ChordInfo]) -> Vec<Aligned> {
         1 => {
             let leaf = mt.leaves[0];
             let path = tree.path_to_root(leaf); // leaf … root
-            // the paper's g: nearest-to-root constraining edge on the path
+                                                // the paper's g: nearest-to-root constraining edge on the path
             let mut g_pick = None;
             'search: for idx in (1..path.len()).rev() {
                 let m = path[idx];
@@ -168,8 +171,7 @@ pub fn align_side2(tree: &TutteTree, infos: &[ChordInfo]) -> Vec<Aligned> {
         }
         2 => {
             let mut cand = identity(tree);
-            if funnel_two_chains(&mut cand, mt.leaves[0], mt.leaves[1], &crossing, false).is_ok()
-            {
+            if funnel_two_chains(&mut cand, mt.leaves[0], mt.leaves[1], &crossing, false).is_ok() {
                 out.push(cand);
             }
         }
@@ -185,8 +187,8 @@ fn pick(infos: &[ChordInfo], f: impl Fn(CrossType) -> bool) -> Vec<u32> {
     infos.iter().enumerate().filter(|(_, i)| f(i.ty)).map(|(k, _)| k as u32).collect()
 }
 
-fn identity(tree: &TutteTree) -> Aligned {
-    Aligned { tree: tree.clone(), arr: Arrangement::identity(tree) }
+fn identity(tree: &TutteTree) -> Aligned<'_> {
+    Aligned { tree: Cow::Borrowed(tree), arr: Arrangement::identity(tree) }
 }
 
 /// Where a chord *effectively* lives for alignment purposes. The paper
@@ -357,7 +359,7 @@ fn polygon_place(tree: &mut TutteTree, m: MemberId, anchor: EdgeRef, mover: Edge
 /// `dir_at_top` is `top`'s composition direction under the current
 /// arrangement.
 fn funnel_chain(
-    cand: &mut Aligned,
+    cand: &mut Aligned<'_>,
     top: MemberId,
     dir_at_top: bool,
     mut side: Side,
@@ -394,7 +396,7 @@ fn funnel_chain(
             MemberKind::Polygon => {
                 // place down on the required side of entry
                 let before = (side == Side::Right) != dir;
-                polygon_place(&mut cand.tree, m, entry, down, before);
+                polygon_place(cand.tree.to_mut(), m, entry, down, before);
                 // side and dir propagate unchanged into the child
             }
             MemberKind::Rigid => {
@@ -425,7 +427,7 @@ fn funnel_chain(
 
 /// Toggles the reflection of member `m` (its entry marker's orientation, or
 /// the global direction at the root), updating `dir` in place.
-fn flip_entry(cand: &mut Aligned, m: MemberId, dir: &mut bool) {
+fn flip_entry(cand: &mut Aligned<'_>, m: MemberId, dir: &mut bool) {
     match cand.tree.members[m as usize].parent {
         Some((_, v)) => cand.arr.virt_flip[v as usize] = !cand.arr.virt_flip[v as usize],
         None => cand.arr.root_flip = !cand.arr.root_flip,
@@ -436,7 +438,7 @@ fn flip_entry(cand: &mut Aligned, m: MemberId, dir: &mut bool) {
 /// Case A driver: funnel `leaf`'s chain so it exits the whole realization
 /// at the `side` path end.
 fn funnel_from_root(
-    cand: &mut Aligned,
+    cand: &mut Aligned<'_>,
     leaf: MemberId,
     marked: &[u32],
     side: Side,
@@ -448,7 +450,7 @@ fn funnel_from_root(
 /// Side-2's Case C with a constraining edge `g` in ancestor `gm`: the
 /// chain from `leaf` must share a vertex with `g` inside `gm`.
 fn funnel_to_shared(
-    cand: &mut Aligned,
+    cand: &mut Aligned<'_>,
     leaf: MemberId,
     marked: &[u32],
     gm: MemberId,
@@ -506,7 +508,7 @@ fn funnel_to_shared(
 /// topmost crossing member and the leaf so all endpoints meet (`side`
 /// picks which end of the top member's expansion they meet at).
 fn funnel_chain_sided(
-    cand: &mut Aligned,
+    cand: &mut Aligned<'_>,
     top: MemberId,
     leaf: MemberId,
     marked: &[u32],
@@ -518,13 +520,10 @@ fn funnel_chain_sided(
     }
     // the top member holds crossing chords; treat the topmost one as the
     // anchor g
-    let g = marked
-        .iter()
-        .copied()
-        .find_map(|c| {
-            let (em, edge) = effective_loc(&cand.tree, c);
-            (em == top).then_some(edge)
-        });
+    let g = marked.iter().copied().find_map(|c| {
+        let (em, edge) = effective_loc(&cand.tree, c);
+        (em == top).then_some(edge)
+    });
     match g {
         Some(g) => funnel_to_shared(cand, leaf, marked, top, g, side),
         None => {
@@ -537,7 +536,7 @@ fn funnel_chain_sided(
 /// Two chains meeting: either at distinct path ends (`to_ends == true`,
 /// side-1 Case B) or head-to-head at their LCA (side-2 two families).
 fn funnel_two_chains(
-    cand: &mut Aligned,
+    cand: &mut Aligned<'_>,
     leaf1: MemberId,
     leaf2: MemberId,
     marked: &[u32],
@@ -580,12 +579,12 @@ fn funnel_two_chains(
             let entry = entry_edge(&cand.tree, lca);
             if to_ends {
                 // x1 at the left end, x2 at the right end of the expansion
-                polygon_place(&mut cand.tree, lca, entry, x1, dir);
-                polygon_place(&mut cand.tree, lca, entry, x2, !dir);
+                polygon_place(cand.tree.to_mut(), lca, entry, x1, dir);
+                polygon_place(cand.tree.to_mut(), lca, entry, x2, !dir);
                 (Side::Left, Side::Right)
             } else {
                 // head-to-head: x2 directly after x1; junction between them
-                polygon_place(&mut cand.tree, lca, x1, x2, dir);
+                polygon_place(cand.tree.to_mut(), lca, x1, x2, dir);
                 (Side::Right, Side::Left)
             }
         }
@@ -651,7 +650,7 @@ fn child_on_path(tree: &TutteTree, m: MemberId, d: MemberId) -> MemberId {
 }
 
 /// Composition direction of member `m` under the candidate's arrangement.
-fn dir_of(cand: &Aligned, m: MemberId) -> bool {
+fn dir_of(cand: &Aligned<'_>, m: MemberId) -> bool {
     let mut dir = cand.arr.root_flip;
     for &x in cand.tree.path_to_root(m).iter().rev().skip(1) {
         let (_, v) = cand.tree.members[x as usize].parent.unwrap();

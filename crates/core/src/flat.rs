@@ -1,0 +1,395 @@
+//! Flat CSR column storage for subproblems (DESIGN.md §3).
+//!
+//! The divide step of `Path-Realization` creates `O(log n)` levels of
+//! subproblems, and every level re-materializes every column. With a
+//! nested `Vec<Vec<u32>>` representation that is one heap allocation
+//! per column per level — `O(m log n)` small allocations of the exact
+//! kind the paper's PRAM accounting assumes away (the divide is "a
+//! constant number of scans"). This module stores each subproblem's
+//! columns as one CSR arena: an `offsets` array plus a single `data`
+//! array, so a whole level's divide is two linear scans and at most
+//! three amortized allocations total.
+//!
+//! **Sortedness invariant:** every column is strictly ascending. All
+//! builders in the solver map sorted columns through *monotone*
+//! renumberings (`place[a] < place[b]` whenever both are kept and
+//! `a < b`), so sortedness is preserved structurally and never needs a
+//! per-level re-sort; debug builds assert it on every finished column.
+
+use crate::align::CrossType;
+use std::cell::RefCell;
+
+/// Columns in CSR form: column `i` is `data[offsets[i]..offsets[i+1]]`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlatCols {
+    offsets: Vec<u32>,
+    data: Vec<u32>,
+}
+
+impl FlatCols {
+    /// An empty collection.
+    pub fn new() -> Self {
+        FlatCols { offsets: vec![0], data: Vec::new() }
+    }
+
+    /// An empty collection with room for `cols` columns over `entries`
+    /// total atoms (no reallocation while building within those bounds).
+    pub fn with_capacity(cols: usize, entries: usize) -> Self {
+        let mut offsets = Vec::with_capacity(cols + 1);
+        offsets.push(0);
+        FlatCols { offsets, data: Vec::with_capacity(entries) }
+    }
+
+    /// Builds from an iterator of slice-likes (test/interop helper).
+    pub fn from_cols<C: AsRef<[u32]>>(cols: impl IntoIterator<Item = C>) -> Self {
+        let mut out = FlatCols::new();
+        for c in cols {
+            out.push_col(c.as_ref().iter().copied());
+        }
+        out
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n_cols() == 0
+    }
+
+    /// Total entry count `p = Σ |col|`.
+    #[inline]
+    pub fn total_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Column `i` as a slice.
+    #[inline]
+    pub fn col(&self, i: usize) -> &[u32] {
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Length of column `i` without forming the slice.
+    #[inline]
+    pub fn col_len(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Iterates the columns as slices.
+    pub fn iter(&self) -> FlatColsIter<'_> {
+        FlatColsIter { cols: self, i: 0 }
+    }
+
+    /// Appends one column from an iterator of atoms.
+    pub fn push_col(&mut self, col: impl IntoIterator<Item = u32>) {
+        self.data.extend(col);
+        self.finish_col();
+    }
+
+    /// Appends a single atom to the column currently being built (pair
+    /// with [`finish_col`](Self::finish_col) / [`cancel_col`](Self::cancel_col)).
+    #[inline]
+    pub fn push(&mut self, atom: u32) {
+        self.data.push(atom);
+    }
+
+    /// Atoms pushed to the in-progress column so far.
+    #[inline]
+    pub fn building_len(&self) -> usize {
+        self.data.len() - *self.offsets.last().unwrap() as usize
+    }
+
+    /// Seals the in-progress column.
+    #[inline]
+    pub fn finish_col(&mut self) {
+        debug_assert!(
+            self.data[*self.offsets.last().unwrap() as usize..].windows(2).all(|w| w[0] < w[1]),
+            "columns must stay strictly ascending (monotone renumbering invariant)"
+        );
+        self.offsets.push(self.data.len() as u32);
+    }
+
+    /// Appends a block of atoms to the column currently being built.
+    #[inline]
+    pub fn extend_building(&mut self, atoms: &[u32]) {
+        self.data.extend_from_slice(atoms);
+    }
+
+    /// Appends atoms from an iterator to the column being built.
+    #[inline]
+    pub fn extend_building_from(&mut self, atoms: impl IntoIterator<Item = u32>) {
+        self.data.extend(atoms);
+    }
+
+    /// Discards the in-progress column (e.g. it shrank below two atoms).
+    #[inline]
+    pub fn cancel_col(&mut self) {
+        self.data.truncate(*self.offsets.last().unwrap() as usize);
+    }
+
+    /// Removes all columns, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.offsets.truncate(1);
+        self.data.clear();
+    }
+}
+
+/// Slice iterator over a [`FlatCols`].
+pub struct FlatColsIter<'a> {
+    cols: &'a FlatCols,
+    i: usize,
+}
+
+impl<'a> Iterator for FlatColsIter<'a> {
+    type Item = &'a [u32];
+
+    fn next(&mut self) -> Option<&'a [u32]> {
+        (self.i < self.cols.n_cols()).then(|| {
+            let c = self.cols.col(self.i);
+            self.i += 1;
+            c
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.cols.n_cols() - self.i;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for FlatColsIter<'_> {}
+
+impl<'a> IntoIterator for &'a FlatCols {
+    type Item = &'a [u32];
+    type IntoIter = FlatColsIter<'a>;
+
+    fn into_iter(self) -> FlatColsIter<'a> {
+        self.iter()
+    }
+}
+
+// ---------------------------------------------------------------------
+// split columns
+// ---------------------------------------------------------------------
+
+/// The per-column split of one divide step, in CSR form: column `i`'s
+/// entry holds its segment part (atoms in `A1`) followed by its host
+/// part (atoms in `A2`), both in ascending order, with the boundary in
+/// `seg_len` and the crossing classification in `ty`. Replaces the
+/// former `Vec<SplitColumn>`-of-`Vec`s (two heap columns per input
+/// column per level).
+#[derive(Debug, Clone, Default)]
+pub struct SplitCols {
+    pub(crate) parts: FlatCols,
+    pub(crate) seg_len: Vec<u32>,
+    pub(crate) ty: Vec<CrossType>,
+}
+
+impl SplitCols {
+    /// Pre-sized builder state.
+    pub fn with_capacity(cols: usize, entries: usize) -> Self {
+        SplitCols {
+            parts: FlatCols::with_capacity(cols, entries),
+            seg_len: Vec::with_capacity(cols),
+            ty: Vec::with_capacity(cols),
+        }
+    }
+
+    /// Number of split columns (same as the parent subproblem's).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.seg_len.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The segment-side part of column `i` (subproblem-local atoms).
+    #[inline]
+    pub fn seg(&self, i: usize) -> &[u32] {
+        &self.parts.col(i)[..self.seg_len[i] as usize]
+    }
+
+    /// The host-side part of column `i`.
+    #[inline]
+    pub fn host(&self, i: usize) -> &[u32] {
+        &self.parts.col(i)[self.seg_len[i] as usize..]
+    }
+
+    /// Crossing classification of column `i`.
+    #[inline]
+    pub fn ty(&self, i: usize) -> CrossType {
+        self.ty[i]
+    }
+
+    /// Seals the in-progress parts column whose first `seg_len` atoms are
+    /// the segment part. The two halves are each ascending; their
+    /// concatenation deliberately is not, so this bypasses
+    /// [`FlatCols::finish_col`]'s whole-column ordering assertion.
+    #[inline]
+    pub(crate) fn finish_parts_col(&mut self, seg_len: usize, ty: CrossType) {
+        debug_assert!({
+            let col = &self.parts.data[*self.parts.offsets.last().unwrap() as usize..];
+            col[..seg_len].windows(2).all(|w| w[0] < w[1])
+                && col[seg_len..].windows(2).all(|w| w[0] < w[1])
+        });
+        self.parts.offsets.push(self.parts.data.len() as u32);
+        self.seg_len.push(seg_len as u32);
+        self.ty.push(ty);
+    }
+}
+
+// ---------------------------------------------------------------------
+// scratch pool
+// ---------------------------------------------------------------------
+
+/// Reusable per-thread working memory for the divide step: the `A1`
+/// membership bitmap, the local renumbering table, and a position
+/// table. All are `u32::MAX`/`false`-initialized and restored by their
+/// users before release (`O(touched)` cleanup, never `O(capacity)`).
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Membership bitmap over subproblem-local atoms.
+    pub mark: Vec<bool>,
+    /// Local renumbering (`u32::MAX` = absent).
+    pub place: Vec<u32>,
+    /// Order positions (`u32::MAX` = absent).
+    pub pos: Vec<u32>,
+    /// Staging buffer (e.g. a column's host part while its segment part
+    /// streams into the arena). Left empty between uses.
+    pub tmp: Vec<u32>,
+}
+
+impl Scratch {
+    /// Grows all tables to cover `n` slots.
+    fn reserve(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.mark.resize(n, false);
+            self.place.resize(n, u32::MAX);
+            self.pos.resize(n, u32::MAX);
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    fn assert_clean(&self) {
+        debug_assert!(self.mark.iter().all(|&m| !m), "mark bitmap returned dirty");
+        debug_assert!(self.place.iter().all(|&p| p == u32::MAX), "place table returned dirty");
+        debug_assert!(self.pos.iter().all(|&p| p == u32::MAX), "pos table returned dirty");
+        debug_assert!(self.tmp.is_empty(), "tmp buffer returned nonempty");
+    }
+}
+
+thread_local! {
+    static SCRATCH_POOL: RefCell<Vec<Scratch>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a pooled [`Scratch`] covering at least `n` slots.
+/// Reentrant (recursive calls get distinct scratches) and
+/// rayon-compatible (the pool is thread-local; a stolen task pulls from
+/// its worker's pool). Users must leave the tables clean — debug builds
+/// verify this on return to the pool.
+pub fn with_scratch<R>(n: usize, f: impl FnOnce(&mut Scratch) -> R) -> R {
+    let mut s = SCRATCH_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    s.reserve(n);
+    let out = f(&mut s);
+    #[cfg(debug_assertions)]
+    s.assert_clean();
+    SCRATCH_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < 64 {
+            pool.push(s);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_read_back() {
+        let mut fc = FlatCols::new();
+        fc.push_col([1, 3, 5]);
+        fc.push_col([] as [u32; 0]);
+        fc.push_col([0, 2]);
+        assert_eq!(fc.n_cols(), 3);
+        assert_eq!(fc.total_len(), 5);
+        assert_eq!(fc.col(0), &[1, 3, 5]);
+        assert_eq!(fc.col(1), &[] as &[u32]);
+        assert_eq!(fc.col(2), &[0, 2]);
+        assert_eq!(fc.iter().collect::<Vec<_>>(), vec![&[1, 3, 5][..], &[][..], &[0, 2][..]]);
+    }
+
+    #[test]
+    fn incremental_build_with_cancel() {
+        let mut fc = FlatCols::with_capacity(2, 4);
+        fc.push(4);
+        fc.push(7);
+        assert_eq!(fc.building_len(), 2);
+        fc.finish_col();
+        fc.push(9);
+        fc.cancel_col(); // too small, roll back
+        fc.push(1);
+        fc.push(2);
+        fc.finish_col();
+        assert_eq!(fc.n_cols(), 2);
+        assert_eq!(fc.col(0), &[4, 7]);
+        assert_eq!(fc.col(1), &[1, 2]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut fc = FlatCols::from_cols([[0u32, 1].as_slice(), [2, 3].as_slice()]);
+        let cap = fc.data.capacity();
+        fc.clear();
+        assert_eq!(fc.n_cols(), 0);
+        assert_eq!(fc.total_len(), 0);
+        assert_eq!(fc.data.capacity(), cap);
+    }
+
+    #[test]
+    fn from_cols_matches_nested() {
+        let nested: Vec<Vec<u32>> = vec![vec![0, 5, 9], vec![1, 2]];
+        let fc = FlatCols::from_cols(&nested);
+        for (i, col) in nested.iter().enumerate() {
+            assert_eq!(fc.col(i), col.as_slice());
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_column_panics_in_debug() {
+        let mut fc = FlatCols::new();
+        fc.push_col([3, 1]);
+    }
+
+    #[test]
+    fn scratch_reuses_and_reserves() {
+        let first_ptr = with_scratch(10, |s| {
+            assert!(s.mark.len() >= 10);
+            assert!(s.place.iter().all(|&p| p == u32::MAX));
+            s.mark.as_ptr() as usize
+        });
+        let second_ptr = with_scratch(5, |s| s.mark.as_ptr() as usize);
+        // same thread, no interleaving: the pool hands back the same buffer
+        assert_eq!(first_ptr, second_ptr);
+    }
+
+    #[test]
+    fn scratch_is_reentrant() {
+        with_scratch(4, |outer| {
+            outer.mark[0] = true;
+            with_scratch(4, |inner| {
+                assert!(!inner.mark[0], "nested scratch must be distinct");
+            });
+            outer.mark[0] = false;
+        });
+    }
+}

@@ -174,9 +174,7 @@ fn peo_cliques(g: &SimpleGraph, lexbfs: &[u32]) -> Option<Vec<Vec<u32>>> {
     cands.sort_by_key(|c| std::cmp::Reverse(c.len()));
     let mut cliques: Vec<Vec<u32>> = Vec::new();
     for c in cands {
-        let covered = cliques
-            .iter()
-            .any(|big| c.iter().all(|v| big.binary_search(v).is_ok()));
+        let covered = cliques.iter().any(|big| c.iter().all(|v| big.binary_search(v).is_ok()));
         if !covered {
             cliques.push(c);
         }
@@ -206,10 +204,7 @@ mod tests {
     fn spider_is_chordal_but_not_interval() {
         // subdivided K_{1,3}: centre 0, legs 1-4, 2-5, 3-6 — an asteroidal
         // triple of leaf vertices
-        let g = SimpleGraph::from_edges(
-            7,
-            &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 5), (3, 6)],
-        );
+        let g = SimpleGraph::from_edges(7, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 5), (3, 6)]);
         assert!(matches!(recognize(&g), Err(NotInterval::CliquesNotConsecutive)));
     }
 

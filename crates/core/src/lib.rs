@@ -21,6 +21,7 @@
 
 pub mod align;
 pub mod circular;
+pub mod flat;
 pub mod interval_graphs;
 pub mod merge;
 pub mod parallel;
@@ -29,6 +30,7 @@ pub mod realizations;
 pub mod solver;
 pub mod stats;
 
+pub use flat::{FlatCols, SplitCols};
 pub use realizations::{count_realizations, count_realizations_pq};
 pub use solver::{solve, solve_with, Config};
 pub use stats::SolveStats;

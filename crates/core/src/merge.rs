@@ -16,6 +16,7 @@
 //! merge is sound by construction.
 
 use crate::align::CrossType;
+use crate::flat::{with_scratch, SplitCols};
 use crate::NotC1p;
 
 /// Linear (GAP) or cyclic (GAC) merge semantics.
@@ -25,17 +26,6 @@ pub enum MergeMode {
     Linear,
     /// Theorem 5: cut the host cycle at `w` and splice the segment in.
     Cyclic,
-}
-
-/// One column's split across the partition, with its crossing type.
-#[derive(Debug, Clone)]
-pub struct SplitColumn {
-    /// Atoms (subproblem-local) in the segment side `A1`.
-    pub seg_part: Vec<u32>,
-    /// Atoms in the host side `A2`.
-    pub host_part: Vec<u32>,
-    /// Crossing classification.
-    pub ty: CrossType,
 }
 
 /// Merges `seg` into `host` at a feasible split vertex. `seg` and `host`
@@ -50,22 +40,73 @@ pub struct SplitColumn {
 pub fn merge(
     seg: &[u32],
     host: &[u32],
-    columns: &[SplitColumn],
+    columns: &SplitCols,
     mode: MergeMode,
 ) -> Result<Vec<u32>, NotC1p> {
+    let n = seg.len() + host.len();
+    with_scratch(n, |s| {
+        // host positions in s.pos, segment positions in s.place
+        for (i, &a) in host.iter().enumerate() {
+            s.pos[a as usize] = i as u32;
+        }
+        for (i, &a) in seg.iter().enumerate() {
+            s.place[a as usize] = i as u32;
+        }
+        let out = merge_inner(seg, host, columns, mode, &s.pos, &s.place);
+        for &a in host {
+            s.pos[a as usize] = u32::MAX;
+        }
+        for &a in seg {
+            s.place[a as usize] = u32::MAX;
+        }
+        out
+    })
+}
+
+/// `(lo, hi+1)` span of `atoms` under `pos` (must be contiguous —
+/// guaranteed because each side's order realizes its restrictions;
+/// enforced with a debug assertion). `None` for empty.
+fn span_of(pos: &[u32], atoms: &[u32]) -> Option<(u32, u32)> {
+    if atoms.is_empty() {
+        return None;
+    }
+    let mut lo = u32::MAX;
+    let mut hi = 0;
+    for &a in atoms {
+        let p = pos[a as usize];
+        debug_assert_ne!(p, u32::MAX, "atom must be on the host side");
+        lo = lo.min(p);
+        hi = hi.max(p);
+    }
+    debug_assert_eq!(
+        (hi - lo + 1) as usize,
+        atoms.len(),
+        "side realization must keep restrictions contiguous"
+    );
+    Some((lo, hi + 1))
+}
+
+fn merge_inner(
+    seg: &[u32],
+    host: &[u32],
+    columns: &SplitCols,
+    mode: MergeMode,
+    host_pos: &[u32],
+    seg_pos: &[u32],
+) -> Result<Vec<u32>, NotC1p> {
     let hn = host.len();
-    let host_pos = PosMap::new(seg.len() + hn, host);
     // Host spans per crossing/type-c column.
     let mut type_b: Vec<(usize, u32, u32)> = Vec::new(); // (column, x, y)
     let mut type_a_spans: Vec<(u32, u32)> = Vec::new();
     let mut type_c_spans: Vec<(u32, u32)> = Vec::new();
-    for (ci, col) in columns.iter().enumerate() {
-        let Some((x, y)) = host_pos.span(&col.host_part) else { continue };
-        match col.ty {
+    for ci in 0..columns.len() {
+        let host_part = columns.host(ci);
+        let Some((x, y)) = span_of(host_pos, host_part) else { continue };
+        match columns.ty(ci) {
             CrossType::B => type_b.push((ci, x, y)),
             CrossType::A => type_a_spans.push((x, y)),
             CrossType::C => {
-                if col.host_part.len() >= 2 {
+                if host_part.len() >= 2 {
                     type_c_spans.push((x, y));
                 }
             }
@@ -135,18 +176,13 @@ pub fn merge(
     if mode == MergeMode::Cyclic && candidates.contains(&0) {
         candidates.retain(|&w| w != hn as u32);
     }
-    // Segment-side positions of each atom (forward orientation).
-    let mut seg_pos = vec![u32::MAX; host_pos.pos.len()];
-    for (i, &a) in seg.iter().enumerate() {
-        seg_pos[a as usize] = i as u32;
-    }
     let sn = seg.len() as u32;
     for &w in &candidates {
         'orient: for rev in [false, true] {
             // GAP conditions (1)/(3): each type-b column's segment part
             // must occupy the end of the segment facing its host part.
             for &(ci, x, y) in &type_b {
-                let part = &columns[ci].seg_part;
+                let part = columns.seg(ci);
                 let mut lo = u32::MAX;
                 let mut hi = 0;
                 for &a in part {
@@ -192,15 +228,17 @@ pub fn merge(
 
 /// Checks contiguity (linear or cyclic) of every column in the merged
 /// order.
-fn verify_merged(merged: &[u32], columns: &[SplitColumn], mode: MergeMode) -> bool {
+fn verify_merged(merged: &[u32], columns: &SplitCols, mode: MergeMode) -> bool {
     let n = merged.len();
     let mut pos = vec![u32::MAX; n];
     for (i, &a) in merged.iter().enumerate() {
         pos[a as usize] = i as u32;
     }
     let mut in_col = vec![false; n];
-    for col in columns {
-        let len = col.seg_part.len() + col.host_part.len();
+    for ci in 0..columns.len() {
+        let seg_part = columns.seg(ci);
+        let host_part = columns.host(ci);
+        let len = seg_part.len() + host_part.len();
         if len <= 1 {
             continue;
         }
@@ -208,7 +246,7 @@ fn verify_merged(merged: &[u32], columns: &[SplitColumn], mode: MergeMode) -> bo
             MergeMode::Linear => {
                 let mut lo = u32::MAX;
                 let mut hi = 0;
-                for &a in col.seg_part.iter().chain(&col.host_part) {
+                for &a in seg_part.iter().chain(host_part) {
                     let p = pos[a as usize];
                     lo = lo.min(p);
                     hi = hi.max(p);
@@ -221,7 +259,7 @@ fn verify_merged(merged: &[u32], columns: &[SplitColumn], mode: MergeMode) -> bo
                 if len >= n - 1 {
                     continue; // always an arc
                 }
-                for &a in col.seg_part.iter().chain(&col.host_part) {
+                for &a in seg_part.iter().chain(host_part) {
                     in_col[pos[a as usize] as usize] = true;
                 }
                 let mut runs = 0;
@@ -230,7 +268,7 @@ fn verify_merged(merged: &[u32], columns: &[SplitColumn], mode: MergeMode) -> bo
                         runs += 1;
                     }
                 }
-                for &a in col.seg_part.iter().chain(&col.host_part) {
+                for &a in seg_part.iter().chain(host_part) {
                     in_col[pos[a as usize] as usize] = false;
                 }
                 if runs != 1 {
@@ -242,56 +280,26 @@ fn verify_merged(merged: &[u32], columns: &[SplitColumn], mode: MergeMode) -> bo
     true
 }
 
-/// Position lookup for a sequence of local atom ids.
-struct PosMap {
-    pos: Vec<u32>,
-}
-
-impl PosMap {
-    fn new(universe: usize, seq: &[u32]) -> Self {
-        let mut pos = vec![u32::MAX; universe];
-        for (i, &a) in seq.iter().enumerate() {
-            pos[a as usize] = i as u32;
-        }
-        PosMap { pos }
-    }
-
-    /// `(lo, hi)` positions covered by `atoms` (must be contiguous —
-    /// guaranteed because each side's order realizes its restrictions;
-    /// enforced with a debug assertion). `None` for empty.
-    fn span(&self, atoms: &[u32]) -> Option<(u32, u32)> {
-        if atoms.is_empty() {
-            return None;
-        }
-        let mut lo = u32::MAX;
-        let mut hi = 0;
-        for &a in atoms {
-            let p = self.pos[a as usize];
-            debug_assert_ne!(p, u32::MAX, "atom must be on the host side");
-            lo = lo.min(p);
-            hi = hi.max(p);
-        }
-        debug_assert_eq!(
-            (hi - lo + 1) as usize,
-            atoms.len(),
-            "side realization must keep restrictions contiguous"
-        );
-        Some((lo, hi + 1))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn sc(seg: &[u32], host: &[u32], ty: CrossType) -> SplitColumn {
-        SplitColumn { seg_part: seg.to_vec(), host_part: host.to_vec(), ty }
+    /// Builds a [`SplitCols`] from explicit per-column (seg, host, ty)
+    /// triples — test scaffolding for the CSR representation.
+    fn split_cols(cols: &[(&[u32], &[u32], CrossType)]) -> SplitCols {
+        let mut out = SplitCols::with_capacity(cols.len(), 0);
+        for &(seg, host, ty) in cols {
+            out.parts.extend_building(seg);
+            out.parts.extend_building(host);
+            out.finish_parts_col(seg.len(), ty);
+        }
+        out
     }
 
     #[test]
     fn plain_insert_no_crossing() {
         // host 0,1; seg 2,3; no constraints → w = 0 works
-        let merged = merge(&[2, 3], &[0, 1], &[], MergeMode::Linear).unwrap();
+        let merged = merge(&[2, 3], &[0, 1], &split_cols(&[]), MergeMode::Linear).unwrap();
         assert_eq!(merged.len(), 4);
     }
 
@@ -305,8 +313,7 @@ mod tests {
     #[test]
     fn type_b_pins_the_split() {
         // host = [0,1,2]; seg = [3,4]; column {2,3} must come out contiguous
-        let cols =
-            vec![sc(&[3], &[2], CrossType::B), sc(&[3, 4], &[], CrossType::C)];
+        let cols = split_cols(&[(&[3], &[2], CrossType::B), (&[3, 4], &[], CrossType::C)]);
         let merged = merge(&[3, 4], &[0, 1, 2], &cols, MergeMode::Linear).unwrap();
         assert!(contiguous(&merged, &[2, 3]), "{merged:?}");
         assert!(contiguous(&merged, &[3, 4]), "{merged:?}");
@@ -315,7 +322,7 @@ mod tests {
     #[test]
     fn type_b_with_reversal() {
         // column {4, 0}: seg's 4-end must touch the host's 0-end
-        let cols = vec![sc(&[4], &[0], CrossType::B)];
+        let cols = split_cols(&[(&[4], &[0], CrossType::B)]);
         let merged = merge(&[3, 4], &[0, 1, 2], &cols, MergeMode::Linear).unwrap();
         assert!(contiguous(&merged, &[0, 4]), "{merged:?}");
     }
@@ -325,14 +332,14 @@ mod tests {
         // {3}-{0} wants w=0; {4}-{2} wants w=3; seg has only two ends but
         // both want opposite... actually both can work via orientation;
         // make it impossible: both seg parts share atom 3.
-        let cols = vec![sc(&[3], &[0], CrossType::B), sc(&[3], &[2], CrossType::B)];
+        let cols = split_cols(&[(&[3], &[0], CrossType::B), (&[3], &[2], CrossType::B)]);
         assert_eq!(merge(&[3, 4], &[0, 1, 2], &cols, MergeMode::Linear), Err(NotC1p));
     }
 
     #[test]
     fn type_a_needs_containment() {
         // type-a column = all of seg + host atom 1 (middle): w must be 1 or 2
-        let cols = vec![sc(&[3, 4], &[1], CrossType::A)];
+        let cols = split_cols(&[(&[3, 4], &[1], CrossType::A)]);
         let merged = merge(&[3, 4], &[0, 1, 2], &cols, MergeMode::Linear).unwrap();
         let pos1 = merged.iter().position(|&a| a == 1).unwrap();
         let pos3 = merged.iter().position(|&a| a == 3).unwrap();
@@ -345,7 +352,7 @@ mod tests {
     #[test]
     fn type_c_blocks_interior() {
         // host column {0,1,2} entirely: w must be 0 or 3
-        let cols = vec![sc(&[], &[0, 1, 2], CrossType::C)];
+        let cols = split_cols(&[(&[], &[0, 1, 2], CrossType::C)]);
         let merged = merge(&[3, 4], &[0, 1, 2], &cols, MergeMode::Linear).unwrap();
         let p: Vec<usize> =
             [0u32, 1, 2].iter().map(|&a| merged.iter().position(|&x| x == a).unwrap()).collect();
@@ -356,7 +363,7 @@ mod tests {
     #[test]
     fn cyclic_wraparound_merge() {
         // cyclic: column {4, 0} with host [0,1,2], seg [3,4]: an arc may wrap
-        let cols = vec![sc(&[4], &[0], CrossType::B)];
+        let cols = split_cols(&[(&[4], &[0], CrossType::B)]);
         let merged = merge(&[3, 4], &[0, 1, 2], &cols, MergeMode::Cyclic).unwrap();
         // contiguity holds cyclically
         assert!(verify_merged(&merged, &cols, MergeMode::Cyclic));

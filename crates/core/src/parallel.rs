@@ -3,7 +3,10 @@
 //! The recursion tree of `Path-Realization` has `O(log n)` depth with
 //! independent siblings, so the two recursive calls run under
 //! `rayon::join`; within a level the divide and combine steps use the
-//! PRAM primitives of `c1p-pram` where data sizes warrant it.
+//! PRAM primitives of `c1p-pram` where data sizes warrant it. Divide
+//! data lives in flat CSR arenas with per-thread scratch pools
+//! ([`crate::flat`]) — rayon work-stealing composes with the pools
+//! because every worker draws from its own thread-local pool.
 //!
 //! Alongside wall-clock execution the driver composes a **modelled PRAM
 //! cost** ([`c1p_pram::Cost`]): sequential steps add work and depth,
@@ -25,7 +28,7 @@
 
 use crate::merge::MergeMode;
 use crate::partition::{grow_segment, proper_column, tucker_transform, Growth};
-use crate::solver::{combine, cut_at_r, prepare_split, realize, SubProblem};
+use crate::solver::{combine, component_sub, cut_at_r, prepare_split, realize, SubProblem};
 use crate::stats::SolveStats;
 use crate::{Config, NotC1p};
 use c1p_matrix::{verify_linear, Atom, Ensemble};
@@ -48,21 +51,10 @@ pub fn solve_par_with(ens: &Ensemble, cfg: &Config) -> (Option<Vec<Atom>>, Solve
     let mut order: Vec<Atom> = Vec::with_capacity(ens.n_atoms());
     let mut cost = Cost::ZERO;
     for (atoms, col_ids) in ens.components() {
-        let cols: Vec<Vec<u32>> = col_ids
-            .iter()
-            .filter_map(|&ci| {
-                let col = ens.column(ci as usize);
-                (col.len() >= 2).then(|| {
-                    let mut local: Vec<u32> = col
-                        .iter()
-                        .map(|&a| atoms.binary_search(&a).unwrap() as u32)
-                        .collect();
-                    local.sort_unstable();
-                    local
-                })
-            })
-            .collect();
-        let sub = SubProblem { n: atoms.len(), cols };
+        let sub = component_sub(
+            &atoms,
+            col_ids.iter().map(|&ci| ens.column(ci as usize)).filter(|c| c.len() >= 2),
+        );
         match realize_par(&sub, cfg, 0) {
             Ok((local, branch_stats, branch_cost)) => {
                 stats.absorb(&branch_stats);
@@ -87,8 +79,8 @@ fn realize_par(sub: &SubProblem, cfg: &Config, depth: usize) -> ParResult {
     stats.subproblems += 1;
     stats.max_depth = depth;
     let k = sub.n;
-    let p: usize = sub.cols.iter().map(Vec::len).sum();
-    let m = sub.cols.len();
+    let p: usize = sub.cols.total_len();
+    let m = sub.cols.n_cols();
     let lg = log2ceil(k.max(2));
     let lglg = log2ceil(lg as usize).max(1);
     if k <= 2 || (cfg.pq_base_threshold > 0 && k <= cfg.pq_base_threshold) {
@@ -106,8 +98,8 @@ fn realize_par(sub: &SubProblem, cfg: &Config, depth: usize) -> ParResult {
     let divide_cost = Cost::of(p.max(1) as u64, lg); // scan / transform / growth
     if let Some(ci) = proper_column(sub) {
         stats.case1 += 1;
-        let a1 = sub.cols[ci].clone();
-        let (order, cost) = split_par(sub, &a1, MergeMode::Linear, cfg, depth, &mut stats)?;
+        let (order, cost) =
+            split_par(sub, sub.cols.col(ci), MergeMode::Linear, cfg, depth, &mut stats)?;
         Ok((order, stats, divide_cost.seq(cost)))
     } else {
         stats.case2 += 1;
@@ -119,18 +111,8 @@ fn realize_par(sub: &SubProblem, cfg: &Config, depth: usize) -> ParResult {
                 let results: Vec<ParResult> = comps
                     .iter()
                     .map(|(atoms, col_ids)| {
-                        let csub = SubProblem {
-                            n: atoms.len(),
-                            cols: col_ids
-                                .iter()
-                                .map(|&ci| {
-                                    let col = &t.cols[ci as usize];
-                                    col.iter()
-                                        .map(|&a| atoms.binary_search(&a).unwrap() as u32)
-                                        .collect()
-                                })
-                                .collect(),
-                        };
+                        let csub =
+                            component_sub(atoms, col_ids.iter().map(|&ci| t.cols.col(ci as usize)));
                         realize_par(&csub, cfg, depth + 1)
                     })
                     .collect();
@@ -170,8 +152,8 @@ fn split_par(
     stats.absorb(&s2);
     let order = combine(&data, &order1, &order2, mode, stats)?;
     let k = sub.n;
-    let m = sub.cols.len();
-    let p: usize = sub.cols.iter().map(Vec::len).sum();
+    let m = sub.cols.n_cols();
+    let p: usize = sub.cols.total_len();
     let lg = log2ceil(k.max(2));
     let lglg = log2ceil(lg as usize).max(1);
     // combine charges per Section 5 (decompose [10], types, switches [17],

@@ -12,13 +12,22 @@
 //! union of arcs of a cycle is an arc — a segment. When every connected
 //! component is smaller than the window, the instance "trivially
 //! decomposes" into independent subproblems.
+//!
+//! Everything here is allocation-lean: the transform streams into one
+//! CSR arena, and the growth labels atoms/columns with component ids so
+//! the (sorted) atom sets fall out of a single `0..k` scan instead of
+//! per-component sorts.
 
+use crate::flat::FlatCols;
 use crate::solver::SubProblem;
 
 /// Finds a proper-size column: `|A|/3 ≤ |C| ≤ 2|A|/3` (paper Case 1).
 pub fn proper_column(sub: &SubProblem) -> Option<usize> {
     let k = sub.n;
-    sub.cols.iter().position(|c| 3 * c.len() >= k && 3 * c.len() <= 2 * k)
+    (0..sub.cols.n_cols()).find(|&ci| {
+        let len = sub.cols.col_len(ci);
+        3 * len >= k && 3 * len <= 2 * k
+    })
 }
 
 /// The transformed instance of Case 2 over `k + 1` atoms (`r = k`), per
@@ -27,26 +36,35 @@ pub fn proper_column(sub: &SubProblem) -> Option<usize> {
 pub fn tucker_transform(sub: &SubProblem) -> SubProblem {
     let k = sub.n;
     let r = k as u32;
-    let mut cols = Vec::with_capacity(sub.cols.len());
+    // exact arena size in one O(m) pass over the column lengths
+    let mut entries = 0usize;
+    for ci in 0..sub.cols.n_cols() {
+        let len = sub.cols.col_len(ci);
+        entries += if 3 * len <= 2 * k { len } else { k - len + 1 };
+    }
+    let mut cols = FlatCols::with_capacity(sub.cols.n_cols(), entries);
     let mut present = vec![false; k];
-    for col in &sub.cols {
+    for col in sub.cols.iter() {
         if 3 * col.len() <= 2 * k {
             // small column (Case-2 precondition: actually < k/3) — keep
             if col.len() >= 2 {
-                cols.push(col.clone());
+                cols.push_col(col.iter().copied());
             }
             continue;
         }
         for &a in col {
             present[a as usize] = true;
         }
-        let mut comp: Vec<u32> = (0..k as u32).filter(|&a| !present[a as usize]).collect();
-        comp.push(r);
+        // complement stays ascending; r = k lands last
+        cols.extend_building_from((0..k as u32).filter(|&a| !present[a as usize]));
+        cols.push(r);
+        if cols.building_len() >= 2 {
+            cols.finish_col();
+        } else {
+            cols.cancel_col();
+        }
         for &a in col {
             present[a as usize] = false;
-        }
-        if comp.len() >= 2 {
-            cols.push(comp);
         }
     }
     SubProblem { n: k + 1, cols }
@@ -65,53 +83,76 @@ pub enum Growth {
 
 /// Grows a connected set of columns of the transformed instance until its
 /// atom union exceeds `|A'|/3` (paper Section 3.2's tree-contraction step,
-/// done here by BFS over the column–atom bipartite graph).
+/// done here by BFS over the column–atom bipartite graph, on a CSR
+/// atom→columns adjacency).
 pub fn grow_segment(sub: &SubProblem) -> Growth {
     let k = sub.n;
-    let mut atom_cols: Vec<Vec<u32>> = vec![Vec::new(); k];
-    for (ci, col) in sub.cols.iter().enumerate() {
+    let m = sub.cols.n_cols();
+    const UNSEEN: u32 = u32::MAX;
+    // CSR adjacency atom → columns (counting pass + placement pass)
+    let mut adj_off = vec![0u32; k + 1];
+    for col in sub.cols.iter() {
         for &a in col {
-            atom_cols[a as usize].push(ci as u32);
+            adj_off[a as usize + 1] += 1;
         }
     }
-    let mut col_seen = vec![false; sub.cols.len()];
-    let mut atom_seen = vec![false; k];
-    let mut components: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
-    for start in 0..sub.cols.len() {
-        if col_seen[start] {
+    for i in 0..k {
+        adj_off[i + 1] += adj_off[i];
+    }
+    let mut adj = vec![0u32; sub.cols.total_len()];
+    let mut cursor = adj_off.clone();
+    for (ci, col) in sub.cols.iter().enumerate() {
+        for &a in col {
+            adj[cursor[a as usize] as usize] = ci as u32;
+            cursor[a as usize] += 1;
+        }
+    }
+    // BFS per component, labeling atoms and columns with component ids
+    let mut col_comp = vec![UNSEEN; m];
+    let mut atom_comp = vec![UNSEEN; k];
+    let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+    let mut comp_cols: Vec<Vec<u32>> = Vec::new();
+    for start in 0..m {
+        if col_comp[start] != UNSEEN {
             continue;
         }
-        // BFS accumulating whole columns
-        let mut queue = std::collections::VecDeque::from([start as u32]);
-        col_seen[start] = true;
-        let mut atoms: Vec<u32> = Vec::new();
+        let comp = comp_cols.len() as u32;
         let mut cols: Vec<u32> = Vec::new();
+        let mut n_atoms = 0usize;
+        queue.push_back(start as u32);
+        col_comp[start] = comp;
         while let Some(ci) = queue.pop_front() {
             cols.push(ci);
-            for &a in &sub.cols[ci as usize] {
-                if !atom_seen[a as usize] {
-                    atom_seen[a as usize] = true;
-                    atoms.push(a);
-                    for &cj in &atom_cols[a as usize] {
-                        if !col_seen[cj as usize] {
-                            col_seen[cj as usize] = true;
+            for &a in sub.cols.col(ci as usize) {
+                if atom_comp[a as usize] == UNSEEN {
+                    atom_comp[a as usize] = comp;
+                    n_atoms += 1;
+                    for &cj in &adj[adj_off[a as usize] as usize..adj_off[a as usize + 1] as usize]
+                    {
+                        if col_comp[cj as usize] == UNSEEN {
+                            col_comp[cj as usize] = comp;
                             queue.push_back(cj);
                         }
                     }
                 }
             }
-            if 3 * atoms.len() > k {
-                atoms.sort_unstable();
-                return Growth::Segment(atoms);
+            if 3 * n_atoms > k {
+                // collect the grown atoms sorted via one ascending scan
+                let a1: Vec<u32> =
+                    (0..k as u32).filter(|&a| atom_comp[a as usize] == comp).collect();
+                debug_assert_eq!(a1.len(), n_atoms);
+                return Growth::Segment(a1);
             }
         }
-        atoms.sort_unstable();
-        components.push((atoms, cols));
+        comp_cols.push(cols);
     }
     // isolated atoms become singleton components
+    let mut components: Vec<(Vec<u32>, Vec<u32>)> =
+        comp_cols.into_iter().map(|cols| (Vec::new(), cols)).collect();
     for a in 0..k as u32 {
-        if !atom_seen[a as usize] {
-            components.push((vec![a], Vec::new()));
+        match atom_comp[a as usize] {
+            UNSEEN => components.push((vec![a], Vec::new())),
+            comp => components[comp as usize].0.push(a),
         }
     }
     Growth::Components(components)
@@ -122,7 +163,7 @@ mod tests {
     use super::*;
 
     fn sub(n: usize, cols: &[&[u32]]) -> SubProblem {
-        SubProblem { n, cols: cols.iter().map(|c| c.to_vec()).collect() }
+        SubProblem { n, cols: FlatCols::from_cols(cols) }
     }
 
     #[test]
@@ -139,7 +180,7 @@ mod tests {
         let s = sub(6, &[&[0, 1, 2, 3, 4], &[0, 1]]);
         let t = tucker_transform(&s);
         assert_eq!(t.n, 7);
-        assert_eq!(t.cols, vec![vec![5, 6], vec![0, 1]]);
+        assert_eq!(t.cols, FlatCols::from_cols([[5u32, 6].as_slice(), &[0, 1]]));
     }
 
     #[test]
@@ -176,6 +217,20 @@ mod tests {
                 assert_eq!(comps.len(), 6);
                 let sizes: Vec<usize> = comps.iter().map(|(a, _)| a.len()).collect();
                 assert_eq!(sizes.iter().sum::<usize>(), 9);
+            }
+        }
+    }
+
+    #[test]
+    fn growth_component_atoms_are_sorted() {
+        // shared atoms discovered out of order must still come out sorted
+        let s = sub(10, &[&[4, 7], &[2, 7], &[0, 9]]);
+        match grow_segment(&s) {
+            Growth::Segment(_) => panic!("components expected"),
+            Growth::Components(comps) => {
+                for (atoms, _) in &comps {
+                    assert!(atoms.windows(2).all(|w| w[0] < w[1]), "unsorted: {atoms:?}");
+                }
             }
         }
     }

@@ -13,9 +13,16 @@
 //! * **Step 6** — compute the Whitney switches ([`crate::align`]).
 //! * **Step 7** — merge at a feasible split vertex ([`crate::merge`]);
 //!   Case 2 additionally cuts the merged cycle at the transform atom `r`.
+//!
+//! Subproblem columns live in flat CSR arenas ([`FlatCols`], DESIGN.md
+//! §3): the whole divide is a constant number of linear scans through
+//! per-thread [`Scratch`](crate::flat::Scratch) tables, with no
+//! per-column heap traffic and no per-level re-sorting (sortedness is
+//! preserved through monotone renumberings and asserted in debug).
 
 use crate::align::{align_side1, align_side2, ChordInfo, CrossType};
-use crate::merge::{merge, MergeMode, SplitColumn};
+use crate::flat::{with_scratch, FlatCols, SplitCols};
+use crate::merge::{merge, MergeMode};
 use crate::partition::{grow_segment, proper_column, tucker_transform, Growth};
 use crate::stats::SolveStats;
 use crate::NotC1p;
@@ -53,13 +60,13 @@ pub fn dump_phase_timing() {
 }
 
 /// A subproblem: `n` local atoms (`0..n`) and restricted columns (sorted
-/// atom lists, each with ≥ 2 atoms).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// atom lists, each with ≥ 2 atoms) in one CSR arena.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SubProblem {
     /// Local atom count.
     pub n: usize,
     /// Columns over local atoms.
-    pub cols: Vec<Vec<u32>>,
+    pub cols: FlatCols,
 }
 
 /// Solver configuration.
@@ -113,28 +120,59 @@ pub fn solve_with(ens: &Ensemble, cfg: &Config) -> (Option<Vec<Atom>>, SolveStat
     (Some(order), stats)
 }
 
-/// Re-indexes global columns onto a local atom set.
+/// Re-indexes global columns onto a local atom set. `atoms` and each
+/// column must be sorted ascending (the [`Ensemble`] invariant), so the
+/// local columns come out sorted without re-sorting.
 fn build_sub<'a>(atoms: &[Atom], cols: impl Iterator<Item = &'a [Atom]>) -> SubProblem {
     let max = atoms.iter().copied().max().map_or(0, |m| m as usize + 1);
-    let mut place = vec![u32::MAX; max];
-    for (i, &a) in atoms.iter().enumerate() {
-        place[a as usize] = i as u32;
-    }
-    let mut out = Vec::new();
-    for col in cols {
-        let mut local: Vec<u32> = col
-            .iter()
-            .filter_map(|&a| {
-                let p = place[a as usize];
-                (p != u32::MAX).then_some(p)
-            })
-            .collect();
-        if local.len() >= 2 {
-            local.sort_unstable();
-            out.push(local);
+    with_scratch(max, |s| {
+        for (i, &a) in atoms.iter().enumerate() {
+            s.place[a as usize] = i as u32;
         }
-    }
-    SubProblem { n: atoms.len(), cols: out }
+        let mut out = FlatCols::new();
+        for col in cols {
+            for &a in col {
+                let p = s.place[a as usize];
+                if p != u32::MAX {
+                    out.push(p);
+                }
+            }
+            if out.building_len() >= 2 {
+                out.finish_col();
+            } else {
+                out.cancel_col();
+            }
+        }
+        for &a in atoms {
+            s.place[a as usize] = u32::MAX;
+        }
+        SubProblem { n: atoms.len(), cols: out }
+    })
+}
+
+/// Re-indexes the columns of a transformed subproblem onto one connected
+/// component's (sorted) atom set.
+pub(crate) fn component_sub<'a>(
+    atoms: &[u32],
+    cols: impl Iterator<Item = &'a [u32]>,
+) -> SubProblem {
+    let max = atoms.iter().copied().max().map_or(0, |m| m as usize + 1);
+    with_scratch(max, |s| {
+        for (i, &a) in atoms.iter().enumerate() {
+            s.place[a as usize] = i as u32;
+        }
+        let mut out = FlatCols::new();
+        for col in cols {
+            out.push_col(col.iter().map(|&a| {
+                debug_assert_ne!(s.place[a as usize], u32::MAX, "column atom in component");
+                s.place[a as usize]
+            }));
+        }
+        for &a in atoms {
+            s.place[a as usize] = u32::MAX;
+        }
+        SubProblem { n: atoms.len(), cols: out }
+    })
 }
 
 /// The recursive Path-Realization procedure. Returns an order of the local
@@ -160,8 +198,7 @@ pub(crate) fn realize(
     // Step 2: the divide
     if let Some(ci) = phase!(T_PARTITION, proper_column(sub)) {
         stats.case1 += 1;
-        let a1 = sub.cols[ci].clone();
-        split_and_merge(sub, &a1, MergeMode::Linear, cfg, stats, depth)
+        split_and_merge(sub, sub.cols.col(ci), MergeMode::Linear, cfg, stats, depth)
     } else {
         stats.case2 += 1;
         let t = phase!(T_PARTITION, tucker_transform(sub));
@@ -171,24 +208,8 @@ pub(crate) fn realize(
                 // trivially decomposes: concatenate independent solutions
                 let mut order = Vec::with_capacity(t.n);
                 for (atoms, col_ids) in comps {
-                    let csub = SubProblem {
-                        n: atoms.len(),
-                        cols: col_ids
-                            .iter()
-                            .map(|&ci| {
-                                let col = &t.cols[ci as usize];
-                                let mut local: Vec<u32> = col
-                                    .iter()
-                                    .map(|&a| {
-                                        atoms.binary_search(&a).expect("column atom in comp")
-                                            as u32
-                                    })
-                                    .collect();
-                                local.sort_unstable();
-                                local
-                            })
-                            .collect(),
-                    };
+                    let csub =
+                        component_sub(&atoms, col_ids.iter().map(|&ci| t.cols.col(ci as usize)));
                     let local = realize(&csub, cfg, stats, depth + 1)?;
                     order.extend(local.iter().map(|&i| atoms[i as usize]));
                 }
@@ -221,13 +242,13 @@ fn split_and_merge(
 
 /// Everything the combine step needs, precomputed before recursion
 /// (shared between the sequential and the parallel drivers).
-pub(crate) struct SplitData {
+pub struct SplitData {
     /// Segment atoms (subproblem-local, sorted).
     pub a1: Vec<u32>,
     /// Host atoms.
     pub a2: Vec<u32>,
     /// Per-column split + crossing type.
-    pub split_cols: Vec<SplitColumn>,
+    pub split_cols: SplitCols,
     /// Segment subproblem.
     pub sub1: SubProblem,
     /// Host subproblem.
@@ -235,37 +256,85 @@ pub(crate) struct SplitData {
 }
 
 /// The divide: split columns across `{A1, A2}` and classify (Step 2 +
-/// Step 4's type identification).
-pub(crate) fn prepare_split(sub: &SubProblem, a1: &[u32]) -> SplitData {
+/// Step 4's type identification). One counting-free linear pass: each
+/// column streams its segment part into the CSR arena (staging the host
+/// part in scratch), emitting both side projections on the fly through
+/// the monotone `place` renumbering — which keeps every output column
+/// sorted, so the old per-level `sort_unstable` calls are gone entirely.
+///
+/// Public so benches can measure the divide in isolation; not a stable
+/// API.
+pub fn prepare_split(sub: &SubProblem, a1: &[u32]) -> SplitData {
     let k = sub.n;
-    let mut in_a1 = vec![false; k];
-    for &a in a1 {
-        in_a1[a as usize] = true;
-    }
-    let a2: Vec<u32> = (0..k as u32).filter(|&a| !in_a1[a as usize]).collect();
-    debug_assert!(!a1.is_empty() && !a2.is_empty(), "partition must be proper");
-    let mut split_cols: Vec<SplitColumn> = Vec::with_capacity(sub.cols.len());
-    for col in &sub.cols {
-        let (mut seg_part, mut host_part) = (Vec::new(), Vec::new());
-        for &a in col {
-            if in_a1[a as usize] {
-                seg_part.push(a);
-            } else {
-                host_part.push(a);
+    let m = sub.cols.n_cols();
+    let p = sub.cols.total_len();
+    with_scratch(k, |s| {
+        // place[a] = a's index within its own side; mark[a] = a ∈ A1
+        for (i, &a) in a1.iter().enumerate() {
+            s.mark[a as usize] = true;
+            s.place[a as usize] = i as u32;
+        }
+        let mut a2: Vec<u32> = Vec::with_capacity(k - a1.len());
+        for a in 0..k as u32 {
+            if !s.mark[a as usize] {
+                s.place[a as usize] = a2.len() as u32;
+                a2.push(a);
             }
         }
-        let ty = if host_part.is_empty() || seg_part.is_empty() {
-            CrossType::C
-        } else if seg_part.len() == a1.len() {
-            CrossType::A
-        } else {
-            CrossType::B
-        };
-        split_cols.push(SplitColumn { seg_part, host_part, ty });
-    }
-    let sub1 = project(a1, &split_cols, true);
-    let sub2 = project(&a2, &split_cols, false);
-    SplitData { a1: a1.to_vec(), a2, split_cols, sub1, sub2 }
+        let (k1, k2) = (a1.len(), a2.len());
+        debug_assert!(k1 > 0 && k2 > 0, "partition must be proper");
+        let mut split_cols = SplitCols::with_capacity(m, p);
+        let mut cols1 = FlatCols::with_capacity(m, p.min(k1 * m));
+        let mut cols2 = FlatCols::with_capacity(m, p);
+        for col in sub.cols.iter() {
+            debug_assert!(s.tmp.is_empty());
+            for &a in col {
+                if s.mark[a as usize] {
+                    split_cols.parts.push(a);
+                    cols1.push(s.place[a as usize]);
+                } else {
+                    s.tmp.push(a);
+                    cols2.push(s.place[a as usize]);
+                }
+            }
+            let sn = split_cols.parts.building_len();
+            let hn = s.tmp.len();
+            split_cols.parts.extend_building(&s.tmp);
+            s.tmp.clear();
+            let ty = if sn == 0 || hn == 0 {
+                CrossType::C
+            } else if sn == k1 {
+                CrossType::A
+            } else {
+                CrossType::B
+            };
+            split_cols.finish_parts_col(sn, ty);
+            // side projections keep restrictions with ≥ 2 atoms that do
+            // not cover the whole side
+            if sn >= 2 && sn < k1 {
+                cols1.finish_col();
+            } else {
+                cols1.cancel_col();
+            }
+            if hn >= 2 && hn < k2 {
+                cols2.finish_col();
+            } else {
+                cols2.cancel_col();
+            }
+        }
+        // restore scratch (O(k): every atom was touched)
+        for a in 0..k {
+            s.mark[a] = false;
+            s.place[a] = u32::MAX;
+        }
+        SplitData {
+            a1: a1.to_vec(),
+            a2,
+            split_cols,
+            sub1: SubProblem { n: k1, cols: cols1 },
+            sub2: SubProblem { n: k2, cols: cols2 },
+        }
+    })
 }
 
 /// The combine: Steps 3–7 (decompose, align, merge). Each side's alignment
@@ -278,7 +347,8 @@ pub(crate) fn combine(
     mode: MergeMode,
     stats: &mut SolveStats,
 ) -> Result<Vec<u32>, NotC1p> {
-    let seg_cands = phase!(T_ALIGN, align_one_side(&data.a1, order1, &data.split_cols, true, stats));
+    let seg_cands =
+        phase!(T_ALIGN, align_one_side(&data.a1, order1, &data.split_cols, true, stats));
     let host_cands =
         phase!(T_ALIGN, align_one_side(&data.a2, order2, &data.split_cols, false, stats));
     phase!(T_MERGE, {
@@ -295,32 +365,15 @@ pub(crate) fn combine(
     })
 }
 
-/// Step 7, Case 2: cut the merged cycle at the transform atom `r = k`.
+/// Step 7, Case 2: cut the merged cycle at the transform atom `r = k` —
+/// a rotation done with two block copies.
 pub(crate) fn cut_at_r(cyclic: &[u32], k: usize) -> Vec<u32> {
+    debug_assert_eq!(cyclic.len(), k + 1, "cycle covers the transformed atom set");
     let rpos = cyclic.iter().position(|&a| a == k as u32).expect("r on the cycle");
     let mut order = Vec::with_capacity(k);
-    for i in 1..=k {
-        order.push(cyclic[(rpos + i) % (k + 1)]);
-    }
+    order.extend_from_slice(&cyclic[rpos + 1..]);
+    order.extend_from_slice(&cyclic[..rpos]);
     order
-}
-
-/// Projects split columns onto one side as a local subproblem.
-fn project(atoms: &[u32], split_cols: &[SplitColumn], seg_side: bool) -> SubProblem {
-    let mut place = vec![u32::MAX; atoms.iter().map(|&a| a as usize + 1).max().unwrap_or(0)];
-    for (i, &a) in atoms.iter().enumerate() {
-        place[a as usize] = i as u32;
-    }
-    let mut cols = Vec::new();
-    for sc in split_cols {
-        let part = if seg_side { &sc.seg_part } else { &sc.host_part };
-        if part.len() >= 2 && part.len() < atoms.len() {
-            let mut local: Vec<u32> = part.iter().map(|&a| place[a as usize]).collect();
-            local.sort_unstable();
-            cols.push(local);
-        }
-    }
-    SubProblem { n: atoms.len(), cols }
 }
 
 /// Steps 3–6 for one side: build the gp-realization's chords from the
@@ -330,27 +383,46 @@ fn project(atoms: &[u32], split_cols: &[SplitColumn], seg_side: bool) -> SubProb
 fn align_one_side(
     atoms: &[u32],
     order: &[u32],
-    split_cols: &[SplitColumn],
+    split_cols: &SplitCols,
     seg_side: bool,
     stats: &mut SolveStats,
 ) -> Vec<Vec<u32>> {
     let kn = atoms.len();
-    // pos[subproblem-local atom] = position in this side's order
-    let mut pos = vec![u32::MAX; atoms.iter().map(|&a| a as usize + 1).max().unwrap_or(0)];
-    for (i, &x) in order.iter().enumerate() {
-        pos[atoms[x as usize] as usize] = i as u32;
-    }
+    let max = atoms.iter().map(|&a| a as usize + 1).max().unwrap_or(0);
+    with_scratch(max, |s| {
+        // pos[subproblem-local atom] = position in this side's order
+        for (i, &x) in order.iter().enumerate() {
+            s.pos[atoms[x as usize] as usize] = i as u32;
+        }
+        let out = align_one_side_inner(atoms, order, split_cols, seg_side, stats, &s.pos, kn);
+        for &a in atoms {
+            s.pos[a as usize] = u32::MAX;
+        }
+        out
+    })
+}
+
+fn align_one_side_inner(
+    atoms: &[u32],
+    order: &[u32],
+    split_cols: &SplitCols,
+    seg_side: bool,
+    stats: &mut SolveStats,
+    pos: &[u32],
+    kn: usize,
+) -> Vec<Vec<u32>> {
     // chords: every column restriction with ≥ 2 atoms (decomposition
     // fidelity: they pin the polygon re-linkings), plus crossing
     // restrictions of 1 atom (they must still reach the split vertex).
     let mut spans: Vec<(u32, u32)> = Vec::new();
     let mut infos: Vec<ChordInfo> = Vec::new();
-    for sc in split_cols {
-        let part = if seg_side { &sc.seg_part } else { &sc.host_part };
+    for ci in 0..split_cols.len() {
+        let part = if seg_side { split_cols.seg(ci) } else { split_cols.host(ci) };
         if part.is_empty() {
             continue;
         }
-        if part.len() == 1 && sc.ty == CrossType::C {
+        let ty = split_cols.ty(ci);
+        if part.len() == 1 && ty == CrossType::C {
             continue;
         }
         let mut lo = u32::MAX;
@@ -366,7 +438,7 @@ fn align_one_side(
             "recursive order must realize the restriction"
         );
         spans.push((lo, hi + 1));
-        infos.push(ChordInfo { span: (lo, hi + 1), ty: sc.ty });
+        infos.push(ChordInfo { span: (lo, hi + 1), ty });
     }
     let needs_alignment = infos.iter().any(|i| i.ty != CrossType::C);
     if !needs_alignment {
@@ -381,8 +453,7 @@ fn align_one_side(
     for cand in &aligned {
         let composed = cand.compose();
         // composed[i] = original order position at new position i
-        let seq: Vec<u32> =
-            composed.iter().map(|&p| atoms[order[p as usize] as usize]).collect();
+        let seq: Vec<u32> = composed.iter().map(|&p| atoms[order[p as usize] as usize]).collect();
         if !out.contains(&seq) {
             out.push(seq);
         }
@@ -396,7 +467,7 @@ fn debug_verify(sub: &SubProblem, order: &[u32]) {
     for (i, &a) in order.iter().enumerate() {
         pos[a as usize] = i as u32;
     }
-    for col in &sub.cols {
+    for col in sub.cols.iter() {
         let mut lo = u32::MAX;
         let mut hi = 0;
         for &a in col {
@@ -475,5 +546,57 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cut_at_r_rotates() {
+        // r = 4 in the middle
+        assert_eq!(cut_at_r(&[2, 0, 4, 3, 1], 4), vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn cut_at_r_at_front() {
+        assert_eq!(cut_at_r(&[3, 1, 2, 0], 3), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn cut_at_r_at_back() {
+        assert_eq!(cut_at_r(&[1, 2, 0, 3], 3), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn cut_at_r_two_atoms() {
+        assert_eq!(cut_at_r(&[2, 0, 1], 2), vec![0, 1]);
+        assert_eq!(cut_at_r(&[0, 1, 2], 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn prepare_split_partitions_and_classifies() {
+        // 6 atoms, A1 = {1, 3, 4}: check parts, projections, types
+        let sub = SubProblem {
+            n: 6,
+            cols: FlatCols::from_cols([
+                [1u32, 3].as_slice(),    // inside A1 → C
+                [0, 2].as_slice(),       // inside A2 → C
+                [1, 2, 3, 4].as_slice(), // seg {1,3,4} = all of A1 → A
+                [2, 3].as_slice(),       // proper crossing → B
+            ]),
+        };
+        let data = prepare_split(&sub, &[1, 3, 4]);
+        assert_eq!(data.a2, vec![0, 2, 5]);
+        assert_eq!(data.split_cols.seg(0), &[1, 3]);
+        assert_eq!(data.split_cols.host(0), &[] as &[u32]);
+        assert_eq!(data.split_cols.ty(0), CrossType::C);
+        assert_eq!(data.split_cols.ty(1), CrossType::C);
+        assert_eq!(data.split_cols.seg(2), &[1, 3, 4]);
+        assert_eq!(data.split_cols.host(2), &[2]);
+        assert_eq!(data.split_cols.ty(2), CrossType::A);
+        assert_eq!(data.split_cols.seg(3), &[3]);
+        assert_eq!(data.split_cols.host(3), &[2]);
+        assert_eq!(data.split_cols.ty(3), CrossType::B);
+        // sub1 keeps only column 0 projected onto A1-local ids {1→0, 3→1}
+        assert_eq!(data.sub1.cols.iter().collect::<Vec<_>>(), vec![&[0u32, 1][..]]);
+        // sub2 keeps only column 1 projected onto A2-local ids {0→0, 2→1}
+        assert_eq!(data.sub2.cols.iter().collect::<Vec<_>>(), vec![&[0u32, 1][..]]);
     }
 }

@@ -1,0 +1,172 @@
+//! Differential tests for the flat-CSR divide path.
+//!
+//! Two layers of evidence that the CSR rewrite preserved the seed
+//! semantics exactly:
+//!
+//! 1. `prepare_split` is compared column-by-column against the seed's
+//!    nested-vec divide (`c1p_bench::naive` — the one canonical copy,
+//!    shared with the benchmarks), including its `sort_unstable` —
+//!    which the monotone-renumbering argument says is the identity on
+//!    already-sorted projections, and these tests confirm it.
+//! 2. The whole solver is compared against the independent Booth–Lueker
+//!    baseline (`c1p-pqtree`) on random ensembles — accept and reject
+//!    paths — plus exhaustive small instances.
+
+use c1p_bench::naive::{naive_prepare_split, NaiveSub};
+use c1p_core::solver::{prepare_split, SubProblem};
+use c1p_core::{Config, FlatCols};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+// ---------------------------------------------------------------------
+// layer 1: the divide against the seed's nested-vec semantics
+// ---------------------------------------------------------------------
+
+fn random_subproblem(rng: &mut SmallRng, max_n: usize, max_m: usize) -> SubProblem {
+    let n = rng.random_range(3..=max_n);
+    let m = rng.random_range(1..=max_m);
+    let mut cols = FlatCols::new();
+    for _ in 0..m {
+        let len = rng.random_range(2..=n);
+        let start = rng.random_range(0..=n - len);
+        // a random sorted subset: interval or scattered mask
+        if rng.random_range(0..2usize) == 0 {
+            cols.push_col(start as u32..(start + len) as u32);
+        } else {
+            let picked: Vec<u32> =
+                (0..n as u32).filter(|_| rng.random_range(0..3usize) == 0).collect();
+            if picked.len() >= 2 {
+                cols.push_col(picked);
+            } else {
+                cols.push_col([0, n as u32 - 1]);
+            }
+        }
+    }
+    SubProblem { n, cols }
+}
+
+#[test]
+fn flat_divide_matches_seed_semantics() {
+    for seed in 0..400u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sub = random_subproblem(&mut rng, 24, 8);
+        let n = sub.n;
+        // random proper A1 (nonempty, not everything)
+        let a1: Vec<u32> = loop {
+            let cut: Vec<u32> =
+                (0..n as u32).filter(|_| rng.random_range(0..2usize) == 0).collect();
+            if !cut.is_empty() && cut.len() < n {
+                break cut;
+            }
+        };
+        let nested = NaiveSub { n, cols: sub.cols.iter().map(|c| c.to_vec()).collect() };
+        let (ref_split, ref_sub1, ref_sub2) = naive_prepare_split(&nested, &a1);
+        let got = prepare_split(&sub, &a1);
+        assert_eq!(got.a1, a1, "seed {seed}");
+        assert_eq!(got.split_cols.len(), ref_split.len(), "seed {seed}");
+        for (ci, sc) in ref_split.iter().enumerate() {
+            assert_eq!(got.split_cols.seg(ci), sc.seg_part.as_slice(), "seed {seed} col {ci}");
+            assert_eq!(got.split_cols.host(ci), sc.host_part.as_slice(), "seed {seed} col {ci}");
+            // CrossType discriminants: A=0, B=1, C=2 (naive.ty encoding)
+            assert_eq!(got.split_cols.ty(ci) as u8, sc.ty, "seed {seed} col {ci}");
+        }
+        assert_eq!(got.sub1.n, ref_sub1.n, "seed {seed}");
+        assert_eq!(got.sub2.n, ref_sub2.n, "seed {seed}");
+        let got_cols1: Vec<Vec<u32>> = got.sub1.cols.iter().map(|c| c.to_vec()).collect();
+        let got_cols2: Vec<Vec<u32>> = got.sub2.cols.iter().map(|c| c.to_vec()).collect();
+        assert_eq!(got_cols1, ref_sub1.cols, "seed {seed}: segment projection differs");
+        assert_eq!(got_cols2, ref_sub2.cols, "seed {seed}: host projection differs");
+    }
+}
+
+// ---------------------------------------------------------------------
+// layer 2: whole-solver differential vs Booth–Lueker
+// ---------------------------------------------------------------------
+
+fn mask_ensemble(rng: &mut SmallRng, max_n: usize, max_m: usize) -> c1p_matrix::Ensemble {
+    let n = rng.random_range(2..=max_n);
+    let m = rng.random_range(0..=max_m);
+    let cols: Vec<Vec<u32>> = (0..m)
+        .map(|_| {
+            let mask = rng.random_range(1u64..(1 << n));
+            (0..n as u32).filter(|&a| mask >> a & 1 == 1).collect()
+        })
+        .collect();
+    c1p_matrix::Ensemble::from_columns(n, cols).unwrap()
+}
+
+#[test]
+fn solver_matches_pqtree_on_random_accept_and_reject() {
+    let mut accepts = 0usize;
+    let mut rejects = 0usize;
+    for seed in 0..600u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5EED ^ seed);
+        let ens = mask_ensemble(&mut rng, 10, 7);
+        let dc = c1p_core::solve(&ens);
+        let pq = c1p_pqtree::solve(ens.n_atoms(), ens.columns());
+        assert_eq!(dc.is_some(), pq.is_some(), "seed {seed}:\n{}", ens.to_matrix());
+        if let Some(o) = &dc {
+            accepts += 1;
+            c1p_matrix::verify_linear(&ens, o).unwrap();
+        } else {
+            rejects += 1;
+        }
+    }
+    // both paths must actually be exercised for the test to mean anything
+    assert!(accepts > 50, "too few accepts ({accepts}) — workload drifted");
+    assert!(rejects > 50, "too few rejects ({rejects}) — workload drifted");
+}
+
+#[test]
+fn solver_matches_pqtree_on_planted_with_noise() {
+    for seed in 0..120u64 {
+        let mut rng = SmallRng::seed_from_u64(0xA150 ^ seed);
+        let n = rng.random_range(16..=160);
+        let (ens, _) = c1p_matrix::generate::planted_c1p(
+            c1p_matrix::generate::PlantedShape {
+                n_atoms: n,
+                n_columns: 2 * n,
+                min_len: 2,
+                max_len: (n / 3).max(2),
+            },
+            &mut rng,
+        );
+        // clean planted: must accept
+        assert!(c1p_core::solve(&ens).is_some(), "seed {seed}: clean planted rejected");
+        // flip a handful of random entries; whatever the verdict, it must
+        // match the PQ-tree baseline (both fast() and pure configurations)
+        let mut mat = ens.to_matrix();
+        for _ in 0..4 {
+            let r = rng.random_range(0..mat.n_rows());
+            let c = rng.random_range(0..mat.n_cols());
+            mat.flip(r, c);
+        }
+        let noisy = mat.to_ensemble();
+        let pq = c1p_pqtree::solve(noisy.n_atoms(), noisy.columns()).is_some();
+        let pure = c1p_core::solve(&noisy).is_some();
+        let fast = c1p_core::solve_with(&noisy, &Config::fast()).0.is_some();
+        assert_eq!(pure, pq, "seed {seed}: pure divide-and-conquer vs pqtree");
+        assert_eq!(fast, pq, "seed {seed}: pq-base-case config vs pqtree");
+    }
+}
+
+#[test]
+fn solver_matches_brute_force_exhaustively() {
+    // every ≤ 3-column ensemble over 4 atoms
+    let n = 4usize;
+    let masks = 1u32 << n;
+    for c1 in 0..masks {
+        for c2 in 0..masks {
+            for c3 in [0u32, 0b0110, 0b1011] {
+                let cols: Vec<Vec<u32>> = [c1, c2, c3]
+                    .iter()
+                    .map(|&m| (0..n as u32).filter(|&a| m >> a & 1 == 1).collect())
+                    .collect();
+                let ens = c1p_matrix::Ensemble::from_columns(n, cols).unwrap();
+                let dc = c1p_core::solve(&ens).is_some();
+                let brute = c1p_matrix::verify::brute_force_linear(&ens).is_some();
+                assert_eq!(dc, brute, "mismatch:\n{}", ens.to_matrix());
+            }
+        }
+    }
+}

@@ -63,9 +63,7 @@ impl Gf2Basis {
                 }
             }
         }
-        let pos = self
-            .rows
-            .partition_point(|r| Self::leading_bit(r).unwrap() < lead);
+        let pos = self.rows.partition_point(|r| Self::leading_bit(r).unwrap() < lead);
         self.rows.insert(pos, vec);
         true
     }

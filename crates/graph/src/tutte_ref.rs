@@ -149,7 +149,7 @@ impl RefDecomposition {
         }
         // Union-find over vertices for the identifications.
         let mut parent: Vec<u32> = (0..next_vertex).collect();
-        fn find(parent: &mut Vec<u32>, x: u32) -> u32 {
+        fn find(parent: &mut [u32], x: u32) -> u32 {
             let mut r = x;
             while parent[r as usize] != r {
                 r = parent[r as usize];
@@ -304,10 +304,7 @@ fn merge_same_kind(members: &mut Vec<RefMember>) {
 fn merge_pair(a: RefMember, b: RefMember, mk: u32) -> RefMember {
     let kind = a.kind;
     let find_marker = |m: &RefMember| -> usize {
-        m.elements
-            .iter()
-            .position(|e| *e == Element::Marker(mk))
-            .expect("marker present")
+        m.elements.iter().position(|e| *e == Element::Marker(mk)).expect("marker present")
     };
     let ea = find_marker(&a);
     let eb = find_marker(&b);
@@ -391,7 +388,7 @@ mod tests {
         let (comp, labels) = dec.compose();
         assert_eq!(comp.n_edges(), g.n_edges());
         let b1 = cycle_space(g);
-        let labels32: Vec<u32> = labels.iter().copied().collect();
+        let labels32: Vec<u32> = labels.to_vec();
         let b2 = cycle_space_with_labels(&comp, &labels32, g.n_edges());
         assert_eq!(b1, b2, "composition must be 2-isomorphic to the input");
     }

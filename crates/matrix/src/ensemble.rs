@@ -86,7 +86,10 @@ impl Ensemble {
 
     /// Builds an ensemble from columns given in any order; each column is
     /// sorted and validated (atoms in range, no duplicates).
-    pub fn from_columns(n_atoms: usize, mut columns: Vec<Vec<Atom>>) -> Result<Self, EnsembleError> {
+    pub fn from_columns(
+        n_atoms: usize,
+        mut columns: Vec<Vec<Atom>>,
+    ) -> Result<Self, EnsembleError> {
         for (ci, col) in columns.iter_mut().enumerate() {
             col.sort_unstable();
             for w in col.windows(2) {
@@ -133,10 +136,7 @@ impl Ensemble {
     pub fn push_column(&mut self, mut col: Vec<Atom>) {
         col.sort_unstable();
         col.dedup();
-        assert!(
-            col.last().is_none_or(|&a| (a as usize) < self.n_atoms),
-            "atom out of range"
-        );
+        assert!(col.last().is_none_or(|&a| (a as usize) < self.n_atoms), "atom out of range");
         self.columns.push(col);
     }
 
@@ -248,11 +248,13 @@ impl Ensemble {
         let mut cols = Vec::new();
         let mut origin = Vec::new();
         for (ci, col) in self.columns.iter().enumerate() {
-            let mut r: Vec<Atom> =
-                col.iter().filter_map(|&a| {
+            let mut r: Vec<Atom> = col
+                .iter()
+                .filter_map(|&a| {
                     let p = place[a as usize];
                     (p != u32::MAX).then_some(p)
-                }).collect();
+                })
+                .collect();
             if r.len() >= min_keep {
                 r.sort_unstable();
                 cols.push(r);
@@ -357,9 +359,9 @@ impl Matrix01 {
     pub fn to_ensemble(&self) -> Ensemble {
         let mut columns = vec![Vec::new(); self.n_cols];
         for r in 0..self.n_rows {
-            for c in 0..self.n_cols {
+            for (c, column) in columns.iter_mut().enumerate() {
                 if self.get(r, c) {
-                    columns[c].push(r as Atom);
+                    column.push(r as Atom);
                 }
             }
         }
@@ -373,7 +375,11 @@ impl Matrix01 {
         let mut m = Matrix01::zeros(n_rows, n_cols);
         for (r, row) in rows.iter().enumerate() {
             if row.len() != n_cols {
-                return Err(EnsembleError::RaggedMatrix { row: r, expected: n_cols, found: row.len() });
+                return Err(EnsembleError::RaggedMatrix {
+                    row: r,
+                    expected: n_cols,
+                    found: row.len(),
+                });
             }
             for (c, &v) in row.iter().enumerate() {
                 if v != 0 {

@@ -73,7 +73,12 @@ pub fn planted_c1p(shape: PlantedShape, rng: &mut impl Rng) -> (Ensemble, Vec<At
 /// Generates an unconstrained random ensemble: each entry is 1 with
 /// probability `density`. With `density·n ≳ 3` such matrices are almost
 /// surely not C1P, giving the rejection workload.
-pub fn random_ensemble(n_atoms: usize, n_columns: usize, density: f64, rng: &mut impl Rng) -> Ensemble {
+pub fn random_ensemble(
+    n_atoms: usize,
+    n_columns: usize,
+    density: f64,
+    rng: &mut impl Rng,
+) -> Ensemble {
     let mut cols = Vec::with_capacity(n_columns);
     for _ in 0..n_columns {
         let mut col = Vec::new();
@@ -90,7 +95,12 @@ pub fn random_ensemble(n_atoms: usize, n_columns: usize, density: f64, rng: &mut
 /// A random ensemble where every column has exactly `k` atoms (uniform
 /// without replacement). Useful for density-controlled sweeps (experiment
 /// E7's density factor `f = nm/p = n/k`).
-pub fn random_k_uniform(n_atoms: usize, n_columns: usize, k: usize, rng: &mut impl Rng) -> Ensemble {
+pub fn random_k_uniform(
+    n_atoms: usize,
+    n_columns: usize,
+    k: usize,
+    rng: &mut impl Rng,
+) -> Ensemble {
     assert!(k <= n_atoms);
     let mut pool: Vec<Atom> = (0..n_atoms as Atom).collect();
     let mut cols = Vec::with_capacity(n_columns);
@@ -158,9 +168,9 @@ pub fn interval_graph_cliques(
     let mut keep: Vec<Vec<u32>> = cliques
         .iter()
         .filter(|c| {
-            !cliques.iter().any(|d| {
-                d.len() > c.len() && c.iter().all(|v| d.binary_search(v).is_ok())
-            })
+            !cliques
+                .iter()
+                .any(|d| d.len() > c.len() && c.iter().all(|v| d.binary_search(v).is_ok()))
         })
         .cloned()
         .collect();

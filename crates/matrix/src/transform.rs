@@ -57,7 +57,8 @@ pub fn circular_transform(ens: &Ensemble, threshold: usize) -> Transformed {
             provenance.push((ci as u32, true));
         }
     }
-    let ensemble = Ensemble::from_sorted_columns(n + 1, columns).expect("transform preserves validity");
+    let ensemble =
+        Ensemble::from_sorted_columns(n + 1, columns).expect("transform preserves validity");
     Transformed { ensemble, r, provenance }
 }
 
@@ -66,10 +67,7 @@ pub fn circular_transform(ens: &Ensemble, threshold: usize) -> Transformed {
 /// (Cutting the cycle at `r`'s position keeps every original column an
 /// interval — see DESIGN.md §3.2 discussion and the paper's Step 7 Case 2.)
 pub fn untransform_order(circular: &[Atom], r: Atom) -> Vec<Atom> {
-    let pos = circular
-        .iter()
-        .position(|&a| a == r)
-        .expect("r must appear in the circular order");
+    let pos = circular.iter().position(|&a| a == r).expect("r must appear in the circular order");
     let n = circular.len();
     let mut out = Vec::with_capacity(n - 1);
     for i in 1..n {
@@ -125,7 +123,9 @@ mod tests {
                     for _ in 0..m {
                         let mask = cc % masks;
                         cc /= masks;
-                        cols.push((0..n as Atom).filter(|&a| mask >> a & 1 == 1).collect::<Vec<_>>());
+                        cols.push(
+                            (0..n as Atom).filter(|&a| mask >> a & 1 == 1).collect::<Vec<_>>(),
+                        );
                     }
                     let e = ens(n, cols);
                     let t = circular_transform(&e, (e.n_atoms() + 1) / 3);

@@ -58,20 +58,14 @@ pub fn m_iii(k: usize) -> Ensemble {
 /// The transversal block has two boundary slots but all three pairs demand
 /// one.
 pub fn m_iv() -> Ensemble {
-    Ensemble::from_sorted_columns(
-        6,
-        vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![1, 3, 5]],
-    )
-    .expect("m_iv is valid")
+    Ensemble::from_sorted_columns(6, vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![1, 3, 5]])
+        .expect("m_iv is valid")
 }
 
 /// `M_V`: 5 atoms; `{0,1}`, `{0,1,2,3}`, `{2,3}`, `{1,2,4}`.
 pub fn m_v() -> Ensemble {
-    Ensemble::from_sorted_columns(
-        5,
-        vec![vec![0, 1], vec![0, 1, 2, 3], vec![2, 3], vec![1, 2, 4]],
-    )
-    .expect("m_v is valid")
+    Ensemble::from_sorted_columns(5, vec![vec![0, 1], vec![0, 1, 2, 3], vec![2, 3], vec![1, 2, 4]])
+        .expect("m_v is valid")
 }
 
 /// A sampler of small certified obstructions (all brute-force verified in
@@ -173,11 +167,8 @@ mod tests {
             assert!(brute_force_linear(&emb).is_none());
         }
         // sanity: without the obstruction columns, the extras alone are C1P
-        let extras = Ensemble::from_sorted_columns(
-            8,
-            emb.columns()[m_i(1).n_columns()..].to_vec(),
-        )
-        .unwrap();
+        let extras =
+            Ensemble::from_sorted_columns(8, emb.columns()[m_i(1).n_columns()..].to_vec()).unwrap();
         verify_linear(&extras, &(0..8).collect::<Vec<_>>()).unwrap();
     }
 }

@@ -189,7 +189,9 @@ impl PqTree {
                     }
                     self.p_remove_child(x, q);
                     let empties = std::mem::take(&mut self.children[x as usize]);
-                    let mut kids = Vec::with_capacity(empties.len().min(1) + full.len().min(1) + self.children[q as usize].len());
+                    let mut kids = Vec::with_capacity(
+                        empties.len().min(1) + full.len().min(1) + self.children[q as usize].len(),
+                    );
                     if !empties.is_empty() {
                         kids.push(self.group_p(empties));
                     }
@@ -335,7 +337,6 @@ impl PqTree {
             self.pslot[c as usize] = i as u32;
         }
     }
-
 }
 
 /// Parse result of a Q-node's child labels (retained as the executable

@@ -16,18 +16,29 @@ pub struct PqStats {
 
 /// Decides C1P for `columns` over `n_atoms` atoms; returns a witness atom
 /// order on success (columns with < 2 atoms constrain nothing).
-pub fn solve(n_atoms: usize, columns: &[Vec<u32>]) -> Option<Vec<u32>> {
+///
+/// Generic over column storage: accepts anything iterating slice-likes —
+/// `&[Vec<u32>]`, `&Vec<Vec<u32>>`, or a CSR arena like `c1p-core`'s
+/// `FlatCols` — without materializing nested vectors.
+pub fn solve<C: AsRef<[u32]>>(
+    n_atoms: usize,
+    columns: impl IntoIterator<Item = C>,
+) -> Option<Vec<u32>> {
     solve_with_stats(n_atoms, columns).0
 }
 
 /// [`solve`] plus run statistics.
-pub fn solve_with_stats(n_atoms: usize, columns: &[Vec<u32>]) -> (Option<Vec<u32>>, PqStats) {
+pub fn solve_with_stats<C: AsRef<[u32]>>(
+    n_atoms: usize,
+    columns: impl IntoIterator<Item = C>,
+) -> (Option<Vec<u32>>, PqStats) {
     let mut stats = PqStats::default();
     if n_atoms == 0 {
         return (Some(Vec::new()), stats);
     }
     let mut tree = PqTree::universal(n_atoms);
     for col in columns {
+        let col = col.as_ref();
         if col.len() <= 1 || col.len() >= n_atoms {
             stats.skipped += 1;
             continue;
@@ -91,7 +102,7 @@ mod tests {
 
     #[test]
     fn empty_and_trivial() {
-        assert_eq!(solve(0, &[]), Some(vec![]));
+        assert_eq!(solve(0, &[] as &[Vec<u32>]), Some(vec![]));
         assert_eq!(solve(1, &[vec![0]]), Some(vec![0]));
         let (order, stats) = solve_with_stats(3, &[vec![0, 1, 2], vec![2]]);
         assert!(order.is_some());

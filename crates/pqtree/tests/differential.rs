@@ -11,20 +11,18 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn check(ens: &Ensemble) {
-    let got = c1p_pqtree::solve(ens.n_atoms(), &columns(ens));
+    let got = c1p_pqtree::solve(ens.n_atoms(), columns(ens));
     let expect = brute_force_linear(ens);
     match (got, expect) {
         (Some(order), Some(_)) => {
-            verify_linear(ens, &order)
-                .unwrap_or_else(|v| panic!("invalid witness {order:?}: {v} for {:?}", ens.to_matrix()));
+            verify_linear(ens, &order).unwrap_or_else(|v| {
+                panic!("invalid witness {order:?}: {v} for {:?}", ens.to_matrix())
+            });
         }
         (None, None) => {}
-        (got, expect) => panic!(
-            "pq-tree={} oracle={} for\n{}",
-            got.is_some(),
-            expect.is_some(),
-            ens.to_matrix()
-        ),
+        (got, expect) => {
+            panic!("pq-tree={} oracle={} for\n{}", got.is_some(), expect.is_some(), ens.to_matrix())
+        }
     }
 }
 
@@ -109,15 +107,10 @@ fn accepts_all_planted() {
     for trial in 0..60 {
         let n = 10 + (trial % 17) * 13;
         let (ens, _) = planted_c1p(
-            PlantedShape {
-                n_atoms: n,
-                n_columns: 3 * n,
-                min_len: 2,
-                max_len: (n / 2).max(3),
-            },
+            PlantedShape { n_atoms: n, n_columns: 3 * n, min_len: 2, max_len: (n / 2).max(3) },
             &mut rng,
         );
-        let order = c1p_pqtree::solve(ens.n_atoms(), &columns(&ens))
+        let order = c1p_pqtree::solve(ens.n_atoms(), columns(&ens))
             .unwrap_or_else(|| panic!("rejected planted C1P instance (n={n})"));
         verify_linear(&ens, &order).expect("witness must verify");
     }
@@ -127,23 +120,21 @@ fn accepts_all_planted() {
 fn rejects_all_tucker_obstructions() {
     for (name, ens) in tucker::small_obstructions() {
         assert_eq!(
-            c1p_pqtree::solve(ens.n_atoms(), &columns(&ens)),
+            c1p_pqtree::solve(ens.n_atoms(), columns(&ens)),
             None,
             "{name} must be rejected"
         );
     }
     // obstructions embedded in larger C1P context
     let emb = tucker::embed_obstruction(&tucker::m_iv(), 40, 17, &[(0, 10), (20, 15), (30, 10)]);
-    assert_eq!(c1p_pqtree::solve(emb.n_atoms(), &columns(&emb)), None);
+    assert_eq!(c1p_pqtree::solve(emb.n_atoms(), columns(&emb)), None);
 }
 
 #[test]
 fn column_order_does_not_matter() {
     let mut rng = SmallRng::seed_from_u64(7);
-    let (ens, _) = planted_c1p(
-        PlantedShape { n_atoms: 30, n_columns: 50, min_len: 2, max_len: 10 },
-        &mut rng,
-    );
+    let (ens, _) =
+        planted_c1p(PlantedShape { n_atoms: 30, n_columns: 50, min_len: 2, max_len: 10 }, &mut rng);
     let mut cols = columns(&ens);
     for rot in 0..5 {
         cols.rotate_left(rot * 7 + 1);

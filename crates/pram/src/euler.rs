@@ -60,8 +60,7 @@ pub fn euler_times(parent: &[u32]) -> (EulerTimes, Cost) {
     let up = |v: u32| 2 * v + 1;
     for v in 0..n as u32 {
         // down(v) -> first child or up(v)
-        next[down(v) as usize] =
-            children[v as usize].first().map_or(up(v), |&c| down(c));
+        next[down(v) as usize] = children[v as usize].first().map_or(up(v), |&c| down(c));
         // up(v) -> next sibling or up(parent)
         let p = parent[v as usize];
         if p == NIL {
@@ -87,12 +86,7 @@ pub fn euler_times(parent: &[u32]) -> (EulerTimes, Cost) {
 
 /// Subtree sizes from Euler times: `(exit - enter + 1) / 2`.
 pub fn subtree_sizes(times: &EulerTimes) -> Vec<u32> {
-    times
-        .enter
-        .iter()
-        .zip(&times.exit)
-        .map(|(&e, &x)| (x - e).div_ceil(2))
-        .collect()
+    times.enter.iter().zip(&times.exit).map(|(&e, &x)| (x - e).div_ceil(2)).collect()
 }
 
 #[cfg(test)]
@@ -129,8 +123,8 @@ mod tests {
     fn path_tree_logarithmic_depth() {
         let n = 4096;
         let mut parent = vec![NIL; n];
-        for v in 1..n {
-            parent[v] = (v - 1) as u32;
+        for (v, p) in parent.iter_mut().enumerate().skip(1) {
+            *p = (v - 1) as u32;
         }
         let (t, cost) = euler_times(&parent);
         assert!(t.in_subtree(0, (n - 1) as u32));

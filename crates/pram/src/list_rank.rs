@@ -81,12 +81,12 @@ mod tests {
     fn long_chain() {
         let n = 10_000;
         let mut next = vec![NIL; n];
-        for v in 0..n - 1 {
-            next[v] = (v + 1) as u32;
+        for (v, nx) in next.iter_mut().enumerate().take(n - 1) {
+            *nx = (v + 1) as u32;
         }
         let (ranks, cost) = list_rank(&next);
-        for v in 0..n {
-            assert_eq!(ranks[v] as usize, n - 1 - v);
+        for (v, &r) in ranks.iter().enumerate() {
+            assert_eq!(r as usize, n - 1 - v);
         }
         // depth must be logarithmic, not linear
         assert!(cost.depth <= 2 * (log2ceil(n) + 1));
@@ -101,8 +101,8 @@ mod tests {
             next[v] = (v + 1) as u32;
         }
         let (ranks, _) = list_rank(&next);
-        for v in 0..n {
-            assert_eq!(ranks[v], (v % 2 == 0) as u32);
+        for (v, &r) in ranks.iter().enumerate() {
+            assert_eq!(r, (v % 2 == 0) as u32);
         }
     }
 

@@ -87,7 +87,10 @@ impl<T> SyncPtr<T> {
 }
 
 /// Parallel map with unit cost per element: `O(n)` work, `O(1)` depth.
-pub fn par_map<T: Send + Sync, U: Send>(xs: &[T], f: impl Fn(&T) -> U + Send + Sync) -> (Vec<U>, Cost) {
+pub fn par_map<T: Send + Sync, U: Send>(
+    xs: &[T],
+    f: impl Fn(&T) -> U + Send + Sync,
+) -> (Vec<U>, Cost) {
     let out: Vec<U> = xs.par_iter().with_min_len(CHUNK).map(f).collect();
     (out, Cost::step(xs.len() as u64))
 }

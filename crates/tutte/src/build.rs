@@ -42,12 +42,15 @@ impl std::fmt::Display for DecomposeError {
 
 impl std::error::Error for DecomposeError {}
 
-/// A group of chords sharing one span.
-#[derive(Debug, Clone)]
+/// A group of chords sharing one span. The chord ids live in the shared
+/// span-sorted order array (`order[start..end]`), so building the groups
+/// allocates nothing per group.
+#[derive(Debug, Clone, Copy)]
 struct SpanGroup {
     lo: u32,
     hi: u32,
-    chords: Vec<u32>,
+    start: u32,
+    end: u32,
 }
 
 /// One interlacement class of span groups.
@@ -70,7 +73,7 @@ enum Item {
     Child(u32), // class index
 }
 
-struct Builder {
+struct Builder<'a> {
     members: Vec<Member>,
     virt_parent: Vec<MemberId>,
     virt_child: Vec<MemberId>,
@@ -78,11 +81,16 @@ struct Builder {
     path_member: Vec<MemberId>,
     class_member: Vec<MemberId>,
     class_outer: Vec<VirtId>,
+    /// Chord ids sorted by span; span groups index into this.
+    order: &'a [u32],
+    /// Reusable buffer for [`walk_items`] (one allocation per tree, not
+    /// one per interval).
+    items_buf: Vec<Item>,
 }
 
 const UNSET: u32 = u32::MAX;
 
-impl Builder {
+impl Builder<'_> {
     fn new_virt(&mut self) -> VirtId {
         self.virt_parent.push(UNSET);
         self.virt_child.push(UNSET);
@@ -91,19 +99,18 @@ impl Builder {
 
     fn push_member(&mut self, shape: MemberShape) -> MemberId {
         let id = self.members.len() as MemberId;
-        for e in match &shape {
-            MemberShape::Bond { edges } => edges.clone(),
-            MemberShape::Polygon { ring } => ring.clone(),
+        let (path_member, chord_member) = (&mut self.path_member, &mut self.chord_member);
+        let mut register = |e: EdgeRef| match e {
+            EdgeRef::Path(i) => path_member[i as usize] = id,
+            EdgeRef::Chord(c) => chord_member[c as usize] = id,
+            _ => {}
+        };
+        match &shape {
+            MemberShape::Bond { edges } => edges.iter().copied().for_each(&mut register),
+            MemberShape::Polygon { ring } => ring.iter().copied().for_each(&mut register),
             MemberShape::Rigid { ring, chords } => {
-                let mut v = ring.clone();
-                v.extend(chords.iter().map(|&(_, _, e)| e));
-                v
-            }
-        } {
-            match e {
-                EdgeRef::Path(i) => self.path_member[i as usize] = id,
-                EdgeRef::Chord(c) => self.chord_member[c as usize] = id,
-                _ => {}
+                ring.iter().copied().for_each(&mut register);
+                chords.iter().for_each(|&(_, _, e)| register(e));
             }
         }
         self.members.push(Member { shape, parent: None });
@@ -121,10 +128,13 @@ impl Builder {
         children: &[u32],
         classes: &[Class],
     ) -> (EdgeRef, Option<VirtId>) {
-        let items = walk_items(lo, hi, children, classes);
+        let mut items = std::mem::take(&mut self.items_buf);
+        walk_items_into(lo, hi, children, classes, &mut items);
         debug_assert!(!items.is_empty(), "non-degenerate interval");
         if items.len() == 1 {
-            return match items[0] {
+            let item = items[0];
+            self.items_buf = items;
+            return match item {
                 Item::PathEdge(i) => (EdgeRef::Path(i), None),
                 Item::Child(c) => {
                     let v = self.class_outer[c as usize];
@@ -136,7 +146,6 @@ impl Builder {
         // polygon member: [items..., parent marker]
         let v_poly = self.new_virt();
         let mut ring = Vec::with_capacity(items.len() + 1);
-        let mut to_fix: Vec<VirtId> = Vec::new();
         for item in &items {
             match *item {
                 Item::PathEdge(i) => ring.push(EdgeRef::Path(i)),
@@ -144,15 +153,17 @@ impl Builder {
                     let v = self.class_outer[c as usize];
                     self.virt_child[v as usize] = self.class_member[c as usize];
                     ring.push(EdgeRef::Virt(v));
-                    to_fix.push(v);
                 }
             }
         }
         ring.push(EdgeRef::Virt(v_poly));
         let pid = self.push_member(MemberShape::Polygon { ring });
-        for v in to_fix {
-            self.virt_parent[v as usize] = pid;
+        for item in &items {
+            if let Item::Child(c) = *item {
+                self.virt_parent[self.class_outer[c as usize] as usize] = pid;
+            }
         }
+        self.items_buf = items;
         self.virt_child[v_poly as usize] = pid;
         (EdgeRef::Virt(v_poly), Some(v_poly))
     }
@@ -163,9 +174,12 @@ impl Builder {
         let outer = self.class_outer[c];
         if class.groups.len() == 1 {
             // singleton class → bond {chords…, inner, outer}
-            let g = &groups[class.groups[0] as usize];
+            let g = groups[class.groups[0] as usize];
             let (inner, claim) = self.interval_edge(g.lo, g.hi, &class.children, classes);
-            let mut edges: Vec<EdgeRef> = g.chords.iter().map(|&i| EdgeRef::Chord(i)).collect();
+            let mut edges: Vec<EdgeRef> = self.order[g.start as usize..g.end as usize]
+                .iter()
+                .map(|&i| EdgeRef::Chord(i))
+                .collect();
             edges.push(inner);
             edges.push(EdgeRef::Virt(outer));
             let mid = self.push_member(MemberShape::Bond { edges });
@@ -206,15 +220,15 @@ impl Builder {
         // hang off as bonds
         let mut chords = Vec::with_capacity(class.groups.len());
         for &gidx in &class.groups {
-            let g = &groups[gidx as usize];
+            let g = groups[gidx as usize];
             let pa = eps.binary_search(&g.lo).expect("span endpoint is a class endpoint") as u32;
             let pb = eps.binary_search(&g.hi).expect("span endpoint is a class endpoint") as u32;
-            let edge = if g.chords.len() == 1 {
-                EdgeRef::Chord(g.chords[0])
+            let g_chords = &self.order[g.start as usize..g.end as usize];
+            let edge = if g_chords.len() == 1 {
+                EdgeRef::Chord(g_chords[0])
             } else {
                 let vb = self.new_virt();
-                let mut edges: Vec<EdgeRef> =
-                    g.chords.iter().map(|&i| EdgeRef::Chord(i)).collect();
+                let mut edges: Vec<EdgeRef> = g_chords.iter().map(|&i| EdgeRef::Chord(i)).collect();
                 edges.push(EdgeRef::Virt(vb));
                 let bid = self.push_member(MemberShape::Bond { edges });
                 self.virt_child[vb as usize] = bid;
@@ -231,10 +245,11 @@ impl Builder {
     }
 }
 
-/// Walks interval `(lo, hi)` producing the ordered item list: maximal
-/// nested classes interleaved with uncovered path edges.
-fn walk_items(lo: u32, hi: u32, children: &[u32], classes: &[Class]) -> Vec<Item> {
-    let mut items = Vec::new();
+/// Walks interval `(lo, hi)` producing the ordered item list into `items`
+/// (cleared first): maximal nested classes interleaved with uncovered path
+/// edges.
+fn walk_items_into(lo: u32, hi: u32, children: &[u32], classes: &[Class], items: &mut Vec<Item>) {
+    items.clear();
     let mut pos = lo;
     let mut ci = 0;
     while pos < hi {
@@ -254,7 +269,6 @@ fn walk_items(lo: u32, hi: u32, children: &[u32], classes: &[Class]) -> Vec<Item
     }
     debug_assert_eq!(pos, hi, "children must not overrun the interval");
     debug_assert_eq!(ci, children.len(), "all children must be consumed");
-    items
 }
 
 /// Computes the rooted Tutte decomposition of the gp-pair with `n_atoms`
@@ -283,11 +297,11 @@ pub fn decompose(n_atoms: usize, chords: &[(u32, u32)]) -> Result<TutteTree, Dec
     }
     order.sort_unstable_by_key(|&i| chords[i as usize]);
     let mut groups: Vec<SpanGroup> = Vec::new();
-    for &i in &order {
+    for (oi, &i) in order.iter().enumerate() {
         let (lo, hi) = chords[i as usize];
         match groups.last_mut() {
-            Some(g) if g.lo == lo && g.hi == hi => g.chords.push(i),
-            _ => groups.push(SpanGroup { lo, hi, chords: vec![i] }),
+            Some(g) if g.lo == lo && g.hi == hi => g.end = oi as u32 + 1,
+            _ => groups.push(SpanGroup { lo, hi, start: oi as u32, end: oi as u32 + 1 }),
         }
     }
     // 3. interlacement classes over distinct spans
@@ -350,6 +364,8 @@ pub fn decompose(n_atoms: usize, chords: &[(u32, u32)]) -> Result<TutteTree, Dec
         path_member: vec![UNSET; n_atoms],
         class_member: vec![UNSET; classes.len()],
         class_outer: Vec::new(),
+        order: &order,
+        items_buf: Vec::new(),
     };
     for _ in 0..classes.len() {
         let v = b.new_virt();
@@ -386,7 +402,8 @@ pub fn decompose(n_atoms: usize, chords: &[(u32, u32)]) -> Result<TutteTree, Dec
             b.virt_parent[v as usize] = root;
         }
     } else {
-        let items = walk_items(0, n, &top, &classes);
+        let mut items = Vec::new();
+        walk_items_into(0, n, &top, &classes, &mut items);
         if items.len() == 1 {
             match items[0] {
                 Item::Child(c) => {
@@ -475,7 +492,7 @@ fn replace_edge(shape: &mut MemberShape, from: EdgeRef, to: EdgeRef) {
 
 /// Removes an unused marker id by swapping with the last allocated marker
 /// and renaming that marker's references.
-fn retire_virt(b: &mut Builder, v: VirtId) {
+fn retire_virt(b: &mut Builder<'_>, v: VirtId) {
     let last = (b.virt_parent.len() - 1) as VirtId;
     if v != last {
         // rename `last` to `v` everywhere

@@ -53,8 +53,7 @@ fn main() {
 
     // 3. the subdivided K_{1,3}: a tree (hence chordal), but its three
     //    leaves form an asteroidal triple — the clique matrix is not C1P.
-    let spider =
-        SimpleGraph::from_edges(7, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 5), (3, 6)]);
+    let spider = SimpleGraph::from_edges(7, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 5), (3, 6)]);
     match recognize(&spider) {
         Err(NotInterval::CliquesNotConsecutive) => {
             println!("graph 3 (subdivided star): chordal, but clique matrix not C1P — rejected")

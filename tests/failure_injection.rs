@@ -72,14 +72,8 @@ fn malformed_inputs_are_typed_errors() {
         c1p::matrix::io::parse_ensemble("10\n1"),
         Err(EnsembleError::RaggedMatrix { .. })
     ));
-    assert!(matches!(
-        c1p::matrix::io::parse_ensemble("1x0"),
-        Err(EnsembleError::Parse { .. })
-    ));
-    assert!(matches!(
-        c1p::tutte::decompose(0, &[]),
-        Err(c1p::tutte::DecomposeError::NoAtoms)
-    ));
+    assert!(matches!(c1p::matrix::io::parse_ensemble("1x0"), Err(EnsembleError::Parse { .. })));
+    assert!(matches!(c1p::tutte::decompose(0, &[]), Err(c1p::tutte::DecomposeError::NoAtoms)));
     assert!(matches!(
         c1p::tutte::decompose(4, &[(3, 3)]),
         Err(c1p::tutte::DecomposeError::BadChord { .. })

@@ -45,11 +45,9 @@ fn fig2_running_example_end_to_end() {
 #[test]
 fn proposition1_gp_realizations_biconnected() {
     // build the gp-graph of a solved connected ensemble
-    let ens = Ensemble::from_columns(
-        6,
-        vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![1, 2, 3]],
-    )
-    .unwrap();
+    let ens =
+        Ensemble::from_columns(6, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![1, 2, 3]])
+            .unwrap();
     let order = c1p::solve(&ens).unwrap();
     let mut pos = [0u32; 6];
     for (i, &a) in order.iter().enumerate() {
@@ -133,10 +131,6 @@ fn tucker_obstructions_rejected_by_all_solvers() {
     for (name, ens) in c1p::matrix::tucker::small_obstructions() {
         assert_eq!(c1p::solve(&ens), None, "{name} vs D&C");
         assert_eq!(c1p::solve_par(&ens).0, None, "{name} vs parallel D&C");
-        assert_eq!(
-            c1p::pqtree::solve(ens.n_atoms(), ens.columns()),
-            None,
-            "{name} vs PQ-tree"
-        );
+        assert_eq!(c1p::pqtree::solve(ens.n_atoms(), ens.columns()), None, "{name} vs PQ-tree");
     }
 }

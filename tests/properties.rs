@@ -1,111 +1,139 @@
-//! Property-based tests (proptest) over the full pipeline: the three
-//! solvers agree everywhere, witnesses always verify, planted instances
-//! are always accepted, and the structural substrates keep their
-//! invariants under random inputs.
+//! Property-based tests over the full pipeline: the three solvers agree
+//! everywhere, witnesses always verify, planted instances are always
+//! accepted, and the structural substrates keep their invariants under
+//! random inputs.
+//!
+//! The offline build environment cannot fetch proptest, so the
+//! strategies are expressed as deterministic seeded-random case loops
+//! (300 cases per property, matching the old `ProptestConfig`); every
+//! failure message includes the case's seed so it replays exactly.
 
 use c1p::matrix::verify::brute_force_linear;
 use c1p::matrix::{verify_linear, Ensemble};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
 
-/// Random ensemble strategy: n atoms, up to m columns as bitmasks.
-fn ensembles(max_n: usize, max_m: usize) -> impl Strategy<Value = Ensemble> {
-    (2..=max_n).prop_flat_map(move |n| {
-        proptest::collection::vec(1u64..(1 << n), 0..=max_m).prop_map(move |masks| {
-            let cols: Vec<Vec<u32>> = masks
-                .iter()
-                .map(|&mask| (0..n as u32).filter(|&a| mask >> a & 1 == 1).collect())
-                .collect();
-            Ensemble::from_columns(n, cols).unwrap()
+const CASES: u64 = 300;
+
+/// Random ensemble: `2..=max_n` atoms, up to `max_m` bitmask columns.
+fn random_ensemble(rng: &mut SmallRng, max_n: usize, max_m: usize) -> Ensemble {
+    let n = rng.random_range(2..=max_n);
+    let m = rng.random_range(0..=max_m);
+    let cols: Vec<Vec<u32>> = (0..m)
+        .map(|_| {
+            let mask = rng.random_range(1u64..(1 << n));
+            (0..n as u32).filter(|&a| mask >> a & 1 == 1).collect()
         })
-    })
+        .collect();
+    Ensemble::from_columns(n, cols).unwrap()
 }
 
-/// Planted-C1P strategy: intervals in a scrambled hidden order.
-fn planted(max_n: usize) -> impl Strategy<Value = Ensemble> {
-    (3..=max_n, any::<u64>()).prop_map(|(n, seed)| {
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
+/// Planted-C1P instance: intervals in a scrambled hidden order.
+fn random_planted(rng: &mut SmallRng, max_n: usize) -> Ensemble {
+    let n = rng.random_range(3..=max_n);
+    c1p::matrix::generate::planted_c1p(
+        c1p::matrix::generate::PlantedShape {
+            n_atoms: n,
+            n_columns: 2 * n,
+            min_len: 2,
+            max_len: (n / 2).max(2),
+        },
+        rng,
+    )
+    .0
+}
+
+/// D&C and PQ-tree agree on every random instance, and any witness
+/// verifies.
+#[test]
+fn solvers_agree() {
+    for seed in 0..CASES {
         let mut rng = SmallRng::seed_from_u64(seed);
-        c1p::matrix::generate::planted_c1p(
-            c1p::matrix::generate::PlantedShape {
-                n_atoms: n,
-                n_columns: 2 * n,
-                min_len: 2,
-                max_len: (n / 2).max(2),
-            },
-            &mut rng,
-        )
-        .0
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(300))]
-
-    /// D&C and PQ-tree agree on every random instance, and any witness
-    /// verifies.
-    #[test]
-    fn solvers_agree(ens in ensembles(9, 6)) {
+        let ens = random_ensemble(&mut rng, 9, 6);
         let dc = c1p::solve(&ens);
         let pq = c1p::pqtree::solve(ens.n_atoms(), ens.columns());
-        prop_assert_eq!(dc.is_some(), pq.is_some());
+        assert_eq!(dc.is_some(), pq.is_some(), "seed {seed}: dc vs pq on\n{}", ens.to_matrix());
         if let Some(o) = &dc {
-            prop_assert!(verify_linear(&ens, o).is_ok());
+            assert!(verify_linear(&ens, o).is_ok(), "seed {seed}");
         }
         if ens.n_atoms() <= 7 {
-            prop_assert_eq!(dc.is_some(), brute_force_linear(&ens).is_some());
+            assert_eq!(dc.is_some(), brute_force_linear(&ens).is_some(), "seed {seed}");
         }
     }
+}
 
-    /// Planted instances are always accepted — the completeness property
-    /// the alignment machinery must provide.
-    #[test]
-    fn planted_always_accepted(ens in planted(120)) {
+/// Planted instances are always accepted — the completeness property
+/// the alignment machinery must provide.
+#[test]
+fn planted_always_accepted() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x9A17 ^ seed);
+        let ens = random_planted(&mut rng, 120);
         let order = c1p::solve(&ens);
-        prop_assert!(order.is_some());
-        prop_assert!(verify_linear(&ens, &order.unwrap()).is_ok());
+        assert!(order.is_some(), "seed {seed}: planted instance rejected");
+        assert!(verify_linear(&ens, &order.unwrap()).is_ok(), "seed {seed}");
     }
+}
 
-    /// The parallel driver agrees with the sequential one.
-    #[test]
-    fn parallel_matches_sequential(ens in ensembles(10, 6)) {
+/// The parallel driver agrees with the sequential one.
+#[test]
+fn parallel_matches_sequential() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xBEEF ^ seed);
+        let ens = random_ensemble(&mut rng, 10, 6);
         let seq = c1p::solve(&ens).is_some();
         let (par, _) = c1p::solve_par(&ens);
-        prop_assert_eq!(seq, par.is_some());
+        assert_eq!(seq, par.is_some(), "seed {seed} on\n{}", ens.to_matrix());
     }
+}
 
-    /// Atom relabeling never changes the verdict (C1P is permutation
-    /// invariant).
-    #[test]
-    fn verdict_is_permutation_invariant(ens in ensembles(8, 5), seed in any::<u64>()) {
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
-        let mut rng = SmallRng::seed_from_u64(seed);
+/// Atom relabeling never changes the verdict (C1P is permutation
+/// invariant).
+#[test]
+fn verdict_is_permutation_invariant() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xCAFE ^ seed);
+        let ens = random_ensemble(&mut rng, 8, 5);
         let perm = c1p::matrix::generate::random_permutation(ens.n_atoms(), &mut rng);
         let relabeled = ens.permute_atoms(&perm);
-        prop_assert_eq!(c1p::solve(&ens).is_some(), c1p::solve(&relabeled).is_some());
+        assert_eq!(
+            c1p::solve(&ens).is_some(),
+            c1p::solve(&relabeled).is_some(),
+            "seed {seed} on\n{}",
+            ens.to_matrix()
+        );
     }
+}
 
-    /// Duplicating a column never changes the verdict.
-    #[test]
-    fn duplicate_columns_are_harmless(ens in ensembles(8, 4), pick in any::<prop::sample::Index>()) {
+/// Duplicating a column never changes the verdict.
+#[test]
+fn duplicate_columns_are_harmless() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD0D0 ^ seed);
+        let ens = random_ensemble(&mut rng, 8, 4);
         let before = c1p::solve(&ens).is_some();
         if ens.n_columns() > 0 {
             let mut cols = ens.columns().to_vec();
-            let dup = cols[pick.index(cols.len())].clone();
+            let dup = cols[rng.random_range(0..cols.len())].clone();
             cols.push(dup);
             let doubled = Ensemble::from_columns(ens.n_atoms(), cols).unwrap();
-            prop_assert_eq!(before, c1p::solve(&doubled).is_some());
+            assert_eq!(before, c1p::solve(&doubled).is_some(), "seed {seed}");
         }
     }
+}
 
-    /// The Tutte decomposition of arbitrary valid chord sets always
-    /// validates and composes back to the identity.
-    #[test]
-    fn decomposition_invariants(n in 1usize..40, raw in proptest::collection::vec((0u32..40, 1u32..40), 0..25)) {
-        let chords: Vec<(u32, u32)> = raw
-            .iter()
-            .filter_map(|&(a, len)| {
+/// The Tutte decomposition of arbitrary valid chord sets always
+/// validates and composes back to the identity.
+#[test]
+fn decomposition_invariants() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xF00D ^ seed);
+        let n = rng.random_range(1usize..40);
+        let m = rng.random_range(0usize..25);
+        let chords: Vec<(u32, u32)> = (0..m)
+            .filter_map(|_| {
+                let a = rng.random_range(0u32..40);
+                let len = rng.random_range(1u32..40);
                 let lo = a % n as u32;
                 let hi = (lo + 1 + len % n as u32).min(n as u32);
                 (lo < hi).then_some((lo, hi))
@@ -114,25 +142,37 @@ proptest! {
         let tree = c1p::tutte::decompose(n, &chords).unwrap();
         tree.validate();
         let order = c1p::tutte::compose(&tree, &c1p::tutte::Arrangement::identity(&tree));
-        prop_assert_eq!(order, (0..n as u32).collect::<Vec<_>>());
+        assert_eq!(order, (0..n as u32).collect::<Vec<_>>(), "seed {seed}");
     }
+}
 
-    /// Interlacement classes: the linear-time sweep equals the quadratic
-    /// reference.
-    #[test]
-    fn interlacement_sweep_equals_naive(raw in proptest::collection::vec((0u32..30, 1u32..30), 0..20)) {
-        let mut spans: Vec<(u32, u32)> =
-            raw.iter().map(|&(lo, len)| (lo, lo + len)).collect();
+/// Interlacement classes: the linear-time sweep equals the quadratic
+/// reference.
+#[test]
+fn interlacement_sweep_equals_naive() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xABBA ^ seed);
+        let m = rng.random_range(0usize..20);
+        let mut spans: Vec<(u32, u32)> = (0..m)
+            .map(|_| {
+                let lo = rng.random_range(0u32..30);
+                let len = rng.random_range(1u32..30);
+                (lo, lo + len)
+            })
+            .collect();
         spans.sort_unstable();
         spans.dedup();
         let norm = |mut cs: Vec<Vec<u32>>| {
-            for c in &mut cs { c.sort_unstable(); }
+            for c in &mut cs {
+                c.sort_unstable();
+            }
             cs.sort();
             cs
         };
-        prop_assert_eq!(
+        assert_eq!(
             norm(c1p::tutte::interlace::classes_naive(&spans)),
-            norm(c1p::tutte::interlace::classes_sweep(&spans))
+            norm(c1p::tutte::interlace::classes_sweep(&spans)),
+            "seed {seed}"
         );
     }
 }

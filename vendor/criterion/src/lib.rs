@@ -1,0 +1,308 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access; this crate implements
+//! the subset of criterion's API the workspace's benches use, with a
+//! simple but honest measurement loop: warm-up, auto-calibrated batch
+//! size (so timer overhead stays < 1%), `sample_size` samples, and a
+//! median + min/max report with optional throughput. Benchmark names
+//! can be filtered with a positional CLI substring, like criterion.
+//!
+//! Set `CRITERION_JSON=<path>` to additionally append one JSON line per
+//! benchmark (`{"id": ..., "ns_per_iter": ...}`) for machine-readable
+//! perf tracking.
+
+use std::fmt::Display;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A `function/parameter` benchmark id.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// The harness: owns the CLI filter and global defaults.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a harness honoring the first positional CLI argument as a
+    /// name filter (flags like `--bench` that cargo passes are skipped).
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let filter = self.filter.clone();
+        BenchmarkGroup { _c: self, name: name.into(), sample_size: 20, throughput: None, filter }
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let filter = self.filter.clone();
+        let mut g = self.benchmark_group("");
+        g.filter = filter;
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    filter: Option<String>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let full = self.full_name(&id.into());
+        if self.skipped(&full) {
+            return;
+        }
+        run_benchmark(&full, self.sample_size, self.throughput, |b| f(b));
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let full = self.full_name(&id.into());
+        if self.skipped(&full) {
+            return;
+        }
+        run_benchmark(&full, self.sample_size, self.throughput, |b| f(b, input));
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn full_name(&self, id: &BenchmarkId) -> String {
+        if self.name.is_empty() {
+            id.name.clone()
+        } else {
+            format!("{}/{}", self.name, id.name)
+        }
+    }
+
+    fn skipped(&self, full: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !full.contains(f))
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs the measured routine.
+pub struct Bencher {
+    /// ns per iteration of each recorded sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // warm-up: run until ~200ms or 3 iterations, whichever is later,
+        // and estimate the per-iteration time
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || warm_start.elapsed() < Duration::from_millis(200) {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 3 && warm_start.elapsed() > Duration::from_secs(2) {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        // batch so one sample takes ≥ ~5ms (timer noise ≪ signal)
+        let batch = ((5e6 / est_ns).ceil() as u64).clamp(1, 1 << 24);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// criterion's `iter_batched` (routine gets a fresh input each time);
+    /// the setup cost is excluded only approximately (run outside timing).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            const BATCH: usize = 16;
+            let inputs: Vec<I> = (0..BATCH).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(t0.elapsed().as_nanos() as f64 / BATCH as f64);
+        }
+    }
+}
+
+/// Batch-size hint (ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn run_benchmark(
+    full: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { samples: Vec::new(), sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{full:<48} (no samples recorded)");
+        return;
+    }
+    b.samples.sort_by(|a, x| a.partial_cmp(x).unwrap());
+    let median = b.samples[b.samples.len() / 2];
+    let lo = b.samples[0];
+    let hi = b.samples[b.samples.len() - 1];
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  thrpt: {}/s", fmt_rate(n as f64 / (median / 1e9))),
+        Throughput::Bytes(n) => format!("  thrpt: {}B/s", fmt_rate(n as f64 / (median / 1e9))),
+    });
+    println!(
+        "{full:<48} time: [{} {} {}]{}",
+        fmt_ns(lo),
+        fmt_ns(median),
+        fmt_ns(hi),
+        rate.unwrap_or_default()
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(file, "{{\"id\": \"{full}\", \"ns_per_iter\": {median:.1}}}");
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} ")
+    }
+}
+
+/// Declares a function running the given benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher { samples: Vec::new(), sample_size: 3 };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn id_formats_with_parameter() {
+        assert_eq!(BenchmarkId::new("dc", 1024).name, "dc/1024");
+    }
+}

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements exactly the surface the workspace uses: [`SmallRng`]
+//! (xoshiro256++ seeded via SplitMix64, like upstream's `small_rng`
+//! feature), [`SeedableRng::seed_from_u64`], and
+//! [`RngExt::random_range`] over integer and float ranges. Streams are
+//! deterministic in the seed but are **not** bit-compatible with
+//! upstream `rand`; everything in this workspace only relies on
+//! seed-determinism, never on specific values.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words. (Upstream splits this into
+/// `RngCore` + `Rng`; all our call sites bound on `Rng` only.)
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seeding interface: everything here seeds from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Extension methods on any [`Rng`] (upstream's `Rng`/`RngExt` split).
+pub trait RngExt: Rng {
+    /// Uniform sample from `range`. Panics on an empty range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A uniformly random `bool` with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Lemire-style unbiased bounded sample in `0..bound` (`bound > 0`).
+fn bounded(rng: &mut impl Rng, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // rejection sampling on the top zone to remove modulo bias
+    let zone = u64::MAX - u64::MAX.wrapping_rem(bound).wrapping_add(bound) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone || zone == u64::MAX {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(bounded(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // full u64 domain
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8, i64, i32);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample<R: Rng>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ — the same generator upstream `SmallRng` uses on
+    /// 64-bit targets. Small state, sub-nanosecond steps, fine quality
+    /// for workload generation (not cryptographic).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+pub use rngs::SmallRng as StdRng;
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1000usize), b.random_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(5..=5u32);
+            assert_eq!(y, 5);
+            let f = rng.random_range(0.0..1.0f64);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn covers_whole_range() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
