@@ -52,7 +52,7 @@ fn e1() {
         let n = 1usize << k;
         let ens = planted(n, 1);
         let p = ens.p();
-        let (dt, _) = median_time(3, || c1p_core::solve(&ens).is_some());
+        let (dt, _) = median_time(3, || c1p_core::solve(&ens).is_ok());
         let secs = dt.as_secs_f64();
         let norm = secs * 1e9 / (p as f64 * (p as f64).log2());
         let ratio = prev.map_or("-".to_string(), |pv| format!("{:.2}", secs / pv));
@@ -87,7 +87,7 @@ fn e2() {
         let ens = planted(n, 2);
         let p = ens.p() as f64;
         let (res, stats) = c1p_core::parallel::solve_par(&ens);
-        assert!(res.is_some());
+        assert!(res.is_ok());
         let lg = log2ceil(n) as f64;
         let lglg = (log2ceil(log2ceil(n) as usize) as f64).max(1.0);
         let depth = stats.cost.depth as f64;
@@ -118,7 +118,7 @@ fn e3() {
     let mut base = None;
     for threads in [1usize, 2, 4, 8] {
         let (dt, ok) = median_time(3, || {
-            c1p_pram::with_threads(threads, || c1p_core::parallel::solve_par(&ens).0.is_some())
+            c1p_pram::with_threads(threads, || c1p_core::parallel::solve_par(&ens).0.is_ok())
         });
         assert!(ok);
         let secs = dt.as_secs_f64();
@@ -179,10 +179,10 @@ fn e5(full: bool) {
         let mut rng = SmallRng::seed_from_u64(n_sts as u64);
         let lib = CloneLibrary { n_sts, n_clones, mean_clone_span: 12, scramble: true };
         let (ens, _) = lib.sample(&mut rng);
-        let (t_dc, ok1) = median_time(3, || c1p_core::solve(&ens).is_some());
+        let (t_dc, ok1) = median_time(3, || c1p_core::solve(&ens).is_ok());
         let cols = ens.columns().to_vec();
         let (t_pq, ok2) = median_time(3, || c1p_pqtree::solve(ens.n_atoms(), &cols).is_some());
-        let (t_par, ok3) = median_time(3, || c1p_core::parallel::solve_par(&ens).0.is_some());
+        let (t_par, ok3) = median_time(3, || c1p_core::parallel::solve_par(&ens).0.is_ok());
         assert!(ok1 && ok2 && ok3);
         t.row(vec![
             n_sts.to_string(),
@@ -215,7 +215,7 @@ fn e6() {
                 noise::chimerize(&ens, count, &mut rng),
             ];
             for (i, e) in noisy.iter().enumerate() {
-                if c1p_core::solve(e).is_none() {
+                if c1p_core::solve(e).is_err() {
                     rej[i] += 1;
                 }
             }
@@ -287,7 +287,7 @@ fn e8() {
         let n = 1 << k;
         let ens = planted(n, 5);
         let (res, stats) = c1p_core::solve_with(&ens, &Config::default());
-        assert!(res.is_some());
+        assert!(res.is_ok());
         t.row(vec![
             n.to_string(),
             stats.max_depth.to_string(),
@@ -311,9 +311,8 @@ fn e9() {
         let n = 1 << k;
         let ens = planted(n, 9);
         let cols = ens.columns().to_vec();
-        let (t_dc, _) = median_time(3, || c1p_core::solve(&ens).is_some());
-        let (t_fast, _) =
-            median_time(3, || c1p_core::solve_with(&ens, &Config::fast()).0.is_some());
+        let (t_dc, _) = median_time(3, || c1p_core::solve(&ens).is_ok());
+        let (t_fast, _) = median_time(3, || c1p_core::solve_with(&ens, &Config::fast()).0.is_ok());
         let (t_pq, _) = median_time(3, || c1p_pqtree::solve(ens.n_atoms(), &cols).is_some());
         t.row(vec![
             n.to_string(),
@@ -332,10 +331,13 @@ fn e9() {
 }
 
 /// E10 — machine-readable solver benchmarks: writes `BENCH_solve.json`
-/// (ns/op per solver and per divide-step implementation) so the perf
-/// trajectory across PRs stays diffable. See DESIGN.md §6.
+/// (ns/op per solver, per divide-step implementation, and for the
+/// certify pipeline: plain reject vs reject + Tucker-witness extraction
+/// vs the independent witness check) so the perf trajectory across PRs
+/// stays diffable. See DESIGN.md §6–§7.
 fn e10() {
     use c1p_bench::naive::{naive_prepare_split, NaiveSub};
+    use c1p_bench::workloads::planted_reject;
     use c1p_core::solver::prepare_split;
     use c1p_core::FlatCols;
     use std::fmt::Write as _;
@@ -348,10 +350,10 @@ fn e10() {
         let ens = planted(n, 1);
         let p = ens.p();
         let cols = ens.columns().to_vec();
-        let (t_dc, _) = median_time(reps, || c1p_core::solve(&ens).is_some());
+        let (t_dc, _) = median_time(reps, || c1p_core::solve(&ens).is_ok());
         let (t_fast, _) =
-            median_time(reps, || c1p_core::solve_with(&ens, &Config::fast()).0.is_some());
-        let (t_par, _) = median_time(reps, || c1p_core::parallel::solve_par(&ens).0.is_some());
+            median_time(reps, || c1p_core::solve_with(&ens, &Config::fast()).0.is_ok());
+        let (t_par, _) = median_time(reps, || c1p_core::parallel::solve_par(&ens).0.is_ok());
         let (t_pq, _) = median_time(reps, || c1p_pqtree::solve(n, &cols).is_some());
         // the divide step alone, flat CSR vs the seed's nested vecs
         let flat = c1p_core::solver::SubProblem { n, cols: FlatCols::from_cols(&cols) };
@@ -359,12 +361,42 @@ fn e10() {
         let a1: Vec<u32> = (0..(n / 2) as u32).collect();
         let (t_split_flat, _) = median_time(reps, || prepare_split(&flat, &a1).sub1.n);
         let (t_split_naive, _) = median_time(reps, || naive_prepare_split(&naive, &a1).1.n);
+        // the certify pipeline, median across all five Tucker families
+        // (planted_reject cycles the family by seed), so the recorded cost
+        // covers the parameterized families, not just constant-size M_IV
+        let mut t_rejects = Vec::new();
+        let mut t_certifies = Vec::new();
+        let mut t_verifies = Vec::new();
+        for seed in 1..=5u64 {
+            let (bad, _) = planted_reject(n, seed);
+            let (t, _) = median_time(3, || c1p_core::solve(&bad).is_err());
+            t_rejects.push(t);
+            let (t, _) = median_time(3, || {
+                let rej = c1p_core::solve(&bad).unwrap_err();
+                c1p_cert::extract_witness(&bad, &rej).unwrap().atom_rows.len()
+            });
+            t_certifies.push(t);
+            let witness = {
+                let rej = c1p_core::solve(&bad).unwrap_err();
+                c1p_cert::extract_witness(&bad, &rej).unwrap()
+            };
+            let (t, _) = median_time(3, || c1p_cert::verify_witness(&bad, &witness).is_ok());
+            t_verifies.push(t);
+        }
+        let family_median = |ts: &mut Vec<std::time::Duration>| {
+            ts.sort_unstable();
+            ts[ts.len() / 2]
+        };
+        let t_reject = family_median(&mut t_rejects);
+        let t_certify = family_median(&mut t_certifies);
+        let t_verify = family_median(&mut t_verifies);
         let mut e = String::new();
         write!(
             e,
             "  {{\"n\": {n}, \"m\": {}, \"p\": {p}, \"ns_per_op\": {{\
              \"dc\": {}, \"dc_pq_base\": {}, \"dc_parallel\": {}, \"pqtree\": {}, \
-             \"split_flat\": {}, \"split_nested_vec\": {}}}}}",
+             \"split_flat\": {}, \"split_nested_vec\": {}, \
+             \"reject_plain\": {}, \"reject_certified\": {}, \"verify_witness\": {}}}}}",
             ens.n_columns(),
             t_dc.as_nanos(),
             t_fast.as_nanos(),
@@ -372,6 +404,9 @@ fn e10() {
             t_pq.as_nanos(),
             t_split_flat.as_nanos(),
             t_split_naive.as_nanos(),
+            t_reject.as_nanos(),
+            t_certify.as_nanos(),
+            t_verify.as_nanos(),
         )
         .unwrap();
         println!(
@@ -382,6 +417,12 @@ fn e10() {
             fmt_secs(t_pq),
             fmt_secs(t_split_flat),
             fmt_secs(t_split_naive),
+        );
+        println!(
+            "        reject {} | reject+witness {} | verify_witness {}",
+            fmt_secs(t_reject),
+            fmt_secs(t_certify),
+            fmt_secs(t_verify),
         );
         entries.push(e);
     }
@@ -394,9 +435,12 @@ fn e10() {
          \"dc_ns_at_16384\": 589322000, \"dc_pq_base_ns_at_16384\": 440531000, \
          \"dc_parallel_ns_at_16384\": 604725000, \"pqtree_ns_at_16384\": 180850000}";
     let json = format!(
-        "{{\n\"workload\": \"planted(n, seed=1), m = 2n interval columns\",\n\
-         \"note\": \"medians of {reps} reps; split_* measure one top-level divide; \
-         see DESIGN.md §6 for the seed-vs-CSR methodology\",\n\
+        "{{\n\"workload\": \"planted(n, seed=1), m = 2n interval columns; \
+         reject_*/verify use planted_reject(n, seeds 1-5: one per Tucker family)\",\n\
+         \"note\": \"medians of {reps} reps (certify pipeline: 3 reps, then the \
+         median across the five families); split_* measure one top-level divide; \
+         reject_certified = solve + Tucker-witness extraction, verify_witness = \
+         the independent checker alone; see DESIGN.md §6-§7\",\n\
          \"seed_nested_vec_baseline\": {seed_baseline},\n\
          \"results\": [\n{}\n]\n}}\n",
         entries.join(",\n")

@@ -40,7 +40,7 @@ fn main() {
     let bytes = BYTES.load(Ordering::Relaxed) - b0;
     eprintln!(
         "solve: {dt:?} ok={} subproblems={} depth={} decompositions={}",
-        o.is_some(),
+        o.is_ok(),
         stats.subproblems,
         stats.max_depth,
         stats.decompositions

@@ -11,16 +11,16 @@ use rand::{RngExt, SeedableRng};
 fn check(e: &Ensemble, ctx: &str) {
     let dc = c1p_core::solve(e);
     let pq = c1p_pqtree::solve(e.n_atoms(), e.columns());
-    if dc.is_some() != pq.is_some() {
-        eprintln!("DISAGREE ({ctx}): dc={} pq={}\n{}", dc.is_some(), pq.is_some(), e.to_matrix());
+    if dc.is_ok() != pq.is_some() {
+        eprintln!("DISAGREE ({ctx}): dc={} pq={}\n{}", dc.is_ok(), pq.is_some(), e.to_matrix());
         std::process::exit(1);
     }
-    if let Some(o) = &dc {
+    if let Ok(o) = &dc {
         verify_linear(e, o).expect("witness");
     }
     if e.n_atoms() <= 8 {
         let bf = brute_force_linear(e);
-        assert_eq!(dc.is_some(), bf.is_some(), "brute disagree ({ctx})\n{}", e.to_matrix());
+        assert_eq!(dc.is_ok(), bf.is_some(), "brute disagree ({ctx})\n{}", e.to_matrix());
     }
 }
 
@@ -84,7 +84,7 @@ fn main() {
             PlantedShape { n_atoms: n, n_columns: 2 * n, min_len: 2, max_len: 40 },
             &mut rng,
         );
-        assert!(c1p_core::solve(&e).is_some(), "large planted n={n}");
+        assert!(c1p_core::solve(&e).is_ok(), "large planted n={n}");
     }
     println!("large planted ok");
     println!("ALL STRESS PASSED");

@@ -47,14 +47,14 @@ pub fn annexstein_swaminathan(s: Shape, dense: bool) -> ModelPoint {
     ModelPoint { time: lgn * lgn, processors: procs.max(1.0) }
 }
 
-/// Klein [13] (after Klein–Reif [14]): `O(log² n)` time with linearly many
+/// Klein \[13\] (after Klein–Reif \[14\]): `O(log² n)` time with linearly many
 /// processors in the input size.
 pub fn klein(s: Shape) -> ModelPoint {
     let lgn = lg(s.n);
     ModelPoint { time: lgn * lgn, processors: (s.n + s.p).max(1.0) }
 }
 
-/// Chen–Yesha [7]: `O(log m + log² n)` time using `O(n²·m + n³)`
+/// Chen–Yesha \[7\]: `O(log m + log² n)` time using `O(n²·m + n³)`
 /// processors.
 pub fn chen_yesha(s: Shape) -> ModelPoint {
     let lgn = lg(s.n);
@@ -64,7 +64,7 @@ pub fn chen_yesha(s: Shape) -> ModelPoint {
     }
 }
 
-/// Booth–Lueker [6] sequential baseline: `O(n + m + p)` time on one
+/// Booth–Lueker \[6\] sequential baseline: `O(n + m + p)` time on one
 /// processor.
 pub fn booth_lueker(s: Shape) -> ModelPoint {
     ModelPoint { time: s.n + s.m + s.p, processors: 1.0 }

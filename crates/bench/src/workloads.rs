@@ -1,9 +1,10 @@
 //! Shared experiment workloads (deterministic seeds so tables reproduce).
 
 use c1p_matrix::generate::{planted_c1p, PlantedShape};
-use c1p_matrix::Ensemble;
+use c1p_matrix::tucker::TuckerFamily;
+use c1p_matrix::{Atom, Ensemble};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
 /// The standard planted instance used by the scaling experiments:
 /// `m = 2n` interval columns of mean length ≈ 12 (the clone-coverage shape
@@ -22,6 +23,31 @@ pub fn planted(n: usize, seed: u64) -> Ensemble {
 pub fn planted_k(n: usize, m: usize, k: usize, seed: u64) -> Ensemble {
     let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
     planted_c1p(PlantedShape { n_atoms: n, n_columns: m, min_len: k, max_len: k }, &mut rng).0
+}
+
+/// The standard *rejection* workload: [`planted`]'s shape with one Tucker
+/// obstruction (family cycled by `seed`) embedded at a seed-deterministic
+/// offset — non-C1P at every size, with the obstruction buried in `2n`
+/// satisfiable columns. Returns the ensemble and the planted family.
+pub fn planted_reject(n: usize, seed: u64) -> (Ensemble, TuckerFamily) {
+    let base = planted(n, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xBAD5EED);
+    let k = 1 + rng.random_range(0..4usize);
+    let fam = match seed % 5 {
+        0 => TuckerFamily::MI(k),
+        1 => TuckerFamily::MII(k),
+        2 => TuckerFamily::MIII(k),
+        3 => TuckerFamily::MIV,
+        _ => TuckerFamily::MV,
+    };
+    let obs = fam.generate();
+    assert!(n >= obs.n_atoms(), "rejection workload needs n >= family size");
+    let offset = rng.random_range(0..=n - obs.n_atoms());
+    let mut cols = base.columns().to_vec();
+    cols.extend(
+        obs.columns().iter().map(|c| c.iter().map(|&a| a + offset as Atom).collect::<Vec<_>>()),
+    );
+    (Ensemble::from_columns(n, cols).expect("embedded columns are valid"), fam)
 }
 
 #[cfg(test)]
@@ -43,5 +69,16 @@ mod tests {
         let e = planted_k(100, 50, 5, 3);
         assert!(e.columns().iter().all(|c| c.len() == 5));
         assert_eq!(e.density_factor(), Some(100.0 / 5.0));
+    }
+
+    #[test]
+    fn planted_reject_is_rejected_and_certifiable() {
+        for seed in 0..5u64 {
+            let (e, fam) = planted_reject(128, seed);
+            assert_eq!(e, planted_reject(128, seed).0, "deterministic");
+            let rej = c1p_core::solve(&e).expect_err(&format!("seed {seed} ({fam})"));
+            let w = c1p_cert::extract_witness(&e, &rej).unwrap();
+            c1p_cert::verify_witness(&e, &w).unwrap();
+        }
     }
 }

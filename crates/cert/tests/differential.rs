@@ -1,0 +1,158 @@
+//! The certificate differential suite (seeded, reproducible):
+//!
+//! * planted `M_*` embeddings padded with random C1P noise rows/columns —
+//!   every rejection from `solve` *and* `solve_par` must extract to a
+//!   witness that `verify_witness` accepts;
+//! * random rejects confirmed by the PQ baseline — same contract;
+//! * brute-force cross-check on small instances (n ≤ 7): verdicts match
+//!   the exhaustive oracle, and on every reject the witness's submatrix is
+//!   independently re-refuted by brute force.
+
+use c1p_cert::{extract_witness, solve_certified, solve_par_certified, verify_witness};
+use c1p_matrix::generate::{planted_c1p, PlantedShape};
+use c1p_matrix::tucker::{self, TuckerFamily};
+use c1p_matrix::verify::brute_force_linear;
+use c1p_matrix::{Atom, Ensemble};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Both solvers must reject `ens`, and both rejections must certify.
+fn assert_certified(ens: &Ensemble, ctx: &str) {
+    let rej_seq = c1p_core::solve(ens).unwrap_err();
+    let w_seq = extract_witness(ens, &rej_seq).unwrap_or_else(|e| panic!("{ctx}: seq {e}"));
+    verify_witness(ens, &w_seq).unwrap_or_else(|e| panic!("{ctx}: seq witness {e}"));
+    let rej_par = c1p_core::parallel::solve_par(ens).0.unwrap_err();
+    let w_par = extract_witness(ens, &rej_par).unwrap_or_else(|e| panic!("{ctx}: par {e}"));
+    verify_witness(ens, &w_par).unwrap_or_else(|e| panic!("{ctx}: par witness {e}"));
+}
+
+#[test]
+fn all_generator_families_certify_with_k_swept() {
+    let mut fams: Vec<TuckerFamily> = vec![TuckerFamily::MIV, TuckerFamily::MV];
+    for k in 1..=7 {
+        fams.push(TuckerFamily::MI(k));
+        fams.push(TuckerFamily::MII(k));
+        fams.push(TuckerFamily::MIII(k));
+    }
+    for fam in fams {
+        assert_certified(&fam.generate(), &fam.to_string());
+    }
+}
+
+#[test]
+fn planted_embeddings_under_noise_certify() {
+    for seed in 0..40u64 {
+        let mut rng = SmallRng::seed_from_u64(0xCE27 ^ seed);
+        let n = 30 + rng.random_range(0..120usize);
+        // C1P noise: a planted instance over the full atom range
+        let (noise, _) = planted_c1p(
+            PlantedShape { n_atoms: n, n_columns: n, min_len: 2, max_len: (n / 3).max(2) },
+            &mut rng,
+        );
+        let fam = match seed % 5 {
+            0 => TuckerFamily::MI(1 + (seed as usize / 5) % 5),
+            1 => TuckerFamily::MII(1 + (seed as usize / 5) % 5),
+            2 => TuckerFamily::MIII(1 + (seed as usize / 5) % 5),
+            3 => TuckerFamily::MIV,
+            _ => TuckerFamily::MV,
+        };
+        let obs = fam.generate();
+        let offset = rng.random_range(0..=n - obs.n_atoms());
+        let mut cols = noise.columns().to_vec();
+        cols.extend(
+            obs.columns().iter().map(|c| c.iter().map(|&a| a + offset as Atom).collect::<Vec<_>>()),
+        );
+        let ens = Ensemble::from_columns(n, cols).unwrap();
+        assert_certified(&ens, &format!("seed {seed}: {fam} at {offset} in n={n}"));
+    }
+}
+
+#[test]
+fn pq_confirmed_random_rejects_certify() {
+    let mut rejects = 0usize;
+    for seed in 0..300u64 {
+        let mut rng = SmallRng::seed_from_u64(0x9E1E ^ seed);
+        let n = rng.random_range(6..=28);
+        let m = rng.random_range(3..=10);
+        let cols: Vec<Vec<u32>> = (0..m)
+            .map(|_| {
+                let mut col: Vec<u32> =
+                    (0..n as u32).filter(|_| rng.random_range(0..n) < 5).collect();
+                if col.len() < 2 {
+                    col = vec![rng.random_range(0..n as u32 - 1), n as u32 - 1];
+                    col.dedup();
+                }
+                col
+            })
+            .collect();
+        let ens = Ensemble::from_columns(n, cols).unwrap();
+        if c1p_pqtree::solve(ens.n_atoms(), ens.columns()).is_some() {
+            assert!(c1p_core::solve(&ens).is_ok(), "seed {seed}: pq accepts, dc rejects");
+            continue;
+        }
+        rejects += 1;
+        assert_certified(&ens, &format!("random seed {seed}"));
+    }
+    assert!(rejects > 60, "rejection path under-exercised ({rejects}/300)");
+}
+
+#[test]
+fn brute_force_cross_check_small() {
+    // exhaustive: every 4-atom instance with two arbitrary mask columns
+    for c1 in 1u32..16 {
+        for c2 in 1u32..16 {
+            let cols: Vec<Vec<u32>> = [c1, c2]
+                .iter()
+                .map(|&m| (0..4u32).filter(|&a| m >> a & 1 == 1).collect())
+                .collect();
+            small_case(Ensemble::from_columns(4, cols).unwrap(), &format!("exh {c1},{c2}"));
+        }
+    }
+    // seeded random up to n = 7
+    for seed in 0..1500u64 {
+        let mut rng = SmallRng::seed_from_u64(0x51AA ^ seed);
+        let n = rng.random_range(3..=7usize);
+        let m = rng.random_range(1..=6usize);
+        let cols: Vec<Vec<u32>> = (0..m)
+            .map(|_| {
+                let mask = rng.random_range(1u64..(1 << n));
+                (0..n as u32).filter(|&a| mask >> a & 1 == 1).collect()
+            })
+            .collect();
+        small_case(Ensemble::from_columns(n, cols).unwrap(), &format!("seed {seed}"));
+    }
+}
+
+fn small_case(ens: Ensemble, ctx: &str) {
+    let brute = brute_force_linear(&ens).is_some();
+    match c1p_core::solve(&ens) {
+        Ok(order) => {
+            assert!(brute, "{ctx}: solver accepted a brute-force-rejected instance");
+            c1p_matrix::verify_linear(&ens, &order).unwrap();
+        }
+        Err(rej) => {
+            assert!(!brute, "{ctx}: solver rejected a C1P instance\n{}", ens.to_matrix());
+            let w = extract_witness(&ens, &rej).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            verify_witness(&ens, &w).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            // double-check the named submatrix with the exhaustive oracle
+            let sub = c1p_cert::submatrix(&ens, &w.atom_rows, &w.column_ids).unwrap();
+            assert!(brute_force_linear(&sub).is_none(), "{ctx}: witness submatrix is C1P");
+        }
+    }
+}
+
+#[test]
+fn certified_drivers_round_trip() {
+    let good = planted_c1p(
+        PlantedShape { n_atoms: 60, n_columns: 120, min_len: 2, max_len: 20 },
+        &mut SmallRng::seed_from_u64(7),
+    )
+    .0;
+    assert!(solve_certified(&good).is_ok());
+    assert!(solve_par_certified(&good).is_ok());
+    let bad = tucker::embed_obstruction(&tucker::m_ii(3), 60, 20, &[(0, 30), (25, 30)]);
+    for cert in [solve_certified(&bad).unwrap_err(), solve_par_certified(&bad).unwrap_err()] {
+        assert!(!cert.rejection.atoms.is_empty());
+        verify_witness(&bad, &cert.witness).unwrap();
+    }
+}

@@ -27,7 +27,7 @@
 //! arrangements; the merge verifies each against every column, so
 //! soundness never rests on the funnel geometry.
 
-use crate::NotC1p;
+use crate::{NotC1p, RejectSite};
 use c1p_tutte::{
     minimal_subtree, Arrangement, EdgeRef, MemberId, MemberKind, MemberShape, TutteTree,
 };
@@ -408,7 +408,7 @@ fn funnel_chain(
                     flip_entry(cand, m, &mut dir);
                     req = boundary_vertex(&cand.tree, m, entry, dir, side);
                     if !at_down.touches(req, t) {
-                        return Err(NotC1p);
+                        return Err(NotC1p::at(RejectSite::Align));
                     }
                 }
                 // descend: which side of the child's expansion is `req`?
@@ -484,7 +484,7 @@ fn funnel_to_shared(
             } else if at_g.touches(db, t) {
                 db
             } else {
-                return Err(NotC1p);
+                return Err(NotC1p::at(RejectSite::Align));
             };
             // descend with the side implied by s on the down edge
             let side = match at_down {
@@ -551,7 +551,7 @@ fn funnel_two_chains(
         while cur != root {
             let (p, _) = cand.tree.members[cur as usize].parent.unwrap();
             if cand.tree.members[p as usize].kind() != MemberKind::Bond {
-                return Err(NotC1p);
+                return Err(NotC1p::at(RejectSite::Align));
             }
             cur = p;
         }
@@ -600,7 +600,7 @@ fn funnel_two_chains(
                     lv = boundary_vertex(&cand.tree, lca, entry, dir, Side::Left);
                     rv = boundary_vertex(&cand.tree, lca, entry, dir, Side::Right);
                     if !(a1.touches(lv, t) && a2.touches(rv, t)) {
-                        return Err(NotC1p);
+                        return Err(NotC1p::at(RejectSite::Align));
                     }
                 }
                 (side_of(a1, lv, dir), side_of(a2, rv, dir))
@@ -612,7 +612,7 @@ fn funnel_two_chains(
                 } else if a2.touches(v2, t) {
                     v2
                 } else {
-                    return Err(NotC1p);
+                    return Err(NotC1p::at(RejectSite::Align));
                 };
                 (side_of(a1, s, dir), side_of(a2, s, dir))
             }

@@ -33,7 +33,7 @@ pub fn solve_circular(ens: &Ensemble) -> Option<Vec<Atom>> {
         }
     }
     let reduced = Ensemble::from_sorted_columns(n, cols).expect("complement is valid");
-    let order = crate::solve(&reduced)?;
+    let order = crate::solve(&reduced).ok()?;
     verify_circular(ens, &order).expect("internal error: circular witness failed verification");
     Some(order)
 }
@@ -50,7 +50,7 @@ mod tests {
     fn cycle_matrix_is_circular() {
         // M_I(1) is not C1P but *is* circular-ones
         let e = ens(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]);
-        assert_eq!(crate::solve(&e), None);
+        assert!(crate::solve(&e).is_err());
         assert!(solve_circular(&e).is_some());
     }
 
@@ -59,7 +59,7 @@ mod tests {
         // consecutive pairs around a 6-cycle, including the wrap pair
         let cols: Vec<Vec<Atom>> = (0..6).map(|i| vec![i, (i + 1) % 6]).collect();
         let e = ens(6, cols);
-        assert_eq!(crate::solve(&e), None);
+        assert!(crate::solve(&e).is_err());
         let order = solve_circular(&e).expect("circular-ones");
         verify_circular(&e, &order).unwrap();
     }

@@ -1,5 +1,5 @@
 //! Interval-graph recognition via C1P (the reduction the paper cites in
-//! Section 1.4, due to Booth–Lueker [6] after Fulkerson–Gross).
+//! Section 1.4, due to Booth–Lueker \[6\] after Fulkerson–Gross).
 //!
 //! A graph is an interval graph iff it is chordal and its maximal-clique ×
 //! vertex incidence matrix has the consecutive-ones property (columns =
@@ -84,7 +84,7 @@ pub fn recognize(g: &SimpleGraph) -> Result<IntervalModel, NotInterval> {
         }
     }
     let ens = Ensemble::from_columns(cliques.len(), cols).expect("clique matrix is valid");
-    let clique_perm = crate::solve(&ens).ok_or(NotInterval::CliquesNotConsecutive)?;
+    let clique_perm = crate::solve(&ens).map_err(|_| NotInterval::CliquesNotConsecutive)?;
     // assemble the model
     let clique_order: Vec<Vec<u32>> =
         clique_perm.iter().map(|&q| cliques[q as usize].clone()).collect();

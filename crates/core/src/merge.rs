@@ -17,7 +17,7 @@
 
 use crate::align::CrossType;
 use crate::flat::{with_scratch, SplitCols};
-use crate::NotC1p;
+use crate::{NotC1p, RejectSite};
 
 /// Linear (GAP) or cyclic (GAC) merge semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -223,7 +223,7 @@ fn merge_inner(
         eprintln!("  candidates={candidates:?}");
         eprintln!("  type_b={type_b:?} type_a={type_a_spans:?} type_c={type_c_spans:?}");
     }
-    Err(NotC1p)
+    Err(NotC1p::at(RejectSite::Merge))
 }
 
 /// Checks contiguity (linear or cyclic) of every column in the merged
@@ -333,7 +333,7 @@ mod tests {
         // both want opposite... actually both can work via orientation;
         // make it impossible: both seg parts share atom 3.
         let cols = split_cols(&[(&[3], &[0], CrossType::B), (&[3], &[2], CrossType::B)]);
-        assert_eq!(merge(&[3, 4], &[0, 1, 2], &cols, MergeMode::Linear), Err(NotC1p));
+        assert!(merge(&[3, 4], &[0, 1, 2], &cols, MergeMode::Linear).is_err());
     }
 
     #[test]

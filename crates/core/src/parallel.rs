@@ -14,13 +14,13 @@
 //! Per-step charges follow the paper's Section 5 accounting:
 //!
 //! * divide (transform, connected growth): `O(p)` work, `O(log n)` depth
-//!   (tree contraction [16] / hooking);
+//!   (tree contraction \[16\] / hooking);
 //! * Tutte decomposition: `O((n+m) log log n)` work, `O(log n)` depth
-//!   (Fussell–Ramachandran–Thurimella [10] — see DESIGN.md §4: we run the
+//!   (Fussell–Ramachandran–Thurimella \[10\] — see DESIGN.md §4: we run the
 //!   specialised decomposition and charge the cited bound);
 //! * type identification: `O(p)` work, `O(1)` depth;
 //! * minimal decomposition + switches: `O(n+m)` work, `O(log n)` depth
-//!   (Euler tours [17]);
+//!   (Euler tours \[17\]);
 //! * merge scan: `O(p)` work, `O(log n)` depth (prefix scan).
 //!
 //! Experiment E2 checks the composed totals against Theorem 9's
@@ -30,23 +30,24 @@ use crate::merge::MergeMode;
 use crate::partition::{grow_segment, proper_column, tucker_transform, Growth};
 use crate::solver::{combine, component_sub, cut_at_r, prepare_split, realize, SubProblem};
 use crate::stats::SolveStats;
-use crate::{Config, NotC1p};
+use crate::{Config, NotC1p, Rejection};
 use c1p_matrix::{verify_linear, Atom, Ensemble};
 use c1p_pram::cost::log2ceil;
 use c1p_pram::Cost;
 
-/// Subproblems at or below this size run sequentially (rayon task overhead
-/// dominates below it). The modelled cost still accounts them.
-const SEQ_CUTOFF: usize = 256;
-
-/// Parallel C1P solve. Returns the verified witness order plus statistics
+/// Parallel C1P solve. Returns the verified witness order (or an
+/// evidence-carrying [`Rejection`] in global atom ids) plus statistics
 /// whose `cost` field carries the modelled PRAM work/depth.
-pub fn solve_par(ens: &Ensemble) -> (Option<Vec<Atom>>, SolveStats) {
+///
+/// Subproblems at or below [`Config::seq_cutoff`] atoms run sequentially
+/// (rayon task overhead dominates below it); the modelled cost still
+/// accounts them.
+pub fn solve_par(ens: &Ensemble) -> (Result<Vec<Atom>, Rejection>, SolveStats) {
     solve_par_with(ens, &Config::default())
 }
 
 /// [`solve_par`] with configuration.
-pub fn solve_par_with(ens: &Ensemble, cfg: &Config) -> (Option<Vec<Atom>>, SolveStats) {
+pub fn solve_par_with(ens: &Ensemble, cfg: &Config) -> (Result<Vec<Atom>, Rejection>, SolveStats) {
     let mut stats = SolveStats::default();
     let mut order: Vec<Atom> = Vec::with_capacity(ens.n_atoms());
     let mut cost = Cost::ZERO;
@@ -61,15 +62,16 @@ pub fn solve_par_with(ens: &Ensemble, cfg: &Config) -> (Option<Vec<Atom>>, Solve
                 cost = cost.par(branch_cost); // components are independent
                 order.extend(local.iter().map(|&i| atoms[i as usize]));
             }
-            Err(NotC1p) => {
+            Err(rej) => {
                 stats.cost = cost;
-                return (None, stats);
+                // component-local evidence → global atom ids
+                return (Err(rej.fill(sub.n).mapped(&atoms)), stats);
             }
         }
     }
     stats.cost = cost;
     verify_linear(ens, &order).expect("internal error: parallel order failed verification");
-    (Some(order), stats)
+    (Ok(order), stats)
 }
 
 type ParResult = Result<(Vec<u32>, SolveStats, Cost), NotC1p>;
@@ -88,7 +90,7 @@ fn realize_par(sub: &SubProblem, cfg: &Config, depth: usize) -> ParResult {
         let order = realize(sub, cfg, &mut stats, depth)?;
         return Ok((order, stats, Cost::of((p + k) as u64, (p + k) as u64)));
     }
-    if k <= SEQ_CUTOFF {
+    if k <= cfg.seq_cutoff {
         let order = realize(sub, cfg, &mut stats, depth)?;
         // charge the modelled parallel cost of the subtree conservatively:
         // O(p log k) work across O(log k) levels of O(log k)-depth steps
@@ -104,8 +106,11 @@ fn realize_par(sub: &SubProblem, cfg: &Config, depth: usize) -> ParResult {
     } else {
         stats.case2 += 1;
         let t = tucker_transform(sub);
+        // Transform boundary: evidence about the transformed instance is
+        // widened to this subproblem's whole atom set (see `realize`).
         let (cyclic, cost) = match grow_segment(&t) {
-            Growth::Segment(a1) => split_par(&t, &a1, MergeMode::Cyclic, cfg, depth, &mut stats)?,
+            Growth::Segment(a1) => split_par(&t, &a1, MergeMode::Cyclic, cfg, depth, &mut stats)
+                .map_err(|e| e.widened(k))?,
             Growth::Components(comps) => {
                 // independent components: parallel over them
                 let results: Vec<ParResult> = comps
@@ -119,7 +124,7 @@ fn realize_par(sub: &SubProblem, cfg: &Config, depth: usize) -> ParResult {
                 let mut order = Vec::with_capacity(t.n);
                 let mut cost = Cost::ZERO;
                 for ((atoms, _), res) in comps.iter().zip(results) {
-                    let (local, bstats, bcost) = res?;
+                    let (local, bstats, bcost) = res.map_err(|e| e.widened(k))?;
                     stats.absorb(&bstats);
                     cost = cost.par(bcost);
                     order.extend(local.iter().map(|&i| atoms[i as usize]));
@@ -146,11 +151,13 @@ fn split_par(
         || realize_par(&data.sub1, cfg, depth + 1),
         || realize_par(&data.sub2, cfg, depth + 1),
     );
-    let (order1, s1, c1) = r1?;
-    let (order2, s2, c2) = r2?;
+    // child-local evidence → this subproblem's coordinates (see
+    // `split_and_merge` in solver.rs for why the mapping stays valid)
+    let (order1, s1, c1) = r1.map_err(|e| e.fill(data.sub1.n).mapped(&data.a1))?;
+    let (order2, s2, c2) = r2.map_err(|e| e.fill(data.sub2.n).mapped(&data.a2))?;
     stats.absorb(&s1);
     stats.absorb(&s2);
-    let order = combine(&data, &order1, &order2, mode, stats)?;
+    let order = combine(&data, &order1, &order2, mode, stats).map_err(|e| e.fill(sub.n))?;
     let k = sub.n;
     let m = sub.cols.n_cols();
     let p: usize = sub.cols.total_len();
@@ -182,8 +189,8 @@ mod tests {
             );
             let (seq, _) = crate::solve_with(&ens, &Config::default());
             let (par, stats) = solve_par(&ens);
-            assert_eq!(seq.is_some(), par.is_some());
-            assert!(par.is_some(), "planted instance accepted");
+            assert_eq!(seq.is_ok(), par.is_ok());
+            assert!(par.is_ok(), "planted instance accepted");
             assert!(stats.cost.work > 0);
             assert!(stats.cost.depth > 0);
         }
@@ -193,7 +200,30 @@ mod tests {
     fn parallel_rejects_obstructions() {
         for (name, ens) in c1p_matrix::tucker::small_obstructions() {
             let (res, _) = solve_par(&ens);
-            assert_eq!(res, None, "{name}");
+            let rej = res.expect_err(name.as_str());
+            assert!(!rej.atoms.is_empty(), "{name}: rejection carries evidence");
+            assert!(rej.atoms.iter().all(|&a| (a as usize) < ens.n_atoms()), "{name}");
+        }
+    }
+
+    #[test]
+    fn seq_cutoff_sweep_agrees() {
+        // the cutoff is a scheduling knob; verdicts must not depend on it
+        let mut rng = SmallRng::seed_from_u64(17);
+        let (ens, _) = planted_c1p(
+            PlantedShape { n_atoms: 600, n_columns: 1200, min_len: 2, max_len: 80 },
+            &mut rng,
+        );
+        let bad = c1p_matrix::tucker::embed_obstruction(
+            &c1p_matrix::tucker::m_ii(2),
+            600,
+            123,
+            &[(0, 200), (300, 200)],
+        );
+        for cutoff in [0usize, 4, 64, 256, 4096] {
+            let cfg = Config { seq_cutoff: cutoff, ..Config::default() };
+            assert!(solve_par_with(&ens, &cfg).0.is_ok(), "cutoff {cutoff}");
+            assert!(solve_par_with(&bad, &cfg).0.is_err(), "cutoff {cutoff}");
         }
     }
 
@@ -205,7 +235,7 @@ mod tests {
             &mut rng,
         );
         let (res, stats) = solve_par(&ens);
-        assert!(res.is_some());
+        assert!(res.is_ok());
         let lg = 12u64; // log2(4096)
         assert!(
             stats.cost.depth <= 40 * lg * lg,

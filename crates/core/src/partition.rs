@@ -33,6 +33,13 @@ pub fn proper_column(sub: &SubProblem) -> Option<usize> {
 /// The transformed instance of Case 2 over `k + 1` atoms (`r = k`), per
 /// column: the kept-or-complemented atom set (columns reduced below two
 /// atoms are dropped).
+///
+/// Rejection-evidence note: the transform is *not* a constraint
+/// restriction of its input (columns are complemented and the atom `r`
+/// is invented), so [`crate::Rejection`] evidence produced inside the
+/// transformed recursion cannot be mapped back atom-by-atom; the callers
+/// in `solver.rs`/`parallel.rs` widen it to the whole pre-transform atom
+/// set via [`crate::Rejection::widened`] instead.
 pub fn tucker_transform(sub: &SubProblem) -> SubProblem {
     let k = sub.n;
     let r = k as u32;

@@ -12,7 +12,7 @@
 //! ```
 //!
 //! — the exact analogue of Booth–Lueker's `Π_P (#children)! × 2^#Q`
-//! permutation count, which [`c1p_pqtree::solve`]-side code computes
+//! permutation count, which [`c1p_pqtree::solve()`]-side code computes
 //! independently; the test suites check the two always agree.
 //!
 //! In physical mapping this number measures *map ambiguity*: how many STS
@@ -27,7 +27,7 @@ use c1p_tutte::{EdgeRef, MemberShape};
 /// separately, like Booth–Lueker's frontier count; an edgeless instance on
 /// `n` atoms yields `n!`.
 pub fn count_realizations(ens: &Ensemble) -> Option<u128> {
-    let order = crate::solve(ens)?;
+    let order = crate::solve(ens).ok()?;
     let n = ens.n_atoms();
     if n <= 1 {
         return Some(1);

@@ -25,7 +25,7 @@ use crate::flat::{with_scratch, FlatCols, SplitCols};
 use crate::merge::{merge, MergeMode};
 use crate::partition::{grow_segment, proper_column, tucker_transform, Growth};
 use crate::stats::SolveStats;
-use crate::NotC1p;
+use crate::{NotC1p, RejectSite, Rejection};
 use c1p_matrix::{verify_linear, Atom, Ensemble};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -80,11 +80,15 @@ pub struct Config {
     /// Verify every intermediate realization (O(p log n) extra work);
     /// always on in debug builds.
     pub paranoid: bool,
+    /// Parallel driver only: subproblems at or below this many atoms run
+    /// sequentially (rayon task overhead dominates below it). The modelled
+    /// PRAM cost still accounts them. `0` forks all the way down.
+    pub seq_cutoff: usize,
 }
 
 impl Default for Config {
     fn default() -> Self {
-        Config { pq_base_threshold: 0, paranoid: cfg!(debug_assertions) }
+        Config { pq_base_threshold: 0, paranoid: cfg!(debug_assertions), seq_cutoff: 256 }
     }
 }
 
@@ -92,17 +96,18 @@ impl Config {
     /// The practical profile: PQ-tree base case at the paper's `p_i ≲ log n`
     /// granularity (we cut on atom count instead; see EXPERIMENTS.md E10).
     pub fn fast() -> Self {
-        Config { pq_base_threshold: 32, paranoid: false }
+        Config { pq_base_threshold: 32, paranoid: false, seq_cutoff: 256 }
     }
 }
 
-/// Decides C1P for `ens`; returns a verified witness order of the atoms.
-pub fn solve(ens: &Ensemble) -> Option<Vec<Atom>> {
+/// Decides C1P for `ens`; returns a verified witness order of the atoms,
+/// or an evidence-carrying [`Rejection`] in global atom ids.
+pub fn solve(ens: &Ensemble) -> Result<Vec<Atom>, Rejection> {
     solve_with(ens, &Config::default()).0
 }
 
 /// [`solve`] with explicit configuration; also returns run statistics.
-pub fn solve_with(ens: &Ensemble, cfg: &Config) -> (Option<Vec<Atom>>, SolveStats) {
+pub fn solve_with(ens: &Ensemble, cfg: &Config) -> (Result<Vec<Atom>, Rejection>, SolveStats) {
     let mut stats = SolveStats::default();
     let mut order: Vec<Atom> = Vec::with_capacity(ens.n_atoms());
     // Solve each connected component independently and concatenate
@@ -111,13 +116,14 @@ pub fn solve_with(ens: &Ensemble, cfg: &Config) -> (Option<Vec<Atom>>, SolveStat
         let sub = build_sub(&atoms, col_ids.iter().map(|&ci| ens.column(ci as usize)));
         match realize(&sub, cfg, &mut stats, 0) {
             Ok(local) => order.extend(local.iter().map(|&i| atoms[i as usize])),
-            Err(NotC1p) => return (None, stats),
+            // component-local evidence → global atom ids
+            Err(rej) => return (Err(rej.fill(sub.n).mapped(&atoms)), stats),
         }
     }
     // The witness is always validated: soundness does not depend on any
     // solver internals.
     verify_linear(ens, &order).expect("internal error: produced order failed verification");
-    (Some(order), stats)
+    (Ok(order), stats)
 }
 
 /// Re-indexes global columns onto a local atom set. `atoms` and each
@@ -193,7 +199,8 @@ pub(crate) fn realize(
     }
     if cfg.pq_base_threshold > 0 && k <= cfg.pq_base_threshold {
         stats.pq_base_cases += 1;
-        return c1p_pqtree::solve(k, &sub.cols).ok_or(NotC1p);
+        return c1p_pqtree::solve(k, &sub.cols)
+            .ok_or_else(|| Rejection::at(RejectSite::PqBase).fill(k));
     }
     // Step 2: the divide
     if let Some(ci) = phase!(T_PARTITION, proper_column(sub)) {
@@ -202,15 +209,19 @@ pub(crate) fn realize(
     } else {
         stats.case2 += 1;
         let t = phase!(T_PARTITION, tucker_transform(sub));
+        // Failures inside the transformed instance cannot be mapped back
+        // atom-by-atom (complemented columns, extra atom r): widen the
+        // evidence to this subproblem's whole atom set.
         let cyclic = match phase!(T_PARTITION, grow_segment(&t)) {
-            Growth::Segment(a1) => split_and_merge(&t, &a1, MergeMode::Cyclic, cfg, stats, depth)?,
+            Growth::Segment(a1) => split_and_merge(&t, &a1, MergeMode::Cyclic, cfg, stats, depth)
+                .map_err(|e| e.widened(k))?,
             Growth::Components(comps) => {
                 // trivially decomposes: concatenate independent solutions
                 let mut order = Vec::with_capacity(t.n);
                 for (atoms, col_ids) in comps {
                     let csub =
                         component_sub(&atoms, col_ids.iter().map(|&ci| t.cols.col(ci as usize)));
-                    let local = realize(&csub, cfg, stats, depth + 1)?;
+                    let local = realize(&csub, cfg, stats, depth + 1).map_err(|e| e.widened(k))?;
                     order.extend(local.iter().map(|&i| atoms[i as usize]));
                 }
                 order
@@ -235,9 +246,15 @@ fn split_and_merge(
     depth: usize,
 ) -> Result<Vec<u32>, NotC1p> {
     let data = phase!(T_RECURSE_PREP, prepare_split(sub, a1));
-    let order1 = realize(&data.sub1, cfg, stats, depth + 1)?;
-    let order2 = realize(&data.sub2, cfg, stats, depth + 1)?;
-    combine(&data, &order1, &order2, mode, stats)
+    // Child evidence (child-local atoms with a non-C1P restriction) maps
+    // injectively into this subproblem; each child is a constraint
+    // restriction of it, so the mapped evidence stays valid.
+    let order1 = realize(&data.sub1, cfg, stats, depth + 1)
+        .map_err(|e| e.fill(data.sub1.n).mapped(&data.a1))?;
+    let order2 = realize(&data.sub2, cfg, stats, depth + 1)
+        .map_err(|e| e.fill(data.sub2.n).mapped(&data.a2))?;
+    // A merge failure implicates the whole subproblem.
+    combine(&data, &order1, &order2, mode, stats).map_err(|e| e.fill(sub.n))
 }
 
 /// Everything the combine step needs, precomputed before recursion
@@ -352,7 +369,7 @@ pub(crate) fn combine(
     let host_cands =
         phase!(T_ALIGN, align_one_side(&data.a2, order2, &data.split_cols, false, stats));
     phase!(T_MERGE, {
-        let mut result = Err(NotC1p);
+        let mut result = Err(NotC1p::at(RejectSite::Merge));
         'outer: for host in &host_cands {
             for seg in &seg_cands {
                 if let Ok(m) = merge(seg, host, &data.split_cols, mode) {
@@ -495,10 +512,10 @@ mod tests {
 
     #[test]
     fn trivial_instances() {
-        assert_eq!(solve(&ens(0, vec![])), Some(vec![]));
-        assert_eq!(solve(&ens(1, vec![vec![0]])), Some(vec![0]));
-        assert!(solve(&ens(2, vec![vec![0, 1]])).is_some());
-        assert!(solve(&ens(5, vec![])).is_some());
+        assert_eq!(solve(&ens(0, vec![])), Ok(vec![]));
+        assert_eq!(solve(&ens(1, vec![vec![0]])), Ok(vec![0]));
+        assert!(solve(&ens(2, vec![vec![0, 1]])).is_ok());
+        assert!(solve(&ens(5, vec![])).is_ok());
     }
 
     #[test]
@@ -511,7 +528,11 @@ mod tests {
     #[test]
     fn rejects_cycle() {
         let e = ens(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]);
-        assert_eq!(solve(&e), None);
+        let rej = solve(&e).unwrap_err();
+        // evidence: the restriction to the named atoms is itself non-C1P
+        assert!(!rej.atoms.is_empty());
+        let (sub, _) = e.restrict(&rej.atoms, 2);
+        assert!(brute_force_linear(&sub).is_none(), "evidence must stay non-C1P");
     }
 
     #[test]
@@ -524,7 +545,13 @@ mod tests {
     #[test]
     fn rejects_all_tucker() {
         for (name, e) in tucker::small_obstructions() {
-            assert_eq!(solve(&e), None, "{name} must be rejected");
+            let rej = solve(&e).expect_err(&format!("{name} must be rejected"));
+            assert!(!rej.atoms.is_empty(), "{name}: rejection carries evidence");
+            assert!(rej.atoms.iter().all(|&a| (a as usize) < e.n_atoms()), "{name}");
+            if e.n_atoms() <= 8 {
+                let (sub, _) = e.restrict(&rej.atoms, 2);
+                assert!(brute_force_linear(&sub).is_none(), "{name}: evidence non-C1P");
+            }
         }
     }
 
@@ -540,7 +567,7 @@ mod tests {
                         .map(|&m| (0..n as Atom).filter(|&a| m >> a & 1 == 1).collect())
                         .collect();
                     let e = ens(n, cols);
-                    let got = solve(&e).is_some();
+                    let got = solve(&e).is_ok();
                     let expect = brute_force_linear(&e).is_some();
                     assert_eq!(got, expect, "mismatch on {:?}", e.to_matrix());
                 }

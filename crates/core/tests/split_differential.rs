@@ -104,8 +104,8 @@ fn solver_matches_pqtree_on_random_accept_and_reject() {
         let ens = mask_ensemble(&mut rng, 10, 7);
         let dc = c1p_core::solve(&ens);
         let pq = c1p_pqtree::solve(ens.n_atoms(), ens.columns());
-        assert_eq!(dc.is_some(), pq.is_some(), "seed {seed}:\n{}", ens.to_matrix());
-        if let Some(o) = &dc {
+        assert_eq!(dc.is_ok(), pq.is_some(), "seed {seed}:\n{}", ens.to_matrix());
+        if let Ok(o) = &dc {
             accepts += 1;
             c1p_matrix::verify_linear(&ens, o).unwrap();
         } else {
@@ -132,7 +132,7 @@ fn solver_matches_pqtree_on_planted_with_noise() {
             &mut rng,
         );
         // clean planted: must accept
-        assert!(c1p_core::solve(&ens).is_some(), "seed {seed}: clean planted rejected");
+        assert!(c1p_core::solve(&ens).is_ok(), "seed {seed}: clean planted rejected");
         // flip a handful of random entries; whatever the verdict, it must
         // match the PQ-tree baseline (both fast() and pure configurations)
         let mut mat = ens.to_matrix();
@@ -143,8 +143,8 @@ fn solver_matches_pqtree_on_planted_with_noise() {
         }
         let noisy = mat.to_ensemble();
         let pq = c1p_pqtree::solve(noisy.n_atoms(), noisy.columns()).is_some();
-        let pure = c1p_core::solve(&noisy).is_some();
-        let fast = c1p_core::solve_with(&noisy, &Config::fast()).0.is_some();
+        let pure = c1p_core::solve(&noisy).is_ok();
+        let fast = c1p_core::solve_with(&noisy, &Config::fast()).0.is_ok();
         assert_eq!(pure, pq, "seed {seed}: pure divide-and-conquer vs pqtree");
         assert_eq!(fast, pq, "seed {seed}: pq-base-case config vs pqtree");
     }
@@ -163,7 +163,7 @@ fn solver_matches_brute_force_exhaustively() {
                     .map(|&m| (0..n as u32).filter(|&a| m >> a & 1 == 1).collect())
                     .collect();
                 let ens = c1p_matrix::Ensemble::from_columns(n, cols).unwrap();
-                let dc = c1p_core::solve(&ens).is_some();
+                let dc = c1p_core::solve(&ens).is_ok();
                 let brute = c1p_matrix::verify::brute_force_linear(&ens).is_some();
                 assert_eq!(dc, brute, "mismatch:\n{}", ens.to_matrix());
             }

@@ -1,5 +1,5 @@
 //! Reference Tutte decomposition by naive recursive splitting
-//! (paper Section 2.2; Tutte [20], Cunningham–Edmonds [8]).
+//! (paper Section 2.2; Tutte \[20\], Cunningham–Edmonds \[8\]).
 //!
 //! The decomposition of a 2-connected graph is built exactly as the paper
 //! defines it: while some member has a 2-separation, replace it by the two

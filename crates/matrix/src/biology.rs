@@ -10,7 +10,7 @@
 //! with the paper, so [`CloneLibrary`] synthesizes instances of exactly that
 //! shape (substitution documented in DESIGN.md §4).
 //!
-//! **Consecutive retrieval (Section 1.4, Ghosh [11]).** Records stored on a
+//! **Consecutive retrieval (Section 1.4, Ghosh \[11\]).** Records stored on a
 //! linear medium; each query must fetch a consecutive run. Identical
 //! combinatorics: atoms = records, columns = queries.
 
@@ -73,7 +73,7 @@ impl CloneLibrary {
 }
 
 /// Parameters of a consecutive-retrieval file-organization instance
-/// (Ghosh [11]): `n_records` records, `n_queries` queries, each query
+/// (Ghosh \[11\]): `n_records` records, `n_queries` queries, each query
 /// touching a run of records in the (hidden) optimal storage order.
 #[derive(Debug, Clone, Copy)]
 pub struct RetrievalWorkload {

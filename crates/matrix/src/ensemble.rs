@@ -241,27 +241,43 @@ impl Ensemble {
     /// whose restriction has fewer than `min_keep` atoms are dropped.
     /// Returns the subensemble plus, per kept column, the original column id.
     pub fn restrict(&self, subset: &[Atom], min_keep: usize) -> (Ensemble, Vec<u32>) {
-        let mut place = vec![u32::MAX; self.n_atoms];
-        for (i, &a) in subset.iter().enumerate() {
-            place[a as usize] = i as u32;
-        }
+        let all: Vec<u32> = (0..self.columns.len() as u32).collect();
         let mut cols = Vec::new();
         let mut origin = Vec::new();
-        for (ci, col) in self.columns.iter().enumerate() {
-            let mut r: Vec<Atom> = col
-                .iter()
-                .filter_map(|&a| {
-                    let p = place[a as usize];
-                    (p != u32::MAX).then_some(p)
-                })
-                .collect();
-            if r.len() >= min_keep {
-                r.sort_unstable();
-                cols.push(r);
+        for (ci, col) in self.restrict_to(subset, &all).into_iter().enumerate() {
+            if col.len() >= min_keep {
+                cols.push(col);
                 origin.push(ci as u32);
             }
         }
         (Ensemble { n_atoms: subset.len(), columns: cols }, origin)
+    }
+
+    /// Restriction of the *named* columns to a subset of atoms: atoms are
+    /// renumbered `0..subset.len()` by their position in `subset` (which
+    /// need not be sorted), every named column is kept regardless of its
+    /// restricted size, and each output column is sorted. The submatrix
+    /// primitive behind `c1p-cert`'s witness checker and shrink oracle;
+    /// see [`Ensemble::restrict`] for the all-columns/min-size variant.
+    pub fn restrict_to(&self, subset: &[Atom], column_ids: &[u32]) -> Vec<Vec<Atom>> {
+        let mut place = vec![u32::MAX; self.n_atoms];
+        for (i, &a) in subset.iter().enumerate() {
+            place[a as usize] = i as u32;
+        }
+        column_ids
+            .iter()
+            .map(|&ci| {
+                let mut col: Vec<Atom> = self.columns[ci as usize]
+                    .iter()
+                    .filter_map(|&a| {
+                        let p = place[a as usize];
+                        (p != u32::MAX).then_some(p)
+                    })
+                    .collect();
+                col.sort_unstable();
+                col
+            })
+            .collect()
     }
 
     /// Renumbers atoms by a permutation: atom `a` becomes `perm[a]`.
@@ -468,6 +484,17 @@ mod tests {
         // column 1 = {4,5} -> {4}->{2} single, dropped.
         assert_eq!(sub.columns(), &[vec![0, 1]]);
         assert_eq!(origin, vec![2]);
+    }
+
+    #[test]
+    fn restrict_to_keeps_named_columns_and_renumbers_by_position() {
+        let ens = Ensemble::from_columns(6, vec![vec![0, 1, 2], vec![4, 5], vec![2, 3]]).unwrap();
+        // unsorted subset: renumbering follows subset position, output sorted
+        let cols = ens.restrict_to(&[3, 2, 0], &[0, 2]);
+        assert_eq!(cols, vec![vec![1, 2], vec![0, 1]]);
+        // named columns are kept even when their restriction is tiny/empty
+        let cols = ens.restrict_to(&[0, 1], &[0, 1, 2]);
+        assert_eq!(cols, vec![vec![0, 1], vec![], vec![]]);
     }
 
     #[test]

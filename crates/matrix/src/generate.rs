@@ -11,7 +11,7 @@
 //! * [`interval_graph_cliques`] — vertex × maximal-clique incidence of a
 //!   random interval graph, which is C1P by the clique-ordering theorem the
 //!   paper invokes in Section 1.4 (interval-graph recognition reduces to
-//!   C1P [6]).
+//!   C1P \[6\]).
 
 use crate::ensemble::{Atom, Ensemble};
 use rand::{Rng, RngExt};

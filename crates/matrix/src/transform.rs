@@ -1,4 +1,4 @@
-//! Tucker's complement transform (paper Section 3.2, Case 2; Tucker [19]).
+//! Tucker's complement transform (paper Section 3.2, Case 2; Tucker \[19\]).
 //!
 //! When no column has "proper size" (between `|A|/3` and `2|A|/3`), the
 //! paper transforms the instance: add a fresh atom `r`, and replace every
@@ -109,7 +109,7 @@ mod tests {
         assert_eq!(untransform_order(&[9, 0, 1, 2], 9), vec![0, 1, 2]);
     }
 
-    /// Exhaustive check of the transform theorem (Tucker [19]) on all small
+    /// Exhaustive check of the transform theorem (Tucker \[19\]) on all small
     /// matrices: C1P(original) ⇔ circular-ones(transform).
     #[test]
     fn transform_theorem_small_exhaustive() {

@@ -1,5 +1,5 @@
-//! Tucker's minimal non-C1P obstruction families (Tucker [19], cited by the
-//! paper for the Case-2 transform; Booth & Lueker [6] reproduce the
+//! Tucker's minimal non-C1P obstruction families (Tucker \[19\], cited by the
+//! paper for the Case-2 transform; Booth & Lueker \[6\] reproduce the
 //! families).
 //!
 //! A (0,1)-matrix has C1P iff it contains none of `M_I(k), M_II(k),
@@ -11,6 +11,255 @@
 //! in the tests.
 
 use crate::ensemble::{Atom, Ensemble};
+use std::fmt;
+
+/// A Tucker obstruction family instance, named by family and parameter.
+///
+/// Produced by [`classify`] (the inverse of the generators below) and
+/// carried inside `c1p-cert`'s `TuckerWitness` so rejection certificates
+/// name the exact obstruction they exhibit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TuckerFamily {
+    /// `M_I(k)`: the chordless cycle on `k + 2` atoms.
+    MI(usize),
+    /// `M_II(k)` on `k + 3` atoms.
+    MII(usize),
+    /// `M_III(k)` on `k + 3` atoms.
+    MIII(usize),
+    /// `M_IV` (6 atoms, 4 columns).
+    MIV,
+    /// `M_V` (5 atoms, 4 columns).
+    MV,
+}
+
+impl TuckerFamily {
+    /// The canonical generator of this family instance.
+    pub fn generate(&self) -> Ensemble {
+        match *self {
+            TuckerFamily::MI(k) => m_i(k),
+            TuckerFamily::MII(k) => m_ii(k),
+            TuckerFamily::MIII(k) => m_iii(k),
+            TuckerFamily::MIV => m_iv(),
+            TuckerFamily::MV => m_v(),
+        }
+    }
+
+    /// Atom count of the canonical generator.
+    pub fn n_atoms(&self) -> usize {
+        match *self {
+            TuckerFamily::MI(k) => k + 2,
+            TuckerFamily::MII(k) | TuckerFamily::MIII(k) => k + 3,
+            TuckerFamily::MIV => 6,
+            TuckerFamily::MV => 5,
+        }
+    }
+}
+
+impl fmt::Display for TuckerFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TuckerFamily::MI(k) => write!(f, "M_I({k})"),
+            TuckerFamily::MII(k) => write!(f, "M_II({k})"),
+            TuckerFamily::MIII(k) => write!(f, "M_III({k})"),
+            TuckerFamily::MIV => write!(f, "M_IV"),
+            TuckerFamily::MV => write!(f, "M_V"),
+        }
+    }
+}
+
+/// Classifies `ens` up to atom/column permutation: returns the Tucker
+/// family it is isomorphic to, or `None`.
+///
+/// This is the inverse of the generators: a structural matcher derives a
+/// candidate canonical atom relabeling (cycle walk for `M_I`, path walk +
+/// far atom for `M_II`/`M_III`, pair/transversal assignment for
+/// `M_IV`/`M_V`), then *confirms* it by exact comparison of the relabeled
+/// column multiset against the generator — so a positive answer never
+/// rests on the structural reasoning alone.
+pub fn classify(ens: &Ensemble) -> Option<TuckerFamily> {
+    let n = ens.n_atoms();
+    let m = ens.n_columns();
+    if n < 3 || m < 3 {
+        return None;
+    }
+    let pairs: Vec<&[Atom]> =
+        ens.columns().iter().filter(|c| c.len() == 2).map(Vec::as_slice).collect();
+    let big: Vec<&[Atom]> =
+        ens.columns().iter().filter(|c| c.len() != 2).map(Vec::as_slice).collect();
+    // pair-graph adjacency (the forced-adjacency graph of the 2-columns)
+    let mut adj: Vec<Vec<Atom>> = vec![Vec::new(); n];
+    for c in &pairs {
+        adj[c[0] as usize].push(c[1]);
+        adj[c[1] as usize].push(c[0]);
+    }
+    if big.is_empty() && m == n {
+        // M_I(k): one chordless cycle through every atom
+        let cycle = walk_cycle(&adj, n)?;
+        let map = label_by_order(&cycle, n)?;
+        return confirmed(ens, TuckerFamily::MI(n - 2), &map);
+    }
+    if big.is_empty() && n == 4 && m == 3 {
+        // M_III(1): a claw — centre adjacent to all three leaves
+        let centre = (0..n).find(|&a| adj[a].len() == 3)? as Atom;
+        let mut order = vec![centre];
+        order.extend((0..n as Atom).filter(|&a| a != centre));
+        // canonical labels: centre = 1, leaves = 0, 2, 3 (symmetric)
+        let mut map = vec![u32::MAX; n];
+        for (canon, &atom) in [1u32, 0, 2, 3].iter().zip(&order) {
+            map[atom as usize] = *canon;
+        }
+        return confirmed(ens, TuckerFamily::MIII(1), &map);
+    }
+    if n >= 4 && m == n && pairs.len() == n - 2 && big.len() == 2 {
+        // M_II(k): a pair path v0..v_{k+1}, a far atom, two (n-1)-columns
+        if big.iter().any(|c| c.len() != n - 1) {
+            return None;
+        }
+        return classify_path_family(ens, &adj, n, TuckerFamily::MII(n - 3));
+    }
+    if n >= 5 && m == n - 1 && pairs.len() == n - 2 && big.len() == 1 && big[0].len() == n - 2 {
+        // M_III(k ≥ 2): a pair path, a far atom, one interior ∪ far column
+        return classify_path_family(ens, &adj, n, TuckerFamily::MIII(n - 3));
+    }
+    if n == 6 && m == 4 && pairs.len() == 3 && big.len() == 1 && big[0].len() == 3 {
+        // M_IV: three disjoint pairs + a transversal with one atom of each
+        let t = big[0];
+        let mut map = vec![u32::MAX; n];
+        for (i, p) in pairs.iter().enumerate() {
+            let hit: Vec<Atom> = p.iter().copied().filter(|a| t.binary_search(a).is_ok()).collect();
+            let [x] = hit.as_slice() else { return None };
+            let partner = if p[0] == *x { p[1] } else { p[0] };
+            map[*x as usize] = 2 * i as u32 + 1;
+            map[partner as usize] = 2 * i as u32;
+        }
+        return confirmed(ens, TuckerFamily::MIV, &map);
+    }
+    if n == 5 && m == 4 && pairs.len() == 2 && big.len() == 2 {
+        // M_V: {0,1}, {0,1,2,3}, {2,3}, {1,2,4}
+        let (quad, triple) = match (big[0].len(), big[1].len()) {
+            (4, 3) => (big[0], big[1]),
+            (3, 4) => (big[1], big[0]),
+            _ => return None,
+        };
+        let far = (0..n as Atom).find(|a| quad.binary_search(a).is_err())?;
+        if triple.binary_search(&far).is_err() {
+            return None;
+        }
+        // each pair contributes its triple-atom to positions 1 / 2
+        for (p, q) in [(pairs[0], pairs[1]), (pairs[1], pairs[0])] {
+            let px = p.iter().copied().find(|a| triple.binary_search(a).is_ok());
+            let qx = q.iter().copied().find(|a| triple.binary_search(a).is_ok());
+            let (Some(px), Some(qx)) = (px, qx) else { continue };
+            let mut map = vec![u32::MAX; n];
+            map[px as usize] = 1;
+            map[if p[0] == px { p[1] } else { p[0] } as usize] = 0;
+            map[qx as usize] = 2;
+            map[if q[0] == qx { q[1] } else { q[0] } as usize] = 3;
+            map[far as usize] = 4;
+            if let Some(fam) = confirmed(ens, TuckerFamily::MV, &map) {
+                return Some(fam);
+            }
+        }
+        return None;
+    }
+    None
+}
+
+/// Shared `M_II`/`M_III(k ≥ 2)` matcher: walk the pair path in both
+/// directions, label `v0..v_{k+1}` then the far atom last.
+fn classify_path_family(
+    ens: &Ensemble,
+    adj: &[Vec<Atom>],
+    n: usize,
+    fam: TuckerFamily,
+) -> Option<TuckerFamily> {
+    let path = walk_path(adj, n - 1)?;
+    let far = (0..n as Atom).find(|&a| adj[a as usize].is_empty())?;
+    for dir in [false, true] {
+        let mut order: Vec<Atom> = path.clone();
+        if dir {
+            order.reverse();
+        }
+        order.push(far);
+        if let Some(map) = label_by_order(&order, n) {
+            if let Some(found) = confirmed(ens, fam, &map) {
+                return Some(found);
+            }
+        }
+    }
+    None
+}
+
+/// `map[atom] = position in `order``; `None` unless `order` is a
+/// permutation of `0..n`.
+fn label_by_order(order: &[Atom], n: usize) -> Option<Vec<u32>> {
+    if order.len() != n {
+        return None;
+    }
+    let mut map = vec![u32::MAX; n];
+    for (i, &a) in order.iter().enumerate() {
+        if (a as usize) >= n || map[a as usize] != u32::MAX {
+            return None;
+        }
+        map[a as usize] = i as u32;
+    }
+    Some(map)
+}
+
+/// Exact isomorphism confirmation: relabels `ens` by `map` and compares
+/// its column multiset against the family's canonical generator.
+fn confirmed(ens: &Ensemble, fam: TuckerFamily, map: &[u32]) -> Option<TuckerFamily> {
+    if map.contains(&u32::MAX) {
+        return None;
+    }
+    let mut got = ens.permute_atoms(map).columns().to_vec();
+    got.sort();
+    let mut want = fam.generate().columns().to_vec();
+    want.sort();
+    (got == want).then_some(fam)
+}
+
+/// Walks the 2-regular pair graph as a single cycle through all `n` atoms.
+fn walk_cycle(adj: &[Vec<Atom>], n: usize) -> Option<Vec<Atom>> {
+    let mut order = Vec::with_capacity(n);
+    let mut prev = u32::MAX;
+    let mut cur = 0u32;
+    for _ in 0..n {
+        order.push(cur);
+        let nb = &adj[cur as usize];
+        if nb.len() != 2 || nb[0] == nb[1] {
+            return None;
+        }
+        let next = if nb[0] != prev { nb[0] } else { nb[1] };
+        prev = cur;
+        cur = next;
+    }
+    (cur == 0).then_some(order)
+}
+
+/// Walks the pair graph as a single simple path over `len` atoms (two
+/// degree-1 endpoints, interior degree 2, everything else degree 0).
+fn walk_path(adj: &[Vec<Atom>], len: usize) -> Option<Vec<Atom>> {
+    let ends: Vec<Atom> = (0..adj.len() as Atom).filter(|&a| adj[a as usize].len() == 1).collect();
+    let [start, _] = ends.as_slice() else { return None };
+    let mut order = Vec::with_capacity(len);
+    let mut prev = u32::MAX;
+    let mut cur = *start;
+    for _ in 0..len {
+        order.push(cur);
+        let nb = &adj[cur as usize];
+        match nb.len() {
+            1 if nb[0] == prev => break,
+            1 | 2 => {
+                let next = if nb[0] != prev { nb[0] } else { *nb.get(1)? };
+                prev = cur;
+                cur = next;
+            }
+            _ => return None,
+        }
+    }
+    (order.len() == len).then_some(order)
+}
 
 /// `M_I(k)`: the chordless-cycle obstruction on `k + 2` atoms: the paths
 /// `{i, i+1}` plus the closing pair `{0, k+1}`. The smallest non-C1P matrix
@@ -157,6 +406,63 @@ mod tests {
         assert_eq!((m_iii(1).n_atoms(), m_iii(1).n_columns()), (4, 3));
         assert_eq!((m_iv().n_atoms(), m_iv().n_columns()), (6, 4));
         assert_eq!((m_v().n_atoms(), m_v().n_columns()), (5, 4));
+    }
+
+    #[test]
+    fn classify_inverts_every_generator() {
+        let mut fams: Vec<TuckerFamily> = vec![TuckerFamily::MIV, TuckerFamily::MV];
+        for k in 1..=8 {
+            fams.push(TuckerFamily::MI(k));
+            fams.push(TuckerFamily::MII(k));
+            fams.push(TuckerFamily::MIII(k));
+        }
+        for fam in fams {
+            assert_eq!(classify(&fam.generate()), Some(fam), "{fam}");
+        }
+    }
+
+    #[test]
+    fn classify_is_relabeling_invariant() {
+        // deterministic scrambles: rotations and a reversal per family
+        for (name, ens) in small_obstructions() {
+            let n = ens.n_atoms();
+            let fam = classify(&ens).unwrap_or_else(|| panic!("{name} must classify"));
+            for rot in 0..n {
+                let perm: Vec<Atom> = (0..n).map(|a| ((a + rot) % n) as Atom).collect();
+                assert_eq!(classify(&ens.permute_atoms(&perm)), Some(fam), "{name} rot {rot}");
+            }
+            let rev: Vec<Atom> = (0..n).map(|a| (n - 1 - a) as Atom).collect();
+            assert_eq!(classify(&ens.permute_atoms(&rev)), Some(fam), "{name} reversed");
+        }
+    }
+
+    #[test]
+    fn classify_rejects_non_obstructions() {
+        // C1P instances of matching shapes must not classify
+        let path = Ensemble::from_sorted_columns(
+            4,
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 1, 2]],
+        )
+        .unwrap();
+        assert_eq!(classify(&path), None, "C1P shape look-alike of M_II(1)");
+        // M_I(2) minus its closing column is a path: C1P, no family
+        let open =
+            Ensemble::from_sorted_columns(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]]).unwrap();
+        assert_eq!(classify(&open), None);
+        // M_IV with the transversal hitting one pair twice
+        let bad_t = Ensemble::from_sorted_columns(
+            6,
+            vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![0, 1, 5]],
+        )
+        .unwrap();
+        assert_eq!(classify(&bad_t), None);
+        // two disjoint triangles: 2-regular pair graph but not one cycle
+        let two_tri = Ensemble::from_sorted_columns(
+            6,
+            vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![3, 4], vec![4, 5], vec![3, 5]],
+        )
+        .unwrap();
+        assert_eq!(classify(&two_tri), None);
     }
 
     #[test]

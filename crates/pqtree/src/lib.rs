@@ -1,7 +1,7 @@
 //! # c1p-pqtree: Booth–Lueker PQ-trees
 //!
 //! The classic data structure for consecutive-ones testing (Booth & Lueker
-//! [6]) — the baseline the paper positions itself against ("avoiding the
+//! \[6\]) — the baseline the paper positions itself against ("avoiding the
 //! complex implementations associated with PQ-trees") and the sanctioned
 //! solver for small subproblems in its Section 5 ("for subproblems where
 //! p_i ≤ log n we can apply ours or any near linear time sequential
@@ -14,7 +14,7 @@
 //! L1, P1–P6, Q1–Q3; reduction fails exactly when no permutation survives —
 //! i.e. the column set is not C1P.
 //!
-//! Implementation notes (documented deviations from the letter of [6]):
+//! Implementation notes (documented deviations from the letter of \[6\]):
 //! every child keeps a parent pointer (Booth–Lueker only maintain them for
 //! endmost Q-children to reach strict linearity; full pointers are simpler
 //! and amortize well at our scales), and the pertinent subtree is located

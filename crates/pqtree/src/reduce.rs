@@ -1,5 +1,5 @@
 //! `REDUCE(S)` — the Booth–Lueker template engine (templates L1, P1–P6,
-//! Q1–Q3 of [6]).
+//! Q1–Q3 of \[6\]).
 //!
 //! Per reduction: (1) walk each pertinent leaf to the root accumulating
 //! subtree counts, which locates the *pertinent root* (the deepest node

@@ -1,7 +1,7 @@
 //! Connected components by parallel hooking + pointer jumping — the
 //! Shiloach–Vishkin style CRCW primitive. The paper's Step 2 (Case 2)
 //! identifies "maximally connected collections of columns" with tree
-//! contraction [16]; hooking computes the same components within the same
+//! contraction \[16\]; hooking computes the same components within the same
 //! `O(log n)`-depth budget (DESIGN.md §4) and is what our parallel driver
 //! uses on the column–atom bipartite graph.
 

@@ -1,4 +1,4 @@
-//! Euler tours of rooted trees (Tarjan–Vishkin [17]) — the technique the
+//! Euler tours of rooted trees (Tarjan–Vishkin \[17\]) — the technique the
 //! paper's Step 5 uses to extract minimal decompositions within the PRAM
 //! bounds.
 //!

@@ -16,9 +16,9 @@
 //!
 //! Primitives provided (with their classical sources as cited by the
 //! paper): prefix scan, compaction, parallel sorting, pointer-jumping list
-//! ranking, Euler tours of trees (Tarjan–Vishkin [17]), and connected
+//! ranking, Euler tours of trees (Tarjan–Vishkin \[17\]), and connected
 //! components by hooking (used where the paper invokes tree contraction
-//! [16] to find connected column sets — see DESIGN.md §4).
+//! \[16\] to find connected column sets — see DESIGN.md §4).
 
 pub mod components;
 pub mod cost;

@@ -1,5 +1,5 @@
 //! List ranking by pointer jumping (Wyllie) — the primitive underlying the
-//! Euler-tour techniques the paper invokes for Step 5 (Tarjan–Vishkin [17]).
+//! Euler-tour techniques the paper invokes for Step 5 (Tarjan–Vishkin \[17\]).
 //!
 //! Given a successor array describing disjoint linked lists, computes each
 //! node's distance to the end of its list. Genuinely parallel: every round

@@ -2,8 +2,8 @@
 //!
 //! The paper's primary data structure (Section 2.2): the decomposition of a
 //! 2-connected graph into bonds, polygons and 3-connected (rigid) members.
-//! The general linear-time algorithm is Hopcroft–Tarjan [12] (parallel:
-//! Fussell–Ramachandran–Thurimella [10]); **this crate exploits that every
+//! The general linear-time algorithm is Hopcroft–Tarjan \[12\] (parallel:
+//! Fussell–Ramachandran–Thurimella \[10\]); **this crate exploits that every
 //! graph the C1P algorithm decomposes is a gp-realization** — a known
 //! Hamiltonian cycle `P ∪ {e}` plus chords (Propositions 3–4) — for which
 //! the decomposition reduces to *chord interlacement classes* on a cycle:

@@ -1,7 +1,7 @@
 //! Differential validation of the specialised Tutte decomposition against
 //! the general-graph reference implementation (`c1p_graph::tutte_ref`).
 //!
-//! Cunningham–Edmonds (Theorem 1 of [8], cited by the paper): the Tutte
+//! Cunningham–Edmonds (Theorem 1 of \[8\], cited by the paper): the Tutte
 //! decomposition of a 2-connected graph is unique. Hence the fast
 //! cycle-plus-chords builder and the naive recursive splitter must produce
 //! identical member sets (same kinds, same real-edge contents, same

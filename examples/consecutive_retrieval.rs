@@ -56,8 +56,8 @@ fn main() {
     // make it genuinely incompatible by also requiring the complement pair
     let e2 = c1p::matrix::Ensemble::from_columns(ens.n_atoms(), cols).unwrap();
     match c1p::solve(&e2) {
-        Some(_) => println!("after adding query {incompatible:?}: still consecutive"),
-        None => println!(
+        Ok(_) => println!("after adding query {incompatible:?}: still consecutive"),
+        Err(_) => println!(
             "after adding query {incompatible:?}: no perfect layout exists — \
              fall back to approximate placement"
         ),

@@ -63,7 +63,7 @@ fn main() {
         ("1 chimeric clone", noise::chimerize(&ens, 1, &mut rng)),
     ] {
         let t0 = Instant::now();
-        let verdict = c1p::solve(&noisy).is_some();
+        let verdict = c1p::solve(&noisy).is_ok();
         println!(
             "with {name}: consistent map {} (decided in {:?})",
             if verdict { "still exists" } else { "NO LONGER exists -> error detected" },

@@ -1,4 +1,5 @@
-//! Quickstart: solve the paper's running example (Fig. 2) end to end.
+//! Quickstart: solve the paper's running example (Fig. 2) end to end,
+//! then certify a rejection.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -6,7 +7,9 @@
 //!
 //! The 8×7 matrix of Fig. 2 (atoms = rows, columns a–g) is consecutive-ones
 //! realizable; the solver returns a row order under which every column's
-//! ones are contiguous, and we print the permuted matrix to show it.
+//! ones are contiguous, and we print the permuted matrix to show it. A
+//! non-C1P input gets the other half of the story: a Tucker witness naming
+//! the obstruction submatrix, checked independently of the solver.
 
 use c1p::matrix::io::fig2_matrix;
 use c1p::matrix::verify_linear;
@@ -17,7 +20,7 @@ fn main() {
     print!("{}", ens.to_matrix());
 
     match c1p::solve(&ens) {
-        Some(order) => {
+        Ok(order) => {
             verify_linear(&ens, &order).expect("solver output is always verified");
             println!("\nC1P: yes — witness atom order {order:?}");
             println!("\nRows permuted into the witness order:");
@@ -32,10 +35,26 @@ fn main() {
             }
             println!("\nEvery column now shows one contiguous block of ones.");
         }
-        None => println!("\nC1P: no"),
+        Err(rej) => println!("\nC1P: no (evidence atoms {:?})", rej.atoms),
     }
 
-    // A non-example: Tucker's M_I(1) (the 3-cycle) cannot be realized.
-    let bad = c1p::matrix::tucker::m_i(1);
-    println!("\nTucker M_I(1) is C1P? {}", c1p::solve(&bad).is_some());
+    // A non-example: Tucker's M_IV embedded in a larger satisfiable
+    // context. The certified driver names the obstruction, and
+    // `verify_witness` re-checks it without consulting the solver.
+    let bad = c1p::matrix::tucker::embed_obstruction(
+        &c1p::matrix::tucker::m_iv(),
+        12,
+        3,
+        &[(0, 5), (6, 6)],
+    );
+    match c1p::solve_certified(&bad) {
+        Ok(_) => unreachable!("embedded obstructions are never realizable"),
+        Err(cert) => {
+            println!("\nEmbedded-M_IV instance is C1P? no");
+            println!("witness: {}", cert.witness);
+            c1p::cert::verify_witness(&bad, &cert.witness)
+                .expect("certificates always verify independently");
+            println!("verify_witness: certificate checks out (solver not consulted)");
+        }
+    }
 }

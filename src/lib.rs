@@ -15,6 +15,7 @@
 //! | [`pram`] | work/depth-instrumented PRAM primitives on rayon |
 //! | [`pqtree`] | the Booth–Lueker baseline |
 //! | [`core_alg`] | the paper's `Path-Realization` algorithm, sequential and parallel |
+//! | [`cert`] | Tucker-witness rejection certificates |
 //!
 //! # Quickstart
 //!
@@ -30,17 +31,22 @@
 //! c1p::matrix::verify_linear(&ens, &order).unwrap();
 //! ```
 //!
-//! Not-C1P inputs return `None`:
+//! Non-C1P inputs return an evidence-carrying [`Rejection`]; with
+//! [`solve_certified`] the rejection names a concrete Tucker submatrix
+//! that the solver-independent [`cert::verify_witness`] re-checks:
 //!
 //! ```
 //! let bad = c1p::matrix::tucker::m_iv(); // Tucker's M_IV obstruction
-//! assert_eq!(c1p::solve(&bad), None);
+//! let cert = c1p::solve_certified(&bad).unwrap_err();
+//! assert_eq!(cert.witness.family, c1p::matrix::tucker::TuckerFamily::MIV);
+//! c1p::cert::verify_witness(&bad, &cert.witness).unwrap();
 //! ```
 
+pub use c1p_cert::{solve_certified, solve_par_certified, CertifiedRejection, TuckerWitness};
 pub use c1p_core::circular::solve_circular;
 pub use c1p_core::interval_graphs;
 pub use c1p_core::parallel::{solve_par, solve_par_with};
-pub use c1p_core::{solve, solve_with, Config, SolveStats};
+pub use c1p_core::{solve, solve_with, Config, RejectSite, Rejection, SolveStats};
 
 /// Ensembles, matrices, verifiers and workload generators.
 pub use c1p_matrix as matrix;
@@ -59,3 +65,6 @@ pub use c1p_pqtree as pqtree;
 
 /// The divide-and-conquer solver internals.
 pub use c1p_core as core_alg;
+
+/// Tucker-witness certificates for rejections.
+pub use c1p_cert as cert;

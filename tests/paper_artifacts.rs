@@ -36,7 +36,7 @@ fn fig2_running_example_end_to_end() {
     // column contiguous, which verify_linear asserts.
     // Also: the parallel driver and the PQ-tree agree.
     let (par, stats) = c1p::solve_par(&ens);
-    assert!(par.is_some());
+    assert!(par.is_ok());
     assert!(stats.cost.work > 0);
     assert!(c1p::pqtree::solve(ens.n_atoms(), ens.columns()).is_some());
 }
@@ -129,8 +129,8 @@ fn circular_solver_vs_brute_force() {
 #[test]
 fn tucker_obstructions_rejected_by_all_solvers() {
     for (name, ens) in c1p::matrix::tucker::small_obstructions() {
-        assert_eq!(c1p::solve(&ens), None, "{name} vs D&C");
-        assert_eq!(c1p::solve_par(&ens).0, None, "{name} vs parallel D&C");
+        assert!(c1p::solve(&ens).is_err(), "{name} vs D&C");
+        assert!(c1p::solve_par(&ens).0.is_err(), "{name} vs parallel D&C");
         assert_eq!(c1p::pqtree::solve(ens.n_atoms(), ens.columns()), None, "{name} vs PQ-tree");
     }
 }

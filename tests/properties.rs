@@ -52,12 +52,12 @@ fn solvers_agree() {
         let ens = random_ensemble(&mut rng, 9, 6);
         let dc = c1p::solve(&ens);
         let pq = c1p::pqtree::solve(ens.n_atoms(), ens.columns());
-        assert_eq!(dc.is_some(), pq.is_some(), "seed {seed}: dc vs pq on\n{}", ens.to_matrix());
-        if let Some(o) = &dc {
+        assert_eq!(dc.is_ok(), pq.is_some(), "seed {seed}: dc vs pq on\n{}", ens.to_matrix());
+        if let Ok(o) = &dc {
             assert!(verify_linear(&ens, o).is_ok(), "seed {seed}");
         }
         if ens.n_atoms() <= 7 {
-            assert_eq!(dc.is_some(), brute_force_linear(&ens).is_some(), "seed {seed}");
+            assert_eq!(dc.is_ok(), brute_force_linear(&ens).is_some(), "seed {seed}");
         }
     }
 }
@@ -70,7 +70,7 @@ fn planted_always_accepted() {
         let mut rng = SmallRng::seed_from_u64(0x9A17 ^ seed);
         let ens = random_planted(&mut rng, 120);
         let order = c1p::solve(&ens);
-        assert!(order.is_some(), "seed {seed}: planted instance rejected");
+        assert!(order.is_ok(), "seed {seed}: planted instance rejected");
         assert!(verify_linear(&ens, &order.unwrap()).is_ok(), "seed {seed}");
     }
 }
@@ -81,9 +81,9 @@ fn parallel_matches_sequential() {
     for seed in 0..CASES {
         let mut rng = SmallRng::seed_from_u64(0xBEEF ^ seed);
         let ens = random_ensemble(&mut rng, 10, 6);
-        let seq = c1p::solve(&ens).is_some();
+        let seq = c1p::solve(&ens).is_ok();
         let (par, _) = c1p::solve_par(&ens);
-        assert_eq!(seq, par.is_some(), "seed {seed} on\n{}", ens.to_matrix());
+        assert_eq!(seq, par.is_ok(), "seed {seed} on\n{}", ens.to_matrix());
     }
 }
 
@@ -97,8 +97,8 @@ fn verdict_is_permutation_invariant() {
         let perm = c1p::matrix::generate::random_permutation(ens.n_atoms(), &mut rng);
         let relabeled = ens.permute_atoms(&perm);
         assert_eq!(
-            c1p::solve(&ens).is_some(),
-            c1p::solve(&relabeled).is_some(),
+            c1p::solve(&ens).is_ok(),
+            c1p::solve(&relabeled).is_ok(),
             "seed {seed} on\n{}",
             ens.to_matrix()
         );
@@ -111,13 +111,13 @@ fn duplicate_columns_are_harmless() {
     for seed in 0..CASES {
         let mut rng = SmallRng::seed_from_u64(0xD0D0 ^ seed);
         let ens = random_ensemble(&mut rng, 8, 4);
-        let before = c1p::solve(&ens).is_some();
+        let before = c1p::solve(&ens).is_ok();
         if ens.n_columns() > 0 {
             let mut cols = ens.columns().to_vec();
             let dup = cols[rng.random_range(0..cols.len())].clone();
             cols.push(dup);
             let doubled = Ensemble::from_columns(ens.n_atoms(), cols).unwrap();
-            assert_eq!(before, c1p::solve(&doubled).is_some(), "seed {seed}");
+            assert_eq!(before, c1p::solve(&doubled).is_ok(), "seed {seed}");
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Offline stand-in for the `rand` crate.
 //!
 //! The build environment has no access to crates.io, so this crate
-//! reimplements exactly the surface the workspace uses: [`SmallRng`]
+//! reimplements exactly the surface the workspace uses: [`rngs::SmallRng`]
 //! (xoshiro256++ seeded via SplitMix64, like upstream's `small_rng`
 //! feature), [`SeedableRng::seed_from_u64`], and
 //! [`RngExt::random_range`] over integer and float ranges. Streams are
