@@ -117,9 +117,9 @@ fn e3() {
     let mut t = Table::new(&["threads", "time", "speedup"]);
     let mut base = None;
     for threads in [1usize, 2, 4, 8] {
-        let (dt, ok) = median_time(3, || {
-            c1p_pram::with_threads(threads, || c1p_core::parallel::solve_par(&ens).0.is_ok())
-        });
+        let pool = c1p_pram::pool(threads); // built outside the timed region
+        let (dt, ok) =
+            median_time(3, || pool.install(|| c1p_core::parallel::solve_par(&ens).0.is_ok()));
         assert!(ok);
         let secs = dt.as_secs_f64();
         let speedup = base.map_or(1.0, |b: f64| b / secs);
@@ -129,9 +129,12 @@ fn e3() {
         t.row(vec![threads.to_string(), fmt_secs(dt), format!("{speedup:.2}x")]);
     }
     t.print();
+    let host = std::thread::available_parallelism().map_or(1, |v| v.get());
     println!(
-        "\nAmdahl note: each level's interlacement sweep is sequential (DESIGN.md §4), so the\n\
-         ceiling is well below linear; the recursion-level parallelism still shows."
+        "\nSelf-relative speedup, physically capped by min(threads, {host} hardware threads).\n\
+         Sibling recursion, the two-pass divide, the Case-2 fan-out and the merge span scan\n\
+         all run on the work-stealing pool (DESIGN.md §6); the remaining sequential parts\n\
+         (Tutte decompose + alignment funnel per combine) set the Amdahl ceiling."
     );
 }
 
@@ -426,6 +429,71 @@ fn e10() {
         );
         entries.push(e);
     }
+    // Thread sweep (ISSUE 3): self-relative speedup of the parallel
+    // driver and a PRAM primitive on the work-stealing pool. Recorded
+    // with the host's hardware thread count — self-relative speedup is
+    // physically capped by min(threads, host_threads), so the numbers
+    // are only comparable across hosts through that cap.
+    let host_threads = std::thread::available_parallelism().map_or(1, |v| v.get());
+    let n = 1 << 14;
+    let ens = planted(n, 1);
+    let sweep = [1usize, 2, 4, 8];
+    let mut dc_par_ns: Vec<(usize, u128)> = Vec::new();
+    for &t in &sweep {
+        let pool = c1p_pram::pool(t); // pool construction outside the timed region
+        let (dt, ok) =
+            median_time(3, || pool.install(|| c1p_core::parallel::solve_par(&ens).0.is_ok()));
+        assert!(ok);
+        dc_par_ns.push((t, dt.as_nanos()));
+    }
+    let xs: Vec<u64> = (0..(1u64 << 20)).map(|i| i % 17).collect();
+    let mut scan_ns: Vec<(usize, u128)> = Vec::new();
+    for &t in &sweep {
+        let pool = c1p_pram::pool(t);
+        let (dt, _) = median_time(5, || pool.install(|| c1p_pram::scan::prefix_sum(&xs).1));
+        scan_ns.push((t, dt.as_nanos()));
+    }
+    let speedup_at = |v: &[(usize, u128)], t: usize| {
+        v[0].1 as f64 / v.iter().find(|&&(tt, _)| tt == t).unwrap().1.max(1) as f64
+    };
+    // The par-smoke CI gate fails when measured 4-thread self-relative
+    // speedup drops below this floor: 85% of what this run measured
+    // (clamped to ≥ 0.5 so timer noise on a saturated 1-core host can't
+    // wedge CI). Re-running E10 on a better host raises the bar.
+    let floor_4t = (speedup_at(&dc_par_ns, 4) * 0.85).max(0.5);
+    let fmt_sweep = |v: &[(usize, u128)]| {
+        v.iter().map(|(t, ns)| format!("\"t{t}\": {ns}")).collect::<Vec<_>>().join(", ")
+    };
+    let fmt_speedups = |v: &[(usize, u128)]| {
+        v[1..]
+            .iter()
+            .map(|&(t, _)| format!("\"t{t}\": {:.3}", speedup_at(v, t)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    println!("\nthread sweep (host has {host_threads} hardware thread(s)):");
+    for &(t, ns) in &dc_par_ns {
+        println!(
+            "  dc_parallel n={n} threads={t}: {} ({:.2}x)",
+            fmt_secs(std::time::Duration::from_nanos(ns as u64)),
+            speedup_at(&dc_par_ns, t),
+        );
+    }
+    let thread_sweep = format!(
+        "{{\"host_threads\": {host_threads}, \
+         \"note\": \"self-relative: t1 time / tN time, same binary and host; \
+         physically capped by min(N, host_threads) — on a 1-core container the \
+         honest ceiling is 1.0\", \
+         \"dc_parallel_ns_at_16384\": {{{}}}, \
+         \"dc_parallel_speedup\": {{{}}}, \
+         \"prefix_sum_ns_at_2e20\": {{{}}}, \
+         \"prefix_sum_speedup\": {{{}}}, \
+         \"speedup_floor_4t\": {floor_4t:.3}}}",
+        fmt_sweep(&dc_par_ns),
+        fmt_speedups(&dc_par_ns),
+        fmt_sweep(&scan_ns),
+        fmt_speedups(&scan_ns),
+    );
     // The whole-solver baseline measured on the seed's nested-vec
     // representation (same workload, same machine class) before the
     // flat-CSR rewrite landed; kept verbatim so the speedup claim stays
@@ -440,8 +508,11 @@ fn e10() {
          \"note\": \"medians of {reps} reps (certify pipeline: 3 reps, then the \
          median across the five families); split_* measure one top-level divide; \
          reject_certified = solve + Tucker-witness extraction, verify_witness = \
-         the independent checker alone; see DESIGN.md §6-§7\",\n\
+         the independent checker alone; thread_sweep records self-relative \
+         dc_parallel/prefix_sum speedups and the par-smoke gate floor; \
+         see DESIGN.md §6-§7\",\n\
          \"seed_nested_vec_baseline\": {seed_baseline},\n\
+         \"thread_sweep\": {thread_sweep},\n\
          \"results\": [\n{}\n]\n}}\n",
         entries.join(",\n")
     );

@@ -1,0 +1,131 @@
+//! CI smoke test for the parallel driver (the `par-smoke` job).
+//!
+//! ```text
+//! cargo run --release -p c1p-bench --bin par_smoke -- --threads 2,4
+//! ```
+//!
+//! Two halves, both fast enough for every-commit CI:
+//!
+//! 1. **Determinism sweep** — seeded planted + obstruction instances
+//!    solved at each requested thread count; verdict *and* witness
+//!    order must match the sequential solver exactly (any divergence
+//!    means a data race or a scheduling-dependent code path).
+//! 2. **Speedup gate** — a short E3-style run measuring the 4-thread
+//!    self-relative speedup of `dc_parallel` at n=2^14, compared to the
+//!    `thread_sweep.speedup_floor_4t` recorded in `BENCH_solve.json`.
+//!    The floor is self-relative to the host that recorded it (a 1-core
+//!    recording box floors near 1.0); the gate catches the pool
+//!    regressing to serialization, not absolute perf drift.
+//!
+//! Exits nonzero on any mismatch or regression.
+
+use c1p_bench::workloads::planted;
+use c1p_bench::{fmt_secs, median_time};
+use c1p_matrix::tucker;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.split(',').map(|t| t.trim().parse().expect("--threads takes n,n,…")).collect())
+        .unwrap_or_else(|| vec![2, 4]);
+    let mut failures = 0usize;
+
+    // 1. determinism sweep
+    println!("## determinism sweep (threads {threads:?})");
+    let mut checked = 0usize;
+    for seed in 0..6u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5A40_C0DE_u64.wrapping_add(seed));
+        let n = 400 + 300 * seed as usize;
+        let (ens, _) = c1p_matrix::generate::planted_c1p(
+            c1p_matrix::generate::PlantedShape {
+                n_atoms: n,
+                n_columns: 2 * n,
+                min_len: 2,
+                max_len: n / 4 + 2,
+            },
+            &mut rng,
+        );
+        let expect = c1p_core::solve(&ens).expect("planted instance accepted");
+        for &t in &threads {
+            let (got, _) = c1p_pram::with_threads(t, || c1p_core::parallel::solve_par(&ens));
+            checked += 1;
+            if got.as_ref().ok() != Some(&expect) {
+                eprintln!("FAIL: accept seed {seed} n={n} t={t}: order diverged");
+                failures += 1;
+            }
+        }
+        let bad = tucker::embed_obstruction(
+            &tucker::m_iii(2),
+            n,
+            seed as usize,
+            &[(0, n / 3), (n / 2, n / 3)],
+        );
+        let expect_rej = c1p_core::solve(&bad).expect_err("obstruction rejected");
+        for &t in &threads {
+            let (got, _) = c1p_pram::with_threads(t, || c1p_core::parallel::solve_par(&bad));
+            checked += 1;
+            match got {
+                Err(rej) if rej.atoms == expect_rej.atoms => {}
+                Err(_) => {
+                    eprintln!("FAIL: reject seed {seed} t={t}: evidence diverged");
+                    failures += 1;
+                }
+                Ok(_) => {
+                    eprintln!("FAIL: reject seed {seed} t={t}: accepted an obstruction");
+                    failures += 1;
+                }
+            }
+        }
+    }
+    println!("checked {checked} (instance × thread-count) combinations");
+
+    // 2. speedup gate
+    println!("\n## speedup gate (dc_parallel, n=2^14, 1 vs 4 threads)");
+    let ens = planted(1 << 14, 1);
+    let (t1, ok1) = median_time(3, || {
+        c1p_pram::with_threads(1, || c1p_core::parallel::solve_par(&ens).0.is_ok())
+    });
+    let (t4, ok4) = median_time(3, || {
+        c1p_pram::with_threads(4, || c1p_core::parallel::solve_par(&ens).0.is_ok())
+    });
+    assert!(ok1 && ok4);
+    let speedup = t1.as_secs_f64() / t4.as_secs_f64();
+    let floor = read_floor("BENCH_solve.json");
+    println!(
+        "t1 {} | t4 {} | speedup {speedup:.2}x | recorded floor {floor:.2}x",
+        fmt_secs(t1),
+        fmt_secs(t4),
+    );
+    if speedup < floor {
+        eprintln!("FAIL: 4-thread self-relative speedup {speedup:.2}x < floor {floor:.2}x");
+        failures += 1;
+    }
+
+    if failures > 0 {
+        eprintln!("\npar_smoke: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("\npar_smoke: all checks passed");
+}
+
+/// Pulls `thread_sweep.speedup_floor_4t` out of BENCH_solve.json with a
+/// string scan (the bench crate carries no JSON parser by design).
+fn read_floor(path: &str) -> f64 {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("note: {path} not found; using default floor 0.5");
+        return 0.5;
+    };
+    let key = "\"speedup_floor_4t\":";
+    let Some(at) = text.find(key) else {
+        eprintln!("note: no speedup floor recorded in {path}; using default 0.5");
+        return 0.5;
+    };
+    let rest = &text[at + key.len()..];
+    let end = rest.find(['}', ','].as_slice()).unwrap_or(rest.len());
+    rest[..end].trim().parse().expect("malformed speedup_floor_4t")
+}

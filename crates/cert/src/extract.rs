@@ -16,7 +16,7 @@
 //! final witness without it.
 
 use crate::witness::{submatrix, CertError, TuckerWitness};
-use c1p_core::Rejection;
+use c1p_core::{FlatCols, Rejection};
 use c1p_matrix::tucker::classify;
 use c1p_matrix::{Atom, Ensemble};
 
@@ -32,40 +32,73 @@ use c1p_matrix::{Atom, Ensemble};
 /// family (impossible for a sound oracle, by Tucker's theorem).
 pub fn extract_witness(ens: &Ensemble, rej: &Rejection) -> Result<TuckerWitness, CertError> {
     let n = ens.n_atoms();
+    let mut oracle = Oracle::new(ens);
     let all_cols: Vec<u32> = (0..ens.n_columns() as u32).collect();
     let mut atoms: Vec<Atom> = rej.atoms.iter().copied().filter(|&a| (a as usize) < n).collect();
     atoms.sort_unstable();
     atoms.dedup();
-    if atoms.is_empty() || !non_c1p(ens, &atoms, &all_cols) {
+    if atoms.is_empty() {
         atoms = (0..n as Atom).collect();
-        if !non_c1p(ens, &atoms, &all_cols) {
-            return Err(CertError::EvidenceNotRejectable);
+    }
+    // Validation and first narrowing in one incremental Booth–Lueker
+    // pass: reductions are processed column by column, so the moment
+    // one fails, the set processed so far is already non-C1P and every
+    // unprocessed column can be dropped before any probing starts. The
+    // pass walks the columns *interleaved from both ends* (0, m−1, 1,
+    // m−2, …): obstruction columns near either end — e.g. appended
+    // after a consistent base, the common incremental-data shape — are
+    // reached after O(core + distance-to-nearer-end) reductions instead
+    // of a full O(p) scan, and the worst case (a core buried mid-list)
+    // stays one full pass. `None` means the evidence restriction is
+    // realizable (a stale/foreign rejection): fall back to the full
+    // atom set, as before.
+    let mut cols: Vec<u32> = oracle.alive_cols(&atoms, &all_cols);
+    match oracle.failing_subset(&atoms, &cols) {
+        Some(kept) => cols = kept,
+        None => {
+            atoms = (0..n as Atom).collect();
+            cols = oracle.alive_cols(&atoms, &all_cols);
+            let Some(kept) = oracle.failing_subset(&atoms, &cols) else {
+                return Err(CertError::EvidenceNotRejectable);
+            };
+            cols = kept;
         }
     }
+    // atoms uncovered by the surviving columns are all-zero rows of the
+    // evidence submatrix: they cannot appear in any minimal core
+    let mut covered = vec![false; n];
+    for &ci in &cols {
+        for &a in ens.column(ci as usize) {
+            covered[a as usize] = true;
+        }
+    }
+    atoms.retain(|&a| covered[a as usize]);
     // Cheap pre-narrowing: when the evidence is wide (a top-level merge
     // failure implicates a whole component), repeatedly try to keep one
     // half of the atom range — O(log n) oracle calls of shrinking size vs
     // QuickXplain's full-width probes. Best-effort: the moment neither
-    // half alone is non-C1P, the minimal-core search takes over.
+    // half alone is non-C1P, the minimal-core search takes over. The
+    // live column set shrinks with the window (a column with < 2 atoms
+    // in the window constrains nothing in any subwindow), so the probe
+    // cost decays geometrically instead of paying O(p) per level.
+    cols = oracle.alive_cols(&atoms, &cols);
     while atoms.len() > 8 {
         let mid = atoms.len() / 2;
-        if non_c1p(ens, &atoms[..mid], &all_cols) {
+        if oracle.non_c1p(&atoms[..mid], &cols) {
             atoms.truncate(mid);
-        } else if non_c1p(ens, &atoms[mid..], &all_cols) {
+        } else if oracle.non_c1p(&atoms[mid..], &cols) {
             atoms.drain(..mid);
         } else {
             break;
         }
+        cols = oracle.alive_cols(&atoms, &cols);
     }
-    // pre-drop columns that restrict below two atoms: they constrain
-    // nothing inside the evidence and only pad the shrink
-    let mut cols: Vec<u32> = ens.restrict(&atoms, 2).1;
     // alternate column- and atom-minimization to a fixpoint (each pass can
     // unlock the other; two or three rounds in practice)
     loop {
         let cols_before = cols.len();
         let atoms_before = atoms.len();
-        cols = min_core(cols, &|cs| non_c1p(ens, &atoms, cs));
+        cols = min_core(cols, &mut |cs| oracle.non_c1p(&atoms, cs));
         // only atoms still covered by the kept columns can matter
         let mut covered = vec![false; n];
         for &ci in &cols {
@@ -74,7 +107,7 @@ pub fn extract_witness(ens: &Ensemble, rej: &Rejection) -> Result<TuckerWitness,
             }
         }
         atoms.retain(|&a| covered[a as usize]);
-        atoms = min_core(atoms, &|ats| non_c1p(ens, ats, &cols));
+        atoms = min_core(atoms, &mut |ats| oracle.non_c1p(ats, &cols));
         atoms.sort_unstable();
         cols.sort_unstable();
         if cols.len() == cols_before && atoms.len() == atoms_before {
@@ -88,8 +121,136 @@ pub fn extract_witness(ens: &Ensemble, rej: &Rejection) -> Result<TuckerWitness,
 
 /// The shrink oracle: is the restriction of `ens` to `atoms × cols`
 /// non-C1P? Decided by the Booth–Lueker PQ-tree.
-fn non_c1p(ens: &Ensemble, atoms: &[Atom], cols: &[u32]) -> bool {
-    c1p_pqtree::solve(atoms.len(), ens.restrict_to(atoms, cols)).is_none()
+///
+/// One `Oracle` serves every probe of an extraction: the renumbering
+/// table, the sorted-subset buffer, and the restricted-column CSR arena
+/// are built once and recycled, so a probe allocates nothing beyond the
+/// PQ-tree itself (the bisection + QuickXplain passes previously paid a
+/// fresh `Vec<Vec<Atom>>` — one heap column *plus a sort* per restricted
+/// column — on every call).
+struct Oracle<'e> {
+    ens: &'e Ensemble,
+    /// Subset renumbering (`u32::MAX` = atom absent from the probe).
+    place: Vec<u32>,
+    /// Sorted copy of the probe's atom subset (probes hand unsorted
+    /// slices; renumbering by ascending atom keeps the arena's columns
+    /// ascending — any bijection preserves the C1P verdict).
+    sorted: Vec<Atom>,
+    /// Restricted columns, rebuilt in place each probe.
+    arena: FlatCols,
+}
+
+impl<'e> Oracle<'e> {
+    fn new(ens: &'e Ensemble) -> Oracle<'e> {
+        Oracle {
+            ens,
+            place: vec![u32::MAX; ens.n_atoms()],
+            sorted: Vec::new(),
+            arena: FlatCols::new(),
+        }
+    }
+
+    /// Publishes the subset renumbering (`place[a]` = rank of `a` in
+    /// the sorted subset) for the duration of one probe. Every user
+    /// must pair this with [`Self::clear_subset`] — the pairing is kept
+    /// in exactly three short methods so a missed restore cannot hide.
+    fn mark_subset(&mut self, atoms: &[Atom]) {
+        self.sorted.clear();
+        self.sorted.extend_from_slice(atoms);
+        self.sorted.sort_unstable();
+        for (i, &a) in self.sorted.iter().enumerate() {
+            self.place[a as usize] = i as u32;
+        }
+    }
+
+    /// Restores the `place` table to all-absent (`O(subset)`).
+    fn clear_subset(&mut self) {
+        for &a in &self.sorted {
+            self.place[a as usize] = u32::MAX;
+        }
+    }
+
+    fn non_c1p(&mut self, atoms: &[Atom], cols: &[u32]) -> bool {
+        self.mark_subset(atoms);
+        self.arena.clear();
+        for &ci in cols {
+            for &a in self.ens.column(ci as usize) {
+                let p = self.place[a as usize];
+                if p != u32::MAX {
+                    self.arena.push(p);
+                }
+            }
+            // restrictions below two atoms constrain nothing
+            if self.arena.building_len() >= 2 {
+                self.arena.finish_col();
+            } else {
+                self.arena.cancel_col();
+            }
+        }
+        let verdict = c1p_pqtree::solve(atoms.len(), &self.arena).is_none();
+        self.clear_subset();
+        verdict
+    }
+
+    /// One incremental Booth–Lueker pass: reduces `cols` against a
+    /// fresh PQ-tree over `atoms`, walking the list interleaved from
+    /// both ends, and returns the processed column ids (ascending) the
+    /// moment a reduction fails — that subset's restriction to `atoms`
+    /// is non-C1P. `None`: every column reduced, the restriction is
+    /// C1P.
+    fn failing_subset(&mut self, atoms: &[Atom], cols: &[u32]) -> Option<Vec<u32>> {
+        self.mark_subset(atoms);
+        let m = cols.len();
+        let mut tree = c1p_pqtree::PqTree::universal(atoms.len());
+        let mut buf: Vec<u32> = Vec::new();
+        let mut kept = None;
+        for k in 0..m {
+            let idx = if k % 2 == 0 { k / 2 } else { m - 1 - k / 2 };
+            buf.clear();
+            for &a in self.ens.column(cols[idx] as usize) {
+                let p = self.place[a as usize];
+                if p != u32::MAX {
+                    buf.push(p);
+                }
+            }
+            if buf.len() >= 2 && tree.reduce(&buf).is_err() {
+                let mut processed: Vec<u32> = (0..=k)
+                    .map(|kk| cols[if kk % 2 == 0 { kk / 2 } else { m - 1 - kk / 2 }])
+                    .collect();
+                processed.sort_unstable();
+                kept = Some(processed);
+                break;
+            }
+        }
+        self.clear_subset();
+        kept
+    }
+
+    /// The columns of `cols` whose restriction to `atoms` keeps at
+    /// least two atoms — everything else constrains nothing in any
+    /// subset of `atoms` and only pads later probes.
+    fn alive_cols(&mut self, atoms: &[Atom], cols: &[u32]) -> Vec<u32> {
+        self.mark_subset(atoms);
+        let (place, ens) = (&self.place, self.ens);
+        let out = cols
+            .iter()
+            .copied()
+            .filter(|&ci| {
+                let mut kept = 0usize;
+                for &a in ens.column(ci as usize) {
+                    if place[a as usize] != u32::MAX {
+                        kept += 1;
+                        if kept == 2 {
+                            return true;
+                        }
+                    }
+                }
+                false
+            })
+            .collect();
+        self.clear_subset();
+        out
+    }
 }
 
 /// QuickXplain: an inclusion-minimal subset `M ⊆ cand` with `test(M)`
@@ -97,12 +258,12 @@ fn non_c1p(ens: &Ensemble, atoms: &[Atom], cols: &[u32]) -> bool {
 /// items never turns a passing set failing — non-C1P survives supersets).
 /// Every element of the result is necessary: removing any single one makes
 /// `test` false.
-fn min_core(cand: Vec<u32>, test: &dyn Fn(&[u32]) -> bool) -> Vec<u32> {
+fn min_core(cand: Vec<u32>, test: &mut dyn FnMut(&[u32]) -> bool) -> Vec<u32> {
     fn qx(
         base: &mut Vec<u32>,
         cand: &[u32],
         has_delta: bool,
-        test: &dyn Fn(&[u32]) -> bool,
+        test: &mut dyn FnMut(&[u32]) -> bool,
     ) -> Vec<u32> {
         if has_delta && test(base) {
             return Vec::new();
@@ -139,8 +300,8 @@ mod tests {
     fn min_core_finds_planted_core() {
         // test: does the set contain {3, 7, 11}?
         let need = [3u32, 7, 11];
-        let test = |xs: &[u32]| need.iter().all(|x| xs.contains(x));
-        let mut got = min_core((0..40).collect(), &test);
+        let mut test = |xs: &[u32]| need.iter().all(|x| xs.contains(x));
+        let mut got = min_core((0..40).collect(), &mut test);
         got.sort_unstable();
         assert_eq!(got, need);
     }

@@ -135,6 +135,27 @@ impl FlatCols {
         self.offsets.truncate(1);
         self.data.clear();
     }
+
+    /// Assembles from prebuilt CSR parts — the parallel divide computes
+    /// `offsets` with a prefix sum and fills `data` concurrently at the
+    /// computed positions, then hands both over wholesale. `offsets`
+    /// must start at 0, be non-decreasing, and end at `data.len()`;
+    /// every column must obey the sortedness invariant (debug-checked).
+    pub fn from_raw(offsets: Vec<u32>, data: Vec<u32>) -> Self {
+        debug_assert!(
+            offsets.first() == Some(&0) && *offsets.last().unwrap() as usize == data.len()
+        );
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        let out = FlatCols { offsets, data };
+        #[cfg(debug_assertions)]
+        for col in out.iter() {
+            debug_assert!(
+                col.windows(2).all(|w| w[0] < w[1]),
+                "columns must stay strictly ascending (monotone renumbering invariant)"
+            );
+        }
+        out
+    }
 }
 
 /// Slice iterator over a [`FlatCols`].
@@ -225,6 +246,33 @@ impl SplitCols {
     #[inline]
     pub fn ty(&self, i: usize) -> CrossType {
         self.ty[i]
+    }
+
+    /// Assembles from prebuilt CSR parts; the parallel divide's
+    /// counterpart of [`Self::finish_parts_col`]. Takes the raw
+    /// offsets/data rather than a [`FlatCols`] because a parts column
+    /// (segment half followed by host half) deliberately violates the
+    /// whole-column ordering invariant [`FlatCols::from_raw`] checks;
+    /// each *half* must be ascending (debug-checked below).
+    pub(crate) fn from_raw(
+        offsets: Vec<u32>,
+        data: Vec<u32>,
+        seg_len: Vec<u32>,
+        ty: Vec<CrossType>,
+    ) -> Self {
+        debug_assert!(
+            offsets.first() == Some(&0) && *offsets.last().unwrap() as usize == data.len()
+        );
+        let parts = FlatCols { offsets, data };
+        debug_assert_eq!(parts.n_cols(), seg_len.len());
+        debug_assert_eq!(parts.n_cols(), ty.len());
+        let out = SplitCols { parts, seg_len, ty };
+        #[cfg(debug_assertions)]
+        for ci in 0..out.len() {
+            debug_assert!(out.seg(ci).windows(2).all(|w| w[0] < w[1]));
+            debug_assert!(out.host(ci).windows(2).all(|w| w[0] < w[1]));
+        }
+        out
     }
 
     /// Seals the in-progress parts column whose first `seg_len` atoms are

@@ -29,7 +29,9 @@ pub enum MergeMode {
 }
 
 /// Merges `seg` into `host` at a feasible split vertex. `seg` and `host`
-/// are sequences of subproblem-local atoms.
+/// are sequences of subproblem-local atoms. Strictly sequential; the
+/// parallel driver reaches the chunk-parallel span scan through the
+/// crate-private `merge_with`.
 ///
 /// Correctness layering: the candidate filter guarantees the type-a
 /// (containment) and type-c (non-interior) conditions; the per-candidate
@@ -43,6 +45,20 @@ pub fn merge(
     columns: &SplitCols,
     mode: MergeMode,
 ) -> Result<Vec<u32>, NotC1p> {
+    merge_with(seg, host, columns, mode, false)
+}
+
+/// [`merge`] with scheduling control: `par` permits the span scan to
+/// fork onto the current pool (set only by the parallel driver — the
+/// sequential solver must never spawn onto the global pool behind the
+/// caller's back).
+pub(crate) fn merge_with(
+    seg: &[u32],
+    host: &[u32],
+    columns: &SplitCols,
+    mode: MergeMode,
+    par: bool,
+) -> Result<Vec<u32>, NotC1p> {
     let n = seg.len() + host.len();
     with_scratch(n, |s| {
         // host positions in s.pos, segment positions in s.place
@@ -52,7 +68,7 @@ pub fn merge(
         for (i, &a) in seg.iter().enumerate() {
             s.place[a as usize] = i as u32;
         }
-        let out = merge_inner(seg, host, columns, mode, &s.pos, &s.place);
+        let out = merge_inner(seg, host, columns, mode, &s.pos, &s.place, par);
         for &a in host {
             s.pos[a as usize] = u32::MAX;
         }
@@ -93,25 +109,10 @@ fn merge_inner(
     mode: MergeMode,
     host_pos: &[u32],
     seg_pos: &[u32],
+    par: bool,
 ) -> Result<Vec<u32>, NotC1p> {
     let hn = host.len();
-    // Host spans per crossing/type-c column.
-    let mut type_b: Vec<(usize, u32, u32)> = Vec::new(); // (column, x, y)
-    let mut type_a_spans: Vec<(u32, u32)> = Vec::new();
-    let mut type_c_spans: Vec<(u32, u32)> = Vec::new();
-    for ci in 0..columns.len() {
-        let host_part = columns.host(ci);
-        let Some((x, y)) = span_of(host_pos, host_part) else { continue };
-        match columns.ty(ci) {
-            CrossType::B => type_b.push((ci, x, y)),
-            CrossType::A => type_a_spans.push((x, y)),
-            CrossType::C => {
-                if host_part.len() >= 2 {
-                    type_c_spans.push((x, y));
-                }
-            }
-        }
-    }
+    let (type_b, type_a_spans, type_c_spans) = classify_spans(columns, host_pos, par);
     // On the cycle, split vertices 0 and hn coincide (the glue point).
     let alt = |w: u32| -> Option<u32> {
         match mode {
@@ -224,6 +225,63 @@ fn merge_inner(
         eprintln!("  type_b={type_b:?} type_a={type_a_spans:?} type_c={type_c_spans:?}");
     }
     Err(NotC1p::at(RejectSite::Merge))
+}
+
+/// Entry weight above which the span scan forks (the scan is `O(p)`;
+/// below this the fork overhead outweighs the chunked walk).
+const PAR_SPAN_MIN_ENTRIES: usize = 1 << 14;
+
+type SpanClasses = (Vec<(usize, u32, u32)>, Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+/// Computes host spans per crossing/type-c column — the paper's "common
+/// intersection of all the crossing columns" prefix scan. Heavy merges
+/// (top of the recursion) walk the columns chunk-parallel when `par`
+/// permits it (parallel driver only): halves classify independently,
+/// then concatenate in column order, so the result is bit-identical to
+/// the sequential scan.
+fn classify_spans(columns: &SplitCols, host_pos: &[u32], par: bool) -> SpanClasses {
+    fn go(
+        columns: &SplitCols,
+        host_pos: &[u32],
+        range: std::ops::Range<usize>,
+        par: bool,
+    ) -> SpanClasses {
+        // the O(range) weight sum only runs once forking is even on the
+        // table (never for the sequential solver's merges)
+        if par
+            && range.len() > 1
+            && rayon::current_num_threads() > 1
+            && range.clone().map(|ci| columns.host(ci).len()).sum::<usize>() >= PAR_SPAN_MIN_ENTRIES
+        {
+            let mid = range.start + range.len() / 2;
+            let (mut left, right) = rayon::join(
+                || go(columns, host_pos, range.start..mid, par),
+                || go(columns, host_pos, mid..range.end, par),
+            );
+            left.0.extend(right.0);
+            left.1.extend(right.1);
+            left.2.extend(right.2);
+            return left;
+        }
+        let mut type_b: Vec<(usize, u32, u32)> = Vec::new(); // (column, x, y)
+        let mut type_a: Vec<(u32, u32)> = Vec::new();
+        let mut type_c: Vec<(u32, u32)> = Vec::new();
+        for ci in range {
+            let host_part = columns.host(ci);
+            let Some((x, y)) = span_of(host_pos, host_part) else { continue };
+            match columns.ty(ci) {
+                CrossType::B => type_b.push((ci, x, y)),
+                CrossType::A => type_a.push((x, y)),
+                CrossType::C => {
+                    if host_part.len() >= 2 {
+                        type_c.push((x, y));
+                    }
+                }
+            }
+        }
+        (type_b, type_a, type_c)
+    }
+    go(columns, host_pos, 0..columns.len(), par)
 }
 
 /// Checks contiguity (linear or cyclic) of every column in the merged

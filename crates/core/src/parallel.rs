@@ -28,26 +28,75 @@
 
 use crate::merge::MergeMode;
 use crate::partition::{grow_segment, proper_column, tucker_transform, Growth};
-use crate::solver::{combine, component_sub, cut_at_r, prepare_split, realize, SubProblem};
+use crate::solver::{
+    combine, component_sub, cut_at_r, prepare_split, prepare_split_par, realize, SubProblem,
+};
 use crate::stats::SolveStats;
 use crate::{Config, NotC1p, Rejection};
 use c1p_matrix::{verify_linear, Atom, Ensemble};
 use c1p_pram::cost::log2ceil;
 use c1p_pram::Cost;
 
+/// Subproblems whose CSR arena holds at least this many entries run the
+/// two-pass parallel divide ([`prepare_split_par`]); lighter ones use
+/// the single sequential scan (the parallel version's extra pass and
+/// task overhead only amortize on heavy levels).
+const PAR_DIVIDE_MIN_ENTRIES: usize = 1 << 14;
+
+/// Resolved scheduling parameters for one driver run (ISSUE 3's
+/// depth- and size-adaptive granularity control).
+#[derive(Debug, Clone, Copy)]
+struct Sched {
+    /// Subproblems at or below this many atoms run sequentially.
+    seq_cutoff: usize,
+    /// Recursion depth at or beyond which no new tasks are forked: by
+    /// depth `d` the tree already exposes `~2^d` independent branches,
+    /// so once that saturates the pool (with a 4× steal-balancing
+    /// margin), further forks are pure overhead.
+    fork_depth: usize,
+}
+
+impl Sched {
+    /// Resolves the knobs against the current pool. With
+    /// [`Config::AUTO_CUTOFF`] the cutoff targets ~8 leaf tasks per
+    /// worker (steal balance without task spam); an explicit cutoff is
+    /// honored verbatim. A single-thread pool short-circuits the whole
+    /// driver to the sequential solver.
+    fn resolve(cfg: &Config, n_root: usize) -> Sched {
+        let threads = rayon::current_num_threads();
+        let seq_cutoff = if cfg.seq_cutoff == Config::AUTO_CUTOFF {
+            if threads <= 1 {
+                usize::MAX
+            } else {
+                (n_root / (threads * 8)).clamp(64, 4096)
+            }
+        } else {
+            cfg.seq_cutoff
+        };
+        let fork_depth = if threads <= 1 { 0 } else { log2ceil(threads) as usize + 2 };
+        Sched { seq_cutoff, fork_depth }
+    }
+
+    /// May this recursion level still fork new tasks?
+    fn may_fork(&self, depth: usize) -> bool {
+        depth < self.fork_depth
+    }
+}
+
 /// Parallel C1P solve. Returns the verified witness order (or an
 /// evidence-carrying [`Rejection`] in global atom ids) plus statistics
 /// whose `cost` field carries the modelled PRAM work/depth.
 ///
-/// Subproblems at or below [`Config::seq_cutoff`] atoms run sequentially
-/// (rayon task overhead dominates below it); the modelled cost still
-/// accounts them.
+/// Subproblems at or below the resolved sequential cutoff (see
+/// [`Config::seq_cutoff`]) run sequentially — task overhead dominates
+/// below it; the modelled cost still accounts them.
 pub fn solve_par(ens: &Ensemble) -> (Result<Vec<Atom>, Rejection>, SolveStats) {
     solve_par_with(ens, &Config::default())
 }
 
 /// [`solve_par`] with configuration.
 pub fn solve_par_with(ens: &Ensemble, cfg: &Config) -> (Result<Vec<Atom>, Rejection>, SolveStats) {
+    let sched = Sched::resolve(cfg, ens.n_atoms());
     let mut stats = SolveStats::default();
     let mut order: Vec<Atom> = Vec::with_capacity(ens.n_atoms());
     let mut cost = Cost::ZERO;
@@ -56,7 +105,7 @@ pub fn solve_par_with(ens: &Ensemble, cfg: &Config) -> (Result<Vec<Atom>, Reject
             &atoms,
             col_ids.iter().map(|&ci| ens.column(ci as usize)).filter(|c| c.len() >= 2),
         );
-        match realize_par(&sub, cfg, 0) {
+        match realize_par(&sub, cfg, &sched, 0) {
             Ok((local, branch_stats, branch_cost)) => {
                 stats.absorb(&branch_stats);
                 cost = cost.par(branch_cost); // components are independent
@@ -76,21 +125,19 @@ pub fn solve_par_with(ens: &Ensemble, cfg: &Config) -> (Result<Vec<Atom>, Reject
 
 type ParResult = Result<(Vec<u32>, SolveStats, Cost), NotC1p>;
 
-fn realize_par(sub: &SubProblem, cfg: &Config, depth: usize) -> ParResult {
+fn realize_par(sub: &SubProblem, cfg: &Config, sched: &Sched, depth: usize) -> ParResult {
     let mut stats = SolveStats::default();
     stats.subproblems += 1;
     stats.max_depth = depth;
     let k = sub.n;
     let p: usize = sub.cols.total_len();
-    let m = sub.cols.n_cols();
     let lg = log2ceil(k.max(2));
-    let lglg = log2ceil(lg as usize).max(1);
     if k <= 2 || (cfg.pq_base_threshold > 0 && k <= cfg.pq_base_threshold) {
         // base case; modelled as the paper's small-subproblem sequential run
         let order = realize(sub, cfg, &mut stats, depth)?;
         return Ok((order, stats, Cost::of((p + k) as u64, (p + k) as u64)));
     }
-    if k <= cfg.seq_cutoff {
+    if k <= sched.seq_cutoff || !sched.may_fork(depth) {
         let order = realize(sub, cfg, &mut stats, depth)?;
         // charge the modelled parallel cost of the subtree conservatively:
         // O(p log k) work across O(log k) levels of O(log k)-depth steps
@@ -101,7 +148,7 @@ fn realize_par(sub: &SubProblem, cfg: &Config, depth: usize) -> ParResult {
     if let Some(ci) = proper_column(sub) {
         stats.case1 += 1;
         let (order, cost) =
-            split_par(sub, sub.cols.col(ci), MergeMode::Linear, cfg, depth, &mut stats)?;
+            split_par(sub, sub.cols.col(ci), MergeMode::Linear, cfg, sched, depth, &mut stats)?;
         Ok((order, stats, divide_cost.seq(cost)))
     } else {
         stats.case2 += 1;
@@ -109,18 +156,13 @@ fn realize_par(sub: &SubProblem, cfg: &Config, depth: usize) -> ParResult {
         // Transform boundary: evidence about the transformed instance is
         // widened to this subproblem's whole atom set (see `realize`).
         let (cyclic, cost) = match grow_segment(&t) {
-            Growth::Segment(a1) => split_par(&t, &a1, MergeMode::Cyclic, cfg, depth, &mut stats)
-                .map_err(|e| e.widened(k))?,
+            Growth::Segment(a1) => {
+                split_par(&t, &a1, MergeMode::Cyclic, cfg, sched, depth, &mut stats)
+                    .map_err(|e| e.widened(k))?
+            }
             Growth::Components(comps) => {
-                // independent components: parallel over them
-                let results: Vec<ParResult> = comps
-                    .iter()
-                    .map(|(atoms, col_ids)| {
-                        let csub =
-                            component_sub(atoms, col_ids.iter().map(|&ci| t.cols.col(ci as usize)));
-                        realize_par(&csub, cfg, depth + 1)
-                    })
-                    .collect();
+                // independent components: fan out across the pool
+                let results = realize_comps_par(&comps, &t, cfg, sched, depth);
                 let mut order = Vec::with_capacity(t.n);
                 let mut cost = Cost::ZERO;
                 for ((atoms, _), res) in comps.iter().zip(results) {
@@ -133,23 +175,59 @@ fn realize_par(sub: &SubProblem, cfg: &Config, depth: usize) -> ParResult {
             }
         };
         let order = cut_at_r(&cyclic, k);
-        let _ = (m, lglg);
         Ok((order, stats, divide_cost.seq(cost).seq(Cost::of(k as u64, 1))))
     }
 }
 
+/// Case-2 fan-out: realizes every independent component of the
+/// transformed instance, forking the component list in halves (larger
+/// components migrate to idle workers via stealing). Results stay in
+/// component order.
+fn realize_comps_par(
+    comps: &[(Vec<u32>, Vec<u32>)],
+    t: &SubProblem,
+    cfg: &Config,
+    sched: &Sched,
+    depth: usize,
+) -> Vec<ParResult> {
+    if comps.len() <= 1 || !sched.may_fork(depth) {
+        return comps
+            .iter()
+            .map(|(atoms, col_ids)| {
+                let csub = component_sub(atoms, col_ids.iter().map(|&ci| t.cols.col(ci as usize)));
+                realize_par(&csub, cfg, sched, depth + 1)
+            })
+            .collect();
+    }
+    let mid = comps.len() / 2;
+    let (mut left, right) = rayon::join(
+        || realize_comps_par(&comps[..mid], t, cfg, sched, depth + 1),
+        || realize_comps_par(&comps[mid..], t, cfg, sched, depth + 1),
+    );
+    left.extend(right);
+    left
+}
+
+#[allow(clippy::too_many_arguments)]
 fn split_par(
     sub: &SubProblem,
     a1: &[u32],
     mode: MergeMode,
     cfg: &Config,
+    sched: &Sched,
     depth: usize,
     stats: &mut SolveStats,
 ) -> Result<(Vec<u32>, Cost), NotC1p> {
-    let data = prepare_split(sub, a1);
+    // the divide itself runs parallel on heavy levels (top of the tree)
+    let data = if sub.cols.total_len() >= PAR_DIVIDE_MIN_ENTRIES && rayon::current_num_threads() > 1
+    {
+        prepare_split_par(sub, a1)
+    } else {
+        prepare_split(sub, a1)
+    };
     let (r1, r2) = rayon::join(
-        || realize_par(&data.sub1, cfg, depth + 1),
-        || realize_par(&data.sub2, cfg, depth + 1),
+        || realize_par(&data.sub1, cfg, sched, depth + 1),
+        || realize_par(&data.sub2, cfg, sched, depth + 1),
     );
     // child-local evidence → this subproblem's coordinates (see
     // `split_and_merge` in solver.rs for why the mapping stays valid)
@@ -157,7 +235,7 @@ fn split_par(
     let (order2, s2, c2) = r2.map_err(|e| e.fill(data.sub2.n).mapped(&data.a2))?;
     stats.absorb(&s1);
     stats.absorb(&s2);
-    let order = combine(&data, &order1, &order2, mode, stats).map_err(|e| e.fill(sub.n))?;
+    let order = combine(&data, &order1, &order2, mode, stats, true).map_err(|e| e.fill(sub.n))?;
     let k = sub.n;
     let m = sub.cols.n_cols();
     let p: usize = sub.cols.total_len();

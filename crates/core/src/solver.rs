@@ -22,7 +22,7 @@
 
 use crate::align::{align_side1, align_side2, ChordInfo, CrossType};
 use crate::flat::{with_scratch, FlatCols, SplitCols};
-use crate::merge::{merge, MergeMode};
+use crate::merge::{merge_with, MergeMode};
 use crate::partition::{grow_segment, proper_column, tucker_transform, Growth};
 use crate::stats::SolveStats;
 use crate::{NotC1p, RejectSite, Rejection};
@@ -81,22 +81,35 @@ pub struct Config {
     /// always on in debug builds.
     pub paranoid: bool,
     /// Parallel driver only: subproblems at or below this many atoms run
-    /// sequentially (rayon task overhead dominates below it). The modelled
-    /// PRAM cost still accounts them. `0` forks all the way down.
+    /// sequentially (task overhead dominates below it). The modelled
+    /// PRAM cost still accounts them. `0` removes the size cutoff —
+    /// though the scheduler's fork-depth limit (`log2(threads) + 2`;
+    /// see `parallel::Sched`) still hands saturated subtrees to the
+    /// sequential solver. [`Config::AUTO_CUTOFF`] (the default) sizes
+    /// the cutoff from the instance and the current pool at driver
+    /// entry.
     pub seq_cutoff: usize,
 }
 
 impl Default for Config {
     fn default() -> Self {
-        Config { pq_base_threshold: 0, paranoid: cfg!(debug_assertions), seq_cutoff: 256 }
+        Config {
+            pq_base_threshold: 0,
+            paranoid: cfg!(debug_assertions),
+            seq_cutoff: Config::AUTO_CUTOFF,
+        }
     }
 }
 
 impl Config {
+    /// Sentinel for [`Config::seq_cutoff`]: auto-tune from
+    /// `rayon::current_num_threads()` and the root instance size.
+    pub const AUTO_CUTOFF: usize = usize::MAX;
+
     /// The practical profile: PQ-tree base case at the paper's `p_i ≲ log n`
     /// granularity (we cut on atom count instead; see EXPERIMENTS.md E10).
     pub fn fast() -> Self {
-        Config { pq_base_threshold: 32, paranoid: false, seq_cutoff: 256 }
+        Config { pq_base_threshold: 32, paranoid: false, seq_cutoff: Config::AUTO_CUTOFF }
     }
 }
 
@@ -254,7 +267,7 @@ fn split_and_merge(
     let order2 = realize(&data.sub2, cfg, stats, depth + 1)
         .map_err(|e| e.fill(data.sub2.n).mapped(&data.a2))?;
     // A merge failure implicates the whole subproblem.
-    combine(&data, &order1, &order2, mode, stats).map_err(|e| e.fill(sub.n))
+    combine(&data, &order1, &order2, mode, stats, false).map_err(|e| e.fill(sub.n))
 }
 
 /// Everything the combine step needs, precomputed before recursion
@@ -354,6 +367,130 @@ pub fn prepare_split(sub: &SubProblem, a1: &[u32]) -> SplitData {
     })
 }
 
+/// Parallel divide (the paper's "cut" step off the critical path): the
+/// same split as [`prepare_split`], computed as two chunk-parallel
+/// column scans stitched by an `O(m)` prefix-sum pass.
+///
+/// * **pass 1** (parallel): per-column segment-part sizes + crossing
+///   classification;
+/// * **stitch** (sequential, `O(m)`): prefix sums turn the sizes into
+///   CSR offsets for the parts arena and both side projections;
+/// * **pass 2** (parallel): every column streams its entries into the
+///   three arenas at its precomputed offsets — writes are disjoint by
+///   construction, so the fills race-freely share the output buffers.
+///
+/// Output is bit-identical to the sequential divide (pinned by
+/// `split_differential.rs`); `parallel.rs` switches between the two by
+/// subproblem weight.
+pub fn prepare_split_par(sub: &SubProblem, a1: &[u32]) -> SplitData {
+    use c1p_pram::scan::SyncPtr;
+    use rayon::prelude::*;
+
+    let k = sub.n;
+    let m = sub.cols.n_cols();
+    // membership + per-side renumbering (O(k), sequential: cheap and
+    // needed in full by both passes)
+    let mut mark = vec![false; k];
+    let mut place = vec![0u32; k];
+    for (i, &a) in a1.iter().enumerate() {
+        mark[a as usize] = true;
+        place[a as usize] = i as u32;
+    }
+    let mut a2: Vec<u32> = Vec::with_capacity(k - a1.len());
+    for a in 0..k as u32 {
+        if !mark[a as usize] {
+            place[a as usize] = a2.len() as u32;
+            a2.push(a);
+        }
+    }
+    let (k1, k2) = (a1.len(), a2.len());
+    debug_assert!(k1 > 0 && k2 > 0, "partition must be proper");
+    // pass 1: segment-part size per column
+    let sn: Vec<u32> = (0..m as u32)
+        .into_par_iter()
+        .with_min_len(256)
+        .map(|ci| sub.cols.col(ci as usize).iter().filter(|&&a| mark[a as usize]).count() as u32)
+        .collect();
+    // stitch: offsets for the parts arena and both kept-side projections
+    let mut parts_off = Vec::with_capacity(m + 1);
+    let mut off1 = vec![u32::MAX; m]; // u32::MAX = column dropped on that side
+    let mut off2 = vec![u32::MAX; m];
+    let mut offs1 = Vec::with_capacity(m + 1);
+    let mut offs2 = Vec::with_capacity(m + 1);
+    let mut ty = Vec::with_capacity(m);
+    let (mut pp, mut p1, mut p2) = (0u32, 0u32, 0u32);
+    parts_off.push(0);
+    offs1.push(0);
+    offs2.push(0);
+    for ci in 0..m {
+        let len = sub.cols.col_len(ci) as u32;
+        let (s, h) = (sn[ci], len - sn[ci]);
+        pp += len;
+        parts_off.push(pp);
+        ty.push(if s == 0 || h == 0 {
+            CrossType::C
+        } else if s as usize == k1 {
+            CrossType::A
+        } else {
+            CrossType::B
+        });
+        if s >= 2 && (s as usize) < k1 {
+            off1[ci] = p1;
+            p1 += s;
+            offs1.push(p1);
+        }
+        if h >= 2 && (h as usize) < k2 {
+            off2[ci] = p2;
+            p2 += h;
+            offs2.push(p2);
+        }
+    }
+    // pass 2: disjoint-range fills of the three data arenas
+    let mut parts_data = vec![0u32; pp as usize];
+    let mut data1 = vec![0u32; p1 as usize];
+    let mut data2 = vec![0u32; p2 as usize];
+    {
+        let parts_ptr = SyncPtr(parts_data.as_mut_ptr());
+        let d1_ptr = SyncPtr(data1.as_mut_ptr());
+        let d2_ptr = SyncPtr(data2.as_mut_ptr());
+        let (mark, place, sn) = (&mark, &place, &sn);
+        (0..m as u32).into_par_iter().with_min_len(128).for_each(|ci| {
+            let ci = ci as usize;
+            let mut sp = parts_off[ci];
+            let mut hp = parts_off[ci] + sn[ci];
+            let mut c1 = off1[ci];
+            let mut c2 = off2[ci];
+            for &a in sub.cols.col(ci) {
+                // SAFETY: every target index below belongs to column
+                // `ci`'s precomputed half-open range in its arena; the
+                // ranges of distinct columns are disjoint.
+                if mark[a as usize] {
+                    unsafe { parts_ptr.write(sp as usize, a) };
+                    sp += 1;
+                    if c1 != u32::MAX {
+                        unsafe { d1_ptr.write(c1 as usize, place[a as usize]) };
+                        c1 += 1;
+                    }
+                } else {
+                    unsafe { parts_ptr.write(hp as usize, a) };
+                    hp += 1;
+                    if c2 != u32::MAX {
+                        unsafe { d2_ptr.write(c2 as usize, place[a as usize]) };
+                        c2 += 1;
+                    }
+                }
+            }
+        });
+    }
+    SplitData {
+        a1: a1.to_vec(),
+        a2,
+        split_cols: SplitCols::from_raw(parts_off, parts_data, sn, ty),
+        sub1: SubProblem { n: k1, cols: FlatCols::from_raw(offs1, data1) },
+        sub2: SubProblem { n: k2, cols: FlatCols::from_raw(offs2, data2) },
+    }
+}
+
 /// The combine: Steps 3–7 (decompose, align, merge). Each side's alignment
 /// yields a small set of candidate re-arrangements (Section 4's switches);
 /// every pair is checked by the verifying merge.
@@ -363,7 +500,20 @@ pub(crate) fn combine(
     order2: &[u32],
     mode: MergeMode,
     stats: &mut SolveStats,
+    par: bool,
 ) -> Result<Vec<u32>, NotC1p> {
+    // Identity fast path: the recursive orders are already realizations
+    // of their side restrictions, and in practice they usually satisfy
+    // the GAP/GAC junction conditions as-is. Trying them costs one O(p)
+    // merge scan and skips Steps 3–6 (decompose + funnel) entirely when
+    // it lands; the merge's own candidate checks (and the top-level
+    // witness verification) keep this a pure scheduling shortcut.
+    let id_seg: Vec<u32> = order1.iter().map(|&x| data.a1[x as usize]).collect();
+    let id_host: Vec<u32> = order2.iter().map(|&x| data.a2[x as usize]).collect();
+    if let Ok(m) = phase!(T_MERGE, merge_with(&id_seg, &id_host, &data.split_cols, mode, par)) {
+        stats.fast_merges += 1;
+        return Ok(m);
+    }
     let seg_cands =
         phase!(T_ALIGN, align_one_side(&data.a1, order1, &data.split_cols, true, stats));
     let host_cands =
@@ -372,7 +522,7 @@ pub(crate) fn combine(
         let mut result = Err(NotC1p::at(RejectSite::Merge));
         'outer: for host in &host_cands {
             for seg in &seg_cands {
-                if let Ok(m) = merge(seg, host, &data.split_cols, mode) {
+                if let Ok(m) = merge_with(seg, host, &data.split_cols, mode, par) {
                     result = Ok(m);
                     break 'outer;
                 }

@@ -22,6 +22,9 @@ pub struct SolveStats {
     pub decompositions: usize,
     /// Total members across all decompositions.
     pub members: usize,
+    /// Combines settled by the identity fast path (recursive orders
+    /// merged as-is; Steps 3–6 skipped entirely).
+    pub fast_merges: usize,
     /// Modelled PRAM cost (filled by the parallel driver).
     pub cost: Cost,
 }
@@ -37,6 +40,7 @@ impl SolveStats {
         self.pq_base_cases += other.pq_base_cases;
         self.decompositions += other.decompositions;
         self.members += other.members;
+        self.fast_merges += other.fast_merges;
         // costs are composed explicitly by the parallel driver
     }
 }

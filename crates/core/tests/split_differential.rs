@@ -79,6 +79,43 @@ fn flat_divide_matches_seed_semantics() {
     }
 }
 
+#[test]
+fn parallel_divide_matches_sequential_divide() {
+    use c1p_core::solver::prepare_split_par;
+    // run on a real multi-worker pool so the fills genuinely race
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    pool.install(|| {
+        for seed in 0..200u64 {
+            let mut rng = SmallRng::seed_from_u64(0x9A7 ^ seed);
+            let sub = random_subproblem(&mut rng, 40, 12);
+            let n = sub.n;
+            let a1: Vec<u32> = loop {
+                let cut: Vec<u32> =
+                    (0..n as u32).filter(|_| rng.random_range(0..2usize) == 0).collect();
+                if !cut.is_empty() && cut.len() < n {
+                    break cut;
+                }
+            };
+            let seq = prepare_split(&sub, &a1);
+            let par = prepare_split_par(&sub, &a1);
+            assert_eq!(par.a1, seq.a1, "seed {seed}");
+            assert_eq!(par.a2, seq.a2, "seed {seed}");
+            assert_eq!(par.sub1, seq.sub1, "seed {seed}: segment projection differs");
+            assert_eq!(par.sub2, seq.sub2, "seed {seed}: host projection differs");
+            assert_eq!(par.split_cols.len(), seq.split_cols.len(), "seed {seed}");
+            for ci in 0..seq.split_cols.len() {
+                assert_eq!(par.split_cols.seg(ci), seq.split_cols.seg(ci), "seed {seed} col {ci}");
+                assert_eq!(
+                    par.split_cols.host(ci),
+                    seq.split_cols.host(ci),
+                    "seed {seed} col {ci}"
+                );
+                assert_eq!(par.split_cols.ty(ci), seq.split_cols.ty(ci), "seed {seed} col {ci}");
+            }
+        }
+    });
+}
+
 // ---------------------------------------------------------------------
 // layer 2: whole-solver differential vs Booth–Lueker
 // ---------------------------------------------------------------------

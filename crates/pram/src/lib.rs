@@ -29,4 +29,4 @@ pub mod scan;
 pub mod sort;
 
 pub use cost::Cost;
-pub use pool::with_threads;
+pub use pool::{pool, with_threads};

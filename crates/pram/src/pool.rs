@@ -2,14 +2,21 @@
 //! a rayon pool with a fixed number of worker threads, so self-relative
 //! speedup can be measured at 1, 2, 4, 8 threads.
 
-/// Runs `f` on a dedicated rayon thread pool with `threads` workers.
-/// All rayon parallelism inside `f` is confined to that pool.
-pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+/// Builds a dedicated rayon pool with `threads` workers. Measurement
+/// loops should build once and `install` per rep — pool construction
+/// and teardown (thread spawn/join) otherwise lands inside the timed
+/// region.
+pub fn pool(threads: usize) -> rayon::ThreadPool {
     rayon::ThreadPoolBuilder::new()
         .num_threads(threads.max(1))
         .build()
         .expect("failed to build thread pool")
-        .install(f)
+}
+
+/// Runs `f` on a dedicated rayon thread pool with `threads` workers.
+/// All rayon parallelism inside `f` is confined to that pool.
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    pool(threads).install(f)
 }
 
 /// The number of logical CPUs rayon would use by default.

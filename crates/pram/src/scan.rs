@@ -74,14 +74,20 @@ pub fn compact<T: Copy + Send + Sync>(xs: &[T], keep: &[bool]) -> (Vec<T>, Cost)
     (out, cost)
 }
 
-/// A raw pointer that may be shared across the scatter's threads; callers
-/// guarantee disjoint target indices.
-struct SyncPtr<T>(*mut T);
+/// A raw pointer that may be shared across parallel scatter tasks;
+/// callers guarantee disjoint target indices. The one shared copy of
+/// this unsafe primitive (the parallel divide in `c1p-core` reuses it).
+pub struct SyncPtr<T>(pub *mut T);
 unsafe impl<T> Sync for SyncPtr<T> {}
 unsafe impl<T> Send for SyncPtr<T> {}
 impl<T> SyncPtr<T> {
-    /// SAFETY: `i` must be in bounds and written by at most one thread.
-    unsafe fn write(&self, i: usize, v: T) {
+    /// Writes `v` at offset `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be in bounds of the pointed-to allocation and written
+    /// by at most one thread.
+    pub unsafe fn write(&self, i: usize, v: T) {
         unsafe { *self.0.add(i) = v };
     }
 }

@@ -8,9 +8,10 @@ use crate::cost::{log2ceil, Cost};
 use rayon::prelude::*;
 
 /// Sorts a copy of `xs` by key. Returns the sorted vector and modelled cost.
+/// (`Copy` payloads: the pool's mergesort moves records by memcpy.)
 pub fn par_sort_by_key<T, K, F>(xs: &[T], key: F) -> (Vec<T>, Cost)
 where
-    T: Clone + Send + Sync,
+    T: Copy + Send + Sync,
     K: Ord + Send,
     F: Fn(&T) -> K + Send + Sync,
 {

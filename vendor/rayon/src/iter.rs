@@ -1,0 +1,511 @@
+//! Data-parallel iterators over indexed sources, executed with
+//! fork-join splitting on the work-stealing pool.
+//!
+//! Everything is built on one [`Producer`] abstraction: an exact-length
+//! source that can be split at an index. Consumers (`for_each`,
+//! `collect`, `sum`, `reduce`, …) recursively halve the producer with
+//! [`crate::join`] until pieces reach the scheduling grain, then drain
+//! sequentially. The grain is `max(with_min_len, len / (threads × 4))`:
+//! enough pieces for the steal scheduler to balance, never so many that
+//! task overhead dominates — and a single-thread registry degrades to a
+//! plain sequential loop with no task machinery at all.
+
+use std::mem::MaybeUninit;
+use std::sync::Arc;
+
+/// An exact-length, splittable source of items.
+pub trait Producer: Send + Sized {
+    type Item: Send;
+    /// Sequential iterator draining this producer.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits into `[0, mid)` and `[mid, len)`.
+    fn split_at(self, mid: usize) -> (Self, Self);
+    fn into_seq_iter(self) -> Self::SeqIter;
+}
+
+/// A parallel iterator: a producer plus the minimum sequential grain.
+pub struct ParIter<P> {
+    producer: P,
+    min_len: usize,
+}
+
+pub(crate) fn par_iter_of<P: Producer>(producer: P) -> ParIter<P> {
+    ParIter { producer, min_len: 1 }
+}
+
+/// The sequential grain for `n` items under the current pool.
+fn grain(n: usize, min_len: usize) -> usize {
+    let threads = crate::current_num_threads();
+    min_len.max(n / (threads * 4).max(1)).max(1)
+}
+
+impl<P: Producer> ParIter<P> {
+    /// Minimum number of items a sequential piece processes.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
+
+    pub fn map<U: Send, F>(self, f: F) -> ParIter<Map<P, F>>
+    where
+        F: Fn(P::Item) -> U + Send + Sync,
+    {
+        ParIter { producer: Map { base: self.producer, f: Arc::new(f) }, min_len: self.min_len }
+    }
+
+    pub fn enumerate(self) -> ParIter<Enumerate<P>> {
+        ParIter { producer: Enumerate { base: self.producer, offset: 0 }, min_len: self.min_len }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Send + Sync,
+    {
+        fn go<P: Producer, F: Fn(P::Item) + Send + Sync>(p: P, grain: usize, f: &F) {
+            if p.len() <= grain {
+                p.into_seq_iter().for_each(f);
+                return;
+            }
+            let mid = p.len() / 2;
+            let (left, right) = p.split_at(mid);
+            crate::join(|| go(left, grain, f), || go(right, grain, f));
+        }
+        let g = grain(self.producer.len(), self.min_len);
+        go(self.producer, g, &f);
+    }
+
+    /// Ordered parallel collect. Exact-length producers write straight
+    /// into the output buffer, piece by piece, with no merge copies.
+    pub fn collect<C: FromIterator<P::Item>>(self) -> C {
+        C::from_iter(self.collect_vec())
+    }
+
+    fn collect_vec(self) -> Vec<P::Item> {
+        fn fill<P: Producer>(p: P, grain: usize, out: &mut [MaybeUninit<P::Item>]) {
+            debug_assert_eq!(p.len(), out.len());
+            if p.len() <= grain {
+                for (slot, item) in out.iter_mut().zip(p.into_seq_iter()) {
+                    slot.write(item);
+                }
+                return;
+            }
+            let mid = p.len() / 2;
+            let (pl, pr) = p.split_at(mid);
+            let (ol, or) = out.split_at_mut(mid);
+            crate::join(|| fill(pl, grain, ol), || fill(pr, grain, or));
+        }
+        let n = self.producer.len();
+        let g = grain(n, self.min_len);
+        let mut out: Vec<MaybeUninit<P::Item>> = Vec::with_capacity(n);
+        // SAFETY: MaybeUninit needs no initialization; `fill` writes
+        // every slot exactly once before the transmute below. (A panic
+        // mid-fill leaks already-written items instead of dropping them
+        // — safe, and irrelevant for the Copy payloads used here.)
+        unsafe { out.set_len(n) };
+        fill(self.producer, g, &mut out);
+        // SAFETY: all `n` slots are initialized; MaybeUninit<T> has T's
+        // layout, so casting the data pointer is sound. Rebuilt via
+        // from_raw_parts rather than transmuting the Vec itself (Vec
+        // transmutes are documented UB even for layout-identical
+        // element types).
+        let mut out = std::mem::ManuallyDrop::new(out);
+        unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut P::Item, n, out.capacity()) }
+    }
+
+    /// rayon's `reduce`: fold pieces from an identity, combine with `op`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
+    where
+        ID: Fn() -> P::Item + Send + Sync,
+        OP: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
+    {
+        fn go<P, ID, OP>(p: P, grain: usize, identity: &ID, op: &OP) -> P::Item
+        where
+            P: Producer,
+            ID: Fn() -> P::Item + Send + Sync,
+            OP: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
+        {
+            if p.len() <= grain {
+                return p.into_seq_iter().fold(identity(), op);
+            }
+            let mid = p.len() / 2;
+            let (left, right) = p.split_at(mid);
+            let (ra, rb) =
+                crate::join(|| go(left, grain, identity, op), || go(right, grain, identity, op));
+            op(ra, rb)
+        }
+        let g = grain(self.producer.len(), self.min_len);
+        go(self.producer, g, &identity, &op)
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
+    {
+        fn go<P: Producer, S>(p: P, grain: usize) -> S
+        where
+            S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
+        {
+            if p.len() <= grain {
+                return p.into_seq_iter().sum();
+            }
+            let mid = p.len() / 2;
+            let (left, right) = p.split_at(mid);
+            let (ra, rb) = crate::join(|| go::<P, S>(left, grain), || go::<P, S>(right, grain));
+            [ra, rb].into_iter().sum()
+        }
+        let g = grain(self.producer.len(), self.min_len);
+        go::<P, S>(self.producer, g)
+    }
+
+    pub fn max_by<F>(self, f: F) -> Option<P::Item>
+    where
+        F: Fn(&P::Item, &P::Item) -> std::cmp::Ordering + Send + Sync,
+    {
+        fn go<P: Producer, F>(p: P, grain: usize, f: &F) -> Option<P::Item>
+        where
+            F: Fn(&P::Item, &P::Item) -> std::cmp::Ordering + Send + Sync,
+        {
+            if p.len() <= grain {
+                return p.into_seq_iter().max_by(f);
+            }
+            let mid = p.len() / 2;
+            let (left, right) = p.split_at(mid);
+            let (ra, rb) = crate::join(|| go(left, grain, f), || go(right, grain, f));
+            match (ra, rb) {
+                (Some(a), Some(b)) => {
+                    // keep rayon/std semantics: later element wins ties
+                    Some(if f(&a, &b) == std::cmp::Ordering::Greater { a } else { b })
+                }
+                (a, b) => a.or(b),
+            }
+        }
+        let g = grain(self.producer.len(), self.min_len);
+        go(self.producer, g, &f)
+    }
+
+    pub fn min_by<F>(self, f: F) -> Option<P::Item>
+    where
+        F: Fn(&P::Item, &P::Item) -> std::cmp::Ordering + Send + Sync,
+    {
+        self.max_by(move |a, b| f(b, a))
+    }
+
+    /// Parallel compute, sequential unzip of the collected pairs (the
+    /// expensive half — the map — runs on the pool).
+    pub fn unzip<A, B, FromA, FromB>(self) -> (FromA, FromB)
+    where
+        P: Producer<Item = (A, B)>,
+        A: Send,
+        B: Send,
+        FromA: Default + Extend<A>,
+        FromB: Default + Extend<B>,
+    {
+        let pairs = self.collect_vec();
+        let mut out_a = FromA::default();
+        let mut out_b = FromB::default();
+        for (a, b) in pairs {
+            out_a.extend(std::iter::once(a));
+            out_b.extend(std::iter::once(b));
+        }
+        (out_a, out_b)
+    }
+}
+
+// ---------------------------------------------------------------------
+// adapters
+// ---------------------------------------------------------------------
+
+/// Mapping adapter; the closure is shared across pieces via `Arc`.
+pub struct Map<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, U, F> Producer for Map<P, F>
+where
+    P: Producer,
+    U: Send,
+    F: Fn(P::Item) -> U + Send + Sync,
+{
+    type Item = U;
+    type SeqIter = MapSeqIter<P::SeqIter, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (Map { base: l, f: Arc::clone(&self.f) }, Map { base: r, f: self.f })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        MapSeqIter { inner: self.base.into_seq_iter(), f: self.f }
+    }
+}
+
+pub struct MapSeqIter<I, F> {
+    inner: I,
+    f: Arc<F>,
+}
+
+impl<I, U, F> Iterator for MapSeqIter<I, F>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> U,
+{
+    type Item = U;
+
+    fn next(&mut self) -> Option<U> {
+        self.inner.next().map(|x| (self.f)(x))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// Enumerating adapter: global indices survive splitting via `offset`.
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: Producer> Producer for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type SeqIter = EnumerateSeqIter<P::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            Enumerate { base: l, offset: self.offset },
+            Enumerate { base: r, offset: self.offset + mid },
+        )
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        EnumerateSeqIter { inner: self.base.into_seq_iter(), next: self.offset }
+    }
+}
+
+pub struct EnumerateSeqIter<I> {
+    inner: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeqIter<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<(usize, I::Item)> {
+        let item = self.inner.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, item))
+    }
+}
+
+// ---------------------------------------------------------------------
+// sources
+// ---------------------------------------------------------------------
+
+/// Shared-slice source.
+pub struct SliceProducer<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(mid);
+        (SliceProducer { slice: l }, SliceProducer { slice: r })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.slice.iter()
+    }
+}
+
+/// Disjoint mutable chunks of a slice; `len` counts chunks.
+pub struct ChunksMutProducer<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    type SeqIter = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.chunk).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (
+            ChunksMutProducer { slice: l, chunk: self.chunk },
+            ChunksMutProducer { slice: r, chunk: self.chunk },
+        )
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.slice.chunks_mut(self.chunk)
+    }
+}
+
+/// Owned-vector source; splitting reallocates the tail piece once.
+pub struct VecProducer<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(mid);
+        (self, VecProducer { vec: tail })
+    }
+
+    fn into_seq_iter(self) -> Self::SeqIter {
+        self.vec.into_iter()
+    }
+}
+
+/// Integer-range source (macro-instantiated per index type).
+pub struct RangeProducer<T> {
+    range: std::ops::Range<T>,
+}
+
+macro_rules! range_producer {
+    ($($t:ty),*) => {$(
+        impl Producer for RangeProducer<$t> {
+            type Item = $t;
+            type SeqIter = std::ops::Range<$t>;
+
+            fn len(&self) -> usize {
+                (self.range.end.saturating_sub(self.range.start)) as usize
+            }
+
+            fn split_at(self, mid: usize) -> (Self, Self) {
+                let at = self.range.start + mid as $t;
+                (
+                    RangeProducer { range: self.range.start..at },
+                    RangeProducer { range: at..self.range.end },
+                )
+            }
+
+            fn into_seq_iter(self) -> Self::SeqIter {
+                self.range
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Producer = RangeProducer<$t>;
+
+            fn into_par_iter(self) -> ParIter<RangeProducer<$t>> {
+                par_iter_of(RangeProducer { range: self })
+            }
+        }
+    )*};
+}
+
+range_producer!(u32, u64, usize);
+
+/// `.into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Producer: Producer<Item = Self::Item>;
+
+    fn into_par_iter(self) -> ParIter<Self::Producer>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Producer = VecProducer<T>;
+
+    fn into_par_iter(self) -> ParIter<VecProducer<T>> {
+        par_iter_of(VecProducer { vec: self })
+    }
+}
+
+/// `.par_iter()` / `.par_chunks_mut()` / parallel sorts on slices.
+pub trait ParSliceExt<T> {
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>>
+    where
+        T: Sync;
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutProducer<'_, T>>
+    where
+        T: Send;
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        T: Copy + Send + Sync,
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        T: Copy + Send + Sync,
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+}
+
+impl<T> ParSliceExt<T> for [T] {
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>>
+    where
+        T: Sync,
+    {
+        par_iter_of(SliceProducer { slice: self })
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutProducer<'_, T>>
+    where
+        T: Send,
+    {
+        assert!(size > 0, "chunk size must be positive");
+        par_iter_of(ChunksMutProducer { slice: self, chunk: size })
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        T: Copy + Send + Sync,
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        crate::sort::par_mergesort_by_key(self, &key);
+    }
+
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        T: Copy + Send + Sync,
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        // the mergesort is stable, so both entry points share it
+        crate::sort::par_mergesort_by_key(self, &key);
+    }
+}

@@ -1,58 +1,64 @@
 //! Offline stand-in for the `rayon` crate.
 //!
 //! The build environment has no crates.io access, so this crate provides
-//! the subset of the rayon API the workspace uses with the same
-//! semantics:
+//! the subset of the rayon API the workspace uses, with the same
+//! semantics *and* real wall-clock parallelism:
 //!
-//! * [`join`] is **genuinely parallel**: it runs the left closure on a
-//!   scoped OS thread whenever the active-thread budget (the configured
-//!   pool size) allows, and degrades to sequential execution otherwise.
-//!   The divide-and-conquer solver gets real multicore speedup through
-//!   this single primitive.
-//! * The iterator combinators (`par_iter`, `into_par_iter`,
-//!   `par_chunks_mut`, `par_sort_unstable_by_key`, …) are sequential
-//!   adapters with rayon's signatures. The PRAM primitives built on them
-//!   remain correct and keep their modelled costs; only their wall-clock
-//!   parallelism is reduced. `DESIGN.md §6` records this trade-off.
-//! * [`ThreadPoolBuilder`]/[`ThreadPool::install`] set a scoped budget
-//!   that [`current_num_threads`] and [`join`] observe, so the E3
-//!   speedup experiments still control thread counts.
+//! * a work-stealing pool per [`ThreadPool`] (plus a lazily-built
+//!   hardware-sized global pool): per-worker deques with LIFO owner
+//!   access and FIFO stealing, a shared injector for external
+//!   submissions, and blocked joiners that execute stolen jobs while
+//!   they wait (`registry.rs`);
+//! * [`join`] publishes its second closure for stealing and reclaims it
+//!   inline when no thief took it — the Cilk discipline, so a
+//!   single-thread pool degrades to exactly the sequential execution;
+//! * the iterator combinators (`par_iter`, `into_par_iter`,
+//!   `par_chunks_mut`, `par_sort_unstable_by_key`, …) are **genuinely
+//!   parallel**: exact-length splittable producers recursively halved
+//!   over `join` down to a `len / (threads × 4)` grain (`iter.rs`), and
+//!   a fork-join mergesort for the sorts (`sort.rs`). `DESIGN.md §6`
+//!   records the scheduler design and measured speedups.
+//! * [`ThreadPoolBuilder`]/[`ThreadPool::install`] scope the *current*
+//!   registry, observed by [`current_num_threads`], `join`, and every
+//!   combinator — the E3 experiments control thread counts with it.
 
-use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+mod iter;
+mod registry;
+mod sort;
 
-// ---------------------------------------------------------------------
-// thread budget
-// ---------------------------------------------------------------------
+pub use iter::{IntoParallelIterator, ParIter, ParSliceExt, Producer};
 
-/// Extra OS threads currently live across every `join` on this process.
-static ACTIVE_EXTRA: AtomicUsize = AtomicUsize::new(0);
+use registry::Registry;
+use std::cell::RefCell;
+use std::sync::Arc;
 
 thread_local! {
-    /// Pool size installed by [`ThreadPool::install`]; 0 = default.
-    static POOL_SIZE: Cell<usize> = const { Cell::new(0) };
+    /// Registry stack installed by [`ThreadPool::install`]; worker
+    /// threads seed it with their own registry so nested parallelism
+    /// inside jobs stays on the same pool.
+    static CURRENT: RefCell<Vec<Arc<Registry>>> = const { RefCell::new(Vec::new()) };
 }
 
-fn hardware_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+fn current_registry() -> Arc<Registry> {
+    CURRENT
+        .with(|c| c.borrow().last().cloned())
+        .unwrap_or_else(|| registry::global_registry().clone())
 }
 
-/// The number of worker threads the "current pool" would use.
+pub(crate) fn set_current_registry(reg: &Arc<Registry>) {
+    CURRENT.with(|c| c.borrow_mut().push(Arc::clone(reg)));
+}
+
+/// The number of worker threads of the current pool.
 pub fn current_num_threads() -> usize {
-    let installed = POOL_SIZE.with(Cell::get);
-    if installed > 0 {
-        installed
-    } else {
-        hardware_threads()
-    }
+    current_registry().num_threads()
 }
 
 /// Runs `a` and `b`, potentially in parallel, returning both results.
 ///
-/// `a` is shipped to a scoped thread when the process-wide budget
-/// (`current_num_threads() - 1` extra threads) has room; otherwise both
-/// closures run sequentially on the caller, exactly like rayon under
-/// full load.
+/// `b` is published to the current pool's scheduler while `a` runs on
+/// the calling thread; if no worker stole `b` it is reclaimed and run
+/// inline. On a single-thread pool both closures simply run in order.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -60,36 +66,17 @@ where
     RA: Send,
     RB: Send,
 {
-    let budget = current_num_threads().saturating_sub(1);
-    let mut reserved = false;
-    let mut cur = ACTIVE_EXTRA.load(Ordering::Relaxed);
-    while cur < budget {
-        match ACTIVE_EXTRA.compare_exchange_weak(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
-        {
-            Ok(_) => {
-                reserved = true;
-                break;
-            }
-            Err(now) => cur = now,
-        }
-    }
-    if !reserved {
+    let registry = current_registry();
+    if registry.num_threads() <= 1 {
         return (a(), b());
     }
-    let pool = POOL_SIZE.with(Cell::get);
-    let out = std::thread::scope(|s| {
-        let ha = s.spawn(move || {
-            POOL_SIZE.with(|p| p.set(pool));
-            a()
-        });
-        let rb = b();
-        (ha.join().expect("joined closure panicked"), rb)
-    });
-    ACTIVE_EXTRA.fetch_sub(1, Ordering::Relaxed);
-    out
+    registry.join(a, b)
 }
 
-/// Runs `op` within a scope (sequential shim: just calls it).
+/// Runs `op` within a scope. `spawn`ed tasks run immediately (the one
+/// combinator this shim keeps sequential — the workspace never spawns
+/// detached scope tasks; `join` and the iterator combinators carry all
+/// the parallelism).
 pub fn scope<'scope, OP, R>(op: OP) -> R
 where
     OP: FnOnce(&Scope<'scope>) -> R,
@@ -97,7 +84,7 @@ where
     op(&Scope { _p: std::marker::PhantomData })
 }
 
-/// Sequential scope handle; `spawn` runs the task immediately.
+/// Scope handle; see [`scope`].
 pub struct Scope<'scope> {
     _p: std::marker::PhantomData<&'scope ()>,
 }
@@ -145,155 +132,60 @@ impl ThreadPoolBuilder {
     }
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        let n = if self.num_threads == 0 { hardware_threads() } else { self.num_threads };
-        Ok(ThreadPool { num_threads: n })
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.num_threads
+        };
+        let (registry, handles) = Registry::new(n);
+        Ok(ThreadPool { registry, handles })
     }
 }
 
-/// A "pool": a scoped thread budget that `join` consults.
+/// A pool of worker threads with its own work-stealing registry.
 #[derive(Debug)]
 pub struct ThreadPool {
-    num_threads: usize,
+    registry: Arc<Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("n_threads", &self.num_threads()).finish()
+    }
 }
 
 impl ThreadPool {
-    /// Runs `f` with this pool installed as the current one.
+    /// Runs `f` with this pool installed as the current one: `join` and
+    /// the iterator combinators inside `f` schedule onto this pool.
+    /// The previous pool is restored even if `f` panics (a leaked
+    /// registry entry would leave the thread scheduling onto a
+    /// terminated pool forever).
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        let prev = POOL_SIZE.with(|p| p.replace(self.num_threads));
-        let out = f();
-        POOL_SIZE.with(|p| p.set(prev));
-        out
+        struct PopGuard;
+        impl Drop for PopGuard {
+            fn drop(&mut self) {
+                CURRENT.with(|c| {
+                    c.borrow_mut().pop();
+                });
+            }
+        }
+        set_current_registry(&self.registry);
+        let _guard = PopGuard;
+        f()
     }
 
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.registry.num_threads()
     }
 }
 
-// ---------------------------------------------------------------------
-// "parallel" iterators (sequential adapters with rayon's signatures)
-// ---------------------------------------------------------------------
-
-/// Wrapper giving std iterators rayon's combinator surface.
-pub struct ParIter<I>(I);
-
-impl<I: Iterator> ParIter<I> {
-    /// Chunking hint — a no-op for the sequential adapter.
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
-    }
-
-    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
-    }
-
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
-    }
-
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-        ParIter(self.0.filter(f))
-    }
-
-    pub fn for_each(self, f: impl FnMut(I::Item)) {
-        self.0.for_each(f);
-    }
-
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
-    }
-
-    pub fn unzip<A, B, FromA, FromB>(self) -> (FromA, FromB)
-    where
-        I: Iterator<Item = (A, B)>,
-        FromA: Default + Extend<A>,
-        FromB: Default + Extend<B>,
-    {
-        self.0.unzip()
-    }
-
-    /// rayon's `reduce`: fold from an identity-producing closure.
-    pub fn reduce<T, ID, OP>(mut self, identity: ID, op: OP) -> T
-    where
-        I: Iterator<Item = T>,
-        ID: Fn() -> T,
-        OP: Fn(T, T) -> T,
-    {
-        let mut acc = identity();
-        for x in self.0.by_ref() {
-            acc = op(acc, x);
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
         }
-        acc
-    }
-
-    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
-        self,
-        f: F,
-    ) -> Option<I::Item> {
-        self.0.max_by(f)
-    }
-
-    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
-        self,
-        f: F,
-    ) -> Option<I::Item> {
-        self.0.min_by(f)
-    }
-}
-
-/// `.par_iter()` / `.par_chunks_mut()` on slice-like containers.
-pub trait ParSliceExt<T> {
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
-    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
-}
-
-impl<T> ParSliceExt<T> for [T] {
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
-        ParIter(self.iter())
-    }
-
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter(self.chunks_mut(size))
-    }
-
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
-        self.sort_unstable_by_key(key);
-    }
-
-    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
-        self.sort_by_key(key);
-    }
-}
-
-/// `.into_par_iter()` on owned collections and ranges.
-pub trait IntoParallelIterator {
-    type Item;
-    type Iter: Iterator<Item = Self::Item>;
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
-}
-
-impl<T> IntoParallelIterator for Vec<T> {
-    type Item = T;
-    type Iter = std::vec::IntoIter<T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
-    }
-}
-
-impl<T> IntoParallelIterator for std::ops::Range<T>
-where
-    std::ops::Range<T>: Iterator<Item = T>,
-{
-    type Item = T;
-    type Iter = std::ops::Range<T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self)
     }
 }
 
@@ -305,6 +197,7 @@ pub mod prelude {
 mod tests {
     use super::prelude::*;
     use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
     #[test]
     fn join_returns_both() {
@@ -322,31 +215,49 @@ mod tests {
             let (a, b) = join(|| fib(n - 1), || fib(n - 2));
             a + b
         }
-        assert_eq!(fib(16), 987);
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.install(|| fib(16)), 987);
     }
 
     #[test]
-    fn join_runs_in_parallel_when_budget_allows() {
-        use std::sync::atomic::{AtomicBool, Ordering};
-        use std::time::Duration;
-        if current_num_threads() < 2 {
-            return; // single-core CI runner: nothing to assert
-        }
-        let flag = AtomicBool::new(false);
-        let (_, waited) = join(
-            || flag.store(true, Ordering::SeqCst),
-            || {
-                // wait (bounded) for the left side to run concurrently
-                for _ in 0..1000 {
-                    if flag.load(Ordering::SeqCst) {
-                        return true;
-                    }
-                    std::thread::sleep(Duration::from_millis(1));
+    fn join_sides_run_concurrently_on_a_pool() {
+        // Cross-handshake: each side signals and then waits for the
+        // other. Completes only if the sides genuinely interleave
+        // (worker + joining thread), on any core count.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let fa = AtomicBool::new(false);
+        let fb = AtomicBool::new(false);
+        let wait = |flag: &AtomicBool| {
+            for _ in 0..1_000_000 {
+                if flag.load(Ordering::SeqCst) {
+                    return true;
                 }
-                flag.load(Ordering::SeqCst)
-            },
-        );
-        assert!(waited, "left closure should have run on its own thread");
+                std::thread::yield_now();
+            }
+            false
+        };
+        let (sa, sb) = pool.install(|| {
+            join(
+                || {
+                    fa.store(true, Ordering::SeqCst);
+                    wait(&fb)
+                },
+                || {
+                    fb.store(true, Ordering::SeqCst);
+                    wait(&fa)
+                },
+            )
+        });
+        assert!(sa && sb, "join sides must make progress concurrently");
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| join(|| 1, || panic!("boom")))
+        }));
+        assert!(caught.is_err(), "stolen-side panic must propagate to the joiner");
     }
 
     #[test]
@@ -361,7 +272,7 @@ mod tests {
     }
 
     #[test]
-    fn sequential_adapters_match_std() {
+    fn combinators_match_std() {
         let xs = [3u64, 1, 4, 1, 5];
         let doubled: Vec<u64> = xs.par_iter().with_min_len(2).map(|&x| x * 2).collect();
         assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
@@ -372,5 +283,57 @@ mod tests {
         assert_eq!(ys, vec![2, 5, 9]);
         let any_changed = xs.par_iter().map(|&x| x > 4).reduce(|| false, |a, b| a | b);
         assert!(any_changed);
+        let (evens, odds): (Vec<u64>, Vec<u64>) =
+            (0..10u64).into_par_iter().map(|x| (x * 2, x * 2 + 1)).unzip();
+        assert_eq!(evens, vec![0, 2, 4, 6, 8, 10, 12, 14, 16, 18]);
+        assert_eq!(odds, vec![1, 3, 5, 7, 9, 11, 13, 15, 17, 19]);
+    }
+
+    #[test]
+    fn combinators_match_std_on_a_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let n = 100_000u64;
+            let total: u64 = (0..n).into_par_iter().with_min_len(64).sum();
+            assert_eq!(total, n * (n - 1) / 2);
+            let xs: Vec<u64> = (0..n).collect();
+            let mapped: Vec<u64> = xs.par_iter().with_min_len(64).map(|&x| x + 1).collect();
+            assert!(mapped.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+            let mx = xs.par_iter().map(|&x| x).max_by(|a, b| a.cmp(b));
+            assert_eq!(mx, Some(n - 1));
+            let mut buf = vec![0u64; 1000];
+            buf.par_chunks_mut(64).enumerate().for_each(|(c, chunk)| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = (c * 64 + i) as u64;
+                }
+            });
+            assert!(buf.iter().enumerate().all(|(i, &v)| v == i as u64));
+        });
+    }
+
+    #[test]
+    fn parallel_sort_matches_std() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let mut xs: Vec<u64> =
+                (0..60_000u64).map(|i| i.wrapping_mul(0x9E37_79B9) % 10_007).collect();
+            let mut expect = xs.clone();
+            expect.sort_unstable();
+            xs.par_sort_unstable_by_key(|&x| x);
+            assert_eq!(xs, expect);
+        });
+    }
+
+    #[test]
+    fn work_distributes_and_completes_under_contention() {
+        // many concurrent fork-joins on one pool — a scheduler smoke test
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let counter = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..1000usize).into_par_iter().with_min_len(1).for_each(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
     }
 }

@@ -1,0 +1,369 @@
+//! The work-stealing pool: worker threads, per-worker deques, a shared
+//! injector, and the stack-job/latch machinery `join` is built on.
+//!
+//! Layout (classic shared-injector + per-worker-deque scheduler):
+//!
+//! * every [`Registry`] owns `n` worker threads, each with its own deque
+//!   (LIFO for the owner, FIFO for thieves — oldest jobs are stolen
+//!   first, so the biggest subtrees migrate);
+//! * threads that are not workers of the registry (the main thread, a
+//!   different pool's workers) submit through the shared injector;
+//! * a blocked `join` *works while it waits*: it executes stolen jobs
+//!   until its own job's latch trips, so the pool never idles while any
+//!   runnable work exists.
+//!
+//! The deques are mutex-protected `VecDeque`s rather than lock-free
+//! Chase–Lev deques: tasks here are coarse (a divide step, a scan
+//! chunk), so queue operations are nowhere near the contention regime
+//! where lock-freedom pays, and the mutex version is trivially sound.
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// How long an idle worker parks between queue re-checks. Wake-ups are
+/// also signalled eagerly on every push; the timeout only bounds the
+/// window of the (benign) check-then-park race.
+const PARK_TIMEOUT: Duration = Duration::from_micros(500);
+
+// ---------------------------------------------------------------------
+// jobs
+// ---------------------------------------------------------------------
+
+/// A type-erased pointer to a job waiting in some queue. The pointee
+/// (a [`StackJob`] on a joining thread's stack, kept alive until its
+/// latch trips) outlives the reference by construction.
+pub(crate) struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// SAFETY: the job closures are `Send`; the pointer is only dereferenced
+// by `execute`, on exactly one thread.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// SAFETY: must be called at most once, while the pointee is alive.
+    pub(crate) unsafe fn execute(self) {
+        unsafe { (self.execute_fn)(self.data) }
+    }
+}
+
+/// A once-settable flag a waiter can poll. `set` publishes with
+/// `Release` so the job's result (written just before) is visible to
+/// any `probe`-ing thread.
+pub(crate) struct Latch {
+    set: AtomicBool,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Latch {
+        Latch { set: AtomicBool::new(false) }
+    }
+
+    pub(crate) fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+}
+
+enum JobResult<R> {
+    Pending,
+    Ok(R),
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// A job whose closure and result live on the stack of the thread that
+/// created it (the joining thread), referenced from the queues through a
+/// raw [`JobRef`].
+pub(crate) struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+    pub(crate) latch: Latch,
+}
+
+// SAFETY: accessed by at most one executor, then (after the latch) by
+// the owner; the latch's Release/Acquire pair orders the handoff.
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F) -> StackJob<F, R> {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::Pending),
+            latch: Latch::new(),
+        }
+    }
+
+    /// SAFETY: caller must keep `self` alive until the latch trips.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        unsafe fn execute_job<F, R>(data: *const ())
+        where
+            F: FnOnce() -> R + Send,
+            R: Send,
+        {
+            let job = unsafe { &*(data as *const StackJob<F, R>) };
+            job.run();
+        }
+        JobRef { data: self as *const _ as *const (), execute_fn: execute_job::<F, R> }
+    }
+
+    /// Runs the closure and publishes the result through the latch.
+    /// Called exactly once — by a thief via the [`JobRef`], or by the
+    /// owner if it reclaimed the job from its own deque.
+    pub(crate) fn run(&self) {
+        let func = unsafe { (*self.func.get()).take().expect("job executed twice") };
+        let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(r) => JobResult::Ok(r),
+            Err(payload) => JobResult::Panicked(payload),
+        };
+        unsafe { *self.result.get() = result };
+        self.latch.set();
+    }
+
+    /// Takes the result after the latch has tripped (or after `run` on
+    /// the owning thread), resuming the job's panic if it had one.
+    pub(crate) fn into_result(self) -> R {
+        match self.result.into_inner() {
+            JobResult::Ok(r) => r,
+            JobResult::Panicked(payload) => panic::resume_unwind(payload),
+            JobResult::Pending => unreachable!("result taken before the job ran"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// registry
+// ---------------------------------------------------------------------
+
+pub(crate) struct Registry {
+    /// Per-worker deques (owner pushes/pops the back, thieves the front).
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    /// Submissions from threads that are not workers of this registry.
+    injector: Mutex<VecDeque<JobRef>>,
+    sleep_mutex: Mutex<()>,
+    sleep_cv: Condvar,
+    /// Threads currently parked (or about to park) on `sleep_cv`.
+    /// Pushers and completers skip the wake lock entirely while this is
+    /// zero — the common busy-pool case — so the single sleep mutex
+    /// never becomes a scalability cap for fine-grained task streams.
+    sleepers: AtomicUsize,
+    terminate: AtomicBool,
+    n_threads: usize,
+}
+
+thread_local! {
+    /// Set on worker threads: (owning registry, worker index). Raw
+    /// pointer — the worker's `Arc` keeps the registry alive for the
+    /// thread's whole life.
+    static WORKER: Cell<Option<(*const Registry, usize)>> = const { Cell::new(None) };
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The process-default registry, sized to the hardware.
+pub(crate) fn global_registry() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Registry::new(hardware_threads()).0)
+}
+
+impl Registry {
+    /// Builds a registry and spawns its workers; returns the join
+    /// handles so pool owners can reap them on drop.
+    pub(crate) fn new(n_threads: usize) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
+        let n = n_threads.max(1);
+        let registry = Arc::new(Registry {
+            deques: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep_mutex: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            terminate: AtomicBool::new(false),
+            n_threads: n,
+        });
+        let handles = (0..n)
+            .map(|index| {
+                let reg = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("c1p-rayon-{index}"))
+                    .spawn(move || worker_main(reg, index))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// The calling thread's worker index in *this* registry, if any.
+    fn local_index(&self) -> Option<usize> {
+        WORKER.with(|w| match w.get() {
+            Some((reg, index)) if std::ptr::eq(reg, self) => Some(index),
+            _ => None,
+        })
+    }
+
+    /// Queues a job: on the owner's own deque when called from one of
+    /// this registry's workers, otherwise through the injector.
+    pub(crate) fn push(&self, job: JobRef) {
+        match self.local_index() {
+            Some(index) => self.deques[index].lock().unwrap().push_back(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        // eager wake; PARK_TIMEOUT bounds the residual check-park race
+        self.notify();
+    }
+
+    /// Reclaims the newest job of the caller's own deque, if present.
+    /// `join` uses this to run its second closure inline when no thief
+    /// took it (the common case, preserving sequential-like locality).
+    fn pop_local(&self) -> Option<JobRef> {
+        let index = self.local_index()?;
+        self.deques[index].lock().unwrap().pop_back()
+    }
+
+    /// Finds a runnable job: own deque first (newest — depth-first),
+    /// then the injector, then other workers' deques (oldest — the
+    /// steal half of work-stealing).
+    fn find_work(&self) -> Option<JobRef> {
+        let local = self.local_index();
+        if let Some(index) = local {
+            if let Some(job) = self.deques[index].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let start = local.map_or(0, |i| i + 1);
+        for k in 0..self.deques.len() {
+            let victim = (start + k) % self.deques.len();
+            if Some(victim) == local {
+                continue;
+            }
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Wakes parked waiters (called after a push, and after any job
+    /// completes, since that may have tripped a latch someone is parked
+    /// on). No-op — no lock taken — while nobody is parked.
+    fn notify(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_mutex.lock().unwrap();
+            self.sleep_cv.notify_all();
+        }
+    }
+
+    /// Parks the calling thread until a wake-up or the timeout, unless
+    /// `should_return` already holds (checked under the sleep lock, with
+    /// the sleeper count already published — closes the check-then-park
+    /// race against `notify`).
+    fn park_unless(&self, should_return: impl Fn() -> bool) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let guard = self.sleep_mutex.lock().unwrap();
+        if !should_return() {
+            let _ = self.sleep_cv.wait_timeout(guard, PARK_TIMEOUT).unwrap();
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Work-steals until `latch` trips. Both workers *and* external
+    /// joining threads help execute queued jobs while they wait.
+    pub(crate) fn wait_until(&self, latch: &Latch) {
+        let mut spins = 0u32;
+        while !latch.probe() {
+            if let Some(job) = self.find_work() {
+                unsafe { job.execute() };
+                self.notify();
+                spins = 0;
+            } else if spins < 64 {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                self.park_unless(|| latch.probe());
+            }
+        }
+    }
+
+    /// Two-sided fork-join on this registry. The *second* closure is
+    /// published for stealing (FIFO end — stolen first); the first runs
+    /// inline; the second is reclaimed inline if nobody stole it.
+    pub(crate) fn join<A, B, RA, RB>(self: &Arc<Self>, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let job_b = StackJob::new(b);
+        // SAFETY: job_b outlives every path below — each either runs the
+        // job inline or waits for its latch before returning/unwinding.
+        unsafe { self.push(job_b.as_job_ref()) };
+        let ra = panic::catch_unwind(AssertUnwindSafe(a));
+        match self.pop_local() {
+            // Reclaimed: by LIFO discipline the top of our deque is
+            // necessarily job_b (every job pushed during `a` was popped
+            // or stolen before its enclosing join returned). The pointer
+            // check makes a violation of that invariant loud-but-sound:
+            // the foreign job still runs, and we fall back to waiting.
+            Some(job) => {
+                let is_ours = std::ptr::eq(job.data, &job_b as *const _ as *const ());
+                debug_assert!(is_ours, "LIFO reclaim popped a foreign job");
+                unsafe { job.execute() };
+                self.notify();
+                if !is_ours {
+                    self.wait_until(&job_b.latch);
+                }
+            }
+            // Stolen (or we are an external thread): work while waiting.
+            None => self.wait_until(&job_b.latch),
+        }
+        match ra {
+            Ok(ra) => (ra, job_b.into_result()),
+            Err(payload) => {
+                // `a` panicked: job_b's latch has tripped (both arms
+                // above guarantee it), so unwinding is safe.
+                panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    pub(crate) fn terminate(&self) {
+        self.terminate.store(true, Ordering::Release);
+        let _guard = self.sleep_mutex.lock().unwrap();
+        self.sleep_cv.notify_all();
+    }
+}
+
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    WORKER.with(|w| w.set(Some((Arc::as_ptr(&registry), index))));
+    crate::set_current_registry(&registry);
+    loop {
+        if let Some(job) = registry.find_work() {
+            unsafe { job.execute() };
+            registry.notify();
+        } else if registry.terminate.load(Ordering::Acquire) {
+            break;
+        } else {
+            registry.park_unless(|| registry.terminate.load(Ordering::Acquire));
+        }
+    }
+}

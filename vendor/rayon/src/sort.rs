@@ -1,0 +1,69 @@
+//! Parallel merge sort (the slice `par_sort_*_by_key` entry points).
+//!
+//! Fork-join mergesort over `Copy` payloads: halves sort in parallel
+//! down to a sequential cutoff (std's pattern-defeating quicksort),
+//! then pairs merge out-of-place into a scratch buffer. The merge is
+//! stable, so `par_sort_by_key` and `par_sort_unstable_by_key` share
+//! it. Requiring `T: Copy` keeps every move a plain memcpy — no drop
+//! obligations to track across panics — and covers every payload the
+//! workspace sorts (index/key records).
+
+/// Below this many elements (or on a single-thread pool) sorting is
+/// handed straight to std.
+const SEQ_SORT_CUTOFF: usize = 1 << 13;
+
+pub(crate) fn par_mergesort_by_key<T, K, F>(xs: &mut [T], key: &F)
+where
+    T: Copy + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    let n = xs.len();
+    if n <= SEQ_SORT_CUTOFF || crate::current_num_threads() <= 1 {
+        xs.sort_by_key(|t| key(t));
+        return;
+    }
+    let mut buf: Vec<T> = xs.to_vec();
+    let splits = (crate::current_num_threads() * 2).next_power_of_two();
+    sort_rec(xs, &mut buf, key, splits);
+}
+
+fn sort_rec<T, K, F>(xs: &mut [T], buf: &mut [T], key: &F, splits: usize)
+where
+    T: Copy + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    if splits <= 1 || xs.len() <= SEQ_SORT_CUTOFF {
+        xs.sort_by_key(|t| key(t));
+        return;
+    }
+    let mid = xs.len() / 2;
+    let (xl, xr) = xs.split_at_mut(mid);
+    let (bl, br) = buf.split_at_mut(mid);
+    crate::join(|| sort_rec(xl, bl, key, splits / 2), || sort_rec(xr, br, key, splits / 2));
+    merge_halves(xs, mid, buf, key);
+}
+
+/// Stable merge of `xs[..mid]` and `xs[mid..]` through `buf`.
+fn merge_halves<T, K, F>(xs: &mut [T], mid: usize, buf: &mut [T], key: &F)
+where
+    T: Copy,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    {
+        let (left, right) = xs.split_at(mid);
+        let (mut i, mut j) = (0, 0);
+        for slot in buf.iter_mut() {
+            if j >= right.len() || (i < left.len() && key(&left[i]) <= key(&right[j])) {
+                *slot = left[i];
+                i += 1;
+            } else {
+                *slot = right[j];
+                j += 1;
+            }
+        }
+    }
+    xs.copy_from_slice(buf);
+}
