@@ -1,54 +1,13 @@
 //! Shared experiment workloads (deterministic seeds so tables reproduce).
+//!
+//! The generators themselves live in [`c1p_matrix::generate`] so that the
+//! serving load driver (`c1p-engine`'s `load_driver`) and this harness draw
+//! traffic from one definition; this module re-exports them under the
+//! historical `c1p_bench::workloads` paths and keeps the solver-facing
+//! integration tests (which need `c1p-core`/`c1p-cert` and therefore cannot
+//! live in the matrix crate).
 
-use c1p_matrix::generate::{planted_c1p, PlantedShape};
-use c1p_matrix::tucker::TuckerFamily;
-use c1p_matrix::{Atom, Ensemble};
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
-
-/// The standard planted instance used by the scaling experiments:
-/// `m = 2n` interval columns of mean length ≈ 12 (the clone-coverage shape
-/// of Section 1.1), deterministic in `(n, seed)`.
-pub fn planted(n: usize, seed: u64) -> Ensemble {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC190u64);
-    planted_c1p(
-        PlantedShape { n_atoms: n, n_columns: 2 * n, min_len: 2, max_len: 24.min(n.max(3) - 1) },
-        &mut rng,
-    )
-    .0
-}
-
-/// A planted instance with every column of length exactly `k` (density
-/// factor `f = n/k`), for experiment E7.
-pub fn planted_k(n: usize, m: usize, k: usize, seed: u64) -> Ensemble {
-    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
-    planted_c1p(PlantedShape { n_atoms: n, n_columns: m, min_len: k, max_len: k }, &mut rng).0
-}
-
-/// The standard *rejection* workload: [`planted`]'s shape with one Tucker
-/// obstruction (family cycled by `seed`) embedded at a seed-deterministic
-/// offset — non-C1P at every size, with the obstruction buried in `2n`
-/// satisfiable columns. Returns the ensemble and the planted family.
-pub fn planted_reject(n: usize, seed: u64) -> (Ensemble, TuckerFamily) {
-    let base = planted(n, seed);
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xBAD5EED);
-    let k = 1 + rng.random_range(0..4usize);
-    let fam = match seed % 5 {
-        0 => TuckerFamily::MI(k),
-        1 => TuckerFamily::MII(k),
-        2 => TuckerFamily::MIII(k),
-        3 => TuckerFamily::MIV,
-        _ => TuckerFamily::MV,
-    };
-    let obs = fam.generate();
-    assert!(n >= obs.n_atoms(), "rejection workload needs n >= family size");
-    let offset = rng.random_range(0..=n - obs.n_atoms());
-    let mut cols = base.columns().to_vec();
-    cols.extend(
-        obs.columns().iter().map(|c| c.iter().map(|&a| a + offset as Atom).collect::<Vec<_>>()),
-    );
-    (Ensemble::from_columns(n, cols).expect("embedded columns are valid"), fam)
-}
+pub use c1p_matrix::generate::{planted, planted_k, planted_reject};
 
 #[cfg(test)]
 mod tests {

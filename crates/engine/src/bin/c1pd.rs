@@ -1,0 +1,143 @@
+//! `c1pd` — the std-only TCP front-end of the solve engine.
+//!
+//! ```text
+//! c1pd [--addr 127.0.0.1:9119] [--port-file PATH] [--threads N]
+//!      [--cache-mb MB] [--max-batch N] [--small-cutoff N]
+//!      [--max-queue N] [--max-conns N] [--max-frame-mb MB]
+//! ```
+//!
+//! Speaks the length-prefixed frame protocol of `c1p_engine::proto`: one
+//! `Verdict`/`Error` response per `Solve` request, in order, per
+//! connection; `GetStats` answers with the engine's JSON snapshot.
+//! Requests from all connections funnel into one engine, so batching and
+//! the result cache amortize across tenants.
+//!
+//! Admission control happens at three layers: frame size (byte cap before
+//! allocation), connection count (excess connections get one `Overloaded`
+//! error frame and are closed), and queue depth (excess submissions get
+//! `Overloaded` responses). Bind to port 0 for an ephemeral port; the
+//! chosen address is printed on stdout (`c1pd listening on ...`) and, with
+//! `--port-file`, the bare port is written to the given path for scripts.
+
+use c1p_engine::proto::{encode_msg, read_frame, write_frame, ErrorCode, Msg, DEFAULT_MAX_FRAME};
+use c1p_engine::{Engine, EngineConfig, EngineError};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn num_flag(args: &[String], name: &str, default: usize) -> usize {
+    flag(args, name).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| panic!("{name} takes a number, got {v:?}"))
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let defaults = EngineConfig::default();
+    let cfg = EngineConfig {
+        threads: num_flag(&args, "--threads", 0),
+        cache_bytes: num_flag(&args, "--cache-mb", defaults.cache_bytes >> 20) << 20,
+        max_batch: num_flag(&args, "--max-batch", defaults.max_batch),
+        small_cutoff: num_flag(&args, "--small-cutoff", defaults.small_cutoff),
+        max_queue: num_flag(&args, "--max-queue", defaults.max_queue),
+        max_atoms: defaults.max_atoms,
+    };
+    let max_conns = num_flag(&args, "--max-conns", 64);
+    let max_frame = num_flag(&args, "--max-frame-mb", DEFAULT_MAX_FRAME >> 20) << 20;
+    let addr = flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:9119".to_string());
+
+    let engine = Arc::new(Engine::new(cfg));
+    let listener =
+        TcpListener::bind(&addr).unwrap_or_else(|e| panic!("c1pd: cannot bind {addr}: {e}"));
+    let local = listener.local_addr().expect("bound socket has an address");
+    println!("c1pd listening on {local}");
+    io::stdout().flush().ok();
+    if let Some(path) = flag(&args, "--port-file") {
+        std::fs::write(&path, format!("{}\n", local.port()))
+            .unwrap_or_else(|e| panic!("c1pd: cannot write {path}: {e}"));
+    }
+
+    let active = Arc::new(AtomicUsize::new(0));
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("c1pd: accept failed: {e}");
+                continue;
+            }
+        };
+        if active.load(Ordering::Acquire) >= max_conns {
+            refuse(stream);
+            continue;
+        }
+        active.fetch_add(1, Ordering::AcqRel);
+        let engine = Arc::clone(&engine);
+        let active = Arc::clone(&active);
+        thread::spawn(move || {
+            let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_default();
+            if let Err(e) = handle_conn(stream, &engine, max_frame) {
+                // benign disconnects are the common case; log the rest
+                if e.kind() != io::ErrorKind::UnexpectedEof
+                    && e.kind() != io::ErrorKind::ConnectionReset
+                {
+                    eprintln!("c1pd: connection {peer}: {e}");
+                }
+            }
+            active.fetch_sub(1, Ordering::AcqRel);
+        });
+    }
+}
+
+/// Best-effort `Overloaded` error frame to a refused connection.
+fn refuse(stream: TcpStream) {
+    let mut w = BufWriter::new(stream);
+    let msg = Msg::Error {
+        id: 0,
+        code: ErrorCode::Overloaded,
+        message: "connection limit reached".into(),
+    };
+    let _ = write_frame(&mut w, &encode_msg(&msg));
+    let _ = w.flush();
+}
+
+fn handle_conn(stream: TcpStream, engine: &Engine, max_frame: usize) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(payload) = read_frame(&mut reader, max_frame)? {
+        let reply = match c1p_engine::proto::decode_msg(&payload) {
+            Ok(Msg::Solve { id, ens }) => match engine.submit(ens) {
+                Ok(ticket) => match ticket.wait() {
+                    Ok(verdict) => Msg::Verdict { id, verdict: verdict.to_wire() },
+                    Err(e) => engine_error(id, e),
+                },
+                Err(e) => engine_error(id, e),
+            },
+            Ok(Msg::GetStats) => Msg::Stats { json: engine.stats().to_json() },
+            Ok(_) => Msg::Error {
+                id: 0,
+                code: ErrorCode::Malformed,
+                message: "unexpected message kind for a server".into(),
+            },
+            Err(e) => Msg::Error { id: 0, code: ErrorCode::Malformed, message: e.to_string() },
+        };
+        write_frame(&mut writer, &encode_msg(&reply))?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+fn engine_error(id: u64, e: EngineError) -> Msg {
+    let code = match e {
+        EngineError::Overloaded => ErrorCode::Overloaded,
+        EngineError::TooLarge { .. } => ErrorCode::TooLarge,
+        EngineError::ShuttingDown => ErrorCode::Internal,
+    };
+    Msg::Error { id, code, message: e.to_string() }
+}

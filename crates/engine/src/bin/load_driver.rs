@@ -1,0 +1,244 @@
+//! `load_driver` — closed-loop traffic generator and client-side verifier
+//! for `c1pd`.
+//!
+//! ```text
+//! load_driver --addr 127.0.0.1:PORT [--requests 500] [--conns 4]
+//!             [--seed 1] [--dup-every 3] [--reject-every 4]
+//!             [--n-lo 48] [--n-hi 160] [--expect-hits]
+//! ```
+//!
+//! Generates a deterministic mixed accept/reject schedule from the shared
+//! workload generator (`c1p_matrix::generate::mixed_schedule` — the same
+//! definition experiment E11 and the `engine_batch` example use), with
+//! every `--dup-every`-th request replaying an earlier instance so the
+//! server's cache has something to hit. `--conns` closed-loop connections
+//! round-robin the schedule.
+//!
+//! Every response is checked **client-side, without trusting the server**:
+//! accepts must pass `verify_linear` against the sent instance, rejects
+//! must carry a Tucker certificate that `c1p_cert::verify_witness`
+//! confirms; both must agree with an in-process solve of the same
+//! instance. Exits nonzero on any protocol error, verification failure,
+//! verdict disagreement, or (with `--expect-hits`) a zero cache-hit count.
+
+use c1p_cert::{verify_witness, TuckerWitness};
+use c1p_engine::proto::{decode_msg, encode_msg, read_frame, write_frame, Msg, DEFAULT_MAX_FRAME};
+use c1p_matrix::generate::{mixed_schedule, MixedSchedule};
+use c1p_matrix::io::WireVerdict;
+use c1p_matrix::{verify_linear, Ensemble};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn num_flag(args: &[String], name: &str, default: u64) -> u64 {
+    flag(args, name).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| panic!("{name} takes a number, got {v:?}"))
+    })
+}
+
+#[derive(Default)]
+struct Tally {
+    protocol_errors: AtomicU64,
+    verify_failures: AtomicU64,
+    disagreements: AtomicU64,
+    completed: AtomicU64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = flag(&args, "--addr").expect("--addr HOST:PORT is required");
+    let requests = num_flag(&args, "--requests", 500) as usize;
+    let conns = (num_flag(&args, "--conns", 4) as usize).max(1);
+    let seed = num_flag(&args, "--seed", 1);
+    let dup_every = num_flag(&args, "--dup-every", 3) as usize;
+    let reject_every = num_flag(&args, "--reject-every", 4) as usize;
+    let n_lo = num_flag(&args, "--n-lo", 48) as usize;
+    let n_hi = num_flag(&args, "--n-hi", 160) as usize;
+    let expect_hits = args.iter().any(|a| a == "--expect-hits");
+
+    // deterministic schedule (shared definition: c1p_matrix::generate) +
+    // in-process expected verdicts
+    let schedule =
+        mixed_schedule(MixedSchedule { requests, seed, dup_every, reject_every, n_lo, n_hi });
+    let expected: Vec<bool> = schedule.iter().map(|e| c1p_core::solve(e).is_ok()).collect();
+    println!(
+        "load_driver: {} requests ({} accept / {} reject expected), {} connection(s), seed {}",
+        requests,
+        expected.iter().filter(|&&b| b).count(),
+        expected.iter().filter(|&&b| !b).count(),
+        conns,
+        seed,
+    );
+
+    let tally = Arc::new(Tally::default());
+    let schedule = Arc::new(schedule);
+    let expected = Arc::new(expected);
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..conns {
+        let (schedule, expected, tally, addr) =
+            (Arc::clone(&schedule), Arc::clone(&expected), Arc::clone(&tally), addr.clone());
+        handles.push(std::thread::spawn(move || {
+            drive_connection(c, conns, &addr, &schedule, &expected, &tally)
+        }));
+    }
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(requests);
+    for h in handles {
+        latencies_us.extend(h.join().expect("driver thread panicked"));
+    }
+    let wall = t0.elapsed();
+
+    // engine-side stats over a fresh connection
+    let hits = fetch_stat(&addr, "\"hits\":").unwrap_or(-1);
+    let completed = tally.completed.load(Ordering::Relaxed);
+    let protocol_errors = tally.protocol_errors.load(Ordering::Relaxed);
+    let verify_failures = tally.verify_failures.load(Ordering::Relaxed);
+    let disagreements = tally.disagreements.load(Ordering::Relaxed);
+
+    latencies_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies_us.is_empty() {
+            return 0;
+        }
+        let ix = ((latencies_us.len() - 1) as f64 * p).round() as usize;
+        latencies_us[ix]
+    };
+    println!(
+        "completed {completed}/{requests} in {:.2}s ({:.0} req/s) | \
+         latency p50 {}us p90 {}us p99 {}us",
+        wall.as_secs_f64(),
+        completed as f64 / wall.as_secs_f64().max(1e-9),
+        pct(0.50),
+        pct(0.90),
+        pct(0.99),
+    );
+    println!(
+        "protocol errors {protocol_errors} | verify failures {verify_failures} | \
+         disagreements {disagreements} | server cache hits {hits}"
+    );
+
+    let mut failed = false;
+    if completed != requests as u64 || protocol_errors > 0 {
+        eprintln!("FAIL: protocol errors or missing responses");
+        failed = true;
+    }
+    if verify_failures > 0 {
+        eprintln!("FAIL: client-side verification failures");
+        failed = true;
+    }
+    if disagreements > 0 {
+        eprintln!("FAIL: verdict disagreement with in-process solve");
+        failed = true;
+    }
+    if expect_hits && hits <= 0 {
+        eprintln!("FAIL: expected a nonzero server cache hit count, got {hits}");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("load_driver: all checks passed");
+}
+
+/// One closed-loop connection: sends its round-robin share of the
+/// schedule, verifying every response. Returns per-request latencies.
+fn drive_connection(
+    conn_ix: usize,
+    conns: usize,
+    addr: &str,
+    schedule: &[Ensemble],
+    expected: &[bool],
+    tally: &Tally,
+) -> Vec<u64> {
+    let stream = TcpStream::connect(addr)
+        .unwrap_or_else(|e| panic!("load_driver: cannot connect {addr}: {e}"));
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = BufWriter::new(stream);
+    let mut latencies = Vec::new();
+    for i in (conn_ix..schedule.len()).step_by(conns) {
+        let ens = &schedule[i];
+        let t0 = Instant::now();
+        let req = Msg::Solve { id: i as u64, ens: ens.clone() };
+        if write_frame(&mut writer, &encode_msg(&req)).and_then(|()| writer.flush()).is_err() {
+            tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            break;
+        }
+        let payload = match read_frame(&mut reader, DEFAULT_MAX_FRAME) {
+            Ok(Some(p)) => p,
+            _ => {
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        };
+        latencies.push(t0.elapsed().as_micros() as u64);
+        match decode_msg(&payload) {
+            Ok(Msg::Verdict { id, verdict }) if id == i as u64 => {
+                check_verdict(ens, expected[i], &verdict, tally);
+                tally.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Msg::Error { id, code, message }) => {
+                eprintln!("server error for request {id}: {code:?}: {message}");
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            other => {
+                eprintln!("unexpected response for request {i}: {other:?}");
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    latencies
+}
+
+/// Client-side verification: the server's word is never taken for it.
+fn check_verdict(ens: &Ensemble, expect_c1p: bool, verdict: &WireVerdict, tally: &Tally) {
+    match verdict {
+        WireVerdict::Accept { order } => {
+            if !expect_c1p {
+                tally.disagreements.fetch_add(1, Ordering::Relaxed);
+            }
+            if verify_linear(ens, order).is_err() {
+                tally.verify_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        WireVerdict::Reject { family, atom_rows, column_ids } => {
+            if expect_c1p {
+                tally.disagreements.fetch_add(1, Ordering::Relaxed);
+            }
+            let witness = TuckerWitness {
+                family: *family,
+                atom_rows: atom_rows.clone(),
+                column_ids: column_ids.clone(),
+            };
+            if verify_witness(ens, &witness).is_err() {
+                tally.verify_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Queries the server's stats frame and scans one integer field out of the
+/// JSON (the driver carries no JSON parser by design, matching par_smoke).
+fn fetch_stat(addr: &str, key: &str) -> Option<i64> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut writer = BufWriter::new(stream);
+    write_frame(&mut writer, &encode_msg(&Msg::GetStats)).ok()?;
+    writer.flush().ok()?;
+    let payload = read_frame(&mut reader, DEFAULT_MAX_FRAME).ok()??;
+    match decode_msg(&payload).ok()? {
+        Msg::Stats { json } => {
+            let at = json.find(key)?;
+            let rest = json[at + key.len()..].trim_start();
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            rest[..end].trim().parse().ok()
+        }
+        _ => None,
+    }
+}

@@ -1,0 +1,164 @@
+//! The fingerprint-keyed result cache: an LRU over hash-consed canonical
+//! ensemble encodings with byte-level size accounting.
+//!
+//! Only *finished* verdicts live here; in-flight computations are pinned in
+//! the engine's separate pending map, so eviction can never drop an entry a
+//! waiter is about to read (the "eviction never drops an in-flight entry"
+//! invariant holds by construction, not by a flag).
+//!
+//! Eviction is strict LRU by touch order, driven by a byte budget: entries
+//! are charged their key length plus the verdict payload plus a fixed
+//! per-entry overhead, and the oldest entries are dropped until the budget
+//! holds. A single entry larger than the whole budget is never inserted
+//! (counted in `uncacheable`) — inserting it would evict the entire cache
+//! for a value that is itself immediately evicted.
+
+use crate::Verdict;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Approximate bookkeeping overhead per entry (map nodes, `Arc` headers,
+/// the `Slot` itself). The accounting is a budget, not an audit; the
+/// constant just keeps "a million empty entries" from reading as zero.
+const ENTRY_OVERHEAD: usize = 96;
+
+pub(crate) struct ResultCache {
+    cap: usize,
+    bytes: usize,
+    tick: u64,
+    map: HashMap<Arc<[u8]>, Slot>,
+    /// touch-tick → key; the leftmost entry is the eviction victim.
+    lru: BTreeMap<u64, Arc<[u8]>>,
+    pub evictions: u64,
+    pub insertions: u64,
+    pub uncacheable: u64,
+}
+
+struct Slot {
+    verdict: Verdict,
+    bytes: usize,
+    tick: u64,
+}
+
+impl ResultCache {
+    pub fn new(cap: usize) -> Self {
+        ResultCache {
+            cap,
+            bytes: 0,
+            tick: 0,
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+            evictions: 0,
+            insertions: 0,
+            uncacheable: 0,
+        }
+    }
+
+    pub fn entries(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Looks up a canonical key, refreshing its LRU position on a hit.
+    pub fn get(&mut self, key: &[u8]) -> Option<Verdict> {
+        let shared = self.map.get_key_value(key)?.0.clone();
+        self.tick += 1;
+        let tick = self.tick;
+        let slot = self.map.get_mut(key).expect("key just seen");
+        self.lru.remove(&slot.tick);
+        slot.tick = tick;
+        self.lru.insert(tick, shared);
+        Some(slot.verdict.clone())
+    }
+
+    /// Inserts a finished verdict, then evicts least-recently-used entries
+    /// until the byte budget holds again.
+    pub fn insert(&mut self, key: Arc<[u8]>, verdict: &Verdict) {
+        let bytes = ENTRY_OVERHEAD + key.len() + verdict_bytes(verdict);
+        if bytes > self.cap {
+            self.uncacheable += 1;
+            return;
+        }
+        if self.map.contains_key(&*key) {
+            return; // lost a benign race; the existing entry is identical
+        }
+        self.tick += 1;
+        self.map.insert(key.clone(), Slot { verdict: verdict.clone(), bytes, tick: self.tick });
+        self.lru.insert(self.tick, key);
+        self.bytes += bytes;
+        self.insertions += 1;
+        while self.bytes > self.cap {
+            let (&victim_tick, _) = self.lru.iter().next().expect("bytes > 0 implies entries");
+            let victim = self.lru.remove(&victim_tick).expect("tick just seen");
+            let slot = self.map.remove(&victim).expect("lru and map agree");
+            self.bytes -= slot.bytes;
+            self.evictions += 1;
+        }
+    }
+}
+
+fn verdict_bytes(v: &Verdict) -> usize {
+    match v {
+        Verdict::C1p { order } => 4 * order.len(),
+        Verdict::NotC1p { rejection, witness } => {
+            32 + 4 * (rejection.atoms.len() + witness.atom_rows.len() + witness.column_ids.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(b: u8, len: usize) -> Arc<[u8]> {
+        vec![b; len].into()
+    }
+
+    fn accept(n: usize) -> Verdict {
+        Verdict::C1p { order: (0..n as u32).collect() }
+    }
+
+    #[test]
+    fn lru_evicts_oldest_untouched_entry() {
+        // each entry: 96 + 8 (key) + 40 (order) = 144 bytes; budget fits two
+        let mut c = ResultCache::new(300);
+        c.insert(key(1, 8), &accept(10));
+        c.insert(key(2, 8), &accept(10));
+        assert_eq!(c.entries(), 2);
+        // touch 1 so 2 becomes the LRU victim
+        assert!(c.get(&[1u8; 8]).is_some());
+        c.insert(key(3, 8), &accept(10));
+        assert_eq!(c.entries(), 2);
+        assert!(c.get(&[1u8; 8]).is_some());
+        assert!(c.get(&[2u8; 8]).is_none(), "untouched entry evicted");
+        assert!(c.get(&[3u8; 8]).is_some());
+        assert_eq!(c.evictions, 1);
+    }
+
+    #[test]
+    fn byte_accounting_balances() {
+        let mut c = ResultCache::new(10_000);
+        for i in 0..20 {
+            c.insert(key(i, 16), &accept(i as usize));
+        }
+        let expect: usize = (0..20).map(|i| ENTRY_OVERHEAD + 16 + 4 * i).sum();
+        assert_eq!(c.bytes(), expect);
+        assert_eq!(c.insertions, 20);
+        assert_eq!(c.evictions, 0);
+    }
+
+    #[test]
+    fn oversized_entries_are_never_inserted() {
+        let mut c = ResultCache::new(200);
+        c.insert(key(1, 8), &accept(1000)); // 4k payload vs 200-byte budget
+        assert_eq!(c.entries(), 0);
+        assert_eq!(c.uncacheable, 1);
+        // and a zero-budget cache caches nothing at all
+        let mut z = ResultCache::new(0);
+        z.insert(key(2, 8), &accept(1));
+        assert_eq!(z.entries(), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! The cache-keying rule (DESIGN.md §8): **canonicalization = sort the
+//! columns lexicographically; atoms are untouched**.
+//!
+//! Two requests share a cache entry iff they have the same atom count and
+//! the same *multiset of columns* — i.e. they differ only by a permutation
+//! of the column order. Renumbering atoms changes the column contents and
+//! therefore the key (a deliberate miss: a witness order is not invariant
+//! under atom relabeling, so caching across relabelings would require
+//! solving graph canonization, which costs more than the solve it saves).
+//!
+//! The key is the hash-consed wire encoding of the canonical ensemble
+//! ([`c1p_matrix::io::encode_ensemble`]): one allocation doubles as the
+//! equality witness for the cache map and the exact byte count for the
+//! cache's size accounting.
+//!
+//! The engine always *solves the canonical form* — a hit and a cold solve
+//! therefore return byte-identical verdicts for the same request, and a
+//! column-permuted request differs from its twin only in the (remapped)
+//! witness column ids.
+
+use crate::Verdict;
+use c1p_cert::TuckerWitness;
+use c1p_matrix::{io, Atom, Ensemble};
+
+/// A request reduced to canonical form.
+pub(crate) struct Canonical {
+    /// The canonical ensemble (columns sorted lexicographically).
+    pub ens: Ensemble,
+    /// `col_of[j]` = the request column id of canonical column `j`.
+    pub col_of: Vec<u32>,
+    /// Wire encoding of `ens` — the cache key.
+    pub key: Vec<u8>,
+}
+
+pub(crate) fn canonicalize(req: &Ensemble) -> Canonical {
+    let mut idx: Vec<u32> = (0..req.n_columns() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        req.column(a as usize).cmp(req.column(b as usize)).then_with(|| a.cmp(&b))
+    });
+    let cols: Vec<Vec<Atom>> = idx.iter().map(|&i| req.column(i as usize).to_vec()).collect();
+    let ens = Ensemble::from_sorted_columns(req.n_atoms(), cols)
+        .expect("column reordering preserves validity");
+    let key = io::encode_ensemble(&ens);
+    Canonical { ens, col_of: idx, key }
+}
+
+/// Maps a canonical-space verdict back into the request's column ids.
+/// Accept orders and rejection evidence are atom-space (column-order
+/// independent); only the witness's column ids need remapping, and they
+/// are re-sorted to keep [`TuckerWitness`]'s sortedness contract.
+pub(crate) fn remap(v: Verdict, col_of: &[u32]) -> Verdict {
+    match v {
+        Verdict::C1p { .. } => v,
+        Verdict::NotC1p { rejection, witness } => {
+            let mut column_ids: Vec<u32> =
+                witness.column_ids.iter().map(|&j| col_of[j as usize]).collect();
+            column_ids.sort_unstable();
+            Verdict::NotC1p {
+                rejection,
+                witness: TuckerWitness {
+                    family: witness.family,
+                    atom_rows: witness.atom_rows,
+                    column_ids,
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_permutation_shares_a_key_atom_renumbering_does_not() {
+        let a = Ensemble::from_columns(4, vec![vec![0, 1], vec![1, 2, 3], vec![2, 3]]).unwrap();
+        let b = Ensemble::from_columns(4, vec![vec![2, 3], vec![0, 1], vec![1, 2, 3]]).unwrap();
+        assert_eq!(canonicalize(&a).key, canonicalize(&b).key);
+        let c = a.permute_atoms(&[3, 2, 1, 0]);
+        assert_ne!(canonicalize(&a).key, canonicalize(&c).key);
+    }
+
+    #[test]
+    fn col_of_inverts_the_sort() {
+        let req = Ensemble::from_columns(3, vec![vec![1, 2], vec![0, 1], vec![0, 1, 2]]).unwrap();
+        let c = canonicalize(&req);
+        for (j, &orig) in c.col_of.iter().enumerate() {
+            assert_eq!(c.ens.column(j), req.column(orig as usize));
+        }
+    }
+
+    #[test]
+    fn duplicate_columns_keep_distinct_ids() {
+        let req = Ensemble::from_columns(3, vec![vec![0, 1], vec![0, 1]]).unwrap();
+        let c = canonicalize(&req);
+        let mut ids = c.col_of.clone();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

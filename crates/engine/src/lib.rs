@@ -1,0 +1,637 @@
+//! # c1p-engine: a batched, caching C1P solve service
+//!
+//! The solver stack (`c1p-core` + `c1p-cert`) answers one instance per
+//! call, paying a cold solve and — for the parallel driver — per-call pool
+//! context every time. This crate turns it into a *served* workload
+//! (ROADMAP north star; Raffinot and Chauve–Stephen–Tamayo both frame C1P
+//! testing as a repeated-query primitive over evolving instance families):
+//!
+//! * **one shared pool** — [`Engine::new`] builds the work-stealing pool
+//!   once; every request, batch and background drain runs `install`ed on
+//!   it, so scheduling state is resolved per engine, not per call;
+//! * **batching** — [`Engine::submit`] enqueues into a submission queue
+//!   with admission control ([`EngineConfig::max_queue`]); a background
+//!   batcher drains up to [`EngineConfig::max_batch`] requests at a time.
+//!   Small instances (≤ [`EngineConfig::small_cutoff`] atoms) fan out
+//!   *across* the pool — each solved sequentially, many at once — while
+//!   large instances take the parallel divide path one at a time
+//!   ([`c1p_core::parallel`]'s `solve_par`), which parallelizes *within*
+//!   the instance;
+//! * **caching** — results are keyed by the hash-consed canonical ensemble
+//!   encoding (the documented rule: column order is canonicalized, atom
+//!   numbering is not — see DESIGN.md §8) in a byte-budgeted LRU; the
+//!   engine always solves the canonical form, so hot and cold answers are
+//!   byte-identical, and identical in-flight requests coalesce onto one
+//!   computation that eviction can never drop;
+//! * **certified verdicts** — every answer is checkable: accepts carry a
+//!   witness order, rejects a Tucker certificate
+//!   ([`c1p_cert::verify_witness`]-checkable without trusting the engine).
+//!
+//! The wire front-end (`c1pd`, a std-only TCP server speaking the
+//! length-prefixed [`proto`] frames) and its closed-loop traffic generator
+//! (`load_driver`) live in `src/bin/`. DESIGN.md §8 specifies the formats
+//! and policies.
+
+mod cache;
+mod canonical;
+pub mod proto;
+
+use c1p_cert::TuckerWitness;
+use c1p_core::Rejection;
+use c1p_matrix::io::WireVerdict;
+use c1p_matrix::{Atom, Ensemble};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+
+/// Engine configuration. `Default` is sized for a mixed small-instance
+/// service on the current host.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads of the shared pool; `0` = host parallelism.
+    pub threads: usize,
+    /// LRU result-cache budget in bytes. `0` disables caching (in-flight
+    /// coalescing still works — it lives outside the cache).
+    pub cache_bytes: usize,
+    /// Maximum requests drained into one batch by the background batcher.
+    pub max_batch: usize,
+    /// Instances with at most this many atoms are solved sequentially and
+    /// batched across the pool; larger ones take the parallel divide path
+    /// individually.
+    pub small_cutoff: usize,
+    /// Admission control: submissions beyond this queue depth are rejected
+    /// with [`EngineError::Overloaded`].
+    pub max_queue: usize,
+    /// Admission control: instances with more atoms than this are rejected
+    /// with [`EngineError::TooLarge`].
+    pub max_atoms: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 0,
+            cache_bytes: 64 << 20,
+            max_batch: 64,
+            small_cutoff: 2048,
+            max_queue: 4096,
+            max_atoms: 1 << 22,
+        }
+    }
+}
+
+/// Why the engine refused (not failed to solve) a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The submission queue is at [`EngineConfig::max_queue`].
+    Overloaded,
+    /// The instance exceeds [`EngineConfig::max_atoms`].
+    TooLarge {
+        /// Atoms in the rejected instance.
+        n_atoms: usize,
+        /// The configured limit.
+        max_atoms: usize,
+    },
+    /// The engine is shutting down (or an in-flight owner panicked).
+    ShuttingDown,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Overloaded => write!(f, "submission queue full"),
+            EngineError::TooLarge { n_atoms, max_atoms } => {
+                write!(f, "instance has {n_atoms} atoms, over the {max_atoms}-atom limit")
+            }
+            EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A solved request: both sides are checkable without trusting the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// C1P: a witness atom order ([`c1p_matrix::verify_linear`]-checkable).
+    C1p {
+        /// The witness order.
+        order: Vec<Atom>,
+    },
+    /// Not C1P: the solver's evidence plus the extracted Tucker
+    /// certificate ([`c1p_cert::verify_witness`]-checkable).
+    NotC1p {
+        /// Evidence-carrying rejection (atom-space; column-order free).
+        rejection: Rejection,
+        /// The minimal Tucker submatrix witness, in request coordinates.
+        witness: TuckerWitness,
+    },
+}
+
+impl Verdict {
+    /// Is this an accept?
+    pub fn is_c1p(&self) -> bool {
+        matches!(self, Verdict::C1p { .. })
+    }
+
+    /// The wire-format projection (drops the internal rejection evidence;
+    /// clients re-verify the certificate instead of trusting it).
+    pub fn to_wire(&self) -> WireVerdict {
+        match self {
+            Verdict::C1p { order } => WireVerdict::Accept { order: order.clone() },
+            Verdict::NotC1p { witness, .. } => WireVerdict::Reject {
+                family: witness.family,
+                atom_rows: witness.atom_rows.clone(),
+                column_ids: witness.column_ids.clone(),
+            },
+        }
+    }
+}
+
+/// A point-in-time statistics snapshot ([`Engine::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests accepted into [`Engine::solve`]/[`Engine::solve_batch`]
+    /// (submissions included — the batcher funnels into `solve_batch`).
+    pub requests: u64,
+    /// `solve_batch` invocations (a single [`Engine::solve`] counts one).
+    pub batches: u64,
+    /// Result-cache hits.
+    pub hits: u64,
+    /// Cold solves (cache misses that became the computing owner).
+    pub misses: u64,
+    /// Requests that found their instance already in flight and waited for
+    /// the owner instead of recomputing.
+    pub coalesced: u64,
+    /// Submissions rejected by admission control.
+    pub overloaded: u64,
+    /// Small instances fanned out across the pool.
+    pub batched_small: u64,
+    /// Large instances routed through the parallel divide path.
+    pub large_direct: u64,
+    /// Entries evicted from the result cache.
+    pub evictions: u64,
+    /// Entries inserted into the result cache.
+    pub insertions: u64,
+    /// Verdicts too large for the cache budget (never inserted).
+    pub uncacheable: u64,
+    /// Current result-cache entry count.
+    pub cache_entries: u64,
+    /// Current result-cache footprint in accounted bytes.
+    pub cache_bytes: u64,
+}
+
+impl EngineStats {
+    /// Hit fraction among cache lookups that finished (hits + cold solves).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Renders the snapshot as a flat JSON object (the `Stats` frame body).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\": {}, \"batches\": {}, \"hits\": {}, \"misses\": {}, \
+             \"coalesced\": {}, \"overloaded\": {}, \"batched_small\": {}, \
+             \"large_direct\": {}, \"evictions\": {}, \"insertions\": {}, \
+             \"uncacheable\": {}, \"cache_entries\": {}, \"cache_bytes\": {}, \
+             \"hit_rate\": {:.4}}}",
+            self.requests,
+            self.batches,
+            self.hits,
+            self.misses,
+            self.coalesced,
+            self.overloaded,
+            self.batched_small,
+            self.large_direct,
+            self.evictions,
+            self.insertions,
+            self.uncacheable,
+            self.cache_entries,
+            self.cache_bytes,
+            self.hit_rate(),
+        )
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    overloaded: AtomicU64,
+    batched_small: AtomicU64,
+    large_direct: AtomicU64,
+}
+
+/// One in-flight computation; waiters block on the condvar, the owner
+/// fills exactly once. Lives in the pending map, *not* the cache, so
+/// eviction can never touch it.
+#[derive(Default)]
+struct InFlight {
+    state: Mutex<Option<Result<Verdict, EngineError>>>,
+    cv: Condvar,
+}
+
+impl InFlight {
+    fn wait(&self) -> Result<Verdict, EngineError> {
+        let mut g = self.state.lock().expect("in-flight lock");
+        while g.is_none() {
+            g = self.cv.wait(g).expect("in-flight wait");
+        }
+        g.as_ref().expect("filled").clone()
+    }
+
+    fn fill(&self, r: Result<Verdict, EngineError>) {
+        let mut g = self.state.lock().expect("in-flight lock");
+        if g.is_none() {
+            *g = Some(r);
+        }
+        self.cv.notify_all();
+    }
+}
+
+struct Submission {
+    ens: Ensemble,
+    tx: mpsc::Sender<Result<Verdict, EngineError>>,
+}
+
+struct QueueState {
+    items: VecDeque<Submission>,
+    shutdown: bool,
+}
+
+struct Inner {
+    cfg: EngineConfig,
+    pool: rayon::ThreadPool,
+    cache: Mutex<cache::ResultCache>,
+    pending: Mutex<HashMap<Arc<[u8]>, Arc<InFlight>>>,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    stats: Counters,
+}
+
+/// The multi-tenant solve engine. Cheap to share behind an [`Arc`]; all
+/// entry points take `&self`.
+pub struct Engine {
+    inner: Arc<Inner>,
+    batcher: Option<thread::JoinHandle<()>>,
+}
+
+/// Handle to a queued submission; [`Ticket::wait`] blocks for the verdict.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Verdict, EngineError>>,
+}
+
+impl Ticket {
+    /// Blocks until the batcher answers this submission.
+    pub fn wait(self) -> Result<Verdict, EngineError> {
+        self.rx.recv().unwrap_or(Err(EngineError::ShuttingDown))
+    }
+}
+
+impl Engine {
+    /// Builds the engine: one shared pool, an empty cache, and the
+    /// background batcher thread.
+    pub fn new(cfg: EngineConfig) -> Engine {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(cfg.threads)
+            .build()
+            .expect("engine pool construction");
+        let inner = Arc::new(Inner {
+            cache: Mutex::new(cache::ResultCache::new(cfg.cache_bytes)),
+            pending: Mutex::new(HashMap::new()),
+            queue: Mutex::new(QueueState { items: VecDeque::new(), shutdown: false }),
+            queue_cv: Condvar::new(),
+            stats: Counters::default(),
+            pool,
+            cfg,
+        });
+        let batcher = {
+            let inner = Arc::clone(&inner);
+            thread::Builder::new()
+                .name("c1p-engine-batcher".into())
+                .spawn(move || batcher_loop(&inner))
+                .expect("spawn batcher thread")
+        };
+        Engine { inner, batcher: Some(batcher) }
+    }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.inner.cfg
+    }
+
+    /// Solves one instance through the cache, synchronously.
+    pub fn solve(&self, req: &Ensemble) -> Result<Verdict, EngineError> {
+        self.solve_batch(std::slice::from_ref(req)).pop().expect("one result per request")
+    }
+
+    /// Solves a batch: small instances fan out across the shared pool,
+    /// large ones run the parallel divide path one at a time; duplicate
+    /// instances inside the batch are deduplicated through the cache
+    /// machinery. `results[i]` answers `reqs[i]`.
+    pub fn solve_batch(&self, reqs: &[Ensemble]) -> Vec<Result<Verdict, EngineError>> {
+        solve_batch_on(&self.inner, reqs)
+    }
+
+    /// Enqueues an instance for the background batcher. Fails fast with
+    /// [`EngineError::Overloaded`] at [`EngineConfig::max_queue`] depth.
+    pub fn submit(&self, ens: Ensemble) -> Result<Ticket, EngineError> {
+        if ens.n_atoms() > self.inner.cfg.max_atoms {
+            return Err(EngineError::TooLarge {
+                n_atoms: ens.n_atoms(),
+                max_atoms: self.inner.cfg.max_atoms,
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.inner.queue.lock().expect("queue lock");
+            if q.shutdown {
+                return Err(EngineError::ShuttingDown);
+            }
+            if q.items.len() >= self.inner.cfg.max_queue {
+                self.inner.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                return Err(EngineError::Overloaded);
+            }
+            q.items.push_back(Submission { ens, tx });
+        }
+        self.inner.queue_cv.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// A point-in-time statistics snapshot.
+    pub fn stats(&self) -> EngineStats {
+        let s = &self.inner.stats;
+        let (entries, bytes, evictions, insertions, uncacheable) = {
+            let c = self.inner.cache.lock().expect("cache lock");
+            (c.entries() as u64, c.bytes() as u64, c.evictions, c.insertions, c.uncacheable)
+        };
+        EngineStats {
+            requests: s.requests.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            hits: s.hits.load(Ordering::Relaxed),
+            misses: s.misses.load(Ordering::Relaxed),
+            coalesced: s.coalesced.load(Ordering::Relaxed),
+            overloaded: s.overloaded.load(Ordering::Relaxed),
+            batched_small: s.batched_small.load(Ordering::Relaxed),
+            large_direct: s.large_direct.load(Ordering::Relaxed),
+            evictions,
+            insertions,
+            uncacheable,
+            cache_entries: entries,
+            cache_bytes: bytes,
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        {
+            let mut q = self.inner.queue.lock().expect("queue lock");
+            q.shutdown = true;
+        }
+        self.inner.queue_cv.notify_all();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Drains the submission queue in batches until shutdown (then drains the
+/// backlog and exits).
+fn batcher_loop(inner: &Inner) {
+    loop {
+        let batch: Vec<Submission> = {
+            let mut q = inner.queue.lock().expect("queue lock");
+            loop {
+                if !q.items.is_empty() {
+                    break;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = inner.queue_cv.wait(q).expect("queue wait");
+            }
+            let take = q.items.len().min(inner.cfg.max_batch.max(1));
+            q.items.drain(..take).collect()
+        };
+        let (enss, txs): (Vec<_>, Vec<_>) = batch.into_iter().map(|s| (s.ens, s.tx)).unzip();
+        let results = solve_batch_on(inner, &enss);
+        for (tx, r) in txs.into_iter().zip(results) {
+            let _ = tx.send(r); // receiver may have given up; fine
+        }
+    }
+}
+
+enum Prep {
+    Fail(EngineError),
+    Go { uniq_ix: usize, col_of: Vec<u32> },
+}
+
+fn solve_batch_on(inner: &Inner, reqs: &[Ensemble]) -> Vec<Result<Verdict, EngineError>> {
+    inner.stats.batches.fetch_add(1, Ordering::Relaxed);
+    inner.stats.requests.fetch_add(reqs.len() as u64, Ordering::Relaxed);
+    // canonicalize + dedupe (first-occurrence order keeps runs deterministic)
+    let mut key_ix: HashMap<Arc<[u8]>, usize> = HashMap::new();
+    let mut uniq: Vec<(Arc<[u8]>, Ensemble)> = Vec::new();
+    let mut preps: Vec<Prep> = Vec::with_capacity(reqs.len());
+    for req in reqs {
+        if req.n_atoms() > inner.cfg.max_atoms {
+            preps.push(Prep::Fail(EngineError::TooLarge {
+                n_atoms: req.n_atoms(),
+                max_atoms: inner.cfg.max_atoms,
+            }));
+            continue;
+        }
+        let c = canonical::canonicalize(req);
+        let key: Arc<[u8]> = c.key.into();
+        let uniq_ix = match key_ix.get(&key) {
+            Some(&ix) => {
+                // within-batch duplicate: rides the first occurrence's solve
+                inner.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                ix
+            }
+            None => {
+                let ix = uniq.len();
+                key_ix.insert(Arc::clone(&key), ix);
+                uniq.push((key, c.ens));
+                ix
+            }
+        };
+        preps.push(Prep::Go { uniq_ix, col_of: c.col_of });
+    }
+    // solve the unique canonical instances on the shared pool
+    let solved: Vec<Result<Verdict, EngineError>> = inner.pool.install(|| {
+        use rayon::prelude::*;
+        let cutoff = inner.cfg.small_cutoff;
+        let mut out: Vec<Option<Result<Verdict, EngineError>>> = vec![None; uniq.len()];
+        let small: Vec<usize> =
+            (0..uniq.len()).filter(|&i| uniq[i].1.n_atoms() <= cutoff).collect();
+        if !small.is_empty() {
+            inner.stats.batched_small.fetch_add(small.len() as u64, Ordering::Relaxed);
+            let fanned: Vec<(usize, Result<Verdict, EngineError>)> = small
+                .par_iter()
+                .map(|&i| (i, solve_canonical(inner, &uniq[i].0, &uniq[i].1)))
+                .collect();
+            for (i, r) in fanned {
+                out[i] = Some(r);
+            }
+        }
+        for (i, (key, ens)) in uniq.iter().enumerate() {
+            if ens.n_atoms() > cutoff {
+                inner.stats.large_direct.fetch_add(1, Ordering::Relaxed);
+                out[i] = Some(solve_canonical(inner, key, ens));
+            }
+        }
+        out.into_iter().map(|o| o.expect("every unique instance solved")).collect()
+    });
+    // remap canonical verdicts into each request's column coordinates
+    preps
+        .into_iter()
+        .map(|p| match p {
+            Prep::Fail(e) => Err(e),
+            Prep::Go { uniq_ix, col_of } => {
+                solved[uniq_ix].clone().map(|v| canonical::remap(v, &col_of))
+            }
+        })
+        .collect()
+}
+
+/// Removes the pending entry and — if the owner never filled it (panic
+/// unwinding through the solve) — poisons waiters with `ShuttingDown`
+/// instead of leaving them blocked forever.
+struct OwnerGuard<'a> {
+    inner: &'a Inner,
+    key: &'a Arc<[u8]>,
+    flight: &'a InFlight,
+}
+
+impl Drop for OwnerGuard<'_> {
+    fn drop(&mut self) {
+        self.flight.fill(Err(EngineError::ShuttingDown)); // no-op if already filled
+        self.inner.pending.lock().expect("pending lock").remove(self.key);
+    }
+}
+
+/// Cache → coalesce → compute, for one canonical instance. Runs inside the
+/// engine pool.
+fn solve_canonical(
+    inner: &Inner,
+    key: &Arc<[u8]>,
+    canon: &Ensemble,
+) -> Result<Verdict, EngineError> {
+    if let Some(v) = inner.cache.lock().expect("cache lock").get(key) {
+        inner.stats.hits.fetch_add(1, Ordering::Relaxed);
+        return Ok(v);
+    }
+    enum Role {
+        Owner(Arc<InFlight>),
+        Waiter(Arc<InFlight>),
+    }
+    let role = {
+        let mut pending = inner.pending.lock().expect("pending lock");
+        match pending.get(key) {
+            Some(fl) => Role::Waiter(Arc::clone(fl)),
+            None => {
+                let fl = Arc::new(InFlight::default());
+                pending.insert(Arc::clone(key), Arc::clone(&fl));
+                Role::Owner(fl)
+            }
+        }
+    };
+    match role {
+        Role::Waiter(fl) => {
+            inner.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+            fl.wait()
+        }
+        Role::Owner(fl) => {
+            inner.stats.misses.fetch_add(1, Ordering::Relaxed);
+            let guard = OwnerGuard { inner, key, flight: &fl };
+            let verdict = compute(canon, &inner.cfg);
+            inner.cache.lock().expect("cache lock").insert(Arc::clone(key), &verdict);
+            fl.fill(Ok(verdict.clone()));
+            drop(guard); // unpends; waiters already satisfied
+            Ok(verdict)
+        }
+    }
+}
+
+/// The actual solve, in canonical column space. Small instances run the
+/// sequential certified solver; large ones the parallel divide path (we
+/// are already `install`ed on the engine pool).
+fn compute(canon: &Ensemble, cfg: &EngineConfig) -> Verdict {
+    let res = if canon.n_atoms() <= cfg.small_cutoff {
+        c1p_cert::solve_certified(canon)
+    } else {
+        c1p_cert::solve_par_certified(canon)
+    };
+    match res {
+        Ok(order) => Verdict::C1p { order },
+        Err(c) => Verdict::NotC1p { rejection: c.rejection, witness: c.witness },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c1p_matrix::io::fig2_matrix;
+
+    #[test]
+    fn solve_and_submit_agree_on_fig2() {
+        let engine = Engine::new(EngineConfig { threads: 1, ..EngineConfig::default() });
+        let ens = fig2_matrix();
+        let direct = engine.solve(&ens).unwrap();
+        let queued = engine.submit(ens.clone()).unwrap().wait().unwrap();
+        assert_eq!(direct, queued);
+        assert!(direct.is_c1p());
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn zero_capacity_queue_always_overloads() {
+        let engine =
+            Engine::new(EngineConfig { threads: 1, max_queue: 0, ..EngineConfig::default() });
+        assert_eq!(engine.submit(fig2_matrix()).unwrap_err(), EngineError::Overloaded);
+        assert_eq!(engine.stats().overloaded, 1);
+    }
+
+    #[test]
+    fn oversized_instances_rejected_everywhere() {
+        let engine =
+            Engine::new(EngineConfig { threads: 1, max_atoms: 4, ..EngineConfig::default() });
+        let ens = fig2_matrix(); // 8 atoms
+        let expect = EngineError::TooLarge { n_atoms: 8, max_atoms: 4 };
+        assert_eq!(engine.solve(&ens).unwrap_err(), expect);
+        assert_eq!(engine.submit(ens).unwrap_err(), expect);
+    }
+
+    #[test]
+    fn batch_mixes_failures_and_verdicts_positionally() {
+        let engine =
+            Engine::new(EngineConfig { threads: 1, max_atoms: 10, ..EngineConfig::default() });
+        let small = fig2_matrix();
+        let big = Ensemble::new(11);
+        let results = engine.solve_batch(&[small.clone(), big, small]);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(EngineError::TooLarge { .. })));
+        assert_eq!(results[0], results[2]);
+        // the duplicate deduped: one miss, and the duplicate resolved
+        // inside the same batch without a second solve
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits + stats.coalesced, 1);
+    }
+}

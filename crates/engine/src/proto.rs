@@ -1,0 +1,298 @@
+//! The `c1pd` framing protocol: length-prefixed frames over any byte
+//! stream, with message payloads built on the `c1p_matrix::io` wire format.
+//!
+//! ```text
+//! frame    := len u32 LE | payload (len bytes)
+//! payload  := tag u8 | body
+//!   0x01 Solve     { id u64 LE, ensemble wire bytes }
+//!   0x02 Verdict   { id u64 LE, verdict wire bytes }
+//!   0x03 Error     { id u64 LE, code u8, utf-8 message }
+//!   0x04 GetStats  { }
+//!   0x05 Stats     { utf-8 JSON }
+//! ```
+//!
+//! The frame length is capped ([`DEFAULT_MAX_FRAME`], configurable at the
+//! server) *before* any allocation, so a hostile peer cannot make the
+//! server reserve gigabytes with a five-byte message. Request ids are
+//! chosen by the client and echoed verbatim; the server answers every
+//! frame in order, one response per request.
+
+use c1p_matrix::io::WireVerdict;
+use c1p_matrix::io::{decode_ensemble, decode_verdict, encode_ensemble, encode_verdict};
+use c1p_matrix::{Ensemble, EnsembleError};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Default cap on one frame (64 MiB) — admission control at the byte layer.
+pub const DEFAULT_MAX_FRAME: usize = 64 << 20;
+
+const TAG_SOLVE: u8 = 0x01;
+const TAG_VERDICT: u8 = 0x02;
+const TAG_ERROR: u8 = 0x03;
+const TAG_GET_STATS: u8 = 0x04;
+const TAG_STATS: u8 = 0x05;
+
+/// Why a request failed, as sent on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request could not be decoded.
+    Malformed = 1,
+    /// Admission control rejected the request (queue or connection limit).
+    Overloaded = 2,
+    /// The instance exceeds the server's size limit.
+    TooLarge = 3,
+    /// The engine failed internally (e.g. it is shutting down).
+    Internal = 4,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        match v {
+            1 => Some(ErrorCode::Malformed),
+            2 => Some(ErrorCode::Overloaded),
+            3 => Some(ErrorCode::TooLarge),
+            4 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// One protocol message (the payload of one frame).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Client → server: decide C1P for the ensemble.
+    Solve {
+        /// Client-chosen id echoed in the response.
+        id: u64,
+        /// The instance.
+        ens: Ensemble,
+    },
+    /// Server → client: the verdict for request `id`.
+    Verdict {
+        /// Echo of the request id.
+        id: u64,
+        /// Witness order or Tucker certificate.
+        verdict: WireVerdict,
+    },
+    /// Server → client: request `id` failed.
+    Error {
+        /// Echo of the request id (0 when no request could be attributed).
+        id: u64,
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Client → server: request an engine statistics snapshot.
+    GetStats,
+    /// Server → client: statistics snapshot as a JSON object.
+    Stats {
+        /// The snapshot.
+        json: String,
+    },
+}
+
+/// Structured decode failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoError {
+    /// Payload ended before the field being read.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// Unknown error code.
+    BadCode(u8),
+    /// Embedded ensemble/verdict failed to decode.
+    Wire(EnsembleError),
+    /// A text field was not UTF-8.
+    BadUtf8,
+    /// A fixed-size message carried extra bytes after its payload.
+    Trailing(usize),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "payload truncated"),
+            ProtoError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            ProtoError::BadCode(c) => write!(f, "unknown error code {c}"),
+            ProtoError::Wire(e) => write!(f, "embedded wire payload: {e}"),
+            ProtoError::BadUtf8 => write!(f, "text field is not valid UTF-8"),
+            ProtoError::Trailing(n) => write!(f, "{n} trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<EnsembleError> for ProtoError {
+    fn from(e: EnsembleError) -> Self {
+        ProtoError::Wire(e)
+    }
+}
+
+/// Encodes a message into a frame payload (no length prefix).
+pub fn encode_msg(msg: &Msg) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    match msg {
+        Msg::Solve { id, ens } => {
+            out.push(TAG_SOLVE);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&encode_ensemble(ens));
+        }
+        Msg::Verdict { id, verdict } => {
+            out.push(TAG_VERDICT);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&encode_verdict(verdict));
+        }
+        Msg::Error { id, code, message } => {
+            out.push(TAG_ERROR);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.push(*code as u8);
+            out.extend_from_slice(message.as_bytes());
+        }
+        Msg::GetStats => out.push(TAG_GET_STATS),
+        Msg::Stats { json } => {
+            out.push(TAG_STATS);
+            out.extend_from_slice(json.as_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a frame payload. Never panics on malformed input.
+pub fn decode_msg(payload: &[u8]) -> Result<Msg, ProtoError> {
+    let (&tag, rest) = payload.split_first().ok_or(ProtoError::Truncated)?;
+    let u64_at = |b: &[u8]| -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(b.get(..8).ok_or(ProtoError::Truncated)?.try_into().unwrap()))
+    };
+    match tag {
+        TAG_SOLVE => {
+            let id = u64_at(rest)?;
+            Ok(Msg::Solve { id, ens: decode_ensemble(&rest[8..])? })
+        }
+        TAG_VERDICT => {
+            let id = u64_at(rest)?;
+            Ok(Msg::Verdict { id, verdict: decode_verdict(&rest[8..])? })
+        }
+        TAG_ERROR => {
+            let id = u64_at(rest)?;
+            let &code = rest.get(8).ok_or(ProtoError::Truncated)?;
+            let code = ErrorCode::from_u8(code).ok_or(ProtoError::BadCode(code))?;
+            let message = String::from_utf8(rest[9..].to_vec()).map_err(|_| ProtoError::BadUtf8)?;
+            Ok(Msg::Error { id, code, message })
+        }
+        TAG_GET_STATS => {
+            if rest.is_empty() {
+                Ok(Msg::GetStats)
+            } else {
+                Err(ProtoError::Trailing(rest.len()))
+            }
+        }
+        TAG_STATS => Ok(Msg::Stats {
+            json: String::from_utf8(rest.to_vec()).map_err(|_| ProtoError::BadUtf8)?,
+        }),
+        other => Err(ProtoError::BadTag(other)),
+    }
+}
+
+/// Writes one frame (length prefix + payload). The caller flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame over 4 GiB"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame. Returns `Ok(None)` on clean EOF (no bytes of a new
+/// frame read); frames over `max_len` are rejected before allocation.
+pub fn read_frame(r: &mut impl Read, max_len: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // distinguish clean EOF from a truncated prefix
+    let mut got = 0;
+    while got < 4 {
+        let n = r.read(&mut len_buf[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated frame length"));
+        }
+        got += n;
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > max_len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max_len}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c1p_matrix::io::fig2_matrix;
+    use c1p_matrix::tucker::TuckerFamily;
+
+    fn round_trip(msg: &Msg) {
+        let payload = encode_msg(msg);
+        assert_eq!(&decode_msg(&payload).unwrap(), msg);
+        // and through the framing layer
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        let read = read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert_eq!(&decode_msg(&read).unwrap(), msg);
+        assert_eq!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn all_message_kinds_round_trip() {
+        round_trip(&Msg::Solve { id: 7, ens: fig2_matrix() });
+        round_trip(&Msg::Verdict { id: 7, verdict: WireVerdict::Accept { order: vec![1, 0, 2] } });
+        round_trip(&Msg::Verdict {
+            id: u64::MAX,
+            verdict: WireVerdict::Reject {
+                family: TuckerFamily::MI(2),
+                atom_rows: vec![0, 1, 2, 3],
+                column_ids: vec![4, 5, 6, 7],
+            },
+        });
+        round_trip(&Msg::Error {
+            id: 3,
+            code: ErrorCode::Overloaded,
+            message: "queue full".into(),
+        });
+        round_trip(&Msg::GetStats);
+        round_trip(&Msg::Stats { json: "{\"hits\": 3}".into() });
+    }
+
+    #[test]
+    fn oversize_frames_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut io::Cursor::new(buf), 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frames_and_payloads_error_cleanly() {
+        let mut cursor = io::Cursor::new(vec![5u8, 0]);
+        assert!(read_frame(&mut cursor, 1024).is_err(), "truncated length prefix");
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[1, 2, 3]).unwrap();
+        buf.truncate(5);
+        assert!(read_frame(&mut io::Cursor::new(buf), 1024).is_err(), "truncated payload");
+        for cut in 0..9 {
+            let payload = encode_msg(&Msg::Solve { id: 1, ens: fig2_matrix() });
+            assert!(decode_msg(&payload[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(decode_msg(&[]).is_err());
+        assert!(decode_msg(&[0x7f]).is_err());
+        // a known tag with extra bytes is a Trailing error, not BadTag
+        assert_eq!(decode_msg(&[TAG_GET_STATS, 0, 0]), Err(ProtoError::Trailing(2)));
+    }
+}

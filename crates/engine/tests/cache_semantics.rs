@@ -1,0 +1,219 @@
+//! Cache-semantics contract of the engine (ISSUE 4 satellite):
+//!
+//! * hits and misses follow the documented canonicalization rule exactly —
+//!   column permutation hits, atom renumbering misses;
+//! * hot and cold answers are byte-identical, and agree with a direct
+//!   `solve_certified` (exactly so for canonical-ordered requests);
+//! * eviction never drops an in-flight entry: concurrent duplicates under
+//!   an eviction storm still coalesce onto one correct result;
+//! * the hit path is ≥ 10× faster than a cold solve at n = 2^12.
+
+use c1p_cert::verify_witness;
+use c1p_engine::{Engine, EngineConfig, Verdict};
+use c1p_matrix::generate::{planted, planted_reject};
+use c1p_matrix::{verify_linear, Atom, Ensemble};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+fn small_engine() -> Engine {
+    Engine::new(EngineConfig { threads: 1, ..EngineConfig::default() })
+}
+
+/// Re-sorts the outer column order lexicographically, producing the
+/// canonical request (the engine's own rule, applied by hand).
+fn canonical_request(ens: &Ensemble) -> Ensemble {
+    let mut cols = ens.columns().to_vec();
+    cols.sort();
+    Ensemble::from_sorted_columns(ens.n_atoms(), cols).unwrap()
+}
+
+#[test]
+fn exact_duplicate_hits() {
+    let engine = small_engine();
+    let ens = planted(128, 7);
+    let cold = engine.solve(&ens).unwrap();
+    let hot = engine.solve(&ens).unwrap();
+    assert_eq!(cold, hot, "hot and cold answers are identical");
+    let s = engine.stats();
+    assert_eq!((s.misses, s.hits), (1, 1));
+}
+
+#[test]
+fn column_permutation_hits_per_the_rule() {
+    let engine = small_engine();
+    let ens = planted(96, 3);
+    let reversed =
+        Ensemble::from_columns(ens.n_atoms(), ens.columns().iter().rev().cloned().collect())
+            .unwrap();
+    assert_ne!(ens, reversed, "a genuine permutation");
+    let a = engine.solve(&ens).unwrap();
+    let b = engine.solve(&reversed).unwrap();
+    let s = engine.stats();
+    assert_eq!((s.misses, s.hits), (1, 1), "column permutation must hit");
+    // accept orders are column-order independent, so they coincide exactly
+    assert_eq!(a, b);
+    match (&a, &b) {
+        (Verdict::C1p { order }, Verdict::C1p { .. }) => {
+            verify_linear(&ens, order).unwrap();
+            verify_linear(&reversed, order).unwrap();
+        }
+        _ => panic!("planted instances are C1P"),
+    }
+}
+
+#[test]
+fn column_permutation_hit_remaps_witness_columns() {
+    let engine = small_engine();
+    let (bad, _) = planted_reject(64, 2);
+    let reversed =
+        Ensemble::from_columns(bad.n_atoms(), bad.columns().iter().rev().cloned().collect())
+            .unwrap();
+    let a = engine.solve(&bad).unwrap();
+    let b = engine.solve(&reversed).unwrap();
+    let s = engine.stats();
+    assert_eq!((s.misses, s.hits), (1, 1), "permuted reject must hit too");
+    let (
+        Verdict::NotC1p { witness: wa, rejection: ra },
+        Verdict::NotC1p { witness: wb, rejection: rb },
+    ) = (&a, &b)
+    else {
+        panic!("planted_reject instances are not C1P");
+    };
+    // atom-space parts identical; column ids remapped per request
+    assert_eq!(ra, rb);
+    assert_eq!(wa.family, wb.family);
+    assert_eq!(wa.atom_rows, wb.atom_rows);
+    verify_witness(&bad, wa).unwrap();
+    verify_witness(&reversed, wb).unwrap();
+}
+
+#[test]
+fn atom_renumbering_misses_per_the_rule() {
+    let engine = small_engine();
+    let ens = planted(80, 5);
+    let n = ens.n_atoms();
+    let perm: Vec<Atom> = (0..n as Atom).rev().collect();
+    let renamed = ens.permute_atoms(&perm);
+    let a = engine.solve(&ens).unwrap();
+    let b = engine.solve(&renamed).unwrap();
+    let s = engine.stats();
+    assert_eq!((s.misses, s.hits), (2, 0), "atom renumbering must miss");
+    // both verdicts valid for their own instance
+    for (v, e) in [(&a, &ens), (&b, &renamed)] {
+        match v {
+            Verdict::C1p { order } => verify_linear(e, order).unwrap(),
+            _ => panic!("planted instances are C1P"),
+        }
+    }
+}
+
+#[test]
+fn hot_cold_and_direct_solve_agree() {
+    for seed in 0..4u64 {
+        let engine = small_engine();
+        let raw = if seed % 2 == 0 { planted(72, seed) } else { planted_reject(72, seed).0 };
+        // canonical-ordered request: the engine solves exactly this
+        // ensemble, so equality with solve_certified is exact
+        let ens = canonical_request(&raw);
+        let cold = engine.solve(&ens).unwrap();
+        let hot = engine.solve(&ens).unwrap();
+        assert_eq!(cold, hot, "seed {seed}");
+        match c1p_cert::solve_certified(&ens) {
+            Ok(order) => assert_eq!(cold, Verdict::C1p { order }, "seed {seed}"),
+            Err(cert) => assert_eq!(
+                cold,
+                Verdict::NotC1p { rejection: cert.rejection, witness: cert.witness },
+                "seed {seed}"
+            ),
+        }
+        // the non-canonical original gets the same verdict class and a
+        // verdict valid in its own coordinates
+        let other = engine.solve(&raw).unwrap();
+        assert_eq!(other.is_c1p(), cold.is_c1p(), "seed {seed}");
+        match &other {
+            Verdict::C1p { order } => verify_linear(&raw, order).unwrap(),
+            Verdict::NotC1p { witness, .. } => verify_witness(&raw, witness).unwrap(),
+        }
+    }
+}
+
+#[test]
+fn eviction_is_lru_and_accounted() {
+    // budget sized to hold only a few small entries
+    let engine =
+        Engine::new(EngineConfig { threads: 1, cache_bytes: 4 << 10, ..EngineConfig::default() });
+    let instances: Vec<Ensemble> = (0..12).map(|i| planted(24, 1000 + i)).collect();
+    for e in &instances {
+        engine.solve(e).unwrap();
+    }
+    let s = engine.stats();
+    assert_eq!(s.misses, 12);
+    assert!(s.evictions > 0, "12 entries cannot fit in 4 KiB: {s:?}");
+    assert!(s.cache_bytes <= 4 << 10, "budget respected: {s:?}");
+    // the most recent instance is still resident, the oldest is not
+    engine.solve(instances.last().unwrap()).unwrap();
+    let s2 = engine.stats();
+    assert_eq!(s2.hits, s.hits + 1, "most recent entry survived");
+    engine.solve(&instances[0]).unwrap();
+    let s3 = engine.stats();
+    assert_eq!(s3.misses, s2.misses + 1, "oldest entry was evicted");
+}
+
+#[test]
+fn inflight_survives_an_eviction_storm() {
+    // Tiny cache: constant eviction churn. The big instance's computation
+    // lives in the pending map, which eviction cannot touch; concurrent
+    // duplicates must coalesce (or at worst recompute) to the same result.
+    let engine = Arc::new(Engine::new(EngineConfig {
+        threads: 1,
+        cache_bytes: 2 << 10,
+        ..EngineConfig::default()
+    }));
+    let big = planted(600, 99);
+    let barrier = Arc::new(Barrier::new(3));
+    let solvers: Vec<_> = (0..3)
+        .map(|_| {
+            let (engine, big, barrier) = (Arc::clone(&engine), big.clone(), Arc::clone(&barrier));
+            std::thread::spawn(move || {
+                barrier.wait();
+                engine.solve(&big).unwrap()
+            })
+        })
+        .collect();
+    // meanwhile: churn distinct small instances to force evictions
+    for i in 0..40 {
+        engine.solve(&planted(24, 2000 + i)).unwrap();
+    }
+    let results: Vec<Verdict> = solvers.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "all waiters saw one result");
+    match &results[0] {
+        Verdict::C1p { order } => verify_linear(&big, order).unwrap(),
+        _ => panic!("planted instance is C1P"),
+    }
+    let s = engine.stats();
+    assert!(s.evictions > 0, "the storm really evicted: {s:?}");
+    assert!(s.misses + s.hits + s.coalesced >= 43, "all requests accounted: {s:?}");
+}
+
+#[test]
+fn cache_hit_is_ten_times_faster_than_cold_at_4096() {
+    let engine = Engine::new(EngineConfig { threads: 1, ..EngineConfig::default() });
+    let ens = planted(1 << 12, 1);
+    let t0 = Instant::now();
+    let cold = engine.solve(&ens).unwrap();
+    let t_cold = t0.elapsed();
+    // median of three hot solves
+    let mut hots = Vec::new();
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let hot = engine.solve(&ens).unwrap();
+        hots.push(t0.elapsed());
+        assert_eq!(hot, cold);
+    }
+    hots.sort();
+    let t_hot = hots[1];
+    assert!(
+        t_cold >= 10 * t_hot,
+        "cold {t_cold:?} must be >= 10x hot {t_hot:?} (acceptance: >= 10x at n=2^12)"
+    );
+}

@@ -29,6 +29,9 @@ pub enum EnsembleError {
     RaggedMatrix { row: usize, expected: usize, found: usize },
     /// Parse error for textual matrices.
     Parse { line: usize, message: String },
+    /// Decode error for the binary wire format (`io::decode_ensemble` /
+    /// `io::decode_verdict`): byte offset of the offending field.
+    Wire { offset: usize, message: String },
 }
 
 impl fmt::Display for EnsembleError {
@@ -48,6 +51,9 @@ impl fmt::Display for EnsembleError {
             }
             EnsembleError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
+            }
+            EnsembleError::Wire { offset, message } => {
+                write!(f, "wire decode error at byte {offset}: {message}")
             }
         }
     }

@@ -11,10 +11,16 @@
 //! * [`interval_graph_cliques`] — vertex × maximal-clique incidence of a
 //!   random interval graph, which is C1P by the clique-ordering theorem the
 //!   paper invokes in Section 1.4 (interval-graph recognition reduces to
-//!   C1P \[6\]).
+//!   C1P \[6\]);
+//! * [`planted`] / [`planted_k`] / [`planted_reject`] — the seeded standard
+//!   workloads shared by the experiment harness (`c1p-bench`) and the
+//!   serving load driver (`c1p-engine`), so every traffic generator in the
+//!   workspace draws from a single definition.
 
 use crate::ensemble::{Atom, Ensemble};
-use rand::{Rng, RngExt};
+use crate::tucker::TuckerFamily;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngExt, SeedableRng};
 
 /// Fisher–Yates shuffle (local helper so we do not depend on `rand::seq`
 /// API details).
@@ -115,6 +121,103 @@ pub fn random_k_uniform(
         cols.push(col);
     }
     Ensemble::from_sorted_columns(n_atoms, cols).expect("k-subsets are valid")
+}
+
+/// The standard planted instance used by the scaling experiments and the
+/// serving load driver: `m = 2n` interval columns of mean length ≈ 12 (the
+/// clone-coverage shape of Section 1.1), deterministic in `(n, seed)`.
+///
+/// Shared by `c1p-bench`'s workloads and `c1p-engine`'s `load_driver` so
+/// every traffic generator in the workspace draws from one definition.
+pub fn planted(n: usize, seed: u64) -> Ensemble {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC190u64);
+    planted_c1p(
+        PlantedShape { n_atoms: n, n_columns: 2 * n, min_len: 2, max_len: 24.min(n.max(3) - 1) },
+        &mut rng,
+    )
+    .0
+}
+
+/// A planted instance with every column of length exactly `k` (density
+/// factor `f = n/k`), for experiment E7.
+pub fn planted_k(n: usize, m: usize, k: usize, seed: u64) -> Ensemble {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+    planted_c1p(PlantedShape { n_atoms: n, n_columns: m, min_len: k, max_len: k }, &mut rng).0
+}
+
+/// The standard *rejection* workload: [`planted`]'s shape with one Tucker
+/// obstruction (family cycled by `seed`) embedded at a seed-deterministic
+/// offset — non-C1P at every size, with the obstruction buried in `2n`
+/// satisfiable columns. Returns the ensemble and the planted family.
+pub fn planted_reject(n: usize, seed: u64) -> (Ensemble, TuckerFamily) {
+    let base = planted(n, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xBAD5EED);
+    let k = 1 + rng.random_range(0..4usize);
+    let fam = match seed % 5 {
+        0 => TuckerFamily::MI(k),
+        1 => TuckerFamily::MII(k),
+        2 => TuckerFamily::MIII(k),
+        3 => TuckerFamily::MIV,
+        _ => TuckerFamily::MV,
+    };
+    let obs = fam.generate();
+    assert!(n >= obs.n_atoms(), "rejection workload needs n >= family size");
+    let offset = rng.random_range(0..=n - obs.n_atoms());
+    let mut cols = base.columns().to_vec();
+    cols.extend(
+        obs.columns().iter().map(|c| c.iter().map(|&a| a + offset as Atom).collect::<Vec<_>>()),
+    );
+    (Ensemble::from_columns(n, cols).expect("embedded columns are valid"), fam)
+}
+
+/// Parameters for [`mixed_schedule`], the standard served-traffic shape
+/// shared by `c1p-engine`'s `load_driver`, experiment E11 and the
+/// `engine_batch` example (one definition, three consumers — so the CI
+/// gate and the bench always measure the same workload).
+#[derive(Debug, Clone, Copy)]
+pub struct MixedSchedule {
+    /// Total requests in the schedule.
+    pub requests: usize,
+    /// Master seed; the schedule is deterministic in it.
+    pub seed: u64,
+    /// Every `dup_every`-th request replays an earlier fresh instance
+    /// (`0` disables duplicates).
+    pub dup_every: usize,
+    /// Every `reject_every`-th request is a [`planted_reject`]
+    /// (`0` disables rejects).
+    pub reject_every: usize,
+    /// Smallest instance size (≥ 16: the reject embedding needs room).
+    pub n_lo: usize,
+    /// Largest instance size (inclusive).
+    pub n_hi: usize,
+}
+
+/// The standard mixed serving workload: fresh planted accepts, fresh
+/// planted rejects, and seed-deterministic replays of earlier instances
+/// (the traffic a result cache is supposed to absorb).
+pub fn mixed_schedule(p: MixedSchedule) -> Vec<Ensemble> {
+    let MixedSchedule { requests, seed, dup_every, reject_every, n_lo, n_hi } = p;
+    assert!(n_lo >= 16 && n_hi >= n_lo, "reject embedding needs n >= 16");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x10AD_D81E);
+    let mut schedule: Vec<Ensemble> = Vec::with_capacity(requests);
+    let mut distinct: Vec<usize> = Vec::new(); // indices of fresh instances
+    for i in 0..requests {
+        if dup_every > 0 && i % dup_every == dup_every - 1 && !distinct.is_empty() {
+            let j = distinct[rng.random_range(0..distinct.len())];
+            schedule.push(schedule[j].clone());
+            continue;
+        }
+        let n = rng.random_range(n_lo..=n_hi);
+        let inst_seed = seed.wrapping_mul(1009).wrapping_add(i as u64);
+        let ens = if reject_every > 0 && i % reject_every == reject_every - 1 {
+            planted_reject(n, inst_seed).0
+        } else {
+            planted(n, inst_seed)
+        };
+        distinct.push(i);
+        schedule.push(ens);
+    }
+    schedule
 }
 
 /// A random interval graph on `n_vertices` and its maximal-clique incidence
@@ -233,6 +336,42 @@ mod tests {
             verify_linear(&ens, &order)
                 .expect("clique matrix in left-endpoint order must be consecutive");
         }
+    }
+
+    #[test]
+    fn planted_workloads_are_deterministic_and_shaped() {
+        let a = planted(200, 1);
+        assert_eq!(a, planted(200, 1));
+        assert_eq!(a.n_columns(), 400);
+        let e = planted_k(100, 50, 5, 3);
+        assert!(e.columns().iter().all(|c| c.len() == 5));
+        assert_eq!(e.density_factor(), Some(100.0 / 5.0));
+        let (r, fam) = planted_reject(128, 2);
+        let (r2, fam2) = planted_reject(128, 2);
+        assert_eq!(r, r2);
+        assert_eq!(fam, fam2);
+        // the planted obstruction is really in there: its restriction to the
+        // embedded window classifies back to the family (checked end-to-end
+        // by the solver-differential tests in c1p-bench)
+        assert!(r.n_columns() > 256, "base columns plus the obstruction's");
+    }
+
+    #[test]
+    fn mixed_schedule_is_deterministic_with_replays() {
+        let p = MixedSchedule {
+            requests: 30,
+            seed: 5,
+            dup_every: 3,
+            reject_every: 4,
+            n_lo: 32,
+            n_hi: 48,
+        };
+        let a = mixed_schedule(p);
+        assert_eq!(a, mixed_schedule(p));
+        assert_eq!(a.len(), 30);
+        // replays really duplicate earlier entries
+        let replayed = a.iter().enumerate().filter(|(i, e)| a[..*i].contains(e)).count();
+        assert!(replayed >= 5, "expected replays in the schedule, saw {replayed}");
     }
 
     #[test]

@@ -1,8 +1,45 @@
-//! Textual (0,1)-matrix I/O: the dense format used by examples and the
-//! experiment harness ("one row per line, characters `0`/`1`", `#` comments
-//! and blank lines ignored).
+//! Ensemble I/O: the dense textual (0,1)-matrix format used by examples and
+//! the experiment harness, plus the versioned compact binary **wire format**
+//! used by the serving layer (`c1p-engine` / `c1pd`).
+//!
+//! # Text format
+//!
+//! One row per line, characters `0`/`1`; spaces, tabs and commas between
+//! entries are ignored, `#` starts a comment line, blank lines are skipped.
+//! Parsing is hardened for untrusted input: every malformed shape (garbage
+//! characters, embedded NUL, ragged rows, separator-only lines, absurdly
+//! long single lines) returns a structured [`EnsembleError`] carrying the
+//! 1-based line number — never a panic.
+//!
+//! # Wire format (version 1)
+//!
+//! A little-endian, varint-based CSR encoding (see DESIGN.md §8 for the
+//! byte-level spec):
+//!
+//! ```text
+//! header   := magic "C1PW" | version u8 | kind u8 (0 = ensemble, 1 = verdict)
+//! varint   := LEB128, 64-bit, max 10 bytes
+//! ensemble := header | n_atoms | n_cols | col*
+//! col      := len | first_atom | (gap-1)*          -- strictly ascending
+//! verdict  := header | 1 | order_len | atom*        -- accept: witness order
+//!           | header | 2 | family u8 | k | atoms | cols   -- reject: Tucker
+//! ```
+//!
+//! Sorted atom lists are delta-encoded (first value, then `gap - 1` per
+//! successor), so decoded columns are strictly ascending *by construction*;
+//! range validation is delegated to [`Ensemble::from_sorted_columns`].
+//! Decoding bounds-checks every field against the remaining payload before
+//! allocating, and rejects trailing bytes, so a hostile peer can neither
+//! panic the decoder nor make it over-allocate.
 
-use crate::ensemble::{Ensemble, EnsembleError, Matrix01};
+use crate::ensemble::{Atom, Ensemble, EnsembleError, Matrix01};
+use crate::tucker::TuckerFamily;
+
+/// Upper bound on a single input line for [`parse_matrix`] (64 MiB). A
+/// dense row of that width is far beyond every workload in this workspace;
+/// the guard turns a 100 MB single-line input into a structured error
+/// instead of a byte-by-byte scan of hostile garbage.
+pub const MAX_LINE_BYTES: usize = 64 << 20;
 
 /// Parses a dense matrix. Rows = atoms, columns = ensemble columns.
 ///
@@ -13,7 +50,17 @@ use crate::ensemble::{Ensemble, EnsembleError, Matrix01};
 /// ```
 pub fn parse_matrix(text: &str) -> Result<Matrix01, EnsembleError> {
     let mut rows: Vec<Vec<u8>> = Vec::new();
+    let mut width: Option<usize> = None;
     for (ln, line) in text.lines().enumerate() {
+        if line.len() > MAX_LINE_BYTES {
+            return Err(EnsembleError::Parse {
+                line: ln + 1,
+                message: format!(
+                    "line is {} bytes, over the {MAX_LINE_BYTES}-byte limit",
+                    line.len()
+                ),
+            });
+        }
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -31,6 +78,22 @@ pub fn parse_matrix(text: &str) -> Result<Matrix01, EnsembleError> {
                     })
                 }
             }
+        }
+        if row.is_empty() {
+            return Err(EnsembleError::Parse {
+                line: ln + 1,
+                message: "line contains separators but no matrix entries".to_string(),
+            });
+        }
+        match width {
+            None => width = Some(row.len()),
+            Some(w) if w != row.len() => {
+                return Err(EnsembleError::Parse {
+                    line: ln + 1,
+                    message: format!("row has {} entries, expected {w}", row.len()),
+                })
+            }
+            Some(_) => {}
         }
         rows.push(row);
     }
@@ -76,6 +139,317 @@ pub fn fig2_matrix() -> Ensemble {
     .expect("fig2 matrix is well-formed")
 }
 
+// ---------------------------------------------------------------------
+// binary wire format
+// ---------------------------------------------------------------------
+
+/// Magic prefix of every wire message.
+pub const WIRE_MAGIC: [u8; 4] = *b"C1PW";
+
+/// Current wire format version; bumped on any layout change so a peer
+/// running an older build fails with a structured error, not garbage.
+pub const WIRE_VERSION: u8 = 1;
+
+const KIND_ENSEMBLE: u8 = 0;
+const KIND_VERDICT: u8 = 1;
+
+const VERDICT_ACCEPT: u8 = 1;
+const VERDICT_REJECT: u8 = 2;
+
+/// A solve result in wire form: the accept side carries the witness atom
+/// order, the reject side the Tucker-certificate coordinates (family plus
+/// the submatrix's atom rows and column ids, both sorted ascending).
+///
+/// This is deliberately a *matrix-level* type: `c1p-engine` converts its
+/// richer verdicts (which also carry the solver's rejection evidence) down
+/// to this, and clients re-verify with `c1p_cert::verify_witness` without
+/// trusting the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireVerdict {
+    /// C1P: a witness order of the atoms (checkable with
+    /// [`crate::verify_linear`]).
+    Accept {
+        /// The witness atom order.
+        order: Vec<Atom>,
+    },
+    /// Not C1P: a Tucker submatrix certificate.
+    Reject {
+        /// The claimed obstruction family.
+        family: TuckerFamily,
+        /// Sorted atom rows of the witness submatrix.
+        atom_rows: Vec<Atom>,
+        /// Sorted column ids of the witness submatrix.
+        column_ids: Vec<u32>,
+    },
+}
+
+/// Encodes an ensemble in the compact CSR wire form.
+pub fn encode_ensemble(ens: &Ensemble) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + 2 * ens.n_columns() + ens.p());
+    put_header(&mut out, KIND_ENSEMBLE);
+    put_varint(ens.n_atoms() as u64, &mut out);
+    put_varint(ens.n_columns() as u64, &mut out);
+    for col in ens.columns() {
+        put_varint(col.len() as u64, &mut out);
+        put_sorted(col, &mut out);
+    }
+    out
+}
+
+/// Decodes an ensemble; the exact inverse of [`encode_ensemble`].
+///
+/// Never panics on malformed input: every structural defect (bad magic,
+/// unknown version, truncated varint, over-declared sizes, out-of-range
+/// atoms, trailing bytes) returns a structured [`EnsembleError`].
+pub fn decode_ensemble(buf: &[u8]) -> Result<Ensemble, EnsembleError> {
+    let mut r = Reader::new(buf);
+    r.expect_header(KIND_ENSEMBLE)?;
+    let n_atoms = r.bounded_varint(u32::MAX as u64, "n_atoms")? as usize;
+    let n_cols = r.bounded_varint(r.remaining() as u64, "column count")? as usize;
+    let mut cols = Vec::with_capacity(n_cols);
+    for _ in 0..n_cols {
+        let len = r.bounded_varint(r.remaining() as u64, "column length")? as usize;
+        cols.push(r.sorted_list(len)?);
+    }
+    r.expect_end()?;
+    Ensemble::from_sorted_columns(n_atoms, cols)
+}
+
+/// Encodes a verdict in wire form.
+///
+/// # Panics
+///
+/// If a reject's `atom_rows`/`column_ids` are not strictly ascending (the
+/// documented [`WireVerdict`] contract) — failing loudly beats silently
+/// emitting a corrupt encoding.
+pub fn encode_verdict(v: &WireVerdict) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    put_header(&mut out, KIND_VERDICT);
+    match v {
+        WireVerdict::Accept { order } => {
+            out.push(VERDICT_ACCEPT);
+            put_varint(order.len() as u64, &mut out);
+            for &a in order {
+                put_varint(a as u64, &mut out);
+            }
+        }
+        WireVerdict::Reject { family, atom_rows, column_ids } => {
+            out.push(VERDICT_REJECT);
+            let (tag, k) = family_tag(*family);
+            out.push(tag);
+            put_varint(k as u64, &mut out);
+            put_varint(atom_rows.len() as u64, &mut out);
+            put_sorted(atom_rows, &mut out);
+            put_varint(column_ids.len() as u64, &mut out);
+            put_sorted(column_ids, &mut out);
+        }
+    }
+    out
+}
+
+/// Decodes a verdict; the exact inverse of [`encode_verdict`]. Same
+/// never-panics contract as [`decode_ensemble`].
+pub fn decode_verdict(buf: &[u8]) -> Result<WireVerdict, EnsembleError> {
+    let mut r = Reader::new(buf);
+    r.expect_header(KIND_VERDICT)?;
+    let verdict = match r.u8("verdict tag")? {
+        VERDICT_ACCEPT => {
+            let len = r.bounded_varint(r.remaining() as u64, "order length")? as usize;
+            let mut order = Vec::with_capacity(len);
+            for _ in 0..len {
+                order.push(r.bounded_varint(u32::MAX as u64, "order atom")? as Atom);
+            }
+            WireVerdict::Accept { order }
+        }
+        VERDICT_REJECT => {
+            let tag = r.u8("family tag")?;
+            let k = r.bounded_varint(u32::MAX as u64, "family parameter")? as usize;
+            let family = family_from_tag(tag, k)
+                .ok_or_else(|| r.err(format!("unknown Tucker family tag {tag}")))?;
+            let len = r.bounded_varint(r.remaining() as u64, "atom row count")? as usize;
+            let atom_rows = r.sorted_list(len)?;
+            let len = r.bounded_varint(r.remaining() as u64, "column id count")? as usize;
+            let column_ids = r.sorted_list(len)?;
+            WireVerdict::Reject { family, atom_rows, column_ids }
+        }
+        other => return Err(r.err(format!("unknown verdict tag {other}"))),
+    };
+    r.expect_end()?;
+    Ok(verdict)
+}
+
+fn family_tag(f: TuckerFamily) -> (u8, usize) {
+    match f {
+        TuckerFamily::MI(k) => (0, k),
+        TuckerFamily::MII(k) => (1, k),
+        TuckerFamily::MIII(k) => (2, k),
+        TuckerFamily::MIV => (3, 0),
+        TuckerFamily::MV => (4, 0),
+    }
+}
+
+fn family_from_tag(tag: u8, k: usize) -> Option<TuckerFamily> {
+    match tag {
+        0 => Some(TuckerFamily::MI(k)),
+        1 => Some(TuckerFamily::MII(k)),
+        2 => Some(TuckerFamily::MIII(k)),
+        3 => Some(TuckerFamily::MIV),
+        4 => Some(TuckerFamily::MV),
+        _ => None,
+    }
+}
+
+fn put_header(out: &mut Vec<u8>, kind: u8) {
+    out.extend_from_slice(&WIRE_MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(kind);
+}
+
+/// LEB128 unsigned varint.
+fn put_varint(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Delta-encodes a strictly ascending `u32` list: first value verbatim,
+/// then `gap - 1` per successor. Panics (in every build profile) on a
+/// non-ascending list — a wrapped subtraction would silently emit a
+/// corrupt encoding, which is strictly worse than failing loudly at the
+/// encode site.
+fn put_sorted(xs: &[u32], out: &mut Vec<u8>) {
+    let mut prev = 0u64;
+    for (i, &x) in xs.iter().enumerate() {
+        if i == 0 {
+            put_varint(x as u64, out);
+        } else {
+            let gap = (x as u64)
+                .checked_sub(prev + 1)
+                .expect("wire encoding requires a strictly ascending list");
+            put_varint(gap, out);
+        }
+        prev = x as u64;
+    }
+}
+
+/// Bounds-checked cursor over a wire payload; every error carries the
+/// current byte offset.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn err(&self, message: String) -> EnsembleError {
+        EnsembleError::Wire { offset: self.pos, message }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, EnsembleError> {
+        let Some(&b) = self.buf.get(self.pos) else {
+            return Err(self.err(format!("truncated before {what}")));
+        };
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn expect_header(&mut self, kind: u8) -> Result<(), EnsembleError> {
+        if self.buf.len() < 6 {
+            return Err(self.err("payload shorter than the 6-byte header".to_string()));
+        }
+        if self.buf[..4] != WIRE_MAGIC {
+            return Err(self.err(format!("bad magic {:?}", &self.buf[..4])));
+        }
+        self.pos = 4;
+        let version = self.u8("version")?;
+        if version != WIRE_VERSION {
+            return Err(self.err(format!("unsupported wire version {version}")));
+        }
+        let k = self.u8("kind")?;
+        if k != kind {
+            return Err(self.err(format!("wrong message kind {k}, expected {kind}")));
+        }
+        Ok(())
+    }
+
+    fn varint(&mut self, what: &str) -> Result<u64, EnsembleError> {
+        let mut v = 0u64;
+        for shift in 0..10 {
+            let b = self.u8(what)?;
+            let bits = (b & 0x7f) as u64;
+            if shift == 9 && b > 1 {
+                return Err(self.err(format!("varint overflow in {what}")));
+            }
+            v |= bits << (7 * shift);
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        unreachable!("loop returns within 10 bytes")
+    }
+
+    /// A varint that also acts as a size/field guard: values above `max`
+    /// are structural errors (e.g. a declared element count larger than
+    /// the remaining payload could possibly encode — each element takes
+    /// at least one byte — which would otherwise drive a huge
+    /// preallocation from a tiny hostile message).
+    fn bounded_varint(&mut self, max: u64, what: &str) -> Result<u64, EnsembleError> {
+        let at = self.pos;
+        let v = self.varint(what)?;
+        if v > max {
+            return Err(EnsembleError::Wire {
+                offset: at,
+                message: format!("{what} {v} exceeds limit {max}"),
+            });
+        }
+        Ok(v)
+    }
+
+    /// Decodes `len` delta-encoded values into a strictly ascending list.
+    fn sorted_list(&mut self, len: usize) -> Result<Vec<u32>, EnsembleError> {
+        let mut xs = Vec::with_capacity(len);
+        let mut prev = 0u64;
+        for i in 0..len {
+            let d = self.varint("delta-encoded value")?;
+            // prev < 2^32 (checked below), but d can be any u64 on hostile
+            // input — the reconstruction must not overflow
+            let v = if i == 0 {
+                d
+            } else {
+                (prev + 1)
+                    .checked_add(d)
+                    .ok_or_else(|| self.err(format!("delta {d} overflows the value")))?
+            };
+            if v > u32::MAX as u64 {
+                return Err(self.err(format!("value {v} overflows u32")));
+            }
+            xs.push(v as u32);
+            prev = v;
+        }
+        Ok(xs)
+    }
+
+    fn expect_end(&self) -> Result<(), EnsembleError> {
+        if self.pos != self.buf.len() {
+            return Err(self.err(format!("{} trailing bytes after payload", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,8 +473,18 @@ mod tests {
     }
 
     #[test]
-    fn parse_rejects_ragged() {
-        assert!(parse_matrix("101\n10\n").is_err());
+    fn parse_rejects_ragged_with_line_number() {
+        let err = parse_matrix("101\n10\n").unwrap_err();
+        assert_eq!(
+            err,
+            EnsembleError::Parse { line: 2, message: "row has 2 entries, expected 3".into() }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_separator_only_lines() {
+        let err = parse_matrix("11\n , ,\n11\n").unwrap_err();
+        assert!(matches!(err, EnsembleError::Parse { line: 2, .. }), "{err}");
     }
 
     #[test]
@@ -109,5 +493,116 @@ mod tests {
         assert_eq!(ens.n_atoms(), 8);
         assert_eq!(ens.n_columns(), 7);
         assert_eq!(ens.p(), 25);
+    }
+
+    #[test]
+    fn wire_round_trips_fig2_and_text() {
+        let ens = fig2_matrix();
+        let bytes = encode_ensemble(&ens);
+        assert_eq!(decode_ensemble(&bytes).unwrap(), ens);
+        // consistency with the dense text format
+        let reparsed = parse_ensemble(&format_ensemble(&ens)).unwrap();
+        assert_eq!(decode_ensemble(&encode_ensemble(&reparsed)).unwrap(), ens);
+    }
+
+    #[test]
+    fn wire_round_trips_edge_shapes() {
+        for ens in [
+            Ensemble::new(0),
+            Ensemble::new(5),
+            Ensemble::from_columns(3, vec![vec![], vec![0, 1, 2], vec![2]]).unwrap(),
+            Ensemble::from_columns(1, vec![vec![0], vec![0]]).unwrap(),
+        ] {
+            let bytes = encode_ensemble(&ens);
+            assert_eq!(decode_ensemble(&bytes).unwrap(), ens, "{ens:?}");
+        }
+    }
+
+    #[test]
+    fn wire_verdict_round_trips() {
+        for v in [
+            WireVerdict::Accept { order: vec![2, 0, 1, 3] },
+            WireVerdict::Accept { order: vec![] },
+            WireVerdict::Reject {
+                family: TuckerFamily::MIII(2),
+                atom_rows: vec![1, 4, 9, 10, 11],
+                column_ids: vec![0, 7, 8, 30],
+            },
+            WireVerdict::Reject { family: TuckerFamily::MV, atom_rows: vec![], column_ids: vec![] },
+        ] {
+            assert_eq!(decode_verdict(&encode_verdict(&v)).unwrap(), v, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn wire_rejects_malformed_headers() {
+        let ens = fig2_matrix();
+        let good = encode_ensemble(&ens);
+        // short, bad magic, bad version, wrong kind
+        assert!(matches!(decode_ensemble(&[]), Err(EnsembleError::Wire { .. })));
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(decode_ensemble(&bad).is_err());
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(decode_ensemble(&bad).is_err());
+        assert!(decode_ensemble(&encode_verdict(&WireVerdict::Accept { order: vec![] })).is_err());
+    }
+
+    #[test]
+    fn wire_rejects_overdeclared_sizes_and_trailing_bytes() {
+        // header claiming 2^30 columns in a 10-byte message must fail on the
+        // bound check, not attempt the allocation
+        let mut bad = Vec::new();
+        put_header(&mut bad, KIND_ENSEMBLE);
+        put_varint(8, &mut bad);
+        put_varint(1 << 30, &mut bad);
+        let err = decode_ensemble(&bad).unwrap_err();
+        assert!(matches!(err, EnsembleError::Wire { .. }), "{err}");
+        // trailing garbage after a valid payload
+        let mut bad = encode_ensemble(&fig2_matrix());
+        bad.push(0);
+        assert!(decode_ensemble(&bad).is_err());
+    }
+
+    #[test]
+    fn wire_rejects_overflowing_deltas_without_panicking() {
+        // hostile 10-byte LEB128 delta of u64::MAX after a first value of 0:
+        // reconstruction must error, not overflow (debug) or wrap (release)
+        let mut bad = Vec::new();
+        put_header(&mut bad, KIND_ENSEMBLE);
+        put_varint(1, &mut bad); // n_atoms
+        put_varint(1, &mut bad); // n_cols
+        put_varint(2, &mut bad); // column length
+        put_varint(0, &mut bad); // first atom
+        put_varint(u64::MAX, &mut bad); // delta
+        let err = decode_ensemble(&bad).unwrap_err();
+        assert!(matches!(err, EnsembleError::Wire { .. }), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn encoding_a_non_ascending_witness_panics_loudly() {
+        encode_verdict(&WireVerdict::Reject {
+            family: TuckerFamily::MV,
+            atom_rows: vec![0, 1],
+            column_ids: vec![5, 3],
+        });
+    }
+
+    #[test]
+    fn wire_rejects_out_of_range_atoms() {
+        // column {0,5} in a 3-atom ensemble: delta decode succeeds, range
+        // validation in from_sorted_columns must reject
+        let mut bad = Vec::new();
+        put_header(&mut bad, KIND_ENSEMBLE);
+        put_varint(3, &mut bad);
+        put_varint(1, &mut bad);
+        put_varint(2, &mut bad);
+        put_sorted(&[0, 5], &mut bad);
+        assert_eq!(
+            decode_ensemble(&bad).unwrap_err(),
+            EnsembleError::AtomOutOfRange { column: 0, atom: 5 }
+        );
     }
 }

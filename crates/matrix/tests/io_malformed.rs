@@ -1,0 +1,173 @@
+//! Hostile-input hardening for `c1p_matrix::io` (text and wire): seeded
+//! malformed inputs must produce structured [`EnsembleError`]s with correct
+//! positions — never a panic, never an unbounded allocation.
+
+use c1p_matrix::io::{
+    decode_ensemble, decode_verdict, encode_ensemble, encode_verdict, parse_ensemble, parse_matrix,
+    WireVerdict, MAX_LINE_BYTES,
+};
+use c1p_matrix::tucker::TuckerFamily;
+use c1p_matrix::{Ensemble, EnsembleError};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// A well-formed seeded matrix text to corrupt.
+fn clean_text(rng: &mut SmallRng) -> String {
+    let rows = 2 + rng.random_range(0..6usize);
+    let cols = 1 + rng.random_range(0..8usize);
+    let mut s = String::new();
+    for _ in 0..rows {
+        for _ in 0..cols {
+            s.push(if rng.random_range(0..2u32) == 0 { '0' } else { '1' });
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[test]
+fn ragged_rows_report_the_offending_line() {
+    let mut rng = SmallRng::seed_from_u64(0xA11);
+    for _ in 0..50 {
+        let mut text = clean_text(&mut rng);
+        // append a row one entry short (always ragged since cols >= 1... a
+        // 1-column matrix gets a 2-entry row instead)
+        let cols = text.lines().next().unwrap().len();
+        let bad_row = if cols > 1 { "1".repeat(cols - 1) } else { "11".into() };
+        let lines_before = text.lines().count();
+        text.push_str(&bad_row);
+        text.push('\n');
+        match parse_matrix(&text) {
+            Err(EnsembleError::Parse { line, message }) => {
+                assert_eq!(line, lines_before + 1, "error names the ragged line");
+                assert!(message.contains("expected"), "{message}");
+            }
+            other => panic!("ragged input must fail with Parse, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn embedded_nul_and_garbage_report_line_and_char() {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+    for garbage in ['\0', 'x', '2', 'é', '\u{200b}'] {
+        for _ in 0..20 {
+            let text = clean_text(&mut rng);
+            let line_no = 1 + rng.random_range(0..text.lines().count());
+            let mut lines: Vec<String> = text.lines().map(String::from).collect();
+            let at = rng.random_range(0..=lines[line_no - 1].len());
+            lines[line_no - 1].insert(at, garbage);
+            let corrupted = lines.join("\n");
+            match parse_matrix(&corrupted) {
+                Err(EnsembleError::Parse { line, message }) => {
+                    assert_eq!(line, line_no, "error names the corrupted line ({garbage:?})");
+                    assert!(message.contains("unexpected character"), "{message}");
+                }
+                other => panic!("garbage {garbage:?} must fail with Parse, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_entry_lines_are_structured_errors() {
+    for (text, line) in [
+        (",\n11\n", 1),
+        ("11\n \t, \n", 2),
+        ("10\n01\n,,,\n", 3),
+        // a separator-only line is an error even as the sole content
+        (" , ", 1),
+    ] {
+        match parse_matrix(text) {
+            Err(EnsembleError::Parse { line: at, .. }) => assert_eq!(at, line, "{text:?}"),
+            other => panic!("{text:?} must fail with Parse, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn hundred_megabyte_single_line_is_guarded() {
+    // One 100 MB line: the guard must bail on length alone, returning a
+    // structured error with the right line number instead of scanning.
+    let t0 = std::time::Instant::now();
+    let big = "1".repeat(100 << 20);
+    match parse_matrix(&big) {
+        Err(EnsembleError::Parse { line: 1, message }) => {
+            assert!(message.contains("limit"), "{message}")
+        }
+        other => panic!("oversized line must fail with Parse, got {other:?}"),
+    }
+    // second line oversized: line number still correct
+    let two = format!("11\n{}", "1".repeat(MAX_LINE_BYTES + 1));
+    match parse_matrix(&two) {
+        Err(EnsembleError::Parse { line: 2, .. }) => {}
+        other => panic!("oversized second line must fail at line 2, got {other:?}"),
+    }
+    assert!(t0.elapsed().as_secs() < 30, "guard must not degrade into a full scan");
+}
+
+#[test]
+fn seeded_random_corruptions_never_panic() {
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    for round in 0..300 {
+        let mut text = clean_text(&mut rng).into_bytes();
+        // splice 1-4 random bytes (possibly multi-byte-UTF8-breaking; those
+        // inputs are pre-filtered since parse takes &str)
+        for _ in 0..1 + rng.random_range(0..4usize) {
+            let at = rng.random_range(0..=text.len());
+            text.insert(at, rng.random_range(0..=255u32) as u8);
+        }
+        if let Ok(s) = String::from_utf8(text) {
+            let _ = parse_matrix(&s); // must not panic; error shape free
+        }
+        let _ = round;
+    }
+}
+
+#[test]
+fn wire_truncations_and_mutations_never_panic() {
+    let mut rng = SmallRng::seed_from_u64(0xD1CE);
+    let ens =
+        Ensemble::from_columns(40, vec![vec![0, 3, 9], vec![5, 6], vec![1, 2, 3, 20, 39]]).unwrap();
+    let verdict = WireVerdict::Reject {
+        family: TuckerFamily::MII(3),
+        atom_rows: vec![0, 1, 5, 9, 12, 13],
+        column_ids: vec![2, 4, 5, 6, 7, 8],
+    };
+    let payloads = [encode_ensemble(&ens), encode_verdict(&verdict)];
+    for payload in &payloads {
+        // every prefix
+        for cut in 0..payload.len() {
+            assert!(decode_ensemble(&payload[..cut]).is_err());
+            assert!(decode_verdict(&payload[..cut]).is_err());
+        }
+        // seeded single-byte mutations: decode must return, not panic;
+        // if it returns Ok the payload was still a valid encoding (fine)
+        for _ in 0..500 {
+            let mut m = payload.clone();
+            let at = rng.random_range(0..m.len());
+            m[at] ^= 1 << rng.random_range(0..8u32);
+            let _ = decode_ensemble(&m);
+            let _ = decode_verdict(&m);
+        }
+    }
+    // pure noise
+    for _ in 0..500 {
+        let len = rng.random_range(0..64usize);
+        let noise: Vec<u8> = (0..len).map(|_| rng.random_range(0..=255u32) as u8).collect();
+        let _ = decode_ensemble(&noise);
+        let _ = decode_verdict(&noise);
+    }
+}
+
+#[test]
+fn wire_agrees_with_text_on_seeded_instances() {
+    let mut rng = SmallRng::seed_from_u64(0x0123);
+    for _ in 0..40 {
+        let text = clean_text(&mut rng);
+        let ens = parse_ensemble(&text).unwrap();
+        let bytes = encode_ensemble(&ens);
+        assert_eq!(decode_ensemble(&bytes).unwrap(), ens, "wire round trip of {text:?}");
+        assert!(bytes.len() <= 6 + 20 + 2 * ens.n_columns() + 5 * ens.p().max(1), "compactness");
+    }
+}

@@ -1,0 +1,75 @@
+//! In-process use of the solve engine (no TCP): batch 1 000 small
+//! ensembles — fresh instances, duplicates, and column permutations —
+//! through one [`c1p::Engine`] and print its statistics.
+//!
+//! ```text
+//! cargo run --release --example engine_batch
+//! ```
+
+use c1p::matrix::generate::{mixed_schedule, MixedSchedule};
+use c1p::matrix::Ensemble;
+use c1p::{Engine, EngineConfig, Verdict};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    // the shared mixed serving workload (same definition as load_driver
+    // and experiment E11): 800 requests with verbatim replays...
+    let mut requests = mixed_schedule(MixedSchedule {
+        requests: 800,
+        seed: 0xE7A,
+        dup_every: 4,
+        reject_every: 3,
+        n_lo: 40,
+        n_hi: 100,
+    });
+    // ...plus 200 column-permuted replays: a different byte sequence that
+    // still *hits* the cache, by the canonicalization rule
+    let mut rng = SmallRng::seed_from_u64(0xE7A);
+    for _ in 0..200 {
+        let e = &requests[rng.random_range(0..requests.len())];
+        let permuted =
+            Ensemble::from_columns(e.n_atoms(), e.columns().iter().rev().cloned().collect())
+                .unwrap();
+        requests.push(permuted);
+    }
+
+    let engine = Engine::new(EngineConfig::default());
+    let t0 = Instant::now();
+    let mut accepts = 0usize;
+    let mut rejects = 0usize;
+    for chunk in requests.chunks(64) {
+        for result in engine.solve_batch(chunk) {
+            match result.expect("no admission failures at these sizes") {
+                Verdict::C1p { .. } => accepts += 1,
+                Verdict::NotC1p { .. } => rejects += 1,
+            }
+        }
+    }
+    let wall = t0.elapsed();
+
+    let s = engine.stats();
+    println!(
+        "solved {} requests in {:.2?} ({:.0} req/s)",
+        accepts + rejects,
+        wall,
+        (accepts + rejects) as f64 / wall.as_secs_f64()
+    );
+    println!("verdicts: {accepts} C1P, {rejects} certified rejections");
+    println!(
+        "cache: {} hits, {} misses, {} coalesced ({:.0}% hit rate), {} entries / {} bytes, {} evictions",
+        s.hits,
+        s.misses,
+        s.coalesced,
+        100.0 * s.hit_rate(),
+        s.cache_entries,
+        s.cache_bytes,
+        s.evictions,
+    );
+    println!(
+        "batching: {} batches, {} small fanned out, {} large direct",
+        s.batches, s.batched_small, s.large_direct,
+    );
+    println!("\nfull snapshot: {}", s.to_json());
+}

@@ -16,6 +16,7 @@
 //! | [`pqtree`] | the Booth–Lueker baseline |
 //! | [`core_alg`] | the paper's `Path-Realization` algorithm, sequential and parallel |
 //! | [`cert`] | Tucker-witness rejection certificates |
+//! | [`engine`] | batched, caching solve service + the `c1pd` wire front-end |
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@ pub use c1p_core::circular::solve_circular;
 pub use c1p_core::interval_graphs;
 pub use c1p_core::parallel::{solve_par, solve_par_with};
 pub use c1p_core::{solve, solve_with, Config, RejectSite, Rejection, SolveStats};
+pub use c1p_engine::{Engine, EngineConfig, EngineError, EngineStats, Verdict};
 
 /// Ensembles, matrices, verifiers and workload generators.
 pub use c1p_matrix as matrix;
@@ -68,3 +70,6 @@ pub use c1p_core as core_alg;
 
 /// Tucker-witness certificates for rejections.
 pub use c1p_cert as cert;
+
+/// The batched, caching solve service and its wire protocol (`c1pd`).
+pub use c1p_engine as engine;

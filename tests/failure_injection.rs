@@ -68,11 +68,22 @@ fn malformed_inputs_are_typed_errors() {
         Ensemble::from_columns(3, vec![vec![1, 1]]),
         Err(EnsembleError::DuplicateAtom { .. })
     ));
+    // ragged text now reports the offending *line* (the matrix-level
+    // RaggedMatrix variant remains for the programmatic from_rows path)
     assert!(matches!(
         c1p::matrix::io::parse_ensemble("10\n1"),
+        Err(EnsembleError::Parse { line: 2, .. })
+    ));
+    assert!(matches!(
+        c1p::matrix::Matrix01::from_rows(&[vec![1, 0], vec![1]]),
         Err(EnsembleError::RaggedMatrix { .. })
     ));
     assert!(matches!(c1p::matrix::io::parse_ensemble("1x0"), Err(EnsembleError::Parse { .. })));
+    // the binary wire decoder is equally typed
+    assert!(matches!(
+        c1p::matrix::io::decode_ensemble(b"garbage"),
+        Err(EnsembleError::Wire { .. })
+    ));
     assert!(matches!(c1p::tutte::decompose(0, &[]), Err(c1p::tutte::DecomposeError::NoAtoms)));
     assert!(matches!(
         c1p::tutte::decompose(4, &[(3, 3)]),
