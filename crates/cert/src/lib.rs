@@ -58,7 +58,7 @@ pub struct CertifiedRejection {
 /// C1P instance, which the verifying merge rules out (mirrors the accept
 /// path's "produced order failed verification" internal-error panic).
 pub fn solve_certified(ens: &Ensemble) -> Result<Vec<Atom>, CertifiedRejection> {
-    c1p_core::solve(ens).map_err(|rejection| certified(ens, rejection))
+    c1p_core::solve(ens).map_err(|rejection| certify_rejection(ens, rejection))
 }
 
 /// [`c1p_core::parallel::solve_par`]'s certified twin.
@@ -67,10 +67,21 @@ pub fn solve_certified(ens: &Ensemble) -> Result<Vec<Atom>, CertifiedRejection> 
 ///
 /// See [`solve_certified`].
 pub fn solve_par_certified(ens: &Ensemble) -> Result<Vec<Atom>, CertifiedRejection> {
-    c1p_core::parallel::solve_par(ens).0.map_err(|rejection| certified(ens, rejection))
+    c1p_core::parallel::solve_par(ens).0.map_err(|rejection| certify_rejection(ens, rejection))
 }
 
-fn certified(ens: &Ensemble, rejection: Rejection) -> CertifiedRejection {
+/// Upgrades a bare solver [`Rejection`] into a [`CertifiedRejection`] by
+/// extracting its Tucker witness against `ens` — the exact step
+/// [`solve_certified`] performs, exposed so callers that obtain rejections
+/// through other drivers (the incremental solver's per-component
+/// re-solves) certify them identically, byte for byte.
+///
+/// # Panics
+///
+/// If the evidence does not shrink to a Tucker witness — possible only
+/// when `rejection` does not actually implicate a non-C1P subensemble of
+/// `ens` (see [`solve_certified`]).
+pub fn certify_rejection(ens: &Ensemble, rejection: Rejection) -> CertifiedRejection {
     let witness = extract_witness(ens, &rejection)
         .expect("internal error: rejection evidence did not shrink to a Tucker witness");
     CertifiedRejection { rejection, witness }

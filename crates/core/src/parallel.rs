@@ -123,6 +123,30 @@ pub fn solve_par_with(ens: &Ensemble, cfg: &Config) -> (Result<Vec<Atom>, Reject
     (Ok(order), stats)
 }
 
+/// The parallel twin of [`crate::solver::solve_component`]: realizes one
+/// connected component (sorted global `atoms`, columns in ascending
+/// column-id order) on the *current* rayon pool, resolving the PR-3
+/// scheduling knobs against the component size. Output order and
+/// rejection evidence are bit-identical to the sequential entry for every
+/// thread count and cutoff (the `par_determinism` contract), so the
+/// incremental solver can route large re-solves here without changing any
+/// verdict byte.
+pub fn solve_component_par<'a>(
+    atoms: &[Atom],
+    cols: impl Iterator<Item = &'a [Atom]>,
+    cfg: &Config,
+) -> Result<Vec<Atom>, Rejection> {
+    let sched = Sched::resolve(cfg, atoms.len());
+    let sub = component_sub(atoms, cols.filter(|c| c.len() >= 2));
+    match realize_par(&sub, cfg, &sched, 0) {
+        Ok((local, _, _)) => {
+            crate::solver::verify_spans(&sub, &local);
+            Ok(local.iter().map(|&i| atoms[i as usize]).collect())
+        }
+        Err(rej) => Err(rej.fill(sub.n).mapped(atoms)),
+    }
+}
+
 type ParResult = Result<(Vec<u32>, SolveStats, Cost), NotC1p>;
 
 fn realize_par(sub: &SubProblem, cfg: &Config, sched: &Sched, depth: usize) -> ParResult {

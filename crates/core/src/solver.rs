@@ -126,17 +126,61 @@ pub fn solve_with(ens: &Ensemble, cfg: &Config) -> (Result<Vec<Atom>, Rejection>
     // Solve each connected component independently and concatenate
     // (isolated atoms ride along as singleton components).
     for (atoms, col_ids) in ens.components() {
-        let sub = build_sub(&atoms, col_ids.iter().map(|&ci| ens.column(ci as usize)));
-        match realize(&sub, cfg, &mut stats, 0) {
-            Ok(local) => order.extend(local.iter().map(|&i| atoms[i as usize])),
-            // component-local evidence → global atom ids
-            Err(rej) => return (Err(rej.fill(sub.n).mapped(&atoms)), stats),
+        let cols = col_ids.iter().map(|&ci| ens.column(ci as usize));
+        // fragment verification deferred: the whole-order verify_linear
+        // below covers every component in one pass
+        match component_realized(&atoms, cols, cfg, &mut stats, false) {
+            Ok(part) => order.extend(part),
+            Err(rej) => return (Err(rej), stats),
         }
     }
     // The witness is always validated: soundness does not depend on any
     // solver internals.
     verify_linear(ens, &order).expect("internal error: produced order failed verification");
     (Ok(order), stats)
+}
+
+/// Solves one connected component in isolation: `atoms` is the (sorted)
+/// component atom set in *global* ids, `cols` its columns in ascending
+/// column-id order (restrictions below two atoms are dropped internally,
+/// exactly as the whole-ensemble driver does). Returns the realized order
+/// and rejection evidence in global atom ids.
+///
+/// This is the loop body of [`solve_with`] — the incremental solver
+/// (`c1p-incremental`) calls it per re-solved component, so a differential
+/// re-solve is bit-identical to a from-scratch [`solve`] by construction,
+/// not by test alone. The returned fragment is span-verified against the
+/// component's own columns before it is handed out.
+pub fn solve_component<'a>(
+    atoms: &[Atom],
+    cols: impl Iterator<Item = &'a [Atom]>,
+    cfg: &Config,
+) -> Result<Vec<Atom>, Rejection> {
+    component_realized(atoms, cols, cfg, &mut SolveStats::default(), true)
+}
+
+/// [`solve_component`] with the caller's statistics threaded through and
+/// fragment verification made optional: external entries always verify
+/// (their callers splice the fragment unseen), while [`solve_with`] skips
+/// it — its whole-order `verify_linear` already covers every component.
+fn component_realized<'a>(
+    atoms: &[Atom],
+    cols: impl Iterator<Item = &'a [Atom]>,
+    cfg: &Config,
+    stats: &mut SolveStats,
+    verify_fragment: bool,
+) -> Result<Vec<Atom>, Rejection> {
+    let sub = build_sub(atoms, cols);
+    match realize(&sub, cfg, stats, 0) {
+        Ok(local) => {
+            if verify_fragment {
+                verify_spans(&sub, &local);
+            }
+            Ok(local.iter().map(|&i| atoms[i as usize]).collect())
+        }
+        // component-local evidence → global atom ids
+        Err(rej) => Err(rej.fill(sub.n).mapped(atoms)),
+    }
 }
 
 /// Re-indexes global columns onto a local atom set. `atoms` and each
@@ -243,7 +287,7 @@ pub(crate) fn realize(
         // cut the cycle at r = k (paper Step 7 Case 2)
         let order = cut_at_r(&cyclic, k);
         if cfg.paranoid {
-            debug_verify(sub, &order);
+            verify_spans(sub, &order);
         }
         Ok(order)
     }
@@ -628,8 +672,10 @@ fn align_one_side_inner(
     out
 }
 
-/// Paranoid check: `order` realizes the subproblem.
-fn debug_verify(sub: &SubProblem, order: &[u32]) {
+/// Span check: `order` realizes the subproblem. O(p); used by the
+/// paranoid mode and unconditionally on component fragments handed to
+/// external callers ([`solve_component`]).
+pub(crate) fn verify_spans(sub: &SubProblem, order: &[u32]) {
     let mut pos = vec![u32::MAX; sub.n];
     for (i, &a) in order.iter().enumerate() {
         pos[a as usize] = i as u32;

@@ -3,21 +3,29 @@
 //! ```text
 //! c1pd [--addr 127.0.0.1:9119] [--port-file PATH] [--threads N]
 //!      [--cache-mb MB] [--max-batch N] [--small-cutoff N]
-//!      [--max-queue N] [--max-conns N] [--max-frame-mb MB]
+//!      [--max-queue N] [--max-atoms N] [--max-conns N] [--max-frame-mb MB]
+//!      [--max-sessions N] [--session-idle-ms MS] [--max-session-mb MB]
 //! ```
 //!
 //! Speaks the length-prefixed frame protocol of `c1p_engine::proto`: one
-//! `Verdict`/`Error` response per `Solve` request, in order, per
-//! connection; `GetStats` answers with the engine's JSON snapshot.
-//! Requests from all connections funnel into one engine, so batching and
-//! the result cache amortize across tenants.
+//! response per request, in order, per connection — `Verdict`/`Error` for
+//! `Solve`, `SessionVerdict`/`Error` for `OpenSession`/`PushAtoms`/
+//! `SealSession`, `Stats` for `GetStats`. Requests from all connections
+//! funnel into one engine, so batching, the result cache *and the
+//! session table* amortize across tenants (a session handle works from
+//! any connection; abandoned handles are idle-evicted).
 //!
-//! Admission control happens at three layers: frame size (byte cap before
-//! allocation), connection count (excess connections get one `Overloaded`
-//! error frame and are closed), and queue depth (excess submissions get
-//! `Overloaded` responses). Bind to port 0 for an ephemeral port; the
-//! chosen address is printed on stdout (`c1pd listening on ...`) and, with
-//! `--port-file`, the bare port is written to the given path for scripts.
+//! Admission control happens at three layers, each answering with an
+//! exact error frame rather than a silent drop: frame size (byte cap
+//! checked before allocation; an oversized frame gets one `TooLarge`
+//! error frame, then the connection closes — the stream position is
+//! unrecoverable), connection count (excess connections get one
+//! `Overloaded` error frame and are closed), and queue/session depth
+//! (excess submissions get `Overloaded` responses; oversized instances
+//! and over-grown sessions get `TooLarge`). Bind to port 0 for an
+//! ephemeral port; the chosen address is printed on stdout
+//! (`c1pd listening on ...`) and, with `--port-file`, the bare port is
+//! written to the given path for scripts.
 
 use c1p_engine::proto::{encode_msg, read_frame, write_frame, ErrorCode, Msg, DEFAULT_MAX_FRAME};
 use c1p_engine::{Engine, EngineConfig, EngineError};
@@ -46,7 +54,13 @@ fn main() {
         max_batch: num_flag(&args, "--max-batch", defaults.max_batch),
         small_cutoff: num_flag(&args, "--small-cutoff", defaults.small_cutoff),
         max_queue: num_flag(&args, "--max-queue", defaults.max_queue),
-        max_atoms: defaults.max_atoms,
+        max_atoms: num_flag(&args, "--max-atoms", defaults.max_atoms),
+        max_sessions: num_flag(&args, "--max-sessions", defaults.max_sessions),
+        session_idle_ms: num_flag(&args, "--session-idle-ms", defaults.session_idle_ms as usize)
+            as u64,
+        max_session_columns: defaults.max_session_columns,
+        max_session_bytes: num_flag(&args, "--max-session-mb", defaults.max_session_bytes >> 20)
+            << 20,
     };
     let max_conns = num_flag(&args, "--max-conns", 64);
     let max_frame = num_flag(&args, "--max-frame-mb", DEFAULT_MAX_FRAME >> 20) << 20;
@@ -110,13 +124,49 @@ fn handle_conn(stream: TcpStream, engine: &Engine, max_frame: usize) -> io::Resu
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    while let Some(payload) = read_frame(&mut reader, max_frame)? {
+    loop {
+        let payload = match read_frame(&mut reader, max_frame) {
+            Ok(Some(p)) => p,
+            Ok(None) => return Ok(()),
+            // An over-cap frame length is admission control, not line
+            // noise: answer with an exact TooLarge error frame before
+            // closing (the stream position is unrecoverable, so the
+            // connection cannot continue).
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let reply = Msg::Error { id: 0, code: ErrorCode::TooLarge, message: e.to_string() };
+                write_frame(&mut writer, &encode_msg(&reply))?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
         let reply = match c1p_engine::proto::decode_msg(&payload) {
             Ok(Msg::Solve { id, ens }) => match engine.submit(ens) {
                 Ok(ticket) => match ticket.wait() {
                     Ok(verdict) => Msg::Verdict { id, verdict: verdict.to_wire() },
                     Err(e) => engine_error(id, e),
                 },
+                Err(e) => engine_error(id, e),
+            },
+            Ok(Msg::OpenSession { id, n_atoms }) => match engine.open_session(n_atoms as usize) {
+                // the empty state's witness is the identity — elided
+                // (empty order) so a 17-byte open cannot amplify into a
+                // multi-MB reply at large n_atoms
+                Ok(session) => Msg::SessionVerdict {
+                    id,
+                    session,
+                    verdict: c1p_matrix::io::WireVerdict::Accept { order: Vec::new() },
+                },
+                Err(e) => engine_error(id, e),
+            },
+            Ok(Msg::PushAtoms { id, session, delta }) => {
+                match engine.session_push(session, &delta) {
+                    Ok(verdict) => Msg::SessionVerdict { id, session, verdict: verdict.to_wire() },
+                    Err(e) => engine_error(id, e),
+                }
+            }
+            Ok(Msg::SealSession { id, session }) => match engine.seal_session(session) {
+                Ok(verdict) => Msg::SessionVerdict { id, session, verdict: verdict.to_wire() },
                 Err(e) => engine_error(id, e),
             },
             Ok(Msg::GetStats) => Msg::Stats { json: engine.stats().to_json() },
@@ -130,14 +180,17 @@ fn handle_conn(stream: TcpStream, engine: &Engine, max_frame: usize) -> io::Resu
         write_frame(&mut writer, &encode_msg(&reply))?;
         writer.flush()?;
     }
-    Ok(())
 }
 
 fn engine_error(id: u64, e: EngineError) -> Msg {
     let code = match e {
         EngineError::Overloaded => ErrorCode::Overloaded,
-        EngineError::TooLarge { .. } => ErrorCode::TooLarge,
+        EngineError::TooLarge { .. }
+        | EngineError::SessionFull { .. }
+        | EngineError::SessionOverBudget { .. } => ErrorCode::TooLarge,
         EngineError::ShuttingDown => ErrorCode::Internal,
+        EngineError::NoSuchSession { .. } => ErrorCode::NoSession,
+        EngineError::SessionMismatch { .. } => ErrorCode::Malformed,
     };
     Msg::Error { id, code, message: e.to_string() }
 }

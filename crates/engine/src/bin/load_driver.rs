@@ -5,27 +5,41 @@
 //! load_driver --addr 127.0.0.1:PORT [--requests 500] [--conns 4]
 //!             [--seed 1] [--dup-every 3] [--reject-every 4]
 //!             [--n-lo 48] [--n-hi 160] [--expect-hits]
+//! load_driver --addr 127.0.0.1:PORT --mode sessions
+//!             [--streams 8] [--pushes 6] [--blocks 4] [--conns 4]
+//!             [--seed 1] [--reject-every 3] [--n-lo 64] [--n-hi 192]
 //! ```
 //!
-//! Generates a deterministic mixed accept/reject schedule from the shared
-//! workload generator (`c1p_matrix::generate::mixed_schedule` — the same
-//! definition experiment E11 and the `engine_batch` example use), with
-//! every `--dup-every`-th request replaying an earlier instance so the
-//! server's cache has something to hit. `--conns` closed-loop connections
+//! **Solve mode** (default) generates a deterministic mixed accept/reject
+//! schedule from the shared workload generator
+//! (`c1p_matrix::generate::mixed_schedule` — the same definition
+//! experiment E11 and the `engine_batch` example use), with every
+//! `--dup-every`-th request replaying an earlier instance so the server's
+//! cache has something to hit. `--conns` closed-loop connections
 //! round-robin the schedule.
 //!
+//! **Session mode** replays deterministic append streams
+//! (`c1p_matrix::generate::append_stream{,_reject}`) through the
+//! `OpenSession`/`PushAtoms`/`SealSession` frames: every `--reject-every`-th
+//! stream carries one planted Tucker obstruction, whose push must come
+//! back rejected (and rolled back server-side) while every other verdict
+//! accepts. The client mirrors each session with an incremental
+//! Booth–Lueker reducer (`c1p_pqtree::Reducer`) to predict every verdict
+//! independently, and gates the sealed order on **bit-identical agreement
+//! with an in-process one-shot solve** of the accepted concatenation.
+//!
 //! Every response is checked **client-side, without trusting the server**:
-//! accepts must pass `verify_linear` against the sent instance, rejects
-//! must carry a Tucker certificate that `c1p_cert::verify_witness`
-//! confirms; both must agree with an in-process solve of the same
-//! instance. Exits nonzero on any protocol error, verification failure,
-//! verdict disagreement, or (with `--expect-hits`) a zero cache-hit count.
+//! accepts must pass `verify_linear` against the concatenated instance,
+//! rejects must carry a Tucker certificate that `c1p_cert::verify_witness`
+//! confirms; both must agree with the in-process prediction. Exits
+//! nonzero on any protocol error, verification failure, verdict
+//! disagreement, or (with `--expect-hits`) a zero cache-hit count.
 
 use c1p_cert::{verify_witness, TuckerWitness};
 use c1p_engine::proto::{decode_msg, encode_msg, read_frame, write_frame, Msg, DEFAULT_MAX_FRAME};
-use c1p_matrix::generate::{mixed_schedule, MixedSchedule};
+use c1p_matrix::generate::{append_stream, append_stream_reject, mixed_schedule, MixedSchedule};
 use c1p_matrix::io::WireVerdict;
-use c1p_matrix::{verify_linear, Ensemble};
+use c1p_matrix::{verify_linear, Atom, Ensemble};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,6 +66,9 @@ struct Tally {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if flag(&args, "--mode").as_deref() == Some("sessions") {
+        return sessions_main(&args);
+    }
     let addr = flag(&args, "--addr").expect("--addr HOST:PORT is required");
     let requests = num_flag(&args, "--requests", 500) as usize;
     let conns = (num_flag(&args, "--conns", 4) as usize).max(1);
@@ -221,6 +238,260 @@ fn check_verdict(ens: &Ensemble, expect_c1p: bool, verdict: &WireVerdict, tally:
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// session mode
+// ---------------------------------------------------------------------
+
+/// One deterministic session stream plus what the client expects of it.
+struct StreamPlan {
+    stream: c1p_matrix::generate::AppendStream,
+    /// Push index that must come back rejected (`None` = accept-only).
+    reject_at: Option<usize>,
+}
+
+fn sessions_main(args: &[String]) {
+    let addr = flag(args, "--addr").expect("--addr HOST:PORT is required");
+    let streams = (num_flag(args, "--streams", 8) as usize).max(1);
+    let pushes = (num_flag(args, "--pushes", 6) as usize).max(1);
+    let blocks = (num_flag(args, "--blocks", 4) as usize).max(1);
+    let conns = (num_flag(args, "--conns", 4) as usize).max(1).min(streams);
+    let seed = num_flag(args, "--seed", 1);
+    let reject_every = num_flag(args, "--reject-every", 3) as usize;
+    let n_lo = num_flag(args, "--n-lo", 64) as usize;
+    let n_hi = num_flag(args, "--n-hi", 192) as usize;
+    assert!(n_lo >= 16 * blocks, "reject embedding needs blocks of >= 16 atoms");
+    assert!(n_hi >= n_lo);
+
+    // deterministic plans: stream s gets a seed-derived size and stream
+    let plans: Vec<StreamPlan> = (0..streams)
+        .map(|s| {
+            let stream_seed = seed.wrapping_mul(2609).wrapping_add(s as u64);
+            // deterministic size without an RNG dependency here
+            let n = n_lo + (stream_seed as usize).wrapping_mul(31) % (n_hi - n_lo + 1);
+            if reject_every > 0 && s % reject_every == reject_every - 1 {
+                let (stream, at, _) = append_stream_reject(n, blocks, pushes, stream_seed);
+                StreamPlan { stream, reject_at: Some(at) }
+            } else {
+                StreamPlan {
+                    stream: append_stream(n, blocks, pushes, stream_seed),
+                    reject_at: None,
+                }
+            }
+        })
+        .collect();
+    let rejects = plans.iter().filter(|p| p.reject_at.is_some()).count();
+    println!(
+        "load_driver: {streams} session stream(s) × {pushes} pushes ({rejects} with a planted \
+         reject), {conns} connection(s), seed {seed}"
+    );
+
+    let tally = Arc::new(Tally::default());
+    let plans = Arc::new(plans);
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..conns {
+        let (plans, tally, addr) = (Arc::clone(&plans), Arc::clone(&tally), addr.clone());
+        handles.push(std::thread::spawn(move || drive_streams(c, conns, &addr, &plans, &tally)));
+    }
+    let mut latencies_us: Vec<u64> = Vec::new();
+    for h in handles {
+        latencies_us.extend(h.join().expect("driver thread panicked"));
+    }
+    let wall = t0.elapsed();
+
+    let sealed = fetch_stat(&addr, "\"sessions_sealed\":").unwrap_or(-1);
+    let completed = tally.completed.load(Ordering::Relaxed);
+    let protocol_errors = tally.protocol_errors.load(Ordering::Relaxed);
+    let verify_failures = tally.verify_failures.load(Ordering::Relaxed);
+    let disagreements = tally.disagreements.load(Ordering::Relaxed);
+    let expected_ops = (streams * (pushes + 2)) as u64; // open + pushes + seal
+
+    latencies_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies_us.is_empty() {
+            return 0;
+        }
+        latencies_us[((latencies_us.len() - 1) as f64 * p).round() as usize]
+    };
+    println!(
+        "completed {completed}/{expected_ops} session ops in {:.2}s ({:.0} ops/s) | \
+         latency p50 {}us p90 {}us p99 {}us",
+        wall.as_secs_f64(),
+        completed as f64 / wall.as_secs_f64().max(1e-9),
+        pct(0.50),
+        pct(0.90),
+        pct(0.99),
+    );
+    println!(
+        "protocol errors {protocol_errors} | verify failures {verify_failures} | \
+         disagreements {disagreements} | server sessions sealed {sealed}"
+    );
+
+    let mut failed = false;
+    if completed != expected_ops || protocol_errors > 0 {
+        eprintln!("FAIL: protocol errors or missing responses");
+        failed = true;
+    }
+    if verify_failures > 0 {
+        eprintln!("FAIL: client-side verification failures");
+        failed = true;
+    }
+    if disagreements > 0 {
+        eprintln!("FAIL: verdict disagreement with the client-side mirror / one-shot solve");
+        failed = true;
+    }
+    if sealed != streams as i64 {
+        eprintln!("FAIL: expected {streams} sealed sessions on the server, got {sealed}");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("load_driver: all session checks passed");
+}
+
+/// Drives this connection's round-robin share of the streams, one full
+/// session each (open → pushes → seal), verifying every verdict
+/// client-side. Returns per-operation latencies.
+fn drive_streams(
+    conn_ix: usize,
+    conns: usize,
+    addr: &str,
+    plans: &[StreamPlan],
+    tally: &Tally,
+) -> Vec<u64> {
+    let stream = TcpStream::connect(addr)
+        .unwrap_or_else(|e| panic!("load_driver: cannot connect {addr}: {e}"));
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = BufWriter::new(stream);
+    let mut latencies = Vec::new();
+    let mut req_id = (conn_ix as u64) << 32;
+    let mut rpc = |msg: &Msg, latencies: &mut Vec<u64>| -> Option<Msg> {
+        let t0 = Instant::now();
+        if write_frame(&mut writer, &encode_msg(msg)).and_then(|()| writer.flush()).is_err() {
+            tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let payload = match read_frame(&mut reader, DEFAULT_MAX_FRAME) {
+            Ok(Some(p)) => p,
+            _ => {
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        latencies.push(t0.elapsed().as_micros() as u64);
+        match decode_msg(&payload) {
+            Ok(m) => Some(m),
+            Err(e) => {
+                eprintln!("undecodable response: {e}");
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    };
+    'plans: for plan in plans.iter().skip(conn_ix).step_by(conns) {
+        let n = plan.stream.n_atoms;
+        // open (the ack's verdict is the empty state: an elided identity
+        // order — see the proto docs)
+        req_id += 1;
+        let session = match rpc(&Msg::OpenSession { id: req_id, n_atoms: n as u64 }, &mut latencies)
+        {
+            Some(Msg::SessionVerdict { id, session, verdict: WireVerdict::Accept { order } })
+                if id == req_id && order.is_empty() =>
+            {
+                tally.completed.fetch_add(1, Ordering::Relaxed);
+                session
+            }
+            other => {
+                eprintln!("unexpected OpenSession response: {other:?}");
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        };
+        // pushes, with a client-side incremental PQ mirror
+        let mut accepted: Vec<Vec<Atom>> = Vec::new();
+        let mut mirror = c1p_pqtree::Reducer::new(n);
+        for (k, push) in plan.stream.pushes.iter().enumerate() {
+            let delta = Ensemble::from_columns(n, push.clone()).expect("stream columns valid");
+            let mut predicted_ok = true;
+            for col in push {
+                predicted_ok &= mirror.push(col);
+            }
+            req_id += 1;
+            let resp =
+                rpc(&Msg::PushAtoms { id: req_id, session, delta: delta.clone() }, &mut latencies);
+            let Some(Msg::SessionVerdict { id, session: s2, verdict }) = resp else {
+                // mirror and server are now out of step: abandon the
+                // whole stream so one fault doesn't cascade into bogus
+                // disagreements on every later push
+                eprintln!("unexpected PushAtoms response; abandoning stream");
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                continue 'plans;
+            };
+            if id != req_id || s2 != session {
+                eprintln!("mismatched PushAtoms echo; abandoning stream");
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                continue 'plans;
+            }
+            tally.completed.fetch_add(1, Ordering::Relaxed);
+            // the concatenation this verdict speaks about
+            let mut cols = accepted.clone();
+            cols.extend(push.iter().cloned());
+            let concat = Ensemble::from_columns(n, cols).expect("stream columns valid");
+            match verdict {
+                WireVerdict::Accept { order } => {
+                    if verify_linear(&concat, &order).is_err() {
+                        tally.verify_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if !predicted_ok || plan.reject_at == Some(k) {
+                        tally.disagreements.fetch_add(1, Ordering::Relaxed);
+                    }
+                    accepted.extend(push.iter().cloned());
+                }
+                WireVerdict::Reject { family, atom_rows, column_ids } => {
+                    let witness = TuckerWitness { family, atom_rows, column_ids };
+                    if verify_witness(&concat, &witness).is_err() {
+                        tally.verify_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if predicted_ok || plan.reject_at != Some(k) {
+                        tally.disagreements.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // server rolled back; rebuild the spent mirror from
+                    // the accepted prefix
+                    mirror = c1p_pqtree::Reducer::new(n);
+                    for col in &accepted {
+                        mirror.push(col);
+                    }
+                }
+            }
+        }
+        // seal: the final order must agree bit-identically with a
+        // one-shot in-process solve of the accepted concatenation
+        req_id += 1;
+        match rpc(&Msg::SealSession { id: req_id, session }, &mut latencies) {
+            Some(Msg::SessionVerdict { id, verdict: WireVerdict::Accept { order }, .. })
+                if id == req_id =>
+            {
+                tally.completed.fetch_add(1, Ordering::Relaxed);
+                let fin =
+                    Ensemble::from_columns(n, accepted.clone()).expect("stream columns valid");
+                match c1p_core::solve(&fin) {
+                    Ok(expect) if expect == order => {}
+                    _ => {
+                        tally.disagreements.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unexpected SealSession response: {other:?}");
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    latencies
 }
 
 /// Queries the server's stats frame and scans one integer field out of the

@@ -25,7 +25,17 @@
 //!   computation that eviction can never drop;
 //! * **certified verdicts** — every answer is checkable: accepts carry a
 //!   witness order, rejects a Tucker certificate
-//!   ([`c1p_cert::verify_witness`]-checkable without trusting the engine).
+//!   ([`c1p_cert::verify_witness`]-checkable without trusting the engine);
+//! * **incremental sessions** — [`Engine::open_session`] /
+//!   [`Engine::session_push`] / [`Engine::seal_session`] serve append-only
+//!   streams through `c1p_incremental::IncrementalSolver`: each push
+//!   re-solves only the components it touches (on the shared pool for
+//!   large groups), answers bit-identically to a one-shot solve of the
+//!   concatenation, rolls back rejected pushes, and a sealed session
+//!   feeds its canonical verdict into the result cache. Sessions are
+//!   admission-controlled ([`EngineConfig::max_sessions`],
+//!   [`EngineConfig::max_session_columns`]) and idle-evicted
+//!   ([`EngineConfig::session_idle_ms`]). See DESIGN.md §9.
 //!
 //! The wire front-end (`c1pd`, a std-only TCP server speaking the
 //! length-prefixed [`proto`] frames) and its closed-loop traffic generator
@@ -38,6 +48,7 @@ pub mod proto;
 
 use c1p_cert::TuckerWitness;
 use c1p_core::Rejection;
+use c1p_incremental::IncrementalSolver;
 use c1p_matrix::io::WireVerdict;
 use c1p_matrix::{Atom, Ensemble};
 use std::collections::{HashMap, VecDeque};
@@ -45,6 +56,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Engine configuration. `Default` is sized for a mixed small-instance
 /// service on the current host.
@@ -67,6 +79,21 @@ pub struct EngineConfig {
     /// Admission control: instances with more atoms than this are rejected
     /// with [`EngineError::TooLarge`].
     pub max_atoms: usize,
+    /// Admission control: concurrently open incremental sessions beyond
+    /// this count are refused with [`EngineError::Overloaded`].
+    pub max_sessions: usize,
+    /// Sessions untouched for longer than this many milliseconds are
+    /// evicted by the lazy sweep that runs on every session operation and
+    /// stats snapshot (an abandoned session cannot pin memory forever).
+    pub session_idle_ms: u64,
+    /// Admission control: a push that would grow a session beyond this
+    /// many accepted columns is refused with [`EngineError::SessionFull`].
+    pub max_session_columns: usize,
+    /// Admission control: per-session memory budget in accounted bytes
+    /// (base per-atom vectors plus every accepted column); opens and
+    /// pushes over it are refused with [`EngineError::SessionOverBudget`].
+    /// Worst-case session memory is `max_sessions × max_session_bytes`.
+    pub max_session_bytes: usize,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +105,10 @@ impl Default for EngineConfig {
             small_cutoff: 2048,
             max_queue: 4096,
             max_atoms: 1 << 22,
+            max_sessions: 64,
+            session_idle_ms: 300_000,
+            max_session_columns: 1 << 20,
+            max_session_bytes: 32 << 20,
         }
     }
 }
@@ -96,6 +127,35 @@ pub enum EngineError {
     },
     /// The engine is shutting down (or an in-flight owner panicked).
     ShuttingDown,
+    /// No open session with this id (never opened, sealed, or evicted).
+    NoSuchSession {
+        /// The id the caller presented.
+        id: u64,
+    },
+    /// A push whose atom count differs from the session's (sessions fix
+    /// their atom set at open).
+    SessionMismatch {
+        /// The session's atom count.
+        session_atoms: usize,
+        /// The push's atom count.
+        push_atoms: usize,
+    },
+    /// A push that would grow the session past
+    /// [`EngineConfig::max_session_columns`].
+    SessionFull {
+        /// Accepted columns plus the refused push's.
+        columns: usize,
+        /// The configured limit.
+        max_columns: usize,
+    },
+    /// An open or push that would grow the session past
+    /// [`EngineConfig::max_session_bytes`] of accounted memory.
+    SessionOverBudget {
+        /// Accounted bytes after the refused operation.
+        bytes: usize,
+        /// The configured budget.
+        max_bytes: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -106,6 +166,17 @@ impl fmt::Display for EngineError {
                 write!(f, "instance has {n_atoms} atoms, over the {max_atoms}-atom limit")
             }
             EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+            EngineError::NoSuchSession { id } => write!(f, "no open session {id}"),
+            EngineError::SessionMismatch { session_atoms, push_atoms } => write!(
+                f,
+                "push has {push_atoms} atoms but the session was opened with {session_atoms}"
+            ),
+            EngineError::SessionFull { columns, max_columns } => {
+                write!(f, "session would hold {columns} columns, over the {max_columns} limit")
+            }
+            EngineError::SessionOverBudget { bytes, max_bytes } => {
+                write!(f, "session would hold {bytes} bytes, over the {max_bytes}-byte budget")
+            }
         }
     }
 }
@@ -181,6 +252,18 @@ pub struct EngineStats {
     pub cache_entries: u64,
     /// Current result-cache footprint in accounted bytes.
     pub cache_bytes: u64,
+    /// Incremental sessions opened.
+    pub sessions_opened: u64,
+    /// Sessions sealed (their canonical verdict fed to the cache).
+    pub sessions_sealed: u64,
+    /// Sessions evicted by the idle sweep.
+    pub sessions_evicted: u64,
+    /// Session pushes attempted (accepted + rejected verdicts).
+    pub session_pushes: u64,
+    /// Session pushes that returned a rejection verdict (and rolled back).
+    pub session_rejects: u64,
+    /// Currently open sessions.
+    pub open_sessions: u64,
 }
 
 impl EngineStats {
@@ -201,6 +284,9 @@ impl EngineStats {
              \"coalesced\": {}, \"overloaded\": {}, \"batched_small\": {}, \
              \"large_direct\": {}, \"evictions\": {}, \"insertions\": {}, \
              \"uncacheable\": {}, \"cache_entries\": {}, \"cache_bytes\": {}, \
+             \"sessions_opened\": {}, \"sessions_sealed\": {}, \
+             \"sessions_evicted\": {}, \"session_pushes\": {}, \
+             \"session_rejects\": {}, \"open_sessions\": {}, \
              \"hit_rate\": {:.4}}}",
             self.requests,
             self.batches,
@@ -215,6 +301,12 @@ impl EngineStats {
             self.uncacheable,
             self.cache_entries,
             self.cache_bytes,
+            self.sessions_opened,
+            self.sessions_sealed,
+            self.sessions_evicted,
+            self.session_pushes,
+            self.session_rejects,
+            self.open_sessions,
             self.hit_rate(),
         )
     }
@@ -230,6 +322,11 @@ struct Counters {
     overloaded: AtomicU64,
     batched_small: AtomicU64,
     large_direct: AtomicU64,
+    sessions_opened: AtomicU64,
+    sessions_sealed: AtomicU64,
+    sessions_evicted: AtomicU64,
+    session_pushes: AtomicU64,
+    session_rejects: AtomicU64,
 }
 
 /// One in-flight computation; waiters block on the condvar, the owner
@@ -269,6 +366,28 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// One live incremental session (engine side): the solver, the idle
+/// clock, and the memory account. Each session has its own lock, so a
+/// slow push serializes only its own session, never its neighbours.
+struct SessionState {
+    inc: IncrementalSolver,
+    last_touch: Instant,
+    /// Accounted bytes: the base per-atom vectors plus every accepted
+    /// column (a budget, not an audit — same spirit as the result cache).
+    bytes: usize,
+}
+
+/// Accounted memory of one accepted column (payload + `Vec` overhead).
+fn column_account(col: &[Atom]) -> usize {
+    24 + 4 * col.len()
+}
+
+/// Accounted base memory of a session over `n_atoms` atoms (the two
+/// per-atom u32 vectors of the incremental solver).
+fn session_base_account(n_atoms: usize) -> usize {
+    8 * n_atoms
+}
+
 struct Inner {
     cfg: EngineConfig,
     pool: rayon::ThreadPool,
@@ -276,6 +395,8 @@ struct Inner {
     pending: Mutex<HashMap<Arc<[u8]>, Arc<InFlight>>>,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
+    sessions: Mutex<HashMap<u64, Arc<Mutex<SessionState>>>>,
+    session_seq: AtomicU64,
     stats: Counters,
 }
 
@@ -312,6 +433,8 @@ impl Engine {
             pending: Mutex::new(HashMap::new()),
             queue: Mutex::new(QueueState { items: VecDeque::new(), shutdown: false }),
             queue_cv: Condvar::new(),
+            sessions: Mutex::new(HashMap::new()),
+            session_seq: AtomicU64::new(0),
             stats: Counters::default(),
             pool,
             cfg,
@@ -369,13 +492,160 @@ impl Engine {
         Ok(Ticket { rx })
     }
 
+    /// Opens an incremental session over a fixed atom set. The session
+    /// starts at the empty accepted state (verdict: the identity order)
+    /// and grows through [`Engine::session_push`]; admission control
+    /// refuses opens beyond [`EngineConfig::max_sessions`] live sessions
+    /// ([`EngineError::Overloaded`]) or atom counts beyond
+    /// [`EngineConfig::max_atoms`] ([`EngineError::TooLarge`]).
+    pub fn open_session(&self, n_atoms: usize) -> Result<u64, EngineError> {
+        self.sweep_idle_sessions();
+        if n_atoms > self.inner.cfg.max_atoms {
+            return Err(EngineError::TooLarge { n_atoms, max_atoms: self.inner.cfg.max_atoms });
+        }
+        let base = session_base_account(n_atoms);
+        if base > self.inner.cfg.max_session_bytes {
+            return Err(EngineError::SessionOverBudget {
+                bytes: base,
+                max_bytes: self.inner.cfg.max_session_bytes,
+            });
+        }
+        let mut sessions = self.inner.sessions.lock().expect("sessions lock");
+        if sessions.len() >= self.inner.cfg.max_sessions {
+            self.inner.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::Overloaded);
+        }
+        let id = self.inner.session_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        // large re-solved groups take the parallel divide path on the
+        // shared pool, mirroring the batch path's small/large routing
+        let inc = IncrementalSolver::with_config(
+            n_atoms,
+            c1p_core::Config::default(),
+            self.inner.cfg.small_cutoff,
+        );
+        sessions.insert(
+            id,
+            Arc::new(Mutex::new(SessionState { inc, last_touch: Instant::now(), bytes: base })),
+        );
+        self.inner.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Pushes a batch of columns into a session and returns the verdict
+    /// for the extended ensemble — bit-identical to what
+    /// [`Engine::solve`] would answer for the concatenation. A
+    /// [`Verdict::NotC1p`] means the push was rolled back: the session
+    /// stays at its last accepted state and keeps serving.
+    pub fn session_push(&self, id: u64, delta: &Ensemble) -> Result<Verdict, EngineError> {
+        self.sweep_idle_sessions();
+        let sess = {
+            let sessions = self.inner.sessions.lock().expect("sessions lock");
+            sessions.get(&id).cloned().ok_or(EngineError::NoSuchSession { id })?
+        };
+        let mut st = sess.lock().expect("session lock");
+        // Re-check membership now that the session lock is held: a
+        // concurrent seal or idle sweep may have removed the session in
+        // the window between the map lookup and the lock — pushing into a
+        // detached solver would fake-accept columns the server already
+        // discarded. (No deadlock: seal releases the map lock before
+        // taking a session lock, and the sweep only try_locks.)
+        {
+            let sessions = self.inner.sessions.lock().expect("sessions lock");
+            if !sessions.get(&id).is_some_and(|live| Arc::ptr_eq(live, &sess)) {
+                return Err(EngineError::NoSuchSession { id });
+            }
+        }
+        if delta.n_atoms() != st.inc.n_atoms() {
+            return Err(EngineError::SessionMismatch {
+                session_atoms: st.inc.n_atoms(),
+                push_atoms: delta.n_atoms(),
+            });
+        }
+        let columns = st.inc.ensemble().n_columns() + delta.n_columns();
+        if columns > self.inner.cfg.max_session_columns {
+            return Err(EngineError::SessionFull {
+                columns,
+                max_columns: self.inner.cfg.max_session_columns,
+            });
+        }
+        let delta_bytes: usize = delta.columns().iter().map(|c| column_account(c)).sum();
+        if st.bytes + delta_bytes > self.inner.cfg.max_session_bytes {
+            return Err(EngineError::SessionOverBudget {
+                bytes: st.bytes + delta_bytes,
+                max_bytes: self.inner.cfg.max_session_bytes,
+            });
+        }
+        st.last_touch = Instant::now();
+        let result = self.inner.pool.install(|| st.inc.push(delta));
+        self.inner.stats.session_pushes.fetch_add(1, Ordering::Relaxed);
+        Ok(match result {
+            Ok(order) => {
+                st.bytes += delta_bytes; // rejected pushes roll back, accepted ones account
+                Verdict::C1p { order }
+            }
+            Err(cert) => {
+                self.inner.stats.session_rejects.fetch_add(1, Ordering::Relaxed);
+                Verdict::NotC1p { rejection: cert.rejection, witness: cert.witness }
+            }
+        })
+    }
+
+    /// Seals a session: returns its final (always accepting — rejected
+    /// pushes never stick) verdict, feeds the result cache under the
+    /// canonical encoding of the accepted ensemble, and closes the
+    /// session. A later [`Engine::solve`] of the same ensemble — or any
+    /// column permutation of it — is a cache hit.
+    ///
+    /// The returned verdict keeps the session contract (bit-identical to
+    /// one-shot `solve_certified` on the accepted stream), while the
+    /// cache is fed with a solve of the *canonical form* — preserving the
+    /// engine-wide "hot and cold answers are byte-identical" invariant
+    /// (DESIGN.md §8) at the cost of one canonical solve per seal, paid
+    /// off the push hot path and skipped when the key is already cached.
+    pub fn seal_session(&self, id: u64) -> Result<Verdict, EngineError> {
+        let sess = {
+            let mut sessions = self.inner.sessions.lock().expect("sessions lock");
+            sessions.remove(&id).ok_or(EngineError::NoSuchSession { id })?
+        };
+        let st = sess.lock().expect("session lock");
+        let verdict = Verdict::C1p { order: st.inc.order().to_vec() };
+        let canon = canonical::canonicalize(st.inc.ensemble());
+        let key: Arc<[u8]> = canon.key.into();
+        // Feed through the solve path's cache → coalesce → compute
+        // machinery: an already-cached key costs a lookup, a key another
+        // request is computing right now is joined instead of re-solved,
+        // and only a genuinely cold key pays the canonical solve.
+        let _ = self.inner.pool.install(|| solve_canonical(&self.inner, &key, &canon.ens));
+        self.inner.stats.sessions_sealed.fetch_add(1, Ordering::Relaxed);
+        Ok(verdict)
+    }
+
+    /// Evicts sessions idle past [`EngineConfig::session_idle_ms`]; runs
+    /// lazily on every session operation and stats snapshot. Sessions
+    /// mid-push are busy, not idle (their lock is held), and are skipped.
+    fn sweep_idle_sessions(&self) {
+        let idle = Duration::from_millis(self.inner.cfg.session_idle_ms);
+        let mut sessions = self.inner.sessions.lock().expect("sessions lock");
+        let before = sessions.len();
+        sessions.retain(|_, sess| match sess.try_lock() {
+            Ok(st) => st.last_touch.elapsed() <= idle,
+            Err(_) => true, // busy ⇒ not idle
+        });
+        let evicted = (before - sessions.len()) as u64;
+        if evicted > 0 {
+            self.inner.stats.sessions_evicted.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
     /// A point-in-time statistics snapshot.
     pub fn stats(&self) -> EngineStats {
+        self.sweep_idle_sessions();
         let s = &self.inner.stats;
         let (entries, bytes, evictions, insertions, uncacheable) = {
             let c = self.inner.cache.lock().expect("cache lock");
             (c.entries() as u64, c.bytes() as u64, c.evictions, c.insertions, c.uncacheable)
         };
+        let open_sessions = self.inner.sessions.lock().expect("sessions lock").len() as u64;
         EngineStats {
             requests: s.requests.load(Ordering::Relaxed),
             batches: s.batches.load(Ordering::Relaxed),
@@ -390,6 +660,12 @@ impl Engine {
             uncacheable,
             cache_entries: entries,
             cache_bytes: bytes,
+            sessions_opened: s.sessions_opened.load(Ordering::Relaxed),
+            sessions_sealed: s.sessions_sealed.load(Ordering::Relaxed),
+            sessions_evicted: s.sessions_evicted.load(Ordering::Relaxed),
+            session_pushes: s.session_pushes.load(Ordering::Relaxed),
+            session_rejects: s.session_rejects.load(Ordering::Relaxed),
+            open_sessions,
         }
     }
 }
@@ -616,6 +892,121 @@ mod tests {
         let expect = EngineError::TooLarge { n_atoms: 8, max_atoms: 4 };
         assert_eq!(engine.solve(&ens).unwrap_err(), expect);
         assert_eq!(engine.submit(ens).unwrap_err(), expect);
+    }
+
+    #[test]
+    fn sessions_push_seal_and_feed_the_cache() {
+        let engine = Engine::new(EngineConfig { threads: 1, ..EngineConfig::default() });
+        let ens = fig2_matrix();
+        let id = engine.open_session(ens.n_atoms()).unwrap();
+        let verdict = engine.session_push(id, &ens).unwrap();
+        assert!(verdict.is_c1p());
+        let sealed = engine.seal_session(id).unwrap();
+        assert_eq!(verdict, sealed);
+        // the session contract: sealed == one-shot on the accepted stream
+        assert_eq!(sealed, Verdict::C1p { order: c1p_cert::solve_certified(&ens).unwrap() });
+        assert_eq!(
+            engine.seal_session(id).unwrap_err(),
+            EngineError::NoSuchSession { id },
+            "sealing closes the session"
+        );
+        // seal fed the cache with the *canonical* solve: a later solve of
+        // the same ensemble hits, and stays byte-identical to what a cold
+        // engine would answer (the §8 hot == cold invariant)
+        let solved = engine.solve(&ens).unwrap();
+        let cold = Engine::new(EngineConfig { threads: 1, ..EngineConfig::default() })
+            .solve(&ens)
+            .unwrap();
+        assert_eq!(solved, cold, "session-seeded hit == cold solve, byte for byte");
+        let stats = engine.stats();
+        // the seal-time canonical solve is the one miss; the later solve
+        // of the same ensemble is a pure hit
+        assert_eq!((stats.hits, stats.misses), (1, 1), "seal fed the cache");
+        assert_eq!(stats.sessions_opened, 1);
+        assert_eq!(stats.sessions_sealed, 1);
+        assert_eq!(stats.session_pushes, 1);
+        assert_eq!(stats.open_sessions, 0);
+    }
+
+    #[test]
+    fn session_admission_and_mismatch_paths() {
+        let engine = Engine::new(EngineConfig {
+            threads: 1,
+            max_sessions: 1,
+            max_atoms: 16,
+            max_session_columns: 2,
+            ..EngineConfig::default()
+        });
+        assert_eq!(
+            engine.open_session(17).unwrap_err(),
+            EngineError::TooLarge { n_atoms: 17, max_atoms: 16 }
+        );
+        let id = engine.open_session(8).unwrap();
+        assert_eq!(engine.open_session(8).unwrap_err(), EngineError::Overloaded);
+        assert_eq!(
+            engine.session_push(id, &Ensemble::new(9)).unwrap_err(),
+            EngineError::SessionMismatch { session_atoms: 8, push_atoms: 9 }
+        );
+        assert_eq!(
+            engine.session_push(id, &fig2_matrix()).unwrap_err(),
+            EngineError::SessionFull { columns: 7, max_columns: 2 },
+        );
+        assert_eq!(
+            engine.session_push(77, &Ensemble::new(8)).unwrap_err(),
+            EngineError::NoSuchSession { id: 77 }
+        );
+    }
+
+    #[test]
+    fn session_byte_budget_bounds_opens_and_pushes() {
+        let engine = Engine::new(EngineConfig {
+            threads: 1,
+            max_session_bytes: 200,
+            ..EngineConfig::default()
+        });
+        // base account of a 100-atom session alone busts a 200-byte budget
+        assert!(matches!(
+            engine.open_session(100).unwrap_err(),
+            EngineError::SessionOverBudget { bytes: 800, max_bytes: 200 }
+        ));
+        // a small session admits, then a push over the remaining budget is
+        // refused — and the refusal leaves the session serving
+        let id = engine.open_session(8).unwrap(); // base 64 bytes
+        let fat = fig2_matrix(); // 7 columns ≥ 24 bytes each
+        assert!(matches!(
+            engine.session_push(id, &fat).unwrap_err(),
+            EngineError::SessionOverBudget { .. }
+        ));
+        let small = Ensemble::from_columns(8, vec![vec![0, 1]]).unwrap(); // 32 bytes
+        assert!(engine.session_push(id, &small).unwrap().is_c1p());
+        assert!(engine.seal_session(id).unwrap().is_c1p());
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_and_rejects_roll_back() {
+        let engine = Engine::new(EngineConfig {
+            threads: 1,
+            session_idle_ms: 30,
+            ..EngineConfig::default()
+        });
+        let id = engine.open_session(3).unwrap();
+        // M_I(1): the 3-cycle rejects; the session survives at the
+        // accepted (empty) state
+        let delta = Ensemble::from_columns(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap();
+        let v = engine.session_push(id, &delta).unwrap();
+        assert!(!v.is_c1p());
+        let ok = engine.session_push(id, &Ensemble::new(3)).unwrap();
+        assert_eq!(ok, Verdict::C1p { order: vec![0, 1, 2] }, "rolled back to empty");
+        assert_eq!(engine.stats().session_rejects, 1);
+        // idle out
+        std::thread::sleep(std::time::Duration::from_millis(80));
+        assert_eq!(
+            engine.session_push(id, &Ensemble::new(3)).unwrap_err(),
+            EngineError::NoSuchSession { id }
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.sessions_evicted, 1);
+        assert_eq!(stats.open_sessions, 0);
     }
 
     #[test]

@@ -4,12 +4,27 @@
 //! ```text
 //! frame    := len u32 LE | payload (len bytes)
 //! payload  := tag u8 | body
-//!   0x01 Solve     { id u64 LE, ensemble wire bytes }
-//!   0x02 Verdict   { id u64 LE, verdict wire bytes }
-//!   0x03 Error     { id u64 LE, code u8, utf-8 message }
-//!   0x04 GetStats  { }
-//!   0x05 Stats     { utf-8 JSON }
+//!   0x01 Solve          { id u64 LE, ensemble wire bytes }
+//!   0x02 Verdict        { id u64 LE, verdict wire bytes }
+//!   0x03 Error          { id u64 LE, code u8, utf-8 message }
+//!   0x04 GetStats       { }
+//!   0x05 Stats          { utf-8 JSON }
+//!   0x06 OpenSession    { id u64 LE, n_atoms u64 LE }
+//!   0x07 PushAtoms      { id u64 LE, session u64 LE, delta ensemble wire bytes }
+//!   0x08 SealSession    { id u64 LE, session u64 LE }
+//!   0x09 SessionVerdict { id u64 LE, session u64 LE, verdict wire bytes }
 //! ```
+//!
+//! Session flow: `OpenSession` answers with a `SessionVerdict` naming the
+//! fresh session handle (verdict: an accept with an *empty* order — the
+//! empty state's witness is the identity, elided so opening a huge atom
+//! set cannot amplify a 17-byte request into a multi-MB reply);
+//! every `PushAtoms` answers with the verdict for the extended ensemble —
+//! a reject means the push was rolled back server-side; `SealSession`
+//! answers with the final accepted verdict and closes the handle. Pushes
+//! embed their delta as a wire ensemble whose `n_atoms` must equal the
+//! session's. Unknown/expired handles answer `Error` with
+//! [`ErrorCode::NoSession`].
 //!
 //! The frame length is capped ([`DEFAULT_MAX_FRAME`], configurable at the
 //! server) *before* any allocation, so a hostile peer cannot make the
@@ -31,18 +46,27 @@ const TAG_VERDICT: u8 = 0x02;
 const TAG_ERROR: u8 = 0x03;
 const TAG_GET_STATS: u8 = 0x04;
 const TAG_STATS: u8 = 0x05;
+const TAG_OPEN_SESSION: u8 = 0x06;
+const TAG_PUSH_ATOMS: u8 = 0x07;
+const TAG_SEAL_SESSION: u8 = 0x08;
+const TAG_SESSION_VERDICT: u8 = 0x09;
 
 /// Why a request failed, as sent on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
     /// The request could not be decoded.
     Malformed = 1,
-    /// Admission control rejected the request (queue or connection limit).
+    /// Admission control rejected the request (queue, connection or
+    /// session-count limit).
     Overloaded = 2,
-    /// The instance exceeds the server's size limit.
+    /// The instance exceeds a server size limit (atoms, session columns,
+    /// or the frame byte cap).
     TooLarge = 3,
     /// The engine failed internally (e.g. it is shutting down).
     Internal = 4,
+    /// The named session does not exist (never opened, sealed, or
+    /// idle-evicted).
+    NoSession = 5,
 }
 
 impl ErrorCode {
@@ -52,6 +76,7 @@ impl ErrorCode {
             2 => Some(ErrorCode::Overloaded),
             3 => Some(ErrorCode::TooLarge),
             4 => Some(ErrorCode::Internal),
+            5 => Some(ErrorCode::NoSession),
             _ => None,
         }
     }
@@ -89,6 +114,38 @@ pub enum Msg {
     Stats {
         /// The snapshot.
         json: String,
+    },
+    /// Client → server: open an incremental session over `n_atoms` atoms.
+    OpenSession {
+        /// Client-chosen id echoed in the response.
+        id: u64,
+        /// Atom count, fixed for the session's lifetime.
+        n_atoms: u64,
+    },
+    /// Client → server: extend a session by a batch of columns.
+    PushAtoms {
+        /// Client-chosen id echoed in the response.
+        id: u64,
+        /// The session handle from the `OpenSession` response.
+        session: u64,
+        /// The pushed columns (its `n_atoms` must equal the session's).
+        delta: Ensemble,
+    },
+    /// Client → server: seal a session (final verdict, handle closed).
+    SealSession {
+        /// Client-chosen id echoed in the response.
+        id: u64,
+        /// The session handle.
+        session: u64,
+    },
+    /// Server → client: the verdict for a session operation.
+    SessionVerdict {
+        /// Echo of the request id.
+        id: u64,
+        /// The session handle (fresh for `OpenSession` responses).
+        session: u64,
+        /// Verdict for the session's (tentatively extended) ensemble.
+        verdict: WireVerdict,
     },
 }
 
@@ -155,6 +212,28 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             out.push(TAG_STATS);
             out.extend_from_slice(json.as_bytes());
         }
+        Msg::OpenSession { id, n_atoms } => {
+            out.push(TAG_OPEN_SESSION);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&n_atoms.to_le_bytes());
+        }
+        Msg::PushAtoms { id, session, delta } => {
+            out.push(TAG_PUSH_ATOMS);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&session.to_le_bytes());
+            out.extend_from_slice(&encode_ensemble(delta));
+        }
+        Msg::SealSession { id, session } => {
+            out.push(TAG_SEAL_SESSION);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&session.to_le_bytes());
+        }
+        Msg::SessionVerdict { id, session, verdict } => {
+            out.push(TAG_SESSION_VERDICT);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&session.to_le_bytes());
+            out.extend_from_slice(&encode_verdict(verdict));
+        }
     }
     out
 }
@@ -191,6 +270,32 @@ pub fn decode_msg(payload: &[u8]) -> Result<Msg, ProtoError> {
         TAG_STATS => Ok(Msg::Stats {
             json: String::from_utf8(rest.to_vec()).map_err(|_| ProtoError::BadUtf8)?,
         }),
+        TAG_OPEN_SESSION => {
+            let id = u64_at(rest)?;
+            let n_atoms = u64_at(rest.get(8..).ok_or(ProtoError::Truncated)?)?;
+            if rest.len() > 16 {
+                return Err(ProtoError::Trailing(rest.len() - 16));
+            }
+            Ok(Msg::OpenSession { id, n_atoms })
+        }
+        TAG_PUSH_ATOMS => {
+            let id = u64_at(rest)?;
+            let session = u64_at(rest.get(8..).ok_or(ProtoError::Truncated)?)?;
+            Ok(Msg::PushAtoms { id, session, delta: decode_ensemble(&rest[16..])? })
+        }
+        TAG_SEAL_SESSION => {
+            let id = u64_at(rest)?;
+            let session = u64_at(rest.get(8..).ok_or(ProtoError::Truncated)?)?;
+            if rest.len() > 16 {
+                return Err(ProtoError::Trailing(rest.len() - 16));
+            }
+            Ok(Msg::SealSession { id, session })
+        }
+        TAG_SESSION_VERDICT => {
+            let id = u64_at(rest)?;
+            let session = u64_at(rest.get(8..).ok_or(ProtoError::Truncated)?)?;
+            Ok(Msg::SessionVerdict { id, session, verdict: decode_verdict(&rest[16..])? })
+        }
         other => Err(ProtoError::BadTag(other)),
     }
 }
@@ -268,6 +373,44 @@ mod tests {
         });
         round_trip(&Msg::GetStats);
         round_trip(&Msg::Stats { json: "{\"hits\": 3}".into() });
+        round_trip(&Msg::OpenSession { id: 9, n_atoms: 1 << 14 });
+        round_trip(&Msg::PushAtoms { id: 10, session: 3, delta: fig2_matrix() });
+        round_trip(&Msg::SealSession { id: 11, session: u64::MAX });
+        round_trip(&Msg::SessionVerdict {
+            id: 12,
+            session: 3,
+            verdict: WireVerdict::Accept { order: vec![0, 2, 1] },
+        });
+    }
+
+    #[test]
+    fn session_frames_reject_truncation_and_trailing_bytes() {
+        for msg in [
+            Msg::OpenSession { id: 1, n_atoms: 64 },
+            Msg::PushAtoms { id: 2, session: 1, delta: fig2_matrix() },
+            Msg::SealSession { id: 3, session: 1 },
+            Msg::SessionVerdict {
+                id: 4,
+                session: 1,
+                verdict: WireVerdict::Accept { order: vec![1, 0] },
+            },
+        ] {
+            let payload = encode_msg(&msg);
+            for cut in 0..payload.len() {
+                assert!(decode_msg(&payload[..cut]).is_err(), "{msg:?} cut at {cut}");
+            }
+        }
+        // the fixed-size session frames police trailing bytes exactly
+        let mut open = encode_msg(&Msg::OpenSession { id: 1, n_atoms: 64 });
+        open.push(0);
+        assert_eq!(decode_msg(&open), Err(ProtoError::Trailing(1)));
+        let mut seal = encode_msg(&Msg::SealSession { id: 1, session: 2 });
+        seal.extend_from_slice(&[0, 0]);
+        assert_eq!(decode_msg(&seal), Err(ProtoError::Trailing(2)));
+        // a corrupted embedded delta surfaces as a Wire error with offset
+        let mut push = encode_msg(&Msg::PushAtoms { id: 2, session: 1, delta: fig2_matrix() });
+        push.truncate(push.len() - 1);
+        assert!(matches!(decode_msg(&push), Err(ProtoError::Wire(EnsembleError::Wire { .. }))));
     }
 
     #[test]

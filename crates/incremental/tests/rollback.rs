@@ -1,0 +1,90 @@
+//! The rollback property: a rejected push leaves the session byte-exactly
+//! at its last accepted state — stream hash, witness order and ensemble —
+//! and a fresh session replaying the accepted stream verbatim reproduces
+//! that state. Verified over seeded reject streams with the Booth–Lueker
+//! PQ-tree as an independent per-prefix decision oracle.
+
+use c1p_incremental::IncrementalSolver;
+use c1p_matrix::generate::{append_stream_reject, AppendStream};
+use c1p_matrix::{verify_linear, Atom};
+
+/// Replays `pushes` into a fresh solver, asserting every push accepts.
+fn replay(n: usize, pushes: &[Vec<Vec<Atom>>]) -> IncrementalSolver {
+    let mut inc = IncrementalSolver::new(n);
+    for p in pushes {
+        inc.push_columns(p.clone()).unwrap().unwrap_or_else(|_| {
+            panic!("replayed accepted stream must re-accept");
+        });
+    }
+    inc
+}
+
+#[test]
+fn rejected_pushes_roll_back_and_replays_reproduce_the_hash() {
+    for seed in 0..12u64 {
+        let (stream, at, _): (AppendStream, usize, _) = append_stream_reject(64, 4, 6, seed);
+        let n = stream.n_atoms;
+        let mut inc = IncrementalSolver::new(n);
+        let mut accepted: Vec<Vec<Vec<Atom>>> = Vec::new();
+        let mut flat: Vec<Vec<Atom>> = Vec::new();
+        for (k, push) in stream.pushes.iter().enumerate() {
+            let pre_hash = inc.stream_hash();
+            let pre_order = inc.order().to_vec();
+            let pre_cols = inc.ensemble().n_columns();
+            let verdict = inc.push_columns(push.clone()).unwrap();
+            // independent decision oracle: incremental PQ-tree reduction
+            // over the concatenation this verdict speaks about
+            let mut concat = flat.clone();
+            concat.extend(push.iter().cloned());
+            let pq = c1p_pqtree::solve(n, &concat);
+            match verdict {
+                Ok(order) => {
+                    assert_eq!(k != at, pq.is_some(), "seed {seed} push {k}: oracle disagrees");
+                    assert_ne!(k, at, "seed {seed}: planted reject must not accept");
+                    verify_linear(inc.ensemble(), &order).unwrap();
+                    assert_ne!(inc.stream_hash(), pre_hash, "accepts advance the hash");
+                    accepted.push(push.clone());
+                    flat = concat;
+                }
+                Err(cert) => {
+                    assert_eq!(k, at, "seed {seed}: reject only at the planted push");
+                    assert!(pq.is_none(), "seed {seed}: oracle must also reject");
+                    // rollback is byte-exact
+                    assert_eq!(inc.stream_hash(), pre_hash, "hash untouched");
+                    assert_eq!(inc.order(), &pre_order[..], "order untouched");
+                    assert_eq!(inc.ensemble().n_columns(), pre_cols, "columns truncated");
+                    assert!(!cert.witness.atom_rows.is_empty());
+                }
+            }
+        }
+        assert_eq!(inc.stats().rejected_pushes, 1, "seed {seed}");
+        // a fresh session replaying the accepted stream verbatim lands on
+        // the same hash, order and ensemble
+        let twin = replay(n, &accepted);
+        assert_eq!(twin.stream_hash(), inc.stream_hash(), "seed {seed}: replay hash");
+        assert_eq!(twin.order(), inc.order(), "seed {seed}: replay order");
+        assert_eq!(twin.ensemble(), inc.ensemble(), "seed {seed}: replay ensemble");
+    }
+}
+
+#[test]
+fn hash_is_order_sensitive_and_push_granular() {
+    let stream = c1p_matrix::generate::append_stream(64, 4, 4, 1);
+    let n = stream.n_atoms;
+    // the same columns split into different push boundaries hash equal
+    // (the hash covers the accepted column stream, not the batching)...
+    let mut one = IncrementalSolver::new(n);
+    let all: Vec<Vec<Atom>> = stream.pushes[..2].iter().flat_map(|p| p.iter().cloned()).collect();
+    one.push_columns(all.clone()).unwrap().unwrap();
+    let mut two = IncrementalSolver::new(n);
+    two.push_columns(stream.pushes[0].clone()).unwrap().unwrap();
+    two.push_columns(stream.pushes[1].clone()).unwrap().unwrap();
+    assert_eq!(one.stream_hash(), two.stream_hash());
+    assert_eq!(one.order(), two.order());
+    // ...but reordering columns within the stream changes it
+    let mut rev = IncrementalSolver::new(n);
+    let mut reversed = all;
+    reversed.reverse();
+    rev.push_columns(reversed).unwrap().unwrap();
+    assert_ne!(rev.stream_hash(), one.stream_hash());
+}

@@ -146,6 +146,15 @@ impl Ensemble {
         self.columns.push(col);
     }
 
+    /// Drops every column from index `n_cols` on (no-op if there are
+    /// already at most `n_cols` columns). The rollback primitive for
+    /// append-only consumers: a rejected incremental push restores the
+    /// last accepted state by truncating back to the pre-push column
+    /// count.
+    pub fn truncate_columns(&mut self, n_cols: usize) {
+        self.columns.truncate(n_cols);
+    }
+
     /// Number of atoms `n = |A|`.
     #[inline]
     pub fn n_atoms(&self) -> usize {

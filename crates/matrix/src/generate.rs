@@ -170,6 +170,138 @@ pub fn planted_reject(n: usize, seed: u64) -> (Ensemble, TuckerFamily) {
     (Ensemble::from_columns(n, cols).expect("embedded columns are valid"), fam)
 }
 
+/// A deterministic append-only session workload: `pushes` batches of
+/// columns over a fixed atom set, every prefix of which is C1P (each
+/// batch *extends* the ensemble — the traffic shape incremental sessions
+/// serve). Produced by [`append_stream`] / [`append_stream_reject`];
+/// shared by the `c1p-incremental` differential tests, experiment E12 and
+/// `load_driver --mode sessions`, so every stream consumer in the
+/// workspace draws from one definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppendStream {
+    /// Atom count fixed at session open.
+    pub n_atoms: usize,
+    /// The pushes, in arrival order; each is a batch of columns.
+    pub pushes: Vec<Vec<Vec<Atom>>>,
+}
+
+impl AppendStream {
+    /// Total columns across all pushes.
+    pub fn n_columns(&self) -> usize {
+        self.pushes.iter().map(Vec::len).sum()
+    }
+
+    /// The concatenated ensemble after the first `k` pushes (what a
+    /// one-shot solve of the prefix sees).
+    pub fn prefix_ensemble(&self, k: usize) -> Ensemble {
+        let cols: Vec<Vec<Atom>> =
+            self.pushes[..k].iter().flat_map(|p| p.iter().cloned()).collect();
+        Ensemble::from_columns(self.n_atoms, cols).expect("stream columns are valid")
+    }
+
+    /// The full concatenated ensemble.
+    pub fn final_ensemble(&self) -> Ensemble {
+        self.prefix_ensemble(self.pushes.len())
+    }
+
+    /// Push `k` as a standalone delta ensemble (the `PushAtoms` payload).
+    pub fn push_ensemble(&self, k: usize) -> Ensemble {
+        Ensemble::from_columns(self.n_atoms, self.pushes[k].clone())
+            .expect("stream columns are valid")
+    }
+}
+
+/// The standard accept-only append stream: the atom set is partitioned
+/// into `blocks` contiguous independent blocks, each carrying `2·size`
+/// planted interval columns under a hidden per-block order; columns
+/// arrive block by block (shuffled within a block) in `pushes` batches.
+///
+/// Every prefix is C1P (planted intervals stay realizable under any
+/// subset), components never span blocks, and the stream's *suffix* is
+/// block-local — the locality that makes differential re-solve win (a
+/// late push touches the last block or two, not the whole ensemble).
+/// Deterministic in `(n, blocks, pushes, seed)`.
+pub fn append_stream(n: usize, blocks: usize, pushes: usize, seed: u64) -> AppendStream {
+    assert!(n > 0 && pushes > 0, "need atoms and at least one push");
+    let blocks = blocks.clamp(1, n);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xA99E_5D12);
+    let mut cols: Vec<Vec<Atom>> = Vec::new();
+    let (base, rem) = (n / blocks, n % blocks);
+    let mut start = 0usize;
+    for b in 0..blocks {
+        let size = base + usize::from(b < rem);
+        if size == 0 {
+            continue;
+        }
+        let (block, _) = planted_c1p(
+            PlantedShape {
+                n_atoms: size,
+                n_columns: 2 * size,
+                min_len: 2.min(size),
+                max_len: 12.min(size),
+            },
+            &mut rng,
+        );
+        let mut block_cols: Vec<Vec<Atom>> = block
+            .columns()
+            .iter()
+            .map(|c| c.iter().map(|&a| a + start as Atom).collect())
+            .collect();
+        shuffle(&mut block_cols, &mut rng);
+        cols.extend(block_cols);
+        start += size;
+    }
+    // chunk into `pushes` nearly-even batches, early batches one longer
+    let total = cols.len();
+    let (per, extra) = (total / pushes, total % pushes);
+    let mut it = cols.into_iter();
+    let pushes: Vec<Vec<Vec<Atom>>> = (0..pushes)
+        .map(|i| {
+            let take = per + usize::from(i < extra);
+            it.by_ref().take(take).collect()
+        })
+        .collect();
+    AppendStream { n_atoms: n, pushes }
+}
+
+/// [`append_stream`] with one Tucker obstruction (family cycled by
+/// `seed`) confined to a seed-chosen block and spliced into a seed-chosen
+/// push: every prefix before that push is C1P, the obstructed push is
+/// not, and the stream after a rollback of that push is C1P again.
+/// Returns `(stream, reject_push_index, planted_family)`.
+pub fn append_stream_reject(
+    n: usize,
+    blocks: usize,
+    pushes: usize,
+    seed: u64,
+) -> (AppendStream, usize, TuckerFamily) {
+    let mut stream = append_stream(n, blocks, pushes, seed);
+    let blocks = blocks.clamp(1, n);
+    assert!(n / blocks >= 16, "reject embedding needs blocks of >= 16 atoms");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xBAD5_7BEA);
+    let k = 1 + rng.random_range(0..3usize);
+    let fam = match seed % 5 {
+        0 => TuckerFamily::MI(k),
+        1 => TuckerFamily::MII(k),
+        2 => TuckerFamily::MIII(k),
+        3 => TuckerFamily::MIV,
+        _ => TuckerFamily::MV,
+    };
+    let obs = fam.generate();
+    // land the obstruction inside one block so the rejection is
+    // component-local (the interesting case for differential re-solve)
+    let (base, rem) = (n / blocks, n % blocks);
+    let block = rng.random_range(0..blocks);
+    let start: usize = (0..block).map(|b| base + usize::from(b < rem)).sum();
+    let size = base + usize::from(block < rem);
+    let offset = start + rng.random_range(0..=size - obs.n_atoms());
+    let push_ix = rng.random_range(0..stream.pushes.len());
+    stream.pushes[push_ix].extend(
+        obs.columns().iter().map(|c| c.iter().map(|&a| a + offset as Atom).collect::<Vec<_>>()),
+    );
+    (stream, push_ix, fam)
+}
+
 /// Parameters for [`mixed_schedule`], the standard served-traffic shape
 /// shared by `c1p-engine`'s `load_driver`, experiment E11 and the
 /// `engine_batch` example (one definition, three consumers — so the CI
@@ -372,6 +504,46 @@ mod tests {
         // replays really duplicate earlier entries
         let replayed = a.iter().enumerate().filter(|(i, e)| a[..*i].contains(e)).count();
         assert!(replayed >= 5, "expected replays in the schedule, saw {replayed}");
+    }
+
+    #[test]
+    fn append_streams_are_deterministic_and_block_local() {
+        let s = append_stream(64, 4, 10, 7);
+        assert_eq!(s, append_stream(64, 4, 10, 7));
+        assert_eq!(s.pushes.len(), 10);
+        assert_eq!(s.n_columns(), 2 * 64, "2·size columns per block");
+        assert_eq!(s.final_ensemble().n_columns(), s.n_columns());
+        // no column crosses a block boundary (blocks of 16 atoms)
+        for push in &s.pushes {
+            for col in push {
+                assert!(!col.is_empty());
+                let block = col[0] / 16;
+                assert!(col.iter().all(|&a| a / 16 == block), "column {col:?} crosses blocks");
+            }
+        }
+        // nearly-even chunking: sizes differ by at most one
+        let sizes: Vec<usize> = s.pushes.iter().map(Vec::len).collect();
+        let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(hi - lo <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn append_stream_reject_plants_one_obstruction() {
+        let (s, at, fam) = append_stream_reject(64, 4, 8, 3);
+        let (s2, at2, fam2) = append_stream_reject(64, 4, 8, 3);
+        assert_eq!((&s, at, fam), (&s2, at2, fam2), "deterministic");
+        assert!(at < s.pushes.len());
+        // the obstructed stream has exactly the base stream plus the
+        // obstruction's columns, spliced into push `at`
+        let base = append_stream(64, 4, 8, 3);
+        assert_eq!(s.n_columns(), base.n_columns() + fam.generate().n_columns());
+        for (i, (p, b)) in s.pushes.iter().zip(&base.pushes).enumerate() {
+            if i == at {
+                assert_eq!(&p[..b.len()], &b[..], "good columns keep their order");
+            } else {
+                assert_eq!(p, b, "only push {at} gains columns");
+            }
+        }
     }
 
     #[test]

@@ -161,6 +161,72 @@ fn wire_truncations_and_mutations_never_panic() {
 }
 
 #[test]
+fn session_frames_survive_truncation_and_mutation_fuzz() {
+    use c1p_engine::proto::{decode_msg, encode_msg, Msg, ProtoError};
+
+    let mut rng = SmallRng::seed_from_u64(0x005E_5510);
+    let ens =
+        Ensemble::from_columns(40, vec![vec![0, 3, 9], vec![5, 6], vec![1, 2, 3, 20, 39]]).unwrap();
+    let frames = [
+        Msg::OpenSession { id: 3, n_atoms: 40 },
+        Msg::PushAtoms { id: 4, session: 7, delta: ens.clone() },
+        Msg::SealSession { id: 5, session: 7 },
+        Msg::SessionVerdict {
+            id: 6,
+            session: 7,
+            verdict: WireVerdict::Accept { order: (0..40).collect() },
+        },
+        Msg::SessionVerdict {
+            id: 8,
+            session: 9,
+            verdict: WireVerdict::Reject {
+                family: TuckerFamily::MI(2),
+                atom_rows: vec![0, 1, 2, 3],
+                column_ids: vec![1, 4, 6, 7],
+            },
+        },
+    ];
+    for msg in &frames {
+        let payload = encode_msg(msg);
+        assert_eq!(&decode_msg(&payload).unwrap(), msg, "round trip");
+        // every strict prefix must error (never panic, never succeed —
+        // all session frames carry a size-checked fixed or embedded tail)
+        for cut in 0..payload.len() {
+            assert!(decode_msg(&payload[..cut]).is_err(), "{msg:?} cut at {cut}");
+        }
+        // seeded single-byte mutations: decode must return, not panic;
+        // Ok means the mutation still spelled a valid frame (fine)
+        for _ in 0..500 {
+            let mut m = payload.clone();
+            let at = rng.random_range(0..m.len());
+            m[at] ^= 1 << rng.random_range(0..8u32);
+            let _ = decode_msg(&m);
+        }
+        // trailing garbage after a complete frame must be rejected
+        let mut m = payload.clone();
+        m.push(0);
+        assert!(decode_msg(&m).is_err(), "{msg:?} with a trailing byte");
+    }
+    // a truncated embedded delta surfaces as a structured Wire error
+    // carrying the byte offset, exactly like bare decode_ensemble
+    let payload = encode_msg(&Msg::PushAtoms { id: 1, session: 2, delta: ens });
+    let cut = &payload[..payload.len() - 1];
+    assert!(
+        matches!(decode_msg(cut), Err(ProtoError::Wire(EnsembleError::Wire { .. }))),
+        "embedded wire errors keep their offset-carrying shape"
+    );
+    // pure noise behind the session tags
+    for tag in [0x06u8, 0x07, 0x08, 0x09] {
+        for _ in 0..300 {
+            let len = rng.random_range(0..48usize);
+            let mut noise: Vec<u8> = (0..len).map(|_| rng.random_range(0..=255u32) as u8).collect();
+            noise.insert(0, tag);
+            let _ = decode_msg(&noise);
+        }
+    }
+}
+
+#[test]
 fn wire_agrees_with_text_on_seeded_instances() {
     let mut rng = SmallRng::seed_from_u64(0x0123);
     for _ in 0..40 {

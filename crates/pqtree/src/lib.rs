@@ -30,4 +30,4 @@ pub mod solve;
 
 pub use arena::{Kind, NodeId, PqTree, NIL};
 pub use reduce::{Label, NotC1p};
-pub use solve::{solve, solve_with_stats, PqStats};
+pub use solve::{solve, solve_with_stats, PqStats, Reducer};

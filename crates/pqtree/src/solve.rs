@@ -55,6 +55,79 @@ pub fn solve_with_stats<C: AsRef<[u32]>>(
     (Some(tree.frontier()), stats)
 }
 
+/// An incremental Booth–Lueker session: the PQ-tree persists across
+/// pushes, so a streaming client pays one `REDUCE` per new column instead
+/// of a from-scratch solve per prefix — the classic answer to append-only
+/// C1P traffic, and the client-side mirror the serving layer's session
+/// auditor (`load_driver --mode sessions`) uses to predict verdicts.
+///
+/// Failure is sticky: once a pushed column is inconsistent with the
+/// prefix, the tree is spent (Booth–Lueker reductions are destructive and
+/// carry no undo), and every later [`Reducer::push`] reports `false`. A
+/// caller mirroring a *rolled-back* stream rebuilds a fresh reducer from
+/// the accepted prefix — O(p) once per rejection, amortized away on the
+/// accept path.
+#[derive(Debug, Clone)]
+pub struct Reducer {
+    n_atoms: usize,
+    tree: Option<PqTree>,
+    failed: bool,
+    stats: PqStats,
+}
+
+impl Reducer {
+    /// A fresh session over `n_atoms` atoms with no constraints yet.
+    pub fn new(n_atoms: usize) -> Reducer {
+        let tree = (n_atoms > 0).then(|| PqTree::universal(n_atoms));
+        Reducer { n_atoms, tree, failed: false, stats: PqStats::default() }
+    }
+
+    /// Restricts the session to orders where `col` is consecutive.
+    /// Returns whether the session is still consistent (i.e. the prefix
+    /// including `col` is C1P); `false` is sticky.
+    pub fn push(&mut self, col: &[u32]) -> bool {
+        if self.failed {
+            return false;
+        }
+        if col.len() <= 1 || col.len() >= self.n_atoms {
+            self.stats.skipped += 1;
+            return true;
+        }
+        let tree = self.tree.as_mut().expect("non-trivial column implies n_atoms > 0");
+        self.stats.reductions += 1;
+        if tree.reduce(col).is_err() {
+            self.failed = true;
+            self.stats.nodes_allocated = tree.kind.len();
+            return false;
+        }
+        #[cfg(debug_assertions)]
+        tree.validate();
+        true
+    }
+
+    /// Is the pushed prefix still C1P?
+    pub fn is_consistent(&self) -> bool {
+        !self.failed
+    }
+
+    /// A witness atom order for the pushed prefix, while consistent.
+    pub fn frontier(&self) -> Option<Vec<u32>> {
+        if self.failed {
+            return None;
+        }
+        Some(self.tree.as_ref().map_or_else(Vec::new, PqTree::frontier))
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> PqStats {
+        let mut s = self.stats;
+        if let Some(t) = &self.tree {
+            s.nodes_allocated = t.kind.len();
+        }
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +197,30 @@ mod tests {
         ];
         let order = solve(6, &cols).expect("chain is C1P");
         assert!(is_valid(6, &cols, &order));
+    }
+
+    #[test]
+    fn reducer_matches_batch_solve_per_prefix() {
+        let cols = [vec![0u32, 1], vec![1, 2], vec![2, 3], vec![0, 3]];
+        let mut r = Reducer::new(4);
+        for k in 0..cols.len() {
+            let ok = r.push(&cols[k]);
+            let batch = solve(4, &cols[..=k]);
+            assert_eq!(ok, batch.is_some(), "prefix {k}");
+            assert_eq!(r.is_consistent(), batch.is_some());
+            match r.frontier() {
+                Some(order) => assert!(is_valid(4, &cols[..=k], &order), "prefix {k}"),
+                None => assert!(batch.is_none()),
+            }
+        }
+        // failure is sticky: even a trivially consistent column reports it
+        assert!(!r.push(&[0, 1]));
+        assert_eq!(r.frontier(), None);
+        assert!(r.stats().reductions >= 3);
+        // degenerate sessions
+        let mut empty = Reducer::new(0);
+        assert!(empty.push(&[]));
+        assert_eq!(empty.frontier(), Some(vec![]));
     }
 
     #[test]

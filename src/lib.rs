@@ -16,6 +16,7 @@
 //! | [`pqtree`] | the Booth–Lueker baseline |
 //! | [`core_alg`] | the paper's `Path-Realization` algorithm, sequential and parallel |
 //! | [`cert`] | Tucker-witness rejection certificates |
+//! | [`incremental`] | streaming sessions with differential re-solve and rollback |
 //! | [`engine`] | batched, caching solve service + the `c1pd` wire front-end |
 //!
 //! # Quickstart
@@ -43,12 +44,15 @@
 //! c1p::cert::verify_witness(&bad, &cert.witness).unwrap();
 //! ```
 
-pub use c1p_cert::{solve_certified, solve_par_certified, CertifiedRejection, TuckerWitness};
+pub use c1p_cert::{
+    certify_rejection, solve_certified, solve_par_certified, CertifiedRejection, TuckerWitness,
+};
 pub use c1p_core::circular::solve_circular;
 pub use c1p_core::interval_graphs;
 pub use c1p_core::parallel::{solve_par, solve_par_with};
 pub use c1p_core::{solve, solve_with, Config, RejectSite, Rejection, SolveStats};
 pub use c1p_engine::{Engine, EngineConfig, EngineError, EngineStats, Verdict};
+pub use c1p_incremental::{IncrementalSolver, IncrementalStats, PushVerdict};
 
 /// Ensembles, matrices, verifiers and workload generators.
 pub use c1p_matrix as matrix;
@@ -73,3 +77,7 @@ pub use c1p_cert as cert;
 
 /// The batched, caching solve service and its wire protocol (`c1pd`).
 pub use c1p_engine as engine;
+
+/// Incremental sessions: streaming column pushes with differential
+/// per-component re-solve, certified rejection and rollback.
+pub use c1p_incremental as incremental;
