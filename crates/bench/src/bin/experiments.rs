@@ -23,7 +23,8 @@ fn main() {
     let mut picked: Vec<&str> =
         args.iter().filter(|a| a.starts_with('e')).map(String::as_str).collect();
     if picked.is_empty() || args.iter().any(|a| a == "all") {
-        picked = vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"];
+        picked =
+            vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"];
     }
     for e in picked {
         match e {
@@ -39,6 +40,7 @@ fn main() {
             "e10" => e10(),
             "e11" => e11(),
             "e12" => e12(),
+            "e13" => e13(),
             other => eprintln!("unknown experiment {other}"),
         }
         println!();
@@ -798,4 +800,122 @@ fn e12() {
         "acceptance gate: 1%-suffix incremental push must be >= 5x a full \
          re-solve at every size (worst measured {worst_speedup:.1}x)"
     );
+}
+
+/// E13 — machine-readable durability benchmarks: writes
+/// `BENCH_durable.json`. Measures what the WAL costs and what recovery
+/// buys: median per-push ack latency with and without the
+/// fsync-before-ack write-ahead log (same seeded stream, same engine),
+/// and WAL replay time as a function of log length (records and bytes).
+/// host_threads-annotated; the fsync premium is storage-bound, so the
+/// absolute numbers describe the recording box's disk, not the solver.
+/// See DESIGN.md §10.
+fn e13() {
+    use c1p_bench::workloads::append_stream;
+    use c1p_engine::{wal, Engine, EngineConfig};
+    use std::fmt::Write as _;
+    use std::time::Instant;
+
+    println!("## E13 — BENCH_durable.json (WAL ack latency + recovery time)\n");
+    let host_threads = std::thread::available_parallelism().map_or(1, |v| v.get());
+    let dir = std::env::temp_dir().join(format!("c1p-e13-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let reps = 3;
+    let n = 2048usize;
+    let blocks = n / 256;
+
+    // ── ack latency: the same 64-push stream, acked with and without a
+    // fsynced WAL append between verdict and acknowledgement
+    let pushes = 64usize;
+    let stream = append_stream(n, blocks, pushes, 5);
+    let mut ack = Vec::new(); // (mode, median per-push ns)
+    for (mode, wal_dir) in [("no_fsync", None), ("fsync", Some(dir.clone()))] {
+        let mut meds = Vec::new();
+        for _ in 0..reps {
+            let cfg =
+                EngineConfig { threads: 2, wal_dir: wal_dir.clone(), ..EngineConfig::default() };
+            let engine = Engine::new(cfg);
+            let id = engine.open_session(n).expect("open");
+            let mut ts = Vec::new();
+            for k in 0..pushes {
+                let delta = stream.push_ensemble(k);
+                let t0 = Instant::now();
+                engine.session_push(id, &delta).expect("accept-only stream");
+                ts.push(t0.elapsed());
+            }
+            ts.sort_unstable();
+            meds.push(ts[ts.len() / 2]);
+            engine.seal_session(id).expect("seal"); // retires the WAL
+        }
+        meds.sort_unstable();
+        ack.push((mode, meds[meds.len() / 2].as_nanos()));
+    }
+    let premium = ack[1].1 as f64 / (ack[0].1 as f64).max(1.0);
+    println!(
+        "per-push ack latency (median of {pushes} pushes, n={n}): \
+         {} ns without WAL | {} ns with fsync-before-ack ({premium:.1}x)",
+        ack[0].1, ack[1].1
+    );
+
+    // ── recovery time vs WAL length: replay cost of an unsealed log,
+    // every prefix hash re-verified (the boot-path invariant)
+    let mut recovery: Vec<String> = Vec::new();
+    for records in [16usize, 64, 256] {
+        let stream = append_stream(n, blocks, records, 7);
+        let cfg =
+            EngineConfig { threads: 2, wal_dir: Some(dir.clone()), ..EngineConfig::default() };
+        let engine = Engine::new(cfg);
+        let id = engine.open_session(n).expect("open");
+        for k in 0..records {
+            engine.session_push(id, &stream.push_ensemble(k)).expect("accept-only stream");
+        }
+        drop(engine); // vanish unsealed: the WAL stays behind
+        let path = wal::wal_path(&dir, id);
+        let wal_bytes = std::fs::metadata(&path).expect("wal written").len();
+        let mut ts = Vec::new();
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let rec = wal::recover_file(&path, &Config::default(), 2048)
+                .expect("an honest log always recovers");
+            ts.push(t0.elapsed());
+            assert_eq!(rec.records, records as u64, "every acked push replayed");
+            assert!(!rec.truncated_tail);
+        }
+        ts.sort_unstable();
+        let t = ts[ts.len() / 2];
+        println!("recovery of {records:>3} records ({wal_bytes:>7} B): {}", fmt_secs(t));
+        let mut e = String::new();
+        write!(
+            e,
+            "  {{\"records\": {records}, \"wal_bytes\": {wal_bytes}, \
+             \"recover_ns\": {}}}",
+            t.as_nanos()
+        )
+        .unwrap();
+        recovery.push(e);
+        std::fs::remove_file(&path).expect("retire the measured log");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let json = format!(
+        "{{\n\"workload\": \"append_stream(n = 2048, blocks = 8, seed 5/7): ack latency is \
+         the median session_push round trip over 64 pushes, with wal_dir unset vs set \
+         (append + fsync before the verdict is returned); recovery is wal::recover_file \
+         of an unsealed log, re-verifying every prefix's recorded stream hash\",\n\
+         \"note\": \"medians of {reps} reps; recorded on a {host_threads}-thread host — \
+         the fsync premium is storage latency (device + filesystem), not solver time, \
+         and recovery cost scales with log length; see DESIGN.md §10\",\n\
+         \"host_threads\": {host_threads},\n\
+         \"ack_latency\": [\n  {{\"mode\": \"{}\", \"push_ns\": {}}},\n  \
+         {{\"mode\": \"{}\", \"push_ns\": {}}}\n],\n\
+         \"fsync_premium\": {premium:.2},\n\
+         \"recovery\": [\n{}\n]\n}}\n",
+        ack[0].0,
+        ack[0].1,
+        ack[1].0,
+        ack[1].1,
+        recovery.join(",\n")
+    );
+    std::fs::write("BENCH_durable.json", &json).expect("write BENCH_durable.json");
+    println!("\nwrote BENCH_durable.json");
 }

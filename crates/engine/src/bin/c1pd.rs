@@ -5,6 +5,7 @@
 //!      [--cache-mb MB] [--max-batch N] [--small-cutoff N]
 //!      [--max-queue N] [--max-atoms N] [--max-conns N] [--max-frame-mb MB]
 //!      [--max-sessions N] [--session-idle-ms MS] [--max-session-mb MB]
+//!      [--wal-dir DIR] [--snapshot-ms MS] [--wal-fault-after N]
 //! ```
 //!
 //! Speaks the length-prefixed frame protocol of `c1p_engine::proto`: one
@@ -26,14 +27,50 @@
 //! ephemeral port; the chosen address is printed on stdout
 //! (`c1pd listening on ...`) and, with `--port-file`, the bare port is
 //! written to the given path for scripts.
+//!
+//! **Durability** (DESIGN.md §10): `--wal-dir DIR` turns on per-session
+//! write-ahead logs (accepted pushes fsynced before acknowledgement),
+//! boot-time recovery of live sessions, lazy resume of idle-evicted
+//! ones, and — with `--snapshot-ms` — periodic cache snapshots for warm
+//! starts. `--wal-fault-after N` is the crash harness's test hook: the
+//! N-th append dies mid-write. On SIGTERM/SIGINT the server shuts down
+//! gracefully: it stops accepting, drains each connection's in-flight
+//! frame (answering it), writes a final snapshot, and exits 0 — WALs
+//! need no extra flush because every append was already fsynced.
 
-use c1p_engine::proto::{encode_msg, read_frame, write_frame, ErrorCode, Msg, DEFAULT_MAX_FRAME};
+use c1p_engine::proto::{
+    encode_msg, read_frame_until, write_frame, ErrorCode, Msg, DEFAULT_MAX_FRAME,
+};
 use c1p_engine::{Engine, EngineConfig, EngineError};
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
+
+/// Set by the signal handler; polled by the accept loop and (at frame
+/// boundaries) by every connection.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // std-only signal(2): the handler just flips an AtomicBool, which is
+    // async-signal-safe. SIGINT = 2, SIGTERM = 15.
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::Release);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(2, on_signal);
+        signal(15, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
@@ -61,11 +98,15 @@ fn main() {
         max_session_columns: defaults.max_session_columns,
         max_session_bytes: num_flag(&args, "--max-session-mb", defaults.max_session_bytes >> 20)
             << 20,
+        wal_dir: flag(&args, "--wal-dir").map(std::path::PathBuf::from),
+        snapshot_interval_ms: num_flag(&args, "--snapshot-ms", 0) as u64,
+        wal_fault_after: num_flag(&args, "--wal-fault-after", 0) as u64,
     };
     let max_conns = num_flag(&args, "--max-conns", 64);
     let max_frame = num_flag(&args, "--max-frame-mb", DEFAULT_MAX_FRAME >> 20) << 20;
     let addr = flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:9119".to_string());
 
+    install_signal_handlers();
     let engine = Arc::new(Engine::new(cfg));
     let listener =
         TcpListener::bind(&addr).unwrap_or_else(|e| panic!("c1pd: cannot bind {addr}: {e}"));
@@ -77,10 +118,18 @@ fn main() {
             .unwrap_or_else(|e| panic!("c1pd: cannot write {path}: {e}"));
     }
 
+    // nonblocking accept so the loop can notice SHUTDOWN between
+    // connections — a blocking accept would pin the process until one
+    // more client happened to connect
+    listener.set_nonblocking(true).expect("nonblocking listener");
     let active = Arc::new(AtomicUsize::new(0));
-    for stream in listener.incoming() {
-        let stream = match stream {
-            Ok(s) => s,
+    while !SHUTDOWN.load(Ordering::Acquire) {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(25));
+                continue;
+            }
             Err(e) => {
                 eprintln!("c1pd: accept failed: {e}");
                 continue;
@@ -106,6 +155,20 @@ fn main() {
             active.fetch_sub(1, Ordering::AcqRel);
         });
     }
+
+    // graceful drain: the listener is closed (drop), live connections
+    // notice SHUTDOWN at their next frame boundary — the frame they are
+    // inside is read fully, answered, and only then does the handler exit
+    drop(listener);
+    eprintln!("c1pd: shutting down, draining {} connection(s)", active.load(Ordering::Acquire));
+    let drain_deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while active.load(Ordering::Acquire) > 0 && std::time::Instant::now() < drain_deadline {
+        thread::sleep(Duration::from_millis(25));
+    }
+    // WAL records were fsynced at append time; the final snapshot makes
+    // the next boot warm from the first request
+    engine.flush_durability();
+    eprintln!("c1pd: shutdown complete");
 }
 
 /// Best-effort `Overloaded` error frame to a refused connection.
@@ -122,10 +185,13 @@ fn refuse(stream: TcpStream) {
 
 fn handle_conn(stream: TcpStream, engine: &Engine, max_frame: usize) -> io::Result<()> {
     stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
+    // a finite read timeout lets the frame reader poll SHUTDOWN between
+    // frames without cutting off a slow writer mid-frame
+    stream.set_read_timeout(Some(Duration::from_millis(250))).ok();
+    let mut reader = stream.try_clone()?;
     let mut writer = BufWriter::new(stream);
     loop {
-        let payload = match read_frame(&mut reader, max_frame) {
+        let payload = match read_frame_until(&mut reader, max_frame, &SHUTDOWN) {
             Ok(Some(p)) => p,
             Ok(None) => return Ok(()),
             // An over-cap frame length is admission control, not line

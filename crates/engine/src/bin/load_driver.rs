@@ -8,6 +8,10 @@
 //! load_driver --addr 127.0.0.1:PORT --mode sessions
 //!             [--streams 8] [--pushes 6] [--blocks 4] [--conns 4]
 //!             [--seed 1] [--reject-every 3] [--n-lo 64] [--n-hi 192]
+//! load_driver --mode crash --server PATH/TO/c1pd --wal-dir DIR
+//!             [--cycles 5] [--streams 6] [--pushes 8] [--blocks 4]
+//!             [--seed 1] [--reject-every 3] [--n-lo 64] [--n-hi 160]
+//!             [--snapshot-ms 50] [--fault-every 2]
 //! ```
 //!
 //! **Solve mode** (default) generates a deterministic mixed accept/reject
@@ -27,6 +31,20 @@
 //! Booth–Lueker reducer (`c1p_pqtree::Reducer`) to predict every verdict
 //! independently, and gates the sealed order on **bit-identical agreement
 //! with an in-process one-shot solve** of the accepted concatenation.
+//!
+//! **Crash mode** is the durability harness (DESIGN.md §10): the driver
+//! spawns `c1pd` itself (`--server` names the binary) on a shared
+//! `--wal-dir`, drives session streams part-way, and crashes the server
+//! at seeded points — `kill -9` between acknowledged operations on most
+//! cycles, and on every `--fault-every`-th cycle a *mid-WAL-append*
+//! abort via the server's `--wal-fault-after` hook (the torn record must
+//! be truncated, never replayed). Each restart is audited: zero
+//! quarantined WALs, every live session recovered, and the first solve
+//! of the warm-start probe instance served from the snapshot
+//! (`warm_start_hits` ≥ 1). Un-acknowledged pushes are retried — the
+//! fsync-before-ack ordering makes that exact, not heuristic — and at
+//! the end every stream must seal bit-identically to a one-shot
+//! in-process solve of its accepted concatenation.
 //!
 //! Every response is checked **client-side, without trusting the server**:
 //! accepts must pass `verify_linear` against the concatenated instance,
@@ -66,8 +84,10 @@ struct Tally {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if flag(&args, "--mode").as_deref() == Some("sessions") {
-        return sessions_main(&args);
+    match flag(&args, "--mode").as_deref() {
+        Some("sessions") => return sessions_main(&args),
+        Some("crash") => return crash_main(&args),
+        _ => {}
     }
     let addr = flag(&args, "--addr").expect("--addr HOST:PORT is required");
     let requests = num_flag(&args, "--requests", 500) as usize;
@@ -139,6 +159,7 @@ fn main() {
         "protocol errors {protocol_errors} | verify failures {verify_failures} | \
          disagreements {disagreements} | server cache hits {hits}"
     );
+    print_durability(&addr);
 
     let mut failed = false;
     if completed != requests as u64 || protocol_errors > 0 {
@@ -328,6 +349,7 @@ fn sessions_main(args: &[String]) {
         "protocol errors {protocol_errors} | verify failures {verify_failures} | \
          disagreements {disagreements} | server sessions sealed {sealed}"
     );
+    print_durability(&addr);
 
     let mut failed = false;
     if completed != expected_ops || protocol_errors > 0 {
@@ -492,6 +514,416 @@ fn drive_streams(
         }
     }
     latencies
+}
+
+// ---------------------------------------------------------------------
+// crash mode
+// ---------------------------------------------------------------------
+
+/// One stream's client-side truth across server crashes: the driver never
+/// dies, so this — not the server — is the arbiter of what was accepted.
+struct CrashStream {
+    plan: StreamPlan,
+    /// The server-issued session handle (survives restarts: recovery
+    /// rebuilds the session under the same id from its WAL header).
+    session: Option<u64>,
+    next_push: usize,
+    accepted: Vec<Vec<Atom>>,
+    /// The incremental Booth–Lueker mirror predicting every verdict.
+    mirror: c1p_pqtree::Reducer,
+    sealed: bool,
+}
+
+impl CrashStream {
+    /// Rebuilds the mirror from the accepted prefix — used after a
+    /// rejected push (server rolled back) and after a crash mid-push
+    /// (the attempted columns were fed to the mirror but never acked).
+    fn rebuild_mirror(&mut self) {
+        self.mirror = c1p_pqtree::Reducer::new(self.plan.stream.n_atoms);
+        for col in &self.accepted {
+            self.mirror.push(col);
+        }
+    }
+}
+
+fn crash_main(args: &[String]) {
+    let server_bin = flag(args, "--server").expect("--server PATH (the c1pd binary) is required");
+    let wal_dir = flag(args, "--wal-dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("c1p-crash-{}", std::process::id())));
+    std::fs::create_dir_all(&wal_dir).expect("create --wal-dir");
+    let cycles = (num_flag(args, "--cycles", 5) as usize).max(2);
+    let streams_n = (num_flag(args, "--streams", 6) as usize).max(1);
+    let pushes = (num_flag(args, "--pushes", 8) as usize).max(2);
+    let blocks = (num_flag(args, "--blocks", 4) as usize).max(1);
+    let seed = num_flag(args, "--seed", 1);
+    let reject_every = num_flag(args, "--reject-every", 3) as usize;
+    let n_lo = num_flag(args, "--n-lo", 64) as usize;
+    let n_hi = num_flag(args, "--n-hi", 160) as usize;
+    let snapshot_ms = num_flag(args, "--snapshot-ms", 50);
+    let fault_every = num_flag(args, "--fault-every", 2) as usize;
+    assert!(n_lo >= 16 * blocks, "reject embedding needs blocks of >= 16 atoms");
+    assert!(n_hi >= n_lo);
+
+    let mut streams: Vec<CrashStream> = (0..streams_n)
+        .map(|s| {
+            let stream_seed = seed.wrapping_mul(2609).wrapping_add(s as u64);
+            let n = n_lo + (stream_seed as usize).wrapping_mul(31) % (n_hi - n_lo + 1);
+            let plan = if reject_every > 0 && s % reject_every == reject_every - 1 {
+                let (stream, at, _) = append_stream_reject(n, blocks, pushes, stream_seed);
+                StreamPlan { stream, reject_at: Some(at) }
+            } else {
+                StreamPlan {
+                    stream: append_stream(n, blocks, pushes, stream_seed),
+                    reject_at: None,
+                }
+            };
+            let mirror = c1p_pqtree::Reducer::new(plan.stream.n_atoms);
+            CrashStream {
+                plan,
+                session: None,
+                next_push: 0,
+                accepted: Vec::new(),
+                mirror,
+                sealed: false,
+            }
+        })
+        .collect();
+
+    // the warm-start probe: solved cold in cycle 0, snapshotted, and from
+    // every restart on its first solve must be served warm
+    let probe = append_stream(n_lo, blocks, 2, seed ^ 0x9e37).final_ensemble();
+
+    let tally = Tally::default();
+    let mut anomalies = 0u64;
+    let mut kills = 0usize;
+    let mut faults = 0usize;
+    println!(
+        "load_driver crash: {streams_n} stream(s) × {pushes} pushes over {cycles} cycle(s), \
+         wal dir {}, seed {seed}",
+        wal_dir.display()
+    );
+
+    for cycle in 0..cycles {
+        let last = cycle + 1 == cycles;
+        // every --fault-every-th crash dies mid-WAL-append instead of
+        // between acknowledged operations
+        let fault = !last && fault_every > 0 && cycle % fault_every == fault_every - 1;
+        let fault_after = 1 + (seed as usize).wrapping_add(13 * cycle) % 4;
+        let port_file = wal_dir.join(format!("port-{cycle}"));
+        let _ = std::fs::remove_file(&port_file);
+        let mut cmd = std::process::Command::new(&server_bin);
+        cmd.arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--port-file")
+            .arg(&port_file)
+            .arg("--wal-dir")
+            .arg(&wal_dir)
+            .arg("--snapshot-ms")
+            .arg(snapshot_ms.to_string())
+            .arg("--threads")
+            .arg("2")
+            .stdout(std::process::Stdio::null());
+        if fault {
+            cmd.arg("--wal-fault-after").arg(fault_after.to_string());
+        }
+        let mut child = cmd.spawn().unwrap_or_else(|e| panic!("cannot spawn {server_bin}: {e}"));
+        let addr = format!("127.0.0.1:{}", wait_port(&port_file));
+
+        // restart audits: nothing quarantined, every live session back,
+        // and the probe answered from the snapshot-warmed cache
+        let quarantined = fetch_stat(&addr, "\"quarantined_wals\":").unwrap_or(-1);
+        if quarantined != 0 {
+            eprintln!("FAIL: cycle {cycle}: {quarantined} quarantined WAL(s) after restart");
+            anomalies += 1;
+        }
+        if cycle > 0 {
+            let live = streams.iter().filter(|s| s.session.is_some() && !s.sealed).count() as i64;
+            let recovered = fetch_stat(&addr, "\"recovered_sessions\":").unwrap_or(-1);
+            if recovered < live {
+                eprintln!("FAIL: cycle {cycle}: recovered {recovered} of {live} live session(s)");
+                anomalies += 1;
+            }
+        }
+        if !solve_probe(&addr, &probe, &tally) {
+            eprintln!("FAIL: cycle {cycle}: warm-start probe solve failed");
+            anomalies += 1;
+        }
+        // baseline for the pre-kill snapshot gate: a snapshot write may be
+        // in flight with a cache image read *before* the probe landed, so
+        // the gate below waits for two increments past this point — the
+        // second one provably started after the probe was cached
+        let snap_base = fetch_stat(&addr, "\"snapshot_writes\":").unwrap_or(0).max(0);
+        if cycle > 0 {
+            let warm = fetch_stat(&addr, "\"warm_start_hits\":").unwrap_or(-1);
+            if warm < 1 {
+                eprintln!("FAIL: cycle {cycle}: first probe solve after restart was not warm");
+                anomalies += 1;
+            }
+        }
+
+        // drive: unbounded on fault cycles (the server picks the crash
+        // instant) and on the last cycle (everything must finish); a
+        // seeded acknowledged-operation budget otherwise
+        let budget = if last || fault {
+            usize::MAX
+        } else {
+            2 + (seed as usize).wrapping_mul(31).wrapping_add(17 * cycle) % 6
+        };
+        let conn_died = drive_crash_cycle(&addr, &mut streams, budget, &tally);
+
+        if last {
+            let all_sealed = streams.iter().all(|s| s.sealed);
+            if !all_sealed || conn_died {
+                eprintln!("FAIL: final cycle did not seal every stream");
+                anomalies += 1;
+            }
+            print_durability(&addr);
+            child.kill().ok();
+            child.wait().ok();
+        } else if fault && conn_died {
+            faults += 1; // the server aborted itself mid-append
+            child.wait().ok();
+        } else {
+            if conn_died {
+                eprintln!("FAIL: cycle {cycle}: connection died without an injected fault");
+                anomalies += 1;
+            }
+            // make sure a snapshot that *postdates the probe solve* exists
+            // before the kill, so the next boot warm-starts the probe
+            if !wait_stat_at_least(&addr, "\"snapshot_writes\":", snap_base + 2) {
+                eprintln!("FAIL: cycle {cycle}: no post-probe snapshot written before kill");
+                anomalies += 1;
+            }
+            child.kill().ok(); // SIGKILL: no goodbye, that is the point
+            child.wait().ok();
+            kills += 1;
+        }
+    }
+
+    let completed = tally.completed.load(Ordering::Relaxed);
+    let protocol_errors = tally.protocol_errors.load(Ordering::Relaxed);
+    let verify_failures = tally.verify_failures.load(Ordering::Relaxed);
+    let disagreements = tally.disagreements.load(Ordering::Relaxed);
+    let sealed = streams.iter().filter(|s| s.sealed).count();
+    println!(
+        "crash cycles {cycles} ({kills} kill -9, {faults} mid-append fault) | \
+         ops acked {completed} | sealed {sealed}/{streams_n}"
+    );
+    println!(
+        "protocol errors {protocol_errors} | verify failures {verify_failures} | \
+         disagreements {disagreements} | audit anomalies {anomalies}"
+    );
+    if protocol_errors > 0 || verify_failures > 0 || disagreements > 0 || anomalies > 0 {
+        eprintln!("FAIL: crash-recovery audit failed");
+        std::process::exit(1);
+    }
+    println!("load_driver: all crash-recovery checks passed");
+}
+
+/// Drives every unfinished stream in order, spending at most `budget`
+/// acknowledged operations. Returns `true` if the connection died (the
+/// injected mid-append fault fired — or the server vanished unexpectedly,
+/// which the caller flags).
+fn drive_crash_cycle(
+    addr: &str,
+    streams: &mut [CrashStream],
+    mut budget: usize,
+    tally: &Tally,
+) -> bool {
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return true;
+    };
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = BufWriter::new(stream);
+    let mut req_id = 0u64;
+    let mut rpc = |msg: &Msg| -> Option<Msg> {
+        // unlike the other modes, a failed exchange here is *expected*
+        // (that is what a crash looks like) — the caller classifies it
+        if write_frame(&mut writer, &encode_msg(msg)).and_then(|()| writer.flush()).is_err() {
+            return None;
+        }
+        match read_frame(&mut reader, DEFAULT_MAX_FRAME) {
+            Ok(Some(p)) => decode_msg(&p).ok(),
+            _ => None,
+        }
+    };
+    for st in streams.iter_mut().filter(|s| !s.sealed) {
+        let n = st.plan.stream.n_atoms;
+        if st.session.is_none() {
+            if budget == 0 {
+                return false;
+            }
+            req_id += 1;
+            match rpc(&Msg::OpenSession { id: req_id, n_atoms: n as u64 }) {
+                Some(Msg::SessionVerdict { id, session, .. }) if id == req_id => {
+                    st.session = Some(session);
+                    tally.completed.fetch_add(1, Ordering::Relaxed);
+                    budget -= 1;
+                }
+                None => return true,
+                other => {
+                    eprintln!("unexpected OpenSession response: {other:?}");
+                    tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
+        let session = st.session.expect("opened above");
+        while st.next_push < st.plan.stream.pushes.len() {
+            if budget == 0 {
+                return false;
+            }
+            let k = st.next_push;
+            let push = st.plan.stream.pushes[k].clone();
+            let delta = Ensemble::from_columns(n, push.clone()).expect("stream columns valid");
+            let mut predicted_ok = true;
+            for col in &push {
+                predicted_ok &= st.mirror.push(col);
+            }
+            req_id += 1;
+            let resp = rpc(&Msg::PushAtoms { id: req_id, session, delta: delta.clone() });
+            let Some(Msg::SessionVerdict { id, session: s2, verdict }) = resp else {
+                // crash mid-push: the record was torn (or never written),
+                // so the push is NOT durable — recovery must agree, and
+                // this same push is retried next cycle
+                st.rebuild_mirror();
+                return true;
+            };
+            if id != req_id || s2 != session {
+                eprintln!("mismatched PushAtoms echo");
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            tally.completed.fetch_add(1, Ordering::Relaxed);
+            budget -= 1;
+            let mut cols = st.accepted.clone();
+            cols.extend(push.iter().cloned());
+            let concat = Ensemble::from_columns(n, cols).expect("stream columns valid");
+            match verdict {
+                WireVerdict::Accept { order } => {
+                    if verify_linear(&concat, &order).is_err() {
+                        tally.verify_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if !predicted_ok || st.plan.reject_at == Some(k) {
+                        tally.disagreements.fetch_add(1, Ordering::Relaxed);
+                    }
+                    st.accepted.extend(push.iter().cloned());
+                }
+                WireVerdict::Reject { family, atom_rows, column_ids } => {
+                    let witness = TuckerWitness { family, atom_rows, column_ids };
+                    if verify_witness(&concat, &witness).is_err() {
+                        tally.verify_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if predicted_ok || st.plan.reject_at != Some(k) {
+                        tally.disagreements.fetch_add(1, Ordering::Relaxed);
+                    }
+                    st.rebuild_mirror();
+                }
+            }
+            st.next_push += 1;
+        }
+        if budget == 0 {
+            return false;
+        }
+        // seal: bit-identical to a one-shot in-process solve of the
+        // accepted concatenation — the acceptance criterion, verbatim
+        req_id += 1;
+        match rpc(&Msg::SealSession { id: req_id, session }) {
+            Some(Msg::SessionVerdict { id, verdict: WireVerdict::Accept { order }, .. })
+                if id == req_id =>
+            {
+                tally.completed.fetch_add(1, Ordering::Relaxed);
+                budget -= 1;
+                let fin =
+                    Ensemble::from_columns(n, st.accepted.clone()).expect("stream columns valid");
+                match c1p_core::solve(&fin) {
+                    Ok(expect) if expect == order => {}
+                    _ => {
+                        tally.disagreements.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                st.sealed = true;
+            }
+            None => return true,
+            other => {
+                eprintln!("unexpected SealSession response: {other:?}");
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        }
+    }
+    false
+}
+
+/// Solves the warm-start probe and verifies the witness. Returns false on
+/// any protocol or verification failure.
+fn solve_probe(addr: &str, probe: &Ensemble, tally: &Tally) -> bool {
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return false;
+    };
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = BufWriter::new(stream);
+    let msg = Msg::Solve { id: 1, ens: probe.clone() };
+    if write_frame(&mut writer, &encode_msg(&msg)).and_then(|()| writer.flush()).is_err() {
+        return false;
+    }
+    let Ok(Some(payload)) = read_frame(&mut reader, DEFAULT_MAX_FRAME) else {
+        return false;
+    };
+    match decode_msg(&payload) {
+        Ok(Msg::Verdict { id: 1, verdict: WireVerdict::Accept { order } }) => {
+            if verify_linear(probe, &order).is_err() {
+                tally.verify_failures.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Polls the bare-port file a spawned `c1pd --port-file` writes.
+fn wait_port(path: &std::path::Path) -> u16 {
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    while Instant::now() < deadline {
+        if let Ok(s) = std::fs::read_to_string(path) {
+            if let Ok(port) = s.trim().parse() {
+                return port;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!("server did not write {} within 30s", path.display());
+}
+
+/// Polls a stats counter until it reaches `min` (10s cap).
+fn wait_stat_at_least(addr: &str, key: &str, min: i64) -> bool {
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if fetch_stat(addr, key).unwrap_or(-1) >= min {
+            return true;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    false
+}
+
+/// Prints the server's durability counters (zeros on a non-durable server).
+fn print_durability(addr: &str) {
+    let get = |key: &str| fetch_stat(addr, key).unwrap_or(-1);
+    println!(
+        "durability: wal appends {} | wal fsyncs {} | recovered sessions {} | \
+         quarantined wals {} | snapshot writes {} | warm-start hits {}",
+        get("\"wal_appends\":"),
+        get("\"wal_fsyncs\":"),
+        get("\"recovered_sessions\":"),
+        get("\"quarantined_wals\":"),
+        get("\"snapshot_writes\":"),
+        get("\"warm_start_hits\":"),
+    );
 }
 
 /// Queries the server's stats frame and scans one integer field out of the

@@ -32,12 +32,17 @@ pub(crate) struct ResultCache {
     pub evictions: u64,
     pub insertions: u64,
     pub uncacheable: u64,
+    /// Hits on entries loaded from a snapshot ([`ResultCache::insert_warm`])
+    /// — the proof a restart actually answered hot (DESIGN.md §10).
+    pub warm_start_hits: u64,
 }
 
 struct Slot {
     verdict: Verdict,
     bytes: usize,
     tick: u64,
+    /// Loaded from a snapshot rather than solved by this process.
+    warmed: bool,
 }
 
 impl ResultCache {
@@ -51,6 +56,7 @@ impl ResultCache {
             evictions: 0,
             insertions: 0,
             uncacheable: 0,
+            warm_start_hits: 0,
         }
     }
 
@@ -68,6 +74,9 @@ impl ResultCache {
         self.tick += 1;
         let tick = self.tick;
         let slot = self.map.get_mut(key).expect("key just seen");
+        if slot.warmed {
+            self.warm_start_hits += 1;
+        }
         self.lru.remove(&slot.tick);
         slot.tick = tick;
         self.lru.insert(tick, shared);
@@ -77,6 +86,18 @@ impl ResultCache {
     /// Inserts a finished verdict, then evicts least-recently-used entries
     /// until the byte budget holds again.
     pub fn insert(&mut self, key: Arc<[u8]>, verdict: &Verdict) {
+        self.insert_inner(key, verdict, false);
+    }
+
+    /// [`ResultCache::insert`], but the entry is marked as loaded from a
+    /// snapshot: hits on it count `warm_start_hits`. Callers insert
+    /// snapshot entries oldest-touched first so the restored LRU order
+    /// matches the one the snapshot captured.
+    pub fn insert_warm(&mut self, key: Arc<[u8]>, verdict: &Verdict) {
+        self.insert_inner(key, verdict, true);
+    }
+
+    fn insert_inner(&mut self, key: Arc<[u8]>, verdict: &Verdict, warmed: bool) {
         let bytes = ENTRY_OVERHEAD + key.len() + verdict_bytes(verdict);
         if bytes > self.cap {
             self.uncacheable += 1;
@@ -86,7 +107,8 @@ impl ResultCache {
             return; // lost a benign race; the existing entry is identical
         }
         self.tick += 1;
-        self.map.insert(key.clone(), Slot { verdict: verdict.clone(), bytes, tick: self.tick });
+        self.map
+            .insert(key.clone(), Slot { verdict: verdict.clone(), bytes, tick: self.tick, warmed });
         self.lru.insert(self.tick, key);
         self.bytes += bytes;
         self.insertions += 1;
@@ -97,6 +119,19 @@ impl ResultCache {
             self.bytes -= slot.bytes;
             self.evictions += 1;
         }
+    }
+
+    /// Every live entry in LRU order, oldest-touched first — the snapshot
+    /// image order, chosen so that replaying the list through
+    /// [`ResultCache::insert_warm`] reproduces the eviction order.
+    pub fn snapshot_entries(&self) -> Vec<(Arc<[u8]>, Verdict)> {
+        self.lru
+            .values()
+            .map(|key| {
+                let slot = &self.map[key];
+                (key.clone(), slot.verdict.clone())
+            })
+            .collect()
     }
 }
 
@@ -148,6 +183,36 @@ mod tests {
         assert_eq!(c.bytes(), expect);
         assert_eq!(c.insertions, 20);
         assert_eq!(c.evictions, 0);
+    }
+
+    #[test]
+    fn warm_start_round_trip_preserves_lru_order_and_counts_hits() {
+        let mut c = ResultCache::new(10_000);
+        for i in 0..4 {
+            c.insert(key(i, 8), &accept(4));
+        }
+        assert!(c.get(&[0u8; 8]).is_some()); // 0 becomes newest
+        assert_eq!(c.warm_start_hits, 0, "cold entries never count as warm");
+        // snapshot → rebuild warm: same entries, same eviction order
+        let snap = c.snapshot_entries();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(&*snap[0].0, &[1u8; 8][..], "oldest-touched first");
+        assert_eq!(&*snap[3].0, &[0u8; 8][..]);
+        let mut w = ResultCache::new(10_000);
+        for (k, v) in &snap {
+            w.insert_warm(k.clone(), v);
+        }
+        assert!(w.get(&[2u8; 8]).is_some());
+        assert!(w.get(&[2u8; 8]).is_some());
+        assert_eq!(w.warm_start_hits, 2);
+        // a fresh (cold) insert over the warm cache evicts the snapshot's
+        // oldest entry first
+        let mut tight = ResultCache::new(2 * (ENTRY_OVERHEAD + 8 + 16));
+        tight.insert_warm(snap[0].0.clone(), &snap[0].1);
+        tight.insert_warm(snap[1].0.clone(), &snap[1].1);
+        tight.insert(key(9, 8), &accept(4));
+        assert!(tight.get(&snap[0].0).is_none(), "snapshot's LRU victim evicted");
+        assert!(tight.get(&snap[1].0).is_some());
     }
 
     #[test]

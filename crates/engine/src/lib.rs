@@ -45,6 +45,8 @@
 mod cache;
 mod canonical;
 pub mod proto;
+pub mod snapshot;
+pub mod wal;
 
 use c1p_cert::TuckerWitness;
 use c1p_core::Rejection;
@@ -94,6 +96,21 @@ pub struct EngineConfig {
     /// pushes over it are refused with [`EngineError::SessionOverBudget`].
     /// Worst-case session memory is `max_sessions × max_session_bytes`.
     pub max_session_bytes: usize,
+    /// Durability directory (DESIGN.md §10). `Some` turns on per-session
+    /// write-ahead logs (every accepted push is appended and fsynced
+    /// before it is acknowledged), boot-time recovery of live sessions,
+    /// lazy resume of idle-evicted sessions, and cache snapshots. `None`
+    /// (the default) keeps the engine purely in-memory.
+    pub wal_dir: Option<std::path::PathBuf>,
+    /// Milliseconds between periodic cache snapshots (requires
+    /// [`EngineConfig::wal_dir`]); `0` disables the background snapshot
+    /// thread — [`Engine::flush_durability`] still writes one on demand.
+    pub snapshot_interval_ms: u64,
+    /// Test-only crash-injection hook (`--wal-fault-after`): the N-th WAL
+    /// append process-wide writes a torn record prefix, syncs it, and
+    /// aborts the process. `0` disables. Exists so the crash harness can
+    /// deterministically die *mid-append*; never set it in production.
+    pub wal_fault_after: u64,
 }
 
 impl Default for EngineConfig {
@@ -109,6 +126,9 @@ impl Default for EngineConfig {
             session_idle_ms: 300_000,
             max_session_columns: 1 << 20,
             max_session_bytes: 32 << 20,
+            wal_dir: None,
+            snapshot_interval_ms: 0,
+            wal_fault_after: 0,
         }
     }
 }
@@ -264,6 +284,22 @@ pub struct EngineStats {
     pub session_rejects: u64,
     /// Currently open sessions.
     pub open_sessions: u64,
+    /// Accepted pushes appended to a write-ahead log.
+    pub wal_appends: u64,
+    /// WAL fsyncs issued (one per durable append; the fsync happens
+    /// before the push is acknowledged).
+    pub wal_fsyncs: u64,
+    /// Sessions rebuilt from their WAL — at boot or by lazy resume of an
+    /// idle-evicted session.
+    pub recovered_sessions: u64,
+    /// WAL files refused during recovery and moved aside (checksum, hash
+    /// or replay mismatch — never silently dropped).
+    pub quarantined_wals: u64,
+    /// Cache snapshots written (periodic + on-demand flushes).
+    pub snapshot_writes: u64,
+    /// Cache hits served by entries loaded from a snapshot — the proof a
+    /// restart answered hot.
+    pub warm_start_hits: u64,
 }
 
 impl EngineStats {
@@ -287,6 +323,9 @@ impl EngineStats {
              \"sessions_opened\": {}, \"sessions_sealed\": {}, \
              \"sessions_evicted\": {}, \"session_pushes\": {}, \
              \"session_rejects\": {}, \"open_sessions\": {}, \
+             \"wal_appends\": {}, \"wal_fsyncs\": {}, \
+             \"recovered_sessions\": {}, \"quarantined_wals\": {}, \
+             \"snapshot_writes\": {}, \"warm_start_hits\": {}, \
              \"hit_rate\": {:.4}}}",
             self.requests,
             self.batches,
@@ -307,6 +346,12 @@ impl EngineStats {
             self.session_pushes,
             self.session_rejects,
             self.open_sessions,
+            self.wal_appends,
+            self.wal_fsyncs,
+            self.recovered_sessions,
+            self.quarantined_wals,
+            self.snapshot_writes,
+            self.warm_start_hits,
             self.hit_rate(),
         )
     }
@@ -327,6 +372,11 @@ struct Counters {
     sessions_evicted: AtomicU64,
     session_pushes: AtomicU64,
     session_rejects: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    recovered_sessions: AtomicU64,
+    quarantined_wals: AtomicU64,
+    snapshot_writes: AtomicU64,
 }
 
 /// One in-flight computation; waiters block on the condvar, the owner
@@ -375,6 +425,12 @@ struct SessionState {
     /// Accounted bytes: the base per-atom vectors plus every accepted
     /// column (a budget, not an audit — same spirit as the result cache).
     bytes: usize,
+    /// The session's write-ahead log ([`EngineConfig::wal_dir`] set);
+    /// every accepted push is appended and fsynced here *before* the
+    /// verdict is returned. Idle eviction drops this handle but leaves
+    /// the file — the session stays resumable (lazy replay on the next
+    /// push or seal).
+    wal: Option<wal::WalWriter>,
 }
 
 /// Accounted memory of one accepted column (payload + `Vec` overhead).
@@ -398,6 +454,13 @@ struct Inner {
     sessions: Mutex<HashMap<u64, Arc<Mutex<SessionState>>>>,
     session_seq: AtomicU64,
     stats: Counters,
+    /// Countdown for the [`EngineConfig::wal_fault_after`] crash hook
+    /// (process-wide across sessions; `0` when the hook is off).
+    wal_fault_countdown: AtomicU64,
+    /// Snapshot-thread control: `true` stops the thread; the condvar
+    /// doubles as its interval timer.
+    snap_stop: Mutex<bool>,
+    snap_cv: Condvar,
 }
 
 /// The multi-tenant solve engine. Cheap to share behind an [`Arc`]; all
@@ -405,6 +468,7 @@ struct Inner {
 pub struct Engine {
     inner: Arc<Inner>,
     batcher: Option<thread::JoinHandle<()>>,
+    snapshotter: Option<thread::JoinHandle<()>>,
 }
 
 /// Handle to a queued submission; [`Ticket::wait`] blocks for the verdict.
@@ -422,7 +486,11 @@ impl Ticket {
 
 impl Engine {
     /// Builds the engine: one shared pool, an empty cache, and the
-    /// background batcher thread.
+    /// background batcher thread. With [`EngineConfig::wal_dir`] set this
+    /// is also *recovery*: the cache snapshot is loaded (warm start) and
+    /// every live session WAL in the directory is replayed back into an
+    /// open session — a damaged file is quarantined and counted, never
+    /// trusted and never deleted.
     pub fn new(cfg: EngineConfig) -> Engine {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(cfg.threads)
@@ -436,9 +504,15 @@ impl Engine {
             sessions: Mutex::new(HashMap::new()),
             session_seq: AtomicU64::new(0),
             stats: Counters::default(),
+            wal_fault_countdown: AtomicU64::new(cfg.wal_fault_after),
+            snap_stop: Mutex::new(false),
+            snap_cv: Condvar::new(),
             pool,
             cfg,
         });
+        if inner.cfg.wal_dir.is_some() {
+            recover_durable_state(&inner);
+        }
         let batcher = {
             let inner = Arc::clone(&inner);
             thread::Builder::new()
@@ -446,7 +520,18 @@ impl Engine {
                 .spawn(move || batcher_loop(&inner))
                 .expect("spawn batcher thread")
         };
-        Engine { inner, batcher: Some(batcher) }
+        let snapshotter = if inner.cfg.wal_dir.is_some() && inner.cfg.snapshot_interval_ms > 0 {
+            let inner = Arc::clone(&inner);
+            Some(
+                thread::Builder::new()
+                    .name("c1p-engine-snapshotter".into())
+                    .spawn(move || snapshot_loop(&inner))
+                    .expect("spawn snapshot thread"),
+            )
+        } else {
+            None
+        };
+        Engine { inner, batcher: Some(batcher), snapshotter }
     }
 
     /// The configuration this engine was built with.
@@ -516,6 +601,12 @@ impl Engine {
             return Err(EngineError::Overloaded);
         }
         let id = self.inner.session_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        // durable opens write (and fsync) the WAL header before the open
+        // is acknowledged — a session id on the wire implies a log on disk
+        let wal = self.inner.cfg.wal_dir.as_ref().map(|dir| {
+            wal::WalWriter::create(dir, id, n_atoms as u64)
+                .expect("WAL create (durability directory must stay writable)")
+        });
         // large re-solved groups take the parallel divide path on the
         // shared pool, mirroring the batch path's small/large routing
         let inc = IncrementalSolver::with_config(
@@ -525,7 +616,12 @@ impl Engine {
         );
         sessions.insert(
             id,
-            Arc::new(Mutex::new(SessionState { inc, last_touch: Instant::now(), bytes: base })),
+            Arc::new(Mutex::new(SessionState {
+                inc,
+                last_touch: Instant::now(),
+                bytes: base,
+                wal,
+            })),
         );
         self.inner.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
         Ok(id)
@@ -540,7 +636,13 @@ impl Engine {
         self.sweep_idle_sessions();
         let sess = {
             let sessions = self.inner.sessions.lock().expect("sessions lock");
-            sessions.get(&id).cloned().ok_or(EngineError::NoSuchSession { id })?
+            sessions.get(&id).cloned()
+        };
+        let sess = match sess {
+            Some(s) => s,
+            // idle-evicted durable sessions are resumable, not gone:
+            // rebuild from the WAL before refusing with NoSuchSession
+            None => self.resume_session(id)?,
         };
         let mut st = sess.lock().expect("session lock");
         // Re-check membership now that the session lock is held: a
@@ -581,6 +683,23 @@ impl Engine {
         Ok(match result {
             Ok(order) => {
                 st.bytes += delta_bytes; // rejected pushes roll back, accepted ones account
+                                         // durable before acknowledged: the record (delta + the
+                                         // post-push stream hash) is on disk and fsynced before the
+                                         // accept verdict leaves this function — a crash at any
+                                         // later instant replays to exactly this state. Rejected
+                                         // pushes are rolled back and never logged.
+                let hash = st.inc.stream_hash();
+                if let Some(w) = st.wal.as_mut() {
+                    if self.inner.cfg.wal_fault_after > 0
+                        && self.inner.wal_fault_countdown.fetch_sub(1, Ordering::Relaxed) == 1
+                    {
+                        w.append_torn_and_abort(delta, hash);
+                    }
+                    w.append(delta, hash)
+                        .expect("WAL append (durability directory must stay writable)");
+                    self.inner.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
+                    self.inner.stats.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+                }
                 Verdict::C1p { order }
             }
             Err(cert) => {
@@ -605,9 +724,19 @@ impl Engine {
     pub fn seal_session(&self, id: u64) -> Result<Verdict, EngineError> {
         let sess = {
             let mut sessions = self.inner.sessions.lock().expect("sessions lock");
-            sessions.remove(&id).ok_or(EngineError::NoSuchSession { id })?
+            sessions.remove(&id)
         };
-        let st = sess.lock().expect("session lock");
+        let sess = match sess {
+            Some(s) => s,
+            // an idle-evicted durable session can be sealed directly: the
+            // resume re-registers it, so remove it again before sealing
+            None => {
+                let sess = self.resume_session(id)?;
+                self.inner.sessions.lock().expect("sessions lock").remove(&id);
+                sess
+            }
+        };
+        let mut st = sess.lock().expect("session lock");
         let verdict = Verdict::C1p { order: st.inc.order().to_vec() };
         let canon = canonical::canonicalize(st.inc.ensemble());
         let key: Arc<[u8]> = canon.key.into();
@@ -616,8 +745,73 @@ impl Engine {
         // request is computing right now is joined instead of re-solved,
         // and only a genuinely cold key pays the canonical solve.
         let _ = self.inner.pool.install(|| solve_canonical(&self.inner, &key, &canon.ens));
+        // the WAL dies last: a crash anywhere before this unlink leaves a
+        // replayable log and an unacknowledged seal the client repeats
+        if let Some(w) = st.wal.take() {
+            w.remove().expect("WAL unlink (durability directory must stay writable)");
+        }
         self.inner.stats.sessions_sealed.fetch_add(1, Ordering::Relaxed);
         Ok(verdict)
+    }
+
+    /// Rebuilds an idle-evicted durable session from its WAL (the lazy
+    /// path behind [`Engine::session_push`] / [`Engine::seal_session`]).
+    /// Damage quarantines the file and reports [`EngineError::NoSuchSession`]
+    /// — to the client the session is gone, but the bytes are preserved
+    /// and the incident is counted.
+    fn resume_session(&self, id: u64) -> Result<Arc<Mutex<SessionState>>, EngineError> {
+        let Some(dir) = self.inner.cfg.wal_dir.as_deref() else {
+            return Err(EngineError::NoSuchSession { id });
+        };
+        let path = wal::wal_path(dir, id);
+        let mut sessions = self.inner.sessions.lock().expect("sessions lock");
+        // the map is re-checked under the lock: a racing resume may have
+        // already won, and its session must not be rebuilt twice
+        if let Some(sess) = sessions.get(&id) {
+            return Ok(Arc::clone(sess));
+        }
+        if !path.exists() {
+            return Err(EngineError::NoSuchSession { id });
+        }
+        if sessions.len() >= self.inner.cfg.max_sessions {
+            self.inner.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::Overloaded);
+        }
+        let recovered = self.inner.pool.install(|| {
+            wal::recover_file(&path, &c1p_core::Config::default(), self.inner.cfg.small_cutoff)
+        });
+        let rec = match recovered {
+            Ok(rec) if rec.session == id => rec,
+            Ok(rec) => {
+                eprintln!(
+                    "c1p-engine: quarantining {}: header names session {} (expected {id})",
+                    path.display(),
+                    rec.session
+                );
+                let _ = wal::quarantine(&path);
+                self.inner.stats.quarantined_wals.fetch_add(1, Ordering::Relaxed);
+                return Err(EngineError::NoSuchSession { id });
+            }
+            Err(damage) => {
+                eprintln!("c1p-engine: quarantining {}: {}", path.display(), damage.reason);
+                let _ = wal::quarantine(&path);
+                self.inner.stats.quarantined_wals.fetch_add(1, Ordering::Relaxed);
+                return Err(EngineError::NoSuchSession { id });
+            }
+        };
+        let writer = wal::WalWriter::reopen(&path)
+            .expect("WAL reopen (durability directory must stay writable)");
+        let bytes = session_base_account(rec.solver.n_atoms())
+            + rec.solver.ensemble().columns().iter().map(|c| column_account(c)).sum::<usize>();
+        let sess = Arc::new(Mutex::new(SessionState {
+            inc: rec.solver,
+            last_touch: Instant::now(),
+            bytes,
+            wal: Some(writer),
+        }));
+        sessions.insert(id, Arc::clone(&sess));
+        self.inner.stats.recovered_sessions.fetch_add(1, Ordering::Relaxed);
+        Ok(sess)
     }
 
     /// Evicts sessions idle past [`EngineConfig::session_idle_ms`]; runs
@@ -641,9 +835,16 @@ impl Engine {
     pub fn stats(&self) -> EngineStats {
         self.sweep_idle_sessions();
         let s = &self.inner.stats;
-        let (entries, bytes, evictions, insertions, uncacheable) = {
+        let (entries, bytes, evictions, insertions, uncacheable, warm_start_hits) = {
             let c = self.inner.cache.lock().expect("cache lock");
-            (c.entries() as u64, c.bytes() as u64, c.evictions, c.insertions, c.uncacheable)
+            (
+                c.entries() as u64,
+                c.bytes() as u64,
+                c.evictions,
+                c.insertions,
+                c.uncacheable,
+                c.warm_start_hits,
+            )
         };
         let open_sessions = self.inner.sessions.lock().expect("sessions lock").len() as u64;
         EngineStats {
@@ -666,7 +867,22 @@ impl Engine {
             session_pushes: s.session_pushes.load(Ordering::Relaxed),
             session_rejects: s.session_rejects.load(Ordering::Relaxed),
             open_sessions,
+            wal_appends: s.wal_appends.load(Ordering::Relaxed),
+            wal_fsyncs: s.wal_fsyncs.load(Ordering::Relaxed),
+            recovered_sessions: s.recovered_sessions.load(Ordering::Relaxed),
+            quarantined_wals: s.quarantined_wals.load(Ordering::Relaxed),
+            snapshot_writes: s.snapshot_writes.load(Ordering::Relaxed),
+            warm_start_hits,
         }
+    }
+
+    /// Forces all durable state to disk *now*: WAL records are already
+    /// fsynced per-append, so this writes one cache snapshot (when
+    /// [`EngineConfig::wal_dir`] is set, independent of the periodic
+    /// interval). Graceful shutdown calls this after the last frame is
+    /// drained; it is also the deterministic snapshot trigger for tests.
+    pub fn flush_durability(&self) {
+        write_snapshot_now(&self.inner);
     }
 }
 
@@ -677,8 +893,127 @@ impl Drop for Engine {
             q.shutdown = true;
         }
         self.inner.queue_cv.notify_all();
+        {
+            let mut stop = self.inner.snap_stop.lock().expect("snapshot stop lock");
+            *stop = true;
+        }
+        self.inner.snap_cv.notify_all();
         if let Some(h) = self.batcher.take() {
             let _ = h.join();
+        }
+        if let Some(h) = self.snapshotter.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Boot-time recovery (wal_dir set): warm-start the cache from the live
+/// snapshot, then rebuild every session whose WAL survives verification.
+/// Damaged files — snapshot or WAL — are quarantined and counted; the
+/// engine always comes up, at worst cold and with fewer sessions.
+fn recover_durable_state(inner: &Inner) {
+    let dir = inner.cfg.wal_dir.as_deref().expect("caller checked wal_dir");
+    std::fs::create_dir_all(dir).expect("durability directory creation");
+    // an inherited snapshot may predate the last clean fsync of this
+    // directory; make its rename durable before trusting warm hits to it
+    snapshot::fsync_existing(dir);
+    match snapshot::load(dir) {
+        Ok(None) => {}
+        Ok(Some(entries)) => {
+            let mut cache = inner.cache.lock().expect("cache lock");
+            for (key, verdict) in entries {
+                cache.insert_warm(key.into(), &verdict);
+            }
+        }
+        Err(damage) => {
+            let path = snapshot::snapshot_path(dir);
+            eprintln!("c1p-engine: quarantining {}: {}", path.display(), damage.reason);
+            let _ = wal::quarantine(&path);
+            inner.stats.quarantined_wals.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let logs = wal::scan_dir(dir).expect("durability directory scan");
+    let mut sessions = inner.sessions.lock().expect("sessions lock");
+    let mut max_id = 0u64;
+    for (id, path) in logs {
+        max_id = max_id.max(id);
+        let recovered = inner.pool.install(|| {
+            wal::recover_file(&path, &c1p_core::Config::default(), inner.cfg.small_cutoff)
+        });
+        match recovered {
+            Ok(rec) if rec.session == id => {
+                let writer = wal::WalWriter::reopen(&path).expect("WAL reopen at boot");
+                let bytes = session_base_account(rec.solver.n_atoms())
+                    + rec
+                        .solver
+                        .ensemble()
+                        .columns()
+                        .iter()
+                        .map(|c| column_account(c))
+                        .sum::<usize>();
+                sessions.insert(
+                    id,
+                    Arc::new(Mutex::new(SessionState {
+                        inc: rec.solver,
+                        last_touch: Instant::now(),
+                        bytes,
+                        wal: Some(writer),
+                    })),
+                );
+                inner.stats.recovered_sessions.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(rec) => {
+                eprintln!(
+                    "c1p-engine: quarantining {}: header names session {} (expected {id})",
+                    path.display(),
+                    rec.session
+                );
+                let _ = wal::quarantine(&path);
+                inner.stats.quarantined_wals.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(damage) => {
+                eprintln!("c1p-engine: quarantining {}: {}", path.display(), damage.reason);
+                let _ = wal::quarantine(&path);
+                inner.stats.quarantined_wals.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    // ids never repeat across process generations while a log (or a live
+    // recovered session) could still carry the old one
+    let seq = inner.session_seq.load(Ordering::Relaxed).max(max_id);
+    inner.session_seq.store(seq, Ordering::Relaxed);
+}
+
+/// Writes one cache snapshot if (and only if) a durability directory is
+/// configured. Shared by the periodic thread, graceful shutdown, and
+/// [`Engine::flush_durability`].
+fn write_snapshot_now(inner: &Inner) {
+    let Some(dir) = inner.cfg.wal_dir.as_deref() else {
+        return;
+    };
+    let entries = inner.cache.lock().expect("cache lock").snapshot_entries();
+    let refs: Vec<(&[u8], &Verdict)> = entries.iter().map(|(k, v)| (&**k, v)).collect();
+    snapshot::write(dir, &refs).expect("snapshot write (durability directory must stay writable)");
+    inner.stats.snapshot_writes.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The periodic snapshot thread: one snapshot per interval,
+/// unconditionally, plus a final one at engine drop (so a clean exit
+/// never loses warm state). Writing even when nothing changed keeps the
+/// counter's meaning simple — after any cache change, two increments of
+/// `snapshot_writes` *guarantee* a snapshot containing it is on disk
+/// (the crash harness leans on exactly that to sequence its kills).
+fn snapshot_loop(inner: &Inner) {
+    let interval = Duration::from_millis(inner.cfg.snapshot_interval_ms.max(1));
+    loop {
+        let stopped = {
+            let stop = inner.snap_stop.lock().expect("snapshot stop lock");
+            let (stop, _) = inner.snap_cv.wait_timeout(stop, interval).expect("snapshot wait");
+            *stop
+        };
+        write_snapshot_now(inner);
+        if stopped {
+            return;
         }
     }
 }

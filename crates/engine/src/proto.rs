@@ -336,6 +336,65 @@ pub fn read_frame(r: &mut impl Read, max_len: usize) -> io::Result<Option<Vec<u8
     Ok(Some(payload))
 }
 
+/// [`read_frame`] for a graceful shutdown: the stream has a read timeout,
+/// and `stop` is consulted only *between* frames — a connection mid-frame
+/// drains the frame it started (the server answers it), while an idle
+/// connection notices the flag within one timeout tick and closes.
+/// Returns `Ok(None)` both on clean EOF and on a stop at a frame
+/// boundary; mid-frame timeouts just keep reading, so a slow writer is
+/// never cut off mid-request.
+pub fn read_frame_until(
+    r: &mut impl Read,
+    max_len: usize,
+    stop: &std::sync::atomic::AtomicBool,
+) -> io::Result<Option<Vec<u8>>> {
+    use std::sync::atomic::Ordering;
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        if got == 0 && stop.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated frame length"));
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > max_len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max_len}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut at = 0;
+    while at < len {
+        match r.read(&mut payload[at..]) {
+            Ok(0) => {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated frame body"))
+            }
+            Ok(n) => at += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

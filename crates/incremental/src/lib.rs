@@ -48,6 +48,42 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 /// rejected with a checkable certificate (the session rolled back).
 pub type PushVerdict = Result<Vec<Atom>, CertifiedRejection>;
 
+/// Why a durably-logged push failed to replay
+/// ([`IncrementalSolver::replay_accepted`]). Either way the solver is
+/// left exactly at its pre-call state — a failed replay leaves no trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The recorded post-push stream hash does not match what applying
+    /// this delta would produce: the log disagrees with its own record
+    /// of history, so nothing was applied.
+    HashMismatch {
+        /// The hash the log recorded.
+        expected: u64,
+        /// The hash replaying the delta would actually produce.
+        actual: u64,
+    },
+    /// The delta was logged as accepted but the solver rejects it now —
+    /// impossible for an intact log (verdicts are deterministic), so the
+    /// log is damaged. The push was rolled back.
+    Rejected,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::HashMismatch { expected, actual } => write!(
+                f,
+                "recorded stream hash {expected:#018x} but replay produces {actual:#018x}"
+            ),
+            ReplayError::Rejected => {
+                write!(f, "a push logged as accepted is rejected on replay")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
 /// Counters over a session's lifetime ([`IncrementalSolver::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IncrementalStats {
@@ -213,6 +249,38 @@ impl IncrementalSolver {
     ) -> Result<PushVerdict, c1p_matrix::EnsembleError> {
         let delta = Ensemble::from_columns(self.n_atoms, cols)?;
         Ok(self.push(&delta))
+    }
+
+    /// Replays one durably-logged *accepted* push: the write-ahead-log
+    /// recovery entry point. The recorded post-push stream hash is
+    /// checked **before** anything is applied (the hash folds only the
+    /// column stream, so the post-state is computable up front); a
+    /// mismatch refuses the delta with the solver untouched. A delta
+    /// that hashes right but no longer accepts (impossible for an intact
+    /// log — verdicts are deterministic) is rolled back by the ordinary
+    /// [`IncrementalSolver::push`] rollback and reported as
+    /// [`ReplayError::Rejected`]. On success the session state is
+    /// bit-identical to the state that originally acknowledged the push.
+    pub fn replay_accepted(
+        &mut self,
+        delta: &Ensemble,
+        recorded_hash: u64,
+    ) -> Result<(), ReplayError> {
+        assert_eq!(delta.n_atoms(), self.n_atoms, "replay must match the session atom count");
+        let mut tentative = self.hash;
+        for col in delta.columns() {
+            tentative = fnv_fold_col(tentative, col);
+        }
+        if tentative != recorded_hash {
+            return Err(ReplayError::HashMismatch { expected: recorded_hash, actual: tentative });
+        }
+        match self.push(delta) {
+            Ok(_) => {
+                debug_assert_eq!(self.hash, recorded_hash, "push folds the same hash");
+                Ok(())
+            }
+            Err(_) => Err(ReplayError::Rejected),
+        }
     }
 
     /// Pushes a batch of new columns and returns the verdict for the
@@ -418,6 +486,41 @@ mod tests {
         assert_ne!(twin.stream_hash(), inc.stream_hash());
         twin.push_columns(vec![vec![], vec![2]]).unwrap().unwrap();
         assert_eq!(twin.stream_hash(), inc.stream_hash());
+    }
+
+    #[test]
+    fn replay_reproduces_state_and_refuses_divergent_logs() {
+        // record a two-push history on one session ...
+        let mut live = IncrementalSolver::new(8);
+        let d1 = Ensemble::from_columns(8, vec![vec![0, 1], vec![1, 2]]).unwrap();
+        let d2 = Ensemble::from_columns(8, vec![vec![4, 5, 6]]).unwrap();
+        live.push(&d1).unwrap();
+        let h1 = live.stream_hash();
+        live.push(&d2).unwrap();
+        let h2 = live.stream_hash();
+        // ... and replay it on a twin: state must be bit-identical
+        let mut twin = IncrementalSolver::new(8);
+        twin.replay_accepted(&d1, h1).unwrap();
+        twin.replay_accepted(&d2, h2).unwrap();
+        assert_eq!(twin.stream_hash(), live.stream_hash());
+        assert_eq!(twin.order(), live.order());
+        assert_eq!(twin.ensemble(), live.ensemble());
+        // a wrong recorded hash refuses without touching the session
+        let mut cold = IncrementalSolver::new(8);
+        let err = cold.replay_accepted(&d1, h1 ^ 1).unwrap_err();
+        assert_eq!(err, ReplayError::HashMismatch { expected: h1 ^ 1, actual: h1 });
+        assert_eq!(cold.ensemble().n_columns(), 0, "refused replay leaves no trace");
+        assert_eq!(cold.stats().pushes, 0);
+        // a delta that hashes right but rejects reports log damage and
+        // rolls back (forge the hash the bad delta would produce)
+        let bad = Ensemble::from_columns(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap();
+        let mut probe = IncrementalSolver::new(3);
+        let mut forged = probe.stream_hash();
+        for col in bad.columns() {
+            forged = fnv_fold_col(forged, col);
+        }
+        assert_eq!(probe.replay_accepted(&bad, forged), Err(ReplayError::Rejected));
+        assert_eq!(probe.ensemble().n_columns(), 0, "rejected replay rolled back");
     }
 
     #[test]

@@ -278,6 +278,106 @@ pub fn decode_verdict(buf: &[u8]) -> Result<WireVerdict, EnsembleError> {
     Ok(verdict)
 }
 
+// ---------------------------------------------------------------------
+// checksummed record framing (write-ahead logs, snapshots)
+// ---------------------------------------------------------------------
+
+/// FNV-1a over a byte slice — the workspace's standing integrity hash
+/// (the incremental session stream hash folds with the same constants).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Why a framed record failed to parse — the distinction durability code
+/// keys recovery decisions on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The buffer ends before the record completes. In an append-only
+    /// file this can only be the physical tail (a torn final write): the
+    /// safe response is to truncate it away, never to guess at it.
+    Torn,
+    /// The record is structurally complete but its checksum does not
+    /// match: damage, not a torn append. The safe response is to
+    /// quarantine the container, not to trust anything after it.
+    Corrupt {
+        /// Byte offset of the failing record in the scanned buffer.
+        offset: usize,
+    },
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Torn => write!(f, "record torn at the buffer tail"),
+            RecordError::Corrupt { offset } => {
+                write!(f, "record checksum mismatch at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// Frames one payload as a checksummed record:
+/// `len u32 LE | payload | aux u64 LE | crc u64 LE`, where `crc` is
+/// [`fnv1a`] over everything before it. The `aux` word rides inside the
+/// checksum — the WAL stores the post-push session stream hash there, so
+/// a record binds both *what* was appended and the state it produced.
+pub fn append_record(out: &mut Vec<u8>, payload: &[u8], aux: u64) {
+    let start = out.len();
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&aux.to_le_bytes());
+    let crc = fnv1a(&out[start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// A record parsed back out of a buffer by [`split_record`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record<'a> {
+    /// The framed payload bytes.
+    pub payload: &'a [u8],
+    /// The auxiliary word (the WAL's post-push stream hash).
+    pub aux: u64,
+    /// Bytes this record occupied, prefix through checksum.
+    pub consumed: usize,
+}
+
+/// Parses the record at `offset` in `buf`; the exact inverse of one
+/// [`append_record`] call. Distinguishes a torn tail (buffer ends before
+/// the record completes — also the classification when a complete-looking
+/// final record fails its checksum, since a torn page-aligned append can
+/// zero-fill rather than shorten) from mid-buffer corruption (checksum
+/// mismatch with more data after it). Never panics, never allocates.
+pub fn split_record(buf: &[u8], offset: usize) -> Result<Record<'_>, RecordError> {
+    let rest = &buf[offset..];
+    let Some(len_bytes) = rest.get(..4) else {
+        return Err(RecordError::Torn);
+    };
+    let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+    // 4 len + payload + 8 aux + 8 crc; saturating keeps hostile lengths
+    // from overflowing the bound check itself
+    let total = len.saturating_add(20);
+    if rest.len() < total {
+        return Err(RecordError::Torn);
+    }
+    let crc = u64::from_le_bytes(rest[total - 8..total].try_into().unwrap());
+    if fnv1a(&rest[..total - 8]) != crc {
+        // checksum failure exactly at the buffer tail is indistinguishable
+        // from a torn final append; anywhere else it is damage
+        if rest.len() == total {
+            return Err(RecordError::Torn);
+        }
+        return Err(RecordError::Corrupt { offset });
+    }
+    let aux = u64::from_le_bytes(rest[total - 16..total - 8].try_into().unwrap());
+    Ok(Record { payload: &rest[4..4 + len], aux, consumed: total })
+}
+
 fn family_tag(f: TuckerFamily) -> (u8, usize) {
     match f {
         TuckerFamily::MI(k) => (0, k),
@@ -588,6 +688,50 @@ mod tests {
             atom_rows: vec![0, 1],
             column_ids: vec![5, 3],
         });
+    }
+
+    #[test]
+    fn record_framing_round_trips_and_classifies_failures() {
+        let mut buf = Vec::new();
+        append_record(&mut buf, b"first", 0xAA);
+        append_record(&mut buf, b"", 0xBB);
+        append_record(&mut buf, b"third-record", 0xCC);
+        let mut at = 0;
+        let mut seen = Vec::new();
+        while at < buf.len() {
+            let r = split_record(&buf, at).unwrap();
+            seen.push((r.payload.to_vec(), r.aux));
+            at += r.consumed;
+        }
+        assert_eq!(
+            seen,
+            vec![(b"first".to_vec(), 0xAA), (Vec::new(), 0xBB), (b"third-record".to_vec(), 0xCC)]
+        );
+        // every strict prefix of the final record is Torn
+        let tail_start = buf.len() - (12 + 20);
+        for cut in tail_start..buf.len() {
+            assert_eq!(split_record(&buf[..cut], tail_start), Err(RecordError::Torn), "cut {cut}");
+        }
+        // a bit flip mid-buffer (records follow) is Corrupt with offset
+        let mut bad = buf.clone();
+        bad[6] ^= 0x40;
+        assert_eq!(split_record(&bad, 0), Err(RecordError::Corrupt { offset: 0 }));
+        // the same flip in the *final* record reads as a torn tail
+        let mut bad = buf.clone();
+        bad[tail_start + 6] ^= 0x40;
+        assert_eq!(split_record(&bad, tail_start), Err(RecordError::Torn));
+        // a hostile length cannot overflow the bound check
+        let mut hostile = u32::MAX.to_le_bytes().to_vec();
+        hostile.extend_from_slice(&[0u8; 32]);
+        assert_eq!(split_record(&hostile, 0), Err(RecordError::Torn));
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // standard FNV-1a test vectors (64-bit)
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

@@ -227,6 +227,94 @@ fn session_frames_survive_truncation_and_mutation_fuzz() {
 }
 
 #[test]
+fn record_framing_fuzz_classifies_tears_and_damage() {
+    use c1p_matrix::io::{append_record, split_record, RecordError};
+
+    let mut rng = SmallRng::seed_from_u64(0x57EA_D7A1);
+    for _ in 0..60 {
+        // a little log of 1-5 records with seeded payloads and aux words
+        let n = 1 + rng.random_range(0..5usize);
+        let mut log = Vec::new();
+        let mut records = Vec::new();
+        for _ in 0..n {
+            let len = rng.random_range(0..40usize);
+            let payload: Vec<u8> = (0..len).map(|_| rng.random_range(0..=255u32) as u8).collect();
+            let aux = (rng.random_range(0..=u32::MAX) as u64) << 17;
+            let offset = log.len();
+            append_record(&mut log, &payload, aux);
+            records.push((offset, payload, aux));
+        }
+
+        // the clean log round-trips exactly
+        let mut at = 0;
+        for (offset, payload, aux) in &records {
+            assert_eq!(at, *offset);
+            let rec = split_record(&log, at).expect("clean record");
+            assert_eq!(rec.payload, &payload[..]);
+            assert_eq!(rec.aux, *aux);
+            at += rec.consumed;
+        }
+        assert_eq!(at, log.len());
+
+        // every strict truncation of the final record is Torn — the
+        // records before the tear still parse exactly
+        let (last_off, ..) = records[records.len() - 1];
+        for cut in last_off..log.len() {
+            match split_record(&log[..cut], last_off) {
+                Err(RecordError::Torn) => {}
+                other => panic!("cut at {cut} must be Torn, got {other:?}"),
+            }
+        }
+
+        // a bit flip anywhere in a non-final record is Corrupt at that
+        // record's offset (never Torn, never a silent success) when the
+        // flip lands in the framing/checksum coverage
+        if records.len() >= 2 {
+            let (off, ..) = records[rng.random_range(0..records.len() - 1)];
+            let end = off + split_record(&log, off).unwrap().consumed;
+            let mut m = log.clone();
+            let at = off + rng.random_range(0..(end - off));
+            m[at] ^= 1 << rng.random_range(0..8u32);
+            match split_record(&m, off) {
+                Err(RecordError::Corrupt { offset }) => assert_eq!(offset, off),
+                // a flip in the length prefix can also read past the tail
+                Err(RecordError::Torn) => assert!(at < off + 4, "only a length flip may tear"),
+                Ok(_) => panic!("bit flip at {at} parsed as a valid record"),
+            }
+        }
+
+        // a flip in the *final* record is reported as Torn when the
+        // buffer ends with it (truncation-safe), Corrupt only if the
+        // length flip left trailing data
+        let mut m = log.clone();
+        let at = last_off + rng.random_range(0..(log.len() - last_off));
+        m[at] ^= 1 << rng.random_range(0..8u32);
+        match split_record(&m, last_off) {
+            Err(RecordError::Torn) => {}
+            Err(RecordError::Corrupt { offset }) => {
+                assert_eq!(offset, last_off);
+                assert!(at < last_off + 4, "only a length flip can leave trailing data");
+            }
+            Ok(_) => panic!("bit flip at {at} in the final record parsed as valid"),
+        }
+    }
+
+    // hostile length prefixes never allocate or panic: a huge len is Torn
+    for len in [u32::MAX, u32::MAX - 19, 1 << 30] {
+        let mut buf = len.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(split_record(&buf, 0), Err(RecordError::Torn)));
+    }
+    // pure noise buffers return, never panic
+    let mut rng = SmallRng::seed_from_u64(0x0FF);
+    for _ in 0..500 {
+        let len = rng.random_range(0..64usize);
+        let noise: Vec<u8> = (0..len).map(|_| rng.random_range(0..=255u32) as u8).collect();
+        let _ = split_record(&noise, 0);
+    }
+}
+
+#[test]
 fn wire_agrees_with_text_on_seeded_instances() {
     let mut rng = SmallRng::seed_from_u64(0x0123);
     for _ in 0..40 {
