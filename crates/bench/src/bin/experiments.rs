@@ -524,11 +524,82 @@ fn e10() {
     println!("\nwrote BENCH_solve.json");
 }
 
+/// Drives `schedule` through a live in-process server over loopback TCP
+/// and returns closed-loop requests/s. `shards == 0` selects the legacy
+/// thread-per-connection mode; otherwise the event loop with that many
+/// shards. `idle` extra connections are opened first and held silent for
+/// the whole run — the event loop should shrug them off, the legacy mode
+/// pays a thread each.
+fn served_rps(shards: usize, conns: usize, idle: usize, schedule: &[c1p_matrix::Ensemble]) -> f64 {
+    use c1p_engine::proto::{encode_msg, read_frame, write_frame, Msg, DEFAULT_MAX_FRAME};
+    use c1p_engine::EngineConfig;
+    use c1p_net::metrics::Metrics;
+    use c1p_net::ServerOpts;
+    use std::io::{BufReader, BufWriter, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let stop: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+    let opts = ServerOpts { max_conns: conns + idle + 8, ..ServerOpts::default() };
+    let drain = Duration::from_secs(5);
+    let server = if shards == 0 {
+        let metrics = Arc::new(Metrics::new(1));
+        std::thread::spawn(move || {
+            c1p_net::legacy::serve(listener, EngineConfig::default(), &opts, drain, stop, &metrics)
+                .map(|_| ())
+        })
+    } else {
+        let el = c1p_net::event_loop::EventLoopOpts {
+            shards,
+            server: opts,
+            engine_cfg: EngineConfig::default(),
+            drain,
+        };
+        let metrics = Arc::new(Metrics::new(shards));
+        std::thread::spawn(move || {
+            c1p_net::event_loop::serve(listener, &el, stop, &metrics).map(|_| ())
+        })
+    };
+
+    let idle_conns: Vec<TcpStream> =
+        (0..idle).map(|_| TcpStream::connect(addr).expect("idle connect")).collect();
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..conns {
+            let share: Vec<&c1p_matrix::Ensemble> =
+                schedule.iter().skip(c).step_by(conns).collect();
+            scope.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).ok();
+                let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+                let mut reader = BufReader::new(stream);
+                for (i, ens) in share.iter().enumerate() {
+                    let req = Msg::Solve { id: i as u64, ens: (*ens).clone() };
+                    write_frame(&mut writer, &encode_msg(&req)).expect("write");
+                    writer.flush().expect("flush");
+                    read_frame(&mut reader, DEFAULT_MAX_FRAME).expect("read").expect("reply");
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed();
+    drop(idle_conns);
+    stop.store(true, Ordering::Release);
+    server.join().expect("server thread").expect("server exits cleanly");
+    schedule.len() as f64 / wall.as_secs_f64().max(1e-9)
+}
+
 /// E11 — machine-readable serving benchmarks: writes `BENCH_serve.json`
 /// (engine throughput, closed-loop latency percentiles, cache hit rate,
-/// cold-vs-hot speedup at n=2^12, and a self-relative batch-size sweep),
+/// cold-vs-hot speedup at n=2^12, a self-relative batch-size sweep, and
+/// a live shard x connection sweep over loopback TCP — both server
+/// modes, including each under 1000 held-open idle connections),
 /// host_threads-annotated so the numbers stay honest on a 1-core recorder.
-/// See DESIGN.md §8.
+/// See DESIGN.md §8 and §11.
 fn e11() {
     use c1p_bench::workloads::planted;
     use c1p_engine::{Engine, EngineConfig};
@@ -649,6 +720,44 @@ fn e11() {
     }
     println!("self-relative batch-64 gain over batch-1: {gain:.2}x");
 
+    // shard x connection sweep over real loopback TCP, both server
+    // modes: shards=0 encodes the legacy thread-per-connection front-end
+    // (one engine, no shard routing). On a 1-core host the cells are
+    // self-relative — what they isolate is front-end overhead, not
+    // parallel speedup.
+    println!("\nserved sweep (live loopback, {} requests per cell):", schedule.len());
+    let mut served: Vec<(usize, usize, f64)> = Vec::new();
+    for &shards in &[0usize, 1, 2, 4] {
+        for &conns in &[1usize, 4, 16] {
+            let rps = served_rps(shards, conns, 0, &schedule);
+            let mode = if shards == 0 { "legacy".into() } else { format!("el/{shards}") };
+            println!("  {mode:<8} conns={conns:<3} {rps:>8.0} req/s");
+            served.push((shards, conns, rps));
+        }
+    }
+
+    // 1000 idle connections held open for the whole run: the legacy mode
+    // pays a parked thread per connection, the event loop pays one
+    // pollfd slot
+    let idle_legacy = served_rps(0, 4, 1000, &schedule);
+    let idle_el = served_rps(4, 4, 1000, &schedule);
+    println!(
+        "under 1000 idle conns: legacy {idle_legacy:.0} req/s | event-loop/4 {idle_el:.0} req/s"
+    );
+
+    let served_json = served
+        .iter()
+        .map(|&(shards, conns, rps)| {
+            let mode = if shards == 0 { "legacy" } else { "event_loop" };
+            format!(
+                "{{\"mode\": \"{mode}\", \"shards\": {}, \"conns\": {conns}, \
+                 \"rps\": {rps:.1}}}",
+                shards.max(1)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n  ");
+
     let sweep_json =
         sweep.iter().map(|(b, ns)| format!("\"batch{b}\": {ns}")).collect::<Vec<_>>().join(", ");
     let json = format!(
@@ -658,7 +767,8 @@ fn e11() {
          \"note\": \"recorded on a {host_threads}-thread host — throughput and the \
          batch sweep are self-relative, single-host numbers; on a 1-core container \
          cross-request parallel speedup is physically impossible, so gains reflect \
-         dedupe, caching and pool amortization only; see DESIGN.md §8\",\n\
+         dedupe, caching and pool amortization only; the served sweep \
+         isolates front-end overhead, not parallelism; see DESIGN.md §8 and §11\",\n\
          \"host_threads\": {host_threads},\n\
          \"cache\": {{\"cold_ns_at_4096\": {}, \"hot_ns_at_4096\": {}, \
          \"hit_speedup\": {hit_speedup:.1}}},\n\
@@ -667,6 +777,11 @@ fn e11() {
          \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n\
          \"batch_sweep_ns\": {{{sweep_json}}},\n\
          \"batch64_gain_over_batch1\": {gain:.3},\n\
+         \"served_sweep\": {{\"requests\": {}, \"note\": \"live c1pd front-ends over \
+         loopback TCP, closed loop; shards apply to event_loop only\", \"cells\": [\n  \
+         {served_json}\n]}},\n\
+         \"idle_1k\": {{\"idle_conns\": 1000, \"active_conns\": 4, \
+         \"legacy_rps\": {idle_legacy:.1}, \"event_loop4_rps\": {idle_el:.1}}},\n\
          \"session_mix\": {{\"streams\": {}, \"pushes_per_stream\": 6, \
          \"ops\": {session_ops}, \"ops_per_s\": {session_ops_s:.1}, \
          \"wall_ns\": {}, \"workload\": \"append_stream(n in {{64,112,160}}, \
@@ -677,6 +792,7 @@ fn e11() {
         closed_stats.hits,
         closed_stats.misses,
         closed_stats.hit_rate(),
+        schedule.len(),
         streams.len(),
         session_wall.as_nanos(),
     );

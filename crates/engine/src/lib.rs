@@ -303,6 +303,38 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
+    /// Adds `other`'s values into `self`, field by field. A sharded
+    /// front-end answers `GetStats` with the sum over its per-shard
+    /// engines; gauges (`cache_entries`, `cache_bytes`, `open_sessions`)
+    /// sum too — the fleet-wide footprint is what the caller is sizing.
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.requests += other.requests;
+        self.batches += other.batches;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.coalesced += other.coalesced;
+        self.overloaded += other.overloaded;
+        self.batched_small += other.batched_small;
+        self.large_direct += other.large_direct;
+        self.evictions += other.evictions;
+        self.insertions += other.insertions;
+        self.uncacheable += other.uncacheable;
+        self.cache_entries += other.cache_entries;
+        self.cache_bytes += other.cache_bytes;
+        self.sessions_opened += other.sessions_opened;
+        self.sessions_sealed += other.sessions_sealed;
+        self.sessions_evicted += other.sessions_evicted;
+        self.session_pushes += other.session_pushes;
+        self.session_rejects += other.session_rejects;
+        self.open_sessions += other.open_sessions;
+        self.wal_appends += other.wal_appends;
+        self.wal_fsyncs += other.wal_fsyncs;
+        self.recovered_sessions += other.recovered_sessions;
+        self.quarantined_wals += other.quarantined_wals;
+        self.snapshot_writes += other.snapshot_writes;
+        self.warm_start_hits += other.warm_start_hits;
+    }
+
     /// Hit fraction among cache lookups that finished (hits + cold solves).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;

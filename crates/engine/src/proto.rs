@@ -13,6 +13,8 @@
 //!   0x07 PushAtoms      { id u64 LE, session u64 LE, delta ensemble wire bytes }
 //!   0x08 SealSession    { id u64 LE, session u64 LE }
 //!   0x09 SessionVerdict { id u64 LE, session u64 LE, verdict wire bytes }
+//!   0x0A GetMetrics     { }
+//!   0x0B Metrics        { utf-8 text dump }
 //! ```
 //!
 //! Session flow: `OpenSession` answers with a `SessionVerdict` naming the
@@ -50,6 +52,8 @@ const TAG_OPEN_SESSION: u8 = 0x06;
 const TAG_PUSH_ATOMS: u8 = 0x07;
 const TAG_SEAL_SESSION: u8 = 0x08;
 const TAG_SESSION_VERDICT: u8 = 0x09;
+const TAG_GET_METRICS: u8 = 0x0A;
+const TAG_METRICS: u8 = 0x0B;
 
 /// Why a request failed, as sent on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +71,10 @@ pub enum ErrorCode {
     /// The named session does not exist (never opened, sealed, or
     /// idle-evicted).
     NoSession = 5,
+    /// The peer stalled mid-frame past the server's read-timeout budget
+    /// (`c1pd --read-timeout-ms`); the connection is closed after this
+    /// frame. Idle connections *between* frames are never timed out.
+    Timeout = 6,
 }
 
 impl ErrorCode {
@@ -77,6 +85,7 @@ impl ErrorCode {
             3 => Some(ErrorCode::TooLarge),
             4 => Some(ErrorCode::Internal),
             5 => Some(ErrorCode::NoSession),
+            6 => Some(ErrorCode::Timeout),
             _ => None,
         }
     }
@@ -146,6 +155,16 @@ pub enum Msg {
         session: u64,
         /// Verdict for the session's (tentatively extended) ensemble.
         verdict: WireVerdict,
+    },
+    /// Client → server: request the plain-text metrics dump (the same
+    /// counters as `GetStats`, plus the front-end's own series, under
+    /// the stable names documented in DESIGN.md §11).
+    GetMetrics,
+    /// Server → client: the metrics dump, one `name value` line per
+    /// series.
+    Metrics {
+        /// The dump.
+        text: String,
     },
 }
 
@@ -234,6 +253,11 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             out.extend_from_slice(&session.to_le_bytes());
             out.extend_from_slice(&encode_verdict(verdict));
         }
+        Msg::GetMetrics => out.push(TAG_GET_METRICS),
+        Msg::Metrics { text } => {
+            out.push(TAG_METRICS);
+            out.extend_from_slice(text.as_bytes());
+        }
     }
     out
 }
@@ -296,6 +320,16 @@ pub fn decode_msg(payload: &[u8]) -> Result<Msg, ProtoError> {
             let session = u64_at(rest.get(8..).ok_or(ProtoError::Truncated)?)?;
             Ok(Msg::SessionVerdict { id, session, verdict: decode_verdict(&rest[16..])? })
         }
+        TAG_GET_METRICS => {
+            if rest.is_empty() {
+                Ok(Msg::GetMetrics)
+            } else {
+                Err(ProtoError::Trailing(rest.len()))
+            }
+        }
+        TAG_METRICS => Ok(Msg::Metrics {
+            text: String::from_utf8(rest.to_vec()).map_err(|_| ProtoError::BadUtf8)?,
+        }),
         other => Err(ProtoError::BadTag(other)),
     }
 }
@@ -341,16 +375,34 @@ pub fn read_frame(r: &mut impl Read, max_len: usize) -> io::Result<Option<Vec<u8
 /// drains the frame it started (the server answers it), while an idle
 /// connection notices the flag within one timeout tick and closes.
 /// Returns `Ok(None)` both on clean EOF and on a stop at a frame
-/// boundary; mid-frame timeouts just keep reading, so a slow writer is
-/// never cut off mid-request.
+/// boundary.
+///
+/// `stall` is the mid-frame no-progress budget (`c1pd --read-timeout-ms`):
+/// once any byte of a frame has arrived, the peer must keep making
+/// progress — a partial frame that advances by zero bytes for `stall`
+/// errors with [`io::ErrorKind::TimedOut`] (the slow-loris defence).
+/// `None` waits forever, the pre-flag behavior. Idle connections between
+/// frames are never subject to the budget.
 pub fn read_frame_until(
     r: &mut impl Read,
     max_len: usize,
     stop: &std::sync::atomic::AtomicBool,
+    stall: Option<std::time::Duration>,
 ) -> io::Result<Option<Vec<u8>>> {
     use std::sync::atomic::Ordering;
+    use std::time::Instant;
+    let stalled_out = |since: &mut Option<Instant>| match (stall, &since) {
+        (Some(budget), Some(t0)) => t0.elapsed() >= budget,
+        (Some(_), None) => {
+            *since = Some(Instant::now());
+            false
+        }
+        (None, _) => false,
+    };
     let mut len_buf = [0u8; 4];
     let mut got = 0;
+    // armed once the first byte of the frame lands, reset on progress
+    let mut since: Option<Instant> = None;
     while got < 4 {
         if got == 0 && stop.load(Ordering::Acquire) {
             return Ok(None);
@@ -362,11 +414,22 @@ pub fn read_frame_until(
                 }
                 return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated frame length"));
             }
-            Ok(n) => got += n,
+            Ok(n) => {
+                got += n;
+                since = None;
+            }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock
                     || e.kind() == io::ErrorKind::TimedOut
-                    || e.kind() == io::ErrorKind::Interrupted => {}
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                if got > 0 && stalled_out(&mut since) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "stalled mid-frame past the read-timeout budget",
+                    ));
+                }
+            }
             Err(e) => return Err(e),
         }
     }
@@ -379,16 +442,28 @@ pub fn read_frame_until(
     }
     let mut payload = vec![0u8; len];
     let mut at = 0;
+    since = None;
     while at < len {
         match r.read(&mut payload[at..]) {
             Ok(0) => {
                 return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated frame body"))
             }
-            Ok(n) => at += n,
+            Ok(n) => {
+                at += n;
+                since = None;
+            }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock
                     || e.kind() == io::ErrorKind::TimedOut
-                    || e.kind() == io::ErrorKind::Interrupted => {}
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                if stalled_out(&mut since) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "stalled mid-frame past the read-timeout budget",
+                    ));
+                }
+            }
             Err(e) => return Err(e),
         }
     }
@@ -440,6 +515,56 @@ mod tests {
             session: 3,
             verdict: WireVerdict::Accept { order: vec![0, 2, 1] },
         });
+        round_trip(&Msg::Error {
+            id: 13,
+            code: ErrorCode::Timeout,
+            message: "stalled mid-frame".into(),
+        });
+        round_trip(&Msg::GetMetrics);
+        round_trip(&Msg::Metrics { text: "c1pd_cache_hits_total 3\n".into() });
+    }
+
+    #[test]
+    fn get_metrics_polices_trailing_bytes() {
+        assert_eq!(decode_msg(&[TAG_GET_METRICS, 9]), Err(ProtoError::Trailing(1)));
+    }
+
+    #[test]
+    fn read_frame_until_times_out_only_mid_frame() {
+        use std::io::Write;
+        use std::os::unix::net::UnixStream;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        use std::time::{Duration, Instant};
+        let stop = Arc::new(AtomicBool::new(false));
+        let (mut tx, mut rx) = UnixStream::pair().unwrap();
+        rx.set_read_timeout(Some(Duration::from_millis(5))).unwrap();
+        // idle between frames: the 40 ms stall budget never arms; the
+        // connection lives until the stop flag ends it at ~120 ms
+        let t0 = Instant::now();
+        let stopper = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || {
+                std::thread::sleep(Duration::from_millis(120));
+                stop.store(true, Ordering::Release);
+            }
+        });
+        let got = read_frame_until(&mut rx, 1024, &stop, Some(Duration::from_millis(40))).unwrap();
+        stopper.join().unwrap();
+        assert_eq!(got, None, "stop at a frame boundary reads as end-of-stream");
+        assert!(t0.elapsed() >= Duration::from_millis(100), "idle must outlive the stall budget");
+        // a partial frame arms the budget: one prefix byte, then silence
+        stop.store(false, Ordering::Release);
+        tx.write_all(&[4u8]).unwrap();
+        let err = read_frame_until(&mut rx, 1024, &stop, Some(Duration::from_millis(40)))
+            .expect_err("a stalled partial frame must time out");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        // ... and a stalled body does too
+        stop.store(false, Ordering::Release);
+        tx.write_all(&[8, 0, 0, 0, TAG_GET_STATS]).unwrap();
+        let err = read_frame_until(&mut rx, 1024, &stop, Some(Duration::from_millis(40)))
+            .expect_err("a stalled frame body must time out");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
     }
 
     #[test]

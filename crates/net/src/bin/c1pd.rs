@@ -1,0 +1,175 @@
+//! `c1pd` — the std-only TCP front-end of the solve engine.
+//!
+//! ```text
+//! c1pd [--addr 127.0.0.1:9119] [--port-file PATH] [--threads N]
+//!      [--cache-mb MB] [--max-batch N] [--small-cutoff N]
+//!      [--max-queue N] [--max-atoms N] [--max-conns N] [--max-frame-mb MB]
+//!      [--max-sessions N] [--session-idle-ms MS] [--max-session-mb MB]
+//!      [--wal-dir DIR] [--snapshot-ms MS] [--wal-fault-after N]
+//!      [--event-loop] [--shards N] [--read-timeout-ms MS] [--outbox-kb KB]
+//! ```
+//!
+//! Speaks the length-prefixed frame protocol of `c1p_engine::proto`: one
+//! response per request, in order, per connection — `Verdict`/`Error` for
+//! `Solve`, `SessionVerdict`/`Error` for `OpenSession`/`PushAtoms`/
+//! `SealSession`, `Stats` for `GetStats`, and a plain-text metrics dump
+//! for `GetMetrics` (DESIGN.md §11 documents the stable series names).
+//!
+//! Two server modes share that protocol and the flag surface:
+//!
+//! * **default (legacy)** — one blocking thread per connection, one
+//!   engine (`c1p_net::legacy`). Requests from all connections funnel
+//!   into it, so batching, the result cache *and the session table*
+//!   amortize across tenants.
+//! * **`--event-loop`** — one readiness thread multiplexing every socket
+//!   over `poll(2)`, `--shards N` engines each owning a consistent-hash
+//!   slice of canonical keys (`c1p_net::event_loop`). Built for
+//!   thousands of connections; the legacy mode is retained for
+//!   differential testing — both must produce bit-identical verdicts.
+//!
+//! Admission control answers with exact error frames, never a silent
+//! drop: frame size (`TooLarge`, then close), connection count and queue
+//! depth (`Overloaded`), a mid-frame stall past `--read-timeout-ms`
+//! (`Timeout`, then close; 0 disables), and — event loop only — a reader
+//! whose outbox crosses `--outbox-kb` (`Overloaded`, then close). Bind
+//! to port 0 for an ephemeral port; the chosen address is printed on
+//! stdout (`c1pd listening on ...`) and, with `--port-file`, the bare
+//! port is written to the given path for scripts.
+//!
+//! **Durability** (DESIGN.md §10): `--wal-dir DIR` turns on per-session
+//! write-ahead logs (accepted pushes fsynced before acknowledgement),
+//! boot-time recovery of live sessions, lazy resume of idle-evicted
+//! ones, and — with `--snapshot-ms` — periodic cache snapshots for warm
+//! starts. Under `--event-loop --shards N`, shard `i` logs under
+//! `DIR/shard-i`. `--wal-fault-after N` is the crash harness's test
+//! hook: the N-th append dies mid-write. On SIGTERM/SIGINT the server
+//! shuts down gracefully: it stops accepting, drains each connection's
+//! in-flight frame (answering it), writes a final snapshot, and exits 0
+//! — WALs need no extra flush because every append was already fsynced.
+
+use c1p_engine::proto::DEFAULT_MAX_FRAME;
+use c1p_engine::EngineConfig;
+use c1p_net::metrics::Metrics;
+use c1p_net::ServerOpts;
+use std::io::{self, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Set by the signal handler; polled by the accept/event loop and (at
+/// frame boundaries) by every connection.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // std-only signal(2): the handler just flips an AtomicBool, which is
+    // async-signal-safe. SIGINT = 2, SIGTERM = 15.
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::Release);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(2, on_signal);
+        signal(15, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn num_flag(args: &[String], name: &str, default: usize) -> usize {
+    flag(args, name).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| panic!("{name} takes a number, got {v:?}"))
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let defaults = EngineConfig::default();
+    let cfg = EngineConfig {
+        threads: num_flag(&args, "--threads", 0),
+        cache_bytes: num_flag(&args, "--cache-mb", defaults.cache_bytes >> 20) << 20,
+        max_batch: num_flag(&args, "--max-batch", defaults.max_batch),
+        small_cutoff: num_flag(&args, "--small-cutoff", defaults.small_cutoff),
+        max_queue: num_flag(&args, "--max-queue", defaults.max_queue),
+        max_atoms: num_flag(&args, "--max-atoms", defaults.max_atoms),
+        max_sessions: num_flag(&args, "--max-sessions", defaults.max_sessions),
+        session_idle_ms: num_flag(&args, "--session-idle-ms", defaults.session_idle_ms as usize)
+            as u64,
+        max_session_columns: defaults.max_session_columns,
+        max_session_bytes: num_flag(&args, "--max-session-mb", defaults.max_session_bytes >> 20)
+            << 20,
+        wal_dir: flag(&args, "--wal-dir").map(std::path::PathBuf::from),
+        snapshot_interval_ms: num_flag(&args, "--snapshot-ms", 0) as u64,
+        wal_fault_after: num_flag(&args, "--wal-fault-after", 0) as u64,
+    };
+    let read_timeout_ms = num_flag(&args, "--read-timeout-ms", 250);
+    let opts = ServerOpts {
+        max_conns: num_flag(&args, "--max-conns", 64),
+        max_frame: num_flag(&args, "--max-frame-mb", DEFAULT_MAX_FRAME >> 20) << 20,
+        // 0 disables the mid-frame stall reaper (idle between frames is
+        // never reaped in either mode)
+        read_timeout: (read_timeout_ms > 0).then(|| Duration::from_millis(read_timeout_ms as u64)),
+        outbox_limit: num_flag(&args, "--outbox-kb", 8 << 10) << 10,
+    };
+    let shards = num_flag(&args, "--shards", 1).max(1);
+    let event_loop = args.iter().any(|a| a == "--event-loop");
+    let addr = flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:9119".to_string());
+    let drain = Duration::from_secs(30);
+
+    install_signal_handlers();
+    let listener =
+        TcpListener::bind(&addr).unwrap_or_else(|e| panic!("c1pd: cannot bind {addr}: {e}"));
+    let local = listener.local_addr().expect("bound socket has an address");
+    println!("c1pd listening on {local}");
+    io::stdout().flush().ok();
+    if let Some(path) = flag(&args, "--port-file") {
+        std::fs::write(&path, format!("{}\n", local.port()))
+            .unwrap_or_else(|e| panic!("c1pd: cannot write {path}: {e}"));
+    }
+
+    if event_loop {
+        run_event_loop(listener, cfg, opts, shards, drain);
+    } else {
+        if shards > 1 {
+            eprintln!("c1pd: --shards applies to --event-loop mode; the legacy server is 1 shard");
+        }
+        let metrics = Arc::new(Metrics::new(1));
+        c1p_net::legacy::serve(listener, cfg, &opts, drain, &SHUTDOWN, &metrics)
+            .unwrap_or_else(|e| panic!("c1pd: serve failed: {e}"));
+    }
+    eprintln!("c1pd: shutdown complete");
+}
+
+#[cfg(unix)]
+fn run_event_loop(
+    listener: TcpListener,
+    cfg: EngineConfig,
+    opts: ServerOpts,
+    shards: usize,
+    drain: Duration,
+) {
+    let el = c1p_net::event_loop::EventLoopOpts { shards, server: opts, engine_cfg: cfg, drain };
+    let metrics = Arc::new(Metrics::new(shards));
+    c1p_net::event_loop::serve(listener, &el, &SHUTDOWN, &metrics)
+        .unwrap_or_else(|e| panic!("c1pd: event loop failed: {e}"));
+}
+
+#[cfg(not(unix))]
+fn run_event_loop(
+    _listener: TcpListener,
+    _cfg: EngineConfig,
+    _opts: ServerOpts,
+    _shards: usize,
+    _drain: Duration,
+) {
+    eprintln!("c1pd: --event-loop needs poll(2); use the default thread-per-connection mode");
+    std::process::exit(2);
+}

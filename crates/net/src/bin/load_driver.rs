@@ -5,6 +5,8 @@
 //! load_driver --addr 127.0.0.1:PORT [--requests 500] [--conns 4]
 //!             [--seed 1] [--dup-every 3] [--reject-every 4]
 //!             [--n-lo 48] [--n-hi 160] [--expect-hits]
+//!             [--open-loop] [--idle-conns K] [--expect-metrics]
+//! load_driver --addr 127.0.0.1:PORT --dump-metrics
 //! load_driver --addr 127.0.0.1:PORT --mode sessions
 //!             [--streams 8] [--pushes 6] [--blocks 4] [--conns 4]
 //!             [--seed 1] [--reject-every 3] [--n-lo 64] [--n-hi 192]
@@ -20,7 +22,20 @@
 //! experiment E11 and the `engine_batch` example use), with every
 //! `--dup-every`-th request replaying an earlier instance so the server's
 //! cache has something to hit. `--conns` closed-loop connections
-//! round-robin the schedule.
+//! round-robin the schedule. `--open-loop` switches each connection to
+//! pipelining: a writer thread streams its whole share of the schedule
+//! without waiting while the reader verifies responses in order — the
+//! protocol's in-order guarantee is what makes the pairing sound — so
+//! the server's admission and batching face real concurrent depth
+//! (latency percentiles are not reported in this mode; throughput is).
+//! `--idle-conns K` parks K extra connections that send nothing for the
+//! whole run, the event-loop scalability case a thread-per-connection
+//! server pays a blocked thread for. `--expect-metrics` fetches the
+//! plain-text `GetMetrics` dump afterwards and fails unless every
+//! stable series name is present and the load-exercised counters are
+//! nonzero. `--dump-metrics` skips the load entirely: it prints the
+//! live server's text dump to stdout and exits — the scrape path for
+//! shells and dashboards.
 //!
 //! **Session mode** replays deterministic append streams
 //! (`c1p_matrix::generate::append_stream{,_reject}`) through the
@@ -90,6 +105,19 @@ fn main() {
         _ => {}
     }
     let addr = flag(&args, "--addr").expect("--addr HOST:PORT is required");
+    if args.iter().any(|a| a == "--dump-metrics") {
+        // scrape-and-print: fetch one GetMetrics frame and exit
+        match fetch_metrics(&addr) {
+            Some(dump) => {
+                print!("{dump}");
+                return;
+            }
+            None => {
+                eprintln!("FAIL: could not fetch the GetMetrics dump");
+                std::process::exit(1);
+            }
+        }
+    }
     let requests = num_flag(&args, "--requests", 500) as usize;
     let conns = (num_flag(&args, "--conns", 4) as usize).max(1);
     let seed = num_flag(&args, "--seed", 1);
@@ -98,6 +126,9 @@ fn main() {
     let n_lo = num_flag(&args, "--n-lo", 48) as usize;
     let n_hi = num_flag(&args, "--n-hi", 160) as usize;
     let expect_hits = args.iter().any(|a| a == "--expect-hits");
+    let expect_metrics = args.iter().any(|a| a == "--expect-metrics");
+    let open_loop = args.iter().any(|a| a == "--open-loop");
+    let idle_conns = num_flag(&args, "--idle-conns", 0) as usize;
 
     // deterministic schedule (shared definition: c1p_matrix::generate) +
     // in-process expected verdicts
@@ -105,13 +136,27 @@ fn main() {
         mixed_schedule(MixedSchedule { requests, seed, dup_every, reject_every, n_lo, n_hi });
     let expected: Vec<bool> = schedule.iter().map(|e| c1p_core::solve(e).is_ok()).collect();
     println!(
-        "load_driver: {} requests ({} accept / {} reject expected), {} connection(s), seed {}",
+        "load_driver: {} requests ({} accept / {} reject expected), {} connection(s){}{}, seed {}",
         requests,
         expected.iter().filter(|&&b| b).count(),
         expected.iter().filter(|&&b| !b).count(),
         conns,
+        if open_loop { " open-loop" } else { "" },
+        if idle_conns > 0 { format!(" + {idle_conns} idle") } else { String::new() },
         seed,
     );
+
+    // idle connections: opened first, held for the whole run, never
+    // written to — an event loop carries them for the cost of a pollfd,
+    // a thread-per-connection server for a blocked thread each
+    let idle: Vec<TcpStream> = (0..idle_conns)
+        .map(|i| {
+            let s = TcpStream::connect(&addr)
+                .unwrap_or_else(|e| panic!("load_driver: idle connection {i}: {e}"));
+            s.set_nodelay(true).ok();
+            s
+        })
+        .collect();
 
     let tally = Arc::new(Tally::default());
     let schedule = Arc::new(schedule);
@@ -122,7 +167,11 @@ fn main() {
         let (schedule, expected, tally, addr) =
             (Arc::clone(&schedule), Arc::clone(&expected), Arc::clone(&tally), addr.clone());
         handles.push(std::thread::spawn(move || {
-            drive_connection(c, conns, &addr, &schedule, &expected, &tally)
+            if open_loop {
+                drive_connection_open_loop(c, conns, &addr, &schedule, &expected, &tally)
+            } else {
+                drive_connection(c, conns, &addr, &schedule, &expected, &tally)
+            }
         }));
     }
     let mut latencies_us: Vec<u64> = Vec::with_capacity(requests);
@@ -146,15 +195,26 @@ fn main() {
         let ix = ((latencies_us.len() - 1) as f64 * p).round() as usize;
         latencies_us[ix]
     };
-    println!(
-        "completed {completed}/{requests} in {:.2}s ({:.0} req/s) | \
-         latency p50 {}us p90 {}us p99 {}us",
-        wall.as_secs_f64(),
-        completed as f64 / wall.as_secs_f64().max(1e-9),
-        pct(0.50),
-        pct(0.90),
-        pct(0.99),
-    );
+    if open_loop {
+        // pipelined sends make per-request round-trips meaningless;
+        // throughput is the number that matters here
+        println!(
+            "completed {completed}/{requests} in {:.2}s ({:.0} req/s, open loop)",
+            wall.as_secs_f64(),
+            completed as f64 / wall.as_secs_f64().max(1e-9),
+        );
+    } else {
+        println!(
+            "completed {completed}/{requests} in {:.2}s ({:.0} req/s) | \
+             latency p50 {}us p90 {}us p99 {}us",
+            wall.as_secs_f64(),
+            completed as f64 / wall.as_secs_f64().max(1e-9),
+            pct(0.50),
+            pct(0.90),
+            pct(0.99),
+        );
+    }
+    drop(idle);
     println!(
         "protocol errors {protocol_errors} | verify failures {verify_failures} | \
          disagreements {disagreements} | server cache hits {hits}"
@@ -178,10 +238,133 @@ fn main() {
         eprintln!("FAIL: expected a nonzero server cache hit count, got {hits}");
         failed = true;
     }
+    if expect_metrics && !check_metrics(&addr, expect_hits) {
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
     println!("load_driver: all checks passed");
+}
+
+/// The `--expect-metrics` gate: fetches the plain-text dump and checks
+/// (a) every stable series name renders — the name set is the contract —
+/// and (b) the counters this load necessarily exercised are nonzero.
+fn check_metrics(addr: &str, expect_hits: bool) -> bool {
+    let Some(dump) = fetch_metrics(addr) else {
+        eprintln!("FAIL: could not fetch the GetMetrics dump");
+        return false;
+    };
+    let mut ok = true;
+    for name in c1p_net::metrics::STABLE_NAMES {
+        if !dump.lines().any(|l| l.starts_with(name)) {
+            eprintln!("FAIL: stable metric {name} missing from the dump");
+            ok = false;
+        }
+    }
+    let mut exercised = vec![
+        "c1pd_requests_total",
+        "c1pd_connections_accepted_total",
+        "c1pd_frames_read_total",
+        "c1pd_frames_written_total",
+        "c1pd_bytes_read_total",
+        "c1pd_bytes_written_total",
+        "c1pd_frame_latency_us_count",
+        "c1pd_shard_jobs_total{shard=\"0\"}",
+    ];
+    if expect_hits {
+        exercised.push("c1pd_cache_hits_total");
+    }
+    for series in exercised {
+        match c1p_net::metrics::scrape(&dump, series) {
+            Some(v) if v > 0 => {}
+            got => {
+                eprintln!("FAIL: metric {series} should be nonzero after this load, got {got:?}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        println!("metrics: all {} stable series present and exercised", dump.lines().count());
+    }
+    ok
+}
+
+/// Fetches the plain-text metrics dump over a fresh connection.
+fn fetch_metrics(addr: &str) -> Option<String> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut writer = BufWriter::new(stream);
+    write_frame(&mut writer, &encode_msg(&Msg::GetMetrics)).ok()?;
+    writer.flush().ok()?;
+    let payload = read_frame(&mut reader, DEFAULT_MAX_FRAME).ok()??;
+    match decode_msg(&payload) {
+        Ok(Msg::Metrics { text }) => Some(text),
+        _ => None,
+    }
+}
+
+/// One open-loop connection: a writer thread pipelines the connection's
+/// whole round-robin share without waiting for responses; this thread
+/// reads them back and verifies each against its request — the
+/// protocol's per-connection in-order guarantee makes the pairing exact.
+/// Returns no latencies (round-trips are meaningless when requests
+/// queue behind each other in the socket).
+fn drive_connection_open_loop(
+    conn_ix: usize,
+    conns: usize,
+    addr: &str,
+    schedule: &[Ensemble],
+    expected: &[bool],
+    tally: &Tally,
+) -> Vec<u64> {
+    let stream = TcpStream::connect(addr)
+        .unwrap_or_else(|e| panic!("load_driver: cannot connect {addr}: {e}"));
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let share: Vec<usize> = (conn_ix..schedule.len()).step_by(conns).collect();
+
+    // pre-encode the whole share into one buffer so the writer thread
+    // owns plain bytes (no borrow of the schedule crosses the spawn) and
+    // the socket sees back-to-back frames with no encode gaps between
+    let mut burst = Vec::new();
+    for &i in &share {
+        let req = Msg::Solve { id: i as u64, ens: schedule[i].clone() };
+        write_frame(&mut burst, &encode_msg(&req)).expect("Vec write cannot fail");
+    }
+    let writer_stream = reader.get_ref().try_clone().expect("clone stream");
+    let writer = std::thread::spawn(move || {
+        let mut w = BufWriter::new(writer_stream);
+        w.write_all(&burst).and_then(|()| w.flush()).is_ok()
+    });
+
+    for &i in &share {
+        let payload = match read_frame(&mut reader, DEFAULT_MAX_FRAME) {
+            Ok(Some(p)) => p,
+            _ => {
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        };
+        match decode_msg(&payload) {
+            Ok(Msg::Verdict { id, verdict }) if id == i as u64 => {
+                check_verdict(&schedule[i], expected[i], &verdict, tally);
+                tally.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Msg::Error { id, code, message }) => {
+                eprintln!("server error for request {id}: {code:?}: {message}");
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            other => {
+                eprintln!("unexpected response for request {i}: {other:?}");
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    if !writer.join().expect("writer thread panicked") {
+        tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    Vec::new()
 }
 
 /// One closed-loop connection: sends its round-robin share of the

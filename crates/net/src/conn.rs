@@ -1,0 +1,322 @@
+//! Per-connection byte plumbing for the event loop: frame reassembly
+//! across wakeups, and a bounded outbox with explicit back-pressure.
+//!
+//! A nonblocking socket delivers a frame in as many pieces as the peer
+//! and the kernel feel like — a single byte of the length prefix per
+//! wakeup is legal. [`FrameReader`] accumulates bytes and yields only
+//! complete frames; it also remembers *when* the current partial frame
+//! last advanced, which is exactly the state the slow-loris reaper needs
+//! (`--read-timeout-ms` bites only mid-frame; idle between frames is
+//! free).
+//!
+//! [`Outbox`] is the write half: responses are queued as whole frames,
+//! flushed as far as the kernel allows on each writable wakeup, and
+//! capped — a reader that stops draining its socket cannot pin server
+//! memory. Crossing the cap is the caller's signal to disconnect the
+//! slow reader (with an exact error frame, not a silent drop).
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::time::Instant;
+
+/// What one readable wakeup produced.
+#[derive(Debug, Default)]
+pub struct Pull {
+    /// Complete frame payloads, in arrival order (length prefix removed).
+    pub frames: Vec<Vec<u8>>,
+    /// The peer closed its write half (frames already pulled are valid).
+    pub eof: bool,
+    /// Raw bytes read off the socket by this pull.
+    pub bytes: u64,
+}
+
+/// Reassembly failure: the declared frame length exceeds the cap. The
+/// stream position is unrecoverable, so the connection must close after
+/// one exact `TooLarge` error frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Oversize {
+    /// The declared length.
+    pub len: usize,
+    /// The cap it exceeded.
+    pub cap: usize,
+}
+
+/// Accumulates socket bytes and yields complete length-prefixed frames.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    max_frame: usize,
+    /// When the current partial frame last advanced (`None` = at a frame
+    /// boundary, nothing buffered).
+    progress: Option<Instant>,
+}
+
+impl FrameReader {
+    /// A reader enforcing `max_frame` on every declared length.
+    pub fn new(max_frame: usize) -> FrameReader {
+        FrameReader { buf: Vec::new(), max_frame, progress: None }
+    }
+
+    /// Is a partial frame buffered (prefix or body)? This is the state
+    /// the read-timeout reaper keys on.
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// When the buffered partial frame last grew; `None` at a boundary.
+    pub fn stalled_since(&self) -> Option<Instant> {
+        self.progress
+    }
+
+    /// Drains everything currently readable from `stream` (until
+    /// `WouldBlock`), returning complete frames and whether EOF was hit.
+    pub fn pull(&mut self, stream: &mut impl Read) -> Result<Pull, PullError> {
+        let mut out = Pull::default();
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    out.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    out.bytes += n as u64;
+                    self.progress = Some(Instant::now());
+                    self.drain_complete(&mut out)?;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(PullError::Io(e)),
+            }
+        }
+        if !self.mid_frame() {
+            self.progress = None;
+        }
+        Ok(out)
+    }
+
+    /// Bytes read but not yet part of a yielded frame (test hook).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn drain_complete(&mut self, out: &mut Pull) -> Result<(), PullError> {
+        let mut at = 0usize;
+        while self.buf.len() - at >= 4 {
+            let len =
+                u32::from_le_bytes(self.buf[at..at + 4].try_into().expect("4 bytes")) as usize;
+            if len > self.max_frame {
+                return Err(PullError::Oversize(Oversize { len, cap: self.max_frame }));
+            }
+            if self.buf.len() - at - 4 < len {
+                break;
+            }
+            out.frames.push(self.buf[at + 4..at + 4 + len].to_vec());
+            at += 4 + len;
+        }
+        if at > 0 {
+            self.buf.drain(..at);
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`FrameReader::pull`] failed.
+#[derive(Debug)]
+pub enum PullError {
+    /// The socket errored.
+    Io(io::Error),
+    /// The peer declared an over-cap frame.
+    Oversize(Oversize),
+}
+
+/// A bounded queue of response bytes awaiting a writable socket.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    buf: VecDeque<u8>,
+    /// Cumulative bytes handed to the kernel.
+    written: u64,
+    /// Cumulative end offsets of queued frames (against `written`), so
+    /// the flusher can count *fully written* frames, not queued ones.
+    ends: VecDeque<u64>,
+}
+
+impl Outbox {
+    /// Bytes queued and not yet written.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Nothing left to write?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Queues one already-encoded frame (length prefix + payload).
+    pub fn push_frame(&mut self, frame: &[u8]) {
+        self.buf.extend(frame);
+        self.ends.push_back(self.written + self.buf.len() as u64);
+    }
+
+    /// Writes as much as the kernel will take. Returns
+    /// `(bytes_written, frames_completed)`; an empty outbox afterwards
+    /// means write interest can be dropped.
+    pub fn flush(&mut self, stream: &mut impl Write) -> io::Result<(u64, u64)> {
+        let mut bytes = 0u64;
+        while !self.buf.is_empty() {
+            let (head, _) = self.buf.as_slices();
+            match stream.write(head) {
+                Ok(0) => {
+                    return Err(io::Error::new(io::ErrorKind::WriteZero, "socket refused bytes"))
+                }
+                Ok(n) => {
+                    self.buf.drain(..n);
+                    bytes += n as u64;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.written += bytes;
+        let mut frames = 0u64;
+        while self.ends.front().is_some_and(|&end| end <= self.written) {
+            self.ends.pop_front();
+            frames += 1;
+        }
+        Ok((bytes, frames))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c1p_engine::proto::write_frame;
+
+    /// An in-memory "socket": reads drain a script of chunks, then
+    /// report WouldBlock (like a nonblocking socket with nothing left).
+    struct Chunked {
+        chunks: VecDeque<Vec<u8>>,
+        eof_at_end: bool,
+    }
+
+    impl Read for Chunked {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.chunks.pop_front() {
+                Some(c) => {
+                    assert!(buf.len() >= c.len(), "test chunks fit the read buffer");
+                    buf[..c.len()].copy_from_slice(&c);
+                    Ok(c.len())
+                }
+                None if self.eof_at_end => Ok(0),
+                None => Err(io::Error::new(io::ErrorKind::WouldBlock, "drained")),
+            }
+        }
+    }
+
+    fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+        let mut f = Vec::new();
+        write_frame(&mut f, payload).unwrap();
+        f
+    }
+
+    #[test]
+    fn reassembles_one_byte_at_a_time_across_pulls() {
+        let mut wire = frame_bytes(b"hello");
+        wire.extend(frame_bytes(b"")); // empty payload frame rides along
+        let mut reader = FrameReader::new(1024);
+        let mut got = Vec::new();
+        for b in wire {
+            // each byte arrives on its own wakeup
+            let mut s = Chunked { chunks: VecDeque::from([vec![b]]), eof_at_end: false };
+            let pull = reader.pull(&mut s).unwrap();
+            got.extend(pull.frames);
+            assert!(!pull.eof);
+        }
+        assert_eq!(got, vec![b"hello".to_vec(), Vec::new()]);
+        assert!(!reader.mid_frame());
+        assert!(reader.stalled_since().is_none(), "boundary resets the stall clock");
+    }
+
+    #[test]
+    fn yields_multiple_frames_from_one_pull_and_keeps_the_tail() {
+        let mut wire = frame_bytes(b"a");
+        wire.extend(frame_bytes(b"bb"));
+        wire.extend(&frame_bytes(b"ccc")[..3]); // truncated mid-prefix
+        let mut s = Chunked { chunks: VecDeque::from([wire]), eof_at_end: false };
+        let mut reader = FrameReader::new(1024);
+        let pull = reader.pull(&mut s).unwrap();
+        assert_eq!(pull.frames, vec![b"a".to_vec(), b"bb".to_vec()]);
+        assert!(reader.mid_frame(), "3 bytes of the next length prefix are buffered");
+        assert_eq!(reader.buffered(), 3);
+        assert!(reader.stalled_since().is_some(), "partial frame arms the stall clock");
+    }
+
+    #[test]
+    fn oversize_declared_length_is_rejected_at_the_prefix() {
+        let mut wire = Vec::new();
+        wire.extend((4096u32).to_le_bytes());
+        let mut s = Chunked { chunks: VecDeque::from([wire]), eof_at_end: false };
+        let mut reader = FrameReader::new(64);
+        match reader.pull(&mut s) {
+            Err(PullError::Oversize(o)) => assert_eq!(o, Oversize { len: 4096, cap: 64 }),
+            other => panic!("expected Oversize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_after_complete_frames_is_reported_with_them() {
+        let mut s = Chunked { chunks: VecDeque::from([frame_bytes(b"last")]), eof_at_end: true };
+        let mut reader = FrameReader::new(1024);
+        let pull = reader.pull(&mut s).unwrap();
+        assert_eq!(pull.frames, vec![b"last".to_vec()]);
+        assert!(pull.eof);
+    }
+
+    /// A writer that accepts `cap` bytes per call, then WouldBlocks.
+    struct Throttled {
+        taken: Vec<u8>,
+        budget: usize,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.budget == 0 {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            let n = buf.len().min(self.budget);
+            self.taken.extend_from_slice(&buf[..n]);
+            self.budget -= n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn outbox_flushes_incrementally_and_counts_completed_frames() {
+        let mut ob = Outbox::default();
+        let f1 = frame_bytes(b"first");
+        let f2 = frame_bytes(b"second");
+        ob.push_frame(&f1);
+        ob.push_frame(&f2);
+        let total = (f1.len() + f2.len()) as u64;
+        // first flush covers f1 and a sliver of f2
+        let mut w = Throttled { taken: Vec::new(), budget: f1.len() + 2 };
+        let (bytes, frames) = ob.flush(&mut w).unwrap();
+        assert_eq!((bytes, frames), ((f1.len() + 2) as u64, 1));
+        assert!(!ob.is_empty());
+        // second flush finishes f2
+        let mut w2 = Throttled { taken: Vec::new(), budget: 1024 };
+        let (bytes2, frames2) = ob.flush(&mut w2).unwrap();
+        assert_eq!((bytes + bytes2, frames + frames2), (total, 2));
+        assert!(ob.is_empty());
+        let mut wire = w.taken;
+        wire.extend(w2.taken);
+        let mut expect = f1;
+        expect.extend(f2);
+        assert_eq!(wire, expect, "bytes leave in order, frame boundaries irrelevant");
+    }
+}

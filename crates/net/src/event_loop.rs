@@ -1,0 +1,701 @@
+//! The event-driven sharded server: one readiness thread multiplexing
+//! every socket over `poll(2)`, N shard workers each owning an engine.
+//!
+//! ```text
+//!            poll(2)                       mpsc per shard
+//!  sockets ──────────► event-loop thread ─────────────────► shard worker 0..N
+//!     ▲                    │    ▲                                │
+//!     │   outbox flush     │    │  completions + wake pipe       │ Engine
+//!     └────────────────────┘    └────────────────────────────────┘
+//! ```
+//!
+//! **Sharding.** Each worker owns an [`Engine`] whose LRU covers a
+//! consistent-hash slice of canonical keys: solves route by
+//! [`route_hash`]/[`pick_shard`] (invariant under column permutation —
+//! the same quotient the cache key takes), so one instance always lands
+//! on the same shard and shards never contend on a cache lock. Sessions
+//! pin to the shard that opened them; the public handle encodes the
+//! shard (`public = local·shards + shard`, locals start at 1, so public
+//! handles are collision-free and `handle % shards` recovers the owner).
+//! With `--wal-dir`, shard `i` logs under `<dir>/shard-i`.
+//!
+//! **Ordering.** The protocol promises one response per request, in
+//! request order, per connection. Shards complete out of order, so every
+//! accepted frame gets a per-connection sequence number and replies are
+//! released strictly in sequence; early completions park in a BTreeMap.
+//!
+//! **Back-pressure.** Responses queue in a bounded per-connection
+//! [`Outbox`]; write interest is registered only while it is nonempty. A
+//! reader that lets the outbox cross `--outbox-kb` is disconnected with
+//! one best-effort `Overloaded` ("slow reader") frame. A peer that
+//! stalls mid-frame past `--read-timeout-ms` gets an exact `Timeout`
+//! error frame, then the connection closes; idle connections *between*
+//! frames cost one pollfd and nothing else. Admission mirrors the legacy
+//! mode: over `max_conns` connections are refused with `Overloaded`,
+//! frames over the byte cap answer `TooLarge` and close, and solves
+//! beyond the engine queue depth answer `Overloaded` without ever
+//! reaching a shard.
+//!
+//! **Shutdown.** When `stop` flips: stop accepting, let mid-frame
+//! connections finish the frame they started, answer everything already
+//! dispatched, flush outboxes, then `flush_durability` on every shard —
+//! all bounded by `drain`.
+
+use crate::conn::{FrameReader, Outbox, PullError};
+use crate::metrics::Metrics;
+use crate::poll::{poll_fds, PollFd, POLLIN, POLLOUT};
+use crate::{engine_error, open_reply, pick_shard, route_hash, session_reply, ServerOpts};
+use c1p_engine::proto::{decode_msg, encode_msg, ErrorCode, Msg};
+use c1p_engine::{Engine, EngineConfig, EngineError};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Event-loop server configuration.
+#[derive(Debug, Clone)]
+pub struct EventLoopOpts {
+    /// Shard (engine) count; each shard is one worker thread + engine.
+    pub shards: usize,
+    /// The shared flag surface (connection cap, frame cap, timeouts).
+    pub server: ServerOpts,
+    /// Per-shard engine configuration. `wal_dir` is treated as the base
+    /// directory: shard `i` logs under `<wal_dir>/shard-i`.
+    pub engine_cfg: EngineConfig,
+    /// Graceful-shutdown budget: drain connections, then flush.
+    pub drain: Duration,
+}
+
+impl Default for EventLoopOpts {
+    fn default() -> EventLoopOpts {
+        EventLoopOpts {
+            shards: 1,
+            server: ServerOpts::default(),
+            engine_cfg: EngineConfig::default(),
+            drain: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One unit of work for a shard worker.
+enum Job {
+    Solve { conn: u64, seq: u64, t0: Instant, id: u64, ens: c1p_matrix::Ensemble },
+    Open { conn: u64, seq: u64, t0: Instant, id: u64, n_atoms: u64 },
+    Session { conn: u64, seq: u64, t0: Instant, msg: Msg, local: u64, public: u64 },
+}
+
+/// A finished job on its way back to the event loop.
+struct Completion {
+    conn: u64,
+    seq: u64,
+    t0: Instant,
+    shard: usize,
+    reply: Msg,
+}
+
+/// Per-connection event-loop state.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    outbox: Outbox,
+    /// Next sequence number to assign to an accepted frame.
+    next_seq: u64,
+    /// Sequence whose reply is released next.
+    next_send: u64,
+    /// Replies completed ahead of `next_send`.
+    parked: BTreeMap<u64, Msg>,
+    /// Frames dispatched to shards and not yet completed.
+    inflight: usize,
+    /// No more reads: EOF, poisoned stream, or a policy close.
+    read_closed: bool,
+    /// Close once the outbox, parked map and inflight count drain.
+    closing: bool,
+    /// Immediate close: write this best-effort farewell frame (possibly
+    /// empty) directly and drop the connection without waiting for the
+    /// outbox — the slow-reader and poisoned-stream path.
+    kill: Option<Vec<u8>>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, max_frame: usize) -> Conn {
+        Conn {
+            stream,
+            reader: FrameReader::new(max_frame),
+            outbox: Outbox::default(),
+            next_seq: 0,
+            next_send: 0,
+            parked: BTreeMap::new(),
+            inflight: 0,
+            read_closed: false,
+            closing: false,
+            kill: None,
+        }
+    }
+
+    fn idle(&self) -> bool {
+        self.inflight == 0 && self.parked.is_empty() && self.outbox.is_empty()
+    }
+}
+
+/// Runs the event-loop server on `listener` until `stop` flips. Returns
+/// the per-shard engines (stats drained, durability flushed) so callers
+/// — tests, benches — can inspect them.
+///
+/// The listener must already be nonblocking. `metrics` is shared so the
+/// caller can watch the registry live; pass a fresh one otherwise.
+pub fn serve(
+    listener: TcpListener,
+    opts: &EventLoopOpts,
+    stop: &AtomicBool,
+    metrics: &Arc<Metrics>,
+) -> io::Result<Vec<Arc<Engine>>> {
+    assert!(opts.shards >= 1, "at least one shard");
+    assert_eq!(metrics.shards.len(), opts.shards, "metrics registry sized for the shard count");
+    listener.set_nonblocking(true)?;
+    let engines: Vec<Arc<Engine>> = (0..opts.shards)
+        .map(|i| {
+            let mut cfg = opts.engine_cfg.clone();
+            cfg.wal_dir = opts.engine_cfg.wal_dir.as_ref().map(|d| d.join(format!("shard-{i}")));
+            Arc::new(Engine::new(cfg))
+        })
+        .collect();
+    let completions: Mutex<Vec<Completion>> = Mutex::new(Vec::new());
+    let (wake_tx, wake_rx) = UnixStream::pair()?;
+    wake_rx.set_nonblocking(true)?;
+    wake_tx.set_nonblocking(true)?;
+
+    let mut senders: Vec<mpsc::Sender<Job>> = Vec::new();
+    let mut receivers: Vec<mpsc::Receiver<Job>> = Vec::new();
+    for _ in 0..opts.shards {
+        let (tx, rx) = mpsc::channel();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let max_batch = opts.engine_cfg.max_batch.max(1);
+    // clone the wake pipe up front so every worker is guaranteed to spawn
+    // (a failure mid-spawn would leave senders alive and the scope stuck)
+    let wakes: Vec<UnixStream> =
+        (0..opts.shards).map(|_| wake_tx.try_clone()).collect::<io::Result<_>>()?;
+    std::thread::scope(|scope| {
+        for ((shard, rx), wake) in receivers.into_iter().enumerate().zip(wakes) {
+            let engine = Arc::clone(&engines[shard]);
+            let completions = &completions;
+            let shards = opts.shards;
+            scope.spawn(move || {
+                shard_worker(shard, shards, rx, engine, completions, wake, max_batch)
+            });
+        }
+        // dropping the senders (done inside event_loop when it returns)
+        // ends the workers; the scope joins them before we flush below
+        event_loop(&listener, opts, stop, metrics, &engines, senders, wake_rx, &completions)
+    })?;
+    for e in &engines {
+        e.flush_durability();
+    }
+    Ok(engines)
+}
+
+/// A shard worker: drain the queue in batches, funnel solves through
+/// `solve_batch` so the engine's batching/coalescing still amortizes,
+/// run open/push/seal in arrival order, post completions, ring the wake
+/// pipe.
+fn shard_worker(
+    shard: usize,
+    shards: usize,
+    rx: mpsc::Receiver<Job>,
+    engine: Arc<Engine>,
+    completions: &Mutex<Vec<Completion>>,
+    wake: UnixStream,
+    max_batch: usize,
+) {
+    loop {
+        let first = match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        let solves: Vec<c1p_matrix::Ensemble> = batch
+            .iter()
+            .filter_map(|j| match j {
+                Job::Solve { ens, .. } => Some(ens.clone()),
+                _ => None,
+            })
+            .collect();
+        let mut verdicts =
+            if solves.is_empty() { Vec::new() } else { engine.solve_batch(&solves) }.into_iter();
+        let mut done: Vec<Completion> = Vec::with_capacity(batch.len());
+        for job in batch {
+            let completion = match job {
+                Job::Solve { conn, seq, t0, id, .. } => {
+                    let reply = match verdicts.next().expect("one verdict per solve") {
+                        Ok(verdict) => Msg::Verdict { id, verdict: verdict.to_wire() },
+                        Err(e) => engine_error(id, e),
+                    };
+                    Completion { conn, seq, t0, shard, reply }
+                }
+                Job::Open { conn, seq, t0, id, n_atoms } => {
+                    let reply = match engine.open_session(n_atoms as usize) {
+                        // locals start at 1, so publics are nonzero and
+                        // collision-free across shards
+                        Ok(local) => open_reply(id, local * shards as u64 + shard as u64),
+                        Err(e) => engine_error(id, e),
+                    };
+                    Completion { conn, seq, t0, shard, reply }
+                }
+                Job::Session { conn, seq, t0, msg, local, public } => {
+                    let reply = session_reply(&engine, &msg, local, public);
+                    Completion { conn, seq, t0, shard, reply }
+                }
+            };
+            done.push(completion);
+        }
+        completions.lock().expect("completion lock").append(&mut done);
+        let _ = (&wake).write(&[1u8]);
+    }
+}
+
+/// Encodes one message as a ready-to-write frame.
+fn frame_of(msg: &Msg) -> Vec<u8> {
+    let payload = encode_msg(msg);
+    let mut frame = Vec::with_capacity(payload.len() + 4);
+    c1p_engine::proto::write_frame(&mut frame, &payload).expect("vec write cannot fail");
+    frame
+}
+
+/// Best-effort `Overloaded` frame to a refused connection (the accepted
+/// socket is still blocking — the write is tiny and mirrors legacy).
+fn refuse(stream: TcpStream) {
+    let mut w = io::BufWriter::new(stream);
+    let msg = Msg::Error {
+        id: 0,
+        code: ErrorCode::Overloaded,
+        message: "connection limit reached".into(),
+    };
+    let _ = w.write_all(&frame_of(&msg));
+    let _ = w.flush();
+}
+
+/// Queues `reply` for `seq`, releasing every reply that is now in order,
+/// and applies the outbox cap (the slow-reader disconnect).
+fn deliver(
+    conn: &mut Conn,
+    seq: u64,
+    reply: Msg,
+    t0: Instant,
+    metrics: &Metrics,
+    outbox_limit: usize,
+) {
+    metrics.frame_latency_us.observe_us(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    conn.parked.insert(seq, reply);
+    while let Some(msg) = conn.parked.remove(&conn.next_send) {
+        let frame = frame_of(&msg);
+        metrics.outbox_bytes.add(frame.len() as i64);
+        conn.outbox.push_frame(&frame);
+        conn.next_send += 1;
+    }
+    if conn.outbox.len() > outbox_limit && conn.kill.is_none() {
+        // the peer stopped draining its socket: there is no way to flush
+        // the backlog, so drop it, say why (best effort), and close
+        metrics.slow_reader_disconnects_total.inc();
+        conn.read_closed = true;
+        conn.kill = Some(frame_of(&Msg::Error {
+            id: 0,
+            code: ErrorCode::Overloaded,
+            message: format!("outbox exceeded {outbox_limit} bytes: slow reader disconnected"),
+        }));
+    }
+}
+
+/// Routes one complete frame: inline answers (stats, metrics, admission
+/// and decode errors) deliver immediately; solves and session ops become
+/// shard jobs.
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    conn: &mut Conn,
+    conn_id: u64,
+    payload: &[u8],
+    opts: &EventLoopOpts,
+    metrics: &Metrics,
+    engines: &[Arc<Engine>],
+    senders: &[mpsc::Sender<Job>],
+    rr_open: &mut usize,
+) {
+    let t0 = Instant::now();
+    metrics.frames_read_total.inc();
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    let shards = opts.shards as u64;
+    let send_job = |conn: &mut Conn, shard: usize, job: Job| {
+        conn.inflight += 1;
+        metrics.queue_depth.inc();
+        metrics.shards[shard].queue_depth.inc();
+        metrics.shards[shard].jobs_total.inc();
+        senders[shard].send(job).expect("shard worker outlives the event loop");
+    };
+    match decode_msg(payload) {
+        Ok(Msg::Solve { id, ens }) => {
+            // mirror `Engine::submit` admission, in its order: the atom
+            // cap first (TooLarge wins even with a full queue), then —
+            // beyond max_queue in-flight jobs — Overloaded, without
+            // either touching a shard
+            if ens.n_atoms() > opts.engine_cfg.max_atoms {
+                deliver(
+                    conn,
+                    seq,
+                    engine_error(
+                        id,
+                        EngineError::TooLarge {
+                            n_atoms: ens.n_atoms(),
+                            max_atoms: opts.engine_cfg.max_atoms,
+                        },
+                    ),
+                    t0,
+                    metrics,
+                    opts.server.outbox_limit,
+                );
+            } else if metrics.queue_depth.get() >= opts.engine_cfg.max_queue as i64 {
+                deliver(
+                    conn,
+                    seq,
+                    engine_error(id, EngineError::Overloaded),
+                    t0,
+                    metrics,
+                    opts.server.outbox_limit,
+                );
+            } else {
+                let shard = pick_shard(route_hash(&ens), opts.shards);
+                send_job(conn, shard, Job::Solve { conn: conn_id, seq, t0, id, ens });
+            }
+        }
+        Ok(Msg::OpenSession { id, n_atoms }) => {
+            let shard = *rr_open % opts.shards;
+            *rr_open += 1;
+            send_job(conn, shard, Job::Open { conn: conn_id, seq, t0, id, n_atoms });
+        }
+        Ok(msg @ (Msg::PushAtoms { .. } | Msg::SealSession { .. })) => {
+            let public = match &msg {
+                Msg::PushAtoms { session, .. } | Msg::SealSession { session, .. } => *session,
+                _ => unreachable!(),
+            };
+            // public = local·shards + shard (locals start at 1); a bogus
+            // handle decodes to some shard whose engine answers NoSession
+            let shard = (public % shards) as usize;
+            let local = public / shards;
+            send_job(conn, shard, Job::Session { conn: conn_id, seq, t0, msg, local, public });
+        }
+        Ok(Msg::GetStats) => {
+            let mut sum = c1p_engine::EngineStats::default();
+            for e in engines {
+                sum.absorb(&e.stats());
+            }
+            deliver(
+                conn,
+                seq,
+                Msg::Stats { json: sum.to_json() },
+                t0,
+                metrics,
+                opts.server.outbox_limit,
+            );
+        }
+        Ok(Msg::GetMetrics) => {
+            let stats: Vec<c1p_engine::EngineStats> = engines.iter().map(|e| e.stats()).collect();
+            deliver(
+                conn,
+                seq,
+                Msg::Metrics { text: metrics.render(&stats) },
+                t0,
+                metrics,
+                opts.server.outbox_limit,
+            );
+        }
+        Ok(_) => deliver(
+            conn,
+            seq,
+            Msg::Error {
+                id: 0,
+                code: ErrorCode::Malformed,
+                message: "unexpected message kind for a server".into(),
+            },
+            t0,
+            metrics,
+            opts.server.outbox_limit,
+        ),
+        Err(e) => {
+            metrics.malformed_frames_total.inc();
+            deliver(
+                conn,
+                seq,
+                Msg::Error { id: 0, code: ErrorCode::Malformed, message: e.to_string() },
+                t0,
+                metrics,
+                opts.server.outbox_limit,
+            );
+        }
+    }
+}
+
+/// The readiness loop proper. Owns the sockets; never blocks on any of
+/// them. Returns when `stop` has flipped and every connection drained
+/// (or the drain deadline passed).
+#[allow(clippy::too_many_arguments)]
+fn event_loop(
+    listener: &TcpListener,
+    opts: &EventLoopOpts,
+    stop: &AtomicBool,
+    metrics: &Arc<Metrics>,
+    engines: &[Arc<Engine>],
+    senders: Vec<mpsc::Sender<Job>>,
+    wake_rx: UnixStream,
+    completions: &Mutex<Vec<Completion>>,
+) -> io::Result<()> {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut ids: Vec<u64> = Vec::new();
+    let mut next_conn = 0u64;
+    let mut rr_open = 0usize;
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        if drain_deadline.is_none() && stop.load(Ordering::Acquire) {
+            drain_deadline = Some(Instant::now() + opts.drain);
+        }
+        let draining = drain_deadline.is_some();
+        if draining && conns.is_empty() {
+            break;
+        }
+        if let Some(deadline) = drain_deadline {
+            if Instant::now() >= deadline {
+                for (_, c) in conns.drain() {
+                    metrics.connections_open.dec();
+                    metrics.disconnects_total.inc();
+                    metrics.outbox_bytes.add(-(c.outbox.len() as i64));
+                }
+                break;
+            }
+        }
+
+        // one pollfd per socket, rebuilt per iteration (cheap at this
+        // scale, and it keeps interest exactly in sync with state)
+        ids.clear();
+        let mut fds: Vec<PollFd> = Vec::with_capacity(conns.len() + 2);
+        fds.push(PollFd::new(if draining { -1 } else { listener.as_raw_fd() }, POLLIN));
+        fds.push(PollFd::new(wake_rx.as_raw_fd(), POLLIN));
+        for (&id, c) in conns.iter() {
+            let mut interest = 0i16;
+            if !c.read_closed {
+                interest |= POLLIN;
+            }
+            if !c.outbox.is_empty() {
+                interest |= POLLOUT;
+            }
+            ids.push(id);
+            fds.push(PollFd::new(c.stream.as_raw_fd(), interest));
+        }
+        poll_fds(&mut fds, 50)?;
+
+        // drain the wake pipe (level-triggered: one byte per worker batch)
+        if fds[1].ready(POLLIN) {
+            let mut sink = [0u8; 256];
+            loop {
+                match (&wake_rx).read(&mut sink) {
+                    Ok(0) => break,
+                    Ok(_) => continue,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        // completions (checked every iteration — the lock is cheap)
+        let done = std::mem::take(&mut *completions.lock().expect("completion lock"));
+        for c in done {
+            metrics.queue_depth.dec();
+            metrics.shards[c.shard].queue_depth.dec();
+            if let Some(conn) = conns.get_mut(&c.conn) {
+                conn.inflight -= 1;
+                deliver(conn, c.seq, c.reply, c.t0, metrics, opts.server.outbox_limit);
+            }
+            // a completion for a closed connection is just dropped — its
+            // accounting above still balances the dispatch increments
+        }
+
+        // accept burst
+        if !draining && fds[0].ready(POLLIN) {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if conns.len() >= opts.server.max_conns {
+                            metrics.connections_refused_total.inc();
+                            refuse(stream);
+                            continue;
+                        }
+                        stream.set_nodelay(true).ok();
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        metrics.connections_accepted_total.inc();
+                        metrics.connections_open.inc();
+                        conns.insert(next_conn, Conn::new(stream, opts.server.max_frame));
+                        next_conn += 1;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) => {
+                        eprintln!("c1pd: accept failed: {e}");
+                        break;
+                    }
+                }
+            }
+        }
+
+        // readable sockets: reassemble, dispatch every complete frame
+        for (ix, &id) in ids.iter().enumerate() {
+            let ready = fds[ix + 2].ready(POLLIN);
+            let Some(conn) = conns.get_mut(&id) else { continue };
+            if conn.read_closed || !ready {
+                continue;
+            }
+            let pull = {
+                let Conn { reader, stream, .. } = conn;
+                reader.pull(stream)
+            };
+            match pull {
+                Ok(pull) => {
+                    metrics.bytes_read_total.add(pull.bytes);
+                    for payload in pull.frames {
+                        dispatch(
+                            conn,
+                            id,
+                            &payload,
+                            opts,
+                            metrics,
+                            engines,
+                            &senders,
+                            &mut rr_open,
+                        );
+                    }
+                    if pull.eof {
+                        conn.read_closed = true;
+                        conn.closing = true;
+                    }
+                }
+                Err(PullError::Oversize(o)) => {
+                    // admission control, not line noise: answer with the
+                    // exact TooLarge frame legacy sends, then close (the
+                    // stream position is unrecoverable)
+                    metrics.oversize_frames_total.inc();
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.read_closed = true;
+                    conn.closing = true;
+                    deliver(
+                        conn,
+                        seq,
+                        Msg::Error {
+                            id: 0,
+                            code: ErrorCode::TooLarge,
+                            message: format!(
+                                "frame of {} bytes exceeds the {}-byte cap",
+                                o.len, o.cap
+                            ),
+                        },
+                        Instant::now(),
+                        metrics,
+                        opts.server.outbox_limit,
+                    );
+                }
+                Err(PullError::Io(e)) => {
+                    if e.kind() != io::ErrorKind::ConnectionReset {
+                        eprintln!("c1pd: connection {id}: {e}");
+                    }
+                    conn.read_closed = true;
+                    conn.kill = Some(Vec::new());
+                }
+            }
+        }
+
+        // slow-loris reaper: a partial frame making no progress past the
+        // budget gets an exact Timeout frame, then the connection closes
+        if let Some(budget) = opts.server.read_timeout {
+            for conn in conns.values_mut() {
+                if conn.read_closed || conn.kill.is_some() {
+                    continue;
+                }
+                if conn.reader.stalled_since().is_some_and(|since| since.elapsed() >= budget) {
+                    metrics.read_timeout_disconnects_total.inc();
+                    conn.read_closed = true;
+                    conn.kill = Some(frame_of(&Msg::Error {
+                        id: 0,
+                        code: ErrorCode::Timeout,
+                        message: format!(
+                            "stalled mid-frame past the {} ms read-timeout budget",
+                            budget.as_millis()
+                        ),
+                    }));
+                }
+            }
+        }
+
+        // drain sweep: at a frame boundary with nothing in flight, a
+        // draining server closes the connection (mid-frame connections
+        // get to finish the frame they started, mirroring legacy)
+        if draining {
+            for conn in conns.values_mut() {
+                if !conn.reader.mid_frame() && conn.inflight == 0 && conn.parked.is_empty() {
+                    conn.read_closed = true;
+                    conn.closing = true;
+                }
+            }
+        }
+
+        // flush outboxes (opportunistic first try, POLLOUT next time)
+        for conn in conns.values_mut() {
+            if conn.outbox.is_empty() || conn.kill.is_some() {
+                continue;
+            }
+            match conn.outbox.flush(&mut conn.stream) {
+                Ok((bytes, frames)) => {
+                    metrics.bytes_written_total.add(bytes);
+                    metrics.frames_written_total.add(frames);
+                    metrics.outbox_bytes.add(-(bytes as i64));
+                }
+                Err(_) => {
+                    conn.read_closed = true;
+                    conn.kill = Some(Vec::new());
+                }
+            }
+        }
+
+        // close pass
+        conns.retain(|_, conn| {
+            if let Some(farewell) = conn.kill.take() {
+                if !farewell.is_empty() {
+                    let _ = conn.stream.write(&farewell);
+                }
+                metrics.connections_open.dec();
+                metrics.disconnects_total.inc();
+                metrics.outbox_bytes.add(-(conn.outbox.len() as i64));
+                return false;
+            }
+            if conn.closing && conn.idle() {
+                metrics.connections_open.dec();
+                metrics.disconnects_total.inc();
+                return false;
+            }
+            true
+        });
+    }
+    drop(senders); // ends the shard workers; scope joins them
+    Ok(())
+}

@@ -1,0 +1,214 @@
+//! The thread-per-connection server (PR 4) as a library — `c1pd`'s
+//! default mode, and the reference implementation the event loop is
+//! differentially tested against: same flags, same engine, same frames,
+//! bit-identical verdicts on the same seeds.
+//!
+//! One blocking thread per connection, all funnelling into one engine so
+//! batching, the result cache and the session table amortize across
+//! tenants. Admission control answers with exact error frames at three
+//! layers: connection count (`Overloaded`), frame byte cap (`TooLarge`,
+//! then close — the stream position is unrecoverable), queue/session
+//! depth (`Overloaded`/`TooLarge` per request). The `--read-timeout-ms`
+//! stall budget reaps slow-loris peers mid-frame with an exact `Timeout`
+//! frame; idle connections between frames live forever.
+//!
+//! Every path feeds the same [`Metrics`] registry the event loop uses,
+//! and `GetMetrics` renders it with this engine as shard 0.
+
+use crate::metrics::Metrics;
+use crate::{engine_error, open_reply, session_reply, ServerOpts};
+use c1p_engine::proto::{decode_msg, encode_msg, read_frame_until, write_frame, ErrorCode, Msg};
+use c1p_engine::{Engine, EngineConfig};
+use std::io::{self, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Runs the thread-per-connection server until `stop` flips, then drains
+/// live connections (bounded by `drain`), flushes durability, and
+/// returns the engine. `stop` is `'static` because handler threads may
+/// outlive the accept loop during the drain.
+pub fn serve(
+    listener: TcpListener,
+    cfg: EngineConfig,
+    opts: &ServerOpts,
+    drain: Duration,
+    stop: &'static AtomicBool,
+    metrics: &Arc<Metrics>,
+) -> io::Result<Arc<Engine>> {
+    let engine = Arc::new(Engine::new(cfg));
+    // nonblocking accept so the loop can notice `stop` between
+    // connections — a blocking accept would pin the process until one
+    // more client happened to connect
+    listener.set_nonblocking(true)?;
+    let active = Arc::new(AtomicUsize::new(0));
+    let opts = opts.clone();
+    while !stop.load(Ordering::Acquire) {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(25));
+                continue;
+            }
+            Err(e) => {
+                eprintln!("c1pd: accept failed: {e}");
+                continue;
+            }
+        };
+        if active.load(Ordering::Acquire) >= opts.max_conns {
+            metrics.connections_refused_total.inc();
+            refuse(stream);
+            continue;
+        }
+        active.fetch_add(1, Ordering::AcqRel);
+        metrics.connections_accepted_total.inc();
+        metrics.connections_open.inc();
+        let engine = Arc::clone(&engine);
+        let active = Arc::clone(&active);
+        let metrics = Arc::clone(metrics);
+        let opts = opts.clone();
+        thread::spawn(move || {
+            let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_default();
+            if let Err(e) = handle_conn(stream, &engine, &opts, stop, &metrics) {
+                // benign disconnects are the common case; log the rest
+                if e.kind() != io::ErrorKind::UnexpectedEof
+                    && e.kind() != io::ErrorKind::ConnectionReset
+                {
+                    eprintln!("c1pd: connection {peer}: {e}");
+                }
+            }
+            metrics.connections_open.dec();
+            metrics.disconnects_total.inc();
+            active.fetch_sub(1, Ordering::AcqRel);
+        });
+    }
+
+    // graceful drain: the listener is closed (drop), live connections
+    // notice `stop` at their next frame boundary — the frame they are
+    // inside is read fully, answered, and only then does the handler exit
+    drop(listener);
+    eprintln!("c1pd: shutting down, draining {} connection(s)", active.load(Ordering::Acquire));
+    let deadline = Instant::now() + drain;
+    while active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(25));
+    }
+    // WAL records were fsynced at append time; the final snapshot makes
+    // the next boot warm from the first request
+    engine.flush_durability();
+    Ok(engine)
+}
+
+/// Best-effort `Overloaded` error frame to a refused connection.
+fn refuse(stream: TcpStream) {
+    let mut w = BufWriter::new(stream);
+    let msg = Msg::Error {
+        id: 0,
+        code: ErrorCode::Overloaded,
+        message: "connection limit reached".into(),
+    };
+    let _ = write_frame(&mut w, &encode_msg(&msg));
+    let _ = w.flush();
+}
+
+fn handle_conn(
+    stream: TcpStream,
+    engine: &Engine,
+    opts: &ServerOpts,
+    stop: &AtomicBool,
+    metrics: &Metrics,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    // the socket timeout is the polling tick: it lets the frame reader
+    // check `stop` between frames and the stall budget inside one, so it
+    // must not exceed either
+    let tick =
+        opts.read_timeout.map_or(Duration::from_millis(250), |b| b.min(Duration::from_millis(250)));
+    stream.set_read_timeout(Some(tick.max(Duration::from_millis(5)))).ok();
+    let mut reader = stream.try_clone()?;
+    let mut writer = BufWriter::new(stream);
+    let send = |writer: &mut BufWriter<TcpStream>, reply: &Msg| -> io::Result<()> {
+        let payload = encode_msg(reply);
+        write_frame(writer, &payload)?;
+        writer.flush()?;
+        metrics.frames_written_total.inc();
+        metrics.bytes_written_total.add(payload.len() as u64 + 4);
+        Ok(())
+    };
+    loop {
+        let payload = match read_frame_until(&mut reader, opts.max_frame, stop, opts.read_timeout) {
+            Ok(Some(p)) => p,
+            Ok(None) => return Ok(()),
+            // An over-cap frame length is admission control, not line
+            // noise: answer with an exact TooLarge error frame before
+            // closing (the stream position is unrecoverable, so the
+            // connection cannot continue).
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                metrics.oversize_frames_total.inc();
+                let reply = Msg::Error { id: 0, code: ErrorCode::TooLarge, message: e.to_string() };
+                send(&mut writer, &reply)?;
+                return Ok(());
+            }
+            // the slow-loris reaper: a partial frame stalled past the
+            // budget gets an exact Timeout frame, then the close
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+                metrics.read_timeout_disconnects_total.inc();
+                let budget = opts.read_timeout.expect("TimedOut implies a budget");
+                let reply = Msg::Error {
+                    id: 0,
+                    code: ErrorCode::Timeout,
+                    message: format!(
+                        "stalled mid-frame past the {} ms read-timeout budget",
+                        budget.as_millis()
+                    ),
+                };
+                send(&mut writer, &reply)?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        metrics.frames_read_total.inc();
+        metrics.bytes_read_total.add(payload.len() as u64 + 4);
+        let t0 = Instant::now();
+        metrics.queue_depth.inc();
+        metrics.shards[0].jobs_total.inc();
+        metrics.shards[0].queue_depth.inc();
+        let reply = match decode_msg(&payload) {
+            Ok(Msg::Solve { id, ens }) => match engine.submit(ens) {
+                Ok(ticket) => match ticket.wait() {
+                    Ok(verdict) => Msg::Verdict { id, verdict: verdict.to_wire() },
+                    Err(e) => engine_error(id, e),
+                },
+                Err(e) => engine_error(id, e),
+            },
+            Ok(Msg::OpenSession { id, n_atoms }) => match engine.open_session(n_atoms as usize) {
+                Ok(session) => open_reply(id, session),
+                Err(e) => engine_error(id, e),
+            },
+            Ok(msg @ (Msg::PushAtoms { .. } | Msg::SealSession { .. })) => {
+                let session = match &msg {
+                    Msg::PushAtoms { session, .. } | Msg::SealSession { session, .. } => *session,
+                    _ => unreachable!(),
+                };
+                // single engine: the public handle is the local one
+                session_reply(engine, &msg, session, session)
+            }
+            Ok(Msg::GetStats) => Msg::Stats { json: engine.stats().to_json() },
+            Ok(Msg::GetMetrics) => Msg::Metrics { text: metrics.render(&[engine.stats()]) },
+            Ok(_) => Msg::Error {
+                id: 0,
+                code: ErrorCode::Malformed,
+                message: "unexpected message kind for a server".into(),
+            },
+            Err(e) => {
+                metrics.malformed_frames_total.inc();
+                Msg::Error { id: 0, code: ErrorCode::Malformed, message: e.to_string() }
+            }
+        };
+        metrics.queue_depth.dec();
+        metrics.shards[0].queue_depth.dec();
+        metrics.frame_latency_us.observe_us(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        send(&mut writer, &reply)?;
+    }
+}

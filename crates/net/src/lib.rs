@@ -1,0 +1,248 @@
+//! `c1p-net` — the serving layer: an event-driven sharded TCP front-end
+//! for the C1P engine, its legacy thread-per-connection twin, and the
+//! metrics registry both export.
+//!
+//! The crate exists because at the scale ROADMAP names, the accept/read
+//! path — not the solver — is the ceiling: a blocked thread per idle
+//! connection is pure overhead on a small host, and one shared engine
+//! means one shared cache lock. The answer here is classic and std-only
+//! (the workspace is offline/vendored — no tokio, no mio):
+//!
+//! * [`poll`] — a raw `poll(2)` shim, one `extern "C"` declaration, the
+//!   same trick `c1pd` already uses for `signal(2)`.
+//! * [`conn`] — per-socket frame reassembly (a frame may arrive a byte
+//!   per wakeup) and a bounded outbox with explicit back-pressure.
+//! * [`event_loop`] — one readiness thread multiplexing every socket,
+//!   dispatching complete frames to N shard workers, each owning an
+//!   [`Engine`] whose LRU covers a consistent-hash slice of canonical
+//!   keys ([`route_hash`] + [`pick_shard`]).
+//! * [`legacy`] — the PR 4 thread-per-connection server as a library,
+//!   kept behind `c1pd`'s default mode for differential testing: both
+//!   modes must produce bit-identical verdicts on the same seeds.
+//! * [`metrics`] — the stable-name counter/histogram registry exported
+//!   over `GetStats`/`GetMetrics` frames by both modes.
+//!
+//! Both servers speak the `c1p_engine::proto` frame protocol unchanged:
+//! one response per request, in order, per connection — the event loop
+//! re-establishes that order with per-connection sequence numbers when
+//! shards complete out of order.
+
+pub mod conn;
+#[cfg(unix)]
+pub mod event_loop;
+pub mod legacy;
+pub mod metrics;
+pub mod poll;
+
+use c1p_engine::proto::{ErrorCode, Msg};
+use c1p_engine::{Engine, EngineError};
+use c1p_matrix::Ensemble;
+use std::time::Duration;
+
+/// Options shared by both server modes (the `c1pd` flag surface).
+#[derive(Debug, Clone)]
+pub struct ServerOpts {
+    /// Connection cap; excess connections get one `Overloaded` frame.
+    pub max_conns: usize,
+    /// Frame byte cap; over-cap frames get one `TooLarge` frame, then
+    /// the connection closes.
+    pub max_frame: usize,
+    /// Mid-frame stall budget (`--read-timeout-ms`): a connection whose
+    /// partial frame makes no progress for this long gets one `Timeout`
+    /// error frame and is closed. `None` disables the reaper. Idle
+    /// connections *between* frames are never timed out.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection outbox byte cap (`--outbox-kb`): a reader that
+    /// falls this far behind gets one `Overloaded` ("slow reader")
+    /// frame and is disconnected.
+    pub outbox_limit: usize,
+}
+
+impl Default for ServerOpts {
+    fn default() -> ServerOpts {
+        ServerOpts {
+            max_conns: 64,
+            max_frame: c1p_engine::proto::DEFAULT_MAX_FRAME,
+            read_timeout: Some(Duration::from_millis(250)),
+            outbox_limit: 8 << 20,
+        }
+    }
+}
+
+/// Shard-routing hash of an instance: invariant under column permutation,
+/// exactly the quotient the engine's cache key takes (canonicalization
+/// sorts columns lexicographically and leaves atoms untouched — see
+/// `c1p_engine::canonical`). Two requests with the same canonical key
+/// always hash alike, so they land on the same shard and its LRU can
+/// coalesce them; requests differing in atom numbering spread out.
+///
+/// Per-column FNV-1a folded with a wrapping sum: the sum commutes, the
+/// per-column hash does not.
+pub fn route_hash(ens: &Ensemble) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut acc = (ens.n_atoms() as u64).wrapping_mul(FNV_PRIME) ^ FNV_OFFSET;
+    for col in ens.columns() {
+        let mut h = FNV_OFFSET;
+        for &atom in col {
+            for b in atom.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+        }
+        // length disambiguates [] vs [0] (FNV of nothing vs something)
+        h = (h ^ col.len() as u64).wrapping_mul(FNV_PRIME);
+        acc = acc.wrapping_add(h);
+    }
+    acc
+}
+
+/// Rendezvous (highest-random-weight) shard choice: every key ranks all
+/// shards and takes the max, so changing the shard count reshuffles only
+/// the keys whose winner changed — no modulo avalanche.
+pub fn pick_shard(hash: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut best = 0usize;
+    let mut best_w = 0u64;
+    for s in 0..shards {
+        // splitmix64 over (key hash ⊕ shard id) as the weight
+        let mut w = hash ^ (s as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        w = (w ^ (w >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        w = (w ^ (w >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        w ^= w >> 31;
+        if s == 0 || w > best_w {
+            best = s;
+            best_w = w;
+        }
+    }
+    best
+}
+
+/// Maps an [`EngineError`] onto the wire error frame, identically in
+/// both server modes (the differential tests compare these byte for
+/// byte).
+pub fn engine_error(id: u64, e: EngineError) -> Msg {
+    let code = match e {
+        EngineError::Overloaded => ErrorCode::Overloaded,
+        EngineError::TooLarge { .. }
+        | EngineError::SessionFull { .. }
+        | EngineError::SessionOverBudget { .. } => ErrorCode::TooLarge,
+        EngineError::ShuttingDown => ErrorCode::Internal,
+        EngineError::NoSuchSession { .. } => ErrorCode::NoSession,
+        EngineError::SessionMismatch { .. } => ErrorCode::Malformed,
+    };
+    Msg::Error { id, code, message: e.to_string() }
+}
+
+/// Serves one `PushAtoms`/`SealSession` request against `engine`, with
+/// the session handle already translated to the engine-local id `local`.
+/// The reply carries `public` as its handle. Used verbatim by the legacy
+/// handler (`public == local`) and the shard workers (public ids
+/// interleave shard-local ones — see [`event_loop`]); `OpenSession`
+/// stays with the callers, whose id mapping differs.
+pub fn session_reply(engine: &Engine, msg: &Msg, local: u64, public: u64) -> Msg {
+    match *msg {
+        Msg::PushAtoms { id, ref delta, .. } => match engine.session_push(local, delta) {
+            Ok(verdict) => Msg::SessionVerdict { id, session: public, verdict: verdict.to_wire() },
+            Err(e) => engine_error(id, e),
+        },
+        Msg::SealSession { id, .. } => match engine.seal_session(local) {
+            Ok(verdict) => Msg::SessionVerdict { id, session: public, verdict: verdict.to_wire() },
+            Err(e) => engine_error(id, e),
+        },
+        _ => Msg::Error {
+            id: 0,
+            code: ErrorCode::Malformed,
+            message: "unexpected message kind for a server".into(),
+        },
+    }
+}
+
+/// The `OpenSession` reply: the empty state's witness is the identity —
+/// elided (empty order) so a 17-byte open cannot amplify into a multi-MB
+/// reply at large `n_atoms`.
+pub fn open_reply(id: u64, public: u64) -> Msg {
+    Msg::SessionVerdict {
+        id,
+        session: public,
+        verdict: c1p_matrix::io::WireVerdict::Accept { order: Vec::new() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c1p_matrix::Ensemble;
+    use rand::{RngExt, SeedableRng, StdRng};
+
+    fn random_ensemble(rng: &mut StdRng, n_atoms: usize, n_cols: usize) -> Ensemble {
+        let mut ens = Ensemble::new(n_atoms);
+        for _ in 0..n_cols {
+            let len = rng.random_range(1..=n_atoms.min(6));
+            let mut col: Vec<u32> = (0..n_atoms as u32).collect();
+            for i in 0..len {
+                let j = rng.random_range(i..n_atoms);
+                col.swap(i, j);
+            }
+            col.truncate(len);
+            ens.push_column(col);
+        }
+        ens
+    }
+
+    #[test]
+    fn route_hash_is_column_permutation_invariant() {
+        let mut rng = StdRng::seed_from_u64(0xC1F0);
+        for _ in 0..50 {
+            let ens = random_ensemble(&mut rng, 12, 8);
+            let mut cols: Vec<Vec<u32>> = ens.columns().to_vec();
+            // rotate + swap: a nontrivial permutation of the columns
+            cols.rotate_left(3);
+            let last = cols.len() - 1;
+            cols.swap(0, last);
+            let permuted = Ensemble::from_sorted_columns(ens.n_atoms(), cols).unwrap();
+            assert_eq!(route_hash(&ens), route_hash(&permuted));
+        }
+    }
+
+    #[test]
+    fn route_hash_distinguishes_atom_count_and_content() {
+        let a = Ensemble::from_sorted_columns(8, vec![vec![0, 1]]).unwrap();
+        let b = Ensemble::from_sorted_columns(9, vec![vec![0, 1]]).unwrap();
+        let c = Ensemble::from_sorted_columns(8, vec![vec![0, 2]]).unwrap();
+        assert_ne!(route_hash(&a), route_hash(&b));
+        assert_ne!(route_hash(&a), route_hash(&c));
+        // empty column vs singleton atom 0: length folding keeps them apart
+        let d = Ensemble::from_sorted_columns(8, vec![vec![], vec![0, 1]]).unwrap();
+        assert_ne!(route_hash(&a), route_hash(&d));
+    }
+
+    #[test]
+    fn pick_shard_is_stable_and_spreads() {
+        let mut counts = [0usize; 4];
+        for k in 0..4096u64 {
+            let s = pick_shard(k.wrapping_mul(0x9e3779b97f4a7c15), 4);
+            assert_eq!(s, pick_shard(k.wrapping_mul(0x9e3779b97f4a7c15), 4), "deterministic");
+            counts[s] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > 4096 / 8, "shard {s} got {c}/4096 — rendezvous should spread evenly");
+        }
+        // single shard degenerates to 0
+        assert_eq!(pick_shard(123, 1), 0);
+    }
+
+    #[test]
+    fn rendezvous_moves_few_keys_when_a_shard_is_added() {
+        let moved = (0..4096u64)
+            .filter(|k| {
+                let h = k.wrapping_mul(0x9e3779b97f4a7c15);
+                let before = pick_shard(h, 4);
+                let after = pick_shard(h, 5);
+                before != after && after != 4
+            })
+            .count();
+        // growing 4 → 5 shards may move keys *to* the new shard, but
+        // must not reshuffle keys among the old ones
+        assert_eq!(moved, 0, "{moved} keys changed owner among surviving shards");
+    }
+}

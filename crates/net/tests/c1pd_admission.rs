@@ -2,7 +2,9 @@
 //! answer with an *exact* error frame — right id echo, right
 //! [`ErrorCode`] — rather than silently dropping the connection. Covers
 //! the queue-depth, instance-size, connection-count and frame-size
-//! limits, plus the session error codes.
+//! limits, plus the session error codes. Every test runs twice — legacy
+//! thread-per-connection mode and `--event-loop --shards 2` — because
+//! the two servers promise byte-identical refusal behaviour.
 
 use c1p_engine::proto::{
     decode_msg, encode_msg, read_frame, write_frame, ErrorCode, Msg, DEFAULT_MAX_FRAME,
@@ -23,8 +25,12 @@ struct Server {
 
 static PORT_FILE_SEQ: AtomicU32 = AtomicU32::new(0);
 
+/// The `--event-loop` variant's extra flags (2 shards so the sharded
+/// paths participate in every refusal).
+const EVENT_LOOP: &[&str] = &["--event-loop", "--shards", "2"];
+
 impl Server {
-    fn start(extra_args: &[&str]) -> Server {
+    fn start(mode: &[&str], extra_args: &[&str]) -> Server {
         let port_file = std::env::temp_dir().join(format!(
             "c1pd-admission-{}-{}.port",
             std::process::id(),
@@ -35,6 +41,7 @@ impl Server {
             .args(["--addr", "127.0.0.1:0", "--port-file"])
             .arg(&port_file)
             .args(["--threads", "1"])
+            .args(mode)
             .args(extra_args)
             .stdout(Stdio::null())
             .stderr(Stdio::null())
@@ -88,9 +95,8 @@ fn expect_error(got: Msg, id: u64, code: ErrorCode) {
     }
 }
 
-#[test]
-fn queue_depth_and_instance_size_answer_exact_error_frames() {
-    let server = Server::start(&["--max-queue", "0", "--max-atoms", "4"]);
+fn queue_depth_and_instance_size(mode: &[&str]) {
+    let server = Server::start(mode, &["--max-queue", "0", "--max-atoms", "4"]);
     let conn = server.connect();
     // over the atom limit: TooLarge wins (checked at submit admission)
     expect_error(rpc(&conn, &Msg::Solve { id: 7, ens: fig2_matrix() }), 7, ErrorCode::TooLarge);
@@ -101,9 +107,8 @@ fn queue_depth_and_instance_size_answer_exact_error_frames() {
     assert!(matches!(rpc(&conn, &Msg::GetStats), Msg::Stats { .. }));
 }
 
-#[test]
-fn connection_limit_refuses_with_one_overloaded_frame_then_eof() {
-    let server = Server::start(&["--max-conns", "1"]);
+fn connection_limit(mode: &[&str]) {
+    let server = Server::start(mode, &["--max-conns", "1"]);
     let held = server.connect();
     // make sure the first connection is fully registered server-side
     assert!(matches!(rpc(&held, &Msg::GetStats), Msg::Stats { .. }));
@@ -137,9 +142,8 @@ fn connection_limit_refuses_with_one_overloaded_frame_then_eof() {
     }
 }
 
-#[test]
-fn oversized_frames_answer_too_large_then_close() {
-    let server = Server::start(&["--max-frame-mb", "1"]);
+fn oversized_frames(mode: &[&str]) {
+    let server = Server::start(mode, &["--max-frame-mb", "1"]);
     let conn = server.connect();
     // a hostile 2 MiB length prefix with no payload behind it: the server
     // must refuse on the declared length alone, with an exact error frame
@@ -155,9 +159,8 @@ fn oversized_frames_answer_too_large_then_close() {
     assert_eq!(read_frame(&mut reader, DEFAULT_MAX_FRAME).expect("clean close"), None);
 }
 
-#[test]
-fn malformed_payloads_and_session_errors_name_their_codes() {
-    let server = Server::start(&["--max-atoms", "64"]);
+fn malformed_and_session_errors(mode: &[&str]) {
+    let server = Server::start(mode, &["--max-atoms", "64"]);
     let conn = server.connect();
     // undecodable payload: Malformed, connection survives
     let mut writer = BufWriter::new(conn.try_clone().expect("clone"));
@@ -190,4 +193,44 @@ fn malformed_payloads_and_session_errors_name_their_codes() {
         rpc(&conn, &Msg::SealSession { id: 8, session }),
         Msg::SessionVerdict { id: 8, .. }
     ));
+}
+
+#[test]
+fn queue_depth_and_instance_size_answer_exact_error_frames() {
+    queue_depth_and_instance_size(&[]);
+}
+
+#[test]
+fn queue_depth_and_instance_size_answer_exact_error_frames_event_loop() {
+    queue_depth_and_instance_size(EVENT_LOOP);
+}
+
+#[test]
+fn connection_limit_refuses_with_one_overloaded_frame_then_eof() {
+    connection_limit(&[]);
+}
+
+#[test]
+fn connection_limit_refuses_with_one_overloaded_frame_then_eof_event_loop() {
+    connection_limit(EVENT_LOOP);
+}
+
+#[test]
+fn oversized_frames_answer_too_large_then_close() {
+    oversized_frames(&[]);
+}
+
+#[test]
+fn oversized_frames_answer_too_large_then_close_event_loop() {
+    oversized_frames(EVENT_LOOP);
+}
+
+#[test]
+fn malformed_payloads_and_session_errors_name_their_codes() {
+    malformed_and_session_errors(&[]);
+}
+
+#[test]
+fn malformed_payloads_and_session_errors_name_their_codes_event_loop() {
+    malformed_and_session_errors(EVENT_LOOP);
 }
