@@ -558,6 +558,7 @@ fn served_rps(shards: usize, conns: usize, idle: usize, schedule: &[c1p_matrix::
             server: opts,
             engine_cfg: EngineConfig::default(),
             drain,
+            ..Default::default()
         };
         let metrics = Arc::new(Metrics::new(shards));
         std::thread::spawn(move || {

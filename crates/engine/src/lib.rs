@@ -111,6 +111,86 @@ pub struct EngineConfig {
     /// aborts the process. `0` disables. Exists so the crash harness can
     /// deterministically die *mid-append*; never set it in production.
     pub wal_fault_after: u64,
+    /// Scheduled WAL-append faults (chaos testing): unlike the one-shot
+    /// [`EngineConfig::wal_fault_after`] abort, these fire repeatedly and
+    /// *within* the process — each hit panics the pushing thread instead
+    /// of killing the process, so a supervised shard worker dies, is
+    /// respawned, and recovers its sessions from disk. Empty (the
+    /// default) costs nothing on the push path.
+    pub wal_faults: WalFaultPlan,
+}
+
+/// Deterministic schedule of injected WAL-append faults
+/// ([`EngineConfig::wal_faults`]). The countdowns live *inside the plan*
+/// (shared by every clone), not inside any one engine: a supervised
+/// respawn clones the config, so the rebuilt engine resumes the schedule
+/// where the dead one left off instead of resetting its phase. Without
+/// that, a seed whose phase lands on the first append would tear the
+/// retried push after every respawn, forever — a deterministic livelock.
+/// `seed` staggers each schedule's first hit so torn and failed appends
+/// interleave instead of colliding.
+#[derive(Debug, Clone, Default)]
+pub struct WalFaultPlan {
+    /// Every N-th append writes a torn record prefix (syncs it, then
+    /// panics without acknowledging). `0` disables.
+    pub torn_every: u64,
+    /// Every N-th append refuses outright (panics before writing a
+    /// byte). `0` disables.
+    pub fail_every: u64,
+    /// Staggers the schedules' phases deterministically.
+    pub seed: u64,
+    /// Shared countdowns (torn, failed); each reloads to its `every`
+    /// after firing. Private so every plan goes through
+    /// [`WalFaultPlan::new`] with coherent phases.
+    counters: std::sync::Arc<(AtomicU64, AtomicU64)>,
+}
+
+impl WalFaultPlan {
+    /// Builds a plan with seed-staggered first hits. `0` disables a
+    /// schedule.
+    pub fn new(torn_every: u64, fail_every: u64, seed: u64) -> WalFaultPlan {
+        let plan = WalFaultPlan { torn_every, fail_every, seed, counters: Default::default() };
+        plan.counters.0.store(plan.phase(torn_every, 1), Ordering::Relaxed);
+        plan.counters.1.store(plan.phase(fail_every, 2), Ordering::Relaxed);
+        plan
+    }
+
+    /// `true` when no fault is scheduled (the production state).
+    pub fn is_empty(&self) -> bool {
+        self.torn_every == 0 && self.fail_every == 0
+    }
+
+    /// Advances the torn-append countdown; `true` means this append must
+    /// tear.
+    fn torn_now(&self) -> bool {
+        self.torn_every > 0 && self.counters.0.fetch_sub(1, Ordering::Relaxed) == 1 && {
+            self.counters.0.store(self.torn_every, Ordering::Relaxed);
+            true
+        }
+    }
+
+    /// Advances the failed-append countdown; `true` means this append
+    /// must refuse.
+    fn fail_now(&self) -> bool {
+        self.fail_every > 0 && self.counters.1.fetch_sub(1, Ordering::Relaxed) == 1 && {
+            self.counters.1.store(self.fail_every, Ordering::Relaxed);
+            true
+        }
+    }
+
+    /// First-hit countdown for schedule `k`: a seed-dependent phase in
+    /// `1..=every`, so independent schedules do not all fire on the same
+    /// append.
+    fn phase(&self, every: u64, k: u64) -> u64 {
+        if every == 0 {
+            return 0;
+        }
+        let mut x = self.seed ^ (k.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        (x % every) + 1
+    }
 }
 
 impl Default for EngineConfig {
@@ -129,6 +209,7 @@ impl Default for EngineConfig {
             wal_dir: None,
             snapshot_interval_ms: 0,
             wal_fault_after: 0,
+            wal_faults: WalFaultPlan::default(),
         }
     }
 }
@@ -300,6 +381,10 @@ pub struct EngineStats {
     /// Cache hits served by entries loaded from a snapshot — the proof a
     /// restart answered hot.
     pub warm_start_hits: u64,
+    /// WAL appends deliberately broken by the [`EngineConfig::wal_faults`]
+    /// chaos plan (torn prefixes and refused writes). Always 0 outside
+    /// chaos runs.
+    pub wal_faults_injected: u64,
 }
 
 impl EngineStats {
@@ -333,6 +418,7 @@ impl EngineStats {
         self.quarantined_wals += other.quarantined_wals;
         self.snapshot_writes += other.snapshot_writes;
         self.warm_start_hits += other.warm_start_hits;
+        self.wal_faults_injected += other.wal_faults_injected;
     }
 
     /// Hit fraction among cache lookups that finished (hits + cold solves).
@@ -358,6 +444,7 @@ impl EngineStats {
              \"wal_appends\": {}, \"wal_fsyncs\": {}, \
              \"recovered_sessions\": {}, \"quarantined_wals\": {}, \
              \"snapshot_writes\": {}, \"warm_start_hits\": {}, \
+             \"wal_faults_injected\": {}, \
              \"hit_rate\": {:.4}}}",
             self.requests,
             self.batches,
@@ -384,6 +471,7 @@ impl EngineStats {
             self.quarantined_wals,
             self.snapshot_writes,
             self.warm_start_hits,
+            self.wal_faults_injected,
             self.hit_rate(),
         )
     }
@@ -409,6 +497,7 @@ struct Counters {
     recovered_sessions: AtomicU64,
     quarantined_wals: AtomicU64,
     snapshot_writes: AtomicU64,
+    wal_faults_injected: AtomicU64,
 }
 
 /// One in-flight computation; waiters block on the condvar, the owner
@@ -727,6 +816,22 @@ impl Engine {
                     {
                         w.append_torn_and_abort(delta, hash);
                     }
+                    // the chaos schedule panics *without acknowledging*:
+                    // the push applied in memory but was never durable, so
+                    // the supervisor must discard this engine and rebuild
+                    // from the WAL (which recovers to the pre-push state)
+                    let plan = &self.inner.cfg.wal_faults;
+                    if !plan.is_empty() {
+                        if plan.torn_now() {
+                            self.inner.stats.wal_faults_injected.fetch_add(1, Ordering::Relaxed);
+                            w.append_torn(delta, hash);
+                            panic!("chaos: injected torn WAL append (session {id})");
+                        }
+                        if plan.fail_now() {
+                            self.inner.stats.wal_faults_injected.fetch_add(1, Ordering::Relaxed);
+                            panic!("chaos: injected failed WAL append (session {id})");
+                        }
+                    }
                     w.append(delta, hash)
                         .expect("WAL append (durability directory must stay writable)");
                     self.inner.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
@@ -784,6 +889,26 @@ impl Engine {
         }
         self.inner.stats.sessions_sealed.fetch_add(1, Ordering::Relaxed);
         Ok(verdict)
+    }
+
+    /// The server side of the recovered-hash handshake: reports a
+    /// session's accepted stream hash and column count without touching
+    /// its state. Resumes an idle-evicted durable session exactly like a
+    /// push would, so a client whose shard just restarted can ask "which
+    /// of my pushes survived?" and replay precisely the unacked suffix.
+    pub fn session_status(&self, id: u64) -> Result<(u64, u64), EngineError> {
+        self.sweep_idle_sessions();
+        let sess = {
+            let sessions = self.inner.sessions.lock().expect("sessions lock");
+            sessions.get(&id).cloned()
+        };
+        let sess = match sess {
+            Some(s) => s,
+            None => self.resume_session(id)?,
+        };
+        let mut st = sess.lock().expect("session lock");
+        st.last_touch = Instant::now();
+        Ok((st.inc.stream_hash(), st.inc.ensemble().n_columns() as u64))
     }
 
     /// Rebuilds an idle-evicted durable session from its WAL (the lazy
@@ -905,6 +1030,7 @@ impl Engine {
             quarantined_wals: s.quarantined_wals.load(Ordering::Relaxed),
             snapshot_writes: s.snapshot_writes.load(Ordering::Relaxed),
             warm_start_hits,
+            wal_faults_injected: s.wal_faults_injected.load(Ordering::Relaxed),
         }
     }
 

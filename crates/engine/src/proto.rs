@@ -15,6 +15,10 @@
 //!   0x09 SessionVerdict { id u64 LE, session u64 LE, verdict wire bytes }
 //!   0x0A GetMetrics     { }
 //!   0x0B Metrics        { utf-8 text dump }
+//!   0x0C Ping           { id u64 LE }
+//!   0x0D Pong           { id u64 LE, wal u8, n_shards u32 LE, flags u8 × n_shards }
+//!   0x0E QuerySession   { id u64 LE, session u64 LE }
+//!   0x0F SessionStatus  { id u64 LE, session u64 LE, stream_hash u64 LE, columns u64 LE }
 //! ```
 //!
 //! Session flow: `OpenSession` answers with a `SessionVerdict` naming the
@@ -54,6 +58,10 @@ const TAG_SEAL_SESSION: u8 = 0x08;
 const TAG_SESSION_VERDICT: u8 = 0x09;
 const TAG_GET_METRICS: u8 = 0x0A;
 const TAG_METRICS: u8 = 0x0B;
+const TAG_PING: u8 = 0x0C;
+const TAG_PONG: u8 = 0x0D;
+const TAG_QUERY_SESSION: u8 = 0x0E;
+const TAG_SESSION_STATUS: u8 = 0x0F;
 
 /// Why a request failed, as sent on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +83,12 @@ pub enum ErrorCode {
     /// (`c1pd --read-timeout-ms`); the connection is closed after this
     /// frame. Idle connections *between* frames are never timed out.
     Timeout = 6,
+    /// The shard that owned this request died with it in flight (or its
+    /// reply was lost past the request deadline); whether the request
+    /// applied is unknown. Solves are pure and safe to retry blindly;
+    /// session pushes should run the recovered-hash handshake
+    /// (`QuerySession`) before replaying.
+    Unavailable = 7,
 }
 
 impl ErrorCode {
@@ -86,8 +100,57 @@ impl ErrorCode {
             4 => Some(ErrorCode::Internal),
             5 => Some(ErrorCode::NoSession),
             6 => Some(ErrorCode::Timeout),
+            7 => Some(ErrorCode::Unavailable),
             _ => None,
         }
+    }
+}
+
+/// Write-ahead-log directory health as reported in a [`Msg::Pong`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalHealth {
+    /// The server runs without durability (`--wal-dir` unset).
+    Disabled = 0,
+    /// The durability directory accepted a probe write.
+    Writable = 1,
+    /// The durability directory refused a probe write — accepted pushes
+    /// can no longer be made durable.
+    Unwritable = 2,
+}
+
+impl WalHealth {
+    fn from_u8(v: u8) -> Option<WalHealth> {
+        match v {
+            0 => Some(WalHealth::Disabled),
+            1 => Some(WalHealth::Writable),
+            2 => Some(WalHealth::Unwritable),
+            _ => None,
+        }
+    }
+}
+
+/// One shard's liveness as reported in a [`Msg::Pong`]. Encoded as one
+/// byte: bit 0 = live, bit 1 = degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// A worker thread currently owns this shard (it may still be
+    /// rebuilding its engine after a restart).
+    pub live: bool,
+    /// The shard lost a worker at least once and has not yet finished
+    /// recovering, or was retired after repeated instant deaths.
+    pub degraded: bool,
+}
+
+impl ShardHealth {
+    fn to_byte(self) -> u8 {
+        (self.live as u8) | ((self.degraded as u8) << 1)
+    }
+
+    fn from_byte(b: u8) -> Option<ShardHealth> {
+        if b > 3 {
+            return None;
+        }
+        Some(ShardHealth { live: b & 1 != 0, degraded: b & 2 != 0 })
     }
 }
 
@@ -165,6 +228,44 @@ pub enum Msg {
     Metrics {
         /// The dump.
         text: String,
+    },
+    /// Client → server: health probe. Answered from the event thread in
+    /// event-loop mode, so a wedged shard worker cannot block the reply.
+    Ping {
+        /// Client-chosen id echoed in the response.
+        id: u64,
+    },
+    /// Server → client: liveness report for a [`Msg::Ping`].
+    Pong {
+        /// Echo of the request id.
+        id: u64,
+        /// Durability-directory writability (probed at ping time).
+        wal: WalHealth,
+        /// Per-shard liveness, indexed by shard (legacy mode reports one
+        /// always-live shard).
+        shards: Vec<ShardHealth>,
+    },
+    /// Client → server: the recovered-hash handshake — ask a session for
+    /// its accepted stream hash and column count. Triggers lazy WAL
+    /// resume exactly like a push, so a retrying client can interrogate a
+    /// session whose shard just restarted.
+    QuerySession {
+        /// Client-chosen id echoed in the response.
+        id: u64,
+        /// The session handle.
+        session: u64,
+    },
+    /// Server → client: answer to a [`Msg::QuerySession`].
+    SessionStatus {
+        /// Echo of the request id.
+        id: u64,
+        /// The session handle.
+        session: u64,
+        /// Order-sensitive FNV hash of the accepted column stream — what
+        /// `IncrementalSolver::stream_hash` reports server-side.
+        stream_hash: u64,
+        /// Accepted column count.
+        columns: u64,
     },
 }
 
@@ -258,6 +359,29 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             out.push(TAG_METRICS);
             out.extend_from_slice(text.as_bytes());
         }
+        Msg::Ping { id } => {
+            out.push(TAG_PING);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        Msg::Pong { id, wal, shards } => {
+            out.push(TAG_PONG);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.push(*wal as u8);
+            out.extend_from_slice(&(shards.len() as u32).to_le_bytes());
+            out.extend(shards.iter().map(|s| s.to_byte()));
+        }
+        Msg::QuerySession { id, session } => {
+            out.push(TAG_QUERY_SESSION);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&session.to_le_bytes());
+        }
+        Msg::SessionStatus { id, session, stream_hash, columns } => {
+            out.push(TAG_SESSION_STATUS);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&session.to_le_bytes());
+            out.extend_from_slice(&stream_hash.to_le_bytes());
+            out.extend_from_slice(&columns.to_le_bytes());
+        }
     }
     out
 }
@@ -330,6 +454,51 @@ pub fn decode_msg(payload: &[u8]) -> Result<Msg, ProtoError> {
         TAG_METRICS => Ok(Msg::Metrics {
             text: String::from_utf8(rest.to_vec()).map_err(|_| ProtoError::BadUtf8)?,
         }),
+        TAG_PING => {
+            let id = u64_at(rest)?;
+            if rest.len() > 8 {
+                return Err(ProtoError::Trailing(rest.len() - 8));
+            }
+            Ok(Msg::Ping { id })
+        }
+        TAG_PONG => {
+            let id = u64_at(rest)?;
+            let &wal = rest.get(8).ok_or(ProtoError::Truncated)?;
+            let wal = WalHealth::from_u8(wal).ok_or(ProtoError::BadCode(wal))?;
+            let n = u32::from_le_bytes(
+                rest.get(9..13).ok_or(ProtoError::Truncated)?.try_into().unwrap(),
+            ) as usize;
+            let flags = rest.get(13..).ok_or(ProtoError::Truncated)?;
+            if flags.len() < n {
+                return Err(ProtoError::Truncated);
+            }
+            if flags.len() > n {
+                return Err(ProtoError::Trailing(flags.len() - n));
+            }
+            let shards = flags
+                .iter()
+                .map(|&b| ShardHealth::from_byte(b).ok_or(ProtoError::BadCode(b)))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Msg::Pong { id, wal, shards })
+        }
+        TAG_QUERY_SESSION => {
+            let id = u64_at(rest)?;
+            let session = u64_at(rest.get(8..).ok_or(ProtoError::Truncated)?)?;
+            if rest.len() > 16 {
+                return Err(ProtoError::Trailing(rest.len() - 16));
+            }
+            Ok(Msg::QuerySession { id, session })
+        }
+        TAG_SESSION_STATUS => {
+            let id = u64_at(rest)?;
+            let session = u64_at(rest.get(8..).ok_or(ProtoError::Truncated)?)?;
+            let stream_hash = u64_at(rest.get(16..).ok_or(ProtoError::Truncated)?)?;
+            let columns = u64_at(rest.get(24..).ok_or(ProtoError::Truncated)?)?;
+            if rest.len() > 32 {
+                return Err(ProtoError::Trailing(rest.len() - 32));
+            }
+            Ok(Msg::SessionStatus { id, session, stream_hash, columns })
+        }
         other => Err(ProtoError::BadTag(other)),
     }
 }
@@ -522,6 +691,68 @@ mod tests {
         });
         round_trip(&Msg::GetMetrics);
         round_trip(&Msg::Metrics { text: "c1pd_cache_hits_total 3\n".into() });
+        round_trip(&Msg::Error {
+            id: 14,
+            code: ErrorCode::Unavailable,
+            message: "shard 2 restarting".into(),
+        });
+        round_trip(&Msg::Ping { id: 15 });
+        round_trip(&Msg::Pong { id: 15, wal: WalHealth::Disabled, shards: vec![] });
+        round_trip(&Msg::Pong {
+            id: 16,
+            wal: WalHealth::Writable,
+            shards: vec![
+                ShardHealth { live: true, degraded: false },
+                ShardHealth { live: false, degraded: true },
+                ShardHealth { live: true, degraded: true },
+            ],
+        });
+        round_trip(&Msg::QuerySession { id: 17, session: u64::MAX });
+        round_trip(&Msg::SessionStatus {
+            id: 18,
+            session: 3,
+            stream_hash: 0xdead_beef_cafe_f00d,
+            columns: 42,
+        });
+    }
+
+    #[test]
+    fn health_and_handshake_frames_reject_truncation_and_trailing_bytes() {
+        for msg in [
+            Msg::Ping { id: 1 },
+            Msg::Pong {
+                id: 2,
+                wal: WalHealth::Unwritable,
+                shards: vec![
+                    ShardHealth { live: true, degraded: false },
+                    ShardHealth { live: true, degraded: true },
+                ],
+            },
+            Msg::QuerySession { id: 3, session: 9 },
+            Msg::SessionStatus { id: 4, session: 9, stream_hash: 7, columns: 5 },
+        ] {
+            let payload = encode_msg(&msg);
+            for cut in 0..payload.len() {
+                assert!(decode_msg(&payload[..cut]).is_err(), "{msg:?} cut at {cut}");
+            }
+            let mut extra = payload.clone();
+            extra.push(0);
+            assert!(
+                matches!(decode_msg(&extra), Err(ProtoError::Trailing(1))),
+                "{msg:?} must police trailing bytes"
+            );
+        }
+        // unknown wal-health and shard-flag bytes are BadCode, not panics
+        let mut pong = encode_msg(&Msg::Pong { id: 1, wal: WalHealth::Writable, shards: vec![] });
+        pong[9] = 9;
+        assert_eq!(decode_msg(&pong), Err(ProtoError::BadCode(9)));
+        let mut pong = encode_msg(&Msg::Pong {
+            id: 1,
+            wal: WalHealth::Writable,
+            shards: vec![ShardHealth { live: true, degraded: false }],
+        });
+        *pong.last_mut().unwrap() = 0xF0;
+        assert_eq!(decode_msg(&pong), Err(ProtoError::BadCode(0xF0)));
     }
 
     #[test]

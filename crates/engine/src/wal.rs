@@ -140,11 +140,12 @@ impl WalWriter {
         self.file.sync_data()
     }
 
-    /// Test-only fault hook (`--wal-fault-after`): writes a strict prefix
-    /// of the record, syncs it, and aborts the process — a deterministic
-    /// `kill -9` mid-append. Recovery must classify the result as a torn
-    /// tail and truncate it.
-    pub fn append_torn_and_abort(&mut self, delta: &Ensemble, stream_hash: u64) -> ! {
+    /// Chaos fault hook: writes a strict prefix of the record and syncs
+    /// it — a deterministic torn append, as if the process died mid-write.
+    /// The writer must not be used again (its file position is inside a
+    /// half-record); recovery classifies the result as a torn tail and
+    /// truncates it.
+    pub fn append_torn(&mut self, delta: &Ensemble, stream_hash: u64) {
         let payload = encode_ensemble(delta);
         let mut rec = Vec::with_capacity(payload.len() + 20);
         append_record(&mut rec, &payload, stream_hash);
@@ -152,6 +153,12 @@ impl WalWriter {
         let cut = (rec.len() / 2).max(4).min(rec.len() - 1);
         let _ = self.file.write_all(&rec[..cut]);
         let _ = self.file.sync_data();
+    }
+
+    /// Test-only fault hook (`--wal-fault-after`): [`WalWriter::append_torn`]
+    /// followed by a process abort — a deterministic `kill -9` mid-append.
+    pub fn append_torn_and_abort(&mut self, delta: &Ensemble, stream_hash: u64) -> ! {
+        self.append_torn(delta, stream_hash);
         std::process::abort();
     }
 

@@ -168,6 +168,27 @@ fn fnv_fold_col(mut h: u64, col: &[Atom]) -> u64 {
     h
 }
 
+/// The stream hash of a fresh session over `n_atoms` atoms — what
+/// [`IncrementalSolver::stream_hash`] reports before any push. The public
+/// fold (with [`fold_stream_hash`]) lets a *remote* client mirror the
+/// server's stream hash push by push, which is the client side of the
+/// recovered-hash handshake: after an ambiguous lost ack, compare the
+/// server's reported hash against the locally folded one to decide
+/// whether the push applied.
+pub fn initial_stream_hash(n_atoms: usize) -> u64 {
+    fnv_fold(FNV_OFFSET, n_atoms as u64)
+}
+
+/// Folds one accepted delta into stream hash `h`, exactly as
+/// [`IncrementalSolver::push`] does on accept (rejected pushes fold
+/// nothing). See [`initial_stream_hash`] for the handshake this enables.
+pub fn fold_stream_hash(mut h: u64, delta: &Ensemble) -> u64 {
+    for col in delta.columns() {
+        h = fnv_fold_col(h, col);
+    }
+    h
+}
+
 /// Sparse union-find over component keys (absent key = root); unions keep
 /// the *smaller* key as root, so a group's root is its min atom.
 fn find(parent: &HashMap<u32, u32>, mut k: u32) -> u32 {
@@ -267,10 +288,7 @@ impl IncrementalSolver {
         recorded_hash: u64,
     ) -> Result<(), ReplayError> {
         assert_eq!(delta.n_atoms(), self.n_atoms, "replay must match the session atom count");
-        let mut tentative = self.hash;
-        for col in delta.columns() {
-            tentative = fnv_fold_col(tentative, col);
-        }
+        let tentative = fold_stream_hash(self.hash, delta);
         if tentative != recorded_hash {
             return Err(ReplayError::HashMismatch { expected: recorded_hash, actual: tentative });
         }
@@ -426,6 +444,33 @@ mod tests {
         assert_eq!(inc.order(), &[0, 1, 2, 3, 4]);
         assert_eq!(inc.order().to_vec(), c1p_core::solve(&Ensemble::new(5)).unwrap());
         assert_eq!(inc.n_components(), 5);
+    }
+
+    #[test]
+    fn public_fold_mirrors_the_solver_hash_push_by_push() {
+        // the client side of the recovered-hash handshake: folding
+        // accepted deltas locally must track stream_hash exactly, and a
+        // rejected push must leave both sides untouched
+        let mut inc = IncrementalSolver::new(6);
+        let mut mirror = initial_stream_hash(6);
+        assert_eq!(mirror, inc.stream_hash());
+        for cols in
+            [vec![vec![0u32, 1], vec![1, 2]], vec![vec![3, 4]], vec![vec![2, 3], vec![4, 5]]]
+        {
+            let delta = Ensemble::from_columns(6, cols).unwrap();
+            let folded = fold_stream_hash(mirror, &delta);
+            assert!(inc.push(&delta).is_ok());
+            mirror = folded;
+            assert_eq!(mirror, inc.stream_hash(), "fold must track every accepted push");
+        }
+        // force a rejection: {0,2} against the chain 0-1-2 plus {1,3}… use
+        // a known non-C1P extension: columns pairing all three of 0,1,2
+        let reject =
+            Ensemble::from_columns(6, vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2, 3]])
+                .unwrap();
+        if inc.push(&reject).is_err() {
+            assert_eq!(mirror, inc.stream_hash(), "rejected pushes fold nothing");
+        }
     }
 
     #[test]

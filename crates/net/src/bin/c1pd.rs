@@ -7,6 +7,10 @@
 //!      [--max-sessions N] [--session-idle-ms MS] [--max-session-mb MB]
 //!      [--wal-dir DIR] [--snapshot-ms MS] [--wal-fault-after N]
 //!      [--event-loop] [--shards N] [--read-timeout-ms MS] [--outbox-kb KB]
+//!      [--chaos-seed N] [--chaos-socket-every N] [--chaos-kill-every N]
+//!      [--chaos-drop-every N] [--chaos-delay-every N]
+//!      [--chaos-wal-torn-every N] [--chaos-wal-fail-every N]
+//!      [--request-deadline-ms MS]
 //! ```
 //!
 //! Speaks the length-prefixed frame protocol of `c1p_engine::proto`: one
@@ -46,9 +50,22 @@
 //! shuts down gracefully: it stops accepting, drains each connection's
 //! in-flight frame (answering it), writes a final snapshot, and exits 0
 //! — WALs need no extra flush because every append was already fsynced.
+//!
+//! **Chaos** (DESIGN.md §12, `--event-loop` only): the `--chaos-*` flags
+//! arm a seeded deterministic fault plan. `--chaos-socket-every N`
+//! injects a socket fault (error / short read / delay / disconnect)
+//! roughly every N-th read and write; `--chaos-kill-every N` panics a
+//! shard worker every N-th job batch (it is respawned with WAL
+//! recovery); `--chaos-drop-every` / `--chaos-delay-every` drop or delay
+//! shard replies; `--chaos-wal-torn-every` / `--chaos-wal-fail-every`
+//! tear or refuse WAL appends. `--request-deadline-ms` answers any
+//! request still unanswered after MS milliseconds with `Unavailable`
+//! (defaulted to 2000 when replies can be dropped, so nothing hangs).
+//! Same seed + same schedule ⇒ the same faults fire at the same points.
 
 use c1p_engine::proto::DEFAULT_MAX_FRAME;
 use c1p_engine::EngineConfig;
+use c1p_net::fault::FaultPlan;
 use c1p_net::metrics::Metrics;
 use c1p_net::ServerOpts;
 use std::io::{self, Write};
@@ -93,6 +110,22 @@ fn num_flag(args: &[String], name: &str, default: usize) -> usize {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let defaults = EngineConfig::default();
+
+    // chaos plan (event-loop only): one seed staggers every schedule
+    let socket_every = num_flag(&args, "--chaos-socket-every", 0) as u64;
+    let drop_every = num_flag(&args, "--chaos-drop-every", 0) as u64;
+    let chaos = FaultPlan::seeded(num_flag(&args, "--chaos-seed", 1) as u64)
+        .with_read_every(socket_every)
+        .with_write_every(socket_every)
+        .with_kill_every(num_flag(&args, "--chaos-kill-every", 0) as u64)
+        .with_drop_every(drop_every)
+        .with_delay_every(num_flag(&args, "--chaos-delay-every", 0) as u64);
+    let wal_faults = chaos.wal(
+        num_flag(&args, "--chaos-wal-torn-every", 0) as u64,
+        num_flag(&args, "--chaos-wal-fail-every", 0) as u64,
+    );
+    let chaos_armed = !chaos.is_empty() || wal_faults.torn_every > 0 || wal_faults.fail_every > 0;
+
     let cfg = EngineConfig {
         threads: num_flag(&args, "--threads", 0),
         cache_bytes: num_flag(&args, "--cache-mb", defaults.cache_bytes >> 20) << 20,
@@ -109,6 +142,7 @@ fn main() {
         wal_dir: flag(&args, "--wal-dir").map(std::path::PathBuf::from),
         snapshot_interval_ms: num_flag(&args, "--snapshot-ms", 0) as u64,
         wal_fault_after: num_flag(&args, "--wal-fault-after", 0) as u64,
+        wal_faults,
     };
     let read_timeout_ms = num_flag(&args, "--read-timeout-ms", 250);
     let opts = ServerOpts {
@@ -124,6 +158,18 @@ fn main() {
     let addr = flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:9119".to_string());
     let drain = Duration::from_secs(30);
 
+    if chaos_armed && !event_loop {
+        eprintln!("c1pd: --chaos-* flags require --event-loop (supervision lives there)");
+        std::process::exit(2);
+    }
+    // dropped replies would hang their requests without a reaper
+    let mut deadline_ms = num_flag(&args, "--request-deadline-ms", 0) as u64;
+    if deadline_ms == 0 && drop_every > 0 {
+        deadline_ms = 2000;
+        eprintln!("c1pd: --chaos-drop-every set; defaulting --request-deadline-ms to 2000");
+    }
+    let request_deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+
     install_signal_handlers();
     let listener =
         TcpListener::bind(&addr).unwrap_or_else(|e| panic!("c1pd: cannot bind {addr}: {e}"));
@@ -136,7 +182,7 @@ fn main() {
     }
 
     if event_loop {
-        run_event_loop(listener, cfg, opts, shards, drain);
+        run_event_loop(listener, cfg, opts, shards, drain, chaos, request_deadline);
     } else {
         if shards > 1 {
             eprintln!("c1pd: --shards applies to --event-loop mode; the legacy server is 1 shard");
@@ -155,8 +201,17 @@ fn run_event_loop(
     opts: ServerOpts,
     shards: usize,
     drain: Duration,
+    chaos: FaultPlan,
+    request_deadline: Option<Duration>,
 ) {
-    let el = c1p_net::event_loop::EventLoopOpts { shards, server: opts, engine_cfg: cfg, drain };
+    let el = c1p_net::event_loop::EventLoopOpts {
+        shards,
+        server: opts,
+        engine_cfg: cfg,
+        drain,
+        fault: Arc::new(chaos),
+        request_deadline,
+    };
     let metrics = Arc::new(Metrics::new(shards));
     c1p_net::event_loop::serve(listener, &el, &SHUTDOWN, &metrics)
         .unwrap_or_else(|e| panic!("c1pd: event loop failed: {e}"));
@@ -169,6 +224,8 @@ fn run_event_loop(
     _opts: ServerOpts,
     _shards: usize,
     _drain: Duration,
+    _chaos: FaultPlan,
+    _request_deadline: Option<Duration>,
 ) {
     eprintln!("c1pd: --event-loop needs poll(2); use the default thread-per-connection mode");
     std::process::exit(2);

@@ -14,6 +14,12 @@
 //!             [--cycles 5] [--streams 6] [--pushes 8] [--blocks 4]
 //!             [--seed 1] [--reject-every 3] [--n-lo 64] [--n-hi 160]
 //!             [--snapshot-ms 50] [--fault-every 2]
+//! load_driver --mode chaos --server PATH/TO/c1pd [--wal-dir DIR]
+//!             [--shards 2] [--streams 8] [--pushes 6] [--blocks 4]
+//!             [--solves 60] [--seed 1] [--reject-every 3]
+//!             [--n-lo 64] [--n-hi 160] [--kill-every 6] [--drop-every 5]
+//!             [--socket-every 17] [--delay-every 11] [--wal-torn-every 7]
+//!             [--deadline-ms 400] [--expect-metrics]
 //! ```
 //!
 //! **Solve mode** (default) generates a deterministic mixed accept/reject
@@ -61,6 +67,19 @@
 //! the end every stream must seal bit-identically to a one-shot
 //! in-process solve of its accepted concatenation.
 //!
+//! **Chaos mode** is the fault-injection harness (DESIGN.md §12): the
+//! driver spawns `c1pd --event-loop` with a seeded fault plan — worker
+//! kills, dropped/delayed shard replies, socket faults, torn WAL
+//! appends — and drives mixed solve + session traffic at it through the
+//! self-healing `c1p_net::client`. The assertions are absolute: every
+//! verdict that settles verifies client-side and agrees with the
+//! incremental PQ mirror; every sealed order whose reply arrived is
+//! bit-identical to a one-shot in-process solve; no operation exceeds
+//! its client deadline (a hang is a hard failure); and the server's
+//! metrics must show the chaos actually happened — injected faults,
+//! at least one supervised shard restart, and session recovery from the
+//! WAL within one process lifetime.
+//!
 //! Every response is checked **client-side, without trusting the server**:
 //! accepts must pass `verify_linear` against the concatenated instance,
 //! rejects must carry a Tucker certificate that `c1p_cert::verify_witness`
@@ -102,6 +121,7 @@ fn main() {
     match flag(&args, "--mode").as_deref() {
         Some("sessions") => return sessions_main(&args),
         Some("crash") => return crash_main(&args),
+        Some("chaos") => return chaos_main(&args),
         _ => {}
     }
     let addr = flag(&args, "--addr").expect("--addr HOST:PORT is required");
@@ -238,7 +258,7 @@ fn main() {
         eprintln!("FAIL: expected a nonzero server cache hit count, got {hits}");
         failed = true;
     }
-    if expect_metrics && !check_metrics(&addr, expect_hits) {
+    if expect_metrics && !check_metrics(&addr, expect_hits, &[]) {
         failed = true;
     }
     if failed {
@@ -250,8 +270,10 @@ fn main() {
 /// The `--expect-metrics` gate: fetches the plain-text dump and checks
 /// (a) every stable series name renders — the name set is the contract —
 /// and (b) the counters this load necessarily exercised are nonzero.
-fn check_metrics(addr: &str, expect_hits: bool) -> bool {
-    let Some(dump) = fetch_metrics(addr) else {
+/// `extra` names more series the caller's load must have moved (chaos
+/// mode adds its fault/supervision counters).
+fn check_metrics(addr: &str, expect_hits: bool, extra: &[&str]) -> bool {
+    let Some(dump) = fetch_metrics_retry(addr, 10) else {
         eprintln!("FAIL: could not fetch the GetMetrics dump");
         return false;
     };
@@ -275,6 +297,7 @@ fn check_metrics(addr: &str, expect_hits: bool) -> bool {
     if expect_hits {
         exercised.push("c1pd_cache_hits_total");
     }
+    exercised.extend_from_slice(extra);
     for series in exercised {
         match c1p_net::metrics::scrape(&dump, series) {
             Some(v) if v > 0 => {}
@@ -288,6 +311,18 @@ fn check_metrics(addr: &str, expect_hits: bool) -> bool {
         println!("metrics: all {} stable series present and exercised", dump.lines().count());
     }
     ok
+}
+
+/// [`fetch_metrics`] with retries — chaos mode's socket faults can kill
+/// the scrape connection itself, which proves nothing about the server.
+fn fetch_metrics_retry(addr: &str, attempts: usize) -> Option<String> {
+    for _ in 0..attempts {
+        if let Some(dump) = fetch_metrics(addr) {
+            return Some(dump);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    None
 }
 
 /// Fetches the plain-text metrics dump over a fresh connection.
@@ -1038,6 +1073,422 @@ fn drive_crash_cycle(
         }
     }
     false
+}
+
+// ---------------------------------------------------------------------
+// chaos mode
+// ---------------------------------------------------------------------
+
+/// Counts that only chaos mode keeps, alongside the shared [`Tally`].
+#[derive(Default)]
+struct ChaosTally {
+    /// Operations that exceeded the client deadline — each one is a
+    /// request that effectively hung. The gate is zero.
+    hangs: AtomicU64,
+    /// Pushes whose verdict frame was lost but whose application was
+    /// proven by the recovered-hash handshake.
+    recovered_pushes: AtomicU64,
+    /// Seals that applied with the reply lost (order re-derived and
+    /// verified via `Solve`).
+    lost_seals: AtomicU64,
+}
+
+fn chaos_main(args: &[String]) {
+    let server_bin = flag(args, "--server").expect("--server PATH (the c1pd binary) is required");
+    let wal_dir = flag(args, "--wal-dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("c1p-chaos-{}", std::process::id())));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    std::fs::create_dir_all(&wal_dir).expect("create --wal-dir");
+    let shards = (num_flag(args, "--shards", 2) as usize).max(1);
+    let streams_n = (num_flag(args, "--streams", 8) as usize).max(1);
+    let pushes = (num_flag(args, "--pushes", 6) as usize).max(2);
+    let blocks = (num_flag(args, "--blocks", 4) as usize).max(1);
+    let solves = (num_flag(args, "--solves", 60) as usize).max(1);
+    let seed = num_flag(args, "--seed", 1);
+    let reject_every = num_flag(args, "--reject-every", 3) as usize;
+    let n_lo = num_flag(args, "--n-lo", 64) as usize;
+    let n_hi = num_flag(args, "--n-hi", 160) as usize;
+    let kill_every = num_flag(args, "--kill-every", 6);
+    let drop_every = num_flag(args, "--drop-every", 5);
+    let socket_every = num_flag(args, "--socket-every", 17);
+    let delay_every = num_flag(args, "--delay-every", 11);
+    let wal_torn_every = num_flag(args, "--wal-torn-every", 7);
+    let deadline_ms = num_flag(args, "--deadline-ms", 400);
+    let expect_metrics = args.iter().any(|a| a == "--expect-metrics");
+    assert!(n_lo >= 16 * blocks, "reject embedding needs blocks of >= 16 atoms");
+    assert!(n_hi >= n_lo);
+
+    // the same deterministic plans session mode replays — chaos changes
+    // the transport, never the workload
+    let plans: Vec<StreamPlan> = (0..streams_n)
+        .map(|s| {
+            let stream_seed = seed.wrapping_mul(2609).wrapping_add(s as u64);
+            let n = n_lo + (stream_seed as usize).wrapping_mul(31) % (n_hi - n_lo + 1);
+            if reject_every > 0 && s % reject_every == reject_every - 1 {
+                let (stream, at, _) = append_stream_reject(n, blocks, pushes, stream_seed);
+                StreamPlan { stream, reject_at: Some(at) }
+            } else {
+                StreamPlan {
+                    stream: append_stream(n, blocks, pushes, stream_seed),
+                    reject_at: None,
+                }
+            }
+        })
+        .collect();
+
+    let port_file = wal_dir.join("port");
+    let mut child = std::process::Command::new(&server_bin)
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--port-file")
+        .arg(&port_file)
+        .arg("--event-loop")
+        .arg("--shards")
+        .arg(shards.to_string())
+        .arg("--wal-dir")
+        .arg(&wal_dir)
+        .arg("--threads")
+        .arg("2")
+        .arg("--chaos-seed")
+        .arg(seed.to_string())
+        .arg("--chaos-kill-every")
+        .arg(kill_every.to_string())
+        .arg("--chaos-drop-every")
+        .arg(drop_every.to_string())
+        .arg("--chaos-socket-every")
+        .arg(socket_every.to_string())
+        .arg("--chaos-delay-every")
+        .arg(delay_every.to_string())
+        .arg("--chaos-wal-torn-every")
+        .arg(wal_torn_every.to_string())
+        .arg("--request-deadline-ms")
+        .arg(deadline_ms.to_string())
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .unwrap_or_else(|e| panic!("cannot spawn {server_bin}: {e}"));
+    let addr = format!("127.0.0.1:{}", wait_port(&port_file));
+    println!(
+        "load_driver chaos: {streams_n} stream(s) × {pushes} pushes + {solves} solve(s) against \
+         {shards} shard(s); kill/{kill_every} drop/{drop_every} socket/{socket_every} \
+         delay/{delay_every} wal-torn/{wal_torn_every}, deadline {deadline_ms}ms, seed {seed}"
+    );
+
+    let tally = Arc::new(Tally::default());
+    let chaos = Arc::new(ChaosTally::default());
+    let plans = Arc::new(plans);
+    let t0 = Instant::now();
+    let sessions_thread = {
+        let (plans, tally, chaos, addr) =
+            (Arc::clone(&plans), Arc::clone(&tally), Arc::clone(&chaos), addr.clone());
+        std::thread::spawn(move || drive_chaos_streams(&addr, &plans, &tally, &chaos, seed))
+    };
+    let solves_thread = {
+        let (tally, chaos, addr) = (Arc::clone(&tally), Arc::clone(&chaos), addr.clone());
+        std::thread::spawn(move || drive_chaos_solves(&addr, solves, seed, &tally, &chaos))
+    };
+    let client_retries = sessions_thread.join().expect("sessions thread panicked")
+        + solves_thread.join().expect("solves thread panicked");
+    let wall = t0.elapsed();
+
+    let completed = tally.completed.load(Ordering::Relaxed);
+    let protocol_errors = tally.protocol_errors.load(Ordering::Relaxed);
+    let verify_failures = tally.verify_failures.load(Ordering::Relaxed);
+    let disagreements = tally.disagreements.load(Ordering::Relaxed);
+    let hangs = chaos.hangs.load(Ordering::Relaxed);
+    let recovered_pushes = chaos.recovered_pushes.load(Ordering::Relaxed);
+    let lost_seals = chaos.lost_seals.load(Ordering::Relaxed);
+    let expected_ops = (streams_n * (pushes + 2) + solves) as u64;
+    println!(
+        "completed {completed}/{expected_ops} ops in {:.2}s | client retries {client_retries} \
+         ({recovered_pushes} pushes recovered by handshake, {lost_seals} seals re-derived)",
+        wall.as_secs_f64(),
+    );
+    println!(
+        "protocol errors {protocol_errors} | verify failures {verify_failures} | \
+         disagreements {disagreements} | hangs {hangs}"
+    );
+
+    // the chaos must be real: scrape the proof before killing the server
+    let mut failed = false;
+    let scrape = |dump: &str, name: &str| c1p_net::metrics::scrape(dump, name).unwrap_or(-1);
+    match fetch_metrics_retry(&addr, 10) {
+        Some(dump) => {
+            let injected = scrape(&dump, "c1pd_faults_injected_total");
+            let restarts = scrape(&dump, "c1pd_shard_restarts_total");
+            let swept = scrape(&dump, "c1pd_degraded_replies_total");
+            let reaped = scrape(&dump, "c1pd_deadline_expired_total");
+            let queries = scrape(&dump, "c1pd_retries_total");
+            println!(
+                "server: faults injected {injected} | shard restarts {restarts} | \
+                 swept replies {swept} | deadline reaps {reaped} | handshake queries {queries}"
+            );
+            if injected < 1 {
+                eprintln!("FAIL: the fault plan never fired — this was not a chaos run");
+                failed = true;
+            }
+            if restarts < 1 {
+                eprintln!("FAIL: no supervised shard restart happened");
+                failed = true;
+            }
+            let recovered = fetch_stat(&addr, "\"recovered_sessions\":").unwrap_or(-1);
+            if recovered < 1 {
+                eprintln!("FAIL: no session was recovered from the WAL after a restart");
+                failed = true;
+            }
+            println!("server: sessions recovered from WAL after restarts: {recovered}");
+        }
+        None => {
+            eprintln!("FAIL: could not scrape the server after the run");
+            failed = true;
+        }
+    }
+    if expect_metrics
+        && !check_metrics(
+            &addr,
+            false,
+            &[
+                "c1pd_faults_injected_total",
+                "c1pd_retries_total",
+                "c1pd_shard_restarts_total",
+                "c1pd_degraded_replies_total",
+                "c1pd_deadline_expired_total",
+            ],
+        )
+    {
+        failed = true;
+    }
+    child.kill().ok();
+    child.wait().ok();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    if completed != expected_ops || protocol_errors > 0 {
+        eprintln!("FAIL: protocol errors or unsettled operations");
+        failed = true;
+    }
+    if verify_failures > 0 {
+        eprintln!("FAIL: client-side verification failures");
+        failed = true;
+    }
+    if disagreements > 0 {
+        eprintln!("FAIL: verdict disagreement with the PQ mirror / in-process solve");
+        failed = true;
+    }
+    if hangs > 0 {
+        eprintln!("FAIL: {hangs} operation(s) outlived the client deadline");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("load_driver: all chaos checks passed");
+}
+
+/// The chaos retry policy: a deadline far above any injected stall so a
+/// `DeadlineExceeded` can only mean a genuine hang, and a tight backoff
+/// so the run stays fast.
+fn chaos_policy(seed: u64) -> c1p_net::client::RetryPolicy {
+    c1p_net::client::RetryPolicy {
+        deadline: std::time::Duration::from_secs(60),
+        base: std::time::Duration::from_millis(2),
+        cap: std::time::Duration::from_millis(50),
+        seed,
+    }
+}
+
+/// Streams every session plan through the self-healing client, predicting
+/// each verdict with the incremental PQ mirror and gating seals on the
+/// in-process solve. Returns the client's transport retry count.
+fn drive_chaos_streams(
+    addr: &str,
+    plans: &[StreamPlan],
+    tally: &Tally,
+    chaos: &ChaosTally,
+    seed: u64,
+) -> u64 {
+    use c1p_net::client::{Client, ClientError, PushOutcome, SealOutcome};
+    let mut client = Client::new(addr, chaos_policy(seed ^ 0xC1A0));
+    for (s, plan) in plans.iter().enumerate() {
+        let n = plan.stream.n_atoms;
+        let mut mirror = c1p_pqtree::Reducer::new(n);
+        let mut accepted: Vec<Vec<Atom>> = Vec::new();
+        let mut session = match client.open_session(n) {
+            Ok(session) => {
+                tally.completed.fetch_add(1, Ordering::Relaxed);
+                session
+            }
+            Err(ClientError::DeadlineExceeded { .. }) => {
+                chaos.hangs.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            Err(e) => {
+                eprintln!("stream {s}: open failed: {e}");
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        };
+        let mut abandoned = false;
+        for k in 0..plan.stream.pushes.len() {
+            let push = plan.stream.pushes[k].clone();
+            let delta = Ensemble::from_columns(n, push.clone()).expect("stream columns valid");
+            let mut predicted_ok = true;
+            for col in &push {
+                predicted_ok &= mirror.push(col);
+            }
+            let mut cols = accepted.clone();
+            cols.extend(push.iter().cloned());
+            let concat = Ensemble::from_columns(n, cols).expect("stream columns valid");
+            match session.push(&delta) {
+                Ok(PushOutcome::Verdict(WireVerdict::Accept { order })) => {
+                    tally.completed.fetch_add(1, Ordering::Relaxed);
+                    if verify_linear(&concat, &order).is_err() {
+                        tally.verify_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if !predicted_ok || plan.reject_at == Some(k) {
+                        tally.disagreements.fetch_add(1, Ordering::Relaxed);
+                    }
+                    accepted.extend(push.iter().cloned());
+                }
+                Ok(PushOutcome::Verdict(WireVerdict::Reject { family, atom_rows, column_ids })) => {
+                    tally.completed.fetch_add(1, Ordering::Relaxed);
+                    let witness = TuckerWitness { family, atom_rows, column_ids };
+                    if verify_witness(&concat, &witness).is_err() {
+                        tally.verify_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if predicted_ok || plan.reject_at != Some(k) {
+                        tally.disagreements.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // server rolled back; resync the mirror to match
+                    mirror = c1p_pqtree::Reducer::new(n);
+                    for col in &accepted {
+                        mirror.push(col);
+                    }
+                }
+                Ok(PushOutcome::RecoveredAccepted) => {
+                    // the handshake proved application; the lost frame's
+                    // witness is gone, but acceptance itself must agree
+                    tally.completed.fetch_add(1, Ordering::Relaxed);
+                    chaos.recovered_pushes.fetch_add(1, Ordering::Relaxed);
+                    if !predicted_ok || plan.reject_at == Some(k) {
+                        tally.disagreements.fetch_add(1, Ordering::Relaxed);
+                    }
+                    accepted.extend(push.iter().cloned());
+                }
+                Err(ClientError::DeadlineExceeded { .. }) => {
+                    chaos.hangs.fetch_add(1, Ordering::Relaxed);
+                    abandoned = true;
+                    break;
+                }
+                Err(e) => {
+                    eprintln!("stream {s} push {k}: {e}");
+                    tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    abandoned = true;
+                    break;
+                }
+            }
+        }
+        if abandoned {
+            continue;
+        }
+        let fin = Ensemble::from_columns(n, accepted.clone()).expect("stream columns valid");
+        match session.seal() {
+            Ok(SealOutcome::Order(order)) => {
+                tally.completed.fetch_add(1, Ordering::Relaxed);
+                // the acceptance criterion, verbatim: a delivered seal is
+                // bit-identical to the fault-free one-shot solve
+                match c1p_core::solve(&fin) {
+                    Ok(expect) if expect == order => {}
+                    _ => {
+                        tally.disagreements.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Ok(SealOutcome::LostButSealed) => {
+                tally.completed.fetch_add(1, Ordering::Relaxed);
+                chaos.lost_seals.fetch_add(1, Ordering::Relaxed);
+                // the reply is unrecoverable but the order is not: solve
+                // the accepted concatenation and verify the witness
+                match client.solve(&fin) {
+                    Ok(WireVerdict::Accept { order }) => {
+                        if verify_linear(&fin, &order).is_err() {
+                            tally.verify_failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Ok(other) => {
+                        eprintln!("stream {s}: post-seal solve rejected: {other:?}");
+                        tally.disagreements.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(ClientError::DeadlineExceeded { .. }) => {
+                        chaos.hangs.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        eprintln!("stream {s}: post-seal solve failed: {e}");
+                        tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(ClientError::DeadlineExceeded { .. }) => {
+                chaos.hangs.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                eprintln!("stream {s} seal: {e}");
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    client.retries()
+}
+
+/// Runs the mixed solve schedule through a retrying client, verifying
+/// every verdict client-side. Returns the client's transport retry count.
+fn drive_chaos_solves(
+    addr: &str,
+    solves: usize,
+    seed: u64,
+    tally: &Tally,
+    chaos: &ChaosTally,
+) -> u64 {
+    use c1p_net::client::{Client, ClientError};
+    let schedule = mixed_schedule(MixedSchedule {
+        requests: solves,
+        seed: seed ^ 0x50_1f,
+        dup_every: 3,
+        reject_every: 4,
+        n_lo: 48,
+        n_hi: 128,
+    });
+    let mut client = Client::new(addr, chaos_policy(seed ^ 0x50_1f));
+    for (i, ens) in schedule.iter().enumerate() {
+        match client.solve(ens) {
+            Ok(WireVerdict::Accept { order }) => {
+                tally.completed.fetch_add(1, Ordering::Relaxed);
+                if verify_linear(ens, &order).is_err() {
+                    tally.verify_failures.fetch_add(1, Ordering::Relaxed);
+                }
+                if c1p_core::solve(ens).is_err() {
+                    tally.disagreements.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(WireVerdict::Reject { family, atom_rows, column_ids }) => {
+                tally.completed.fetch_add(1, Ordering::Relaxed);
+                let witness = TuckerWitness { family, atom_rows, column_ids };
+                if verify_witness(ens, &witness).is_err() {
+                    tally.verify_failures.fetch_add(1, Ordering::Relaxed);
+                }
+                if c1p_core::solve(ens).is_ok() {
+                    tally.disagreements.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(ClientError::DeadlineExceeded { .. }) => {
+                chaos.hangs.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                eprintln!("solve {i}: {e}");
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    client.retries()
 }
 
 /// Solves the warm-start probe and verifies the witness. Returns false on

@@ -1,11 +1,12 @@
 //! The event-driven sharded server: one readiness thread multiplexing
-//! every socket over `poll(2)`, N shard workers each owning an engine.
+//! every socket over `poll(2)`, N supervised shard workers each owning
+//! an engine.
 //!
 //! ```text
 //!            poll(2)                       mpsc per shard
 //!  sockets ──────────► event-loop thread ─────────────────► shard worker 0..N
 //!     ▲                    │    ▲                                │
-//!     │   outbox flush     │    │  completions + wake pipe       │ Engine
+//!     │   outbox flush     │    │  events + wake pipe            │ Engine
 //!     └────────────────────┘    └────────────────────────────────┘
 //! ```
 //!
@@ -36,26 +37,56 @@
 //! beyond the engine queue depth answer `Overloaded` without ever
 //! reaching a shard.
 //!
+//! **Supervision** (DESIGN.md §12). A shard worker that panics — an
+//! injected chaos kill, an injected WAL fault, or a real bug — does not
+//! take the server down. The worker runs under `catch_unwind` and its
+//! last act is posting `WorkerDown`; the event loop then (1) answers
+//! every request in flight on that shard with an exact `Unavailable`
+//! error — a request is *never* silently dropped — and (2) respawns the
+//! worker, which rebuilds its engine from `<wal_dir>/shard-i` off the
+//! event thread: the same boot-time recovery a process restart runs,
+//! exercised within one process lifetime. Sessions whose last accepted
+//! push was fsynced recover exactly; the in-memory state the panic tore
+//! dies with the old engine. A shard whose replacements die three times
+//! in a row without completing a single job is marked permanently
+//! degraded and answers `Unavailable` thereafter. The global in-flight
+//! map doubles as a request-deadline reaper: with a deadline configured,
+//! a request whose reply was lost (a dropped chaos reply, a worker death
+//! race) is answered `Unavailable` when its budget expires, and the late
+//! completion — if it ever arrives — is dropped by map absence, so a
+//! reply is sent exactly once.
+//!
+//! **Fault injection.** When [`EventLoopOpts::fault`] is armed, every
+//! connection's reads and writes go through [`FaultyIo`] and each worker
+//! consults the plan's kill/reply schedules — see [`crate::fault`]. An
+//! empty plan costs one branch per I/O pass.
+//!
 //! **Shutdown.** When `stop` flips: stop accepting, let mid-frame
 //! connections finish the frame they started, answer everything already
 //! dispatched, flush outboxes, then `flush_durability` on every shard —
 //! all bounded by `drain`.
 
 use crate::conn::{FrameReader, Outbox, PullError};
+use crate::fault::{FaultPlan, FaultyIo, ReplyFault};
 use crate::metrics::Metrics;
 use crate::poll::{poll_fds, PollFd, POLLIN, POLLOUT};
 use crate::{engine_error, open_reply, pick_shard, route_hash, session_reply, ServerOpts};
-use c1p_engine::proto::{decode_msg, encode_msg, ErrorCode, Msg};
+use c1p_engine::proto::{decode_msg, encode_msg, ErrorCode, Msg, ShardHealth};
 use c1p_engine::{Engine, EngineConfig, EngineError};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::os::unix::net::UnixStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
+use std::thread::Scope;
 use std::time::{Duration, Instant};
+
+/// Consecutive zero-job worker deaths before a shard is given up on.
+const MAX_ZERO_JOB_DEATHS: u32 = 3;
 
 /// Event-loop server configuration.
 #[derive(Debug, Clone)]
@@ -69,6 +100,16 @@ pub struct EventLoopOpts {
     pub engine_cfg: EngineConfig,
     /// Graceful-shutdown budget: drain connections, then flush.
     pub drain: Duration,
+    /// Chaos schedule for socket/mailbox faults and worker kills
+    /// (WAL-append faults ride in `engine_cfg.wal_faults`). The empty
+    /// plan — the default — injects nothing and costs one branch.
+    pub fault: Arc<FaultPlan>,
+    /// Server-side request deadline: a dispatched request still
+    /// unanswered after this long is answered `Unavailable` by the
+    /// reaper (its late reply, if any, is dropped). `None` disables the
+    /// reaper; chaos plans that drop replies need it, or the dropped
+    /// request would hang its connection slot forever.
+    pub request_deadline: Option<Duration>,
 }
 
 impl Default for EventLoopOpts {
@@ -78,24 +119,90 @@ impl Default for EventLoopOpts {
             server: ServerOpts::default(),
             engine_cfg: EngineConfig::default(),
             drain: Duration::from_secs(30),
+            fault: Arc::new(FaultPlan::none()),
+            request_deadline: None,
         }
     }
 }
 
 /// One unit of work for a shard worker.
 enum Job {
-    Solve { conn: u64, seq: u64, t0: Instant, id: u64, ens: c1p_matrix::Ensemble },
-    Open { conn: u64, seq: u64, t0: Instant, id: u64, n_atoms: u64 },
-    Session { conn: u64, seq: u64, t0: Instant, msg: Msg, local: u64, public: u64 },
+    Solve { conn: u64, seq: u64, id: u64, ens: c1p_matrix::Ensemble },
+    Open { conn: u64, seq: u64, id: u64, n_atoms: u64 },
+    Session { conn: u64, seq: u64, msg: Msg, local: u64, public: u64 },
 }
 
 /// A finished job on its way back to the event loop.
 struct Completion {
     conn: u64,
     seq: u64,
-    t0: Instant,
-    shard: usize,
     reply: Msg,
+}
+
+/// Everything a worker can tell the event loop (posted under one mutex,
+/// drained each iteration; the wake pipe signals "look now").
+enum Event {
+    /// A job finished; `reply` releases when its sequence is next.
+    Done(Completion),
+    /// A respawned worker finished rebuilding its engine — swap it in.
+    WorkerUp { shard: usize, engine: Arc<Engine> },
+    /// A worker panicked. `jobs_done` = jobs it completed since spawn
+    /// (0 ⇒ it died before doing anything — the degradation signal).
+    WorkerDown { shard: usize, jobs_done: u64 },
+}
+
+/// Pushes one event, riding over a poisoned lock: supervision must keep
+/// working precisely when other threads are panicking.
+fn push_event(events: &Mutex<Vec<Event>>, ev: Event) {
+    match events.lock() {
+        Ok(mut q) => q.push(ev),
+        Err(poisoned) => poisoned.into_inner().push(ev),
+    }
+}
+
+/// Drains all queued events (same poison tolerance).
+fn take_events(events: &Mutex<Vec<Event>>) -> Vec<Event> {
+    match events.lock() {
+        Ok(mut q) => std::mem::take(&mut *q),
+        Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+    }
+}
+
+/// Rings the wake pipe. One byte must actually land, so `Interrupted`
+/// retries; `WouldBlock` means the pipe already holds pending wakeups
+/// and the event loop will drain it regardless — safe to drop.
+fn ring(wake: &UnixStream) {
+    loop {
+        match (&*wake).write(&[1u8]) {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            _ => return,
+        }
+    }
+}
+
+/// The event-loop's supervision handle on one shard.
+struct ShardCtl {
+    /// Job channel to the live worker; `None` while degraded.
+    tx: Option<mpsc::Sender<Job>>,
+    /// `false` between a worker's death and its replacement's
+    /// `WorkerUp` (the replacement is rebuilding its engine).
+    up: bool,
+    /// Permanently down: respawns kept dying before completing a job.
+    degraded: bool,
+    /// Consecutive deaths with `jobs_done == 0`.
+    zero_job_deaths: u32,
+}
+
+/// One dispatched request awaiting its shard reply, keyed globally by
+/// `(conn, seq)`. Single-settlement: whoever removes the entry —
+/// completion, worker-death sweep, or deadline reaper — owns sending
+/// the one reply and balancing the queue gauges; a late completion
+/// finding no entry is dropped.
+struct Pending {
+    shard: usize,
+    /// Request id, echoed in an `Unavailable` frame if one is needed.
+    id: u64,
+    t0: Instant,
 }
 
 /// Per-connection event-loop state.
@@ -157,43 +264,42 @@ pub fn serve(
     assert!(opts.shards >= 1, "at least one shard");
     assert_eq!(metrics.shards.len(), opts.shards, "metrics registry sized for the shard count");
     listener.set_nonblocking(true)?;
-    let engines: Vec<Arc<Engine>> = (0..opts.shards)
-        .map(|i| {
-            let mut cfg = opts.engine_cfg.clone();
-            cfg.wal_dir = opts.engine_cfg.wal_dir.as_ref().map(|d| d.join(format!("shard-{i}")));
-            Arc::new(Engine::new(cfg))
-        })
-        .collect();
-    let completions: Mutex<Vec<Completion>> = Mutex::new(Vec::new());
+    let engines: Vec<Arc<Engine>> =
+        (0..opts.shards).map(|i| Arc::new(Engine::new(shard_cfg(&opts.engine_cfg, i)))).collect();
+    let events: Mutex<Vec<Event>> = Mutex::new(Vec::new());
     let (wake_tx, wake_rx) = UnixStream::pair()?;
     wake_rx.set_nonblocking(true)?;
     wake_tx.set_nonblocking(true)?;
-
-    let mut senders: Vec<mpsc::Sender<Job>> = Vec::new();
-    let mut receivers: Vec<mpsc::Receiver<Job>> = Vec::new();
-    for _ in 0..opts.shards {
-        let (tx, rx) = mpsc::channel();
-        senders.push(tx);
-        receivers.push(rx);
-    }
 
     let max_batch = opts.engine_cfg.max_batch.max(1);
     // clone the wake pipe up front so every worker is guaranteed to spawn
     // (a failure mid-spawn would leave senders alive and the scope stuck)
     let wakes: Vec<UnixStream> =
         (0..opts.shards).map(|_| wake_tx.try_clone()).collect::<io::Result<_>>()?;
-    std::thread::scope(|scope| {
-        for ((shard, rx), wake) in receivers.into_iter().enumerate().zip(wakes) {
-            let engine = Arc::clone(&engines[shard]);
-            let completions = &completions;
-            let shards = opts.shards;
-            scope.spawn(move || {
-                shard_worker(shard, shards, rx, engine, completions, wake, max_batch)
-            });
+    let engines = std::thread::scope(|scope| {
+        let mut ctls: Vec<ShardCtl> = Vec::with_capacity(opts.shards);
+        for (shard, wake) in wakes.into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            spawn_worker(
+                scope,
+                shard,
+                rx,
+                Some(Arc::clone(&engines[shard])),
+                shard_cfg(&opts.engine_cfg, shard),
+                WorkerEnv {
+                    events: &events,
+                    wake,
+                    plan: Arc::clone(&opts.fault),
+                    metrics: Arc::clone(metrics),
+                    shards: opts.shards,
+                    max_batch,
+                },
+            );
+            ctls.push(ShardCtl { tx: Some(tx), up: true, degraded: false, zero_job_deaths: 0 });
         }
-        // dropping the senders (done inside event_loop when it returns)
+        // dropping the ctls (done inside event_loop when it returns)
         // ends the workers; the scope joins them before we flush below
-        event_loop(&listener, opts, stop, metrics, &engines, senders, wake_rx, &completions)
+        event_loop(scope, &listener, opts, stop, metrics, engines, ctls, &wake_tx, wake_rx, &events)
     })?;
     for e in &engines {
         e.flush_durability();
@@ -201,27 +307,85 @@ pub fn serve(
     Ok(engines)
 }
 
+/// The shard-`i` engine configuration: same knobs, shard-scoped WAL dir.
+fn shard_cfg(base: &EngineConfig, shard: usize) -> EngineConfig {
+    let mut cfg = base.clone();
+    cfg.wal_dir = base.wal_dir.as_ref().map(|d| d.join(format!("shard-{shard}")));
+    cfg
+}
+
+/// Everything a worker thread owns besides its job channel and engine.
+struct WorkerEnv<'scope> {
+    events: &'scope Mutex<Vec<Event>>,
+    wake: UnixStream,
+    plan: Arc<FaultPlan>,
+    metrics: Arc<Metrics>,
+    shards: usize,
+    max_batch: usize,
+}
+
+/// Spawns one supervised shard worker. `engine: None` means "rebuild
+/// from the WAL first" — the respawn path: recovery runs on the worker
+/// thread, never the event thread, and announces itself with `WorkerUp`.
+/// Any panic — injected kill, injected WAL fault, engine bug, even a
+/// panic inside `Engine::new` recovery — is caught and reported as
+/// `WorkerDown` with the number of jobs this incarnation completed.
+fn spawn_worker<'scope>(
+    scope: &'scope Scope<'scope, '_>,
+    shard: usize,
+    rx: mpsc::Receiver<Job>,
+    engine: Option<Arc<Engine>>,
+    cfg: EngineConfig,
+    env: WorkerEnv<'scope>,
+) {
+    scope.spawn(move || {
+        let mut jobs_done = 0u64;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let engine = match engine {
+                Some(e) => e,
+                None => {
+                    let e = Arc::new(Engine::new(cfg));
+                    push_event(env.events, Event::WorkerUp { shard, engine: Arc::clone(&e) });
+                    ring(&env.wake);
+                    e
+                }
+            };
+            worker_loop(shard, &rx, &engine, &env, &mut jobs_done)
+        }));
+        if result.is_err() {
+            // the receiver died with the loop: in-flight and queued jobs
+            // are lost, and the event loop answers for them
+            push_event(env.events, Event::WorkerDown { shard, jobs_done });
+            ring(&env.wake);
+        }
+    });
+}
+
 /// A shard worker: drain the queue in batches, funnel solves through
 /// `solve_batch` so the engine's batching/coalescing still amortizes,
 /// run open/push/seal in arrival order, post completions, ring the wake
-/// pipe.
-fn shard_worker(
+/// pipe. Consults the fault plan's kill and reply schedules; panics from
+/// the engine (injected WAL faults) propagate to the supervisor.
+fn worker_loop(
     shard: usize,
-    shards: usize,
-    rx: mpsc::Receiver<Job>,
-    engine: Arc<Engine>,
-    completions: &Mutex<Vec<Completion>>,
-    wake: UnixStream,
-    max_batch: usize,
+    rx: &mpsc::Receiver<Job>,
+    engine: &Arc<Engine>,
+    env: &WorkerEnv<'_>,
+    jobs_done: &mut u64,
 ) {
+    let chaos = !env.plan.is_empty();
     loop {
         let first = match rx.recv_timeout(Duration::from_millis(100)) {
             Ok(job) => job,
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => return,
         };
+        if chaos && env.plan.kill_now() {
+            env.metrics.faults_injected_total.inc();
+            panic!("chaos: injected shard worker kill (shard {shard})");
+        }
         let mut batch = vec![first];
-        while batch.len() < max_batch {
+        while batch.len() < env.max_batch {
             match rx.try_recv() {
                 Ok(job) => batch.push(job),
                 Err(_) => break,
@@ -239,31 +403,54 @@ fn shard_worker(
         let mut done: Vec<Completion> = Vec::with_capacity(batch.len());
         for job in batch {
             let completion = match job {
-                Job::Solve { conn, seq, t0, id, .. } => {
+                Job::Solve { conn, seq, id, .. } => {
                     let reply = match verdicts.next().expect("one verdict per solve") {
                         Ok(verdict) => Msg::Verdict { id, verdict: verdict.to_wire() },
                         Err(e) => engine_error(id, e),
                     };
-                    Completion { conn, seq, t0, shard, reply }
+                    Completion { conn, seq, reply }
                 }
-                Job::Open { conn, seq, t0, id, n_atoms } => {
+                Job::Open { conn, seq, id, n_atoms } => {
                     let reply = match engine.open_session(n_atoms as usize) {
                         // locals start at 1, so publics are nonzero and
                         // collision-free across shards
-                        Ok(local) => open_reply(id, local * shards as u64 + shard as u64),
+                        Ok(local) => open_reply(id, local * env.shards as u64 + shard as u64),
                         Err(e) => engine_error(id, e),
                     };
-                    Completion { conn, seq, t0, shard, reply }
+                    Completion { conn, seq, reply }
                 }
-                Job::Session { conn, seq, t0, msg, local, public } => {
-                    let reply = session_reply(&engine, &msg, local, public);
-                    Completion { conn, seq, t0, shard, reply }
+                Job::Session { conn, seq, msg, local, public } => {
+                    let reply = session_reply(engine, &msg, local, public);
+                    Completion { conn, seq, reply }
                 }
             };
+            *jobs_done += 1;
             done.push(completion);
         }
-        completions.lock().expect("completion lock").append(&mut done);
-        let _ = (&wake).write(&[1u8]);
+        // mailbox faults: a dropped reply is simply never posted (the
+        // deadline reaper answers for it); a delayed one holds this batch
+        let posted = if chaos {
+            done.into_iter()
+                .filter_map(|c| match env.plan.reply_fault() {
+                    None => Some(c),
+                    Some(ReplyFault::Delay(d)) => {
+                        env.metrics.faults_injected_total.inc();
+                        std::thread::sleep(d);
+                        Some(c)
+                    }
+                    Some(ReplyFault::Drop) => {
+                        env.metrics.faults_injected_total.inc();
+                        None
+                    }
+                })
+                .collect()
+        } else {
+            done
+        };
+        for c in posted {
+            push_event(env.events, Event::Done(c));
+        }
+        ring(&env.wake);
     }
 }
 
@@ -273,6 +460,15 @@ fn frame_of(msg: &Msg) -> Vec<u8> {
     let mut frame = Vec::with_capacity(payload.len() + 4);
     c1p_engine::proto::write_frame(&mut frame, &payload).expect("vec write cannot fail");
     frame
+}
+
+/// The exact error frame for a request whose shard cannot answer.
+fn unavailable(id: u64, shard: usize, why: &str) -> Msg {
+    Msg::Error {
+        id,
+        code: ErrorCode::Unavailable,
+        message: format!("shard {shard} {why}; safe to retry"),
+    }
 }
 
 /// Best-effort `Overloaded` frame to a refused connection (the accepted
@@ -286,6 +482,23 @@ fn refuse(stream: TcpStream) {
     };
     let _ = w.write_all(&frame_of(&msg));
     let _ = w.flush();
+}
+
+/// Best-effort full write of a farewell frame to a (nonblocking) socket:
+/// short writes continue where they left off and `Interrupted` retries,
+/// so a farewell is never truncated by transient conditions; a hard
+/// error or `WouldBlock` abandons it — the peer is leaving anyway.
+/// (A bare `write()` here once sent partial frames under signal load.)
+fn write_farewell(stream: &mut impl Write, frame: &[u8]) {
+    let mut off = 0;
+    while off < frame.len() {
+        match stream.write(&frame[off..]) {
+            Ok(0) => return,
+            Ok(n) => off += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
 }
 
 /// Queues `reply` for `seq`, releasing every reply that is now in order,
@@ -319,9 +532,44 @@ fn deliver(
     }
 }
 
-/// Routes one complete frame: inline answers (stats, metrics, admission
-/// and decode errors) deliver immediately; solves and session ops become
-/// shard jobs.
+/// Hands `job` to its shard if the shard can take it, recording the
+/// request in the global in-flight map; a degraded or mid-death shard
+/// answers `Unavailable` immediately instead — never a hang.
+#[allow(clippy::too_many_arguments)]
+fn send_job(
+    conn: &mut Conn,
+    conn_id: u64,
+    seq: u64,
+    t0: Instant,
+    rid: u64,
+    shard: usize,
+    job: Job,
+    ctls: &[ShardCtl],
+    pending: &mut HashMap<(u64, u64), Pending>,
+    metrics: &Metrics,
+    outbox_limit: usize,
+) {
+    let sent = match &ctls[shard].tx {
+        // send fails only when the receiver is gone: the worker died and
+        // its WorkerDown is still in the queue
+        Some(tx) if !ctls[shard].degraded => tx.send(job).is_ok(),
+        _ => false,
+    };
+    if sent {
+        conn.inflight += 1;
+        metrics.queue_depth.inc();
+        metrics.shards[shard].queue_depth.inc();
+        metrics.shards[shard].jobs_total.inc();
+        pending.insert((conn_id, seq), Pending { shard, id: rid, t0 });
+    } else {
+        metrics.degraded_replies_total.inc();
+        deliver(conn, seq, unavailable(rid, shard, "is unavailable"), t0, metrics, outbox_limit);
+    }
+}
+
+/// Routes one complete frame: inline answers (stats, metrics, health,
+/// admission and decode errors) deliver immediately; solves and session
+/// ops become shard jobs.
 #[allow(clippy::too_many_arguments)]
 fn dispatch(
     conn: &mut Conn,
@@ -330,7 +578,9 @@ fn dispatch(
     opts: &EventLoopOpts,
     metrics: &Metrics,
     engines: &[Arc<Engine>],
-    senders: &[mpsc::Sender<Job>],
+    retired: &[c1p_engine::EngineStats],
+    ctls: &[ShardCtl],
+    pending: &mut HashMap<(u64, u64), Pending>,
     rr_open: &mut usize,
 ) {
     let t0 = Instant::now();
@@ -338,13 +588,7 @@ fn dispatch(
     let seq = conn.next_seq;
     conn.next_seq += 1;
     let shards = opts.shards as u64;
-    let send_job = |conn: &mut Conn, shard: usize, job: Job| {
-        conn.inflight += 1;
-        metrics.queue_depth.inc();
-        metrics.shards[shard].queue_depth.inc();
-        metrics.shards[shard].jobs_total.inc();
-        senders[shard].send(job).expect("shard worker outlives the event loop");
-    };
+    let outbox_limit = opts.server.outbox_limit;
     match decode_msg(payload) {
         Ok(Msg::Solve { id, ens }) => {
             // mirror `Engine::submit` admission, in its order: the atom
@@ -352,20 +596,11 @@ fn dispatch(
             // beyond max_queue in-flight jobs — Overloaded, without
             // either touching a shard
             if ens.n_atoms() > opts.engine_cfg.max_atoms {
-                deliver(
-                    conn,
-                    seq,
-                    engine_error(
-                        id,
-                        EngineError::TooLarge {
-                            n_atoms: ens.n_atoms(),
-                            max_atoms: opts.engine_cfg.max_atoms,
-                        },
-                    ),
-                    t0,
-                    metrics,
-                    opts.server.outbox_limit,
-                );
+                let e = EngineError::TooLarge {
+                    n_atoms: ens.n_atoms(),
+                    max_atoms: opts.engine_cfg.max_atoms,
+                };
+                deliver(conn, seq, engine_error(id, e), t0, metrics, outbox_limit);
             } else if metrics.queue_depth.get() >= opts.engine_cfg.max_queue as i64 {
                 deliver(
                     conn,
@@ -373,52 +608,131 @@ fn dispatch(
                     engine_error(id, EngineError::Overloaded),
                     t0,
                     metrics,
-                    opts.server.outbox_limit,
+                    outbox_limit,
                 );
             } else {
                 let shard = pick_shard(route_hash(&ens), opts.shards);
-                send_job(conn, shard, Job::Solve { conn: conn_id, seq, t0, id, ens });
+                let job = Job::Solve { conn: conn_id, seq, id, ens };
+                send_job(
+                    conn,
+                    conn_id,
+                    seq,
+                    t0,
+                    id,
+                    shard,
+                    job,
+                    ctls,
+                    pending,
+                    metrics,
+                    outbox_limit,
+                );
             }
         }
         Ok(Msg::OpenSession { id, n_atoms }) => {
-            let shard = *rr_open % opts.shards;
-            *rr_open += 1;
-            send_job(conn, shard, Job::Open { conn: conn_id, seq, t0, id, n_atoms });
+            // round-robin over the shards still willing to take work
+            let mut shard = None;
+            for k in 0..opts.shards {
+                let s = (*rr_open + k) % opts.shards;
+                if !ctls[s].degraded && ctls[s].tx.is_some() {
+                    shard = Some(s);
+                    *rr_open = s + 1;
+                    break;
+                }
+            }
+            match shard {
+                Some(shard) => {
+                    let job = Job::Open { conn: conn_id, seq, id, n_atoms };
+                    send_job(
+                        conn,
+                        conn_id,
+                        seq,
+                        t0,
+                        id,
+                        shard,
+                        job,
+                        ctls,
+                        pending,
+                        metrics,
+                        outbox_limit,
+                    );
+                }
+                None => {
+                    metrics.degraded_replies_total.inc();
+                    deliver(
+                        conn,
+                        seq,
+                        Msg::Error {
+                            id,
+                            code: ErrorCode::Unavailable,
+                            message: "every shard is degraded".into(),
+                        },
+                        t0,
+                        metrics,
+                        outbox_limit,
+                    );
+                }
+            }
         }
-        Ok(msg @ (Msg::PushAtoms { .. } | Msg::SealSession { .. })) => {
-            let public = match &msg {
-                Msg::PushAtoms { session, .. } | Msg::SealSession { session, .. } => *session,
+        Ok(msg @ (Msg::PushAtoms { .. } | Msg::SealSession { .. } | Msg::QuerySession { .. })) => {
+            let (id, public) = match &msg {
+                Msg::PushAtoms { id, session, .. }
+                | Msg::SealSession { id, session }
+                | Msg::QuerySession { id, session } => (*id, *session),
                 _ => unreachable!(),
             };
+            // a served QuerySession is a client reconciling after a
+            // retry — the server-observable measure of client retries
+            if matches!(msg, Msg::QuerySession { .. }) {
+                metrics.retries_total.inc();
+            }
             // public = local·shards + shard (locals start at 1); a bogus
             // handle decodes to some shard whose engine answers NoSession
             let shard = (public % shards) as usize;
             let local = public / shards;
-            send_job(conn, shard, Job::Session { conn: conn_id, seq, t0, msg, local, public });
+            let job = Job::Session { conn: conn_id, seq, msg, local, public };
+            send_job(conn, conn_id, seq, t0, id, shard, job, ctls, pending, metrics, outbox_limit);
+        }
+        Ok(Msg::Ping { id }) => {
+            // health is answered from the event thread so it reflects
+            // what the dispatcher itself believes — a Pong can arrive
+            // while every shard is down
+            let wal = crate::wal_health(opts.engine_cfg.wal_dir.as_deref());
+            let shards = ctls
+                .iter()
+                .map(|c| ShardHealth { live: c.up && !c.degraded, degraded: c.degraded })
+                .collect();
+            deliver(conn, seq, Msg::Pong { id, wal, shards }, t0, metrics, outbox_limit);
         }
         Ok(Msg::GetStats) => {
+            // safe even while a shard is down: `stats()` takes only the
+            // cache and session-map locks, and the two injected panic
+            // sites (worker kill, WAL append) hold neither
             let mut sum = c1p_engine::EngineStats::default();
-            for e in engines {
+            for (e, r) in engines.iter().zip(retired) {
                 sum.absorb(&e.stats());
+                sum.absorb(r);
             }
-            deliver(
-                conn,
-                seq,
-                Msg::Stats { json: sum.to_json() },
-                t0,
-                metrics,
-                opts.server.outbox_limit,
-            );
+            deliver(conn, seq, Msg::Stats { json: sum.to_json() }, t0, metrics, outbox_limit);
         }
         Ok(Msg::GetMetrics) => {
-            let stats: Vec<c1p_engine::EngineStats> = engines.iter().map(|e| e.stats()).collect();
+            // each shard's series = its live engine + every engine
+            // supervision retired on that shard
+            let stats: Vec<c1p_engine::EngineStats> = engines
+                .iter()
+                .zip(retired)
+                .map(|(e, r)| {
+                    let mut s = e.stats();
+                    s.absorb(r);
+                    s
+                })
+                .collect();
             deliver(
                 conn,
                 seq,
                 Msg::Metrics { text: metrics.render(&stats) },
                 t0,
                 metrics,
-                opts.server.outbox_limit,
+                outbox_limit,
             );
         }
         Ok(_) => deliver(
@@ -431,7 +745,7 @@ fn dispatch(
             },
             t0,
             metrics,
-            opts.server.outbox_limit,
+            outbox_limit,
         ),
         Err(e) => {
             metrics.malformed_frames_total.inc();
@@ -441,31 +755,59 @@ fn dispatch(
                 Msg::Error { id: 0, code: ErrorCode::Malformed, message: e.to_string() },
                 t0,
                 metrics,
-                opts.server.outbox_limit,
+                outbox_limit,
             );
         }
     }
 }
 
+/// Settles one in-flight entry with an `Unavailable` error: balances the
+/// queue gauges and, if the connection is still open, delivers the frame
+/// (keeping per-connection ordering intact).
+fn settle_unavailable(
+    key: (u64, u64),
+    p: Pending,
+    why: &str,
+    conns: &mut HashMap<u64, Conn>,
+    metrics: &Metrics,
+    outbox_limit: usize,
+) {
+    metrics.queue_depth.dec();
+    metrics.shards[p.shard].queue_depth.dec();
+    if let Some(conn) = conns.get_mut(&key.0) {
+        conn.inflight -= 1;
+        deliver(conn, key.1, unavailable(p.id, p.shard, why), p.t0, metrics, outbox_limit);
+    }
+}
+
 /// The readiness loop proper. Owns the sockets; never blocks on any of
 /// them. Returns when `stop` has flipped and every connection drained
-/// (or the drain deadline passed).
+/// (or the drain deadline passed). Owns the engine vector because
+/// supervision swaps rebuilt engines in; the final vector is returned.
 #[allow(clippy::too_many_arguments)]
-fn event_loop(
+fn event_loop<'scope>(
+    scope: &'scope Scope<'scope, '_>,
     listener: &TcpListener,
     opts: &EventLoopOpts,
     stop: &AtomicBool,
     metrics: &Arc<Metrics>,
-    engines: &[Arc<Engine>],
-    senders: Vec<mpsc::Sender<Job>>,
+    mut engines: Vec<Arc<Engine>>,
+    mut ctls: Vec<ShardCtl>,
+    wake_tx: &UnixStream,
     wake_rx: UnixStream,
-    completions: &Mutex<Vec<Completion>>,
-) -> io::Result<()> {
+    events: &'scope Mutex<Vec<Event>>,
+) -> io::Result<Vec<Arc<Engine>>> {
     let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut pending: HashMap<(u64, u64), Pending> = HashMap::new();
+    // counters of engines retired by supervision, folded into stats and
+    // metrics renders — restarts must not zero a shard's history
+    let mut retired: Vec<c1p_engine::EngineStats> = vec![Default::default(); opts.shards];
     let mut ids: Vec<u64> = Vec::new();
     let mut next_conn = 0u64;
     let mut rr_open = 0usize;
     let mut drain_deadline: Option<Instant> = None;
+    let chaos = !opts.fault.is_empty();
+    let max_batch = opts.engine_cfg.max_batch.max(1);
     loop {
         if drain_deadline.is_none() && stop.load(Ordering::Acquire) {
             drain_deadline = Some(Instant::now() + opts.drain);
@@ -518,17 +860,112 @@ fn event_loop(
             }
         }
 
-        // completions (checked every iteration — the lock is cheap)
-        let done = std::mem::take(&mut *completions.lock().expect("completion lock"));
-        for c in done {
-            metrics.queue_depth.dec();
-            metrics.shards[c.shard].queue_depth.dec();
-            if let Some(conn) = conns.get_mut(&c.conn) {
-                conn.inflight -= 1;
-                deliver(conn, c.seq, c.reply, c.t0, metrics, opts.server.outbox_limit);
+        // worker events (checked every iteration — the lock is cheap)
+        for ev in take_events(events) {
+            match ev {
+                Event::Done(c) => {
+                    // single settlement: no map entry ⇒ this reply was
+                    // already answered (reaped or swept) — drop it
+                    let Some(p) = pending.remove(&(c.conn, c.seq)) else { continue };
+                    metrics.queue_depth.dec();
+                    metrics.shards[p.shard].queue_depth.dec();
+                    if let Some(conn) = conns.get_mut(&c.conn) {
+                        conn.inflight -= 1;
+                        deliver(conn, c.seq, c.reply, p.t0, metrics, opts.server.outbox_limit);
+                    }
+                }
+                Event::WorkerUp { shard, engine } => {
+                    // fold the dead engine's final counters into the
+                    // shard's retired history — but not its gauges: the
+                    // replacement re-opens recovered sessions and re-fills
+                    // its cache, so carrying those forward double-counts
+                    let mut fin = engines[shard].stats();
+                    fin.cache_entries = 0;
+                    fin.cache_bytes = 0;
+                    fin.open_sessions = 0;
+                    retired[shard].absorb(&fin);
+                    // the old (possibly poisoned) engine drops here; its
+                    // background threads join on a clean shutdown flag
+                    engines[shard] = engine;
+                    ctls[shard].up = true;
+                }
+                Event::WorkerDown { shard, jobs_done } => {
+                    ctls[shard].up = false;
+                    ctls[shard].tx = None;
+                    // every request on the dead shard gets an exact
+                    // Unavailable — in the channel, mid-job, or with a
+                    // reply lost in the unwind, none of them will answer
+                    let dead: Vec<(u64, u64)> =
+                        pending.iter().filter(|(_, p)| p.shard == shard).map(|(k, _)| *k).collect();
+                    for key in dead {
+                        let p = pending.remove(&key).expect("key collected above");
+                        metrics.degraded_replies_total.inc();
+                        settle_unavailable(
+                            key,
+                            p,
+                            "restarted mid-request",
+                            &mut conns,
+                            metrics,
+                            opts.server.outbox_limit,
+                        );
+                    }
+                    ctls[shard].zero_job_deaths =
+                        if jobs_done == 0 { ctls[shard].zero_job_deaths + 1 } else { 0 };
+                    if ctls[shard].degraded {
+                        continue;
+                    }
+                    if ctls[shard].zero_job_deaths >= MAX_ZERO_JOB_DEATHS {
+                        ctls[shard].degraded = true;
+                        eprintln!(
+                            "c1pd: shard {shard} degraded: {MAX_ZERO_JOB_DEATHS} consecutive \
+                             workers died before completing a job"
+                        );
+                        continue;
+                    }
+                    metrics.shard_restarts_total.inc();
+                    eprintln!(
+                        "c1pd: shard {shard} worker died after {jobs_done} job(s); \
+                         respawning with WAL recovery"
+                    );
+                    let (tx, rx) = mpsc::channel();
+                    ctls[shard].tx = Some(tx);
+                    spawn_worker(
+                        scope,
+                        shard,
+                        rx,
+                        None, // rebuild from <wal_dir>/shard-i on the worker thread
+                        shard_cfg(&opts.engine_cfg, shard),
+                        WorkerEnv {
+                            events,
+                            wake: wake_tx.try_clone()?,
+                            plan: Arc::clone(&opts.fault),
+                            metrics: Arc::clone(metrics),
+                            shards: opts.shards,
+                            max_batch,
+                        },
+                    );
+                }
             }
-            // a completion for a closed connection is just dropped — its
-            // accounting above still balances the dispatch increments
+        }
+
+        // request-deadline reaper: a dispatched request whose reply was
+        // lost (dropped by chaos, raced by a death) is answered instead
+        // of hanging; its late reply is dropped by map absence
+        if let Some(budget) = opts.request_deadline {
+            let expired: Vec<(u64, u64)> =
+                pending.iter().filter(|(_, p)| p.t0.elapsed() >= budget).map(|(k, _)| *k).collect();
+            for key in expired {
+                let p = pending.remove(&key).expect("key collected above");
+                metrics.deadline_expired_total.inc();
+                settle_unavailable(
+                    key,
+                    p,
+                    "did not answer within the request deadline",
+                    &mut conns,
+                    metrics,
+                    opts.server.outbox_limit,
+                );
+            }
         }
 
         // accept burst
@@ -568,7 +1005,14 @@ fn event_loop(
             }
             let pull = {
                 let Conn { reader, stream, .. } = conn;
-                reader.pull(stream)
+                if chaos {
+                    let mut fio = FaultyIo::new(&mut *stream, &opts.fault);
+                    let r = reader.pull(&mut fio);
+                    metrics.faults_injected_total.add(fio.injected);
+                    r
+                } else {
+                    reader.pull(stream)
+                }
             };
             match pull {
                 Ok(pull) => {
@@ -580,8 +1024,10 @@ fn event_loop(
                             &payload,
                             opts,
                             metrics,
-                            engines,
-                            &senders,
+                            &engines,
+                            &retired,
+                            &ctls,
+                            &mut pending,
                             &mut rr_open,
                         );
                     }
@@ -664,7 +1110,16 @@ fn event_loop(
             if conn.outbox.is_empty() || conn.kill.is_some() {
                 continue;
             }
-            match conn.outbox.flush(&mut conn.stream) {
+            let Conn { outbox, stream, .. } = conn;
+            let flushed = if chaos {
+                let mut fio = FaultyIo::new(&mut *stream, &opts.fault);
+                let r = outbox.flush(&mut fio);
+                metrics.faults_injected_total.add(fio.injected);
+                r
+            } else {
+                outbox.flush(stream)
+            };
+            match flushed {
                 Ok((bytes, frames)) => {
                     metrics.bytes_written_total.add(bytes);
                     metrics.frames_written_total.add(frames);
@@ -681,7 +1136,7 @@ fn event_loop(
         conns.retain(|_, conn| {
             if let Some(farewell) = conn.kill.take() {
                 if !farewell.is_empty() {
-                    let _ = conn.stream.write(&farewell);
+                    write_farewell(&mut conn.stream, &farewell);
                 }
                 metrics.connections_open.dec();
                 metrics.disconnects_total.inc();
@@ -696,6 +1151,59 @@ fn event_loop(
             true
         });
     }
-    drop(senders); // ends the shard workers; scope joins them
-    Ok(())
+    drop(ctls); // drops the job senders: ends the workers; scope joins them
+    Ok(engines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A writer that accepts one byte per call and fails every other
+    /// call with `Interrupted` — the adversarial schedule any blocking
+    /// write path must survive byte-for-byte.
+    struct InterruptingWriter {
+        got: Vec<u8>,
+        calls: usize,
+    }
+
+    impl Write for InterruptingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.calls += 1;
+            if self.calls % 2 == 1 {
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+            }
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            self.got.push(buf[0]);
+            Ok(1)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn farewell_survives_interrupts_and_short_writes() {
+        let frame: Vec<u8> = (0..100u8).collect();
+        let mut w = InterruptingWriter { got: Vec::new(), calls: 0 };
+        write_farewell(&mut w, &frame);
+        assert_eq!(w.got, frame, "every byte must land despite EINTR + 1-byte writes");
+    }
+
+    #[test]
+    fn farewell_gives_up_on_hard_errors_without_panicking() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        write_farewell(&mut Broken, &[1, 2, 3]); // must simply return
+    }
 }

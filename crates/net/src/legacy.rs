@@ -38,6 +38,8 @@ pub fn serve(
     stop: &'static AtomicBool,
     metrics: &Arc<Metrics>,
 ) -> io::Result<Arc<Engine>> {
+    // kept for Ping health probes after `cfg` moves into the engine
+    let wal_dir: Arc<Option<std::path::PathBuf>> = Arc::new(cfg.wal_dir.clone());
     let engine = Arc::new(Engine::new(cfg));
     // nonblocking accept so the loop can notice `stop` between
     // connections — a blocking accept would pin the process until one
@@ -69,9 +71,12 @@ pub fn serve(
         let active = Arc::clone(&active);
         let metrics = Arc::clone(metrics);
         let opts = opts.clone();
+        let wal_dir = Arc::clone(&wal_dir);
         thread::spawn(move || {
             let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_default();
-            if let Err(e) = handle_conn(stream, &engine, &opts, stop, &metrics) {
+            if let Err(e) =
+                handle_conn(stream, &engine, &opts, stop, &metrics, (*wal_dir).as_deref())
+            {
                 // benign disconnects are the common case; log the rest
                 if e.kind() != io::ErrorKind::UnexpectedEof
                     && e.kind() != io::ErrorKind::ConnectionReset
@@ -118,6 +123,7 @@ fn handle_conn(
     opts: &ServerOpts,
     stop: &AtomicBool,
     metrics: &Metrics,
+    wal_dir: Option<&std::path::Path>,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     // the socket timeout is the polling tick: it lets the frame reader
@@ -186,14 +192,27 @@ fn handle_conn(
                 Ok(session) => open_reply(id, session),
                 Err(e) => engine_error(id, e),
             },
-            Ok(msg @ (Msg::PushAtoms { .. } | Msg::SealSession { .. })) => {
+            Ok(
+                msg @ (Msg::PushAtoms { .. } | Msg::SealSession { .. } | Msg::QuerySession { .. }),
+            ) => {
                 let session = match &msg {
-                    Msg::PushAtoms { session, .. } | Msg::SealSession { session, .. } => *session,
+                    Msg::PushAtoms { session, .. }
+                    | Msg::SealSession { session, .. }
+                    | Msg::QuerySession { session, .. } => *session,
                     _ => unreachable!(),
                 };
+                if matches!(msg, Msg::QuerySession { .. }) {
+                    metrics.retries_total.inc();
+                }
                 // single engine: the public handle is the local one
                 session_reply(engine, &msg, session, session)
             }
+            Ok(Msg::Ping { id }) => Msg::Pong {
+                id,
+                wal: crate::wal_health(wal_dir),
+                // one engine, always on this thread: live by construction
+                shards: vec![c1p_engine::proto::ShardHealth { live: true, degraded: false }],
+            },
             Ok(Msg::GetStats) => Msg::Stats { json: engine.stats().to_json() },
             Ok(Msg::GetMetrics) => Msg::Metrics { text: metrics.render(&[engine.stats()]) },
             Ok(_) => Msg::Error {

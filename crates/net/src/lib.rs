@@ -21,15 +21,23 @@
 //!   modes must produce bit-identical verdicts on the same seeds.
 //! * [`metrics`] — the stable-name counter/histogram registry exported
 //!   over `GetStats`/`GetMetrics` frames by both modes.
+//! * [`fault`] — seeded deterministic fault injection (chaos testing):
+//!   socket, mailbox and WAL-append fault schedules, zero-cost when
+//!   empty, driving the shard supervision in [`event_loop`].
+//! * [`client`] — the self-healing client: deadline budgets, backoff
+//!   with decorrelated jitter, and the recovered-hash handshake that
+//!   makes session pushes idempotent across retries.
 //!
 //! Both servers speak the `c1p_engine::proto` frame protocol unchanged:
 //! one response per request, in order, per connection — the event loop
 //! re-establishes that order with per-connection sequence numbers when
 //! shards complete out of order.
 
+pub mod client;
 pub mod conn;
 #[cfg(unix)]
 pub mod event_loop;
+pub mod fault;
 pub mod legacy;
 pub mod metrics;
 pub mod poll;
@@ -149,11 +157,35 @@ pub fn session_reply(engine: &Engine, msg: &Msg, local: u64, public: u64) -> Msg
             Ok(verdict) => Msg::SessionVerdict { id, session: public, verdict: verdict.to_wire() },
             Err(e) => engine_error(id, e),
         },
+        Msg::QuerySession { id, .. } => match engine.session_status(local) {
+            Ok((stream_hash, columns)) => {
+                Msg::SessionStatus { id, session: public, stream_hash, columns }
+            }
+            Err(e) => engine_error(id, e),
+        },
         _ => Msg::Error {
             id: 0,
             code: ErrorCode::Malformed,
             message: "unexpected message kind for a server".into(),
         },
+    }
+}
+
+/// Probes the durability directory for a [`Msg::Pong`]: a tiny write
+/// (created and removed) answers "can accepted pushes still be made
+/// durable right now?" — `Disabled` when the server runs without a WAL.
+pub fn wal_health(dir: Option<&std::path::Path>) -> c1p_engine::proto::WalHealth {
+    use c1p_engine::proto::WalHealth;
+    let Some(dir) = dir else {
+        return WalHealth::Disabled;
+    };
+    let probe = dir.join(".health-probe");
+    match std::fs::write(&probe, b"ok") {
+        Ok(()) => {
+            let _ = std::fs::remove_file(&probe);
+            WalHealth::Writable
+        }
+        Err(_) => WalHealth::Unwritable,
     }
 }
 

@@ -181,6 +181,23 @@ pub struct Metrics {
     pub outbox_bytes: Gauge,
     /// Frame service latency: complete request parsed → response queued.
     pub frame_latency_us: Histogram,
+    /// Faults injected by the front-end's chaos plan (socket read/write
+    /// faults, shard kills, dropped/delayed replies). Engine-side WAL
+    /// fault injections are folded in at render time.
+    pub faults_injected_total: Counter,
+    /// Client retries observed server-side: `QuerySession` handshake
+    /// frames served. A well-behaved client only sends one after a
+    /// connection-level failure, so this counts retry reconciliations.
+    pub retries_total: Counter,
+    /// Shard workers respawned after a panic or injected kill.
+    pub shard_restarts_total: Counter,
+    /// `Unavailable` error frames sent because the owning shard was
+    /// down, degraded, or mid-restart.
+    pub degraded_replies_total: Counter,
+    /// Requests answered `Unavailable` because they outlived the
+    /// `--request-deadline-ms` budget (reply lost to a fault or a dead
+    /// shard, and reaped instead of hanging).
+    pub deadline_expired_total: Counter,
     /// Per-shard series, indexed by shard id.
     pub shards: Vec<ShardMetrics>,
 }
@@ -233,6 +250,13 @@ pub const STABLE_NAMES: &[&str] = &[
     "c1pd_queue_depth",
     "c1pd_outbox_bytes",
     "c1pd_frame_latency_us",
+    // chaos / supervision (front-end counters; `faults_injected_total`
+    // also folds the engine's injected-WAL-fault count at render time)
+    "c1pd_faults_injected_total",
+    "c1pd_retries_total",
+    "c1pd_shard_restarts_total",
+    "c1pd_degraded_replies_total",
+    "c1pd_deadline_expired_total",
     "c1pd_shard_jobs_total",
     "c1pd_shard_queue_depth",
     "c1pd_shard_cache_hits_total",
@@ -258,6 +282,11 @@ impl Metrics {
             queue_depth: Gauge::default(),
             outbox_bytes: Gauge::default(),
             frame_latency_us: Histogram::default(),
+            faults_injected_total: Counter::default(),
+            retries_total: Counter::default(),
+            shard_restarts_total: Counter::default(),
+            degraded_replies_total: Counter::default(),
+            deadline_expired_total: Counter::default(),
             shards: (0..shards.max(1)).map(|_| ShardMetrics::default()).collect(),
         }
     }
@@ -318,6 +347,15 @@ impl Metrics {
         let _ = writeln!(out, "c1pd_queue_depth {}", self.queue_depth.get());
         let _ = writeln!(out, "c1pd_outbox_bytes {}", self.outbox_bytes.get());
         self.frame_latency_us.render("c1pd_frame_latency_us", &mut out);
+        c(
+            &mut out,
+            "c1pd_faults_injected_total",
+            self.faults_injected_total.get() + sum.wal_faults_injected,
+        );
+        c(&mut out, "c1pd_retries_total", self.retries_total.get());
+        c(&mut out, "c1pd_shard_restarts_total", self.shard_restarts_total.get());
+        c(&mut out, "c1pd_degraded_replies_total", self.degraded_replies_total.get());
+        c(&mut out, "c1pd_deadline_expired_total", self.deadline_expired_total.get());
         for (i, sh) in self.shards.iter().enumerate() {
             let _ = writeln!(out, "c1pd_shard_jobs_total{{shard=\"{i}\"}} {}", sh.jobs_total.get());
             let _ =
@@ -368,6 +406,11 @@ mod tests {
         m.queue_depth.inc();
         m.outbox_bytes.add(64);
         m.frame_latency_us.observe_us(37);
+        m.faults_injected_total.inc();
+        m.retries_total.inc();
+        m.shard_restarts_total.inc();
+        m.degraded_replies_total.inc();
+        m.deadline_expired_total.inc();
         for sh in &m.shards {
             sh.jobs_total.inc();
             sh.queue_depth.inc();
@@ -398,6 +441,7 @@ mod tests {
             quarantined_wals: 1,
             snapshot_writes: 1,
             warm_start_hits: 1,
+            wal_faults_injected: 1,
         };
         let dump = m.render(&[engine, EngineStats::default()]);
         for name in STABLE_NAMES {
@@ -413,6 +457,18 @@ mod tests {
             let v = probe.unwrap_or_else(|| panic!("{name} missing from dump"));
             assert!(v > 0, "{name} rendered zero after being exercised");
         }
+    }
+
+    /// Engine-side injected WAL faults and front-end injections land in
+    /// the same `c1pd_faults_injected_total` series — one number tells a
+    /// chaos gate how much havoc the run actually exercised.
+    #[test]
+    fn faults_injected_folds_engine_wal_faults_into_the_frontend_count() {
+        let m = Metrics::new(1);
+        m.faults_injected_total.add(3);
+        let engine = EngineStats { wal_faults_injected: 2, ..EngineStats::default() };
+        let dump = m.render(&[engine]);
+        assert_eq!(scrape(&dump, "c1pd_faults_injected_total"), Some(5));
     }
 
     #[test]
