@@ -3,6 +3,12 @@
 //! ```text
 //! cargo run --release -p c1p-bench --bin phase_probe [log2_n]
 //! ```
+//!
+//! Prints the same per-phase breakdown the request tracer emits as
+//! `solve/<phase>` spans: the phase names come from
+//! [`c1p_core::stats::PHASE_NAMES`] and the timings from
+//! `SolveStats::phase_ns` — one accounting shared by offline probing and
+//! live tracing (the name-stability rule in DESIGN.md §13).
 
 use c1p_bench::workloads::planted;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -46,5 +52,15 @@ fn main() {
         stats.decompositions
     );
     eprintln!("allocations: {allocs} ({:.1} MB total)", bytes as f64 / 1e6);
-    c1p_core::solver::dump_phase_timing();
+    let total_ns: u64 = stats.phase_ns.iter().sum();
+    for (name, &ns) in c1p_core::stats::PHASE_NAMES.iter().zip(&stats.phase_ns) {
+        let pct = if total_ns > 0 { ns as f64 * 100.0 / total_ns as f64 } else { 0.0 };
+        eprintln!("phase {name:<9} {:>10.3} ms  {pct:>5.1}%", ns as f64 / 1e6);
+    }
+    eprintln!(
+        "phase total   {:>10.3} ms of {:.3} ms wall ({:.1}% attributed)",
+        total_ns as f64 / 1e6,
+        dt.as_secs_f64() * 1e3,
+        if dt.as_nanos() > 0 { total_ns as f64 * 100.0 / dt.as_nanos() as f64 } else { 0.0 }
+    );
 }

@@ -58,7 +58,19 @@ pub struct CertifiedRejection {
 /// C1P instance, which the verifying merge rules out (mirrors the accept
 /// path's "produced order failed verification" internal-error panic).
 pub fn solve_certified(ens: &Ensemble) -> Result<Vec<Atom>, CertifiedRejection> {
-    c1p_core::solve(ens).map_err(|rejection| certify_rejection(ens, rejection))
+    solve_certified_with(ens).0
+}
+
+/// [`solve_certified`] returning the run's [`c1p_core::SolveStats`]
+/// alongside the verdict — the counters (and per-phase wall-clock
+/// breakdown) were always collected internally; this variant just stops
+/// discarding them. Witness extraction on the reject path is *not*
+/// attributed to any phase.
+pub fn solve_certified_with(
+    ens: &Ensemble,
+) -> (Result<Vec<Atom>, CertifiedRejection>, c1p_core::SolveStats) {
+    let (res, stats) = c1p_core::solve_with(ens, &c1p_core::Config::default());
+    (res.map_err(|rejection| certify_rejection(ens, rejection)), stats)
 }
 
 /// [`c1p_core::parallel::solve_par`]'s certified twin.
@@ -67,7 +79,17 @@ pub fn solve_certified(ens: &Ensemble) -> Result<Vec<Atom>, CertifiedRejection> 
 ///
 /// See [`solve_certified`].
 pub fn solve_par_certified(ens: &Ensemble) -> Result<Vec<Atom>, CertifiedRejection> {
-    c1p_core::parallel::solve_par(ens).0.map_err(|rejection| certify_rejection(ens, rejection))
+    solve_par_certified_with(ens).0
+}
+
+/// [`solve_par_certified`] returning the run's [`c1p_core::SolveStats`];
+/// the parallel driver's phase timings are summed CPU time across
+/// branches, so they may exceed the solve's wall time.
+pub fn solve_par_certified_with(
+    ens: &Ensemble,
+) -> (Result<Vec<Atom>, CertifiedRejection>, c1p_core::SolveStats) {
+    let (res, stats) = c1p_core::parallel::solve_par(ens);
+    (res.map_err(|rejection| certify_rejection(ens, rejection)), stats)
 }
 
 /// Upgrades a bare solver [`Rejection`] into a [`CertifiedRejection`] by

@@ -24,39 +24,38 @@ use crate::align::{align_side1, align_side2, ChordInfo, CrossType};
 use crate::flat::{with_scratch, FlatCols, SplitCols};
 use crate::merge::{merge_with, MergeMode};
 use crate::partition::{grow_segment, proper_column, tucker_transform, Growth};
-use crate::stats::SolveStats;
+use crate::stats::{SolveStats, PH_ALIGN, PH_DECOMPOSE, PH_MERGE, PH_PARTITION, PH_PREPARE};
 use crate::{NotC1p, RejectSite, Rejection};
 use c1p_matrix::{verify_linear, Atom, Ensemble};
-use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Nanosecond phase counters, printed when `C1P_PHASE_TIMING` is set
-/// (diagnostic aid for the scaling experiments).
-pub static T_PARTITION: AtomicU64 = AtomicU64::new(0);
-pub static T_RECURSE_PREP: AtomicU64 = AtomicU64::new(0);
-pub static T_DECOMPOSE: AtomicU64 = AtomicU64::new(0);
-pub static T_ALIGN: AtomicU64 = AtomicU64::new(0);
-pub static T_MERGE: AtomicU64 = AtomicU64::new(0);
-
+// Per-solve phase timing: two `Instant::now()` reads around the phase
+// body, accumulated into the `SolveStats` already threaded through the
+// recursion (plain u64 adds — no atomics, no globals, so concurrent
+// solves never mix their timings). `stats.phase_ns` is indexed by the
+// `PH_*` constants; `c1p_core::stats::PHASE_NAMES` is the label contract.
 macro_rules! phase {
-    ($counter:ident, $e:expr) => {{
+    ($stats:ident, $ix:ident, $e:expr) => {{
         let __t0 = std::time::Instant::now();
         let __r = $e;
-        $counter.fetch_add(__t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        $stats.phase_ns[$ix] += __t0.elapsed().as_nanos() as u64;
         __r
     }};
 }
 
-/// Prints and resets the phase counters.
-pub fn dump_phase_timing() {
-    for (name, c) in [
-        ("partition", &T_PARTITION),
-        ("prepare", &T_RECURSE_PREP),
-        ("decompose", &T_DECOMPOSE),
-        ("align", &T_ALIGN),
-        ("merge", &T_MERGE),
-    ] {
-        eprintln!("  phase {name:>9}: {:.3}s", c.swap(0, Ordering::Relaxed) as f64 / 1e9);
-    }
+// Variant for a phase whose body itself records a nested phase (align
+// wraps the Tutte decomposition): the nested accumulation observed across
+// the call is subtracted so the phase buckets stay disjoint and their sum
+// stays bounded by the solve's wall time on the sequential path.
+macro_rules! phase_excluding {
+    ($stats:ident, $ix:ident, $nested:ident, $e:expr) => {{
+        let __n0 = $stats.phase_ns[$nested];
+        let __t0 = std::time::Instant::now();
+        let __r = $e;
+        let __spent = __t0.elapsed().as_nanos() as u64;
+        let __inner = $stats.phase_ns[$nested] - __n0;
+        $stats.phase_ns[$ix] += __spent.saturating_sub(__inner);
+        __r
+    }};
 }
 
 /// A subproblem: `n` local atoms (`0..n`) and restricted columns (sorted
@@ -260,16 +259,16 @@ pub(crate) fn realize(
             .ok_or_else(|| Rejection::at(RejectSite::PqBase).fill(k));
     }
     // Step 2: the divide
-    if let Some(ci) = phase!(T_PARTITION, proper_column(sub)) {
+    if let Some(ci) = phase!(stats, PH_PARTITION, proper_column(sub)) {
         stats.case1 += 1;
         split_and_merge(sub, sub.cols.col(ci), MergeMode::Linear, cfg, stats, depth)
     } else {
         stats.case2 += 1;
-        let t = phase!(T_PARTITION, tucker_transform(sub));
+        let t = phase!(stats, PH_PARTITION, tucker_transform(sub));
         // Failures inside the transformed instance cannot be mapped back
         // atom-by-atom (complemented columns, extra atom r): widen the
         // evidence to this subproblem's whole atom set.
-        let cyclic = match phase!(T_PARTITION, grow_segment(&t)) {
+        let cyclic = match phase!(stats, PH_PARTITION, grow_segment(&t)) {
             Growth::Segment(a1) => split_and_merge(&t, &a1, MergeMode::Cyclic, cfg, stats, depth)
                 .map_err(|e| e.widened(k))?,
             Growth::Components(comps) => {
@@ -302,7 +301,7 @@ fn split_and_merge(
     stats: &mut SolveStats,
     depth: usize,
 ) -> Result<Vec<u32>, NotC1p> {
-    let data = phase!(T_RECURSE_PREP, prepare_split(sub, a1));
+    let data = phase!(stats, PH_PREPARE, prepare_split(sub, a1));
     // Child evidence (child-local atoms with a non-C1P restriction) maps
     // injectively into this subproblem; each child is a constraint
     // restriction of it, so the mapped evidence stays valid.
@@ -554,15 +553,25 @@ pub(crate) fn combine(
     // witness verification) keep this a pure scheduling shortcut.
     let id_seg: Vec<u32> = order1.iter().map(|&x| data.a1[x as usize]).collect();
     let id_host: Vec<u32> = order2.iter().map(|&x| data.a2[x as usize]).collect();
-    if let Ok(m) = phase!(T_MERGE, merge_with(&id_seg, &id_host, &data.split_cols, mode, par)) {
+    if let Ok(m) =
+        phase!(stats, PH_MERGE, merge_with(&id_seg, &id_host, &data.split_cols, mode, par))
+    {
         stats.fast_merges += 1;
         return Ok(m);
     }
-    let seg_cands =
-        phase!(T_ALIGN, align_one_side(&data.a1, order1, &data.split_cols, true, stats));
-    let host_cands =
-        phase!(T_ALIGN, align_one_side(&data.a2, order2, &data.split_cols, false, stats));
-    phase!(T_MERGE, {
+    let seg_cands = phase_excluding!(
+        stats,
+        PH_ALIGN,
+        PH_DECOMPOSE,
+        align_one_side(&data.a1, order1, &data.split_cols, true, stats)
+    );
+    let host_cands = phase_excluding!(
+        stats,
+        PH_ALIGN,
+        PH_DECOMPOSE,
+        align_one_side(&data.a2, order2, &data.split_cols, false, stats)
+    );
+    phase!(stats, PH_MERGE, {
         let mut result = Err(NotC1p::at(RejectSite::Merge));
         'outer: for host in &host_cands {
             for seg in &seg_cands {
@@ -656,7 +665,7 @@ fn align_one_side_inner(
         // nothing constrains the junction; keep the recursive order
         return vec![order.iter().map(|&x| atoms[x as usize]).collect()];
     }
-    let tree = phase!(T_DECOMPOSE, c1p_tutte::decompose(kn, &spans).expect("valid spans"));
+    let tree = phase!(stats, PH_DECOMPOSE, c1p_tutte::decompose(kn, &spans).expect("valid spans"));
     stats.decompositions += 1;
     stats.members += tree.n_members();
     let aligned = if seg_side { align_side1(&tree, &infos) } else { align_side2(&tree, &infos) };

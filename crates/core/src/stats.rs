@@ -3,6 +3,28 @@
 
 use c1p_pram::Cost;
 
+/// Stable names for the solver's wall-clock phases, in pipeline order.
+///
+/// These labels are an API contract shared by the offline `phase_probe`
+/// diagnostic and the live tracer's `solve/<phase>` span names: renaming
+/// an entry breaks trace consumers, so treat additions as append-only.
+pub const PHASE_NAMES: [&str; N_PHASES] = ["partition", "prepare", "decompose", "align", "merge"];
+
+/// Number of instrumented solver phases (`PHASE_NAMES.len()`).
+pub const N_PHASES: usize = 5;
+
+/// Index of the partition phase (proper-column search, Tucker transform,
+/// segment growth) in [`SolveStats::phase_ns`].
+pub const PH_PARTITION: usize = 0;
+/// Index of the recursion-prep phase (split materialization).
+pub const PH_PREPARE: usize = 1;
+/// Index of the Tutte decomposition phase (Steps 3/4).
+pub const PH_DECOMPOSE: usize = 2;
+/// Index of the alignment phase (Step 5).
+pub const PH_ALIGN: usize = 3;
+/// Index of the merge phase (Step 6 + final splice).
+pub const PH_MERGE: usize = 4;
+
 /// Counters collected across one solve.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SolveStats {
@@ -25,6 +47,12 @@ pub struct SolveStats {
     /// Combines settled by the identity fast path (recursive orders
     /// merged as-is; Steps 3–6 skipped entirely).
     pub fast_merges: usize,
+    /// Wall-clock nanoseconds spent per solver phase, indexed by the
+    /// `PH_*` constants / [`PHASE_NAMES`]. On the sequential path the
+    /// phases are disjoint intervals of one thread, so their sum is
+    /// bounded by the solve's wall time; under the parallel driver the
+    /// entries are summed CPU time across branches and may exceed it.
+    pub phase_ns: [u64; N_PHASES],
     /// Modelled PRAM cost (filled by the parallel driver).
     pub cost: Cost,
 }
@@ -41,6 +69,9 @@ impl SolveStats {
         self.decompositions += other.decompositions;
         self.members += other.members;
         self.fast_merges += other.fast_merges;
+        for (mine, theirs) in self.phase_ns.iter_mut().zip(other.phase_ns.iter()) {
+            *mine += theirs;
+        }
         // costs are composed explicitly by the parallel driver
     }
 }
@@ -52,11 +83,25 @@ mod tests {
     #[test]
     fn absorb_sums_and_maxes() {
         let mut a = SolveStats { subproblems: 2, max_depth: 3, case1: 1, ..Default::default() };
-        let b = SolveStats { subproblems: 5, max_depth: 2, case2: 4, ..Default::default() };
+        let mut b = SolveStats { subproblems: 5, max_depth: 2, case2: 4, ..Default::default() };
+        a.phase_ns[PH_PARTITION] = 10;
+        b.phase_ns[PH_PARTITION] = 7;
+        b.phase_ns[PH_MERGE] = 3;
         a.absorb(&b);
         assert_eq!(a.subproblems, 7);
         assert_eq!(a.max_depth, 3);
         assert_eq!(a.case1, 1);
         assert_eq!(a.case2, 4);
+        assert_eq!(a.phase_ns, [17, 0, 0, 0, 3]);
+    }
+
+    #[test]
+    fn phase_names_match_slot_constants() {
+        assert_eq!(PHASE_NAMES.len(), N_PHASES);
+        assert_eq!(PHASE_NAMES[PH_PARTITION], "partition");
+        assert_eq!(PHASE_NAMES[PH_PREPARE], "prepare");
+        assert_eq!(PHASE_NAMES[PH_DECOMPOSE], "decompose");
+        assert_eq!(PHASE_NAMES[PH_ALIGN], "align");
+        assert_eq!(PHASE_NAMES[PH_MERGE], "merge");
     }
 }

@@ -46,10 +46,11 @@ mod cache;
 mod canonical;
 pub mod proto;
 pub mod snapshot;
+pub mod trace;
 pub mod wal;
 
 use c1p_cert::TuckerWitness;
-use c1p_core::Rejection;
+use c1p_core::{Rejection, SolveStats};
 use c1p_incremental::IncrementalSolver;
 use c1p_matrix::io::WireVerdict;
 use c1p_matrix::{Atom, Ensemble};
@@ -530,6 +531,11 @@ impl InFlight {
 struct Submission {
     ens: Ensemble,
     tx: mpsc::Sender<Result<Verdict, EngineError>>,
+    /// Sampled request's span recorder plus its enqueue offset (the
+    /// `queue` span start). `None` for unsampled requests — every trace
+    /// hook downstream is a no-op then.
+    trace: Option<Arc<trace::ReqTrace>>,
+    enq_us: u64,
 }
 
 struct QueueState {
@@ -670,12 +676,35 @@ impl Engine {
     /// instances inside the batch are deduplicated through the cache
     /// machinery. `results[i]` answers `reqs[i]`.
     pub fn solve_batch(&self, reqs: &[Ensemble]) -> Vec<Result<Verdict, EngineError>> {
-        solve_batch_on(&self.inner, reqs)
+        solve_batch_on(&self.inner, reqs, &[])
+    }
+
+    /// [`Engine::solve_batch`] with per-request span recorders:
+    /// `traces[i]` (when present) receives `cache` / `coalesce` / `solve`
+    /// (+ `solve/<phase>` children) events for `reqs[i]`. `traces` may be
+    /// shorter than `reqs`; missing entries are unsampled.
+    pub fn solve_batch_traced(
+        &self,
+        reqs: &[Ensemble],
+        traces: &[Option<Arc<trace::ReqTrace>>],
+    ) -> Vec<Result<Verdict, EngineError>> {
+        solve_batch_on(&self.inner, reqs, traces)
     }
 
     /// Enqueues an instance for the background batcher. Fails fast with
     /// [`EngineError::Overloaded`] at [`EngineConfig::max_queue`] depth.
     pub fn submit(&self, ens: Ensemble) -> Result<Ticket, EngineError> {
+        self.submit_traced(ens, None)
+    }
+
+    /// [`Engine::submit`] with an optional span recorder: the batcher
+    /// records the `queue` (enqueue → drain) and `mailbox` (drain →
+    /// solve start) spans, and the solve path continues into it.
+    pub fn submit_traced(
+        &self,
+        ens: Ensemble,
+        trace: Option<Arc<trace::ReqTrace>>,
+    ) -> Result<Ticket, EngineError> {
         if ens.n_atoms() > self.inner.cfg.max_atoms {
             return Err(EngineError::TooLarge {
                 n_atoms: ens.n_atoms(),
@@ -692,7 +721,8 @@ impl Engine {
                 self.inner.stats.overloaded.fetch_add(1, Ordering::Relaxed);
                 return Err(EngineError::Overloaded);
             }
-            q.items.push_back(Submission { ens, tx });
+            let enq_us = trace.as_ref().map_or(0, |t| t.now_us());
+            q.items.push_back(Submission { ens, tx, trace, enq_us });
         }
         self.inner.queue_cv.notify_one();
         Ok(Ticket { rx })
@@ -754,6 +784,18 @@ impl Engine {
     /// [`Verdict::NotC1p`] means the push was rolled back: the session
     /// stays at its last accepted state and keeps serving.
     pub fn session_push(&self, id: u64, delta: &Ensemble) -> Result<Verdict, EngineError> {
+        self.session_push_traced(id, delta, None)
+    }
+
+    /// [`Engine::session_push`] with an optional span recorder: records
+    /// `solve` around the incremental re-solve and `wal` around the
+    /// append+fsync that makes an accepted push durable.
+    pub fn session_push_traced(
+        &self,
+        id: u64,
+        delta: &Ensemble,
+        trace: Option<&trace::ReqTrace>,
+    ) -> Result<Verdict, EngineError> {
         self.sweep_idle_sessions();
         let sess = {
             let sessions = self.inner.sessions.lock().expect("sessions lock");
@@ -799,7 +841,11 @@ impl Engine {
             });
         }
         st.last_touch = Instant::now();
+        let solve_at = trace.map(|t| t.now_us());
         let result = self.inner.pool.install(|| st.inc.push(delta));
+        if let (Some(t), Some(at)) = (trace, solve_at) {
+            t.record("solve", at);
+        }
         self.inner.stats.session_pushes.fetch_add(1, Ordering::Relaxed);
         Ok(match result {
             Ok(order) => {
@@ -810,6 +856,7 @@ impl Engine {
                                          // later instant replays to exactly this state. Rejected
                                          // pushes are rolled back and never logged.
                 let hash = st.inc.stream_hash();
+                let wal_at = trace.map(|t| t.now_us());
                 if let Some(w) = st.wal.as_mut() {
                     if self.inner.cfg.wal_fault_after > 0
                         && self.inner.wal_fault_countdown.fetch_sub(1, Ordering::Relaxed) == 1
@@ -836,6 +883,9 @@ impl Engine {
                         .expect("WAL append (durability directory must stay writable)");
                     self.inner.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
                     self.inner.stats.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+                    if let (Some(t), Some(at)) = (trace, wal_at) {
+                        t.record("wal", at);
+                    }
                 }
                 Verdict::C1p { order }
             }
@@ -881,7 +931,7 @@ impl Engine {
         // machinery: an already-cached key costs a lookup, a key another
         // request is computing right now is joined instead of re-solved,
         // and only a genuinely cold key pays the canonical solve.
-        let _ = self.inner.pool.install(|| solve_canonical(&self.inner, &key, &canon.ens));
+        let _ = self.inner.pool.install(|| solve_canonical(&self.inner, &key, &canon.ens, None));
         // the WAL dies last: a crash anywhere before this unlink leaves a
         // replayable log and an unacknowledged seal the client repeats
         if let Some(w) = st.wal.take() {
@@ -1194,8 +1244,27 @@ fn batcher_loop(inner: &Inner) {
             let take = q.items.len().min(inner.cfg.max_batch.max(1));
             q.items.drain(..take).collect()
         };
-        let (enss, txs): (Vec<_>, Vec<_>) = batch.into_iter().map(|s| (s.ens, s.tx)).unzip();
-        let results = solve_batch_on(inner, &enss);
+        let mut enss = Vec::with_capacity(batch.len());
+        let mut txs = Vec::with_capacity(batch.len());
+        let mut traces = Vec::with_capacity(batch.len());
+        let mut mailbox_at = Vec::with_capacity(batch.len());
+        for s in batch {
+            if let Some(t) = &s.trace {
+                t.record("queue", s.enq_us);
+                mailbox_at.push(Some(t.now_us()));
+            } else {
+                mailbox_at.push(None);
+            }
+            enss.push(s.ens);
+            txs.push(s.tx);
+            traces.push(s.trace);
+        }
+        for (t, at) in traces.iter().zip(&mailbox_at) {
+            if let (Some(t), Some(at)) = (t, at) {
+                t.record("mailbox", *at);
+            }
+        }
+        let results = solve_batch_on(inner, &enss, &traces);
         for (tx, r) in txs.into_iter().zip(results) {
             let _ = tx.send(r); // receiver may have given up; fine
         }
@@ -1207,14 +1276,23 @@ enum Prep {
     Go { uniq_ix: usize, col_of: Vec<u32> },
 }
 
-fn solve_batch_on(inner: &Inner, reqs: &[Ensemble]) -> Vec<Result<Verdict, EngineError>> {
+fn solve_batch_on(
+    inner: &Inner,
+    reqs: &[Ensemble],
+    traces: &[Option<Arc<trace::ReqTrace>>],
+) -> Vec<Result<Verdict, EngineError>> {
     inner.stats.batches.fetch_add(1, Ordering::Relaxed);
     inner.stats.requests.fetch_add(reqs.len() as u64, Ordering::Relaxed);
     // canonicalize + dedupe (first-occurrence order keeps runs deterministic)
     let mut key_ix: HashMap<Arc<[u8]>, usize> = HashMap::new();
     let mut uniq: Vec<(Arc<[u8]>, Ensemble)> = Vec::new();
+    // the first occurrence's recorder follows the solve; within-batch
+    // duplicates get a `coalesce` span over the wait instead
+    let mut uniq_trace: Vec<Option<Arc<trace::ReqTrace>>> = Vec::new();
+    let mut dup_waits: Vec<(Arc<trace::ReqTrace>, u64)> = Vec::new();
     let mut preps: Vec<Prep> = Vec::with_capacity(reqs.len());
-    for req in reqs {
+    for (req_ix, req) in reqs.iter().enumerate() {
+        let trace = traces.get(req_ix).cloned().flatten();
         if req.n_atoms() > inner.cfg.max_atoms {
             preps.push(Prep::Fail(EngineError::TooLarge {
                 n_atoms: req.n_atoms(),
@@ -1228,12 +1306,17 @@ fn solve_batch_on(inner: &Inner, reqs: &[Ensemble]) -> Vec<Result<Verdict, Engin
             Some(&ix) => {
                 // within-batch duplicate: rides the first occurrence's solve
                 inner.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = trace {
+                    let start = t.now_us();
+                    dup_waits.push((t, start));
+                }
                 ix
             }
             None => {
                 let ix = uniq.len();
                 key_ix.insert(Arc::clone(&key), ix);
                 uniq.push((key, c.ens));
+                uniq_trace.push(trace);
                 ix
             }
         };
@@ -1250,7 +1333,9 @@ fn solve_batch_on(inner: &Inner, reqs: &[Ensemble]) -> Vec<Result<Verdict, Engin
             inner.stats.batched_small.fetch_add(small.len() as u64, Ordering::Relaxed);
             let fanned: Vec<(usize, Result<Verdict, EngineError>)> = small
                 .par_iter()
-                .map(|&i| (i, solve_canonical(inner, &uniq[i].0, &uniq[i].1)))
+                .map(|&i| {
+                    (i, solve_canonical(inner, &uniq[i].0, &uniq[i].1, uniq_trace[i].as_deref()))
+                })
                 .collect();
             for (i, r) in fanned {
                 out[i] = Some(r);
@@ -1259,11 +1344,15 @@ fn solve_batch_on(inner: &Inner, reqs: &[Ensemble]) -> Vec<Result<Verdict, Engin
         for (i, (key, ens)) in uniq.iter().enumerate() {
             if ens.n_atoms() > cutoff {
                 inner.stats.large_direct.fetch_add(1, Ordering::Relaxed);
-                out[i] = Some(solve_canonical(inner, key, ens));
+                out[i] = Some(solve_canonical(inner, key, ens, uniq_trace[i].as_deref()));
             }
         }
         out.into_iter().map(|o| o.expect("every unique instance solved")).collect()
     });
+    // duplicates waited exactly as long as the pool took to settle them
+    for (t, start) in dup_waits {
+        t.record("coalesce", start);
+    }
     // remap canonical verdicts into each request's column coordinates
     preps
         .into_iter()
@@ -1293,13 +1382,21 @@ impl Drop for OwnerGuard<'_> {
 }
 
 /// Cache → coalesce → compute, for one canonical instance. Runs inside the
-/// engine pool.
+/// engine pool. A sampled request's recorder sees `cache` (the lookup),
+/// then either `coalesce` (joined another request's in-flight solve) or
+/// `solve` with the per-phase breakdown as `solve/<phase>` children.
 fn solve_canonical(
     inner: &Inner,
     key: &Arc<[u8]>,
     canon: &Ensemble,
+    trace: Option<&trace::ReqTrace>,
 ) -> Result<Verdict, EngineError> {
-    if let Some(v) = inner.cache.lock().expect("cache lock").get(key) {
+    let cache_at = trace.map(|t| t.now_us());
+    let cached = inner.cache.lock().expect("cache lock").get(key);
+    if let (Some(t), Some(at)) = (trace, cache_at) {
+        t.record("cache", at);
+    }
+    if let Some(v) = cached {
         inner.stats.hits.fetch_add(1, Ordering::Relaxed);
         return Ok(v);
     }
@@ -1321,12 +1418,31 @@ fn solve_canonical(
     match role {
         Role::Waiter(fl) => {
             inner.stats.coalesced.fetch_add(1, Ordering::Relaxed);
-            fl.wait()
+            let wait_at = trace.map(|t| t.now_us());
+            let r = fl.wait();
+            if let (Some(t), Some(at)) = (trace, wait_at) {
+                t.record("coalesce", at);
+            }
+            r
         }
         Role::Owner(fl) => {
             inner.stats.misses.fetch_add(1, Ordering::Relaxed);
             let guard = OwnerGuard { inner, key, flight: &fl };
-            let verdict = compute(canon, &inner.cfg);
+            let solve_at = trace.map(|t| t.now_us());
+            let (verdict, stats) = compute(canon, &inner.cfg);
+            if let (Some(t), Some(start)) = (trace, solve_at) {
+                let end = t.now_us();
+                t.record_span("solve", start, end);
+                // lay the phase breakdown end-to-end inside the solve
+                // span; on the parallel path summed CPU time can exceed
+                // the wall interval and is truncated at the solve end
+                let mut cursor = start;
+                for (ix, name) in trace::SOLVE_PHASE_SPANS.iter().enumerate() {
+                    let next = (cursor + stats.phase_ns[ix] / 1_000).min(end);
+                    t.record_span(name, cursor, next);
+                    cursor = next;
+                }
+            }
             inner.cache.lock().expect("cache lock").insert(Arc::clone(key), &verdict);
             fl.fill(Ok(verdict.clone()));
             drop(guard); // unpends; waiters already satisfied
@@ -1337,17 +1453,19 @@ fn solve_canonical(
 
 /// The actual solve, in canonical column space. Small instances run the
 /// sequential certified solver; large ones the parallel divide path (we
-/// are already `install`ed on the engine pool).
-fn compute(canon: &Ensemble, cfg: &EngineConfig) -> Verdict {
-    let res = if canon.n_atoms() <= cfg.small_cutoff {
-        c1p_cert::solve_certified(canon)
+/// are already `install`ed on the engine pool). Returns the run's
+/// counters alongside the verdict for phase attribution.
+fn compute(canon: &Ensemble, cfg: &EngineConfig) -> (Verdict, SolveStats) {
+    let (res, stats) = if canon.n_atoms() <= cfg.small_cutoff {
+        c1p_cert::solve_certified_with(canon)
     } else {
-        c1p_cert::solve_par_certified(canon)
+        c1p_cert::solve_par_certified_with(canon)
     };
-    match res {
+    let verdict = match res {
         Ok(order) => Verdict::C1p { order },
         Err(c) => Verdict::NotC1p { rejection: c.rejection, witness: c.witness },
-    }
+    };
+    (verdict, stats)
 }
 
 #[cfg(test)]

@@ -19,6 +19,8 @@
 //!   0x0D Pong           { id u64 LE, wal u8, n_shards u32 LE, flags u8 × n_shards }
 //!   0x0E QuerySession   { id u64 LE, session u64 LE }
 //!   0x0F SessionStatus  { id u64 LE, session u64 LE, stream_hash u64 LE, columns u64 LE }
+//!   0x10 GetTraces      { }
+//!   0x11 Traces         { utf-8 JSONL dump }
 //! ```
 //!
 //! Session flow: `OpenSession` answers with a `SessionVerdict` naming the
@@ -62,6 +64,8 @@ const TAG_PING: u8 = 0x0C;
 const TAG_PONG: u8 = 0x0D;
 const TAG_QUERY_SESSION: u8 = 0x0E;
 const TAG_SESSION_STATUS: u8 = 0x0F;
+const TAG_GET_TRACES: u8 = 0x10;
+const TAG_TRACES: u8 = 0x11;
 
 /// Why a request failed, as sent on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -255,6 +259,15 @@ pub enum Msg {
         /// The session handle.
         session: u64,
     },
+    /// Client → server: request the retained request traces (DESIGN.md
+    /// §13). Answered inline from the event thread, like `GetMetrics`.
+    GetTraces,
+    /// Server → client: the retained traces as JSONL — one trace object
+    /// per line, newest last, drained across all shard rings.
+    Traces {
+        /// The JSONL dump (possibly empty when sampling is off).
+        jsonl: String,
+    },
     /// Server → client: answer to a [`Msg::QuerySession`].
     SessionStatus {
         /// Echo of the request id.
@@ -374,6 +387,11 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             out.push(TAG_QUERY_SESSION);
             out.extend_from_slice(&id.to_le_bytes());
             out.extend_from_slice(&session.to_le_bytes());
+        }
+        Msg::GetTraces => out.push(TAG_GET_TRACES),
+        Msg::Traces { jsonl } => {
+            out.push(TAG_TRACES);
+            out.extend_from_slice(jsonl.as_bytes());
         }
         Msg::SessionStatus { id, session, stream_hash, columns } => {
             out.push(TAG_SESSION_STATUS);
@@ -499,6 +517,16 @@ pub fn decode_msg(payload: &[u8]) -> Result<Msg, ProtoError> {
             }
             Ok(Msg::SessionStatus { id, session, stream_hash, columns })
         }
+        TAG_GET_TRACES => {
+            if rest.is_empty() {
+                Ok(Msg::GetTraces)
+            } else {
+                Err(ProtoError::Trailing(rest.len()))
+            }
+        }
+        TAG_TRACES => Ok(Msg::Traces {
+            jsonl: String::from_utf8(rest.to_vec()).map_err(|_| ProtoError::BadUtf8)?,
+        }),
         other => Err(ProtoError::BadTag(other)),
     }
 }
@@ -714,6 +742,21 @@ mod tests {
             stream_hash: 0xdead_beef_cafe_f00d,
             columns: 42,
         });
+        round_trip(&Msg::GetTraces);
+        round_trip(&Msg::Traces { jsonl: String::new() });
+        round_trip(&Msg::Traces {
+            jsonl: "{\"trace_id\":\"00000000000000ff\",\"spans\":[]}\n".into(),
+        });
+    }
+
+    #[test]
+    fn get_traces_polices_trailing_bytes() {
+        let mut payload = encode_msg(&Msg::GetTraces);
+        payload.push(0);
+        assert_eq!(decode_msg(&payload), Err(ProtoError::Trailing(1)));
+        let text = encode_msg(&Msg::Traces { jsonl: "x".into() });
+        assert_eq!(decode_msg(&text).unwrap(), Msg::Traces { jsonl: "x".into() });
+        assert_eq!(decode_msg(&[TAG_TRACES, 0xFF]), Err(ProtoError::BadUtf8));
     }
 
     #[test]

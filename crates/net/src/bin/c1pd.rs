@@ -11,6 +11,7 @@
 //!      [--chaos-drop-every N] [--chaos-delay-every N]
 //!      [--chaos-wal-torn-every N] [--chaos-wal-fail-every N]
 //!      [--request-deadline-ms MS]
+//!      [--trace-sample N] [--slow-ms MS] [--trace-seed N] [--trace-ring N]
 //! ```
 //!
 //! Speaks the length-prefixed frame protocol of `c1p_engine::proto`: one
@@ -62,6 +63,16 @@
 //! request still unanswered after MS milliseconds with `Unavailable`
 //! (defaulted to 2000 when replies can be dropped, so nothing hangs).
 //! Same seed + same schedule ⇒ the same faults fire at the same points.
+//!
+//! **Tracing** (DESIGN.md §13, both modes): `--trace-sample N` head-
+//! samples one request in N (0, the default, turns tracing off
+//! entirely); while tracing is on, error replies and requests slower
+//! than `--slow-ms` (default 100) are always retained — tail-sampling —
+//! and slow ones also log one stderr line. Retained traces live in
+//! per-shard rings of `--trace-ring` (default 256) entries, are dumped
+//! as JSONL by a `GetTraces` frame, and stamp the latency histogram's
+//! buckets with exemplar trace ids. `--trace-seed` makes both the
+//! content-derived trace ids and the sampling verdicts reproducible.
 
 use c1p_engine::proto::DEFAULT_MAX_FRAME;
 use c1p_engine::EngineConfig;
@@ -152,6 +163,12 @@ fn main() {
         // never reaped in either mode)
         read_timeout: (read_timeout_ms > 0).then(|| Duration::from_millis(read_timeout_ms as u64)),
         outbox_limit: num_flag(&args, "--outbox-kb", 8 << 10) << 10,
+        trace: c1p_net::trace::TraceConfig {
+            sample_every: num_flag(&args, "--trace-sample", 0) as u64,
+            slow_us: num_flag(&args, "--slow-ms", 100) as u64 * 1000,
+            seed: num_flag(&args, "--trace-seed", 1) as u64,
+            ring_cap: num_flag(&args, "--trace-ring", 256),
+        },
     };
     let shards = num_flag(&args, "--shards", 1).max(1);
     let event_loop = args.iter().any(|a| a == "--event-loop");

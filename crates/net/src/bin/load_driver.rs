@@ -6,7 +6,9 @@
 //!             [--seed 1] [--dup-every 3] [--reject-every 4]
 //!             [--n-lo 48] [--n-hi 160] [--expect-hits]
 //!             [--open-loop] [--idle-conns K] [--expect-metrics]
+//!             [--expect-traces]
 //! load_driver --addr 127.0.0.1:PORT --dump-metrics
+//! load_driver --addr 127.0.0.1:PORT --dump-traces
 //! load_driver --addr 127.0.0.1:PORT --mode sessions
 //!             [--streams 8] [--pushes 6] [--blocks 4] [--conns 4]
 //!             [--seed 1] [--reject-every 3] [--n-lo 64] [--n-hi 192]
@@ -20,6 +22,7 @@
 //!             [--n-lo 64] [--n-hi 160] [--kill-every 6] [--drop-every 5]
 //!             [--socket-every 17] [--delay-every 11] [--wal-torn-every 7]
 //!             [--deadline-ms 400] [--expect-metrics]
+//!             [--trace-sample N] [--slow-ms MS] [--expect-traces]
 //! ```
 //!
 //! **Solve mode** (default) generates a deterministic mixed accept/reject
@@ -41,7 +44,16 @@
 //! stable series name is present and the load-exercised counters are
 //! nonzero. `--dump-metrics` skips the load entirely: it prints the
 //! live server's text dump to stdout and exits — the scrape path for
-//! shells and dashboards.
+//! shells and dashboards. `--dump-traces` does the same for the server's
+//! retained request traces (one JSONL object per line, via `GetTraces`),
+//! and `--expect-traces` fails the run unless the server retained at
+//! least one trace whose spans cover the whole request lifecycle
+//! (decode → admission → queue → mailbox → cache → solve with ≥ 3
+//! solver phases → flush); the server must be running with
+//! `--trace-sample`. The latency summary is always cross-checked
+//! against the server's histogram: bucket counts must be cumulative and
+//! their +Inf total must equal `_count`, which must cover every request
+//! the driver completed.
 //!
 //! **Session mode** replays deterministic append streams
 //! (`c1p_matrix::generate::append_stream{,_reject}`) through the
@@ -138,6 +150,19 @@ fn main() {
             }
         }
     }
+    if args.iter().any(|a| a == "--dump-traces") {
+        // print the server's retained traces as JSONL and exit
+        match fetch_traces(&addr) {
+            Some(jsonl) => {
+                print!("{jsonl}");
+                return;
+            }
+            None => {
+                eprintln!("FAIL: could not fetch the GetTraces dump");
+                std::process::exit(1);
+            }
+        }
+    }
     let requests = num_flag(&args, "--requests", 500) as usize;
     let conns = (num_flag(&args, "--conns", 4) as usize).max(1);
     let seed = num_flag(&args, "--seed", 1);
@@ -147,6 +172,7 @@ fn main() {
     let n_hi = num_flag(&args, "--n-hi", 160) as usize;
     let expect_hits = args.iter().any(|a| a == "--expect-hits");
     let expect_metrics = args.iter().any(|a| a == "--expect-metrics");
+    let expect_traces = args.iter().any(|a| a == "--expect-traces");
     let open_loop = args.iter().any(|a| a == "--open-loop");
     let idle_conns = num_flag(&args, "--idle-conns", 0) as usize;
 
@@ -261,6 +287,14 @@ fn main() {
     if expect_metrics && !check_metrics(&addr, expect_hits, &[]) {
         failed = true;
     }
+    // the percentiles above are client-side clocks; the server's own
+    // histogram must account for (at least) every request served
+    if !check_latency_agreement(&addr, completed) {
+        failed = true;
+    }
+    if expect_traces && !check_traces(&addr, false) {
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
@@ -337,6 +371,138 @@ fn fetch_metrics(addr: &str) -> Option<String> {
         Ok(Msg::Metrics { text }) => Some(text),
         _ => None,
     }
+}
+
+/// Fetches the JSONL trace dump over a fresh connection.
+fn fetch_traces(addr: &str) -> Option<String> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut writer = BufWriter::new(stream);
+    write_frame(&mut writer, &encode_msg(&Msg::GetTraces)).ok()?;
+    writer.flush().ok()?;
+    let payload = read_frame(&mut reader, DEFAULT_MAX_FRAME).ok()??;
+    match decode_msg(&payload) {
+        Ok(Msg::Traces { jsonl }) => Some(jsonl),
+        _ => None,
+    }
+}
+
+/// [`fetch_traces`] with retries, for the same reason as
+/// [`fetch_metrics_retry`]: a chaos-faulted scrape connection proves
+/// nothing about the server.
+fn fetch_traces_retry(addr: &str, attempts: usize) -> Option<String> {
+    for _ in 0..attempts {
+        if let Some(jsonl) = fetch_traces(addr) {
+            return Some(jsonl);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    None
+}
+
+/// The `--expect-traces` gate: the server must have retained at least
+/// one trace, and across the retained set every lifecycle span name must
+/// appear, with at least 3 solver phase children. Chaos runs must also
+/// have tail-sampled at least one slow or error trace — the retention
+/// policy's whole point.
+fn check_traces(addr: &str, chaos: bool) -> bool {
+    let Some(jsonl) = fetch_traces_retry(addr, 10) else {
+        eprintln!("FAIL: could not fetch the GetTraces dump");
+        return false;
+    };
+    let lines: Vec<&str> = jsonl.lines().filter(|l| !l.is_empty()).collect();
+    if lines.is_empty() {
+        eprintln!("FAIL: no retained traces (is the server running with --trace-sample?)");
+        return false;
+    }
+    let mut ok = true;
+    let mut seen = std::collections::HashSet::new();
+    for l in &lines {
+        for chunk in l.split("{\"name\":\"").skip(1) {
+            if let Some(end) = chunk.find('"') {
+                seen.insert(chunk[..end].to_string());
+            }
+        }
+    }
+    for name in ["request", "decode", "admission", "queue", "mailbox", "cache", "solve", "flush"] {
+        if !seen.contains(name) {
+            eprintln!("FAIL: lifecycle span {name:?} absent from every retained trace");
+            ok = false;
+        }
+    }
+    let phases = seen.iter().filter(|n| n.starts_with("solve/")).count();
+    if phases < 3 {
+        eprintln!("FAIL: expected >= 3 solver phase spans across the traces, saw {phases}");
+        ok = false;
+    }
+    if chaos
+        && !lines
+            .iter()
+            .any(|l| l.contains("\"keep\":\"slow\"") || l.contains("\"keep\":\"error\""))
+    {
+        eprintln!("FAIL: a chaos run should tail-sample at least one slow/error trace");
+        ok = false;
+    }
+    if ok {
+        println!("traces: {} retained, {} distinct span names", lines.len(), seen.len());
+    }
+    ok
+}
+
+/// The latency-agreement check: the server's `c1pd_frame_latency_us`
+/// histogram must be internally consistent (cumulative buckets whose
+/// +Inf total equals `_count`) and must account for at least every
+/// request this driver completed (`>=`, not `==`: the driver's own
+/// stats/metrics probes are frames too).
+fn check_latency_agreement(addr: &str, completed: u64) -> bool {
+    let Some(dump) = fetch_metrics_retry(addr, 10) else {
+        eprintln!("FAIL: could not fetch metrics for the latency agreement check");
+        return false;
+    };
+    let mut cumulative: Vec<u64> = Vec::new();
+    for l in dump.lines() {
+        if let Some(rest) = l.strip_prefix("c1pd_frame_latency_us_bucket{le=") {
+            // `"4"} 123` or `"4"} 123 # {trace_id="…"}` — value is the
+            // first token after the label block
+            let Some(v) = rest
+                .split_once("} ")
+                .and_then(|(_, v)| v.split_whitespace().next())
+                .and_then(|t| t.parse::<u64>().ok())
+            else {
+                eprintln!("FAIL: unparseable latency bucket line: {l}");
+                return false;
+            };
+            cumulative.push(v);
+        }
+    }
+    if cumulative.is_empty() {
+        eprintln!("FAIL: no frame latency buckets in the metrics dump");
+        return false;
+    }
+    let mut ok = true;
+    if cumulative.windows(2).any(|w| w[0] > w[1]) {
+        eprintln!("FAIL: latency buckets are not cumulative: {cumulative:?}");
+        ok = false;
+    }
+    let inf = *cumulative.last().expect("nonempty") as i64;
+    let count = c1p_net::metrics::scrape(&dump, "c1pd_frame_latency_us_count").unwrap_or(-1);
+    if inf != count {
+        eprintln!("FAIL: +Inf bucket {inf} disagrees with histogram count {count}");
+        ok = false;
+    }
+    if count < completed as i64 {
+        eprintln!(
+            "FAIL: server histogram counted {count} frames but the driver completed {completed}"
+        );
+        ok = false;
+    }
+    if ok {
+        println!(
+            "latency histogram agrees: {count} server observations cover \
+             {completed} completed requests"
+        );
+    }
+    ok
 }
 
 /// One open-loop connection: a writer thread pipelines the connection's
@@ -1116,6 +1282,9 @@ fn chaos_main(args: &[String]) {
     let wal_torn_every = num_flag(args, "--wal-torn-every", 7);
     let deadline_ms = num_flag(args, "--deadline-ms", 400);
     let expect_metrics = args.iter().any(|a| a == "--expect-metrics");
+    let trace_sample = num_flag(args, "--trace-sample", 0);
+    let slow_ms = num_flag(args, "--slow-ms", 100);
+    let expect_traces = args.iter().any(|a| a == "--expect-traces");
     assert!(n_lo >= 16 * blocks, "reject embedding needs blocks of >= 16 atoms");
     assert!(n_hi >= n_lo);
 
@@ -1164,6 +1333,12 @@ fn chaos_main(args: &[String]) {
         .arg(wal_torn_every.to_string())
         .arg("--request-deadline-ms")
         .arg(deadline_ms.to_string())
+        .arg("--trace-sample")
+        .arg(trace_sample.to_string())
+        .arg("--slow-ms")
+        .arg(slow_ms.to_string())
+        .arg("--trace-seed")
+        .arg(seed.to_string())
         .stdout(std::process::Stdio::null())
         .spawn()
         .unwrap_or_else(|e| panic!("cannot spawn {server_bin}: {e}"));
@@ -1256,6 +1431,9 @@ fn chaos_main(args: &[String]) {
             ],
         )
     {
+        failed = true;
+    }
+    if expect_traces && !check_traces(&addr, true) {
         failed = true;
     }
     child.kill().ok();

@@ -339,6 +339,17 @@ impl Client {
         }
     }
 
+    /// Fetches the server's retained request traces as JSONL (one trace
+    /// object per line, oldest first per shard ring; empty when tracing
+    /// is off). Pure read — retrying is always safe.
+    pub fn traces(&mut self) -> Result<String, ClientError> {
+        let deadline = Instant::now() + self.policy.deadline;
+        match self.call_idempotent("traces", &Msg::GetTraces, deadline)? {
+            Msg::Traces { jsonl } => Ok(jsonl),
+            other => Err(ClientError::Protocol(format!("expected Traces, got {other:?}"))),
+        }
+    }
+
     /// Health-checks the server with retry.
     pub fn ping(&mut self) -> Result<Msg, ClientError> {
         let deadline = Instant::now() + self.policy.deadline;

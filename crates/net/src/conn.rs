@@ -162,6 +162,14 @@ impl Outbox {
     /// Writes as much as the kernel will take. Returns
     /// `(bytes_written, frames_completed)`; an empty outbox afterwards
     /// means write interest can be dropped.
+    ///
+    /// `frames_completed` counts frames whose final byte reached the
+    /// kernel *during this call*, in push order — never queued or
+    /// partially written ones. The event loop's trace flush accounting
+    /// leans on that exactness: it keeps a per-connection queue of
+    /// in-flight traces aligned 1:1 with pushed frames and finishes one
+    /// trace per completed frame, so the `flush` span ends when the
+    /// response bytes are actually handed off, not when they are queued.
     pub fn flush(&mut self, stream: &mut impl Write) -> io::Result<(u64, u64)> {
         let mut bytes = 0u64;
         while !self.buf.is_empty() {

@@ -70,10 +70,15 @@ use crate::conn::{FrameReader, Outbox, PullError};
 use crate::fault::{FaultPlan, FaultyIo, ReplyFault};
 use crate::metrics::Metrics;
 use crate::poll::{poll_fds, PollFd, POLLIN, POLLOUT};
-use crate::{engine_error, open_reply, pick_shard, route_hash, session_reply, ServerOpts};
+use crate::trace::{Finishing, TraceBuilder, Tracer};
+use crate::{
+    engine_error, open_reply, pick_shard, route_hash, session_reply, session_reply_traced,
+    ServerOpts,
+};
 use c1p_engine::proto::{decode_msg, encode_msg, ErrorCode, Msg, ShardHealth};
+use c1p_engine::trace::ReqTrace;
 use c1p_engine::{Engine, EngineConfig, EngineError};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
@@ -125,11 +130,25 @@ impl Default for EventLoopOpts {
     }
 }
 
+/// A sampled request's span recorder riding along with its [`Job`]: the
+/// shared [`ReqTrace`] plus the enqueue offset (the `queue` span start).
+type JobTrace = Option<(Arc<ReqTrace>, u64)>;
+
 /// One unit of work for a shard worker.
 enum Job {
-    Solve { conn: u64, seq: u64, id: u64, ens: c1p_matrix::Ensemble },
-    Open { conn: u64, seq: u64, id: u64, n_atoms: u64 },
-    Session { conn: u64, seq: u64, msg: Msg, local: u64, public: u64 },
+    Solve { conn: u64, seq: u64, id: u64, ens: c1p_matrix::Ensemble, trace: JobTrace },
+    Open { conn: u64, seq: u64, id: u64, n_atoms: u64, trace: JobTrace },
+    Session { conn: u64, seq: u64, msg: Msg, local: u64, public: u64, trace: JobTrace },
+}
+
+impl Job {
+    fn trace(&self) -> &JobTrace {
+        match self {
+            Job::Solve { trace, .. } | Job::Open { trace, .. } | Job::Session { trace, .. } => {
+                trace
+            }
+        }
+    }
 }
 
 /// A finished job on its way back to the event loop.
@@ -203,6 +222,9 @@ struct Pending {
     /// Request id, echoed in an `Unavailable` frame if one is needed.
     id: u64,
     t0: Instant,
+    /// Trace context when the request is sampled; settles with the
+    /// reply, whichever path sends it.
+    trace: Option<TraceBuilder>,
 }
 
 /// Per-connection event-loop state.
@@ -214,8 +236,14 @@ struct Conn {
     next_seq: u64,
     /// Sequence whose reply is released next.
     next_send: u64,
-    /// Replies completed ahead of `next_send`.
-    parked: BTreeMap<u64, Msg>,
+    /// Replies completed ahead of `next_send`, with the trace context
+    /// that finishes once the reply's bytes leave the socket.
+    parked: BTreeMap<u64, (Msg, Option<Finishing>)>,
+    /// One entry per frame pushed onto the outbox, in order: the flush
+    /// pass pops as many entries as frames it flushed and finishes the
+    /// `Some` ones. Dropped (traces lost) when the connection dies with
+    /// frames still queued — a dead peer never reads them anyway.
+    finishing: VecDeque<Option<Finishing>>,
     /// Frames dispatched to shards and not yet completed.
     inflight: usize,
     /// No more reads: EOF, poisoned stream, or a policy close.
@@ -237,6 +265,7 @@ impl Conn {
             next_seq: 0,
             next_send: 0,
             parked: BTreeMap::new(),
+            finishing: VecDeque::new(),
             inflight: 0,
             read_closed: false,
             closing: false,
@@ -263,6 +292,8 @@ pub fn serve(
 ) -> io::Result<Vec<Arc<Engine>>> {
     assert!(opts.shards >= 1, "at least one shard");
     assert_eq!(metrics.shards.len(), opts.shards, "metrics registry sized for the shard count");
+    metrics.set_mode("event-loop");
+    let tracer = Tracer::new(opts.server.trace, opts.shards);
     listener.set_nonblocking(true)?;
     let engines: Vec<Arc<Engine>> =
         (0..opts.shards).map(|i| Arc::new(Engine::new(shard_cfg(&opts.engine_cfg, i)))).collect();
@@ -299,7 +330,10 @@ pub fn serve(
         }
         // dropping the ctls (done inside event_loop when it returns)
         // ends the workers; the scope joins them before we flush below
-        event_loop(scope, &listener, opts, stop, metrics, engines, ctls, &wake_tx, wake_rx, &events)
+        event_loop(
+            scope, &listener, opts, stop, metrics, &tracer, engines, ctls, &wake_tx, wake_rx,
+            &events,
+        )
     })?;
     for e in &engines {
         e.flush_durability();
@@ -391,17 +425,37 @@ fn worker_loop(
                 Err(_) => break,
             }
         }
-        let solves: Vec<c1p_matrix::Ensemble> = batch
+        // queue spans end at dequeue; the mailbox span runs from there to
+        // the moment the job actually executes (batch solve start for
+        // solves, in-order execution for opens and session ops)
+        let mailbox_at: Vec<Option<u64>> = batch
             .iter()
-            .filter_map(|j| match j {
-                Job::Solve { ens, .. } => Some(ens.clone()),
-                _ => None,
+            .map(|j| {
+                j.trace().as_ref().map(|(t, enq)| {
+                    t.record("queue", *enq);
+                    t.now_us()
+                })
             })
             .collect();
-        let mut verdicts =
-            if solves.is_empty() { Vec::new() } else { engine.solve_batch(&solves) }.into_iter();
+        let mut solves: Vec<c1p_matrix::Ensemble> = Vec::new();
+        let mut solve_traces: Vec<Option<Arc<ReqTrace>>> = Vec::new();
+        for (j, mb) in batch.iter().zip(&mailbox_at) {
+            if let Job::Solve { ens, trace, .. } = j {
+                solves.push(ens.clone());
+                solve_traces.push(trace.as_ref().map(|(t, _)| {
+                    t.record("mailbox", mb.expect("traced job has a mailbox mark"));
+                    Arc::clone(t)
+                }));
+            }
+        }
+        let mut verdicts = if solves.is_empty() {
+            Vec::new()
+        } else {
+            engine.solve_batch_traced(&solves, &solve_traces)
+        }
+        .into_iter();
         let mut done: Vec<Completion> = Vec::with_capacity(batch.len());
-        for job in batch {
+        for (job, mb) in batch.into_iter().zip(mailbox_at) {
             let completion = match job {
                 Job::Solve { conn, seq, id, .. } => {
                     let reply = match verdicts.next().expect("one verdict per solve") {
@@ -410,7 +464,10 @@ fn worker_loop(
                     };
                     Completion { conn, seq, reply }
                 }
-                Job::Open { conn, seq, id, n_atoms } => {
+                Job::Open { conn, seq, id, n_atoms, trace } => {
+                    if let Some((t, _)) = &trace {
+                        t.record("mailbox", mb.expect("traced job has a mailbox mark"));
+                    }
                     let reply = match engine.open_session(n_atoms as usize) {
                         // locals start at 1, so publics are nonzero and
                         // collision-free across shards
@@ -419,8 +476,13 @@ fn worker_loop(
                     };
                     Completion { conn, seq, reply }
                 }
-                Job::Session { conn, seq, msg, local, public } => {
-                    let reply = session_reply(engine, &msg, local, public);
+                Job::Session { conn, seq, msg, local, public, trace } => {
+                    let reply = if let Some((t, _)) = &trace {
+                        t.record("mailbox", mb.expect("traced job has a mailbox mark"));
+                        session_reply_traced(engine, &msg, local, public, Some(t))
+                    } else {
+                        session_reply(engine, &msg, local, public)
+                    };
                     Completion { conn, seq, reply }
                 }
             };
@@ -502,21 +564,34 @@ fn write_farewell(stream: &mut impl Write, frame: &[u8]) {
 }
 
 /// Queues `reply` for `seq`, releasing every reply that is now in order,
-/// and applies the outbox cap (the slow-reader disconnect).
+/// and applies the outbox cap (the slow-reader disconnect). A sampled
+/// request's trace parks with its reply; when the reply is released onto
+/// the outbox its `flush` span starts and a [`Finishing`] queues up for
+/// the flush pass to settle once the bytes actually leave the socket.
 fn deliver(
     conn: &mut Conn,
     seq: u64,
     reply: Msg,
     t0: Instant,
+    trace: Option<TraceBuilder>,
     metrics: &Metrics,
     outbox_limit: usize,
 ) {
-    metrics.frame_latency_us.observe_us(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
-    conn.parked.insert(seq, reply);
-    while let Some(msg) = conn.parked.remove(&conn.next_send) {
+    let latency_us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    metrics.frame_latency_us.observe_us(latency_us);
+    let fin = trace.map(|b| {
+        let error = matches!(reply, Msg::Error { .. });
+        Finishing { b, latency_us, error, flush_start_us: 0 }
+    });
+    conn.parked.insert(seq, (reply, fin));
+    while let Some((msg, mut fin)) = conn.parked.remove(&conn.next_send) {
         let frame = frame_of(&msg);
         metrics.outbox_bytes.add(frame.len() as i64);
         conn.outbox.push_frame(&frame);
+        if let Some(f) = fin.as_mut() {
+            f.flush_start_us = f.b.req.now_us();
+        }
+        conn.finishing.push_back(fin);
         conn.next_send += 1;
     }
     if conn.outbox.len() > outbox_limit && conn.kill.is_none() {
@@ -544,6 +619,7 @@ fn send_job(
     rid: u64,
     shard: usize,
     job: Job,
+    trace: Option<TraceBuilder>,
     ctls: &[ShardCtl],
     pending: &mut HashMap<(u64, u64), Pending>,
     metrics: &Metrics,
@@ -560,16 +636,24 @@ fn send_job(
         metrics.queue_depth.inc();
         metrics.shards[shard].queue_depth.inc();
         metrics.shards[shard].jobs_total.inc();
-        pending.insert((conn_id, seq), Pending { shard, id: rid, t0 });
+        pending.insert((conn_id, seq), Pending { shard, id: rid, t0, trace });
     } else {
         metrics.degraded_replies_total.inc();
-        deliver(conn, seq, unavailable(rid, shard, "is unavailable"), t0, metrics, outbox_limit);
+        deliver(
+            conn,
+            seq,
+            unavailable(rid, shard, "is unavailable"),
+            t0,
+            trace,
+            metrics,
+            outbox_limit,
+        );
     }
 }
 
-/// Routes one complete frame: inline answers (stats, metrics, health,
-/// admission and decode errors) deliver immediately; solves and session
-/// ops become shard jobs.
+/// Routes one complete frame: inline answers (stats, metrics, traces,
+/// health, admission and decode errors) deliver immediately; solves and
+/// session ops become shard jobs.
 #[allow(clippy::too_many_arguments)]
 fn dispatch(
     conn: &mut Conn,
@@ -582,6 +666,7 @@ fn dispatch(
     ctls: &[ShardCtl],
     pending: &mut HashMap<(u64, u64), Pending>,
     rr_open: &mut usize,
+    tracer: &Tracer,
 ) {
     let t0 = Instant::now();
     metrics.frames_read_total.inc();
@@ -589,30 +674,56 @@ fn dispatch(
     conn.next_seq += 1;
     let shards = opts.shards as u64;
     let outbox_limit = opts.server.outbox_limit;
-    match decode_msg(payload) {
+    // trace epoch = frame arrival; the decode span covers id derivation
+    // (a payload hash) plus the decode itself, starting at offset ~0
+    let mut tb = tracer.begin(payload);
+    let decoded = decode_msg(payload);
+    // admission starts where decode ends; each branch closes it once its
+    // admission verdict (cap checks, shard choice) is in
+    let adm = tb.as_ref().map_or(0, |b| {
+        b.req.record("decode", 0);
+        b.req.now_us()
+    });
+    match decoded {
         Ok(Msg::Solve { id, ens }) => {
             // mirror `Engine::submit` admission, in its order: the atom
             // cap first (TooLarge wins even with a full queue), then —
             // beyond max_queue in-flight jobs — Overloaded, without
             // either touching a shard
+            if let Some(b) = tb.as_mut() {
+                b.id = id;
+                b.kind = "solve";
+            }
             if ens.n_atoms() > opts.engine_cfg.max_atoms {
                 let e = EngineError::TooLarge {
                     n_atoms: ens.n_atoms(),
                     max_atoms: opts.engine_cfg.max_atoms,
                 };
-                deliver(conn, seq, engine_error(id, e), t0, metrics, outbox_limit);
+                if let Some(b) = tb.as_ref() {
+                    b.req.record("admission", adm);
+                }
+                deliver(conn, seq, engine_error(id, e), t0, tb, metrics, outbox_limit);
             } else if metrics.queue_depth.get() >= opts.engine_cfg.max_queue as i64 {
+                if let Some(b) = tb.as_ref() {
+                    b.req.record("admission", adm);
+                }
                 deliver(
                     conn,
                     seq,
                     engine_error(id, EngineError::Overloaded),
                     t0,
+                    tb,
                     metrics,
                     outbox_limit,
                 );
             } else {
                 let shard = pick_shard(route_hash(&ens), opts.shards);
-                let job = Job::Solve { conn: conn_id, seq, id, ens };
+                let jt = tb.as_mut().map(|b| {
+                    b.shard = shard;
+                    b.req.record("admission", adm);
+                    (Arc::clone(&b.req), b.req.now_us())
+                });
+                let job = Job::Solve { conn: conn_id, seq, id, ens, trace: jt };
                 send_job(
                     conn,
                     conn_id,
@@ -621,6 +732,7 @@ fn dispatch(
                     id,
                     shard,
                     job,
+                    tb,
                     ctls,
                     pending,
                     metrics,
@@ -639,9 +751,18 @@ fn dispatch(
                     break;
                 }
             }
+            if let Some(b) = tb.as_mut() {
+                b.id = id;
+                b.kind = "open";
+                b.req.record("admission", adm);
+            }
             match shard {
                 Some(shard) => {
-                    let job = Job::Open { conn: conn_id, seq, id, n_atoms };
+                    let jt = tb.as_mut().map(|b| {
+                        b.shard = shard;
+                        (Arc::clone(&b.req), b.req.now_us())
+                    });
+                    let job = Job::Open { conn: conn_id, seq, id, n_atoms, trace: jt };
                     send_job(
                         conn,
                         conn_id,
@@ -650,6 +771,7 @@ fn dispatch(
                         id,
                         shard,
                         job,
+                        tb,
                         ctls,
                         pending,
                         metrics,
@@ -667,6 +789,7 @@ fn dispatch(
                             message: "every shard is degraded".into(),
                         },
                         t0,
+                        tb,
                         metrics,
                         outbox_limit,
                     );
@@ -689,8 +812,28 @@ fn dispatch(
             // handle decodes to some shard whose engine answers NoSession
             let shard = (public % shards) as usize;
             let local = public / shards;
-            let job = Job::Session { conn: conn_id, seq, msg, local, public };
-            send_job(conn, conn_id, seq, t0, id, shard, job, ctls, pending, metrics, outbox_limit);
+            let jt = tb.as_mut().map(|b| {
+                b.id = id;
+                b.kind = "session";
+                b.shard = shard;
+                b.req.record("admission", adm);
+                (Arc::clone(&b.req), b.req.now_us())
+            });
+            let job = Job::Session { conn: conn_id, seq, msg, local, public, trace: jt };
+            send_job(
+                conn,
+                conn_id,
+                seq,
+                t0,
+                id,
+                shard,
+                job,
+                tb,
+                ctls,
+                pending,
+                metrics,
+                outbox_limit,
+            );
         }
         Ok(Msg::Ping { id }) => {
             // health is answered from the event thread so it reflects
@@ -701,7 +844,7 @@ fn dispatch(
                 .iter()
                 .map(|c| ShardHealth { live: c.up && !c.degraded, degraded: c.degraded })
                 .collect();
-            deliver(conn, seq, Msg::Pong { id, wal, shards }, t0, metrics, outbox_limit);
+            deliver(conn, seq, Msg::Pong { id, wal, shards }, t0, tb, metrics, outbox_limit);
         }
         Ok(Msg::GetStats) => {
             // safe even while a shard is down: `stats()` takes only the
@@ -712,7 +855,7 @@ fn dispatch(
                 sum.absorb(&e.stats());
                 sum.absorb(r);
             }
-            deliver(conn, seq, Msg::Stats { json: sum.to_json() }, t0, metrics, outbox_limit);
+            deliver(conn, seq, Msg::Stats { json: sum.to_json() }, t0, tb, metrics, outbox_limit);
         }
         Ok(Msg::GetMetrics) => {
             // each shard's series = its live engine + every engine
@@ -731,9 +874,15 @@ fn dispatch(
                 seq,
                 Msg::Metrics { text: metrics.render(&stats) },
                 t0,
+                tb,
                 metrics,
                 outbox_limit,
             );
+        }
+        Ok(Msg::GetTraces) => {
+            // answered from the event thread, like GetMetrics: the dump
+            // is a snapshot of the per-shard retention rings
+            deliver(conn, seq, Msg::Traces { jsonl: tracer.dump() }, t0, tb, metrics, outbox_limit);
         }
         Ok(_) => deliver(
             conn,
@@ -744,6 +893,7 @@ fn dispatch(
                 message: "unexpected message kind for a server".into(),
             },
             t0,
+            tb,
             metrics,
             outbox_limit,
         ),
@@ -754,6 +904,7 @@ fn dispatch(
                 seq,
                 Msg::Error { id: 0, code: ErrorCode::Malformed, message: e.to_string() },
                 t0,
+                tb,
                 metrics,
                 outbox_limit,
             );
@@ -776,7 +927,7 @@ fn settle_unavailable(
     metrics.shards[p.shard].queue_depth.dec();
     if let Some(conn) = conns.get_mut(&key.0) {
         conn.inflight -= 1;
-        deliver(conn, key.1, unavailable(p.id, p.shard, why), p.t0, metrics, outbox_limit);
+        deliver(conn, key.1, unavailable(p.id, p.shard, why), p.t0, p.trace, metrics, outbox_limit);
     }
 }
 
@@ -791,6 +942,7 @@ fn event_loop<'scope>(
     opts: &EventLoopOpts,
     stop: &AtomicBool,
     metrics: &Arc<Metrics>,
+    tracer: &Tracer,
     mut engines: Vec<Arc<Engine>>,
     mut ctls: Vec<ShardCtl>,
     wake_tx: &UnixStream,
@@ -871,7 +1023,15 @@ fn event_loop<'scope>(
                     metrics.shards[p.shard].queue_depth.dec();
                     if let Some(conn) = conns.get_mut(&c.conn) {
                         conn.inflight -= 1;
-                        deliver(conn, c.seq, c.reply, p.t0, metrics, opts.server.outbox_limit);
+                        deliver(
+                            conn,
+                            c.seq,
+                            c.reply,
+                            p.t0,
+                            p.trace,
+                            metrics,
+                            opts.server.outbox_limit,
+                        );
                     }
                 }
                 Event::WorkerUp { shard, engine } => {
@@ -1029,6 +1189,7 @@ fn event_loop<'scope>(
                             &ctls,
                             &mut pending,
                             &mut rr_open,
+                            tracer,
                         );
                     }
                     if pull.eof {
@@ -1057,6 +1218,9 @@ fn event_loop<'scope>(
                             ),
                         },
                         Instant::now(),
+                        // oversize frames never surface a payload to hash
+                        // a trace id from; they go untraced
+                        None,
                         metrics,
                         opts.server.outbox_limit,
                     );
@@ -1124,6 +1288,13 @@ fn event_loop<'scope>(
                     metrics.bytes_written_total.add(bytes);
                     metrics.frames_written_total.add(frames);
                     metrics.outbox_bytes.add(-(bytes as i64));
+                    // a trace finishes when its reply's last byte leaves
+                    // the socket: pop one entry per fully-flushed frame
+                    for _ in 0..frames {
+                        if let Some(Some(f)) = conn.finishing.pop_front() {
+                            tracer.finish(f, metrics);
+                        }
+                    }
                 }
                 Err(_) => {
                     conn.read_closed = true;

@@ -16,7 +16,8 @@
 //! and `GetMetrics` renders it with this engine as shard 0.
 
 use crate::metrics::Metrics;
-use crate::{engine_error, open_reply, session_reply, ServerOpts};
+use crate::trace::{Finishing, Tracer};
+use crate::{engine_error, open_reply, session_reply_traced, ServerOpts};
 use c1p_engine::proto::{decode_msg, encode_msg, read_frame_until, write_frame, ErrorCode, Msg};
 use c1p_engine::{Engine, EngineConfig};
 use std::io::{self, BufWriter, Write};
@@ -40,6 +41,9 @@ pub fn serve(
 ) -> io::Result<Arc<Engine>> {
     // kept for Ping health probes after `cfg` moves into the engine
     let wal_dir: Arc<Option<std::path::PathBuf>> = Arc::new(cfg.wal_dir.clone());
+    metrics.set_mode("legacy");
+    // one engine ⇒ one retention ring (the event loop has one per shard)
+    let tracer = Arc::new(Tracer::new(opts.trace, 1));
     let engine = Arc::new(Engine::new(cfg));
     // nonblocking accept so the loop can notice `stop` between
     // connections — a blocking accept would pin the process until one
@@ -72,10 +76,11 @@ pub fn serve(
         let metrics = Arc::clone(metrics);
         let opts = opts.clone();
         let wal_dir = Arc::clone(&wal_dir);
+        let tracer = Arc::clone(&tracer);
         thread::spawn(move || {
             let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_default();
             if let Err(e) =
-                handle_conn(stream, &engine, &opts, stop, &metrics, (*wal_dir).as_deref())
+                handle_conn(stream, &engine, &opts, stop, &metrics, (*wal_dir).as_deref(), &tracer)
             {
                 // benign disconnects are the common case; log the rest
                 if e.kind() != io::ErrorKind::UnexpectedEof
@@ -117,6 +122,7 @@ fn refuse(stream: TcpStream) {
     let _ = w.flush();
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_conn(
     stream: TcpStream,
     engine: &Engine,
@@ -124,6 +130,7 @@ fn handle_conn(
     stop: &AtomicBool,
     metrics: &Metrics,
     wal_dir: Option<&std::path::Path>,
+    tracer: &Tracer,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     // the socket timeout is the polling tick: it lets the frame reader
@@ -180,32 +187,61 @@ fn handle_conn(
         metrics.queue_depth.inc();
         metrics.shards[0].jobs_total.inc();
         metrics.shards[0].queue_depth.inc();
-        let reply = match decode_msg(&payload) {
-            Ok(Msg::Solve { id, ens }) => match engine.submit(ens) {
-                Ok(ticket) => match ticket.wait() {
-                    Ok(verdict) => Msg::Verdict { id, verdict: verdict.to_wire() },
+        // trace epoch = frame arrival, as in the event loop; decode is
+        // hoisted out of the match so its span covers exactly the parse
+        let mut tb = tracer.begin(&payload);
+        let decoded = decode_msg(&payload);
+        // this mode has no dispatcher-side admission checks (queue and
+        // size caps live inside `Engine::submit`), so the admission span
+        // is an honest zero-length marker at the decode boundary
+        if let Some(b) = tb.as_ref() {
+            b.req.record("decode", 0);
+            b.req.record("admission", b.req.now_us());
+        }
+        let reply = match decoded {
+            Ok(Msg::Solve { id, ens }) => {
+                let trace = tb.as_mut().map(|b| {
+                    b.id = id;
+                    b.kind = "solve";
+                    Arc::clone(&b.req)
+                });
+                match engine.submit_traced(ens, trace) {
+                    Ok(ticket) => match ticket.wait() {
+                        Ok(verdict) => Msg::Verdict { id, verdict: verdict.to_wire() },
+                        Err(e) => engine_error(id, e),
+                    },
                     Err(e) => engine_error(id, e),
-                },
-                Err(e) => engine_error(id, e),
-            },
-            Ok(Msg::OpenSession { id, n_atoms }) => match engine.open_session(n_atoms as usize) {
-                Ok(session) => open_reply(id, session),
-                Err(e) => engine_error(id, e),
-            },
+                }
+            }
+            Ok(Msg::OpenSession { id, n_atoms }) => {
+                if let Some(b) = tb.as_mut() {
+                    b.id = id;
+                    b.kind = "open";
+                }
+                match engine.open_session(n_atoms as usize) {
+                    Ok(session) => open_reply(id, session),
+                    Err(e) => engine_error(id, e),
+                }
+            }
             Ok(
                 msg @ (Msg::PushAtoms { .. } | Msg::SealSession { .. } | Msg::QuerySession { .. }),
             ) => {
-                let session = match &msg {
-                    Msg::PushAtoms { session, .. }
-                    | Msg::SealSession { session, .. }
-                    | Msg::QuerySession { session, .. } => *session,
+                let (id, session) = match &msg {
+                    Msg::PushAtoms { id, session, .. }
+                    | Msg::SealSession { id, session }
+                    | Msg::QuerySession { id, session } => (*id, *session),
                     _ => unreachable!(),
                 };
                 if matches!(msg, Msg::QuerySession { .. }) {
                     metrics.retries_total.inc();
                 }
+                let trace = tb.as_mut().map(|b| {
+                    b.id = id;
+                    b.kind = "session";
+                    Arc::clone(&b.req)
+                });
                 // single engine: the public handle is the local one
-                session_reply(engine, &msg, session, session)
+                session_reply_traced(engine, &msg, session, session, trace.as_deref())
             }
             Ok(Msg::Ping { id }) => Msg::Pong {
                 id,
@@ -215,6 +251,7 @@ fn handle_conn(
             },
             Ok(Msg::GetStats) => Msg::Stats { json: engine.stats().to_json() },
             Ok(Msg::GetMetrics) => Msg::Metrics { text: metrics.render(&[engine.stats()]) },
+            Ok(Msg::GetTraces) => Msg::Traces { jsonl: tracer.dump() },
             Ok(_) => Msg::Error {
                 id: 0,
                 code: ErrorCode::Malformed,
@@ -227,7 +264,18 @@ fn handle_conn(
         };
         metrics.queue_depth.dec();
         metrics.shards[0].queue_depth.dec();
-        metrics.frame_latency_us.observe_us(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        let latency_us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        metrics.frame_latency_us.observe_us(latency_us);
+        // the flush span covers the blocking write+flush; the trace
+        // finishes once the bytes are handed to the socket
+        let fin = tb.map(|b| {
+            let error = matches!(reply, Msg::Error { .. });
+            let flush_start_us = b.req.now_us();
+            Finishing { b, latency_us, error, flush_start_us }
+        });
         send(&mut writer, &reply)?;
+        if let Some(f) = fin {
+            tracer.finish(f, metrics);
+        }
     }
 }

@@ -41,6 +41,7 @@ pub mod fault;
 pub mod legacy;
 pub mod metrics;
 pub mod poll;
+pub mod trace;
 
 use c1p_engine::proto::{ErrorCode, Msg};
 use c1p_engine::{Engine, EngineError};
@@ -64,6 +65,9 @@ pub struct ServerOpts {
     /// falls this far behind gets one `Overloaded` ("slow reader")
     /// frame and is disconnected.
     pub outbox_limit: usize,
+    /// Request tracing policy (`--trace-sample`/`--slow-ms`/
+    /// `--trace-seed`/`--trace-ring`); `sample_every == 0` disables.
+    pub trace: trace::TraceConfig,
 }
 
 impl Default for ServerOpts {
@@ -73,6 +77,7 @@ impl Default for ServerOpts {
             max_frame: c1p_engine::proto::DEFAULT_MAX_FRAME,
             read_timeout: Some(Duration::from_millis(250)),
             outbox_limit: 8 << 20,
+            trace: trace::TraceConfig::default(),
         }
     }
 }
@@ -148,11 +153,28 @@ pub fn engine_error(id: u64, e: EngineError) -> Msg {
 /// interleave shard-local ones — see [`event_loop`]); `OpenSession`
 /// stays with the callers, whose id mapping differs.
 pub fn session_reply(engine: &Engine, msg: &Msg, local: u64, public: u64) -> Msg {
+    session_reply_traced(engine, msg, local, public, None)
+}
+
+/// [`session_reply`] with a span recorder: `PushAtoms` solve/WAL work is
+/// recorded into `trace` when sampled (seal and query reuse the untraced
+/// engine paths — their lifecycle spans come from the front end).
+pub fn session_reply_traced(
+    engine: &Engine,
+    msg: &Msg,
+    local: u64,
+    public: u64,
+    trace: Option<&c1p_engine::trace::ReqTrace>,
+) -> Msg {
     match *msg {
-        Msg::PushAtoms { id, ref delta, .. } => match engine.session_push(local, delta) {
-            Ok(verdict) => Msg::SessionVerdict { id, session: public, verdict: verdict.to_wire() },
-            Err(e) => engine_error(id, e),
-        },
+        Msg::PushAtoms { id, ref delta, .. } => {
+            match engine.session_push_traced(local, delta, trace) {
+                Ok(verdict) => {
+                    Msg::SessionVerdict { id, session: public, verdict: verdict.to_wire() }
+                }
+                Err(e) => engine_error(id, e),
+            }
+        }
         Msg::SealSession { id, .. } => match engine.seal_session(local) {
             Ok(verdict) => Msg::SessionVerdict { id, session: public, verdict: verdict.to_wire() },
             Err(e) => engine_error(id, e),

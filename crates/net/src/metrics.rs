@@ -29,6 +29,8 @@
 use c1p_engine::EngineStats;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// A monotone event counter.
 #[derive(Debug, Default)]
@@ -87,6 +89,13 @@ pub const HIST_BUCKETS: usize = 22;
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; HIST_BUCKETS + 1], // [le 2^0 .. le 2^21, +Inf]
+    /// Per-bucket exemplar: the most recent *retained* trace id whose
+    /// observation landed in the bucket (`0` = none — trace ids are
+    /// splitmix64 outputs, so a real zero id is vanishingly unlikely and
+    /// merely loses its exemplar slot). The tracer clears a slot when the
+    /// trace it names is evicted, keeping the exemplar → retained-trace
+    /// invariant (DESIGN.md §13).
+    exemplars: [AtomicU64; HIST_BUCKETS + 1],
     sum_us: AtomicU64,
     count: AtomicU64,
 }
@@ -95,19 +104,41 @@ impl Default for Histogram {
     fn default() -> Self {
         Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
             sum_us: AtomicU64::new(0),
             count: AtomicU64::new(0),
         }
     }
 }
 
+/// Bucket index for an observation of `us` microseconds.
+fn bucket_ix(us: u64) -> usize {
+    let ix = if us <= 1 { 0 } else { (64 - (us - 1).leading_zeros()) as usize };
+    ix.min(HIST_BUCKETS)
+}
+
 impl Histogram {
     /// Records one observation of `us` microseconds.
     pub fn observe_us(&self, us: u64) {
-        let ix = if us <= 1 { 0 } else { (64 - (us - 1).leading_zeros()) as usize };
-        self.buckets[ix.min(HIST_BUCKETS)].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_ix(us)].fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stamps `trace_id` as the exemplar of the bucket an observation of
+    /// `us` lands in (the observation itself was already counted by
+    /// [`Histogram::observe_us`] — retention is decided later than
+    /// observation, so the two are separate calls).
+    pub fn attach_exemplar(&self, us: u64, trace_id: u64) {
+        self.exemplars[bucket_ix(us)].store(trace_id, Ordering::Relaxed);
+    }
+
+    /// Clears every exemplar slot naming `trace_id` (called when the
+    /// trace is evicted from its ring, so dangling ids never render).
+    pub fn clear_exemplar(&self, trace_id: u64) {
+        for e in &self.exemplars {
+            let _ = e.compare_exchange(trace_id, 0, Ordering::Relaxed, Ordering::Relaxed);
+        }
     }
 
     /// Total observations.
@@ -120,16 +151,23 @@ impl Histogram {
         self.sum_us.load(Ordering::Relaxed)
     }
 
-    /// Renders the cumulative `_bucket`/`_sum`/`_count` series.
+    /// Renders the cumulative `_bucket`/`_sum`/`_count` series. Buckets
+    /// with an exemplar append ` # {trace_id="<hex>"}` — the trace is
+    /// retrievable via `GetTraces` as long as the suffix renders.
     fn render(&self, name: &str, out: &mut String) {
         let mut cum = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             cum += b.load(Ordering::Relaxed);
             if i < HIST_BUCKETS {
-                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", 1u64 << i);
+                let _ = write!(out, "{name}_bucket{{le=\"{}\"}} {cum}", 1u64 << i);
             } else {
-                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+                let _ = write!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
             }
+            let ex = self.exemplars[i].load(Ordering::Relaxed);
+            if ex != 0 {
+                let _ = write!(out, " # {{trace_id=\"{ex:016x}\"}}");
+            }
+            out.push('\n');
         }
         let _ = writeln!(out, "{name}_sum {}", self.sum_us());
         let _ = writeln!(out, "{name}_count {}", self.count());
@@ -198,8 +236,17 @@ pub struct Metrics {
     /// `--request-deadline-ms` budget (reply lost to a fault or a dead
     /// shard, and reaped instead of hanging).
     pub deadline_expired_total: Counter,
+    /// Traces retained in the ring buffers (head-sampled + tail-kept).
+    pub traces_retained_total: Counter,
+    /// Finished traces discarded by the sampling policy.
+    pub traces_dropped_total: Counter,
     /// Per-shard series, indexed by shard id.
     pub shards: Vec<ShardMetrics>,
+    /// Serving mode label for `c1pd_build_info` (`legacy` /
+    /// `event-loop`), set once at server start.
+    mode: OnceLock<&'static str>,
+    /// Registry construction time — the `c1pd_uptime_seconds` epoch.
+    start: Instant,
 }
 
 /// Every stable series name the dump exports (histograms listed by base
@@ -257,10 +304,33 @@ pub const STABLE_NAMES: &[&str] = &[
     "c1pd_shard_restarts_total",
     "c1pd_degraded_replies_total",
     "c1pd_deadline_expired_total",
+    // build / process identity + tracing (DESIGN.md §13)
+    "c1pd_build_info",
+    "c1pd_uptime_seconds",
+    "c1pd_traces_retained_total",
+    "c1pd_traces_dropped_total",
     "c1pd_shard_jobs_total",
     "c1pd_shard_queue_depth",
     "c1pd_shard_cache_hits_total",
 ];
+
+/// `# TYPE` classification for a series name (histograms are rendered by
+/// [`Histogram::render`] and typed at the base name).
+fn type_of(name: &str) -> &'static str {
+    if name.ends_with("_total") {
+        "counter"
+    } else if name.ends_with("_us") {
+        "histogram"
+    } else {
+        "gauge"
+    }
+}
+
+/// `# HELP` text: the series name read out loud — mechanical, but every
+/// line parses and no series ships without one.
+fn help_of(name: &str) -> String {
+    name.strip_prefix("c1pd_").unwrap_or(name).replace('_', " ")
+}
 
 impl Metrics {
     /// A registry for a server with `shards` shard workers (legacy mode
@@ -287,20 +357,40 @@ impl Metrics {
             shard_restarts_total: Counter::default(),
             degraded_replies_total: Counter::default(),
             deadline_expired_total: Counter::default(),
+            traces_retained_total: Counter::default(),
+            traces_dropped_total: Counter::default(),
             shards: (0..shards.max(1)).map(|_| ShardMetrics::default()).collect(),
+            mode: OnceLock::new(),
+            start: Instant::now(),
         }
     }
 
-    /// Renders the full plain-text dump: one `name value` line per
-    /// series, engine counters folded in from the per-shard stats
-    /// snapshots (`per_shard[i]` = shard `i`'s engine).
+    /// Sets the serving-mode label of `c1pd_build_info` (first caller
+    /// wins; unset renders as `unknown`).
+    pub fn set_mode(&self, mode: &'static str) {
+        let _ = self.mode.set(mode);
+    }
+
+    /// Renders the full plain-text dump: `# HELP`/`# TYPE` comments plus
+    /// one `name value` line per series, engine counters folded in from
+    /// the per-shard stats snapshots (`per_shard[i]` = shard `i`'s
+    /// engine).
     pub fn render(&self, per_shard: &[EngineStats]) -> String {
         let mut sum = EngineStats::default();
         for s in per_shard {
             sum.absorb(s);
         }
-        let mut out = String::with_capacity(4096);
+        let mut out = String::with_capacity(8192);
+        let head = |out: &mut String, name: &str| {
+            let _ = writeln!(out, "# HELP {name} {}", help_of(name));
+            let _ = writeln!(out, "# TYPE {name} {}", type_of(name));
+        };
         let c = |out: &mut String, name: &str, v: u64| {
+            head(out, name);
+            let _ = writeln!(out, "{name} {v}");
+        };
+        let g = |out: &mut String, name: &str, v: i64| {
+            head(out, name);
             let _ = writeln!(out, "{name} {v}");
         };
         c(&mut out, "c1pd_requests_total", sum.requests);
@@ -330,7 +420,7 @@ impl Metrics {
         c(&mut out, "c1pd_warm_start_hits_total", sum.warm_start_hits);
         c(&mut out, "c1pd_connections_accepted_total", self.connections_accepted_total.get());
         c(&mut out, "c1pd_connections_refused_total", self.connections_refused_total.get());
-        let _ = writeln!(out, "c1pd_connections_open {}", self.connections_open.get());
+        g(&mut out, "c1pd_connections_open", self.connections_open.get());
         c(&mut out, "c1pd_disconnects_total", self.disconnects_total.get());
         c(&mut out, "c1pd_slow_reader_disconnects_total", self.slow_reader_disconnects_total.get());
         c(
@@ -344,8 +434,9 @@ impl Metrics {
         c(&mut out, "c1pd_bytes_written_total", self.bytes_written_total.get());
         c(&mut out, "c1pd_malformed_frames_total", self.malformed_frames_total.get());
         c(&mut out, "c1pd_oversize_frames_total", self.oversize_frames_total.get());
-        let _ = writeln!(out, "c1pd_queue_depth {}", self.queue_depth.get());
-        let _ = writeln!(out, "c1pd_outbox_bytes {}", self.outbox_bytes.get());
+        g(&mut out, "c1pd_queue_depth", self.queue_depth.get());
+        g(&mut out, "c1pd_outbox_bytes", self.outbox_bytes.get());
+        head(&mut out, "c1pd_frame_latency_us");
         self.frame_latency_us.render("c1pd_frame_latency_us", &mut out);
         c(
             &mut out,
@@ -356,11 +447,26 @@ impl Metrics {
         c(&mut out, "c1pd_shard_restarts_total", self.shard_restarts_total.get());
         c(&mut out, "c1pd_degraded_replies_total", self.degraded_replies_total.get());
         c(&mut out, "c1pd_deadline_expired_total", self.deadline_expired_total.get());
+        head(&mut out, "c1pd_build_info");
+        let _ = writeln!(
+            out,
+            "c1pd_build_info{{version=\"{}\",mode=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION"),
+            self.mode.get().copied().unwrap_or("unknown"),
+        );
+        g(&mut out, "c1pd_uptime_seconds", self.start.elapsed().as_secs() as i64);
+        c(&mut out, "c1pd_traces_retained_total", self.traces_retained_total.get());
+        c(&mut out, "c1pd_traces_dropped_total", self.traces_dropped_total.get());
+        head(&mut out, "c1pd_shard_jobs_total");
         for (i, sh) in self.shards.iter().enumerate() {
             let _ = writeln!(out, "c1pd_shard_jobs_total{{shard=\"{i}\"}} {}", sh.jobs_total.get());
+        }
+        head(&mut out, "c1pd_shard_queue_depth");
+        for (i, sh) in self.shards.iter().enumerate() {
             let _ =
                 writeln!(out, "c1pd_shard_queue_depth{{shard=\"{i}\"}} {}", sh.queue_depth.get());
         }
+        head(&mut out, "c1pd_shard_cache_hits_total");
         for (i, s) in per_shard.iter().enumerate() {
             let _ = writeln!(out, "c1pd_shard_cache_hits_total{{shard=\"{i}\"}} {}", s.hits);
         }
@@ -371,12 +477,14 @@ impl Metrics {
 /// Scans one series value out of a rendered dump (test/CI helper — the
 /// scrapers in this workspace carry no text-format parser beyond this).
 /// For histograms pass the `_count`/`_sum` form; for labelled series the
-/// full `name{label}` prefix.
+/// full `name{label}` prefix. `# HELP`/`# TYPE` comment lines are
+/// skipped, and only the first value token is parsed, so bucket lines
+/// carrying an exemplar suffix scrape like any other.
 pub fn scrape(dump: &str, series: &str) -> Option<i64> {
-    dump.lines().find_map(|l| {
+    dump.lines().filter(|l| !l.starts_with('#')).find_map(|l| {
         let rest = l.strip_prefix(series)?;
         let rest = rest.strip_prefix(' ')?;
-        rest.trim().parse().ok()
+        rest.split_whitespace().next()?.parse().ok()
     })
 }
 
@@ -411,6 +519,9 @@ mod tests {
         m.shard_restarts_total.inc();
         m.degraded_replies_total.inc();
         m.deadline_expired_total.inc();
+        m.traces_retained_total.inc();
+        m.traces_dropped_total.inc();
+        m.set_mode("event-loop");
         for sh in &m.shards {
             sh.jobs_total.inc();
             sh.queue_depth.inc();
@@ -452,11 +563,68 @@ mod tests {
                 "c1pd_shard_cache_hits_total" => {
                     scrape(&dump, "c1pd_shard_cache_hits_total{shard=\"0\"}")
                 }
+                "c1pd_build_info" => scrape(
+                    &dump,
+                    &format!(
+                        "c1pd_build_info{{version=\"{}\",mode=\"event-loop\"}}",
+                        env!("CARGO_PKG_VERSION")
+                    ),
+                ),
+                // a fresh registry has zero whole seconds of uptime;
+                // presence is the contract, monotonicity is the OS's
+                "c1pd_uptime_seconds" => {
+                    assert!(scrape(&dump, name).is_some(), "{name} missing from dump");
+                    continue;
+                }
                 _ => scrape(&dump, name),
             };
             let v = probe.unwrap_or_else(|| panic!("{name} missing from dump"));
             assert!(v > 0, "{name} rendered zero after being exercised");
         }
+    }
+
+    /// Every exported series is preceded by `# HELP` and `# TYPE`
+    /// comments a Prometheus text-format scrape parses cleanly, and
+    /// `scrape` skips them.
+    #[test]
+    fn render_emits_help_and_type_comments_for_every_series() {
+        let m = Metrics::new(1);
+        let dump = m.render(&[EngineStats::default()]);
+        for name in STABLE_NAMES {
+            assert!(dump.contains(&format!("# TYPE {name} ")), "{name} has no # TYPE line");
+            assert!(dump.contains(&format!("# HELP {name} ")), "{name} has no # HELP line");
+        }
+        assert!(dump.contains("# TYPE c1pd_requests_total counter"));
+        assert!(dump.contains("# TYPE c1pd_queue_depth gauge"));
+        assert!(dump.contains("# TYPE c1pd_frame_latency_us histogram"));
+        // comments never shadow values
+        assert_eq!(scrape(&dump, "c1pd_requests_total"), Some(0));
+    }
+
+    /// Exemplars render as a ` # {trace_id="..."}` suffix on the exact
+    /// bucket the latency landed in, survive scraping, and clear when
+    /// their trace is evicted.
+    #[test]
+    fn exemplars_attach_render_and_clear() {
+        let h = Histogram::default();
+        h.observe_us(3); // le 4 bucket
+        h.attach_exemplar(3, 0xabcd);
+        let mut out = String::new();
+        h.render("lat", &mut out);
+        assert!(out.contains("lat_bucket{le=\"4\"} 1 # {trace_id=\"000000000000abcd\"}"));
+        assert_eq!(scrape(&out, "lat_bucket{le=\"4\"}"), Some(1), "exemplar breaks scraping");
+        // a newer retained trace in the same bucket replaces the exemplar
+        h.observe_us(4);
+        h.attach_exemplar(4, 0xbeef);
+        out.clear();
+        h.render("lat", &mut out);
+        assert!(out.contains("lat_bucket{le=\"4\"} 2 # {trace_id=\"000000000000beef\"}"));
+        // eviction clears only the slot naming the evicted trace
+        h.clear_exemplar(0xabcd); // stale id: no-op
+        h.clear_exemplar(0xbeef);
+        out.clear();
+        h.render("lat", &mut out);
+        assert!(!out.contains("trace_id"), "cleared exemplar still renders: {out}");
     }
 
     /// Engine-side injected WAL faults and front-end injections land in
