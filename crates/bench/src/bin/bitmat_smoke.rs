@@ -1,0 +1,101 @@
+//! CI smoke test for the bit-parallel divide kernels (the `bitmat-smoke`
+//! job).
+//!
+//! ```text
+//! cargo run --release -p c1p-bench --bin bitmat_smoke
+//! ```
+//!
+//! Two halves, both fast enough for every-commit CI:
+//!
+//! 1. **Threshold-sweep differential** — seeded planted + obstruction
+//!    instances solved at `bitmat_threshold` 0 (pure CSR), the adaptive
+//!    default, and `usize::MAX` (bit-matrix whenever representable);
+//!    verdict, realization order, and rejection evidence must be
+//!    bit-identical across the sweep (the two divide paths share one
+//!    growth/merge pipeline, so any divergence is a kernel bug).
+//! 2. **Speedup gate** — `dc` at n=2^14 against the pre-bitmat median
+//!    recorded by the previous PR's E10 run (same workload class). The
+//!    gate statistic is the best-of-5 minimum: on a shared CI host the
+//!    minimum is the least scheduler-disturbed sample, so the gate
+//!    catches kernel regressions rather than noisy neighbours.
+//!
+//! Exits nonzero on any mismatch or regression.
+
+use c1p_bench::workloads::{planted, planted_reject};
+use c1p_core::Config;
+use std::time::{Duration, Instant};
+
+/// The `dc` median at n=2^14 recorded by the previous PR's E10 run,
+/// before the bit-parallel kernels and the union-find growth landed.
+/// Mirrored in `BENCH_solve.json` under `bitmat.pre_bitmat_dc_ns_at_16384`.
+const PRE_BITMAT_DC_NS_AT_16384: u128 = 233_477_725;
+
+/// The gate: the current solver must beat the pre-bitmat recording by
+/// at least this factor (ISSUE 10's acceptance bar).
+const MIN_SPEEDUP: f64 = 1.5;
+
+fn main() {
+    let mut failures = 0usize;
+    let sweep = [0usize, Config::default().bitmat_threshold, usize::MAX];
+
+    // 1. threshold-sweep differential
+    println!("## threshold-sweep differential (thresholds {sweep:?})");
+    let mut checked = 0usize;
+    for seed in 1..=5u64 {
+        let n = 512 + 256 * seed as usize;
+        let ens = planted(n, seed);
+        let (bad, _) = planted_reject(n, seed);
+        let expect = solve_at(&ens, sweep[0]);
+        let expect_bad = solve_at(&bad, sweep[0]);
+        assert!(expect.is_ok(), "planted instance must be accepted");
+        assert!(expect_bad.is_err(), "planted obstruction must be rejected");
+        for &t in &sweep[1..] {
+            checked += 2;
+            if solve_at(&ens, t) != expect {
+                eprintln!("FAIL: accept seed {seed} n={n} threshold {t}: output diverged");
+                failures += 1;
+            }
+            if solve_at(&bad, t) != expect_bad {
+                eprintln!("FAIL: reject seed {seed} n={n} threshold {t}: output diverged");
+                failures += 1;
+            }
+        }
+    }
+    println!("checked {checked} (instance × threshold) combinations against pure CSR");
+
+    // 2. speedup gate
+    println!("\n## speedup gate (dc, n=2^14, best of 5)");
+    let ens = planted(1 << 14, 1);
+    let mut best = Duration::MAX;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let ok = c1p_core::solve(&ens).is_ok();
+        let dt = t0.elapsed();
+        assert!(ok);
+        best = best.min(dt);
+    }
+    let speedup = PRE_BITMAT_DC_NS_AT_16384 as f64 / best.as_nanos().max(1) as f64;
+    println!(
+        "dc best-of-5 {:.1} ms vs pre-bitmat {:.1} ms -> {speedup:.2}x (gate {MIN_SPEEDUP}x)",
+        best.as_secs_f64() * 1e3,
+        PRE_BITMAT_DC_NS_AT_16384 as f64 / 1e6,
+    );
+    if speedup < MIN_SPEEDUP {
+        eprintln!("FAIL: dc speedup {speedup:.2}x < {MIN_SPEEDUP}x over the recorded baseline");
+        failures += 1;
+    }
+
+    if failures > 0 {
+        eprintln!("\nbitmat_smoke: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("\nbitmat_smoke: all checks passed");
+}
+
+/// Solves with the given `bitmat_threshold`, reducing the result to the
+/// comparable pieces: the realization order on accept, the evidence
+/// atom set on reject.
+fn solve_at(ens: &c1p_matrix::Ensemble, threshold: usize) -> Result<Vec<u32>, Vec<u32>> {
+    let cfg = Config { bitmat_threshold: threshold, ..Config::default() };
+    c1p_core::solve_with(ens, &cfg).0.map_err(|rej| rej.atoms)
+}

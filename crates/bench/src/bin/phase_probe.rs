@@ -1,8 +1,11 @@
 //! Phase-timing + allocation probe for the divide-and-conquer solver.
 //!
 //! ```text
-//! cargo run --release -p c1p-bench --bin phase_probe [log2_n]
+//! cargo run --release -p c1p-bench --bin phase_probe [log2_n] [bitmat_threshold]
 //! ```
+//!
+//! The second argument overrides `Config::bitmat_threshold` (0 = pure
+//! CSR, `max` = pure bit-matrix) for threshold tuning runs.
 //!
 //! Prints the same per-phase breakdown the request tracer emits as
 //! `solve/<phase>` spans: the phase names come from
@@ -18,11 +21,17 @@ struct Counting;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static BYTES: AtomicU64 = AtomicU64::new(0);
+// power-of-two size-class histogram (count, bytes) — where the traffic is
+static CLASS_N: [AtomicU64; 32] = [const { AtomicU64::new(0) }; 32];
+static CLASS_B: [AtomicU64; 32] = [const { AtomicU64::new(0) }; 32];
 
 unsafe impl GlobalAlloc for Counting {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        let class = (64 - (layout.size() | 1).leading_zeros()).min(31) as usize;
+        CLASS_N[class].fetch_add(1, Ordering::Relaxed);
+        CLASS_B[class].fetch_add(layout.size() as u64, Ordering::Relaxed);
         unsafe { System.alloc(layout) }
     }
 
@@ -36,12 +45,28 @@ static A: Counting = Counting;
 
 fn main() {
     let log2_n: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(14);
+    let mut cfg = c1p_core::Config::default();
+    if let Some(arg) = std::env::args().nth(2) {
+        cfg.bitmat_threshold =
+            if arg == "max" { usize::MAX } else { arg.parse().expect("bitmat_threshold") };
+    }
+    // best-of-N (default 1): the minimum is the least scheduler-disturbed
+    // sample, the right statistic on a busy shared host
+    let reps: usize = std::env::args().nth(3).and_then(|a| a.parse().ok()).unwrap_or(1).max(1);
     let ens = planted(1 << log2_n, 1);
     let a0 = ALLOCS.load(Ordering::Relaxed);
     let b0 = BYTES.load(Ordering::Relaxed);
     let t0 = std::time::Instant::now();
-    let (o, stats) = c1p_core::solve_with(&ens, &c1p_core::Config::default());
-    let dt = t0.elapsed();
+    let (mut o, mut stats) = c1p_core::solve_with(&ens, &cfg);
+    let mut dt = t0.elapsed();
+    for _ in 1..reps {
+        let t = std::time::Instant::now();
+        let (oi, si) = c1p_core::solve_with(&ens, &cfg);
+        let di = t.elapsed();
+        if di < dt {
+            (o, stats, dt) = (oi, si, di);
+        }
+    }
     let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
     let bytes = BYTES.load(Ordering::Relaxed) - b0;
     eprintln!(
@@ -51,7 +76,25 @@ fn main() {
         stats.max_depth,
         stats.decompositions
     );
+    eprintln!(
+        "case1={} case2={} fast_merges={} members={} bitmat_converts={} bitmat_divides={} csr_divides={}",
+        stats.case1,
+        stats.case2,
+        stats.fast_merges,
+        stats.members,
+        stats.bitmat_converts,
+        stats.bitmat_divides,
+        stats.csr_divides
+    );
     eprintln!("allocations: {allocs} ({:.1} MB total)", bytes as f64 / 1e6);
+    if std::env::var_os("PHASE_PROBE_ALLOC_HIST").is_some() {
+        for c in 0..32 {
+            let (n, b) = (CLASS_N[c].load(Ordering::Relaxed), CLASS_B[c].load(Ordering::Relaxed));
+            if n > 0 {
+                eprintln!("  ≤2^{c:<2} B: {n:>9} allocs {:>9.1} MB", b as f64 / 1e6);
+            }
+        }
+    }
     let total_ns: u64 = stats.phase_ns.iter().sum();
     for (name, &ns) in c1p_core::stats::PHASE_NAMES.iter().zip(&stats.phase_ns) {
         let pct = if total_ns > 0 { ns as f64 * 100.0 / total_ns as f64 } else { 0.0 };

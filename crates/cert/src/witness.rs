@@ -114,6 +114,19 @@ const REFUTE_BUDGET: usize = 4_000_000;
 /// A passing witness therefore proves `ens` non-C1P (C1P is closed under
 /// taking submatrices) with no trust in any solver.
 pub fn verify_witness(ens: &Ensemble, w: &TuckerWitness) -> Result<(), CertError> {
+    verify_witness_with_budget(ens, w, REFUTE_BUDGET)
+}
+
+/// [`verify_witness`] with an explicit refutation-search node budget — the
+/// injection seam that lets tests pin the budget-exhaustion contract
+/// (`None` from the search must surface as [`CertError::RefutationBudget`],
+/// never masquerade as a verdict either way). Not a stable API.
+#[doc(hidden)]
+pub fn verify_witness_with_budget(
+    ens: &Ensemble,
+    w: &TuckerWitness,
+    budget: usize,
+) -> Result<(), CertError> {
     let sub = submatrix(ens, &w.atom_rows, &w.column_ids)?;
     match classify(&sub) {
         Some(found) if found == w.family => {}
@@ -127,7 +140,10 @@ pub fn verify_witness(ens: &Ensemble, w: &TuckerWitness) -> Result<(), CertError
         }
         return Ok(());
     }
-    match refute_search(&sub, REFUTE_BUDGET) {
+    // Budget-exhaustion contract (audited at every refute_search call
+    // site — this is the only one): `None` is "undecided", which must
+    // surface as an error, never be folded into either verdict.
+    match refute_search(&sub, budget) {
         Some(true) => Ok(()),
         Some(false) => Err(CertError::SubmatrixIsC1p),
         None => Err(CertError::RefutationBudget),
@@ -145,68 +161,122 @@ pub fn verify_witness(ens: &Ensemble, w: &TuckerWitness) -> Result<(), CertError
 /// proven), `Some(false)` when a realization is found, `None` on budget
 /// exhaustion.
 fn refute_search(ens: &Ensemble, budget: usize) -> Option<bool> {
-    let mut search = Search {
-        ens,
-        memb: ens.atom_memberships(),
-        col_len: ens.columns().iter().map(Vec::len).collect(),
-        placed_cnt: vec![0usize; ens.n_columns()],
-        used: vec![false; ens.n_atoms()],
-        budget,
-    };
-    match search.dfs(0) {
-        Some(true) => Some(false), // order exists → refutation fails
-        Some(false) => Some(true), // exhausted → non-C1P proven
-        None => None,
-    }
+    refute_search_counted(ens, budget).0
 }
 
-/// State of one [`refute_search`] run.
-struct Search<'a> {
-    ens: &'a Ensemble,
+/// [`refute_search`] also reporting the nodes expanded — lets tests pin
+/// that the bit-parallel candidate kernel preserves the scalar search
+/// tree *exactly* (same verdicts at the same node counts, so budget
+/// exhaustion fires at identical points).
+fn refute_search_counted(ens: &Ensemble, budget: usize) -> (Option<bool>, usize) {
+    let n = ens.n_atoms();
+    let m = ens.n_columns();
+    let width = n.div_ceil(64);
+    // bit rows: column c occupies col_bits[c*width..(c+1)*width]
+    let mut col_bits = vec![0u64; m * width];
+    for (c, col) in ens.columns().iter().enumerate() {
+        for &a in col {
+            col_bits[c * width + (a as usize >> 6)] |= 1u64 << (a & 63);
+        }
+    }
+    let mut uni = vec![!0u64; width];
+    if n & 63 != 0 {
+        uni[width - 1] = (1u64 << (n & 63)) - 1;
+    }
+    let mut search = Search {
+        n,
+        width,
+        col_bits,
+        uni,
+        memb: ens.atom_memberships(),
+        col_len: ens.columns().iter().map(Vec::len).collect(),
+        placed_cnt: vec![0usize; m],
+        used: vec![0u64; width],
+        cand: vec![0u64; (n + 1) * width],
+        budget,
+    };
+    let r = search.dfs(0);
+    let expanded = budget - search.budget;
+    (
+        match r {
+            Some(true) => Some(false), // order exists → refutation fails
+            Some(false) => Some(true), // exhausted → non-C1P proven
+            None => None,
+        },
+        expanded,
+    )
+}
+
+/// State of one [`refute_search`] run. The candidate computation is
+/// word-parallel (DESIGN.md §14): candidates at a node are exactly the
+/// unplaced atoms in the intersection of all open columns, i.e. the set
+/// bits of `!used ∧ ⋂ open-column rows` — one AND-fold over packed rows
+/// instead of a binary search per (atom, open column) pair. Iterating
+/// those bits ascending reproduces the scalar `for a in 0..n` loop
+/// verbatim, so the search tree (and hence budget consumption) is
+/// bit-identical to the pre-bitmat implementation.
+struct Search {
+    n: usize,
+    /// Words per row.
+    width: usize,
+    /// Packed column rows, `width` words each.
+    col_bits: Vec<u64>,
+    /// All-ones mask over `0..n`.
+    uni: Vec<u64>,
     memb: Vec<Vec<u32>>,
     col_len: Vec<usize>,
     placed_cnt: Vec<usize>,
-    used: Vec<bool>,
+    /// Placed-atom bitset.
+    used: Vec<u64>,
+    /// Per-depth candidate masks (`width` words per recursion level), so
+    /// the DFS allocates nothing per node.
+    cand: Vec<u64>,
     budget: usize,
 }
 
-impl Search<'_> {
+impl Search {
     /// `Some(true)` = a realization completes from this prefix.
     fn dfs(&mut self, pos: usize) -> Option<bool> {
         if self.budget == 0 {
             return None;
         }
         self.budget -= 1;
-        let n = self.ens.n_atoms();
-        if pos == n {
+        if pos == self.n {
             return Some(true); // realization found
         }
-        let open: Vec<u32> = (0..self.placed_cnt.len() as u32)
-            .filter(|&c| {
-                self.placed_cnt[c as usize] > 0
-                    && self.placed_cnt[c as usize] < self.col_len[c as usize]
-            })
-            .collect();
-        for a in 0..n as u32 {
-            if self.used[a as usize] {
-                continue;
+        let w = self.width;
+        let base = pos * w;
+        for i in 0..w {
+            self.cand[base + i] = self.uni[i] & !self.used[i];
+        }
+        for c in 0..self.placed_cnt.len() {
+            if self.placed_cnt[c] > 0 && self.placed_cnt[c] < self.col_len[c] {
+                for i in 0..w {
+                    self.cand[base + i] &= self.col_bits[c * w + i];
+                }
             }
-            if !open.iter().all(|&c| self.ens.column(c as usize).binary_search(&a).is_ok()) {
-                continue;
-            }
-            self.used[a as usize] = true;
-            for i in 0..self.memb[a as usize].len() {
-                self.placed_cnt[self.memb[a as usize][i] as usize] += 1;
-            }
-            let r = self.dfs(pos + 1);
-            self.used[a as usize] = false;
-            for i in 0..self.memb[a as usize].len() {
-                self.placed_cnt[self.memb[a as usize][i] as usize] -= 1;
-            }
-            match r {
-                Some(true) => return Some(true),
-                Some(false) => {}
-                None => return None,
+        }
+        for wi in 0..w {
+            // this level's mask is fixed before recursing; deeper levels
+            // use their own slices, so the snapshot below stays valid
+            let mut word = self.cand[base + wi];
+            while word != 0 {
+                let a = ((wi as u32) << 6 | word.trailing_zeros()) as usize;
+                word &= word - 1;
+                self.used[a >> 6] |= 1u64 << (a & 63);
+                for i in 0..self.memb[a].len() {
+                    self.placed_cnt[self.memb[a][i] as usize] += 1;
+                }
+                let r = self.dfs(pos + 1);
+                self.used[a >> 6] &= !(1u64 << (a & 63));
+                for i in 0..self.memb[a].len() {
+                    self.placed_cnt[self.memb[a][i] as usize] -= 1;
+                }
+                match r {
+                    Some(true) => return Some(true),
+                    Some(false) => {}
+                    None => return None,
+                }
             }
         }
         Some(false)
@@ -217,6 +287,125 @@ impl Search<'_> {
 mod tests {
     use super::*;
     use c1p_matrix::tucker;
+
+    /// The pre-bitmat scalar search, kept verbatim as the reference the
+    /// word-parallel kernel is differential-tested against: same verdict
+    /// AND same node count on every input.
+    fn scalar_refute_counted(ens: &Ensemble, budget: usize) -> (Option<bool>, usize) {
+        struct S<'a> {
+            ens: &'a Ensemble,
+            memb: Vec<Vec<u32>>,
+            col_len: Vec<usize>,
+            placed_cnt: Vec<usize>,
+            used: Vec<bool>,
+            budget: usize,
+        }
+        impl S<'_> {
+            fn dfs(&mut self, pos: usize) -> Option<bool> {
+                if self.budget == 0 {
+                    return None;
+                }
+                self.budget -= 1;
+                let n = self.ens.n_atoms();
+                if pos == n {
+                    return Some(true);
+                }
+                let open: Vec<u32> = (0..self.placed_cnt.len() as u32)
+                    .filter(|&c| {
+                        self.placed_cnt[c as usize] > 0
+                            && self.placed_cnt[c as usize] < self.col_len[c as usize]
+                    })
+                    .collect();
+                for a in 0..n as u32 {
+                    if self.used[a as usize] {
+                        continue;
+                    }
+                    if !open.iter().all(|&c| self.ens.column(c as usize).binary_search(&a).is_ok())
+                    {
+                        continue;
+                    }
+                    self.used[a as usize] = true;
+                    for i in 0..self.memb[a as usize].len() {
+                        self.placed_cnt[self.memb[a as usize][i] as usize] += 1;
+                    }
+                    let r = self.dfs(pos + 1);
+                    self.used[a as usize] = false;
+                    for i in 0..self.memb[a as usize].len() {
+                        self.placed_cnt[self.memb[a as usize][i] as usize] -= 1;
+                    }
+                    match r {
+                        Some(true) => return Some(true),
+                        Some(false) => {}
+                        None => return None,
+                    }
+                }
+                Some(false)
+            }
+        }
+        let mut s = S {
+            ens,
+            memb: ens.atom_memberships(),
+            col_len: ens.columns().iter().map(Vec::len).collect(),
+            placed_cnt: vec![0usize; ens.n_columns()],
+            used: vec![false; ens.n_atoms()],
+            budget,
+        };
+        let r = s.dfs(0);
+        let expanded = budget - s.budget;
+        (
+            match r {
+                Some(true) => Some(false),
+                Some(false) => Some(true),
+                None => None,
+            },
+            expanded,
+        )
+    }
+
+    #[test]
+    fn bit_kernel_preserves_scalar_search_tree() {
+        // verdict AND node count must match on obstructions (refuted),
+        // realizable inputs (order found), and truncated budgets (None at
+        // the same node) — including multi-word universes (k=70 → 72 atoms)
+        let mut inputs: Vec<Ensemble> =
+            tucker::small_obstructions().into_iter().map(|(_, e)| e).collect();
+        for k in [10usize, 30, 70] {
+            inputs.push(tucker::m_i(k));
+            inputs.push(tucker::m_ii(k));
+            inputs.push(tucker::m_iii(k));
+        }
+        inputs.push(
+            Ensemble::from_sorted_columns(5, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4]]).unwrap(),
+        );
+        inputs.push(Ensemble::from_sorted_columns(3, vec![]).unwrap());
+        for ens in &inputs {
+            let full = scalar_refute_counted(ens, REFUTE_BUDGET);
+            assert_eq!(refute_search_counted(ens, REFUTE_BUDGET), full);
+            // truncate to just before the scalar run's end: both must hit
+            // the budget wall at the same node
+            if full.1 > 1 {
+                let cut = full.1 - 1;
+                assert_eq!(refute_search_counted(ens, cut), scalar_refute_counted(ens, cut));
+            }
+        }
+    }
+
+    #[test]
+    fn verify_budget_exhaustion_surfaces_as_error() {
+        // satellite-1 contract: with the budget shrunk to 1 on a known-bad
+        // family too large for the brute-force path, verify must report
+        // RefutationBudget — not "verified" and not SubmatrixIsC1p
+        let ens = tucker::m_i(30);
+        assert!(ens.n_atoms() > 8, "must take the refutation-search path");
+        let w = TuckerWitness {
+            family: classify(&ens).expect("M_I(30) classifies"),
+            atom_rows: (0..ens.n_atoms() as Atom).collect(),
+            column_ids: (0..ens.n_columns() as u32).collect(),
+        };
+        assert_eq!(verify_witness_with_budget(&ens, &w, 1), Err(CertError::RefutationBudget));
+        // the default budget decides it, proving the witness itself is fine
+        verify_witness(&ens, &w).unwrap();
+    }
 
     #[test]
     fn refute_search_agrees_with_brute_force_small() {

@@ -1,0 +1,763 @@
+//! Bit-parallel column kernels (DESIGN.md §14).
+//!
+//! Below an adaptive size/density threshold the solver switches each
+//! subproblem from the CSR arena ([`FlatCols`]) to a *bit matrix*: one
+//! packed-`u64` row per column over the component-local atom universe
+//! (`width = ⌈k/64⌉` words, atom `a` ↔ bit `a%64` of word `a/64`). At
+//! those sizes every row is a handful of cache-resident words, so the
+//! divide's hot inner loops become word-parallel:
+//!
+//! * **overlap/containment classification** — `popcount(row & mask(A1))`
+//!   replaces the per-entry membership branch of `prepare_split`;
+//! * **child renumbering** — projecting a column onto a sorted atom
+//!   subset and renumbering it to `0..|subset|` is exactly *parallel bit
+//!   extract* of the row by the subset mask (`PEXT` on x86-64 BMI2, a
+//!   portable fallback elsewhere), because the renumbering is monotone;
+//! * **Tucker complement** — `!row & universe` instead of an `O(k)`
+//!   scan per large column.
+//!
+//! [`BitCols`] mirrors the [`FlatCols`] building/accessor interface
+//! (`push`/`finish_col`/`cancel_col`/`n_cols`/`col_len`/`total_len`), so
+//! the bit solver path in `solver.rs` is line-for-line the CSR path with
+//! the representation swapped; `split_differential.rs` pins the two to
+//! bit-identical verdicts, orders, and evidence across the threshold
+//! sweep. Sortedness carries over for free: ascending atom order is
+//! ascending bit order.
+
+use crate::align::CrossType;
+use crate::flat::{recycle_u32, recycle_u64, take_u32, take_u64, FlatCols, SplitCols};
+use crate::solver::SubProblem;
+
+/// Default for [`crate::Config::bitmat_threshold`]: subproblems at or
+/// below this many atoms (8 words per row) switch to the bit-matrix
+/// representation, subject to the density rule in `use_bitmat`.
+pub const BITMAT_DEFAULT_THRESHOLD: usize = 512;
+
+/// Words needed for `n` bits.
+#[inline]
+pub(crate) const fn words(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+/// The representation choice, decided per conversion point from the
+/// subproblem's shape alone (`k` atoms, `m` columns, `p` entries) so the
+/// sequential and parallel drivers always agree:
+///
+/// * `threshold == 0` — never (pure CSR; the differential suites' lower
+///   sweep point);
+/// * `threshold == usize::MAX` — always (upper sweep point);
+/// * otherwise bitmat iff `k ≤ threshold` and either a row is a single
+///   word (`k ≤ 64` — the packed kernels always win there) or the rows
+///   are dense enough that the average column holds at least eight atoms
+///   per row word (`p ≥ 8·m·⌈k/64⌉`). The multiplier is measured, not
+///   derived: sparse interval workloads at `64 < k ≤ 512` sit near one
+///   atom per word, where the word-parallel divide scans mostly-zero
+///   words and loses ~15% to CSR; at eight-plus atoms per word the
+///   AND+popcount classification and `PEXT` renumbering win.
+///
+/// Once a subtree converts it stays converted — `k` only shrinks and the
+/// decision is not revisited below the conversion point.
+pub(crate) fn use_bitmat(k: usize, m: usize, p: usize, threshold: usize) -> bool {
+    if threshold == 0 || m == 0 {
+        return false;
+    }
+    if threshold == usize::MAX {
+        return true;
+    }
+    k <= threshold && (k <= 64 || p >= 8 * m * words(k))
+}
+
+// ---------------------------------------------------------------------
+// pext
+// ---------------------------------------------------------------------
+
+/// Parallel bit extract: gathers the bits of `x` selected by `mask` into
+/// the low bits of the result. Hardware `PEXT` when the host has BMI2
+/// (detected once), portable bit loop otherwise.
+#[inline]
+fn pext64(x: u64, mask: u64) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if *HAVE_BMI2 {
+            // SAFETY: guarded by the runtime BMI2 detection above.
+            return unsafe { pext64_hw(x, mask) };
+        }
+    }
+    pext64_soft(x, mask)
+}
+
+#[cfg(target_arch = "x86_64")]
+static HAVE_BMI2: std::sync::LazyLock<bool> =
+    std::sync::LazyLock::new(|| std::arch::is_x86_feature_detected!("bmi2"));
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi2")]
+#[inline]
+fn pext64_hw(x: u64, mask: u64) -> u64 {
+    std::arch::x86_64::_pext_u64(x, mask)
+}
+
+/// Portable `PEXT`: one iteration per set mask bit.
+fn pext64_soft(x: u64, mut mask: u64) -> u64 {
+    let mut out = 0u64;
+    let mut j = 0u32;
+    while mask != 0 {
+        let lsb = mask & mask.wrapping_neg();
+        if x & lsb != 0 {
+            out |= 1u64 << j;
+        }
+        j += 1;
+        mask &= mask - 1;
+    }
+    out
+}
+
+/// Compacts `src`'s bits through `mask` into `dst` as one contiguous bit
+/// stream: output bit `j` is the `j`-th set bit of `mask` (ascending)
+/// present in `src`. This *is* the solver's monotone renumbering — the
+/// `j`-th mask atom gets local id `j` — done a word at a time. `dst` must
+/// be zeroed and hold at least `⌈popcount(mask)/64⌉` words. Public for
+/// `c1p_cert`'s probe window; not a stable API.
+pub fn compact(dst: &mut [u64], src: &[u64], mask: &[u64]) {
+    let mut ob = 0usize; // output bit cursor
+    for (&s, &m) in src.iter().zip(mask) {
+        if m == 0 {
+            continue;
+        }
+        let ext = pext64(s, m);
+        let nb = m.count_ones() as usize;
+        let w = ob >> 6;
+        let sh = ob & 63;
+        dst[w] |= ext << sh;
+        if sh + nb > 64 {
+            dst[w + 1] |= ext >> (64 - sh);
+        }
+        ob += nb;
+    }
+}
+
+// ---------------------------------------------------------------------
+// BitCols
+// ---------------------------------------------------------------------
+
+/// Columns as packed bit rows over a `0..n_atoms` universe, with the
+/// same building protocol as [`FlatCols`]: `push` atoms into an
+/// in-progress row, then `finish_col` or `cancel_col`. Row `i` is
+/// `rows[i*width..(i+1)*width]`; the tail `width` words are the
+/// in-progress row (kept zeroed between columns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitCols {
+    n_atoms: usize,
+    width: usize,
+    rows: Vec<u64>,
+    lens: Vec<u32>,
+    /// Σ lens — `FlatCols::total_len` parity without re-popcounting.
+    entries: usize,
+    /// Atoms in the in-progress row.
+    building: u32,
+}
+
+impl BitCols {
+    /// An empty collection over a `0..n_atoms` universe.
+    pub fn new(n_atoms: usize) -> Self {
+        Self::with_capacity(n_atoms, 0)
+    }
+
+    /// Room for `cols` columns without reallocation (pool-backed
+    /// buffers, like [`FlatCols`]).
+    pub fn with_capacity(n_atoms: usize, cols: usize) -> Self {
+        let width = words(n_atoms);
+        let mut rows = take_u64((cols + 1) * width);
+        rows.resize(width, 0);
+        BitCols { n_atoms, width, rows, lens: take_u32(cols), entries: 0, building: 0 }
+    }
+
+    /// Universe size.
+    #[inline]
+    pub fn n_atoms(&self) -> usize {
+        self.n_atoms
+    }
+
+    /// Words per row.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of sealed columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.lens.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lens.is_empty()
+    }
+
+    /// Total atom count `p = Σ |col|` across sealed columns.
+    #[inline]
+    pub fn total_len(&self) -> usize {
+        self.entries
+    }
+
+    /// Length of column `i` without scanning its row.
+    #[inline]
+    pub fn col_len(&self, i: usize) -> usize {
+        self.lens[i] as usize
+    }
+
+    /// Row `i` as a word slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.rows[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Iterates column `i`'s atoms ascending (bit order == atom order).
+    #[inline]
+    pub fn ones(&self, i: usize) -> Ones<'_> {
+        ones(self.row(i))
+    }
+
+    #[inline]
+    fn tail_start(&self) -> usize {
+        self.rows.len() - self.width
+    }
+
+    /// Adds `atom` to the in-progress column.
+    #[inline]
+    pub fn push(&mut self, atom: u32) {
+        debug_assert!((atom as usize) < self.n_atoms);
+        let start = self.tail_start();
+        let w = &mut self.rows[start + (atom >> 6) as usize];
+        debug_assert_eq!(*w >> (atom & 63) & 1, 0, "atom pushed twice");
+        *w |= 1u64 << (atom & 63);
+        self.building += 1;
+    }
+
+    /// Atoms pushed to the in-progress column so far.
+    #[inline]
+    pub fn building_len(&self) -> usize {
+        self.building as usize
+    }
+
+    /// Seals the in-progress column.
+    #[inline]
+    pub fn finish_col(&mut self) {
+        let len = self.building;
+        self.finish_col_with_len(len);
+    }
+
+    /// Seals with a precomputed length (skips nothing today — the count
+    /// is tracked — but lets kernel writers that fill the tail row
+    /// directly state the popcount they already know).
+    #[inline]
+    fn finish_col_with_len(&mut self, len: u32) {
+        debug_assert_eq!(
+            self.rows[self.tail_start()..].iter().map(|w| w.count_ones()).sum::<u32>(),
+            len
+        );
+        self.lens.push(len);
+        self.entries += len as usize;
+        self.building = 0;
+        self.rows.resize(self.rows.len() + self.width, 0);
+    }
+
+    /// Discards the in-progress column.
+    #[inline]
+    pub fn cancel_col(&mut self) {
+        let start = self.tail_start();
+        self.rows[start..].fill(0);
+        self.building = 0;
+    }
+
+    /// Appends one column from an iterator of atoms.
+    pub fn push_col(&mut self, col: impl IntoIterator<Item = u32>) {
+        for a in col {
+            self.push(a);
+        }
+        self.finish_col();
+    }
+
+    /// Seals a column formed by compacting `src` through `mask` (see
+    /// [`compact`]); `len` is its known popcount `|src ∩ mask|`.
+    #[inline]
+    fn push_compacted(&mut self, src: &[u64], mask: &[u64], len: u32) {
+        let start = self.tail_start();
+        compact(&mut self.rows[start..], src, mask);
+        self.finish_col_with_len(len);
+    }
+
+    /// Materializes as a CSR arena (PQ-tree base case, differential
+    /// tests).
+    pub fn to_flat(&self) -> FlatCols {
+        let mut out = FlatCols::with_capacity(self.n_cols(), self.total_len());
+        for i in 0..self.n_cols() {
+            out.push_col(self.ones(i));
+        }
+        out
+    }
+}
+
+impl Drop for BitCols {
+    fn drop(&mut self) {
+        recycle_u64(std::mem::take(&mut self.rows));
+        recycle_u32(std::mem::take(&mut self.lens));
+    }
+}
+
+/// Ascending set-bit iterator over a word slice.
+pub struct Ones<'a> {
+    words: &'a [u64],
+    wi: usize,
+    cur: u64,
+}
+
+/// Iterates the set bits of `words` ascending.
+#[inline]
+pub fn ones(words: &[u64]) -> Ones<'_> {
+    Ones { words, wi: 0, cur: words.first().copied().unwrap_or(0) }
+}
+
+impl Iterator for Ones<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        while self.cur == 0 {
+            self.wi += 1;
+            if self.wi >= self.words.len() {
+                return None;
+            }
+            self.cur = self.words[self.wi];
+        }
+        let b = self.cur.trailing_zeros();
+        self.cur &= self.cur - 1;
+        Some((self.wi as u32) << 6 | b)
+    }
+}
+
+/// Sets the bits named by a sorted atom slice (pool-backed; callers
+/// recycle).
+fn mask_from_atoms(atoms: &[u32], width: usize) -> Vec<u64> {
+    let mut mask = take_u64(width);
+    mask.resize(width, 0);
+    for &a in atoms {
+        mask[(a >> 6) as usize] |= 1u64 << (a & 63);
+    }
+    mask
+}
+
+/// The all-ones mask over a `0..n` universe (pool-backed; callers
+/// recycle).
+fn universe_mask(n: usize) -> Vec<u64> {
+    let w = words(n);
+    let mut mask = take_u64(w);
+    mask.resize(w, !0u64);
+    if n & 63 != 0 {
+        mask[w - 1] = (1u64 << (n & 63)) - 1;
+    }
+    mask
+}
+
+// ---------------------------------------------------------------------
+// BitSub: a subproblem in bit-matrix form
+// ---------------------------------------------------------------------
+
+/// A subproblem over `0..n` local atoms with bit-row columns — the
+/// bit-matrix twin of [`SubProblem`].
+#[derive(Debug, Clone)]
+pub struct BitSub {
+    /// Local atom count.
+    pub n: usize,
+    /// Columns as bit rows.
+    pub cols: BitCols,
+}
+
+impl BitSub {
+    /// Converts a CSR subproblem (the representation crossover,
+    /// `O(p + m·width)`).
+    pub fn from_sub(sub: &SubProblem) -> Self {
+        let mut cols = BitCols::with_capacity(sub.n, sub.cols.n_cols());
+        for col in sub.cols.iter() {
+            for &a in col {
+                cols.push(a);
+            }
+            cols.finish_col();
+        }
+        BitSub { n: sub.n, cols }
+    }
+
+    /// Materializes back to CSR form.
+    pub fn to_sub(&self) -> SubProblem {
+        SubProblem { n: self.n, cols: self.cols.to_flat() }
+    }
+}
+
+/// [`crate::solver::SplitData`]'s bit-matrix twin: the split columns stay
+/// CSR (the combine step — decompose/align/merge — is shared with the
+/// CSR path and consumes atom slices), only the child subproblems stay
+/// in bit form.
+pub struct BitSplit {
+    /// Segment atoms (subproblem-local, sorted).
+    pub a1: Vec<u32>,
+    /// Host atoms.
+    pub a2: Vec<u32>,
+    /// Per-column split + crossing type (shared combine input).
+    pub split_cols: SplitCols,
+    /// Segment subproblem.
+    pub sub1: BitSub,
+    /// Host subproblem.
+    pub sub2: BitSub,
+}
+
+/// Word-parallel divide: the bit-matrix version of
+/// [`crate::solver::prepare_split`], producing the same [`SplitCols`]
+/// arena bit-for-bit and the two child subproblems as bit matrices.
+/// Classification is one AND+popcount per row word; each kept child row
+/// is a [`compact`] through its side's mask.
+pub fn prepare_split_bits(sub: &BitSub, a1: &[u32]) -> BitSplit {
+    let k = sub.n;
+    let w = sub.cols.width();
+    let m = sub.cols.n_cols();
+    let p = sub.cols.total_len();
+    let k1 = a1.len();
+    let k2 = k - k1;
+    debug_assert!(k1 > 0 && k2 > 0, "partition must be proper");
+    let mask1 = mask_from_atoms(a1, w);
+    let mut mask2 = universe_mask(k);
+    for (m2, &m1) in mask2.iter_mut().zip(&mask1) {
+        *m2 &= !m1;
+    }
+    let mut a2 = take_u32(k2);
+    a2.extend(ones(&mask2));
+    let mut split_cols = SplitCols::with_capacity(m, p);
+    let mut cols1 = BitCols::with_capacity(k1, m);
+    let mut cols2 = BitCols::with_capacity(k2, m);
+    for ci in 0..m {
+        let row = sub.cols.row(ci);
+        let len = sub.cols.col_len(ci) as u32;
+        let mut sn = 0u32;
+        for (&r, &m1) in row.iter().zip(&mask1) {
+            sn += (r & m1).count_ones();
+        }
+        let hn = len - sn;
+        // parts arena: segment atoms ascending, then host atoms — the
+        // same layout the CSR classifier streams out
+        for (i, (&r, &m1)) in row.iter().zip(&mask1).enumerate() {
+            let mut bits = r & m1;
+            while bits != 0 {
+                split_cols.parts.push((i as u32) << 6 | bits.trailing_zeros());
+                bits &= bits - 1;
+            }
+        }
+        for (i, (&r, &m2)) in row.iter().zip(&mask2).enumerate() {
+            let mut bits = r & m2;
+            while bits != 0 {
+                split_cols.parts.push((i as u32) << 6 | bits.trailing_zeros());
+                bits &= bits - 1;
+            }
+        }
+        let ty = if sn == 0 || hn == 0 {
+            CrossType::C
+        } else if sn as usize == k1 {
+            CrossType::A
+        } else {
+            CrossType::B
+        };
+        split_cols.finish_parts_col(sn as usize, ty);
+        // side projections keep restrictions with ≥ 2 atoms that do not
+        // cover the whole side — decided before any child work is done
+        if sn >= 2 && (sn as usize) < k1 {
+            cols1.push_compacted(row, &mask1, sn);
+        }
+        if hn >= 2 && (hn as usize) < k2 {
+            cols2.push_compacted(row, &mask2, hn);
+        }
+    }
+    let mut a1v = take_u32(k1);
+    a1v.extend_from_slice(a1);
+    recycle_u64(mask1);
+    recycle_u64(mask2);
+    BitSplit {
+        a1: a1v,
+        a2,
+        split_cols,
+        sub1: BitSub { n: k1, cols: cols1 },
+        sub2: BitSub { n: k2, cols: cols2 },
+    }
+}
+
+impl Drop for BitSplit {
+    fn drop(&mut self) {
+        recycle_u32(std::mem::take(&mut self.a1));
+        recycle_u32(std::mem::take(&mut self.a2));
+    }
+}
+
+/// [`crate::partition::proper_column`] on bit rows: lengths are cached,
+/// so this is the same `O(m)` scan.
+pub fn proper_column_bits(sub: &BitSub) -> Option<usize> {
+    let k = sub.n;
+    (0..sub.cols.n_cols()).find(|&ci| {
+        let len = sub.cols.col_len(ci);
+        3 * len >= k && 3 * len <= 2 * k
+    })
+}
+
+/// [`crate::partition::tucker_transform`] on bit rows: small columns are
+/// copied (zero-extended to the `k+1`-atom universe), large columns
+/// complement in `O(width)` words instead of an `O(k)` scan, with the
+/// transform atom `r = k` set as the top bit.
+pub fn tucker_transform_bits(sub: &BitSub) -> BitSub {
+    let k = sub.n;
+    let w = sub.cols.width();
+    let m = sub.cols.n_cols();
+    let uni = universe_mask(k);
+    let mut out = BitCols::with_capacity(k + 1, m);
+    for ci in 0..m {
+        let len = sub.cols.col_len(ci);
+        let row = sub.cols.row(ci);
+        if 3 * len <= 2 * k {
+            // small column — keep (drop below two atoms)
+            if len >= 2 {
+                let start = out.tail_start();
+                out.rows[start..start + w].copy_from_slice(row);
+                out.finish_col_with_len(len as u32);
+            }
+            continue;
+        }
+        let clen = (k - len + 1) as u32; // complement + r
+        if clen >= 2 {
+            let start = out.tail_start();
+            for i in 0..w {
+                out.rows[start + i] = !row[i] & uni[i];
+            }
+            out.rows[start + (k >> 6)] |= 1u64 << (k & 63);
+            out.finish_col_with_len(clen);
+        }
+    }
+    BitSub { n: k + 1, cols: out }
+}
+
+/// Projects one connected component of a transformed instance onto its
+/// (sorted) atom set — `component_sub`'s bit twin; the
+/// renumbering is a [`compact`] through the component mask.
+pub fn component_sub_bits(atoms: &[u32], col_ids: &[u32], t: &BitSub) -> BitSub {
+    let kc = atoms.len();
+    let mask = mask_from_atoms(atoms, t.cols.width());
+    let mut cols = BitCols::with_capacity(kc, col_ids.len());
+    for &ci in col_ids {
+        let row = t.cols.row(ci as usize);
+        debug_assert!(
+            row.iter().zip(&mask).all(|(&r, &m)| r & !m == 0),
+            "component column must stay inside the component atoms"
+        );
+        cols.push_compacted(row, &mask, t.cols.col_len(ci as usize) as u32);
+    }
+    BitSub { n: kc, cols }
+}
+
+/// Span check on bit rows — [`crate::solver::verify_spans`] for the
+/// paranoid mode of the bit path.
+pub(crate) fn verify_spans_bits(sub: &BitSub, order: &[u32]) {
+    let mut pos = vec![u32::MAX; sub.n];
+    for (i, &a) in order.iter().enumerate() {
+        pos[a as usize] = i as u32;
+    }
+    for ci in 0..sub.cols.n_cols() {
+        let mut lo = u32::MAX;
+        let mut hi = 0;
+        for a in sub.cols.ones(ci) {
+            lo = lo.min(pos[a as usize]);
+            hi = hi.max(pos[a as usize]);
+        }
+        assert_eq!(
+            (hi - lo + 1) as usize,
+            sub.cols.col_len(ci),
+            "realization invariant violated on the bit path"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{grow_segment, tucker_transform, Growth};
+    use crate::solver::prepare_split;
+
+    #[test]
+    fn pext_soft_matches_hw() {
+        let cases = [
+            (0u64, 0u64),
+            (!0, !0),
+            (0xDEAD_BEEF_0123_4567, 0xF0F0_F0F0_F0F0_F0F0),
+            (0x8000_0000_0000_0001, 0x8000_0000_0000_0001),
+            (u64::MAX, 1),
+        ];
+        for (x, m) in cases {
+            assert_eq!(pext64(x, m), pext64_soft(x, m), "x={x:#x} m={m:#x}");
+        }
+    }
+
+    #[test]
+    fn build_and_read_back_bits() {
+        let mut bc = BitCols::new(130);
+        bc.push_col([1, 64, 129]);
+        bc.push_col([] as [u32; 0]);
+        bc.push(5);
+        bc.cancel_col();
+        bc.push_col([0, 2]);
+        assert_eq!(bc.n_cols(), 3);
+        assert_eq!(bc.total_len(), 5);
+        assert_eq!(bc.col_len(0), 3);
+        assert_eq!(bc.ones(0).collect::<Vec<_>>(), vec![1, 64, 129]);
+        assert_eq!(bc.ones(1).count(), 0);
+        assert_eq!(bc.ones(2).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(bc.to_flat(), FlatCols::from_cols([[1u32, 64, 129].as_slice(), &[], &[0, 2]]));
+    }
+
+    #[test]
+    fn degenerate_universes() {
+        // 0-atom and 1-atom universes: building protocol stays panic-free
+        let mut bc = BitCols::new(0);
+        bc.finish_col();
+        assert_eq!(bc.n_cols(), 1);
+        assert_eq!(bc.col_len(0), 0);
+        let mut bc = BitCols::new(1);
+        bc.push(0);
+        bc.finish_col();
+        assert_eq!(bc.ones(0).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(bc.to_flat().col(0), &[0]);
+    }
+
+    #[test]
+    fn roundtrip_matches_flat() {
+        let sub = SubProblem {
+            n: 70,
+            cols: FlatCols::from_cols([[0u32, 1, 69].as_slice(), &[63, 64, 65], &[2, 3]]),
+        };
+        let b = BitSub::from_sub(&sub);
+        assert_eq!(b.to_sub(), sub);
+        assert_eq!(b.cols.total_len(), sub.cols.total_len());
+    }
+
+    /// The bit divide must match the CSR divide's arena contents exactly.
+    #[test]
+    fn prepare_split_bits_matches_csr() {
+        let sub = SubProblem {
+            n: 6,
+            cols: FlatCols::from_cols([[1u32, 3].as_slice(), &[0, 2], &[1, 2, 3, 4], &[2, 3]]),
+        };
+        let bsub = BitSub::from_sub(&sub);
+        let a1 = [1u32, 3, 4];
+        let csr = prepare_split(&sub, &a1);
+        let bit = prepare_split_bits(&bsub, &a1);
+        assert_eq!(bit.a1, csr.a1);
+        assert_eq!(bit.a2, csr.a2);
+        for ci in 0..csr.split_cols.len() {
+            assert_eq!(bit.split_cols.seg(ci), csr.split_cols.seg(ci), "col {ci}");
+            assert_eq!(bit.split_cols.host(ci), csr.split_cols.host(ci), "col {ci}");
+            assert_eq!(bit.split_cols.ty(ci), csr.split_cols.ty(ci), "col {ci}");
+        }
+        assert_eq!(bit.sub1.to_sub(), csr.sub1);
+        assert_eq!(bit.sub2.to_sub(), csr.sub2);
+    }
+
+    /// Multi-word randomized divide differential (crosses word
+    /// boundaries so the compact spill path is exercised).
+    #[test]
+    fn prepare_split_bits_matches_csr_multiword() {
+        let k = 150usize;
+        let mut state = 0x9E37_79B9_u64;
+        let mut rand = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut cols = FlatCols::new();
+        for _ in 0..60 {
+            let lo = rand() as usize % (k - 1);
+            let len = 2 + rand() as usize % (k - lo - 1).max(1);
+            cols.push_col((lo..(lo + len).min(k)).map(|a| a as u32));
+        }
+        let sub = SubProblem { n: k, cols };
+        let bsub = BitSub::from_sub(&sub);
+        // an interleaved split that straddles word boundaries
+        let a1: Vec<u32> = (0..k as u32).filter(|a| a % 3 != 0).collect();
+        let csr = prepare_split(&sub, &a1);
+        let bit = prepare_split_bits(&bsub, &a1);
+        assert_eq!(bit.a2, csr.a2);
+        for ci in 0..csr.split_cols.len() {
+            assert_eq!(bit.split_cols.seg(ci), csr.split_cols.seg(ci));
+            assert_eq!(bit.split_cols.host(ci), csr.split_cols.host(ci));
+            assert_eq!(bit.split_cols.ty(ci), csr.split_cols.ty(ci));
+        }
+        assert_eq!(bit.sub1.to_sub(), csr.sub1);
+        assert_eq!(bit.sub2.to_sub(), csr.sub2);
+    }
+
+    #[test]
+    fn transform_bits_matches_csr() {
+        for (n, colsets) in [
+            (6usize, vec![vec![0u32, 1, 2, 3, 4], vec![0, 1]]),
+            (5, vec![vec![0, 1, 2, 3, 4]]),
+            (65, vec![(0..64u32).collect::<Vec<_>>(), vec![1, 2]]),
+            (64, vec![(0..63u32).collect::<Vec<_>>(), vec![0, 63]]),
+        ] {
+            let sub = SubProblem { n, cols: FlatCols::from_cols(&colsets) };
+            let t_csr = tucker_transform(&sub);
+            let t_bit = tucker_transform_bits(&BitSub::from_sub(&sub));
+            assert_eq!(t_bit.n, t_csr.n, "n={n}");
+            assert_eq!(t_bit.to_sub().cols, t_csr.cols, "n={n}");
+        }
+    }
+
+    #[test]
+    fn growth_bits_matches_csr() {
+        let sub = SubProblem {
+            n: 9,
+            cols: FlatCols::from_cols([[0u32, 1].as_slice(), &[1, 2], &[2, 3], &[5, 6], &[7, 8]]),
+        };
+        let bsub = BitSub::from_sub(&sub);
+        match (grow_segment(&sub), crate::partition::grow_segment_bits(&bsub)) {
+            (Growth::Segment(a), Growth::Segment(b)) => assert_eq!(a, b),
+            _ => panic!("both must grow the same segment"),
+        }
+        let sub = SubProblem {
+            n: 9,
+            cols: FlatCols::from_cols([[0u32, 1].as_slice(), &[3, 4], &[6, 7]]),
+        };
+        let bsub = BitSub::from_sub(&sub);
+        match (grow_segment(&sub), crate::partition::grow_segment_bits(&bsub)) {
+            (Growth::Components(a), Growth::Components(b)) => assert_eq!(a, b),
+            _ => panic!("both must decompose"),
+        }
+    }
+
+    #[test]
+    fn component_sub_bits_matches_csr() {
+        let t = SubProblem {
+            n: 8,
+            cols: FlatCols::from_cols([[1u32, 3].as_slice(), &[3, 5, 7], &[0, 2]]),
+        };
+        let bt = BitSub::from_sub(&t);
+        let atoms = [1u32, 3, 5, 7];
+        let col_ids = [0u32, 1];
+        let csr =
+            crate::solver::component_sub(&atoms, col_ids.iter().map(|&ci| t.cols.col(ci as usize)));
+        let bit = component_sub_bits(&atoms, &col_ids, &bt);
+        assert_eq!(bit.to_sub(), csr);
+    }
+
+    #[test]
+    fn use_bitmat_threshold_semantics() {
+        assert!(!use_bitmat(32, 10, 50, 0), "0 = always CSR");
+        assert!(use_bitmat(1 << 20, 10, 11, usize::MAX), "MAX = always bitmat");
+        assert!(use_bitmat(64, 100, 200, BITMAT_DEFAULT_THRESHOLD), "one word: always");
+        // k = 512 spans 8 words: the 8-atoms-per-row-word bar is 8·m·8
+        assert!(use_bitmat(512, 100, 6400, BITMAT_DEFAULT_THRESHOLD), "dense enough");
+        assert!(!use_bitmat(512, 100, 6399, BITMAT_DEFAULT_THRESHOLD), "too sparse");
+        assert!(!use_bitmat(513, 100, 10_000, 512), "above threshold");
+        assert!(!use_bitmat(8, 0, 0, BITMAT_DEFAULT_THRESHOLD), "no columns");
+    }
+}

@@ -20,24 +20,35 @@ use crate::align::CrossType;
 use std::cell::RefCell;
 
 /// Columns in CSR form: column `i` is `data[offsets[i]..offsets[i+1]]`.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlatCols {
     offsets: Vec<u32>,
     data: Vec<u32>,
 }
 
+// A derived `Default` would leave `offsets` empty, violating the
+// "offsets always holds at least the leading 0" invariant every accessor
+// leans on (`n_cols` would underflow on a defaulted value). `SubProblem`
+// derives `Default`, so this constructor is reachable from public API.
+impl Default for FlatCols {
+    fn default() -> Self {
+        FlatCols::new()
+    }
+}
+
 impl FlatCols {
     /// An empty collection.
     pub fn new() -> Self {
-        FlatCols { offsets: vec![0], data: Vec::new() }
+        Self::with_capacity(0, 0)
     }
 
     /// An empty collection with room for `cols` columns over `entries`
     /// total atoms (no reallocation while building within those bounds).
+    /// Buffers come from the per-thread recycling pool.
     pub fn with_capacity(cols: usize, entries: usize) -> Self {
-        let mut offsets = Vec::with_capacity(cols + 1);
+        let mut offsets = take_u32(cols + 1);
         offsets.push(0);
-        FlatCols { offsets, data: Vec::with_capacity(entries) }
+        FlatCols { offsets, data: take_u32(entries) }
     }
 
     /// Builds from an iterator of slice-likes (test/interop helper).
@@ -64,6 +75,14 @@ impl FlatCols {
     #[inline]
     pub fn total_len(&self) -> usize {
         self.data.len()
+    }
+
+    /// Raw CSR view `(offsets, data)` — lent to the growth BFS so the
+    /// flat path shares [`crate::partition`]'s column→atom slice
+    /// representation without copying.
+    #[inline]
+    pub(crate) fn raw_csr(&self) -> (&[u32], &[u32]) {
+        (&self.offsets, &self.data)
     }
 
     /// Column `i` as a slice.
@@ -96,17 +115,26 @@ impl FlatCols {
         self.data.push(atom);
     }
 
+    /// Start offset of the in-progress column. `offsets` is never empty
+    /// by construction, but degenerate shapes (0-column arenas handed
+    /// through `from_raw`, defaulted values) must not be able to panic
+    /// here even if that invariant is ever violated upstream.
+    #[inline]
+    fn building_start(&self) -> usize {
+        self.offsets.last().copied().unwrap_or(0) as usize
+    }
+
     /// Atoms pushed to the in-progress column so far.
     #[inline]
     pub fn building_len(&self) -> usize {
-        self.data.len() - *self.offsets.last().unwrap() as usize
+        self.data.len() - self.building_start()
     }
 
     /// Seals the in-progress column.
     #[inline]
     pub fn finish_col(&mut self) {
         debug_assert!(
-            self.data[*self.offsets.last().unwrap() as usize..].windows(2).all(|w| w[0] < w[1]),
+            self.data[self.building_start()..].windows(2).all(|w| w[0] < w[1]),
             "columns must stay strictly ascending (monotone renumbering invariant)"
         );
         self.offsets.push(self.data.len() as u32);
@@ -127,7 +155,8 @@ impl FlatCols {
     /// Discards the in-progress column (e.g. it shrank below two atoms).
     #[inline]
     pub fn cancel_col(&mut self) {
-        self.data.truncate(*self.offsets.last().unwrap() as usize);
+        let start = self.building_start();
+        self.data.truncate(start);
     }
 
     /// Removes all columns, keeping the allocations.
@@ -141,9 +170,16 @@ impl FlatCols {
     /// computed positions, then hands both over wholesale. `offsets`
     /// must start at 0, be non-decreasing, and end at `data.len()`;
     /// every column must obey the sortedness invariant (debug-checked).
-    pub fn from_raw(offsets: Vec<u32>, data: Vec<u32>) -> Self {
+    pub fn from_raw(mut offsets: Vec<u32>, data: Vec<u32>) -> Self {
+        if offsets.is_empty() {
+            // 0-column degenerate shape: normalize to the canonical empty
+            // arena instead of producing a value whose accessors underflow
+            debug_assert!(data.is_empty(), "data without offsets");
+            offsets.push(0);
+        }
         debug_assert!(
-            offsets.first() == Some(&0) && *offsets.last().unwrap() as usize == data.len()
+            offsets.first() == Some(&0)
+                && offsets.last().copied().unwrap_or(0) as usize == data.len()
         );
         debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
         let out = FlatCols { offsets, data };
@@ -210,12 +246,12 @@ pub struct SplitCols {
 }
 
 impl SplitCols {
-    /// Pre-sized builder state.
+    /// Pre-sized builder state (pool-backed, like [`FlatCols`]).
     pub fn with_capacity(cols: usize, entries: usize) -> Self {
         SplitCols {
             parts: FlatCols::with_capacity(cols, entries),
-            seg_len: Vec::with_capacity(cols),
-            ty: Vec::with_capacity(cols),
+            seg_len: take_u32(cols),
+            ty: take_ty(cols),
         }
     }
 
@@ -255,13 +291,18 @@ impl SplitCols {
     /// whole-column ordering invariant [`FlatCols::from_raw`] checks;
     /// each *half* must be ascending (debug-checked below).
     pub(crate) fn from_raw(
-        offsets: Vec<u32>,
+        mut offsets: Vec<u32>,
         data: Vec<u32>,
         seg_len: Vec<u32>,
         ty: Vec<CrossType>,
     ) -> Self {
+        if offsets.is_empty() {
+            debug_assert!(data.is_empty(), "data without offsets");
+            offsets.push(0);
+        }
         debug_assert!(
-            offsets.first() == Some(&0) && *offsets.last().unwrap() as usize == data.len()
+            offsets.first() == Some(&0)
+                && offsets.last().copied().unwrap_or(0) as usize == data.len()
         );
         let parts = FlatCols { offsets, data };
         debug_assert_eq!(parts.n_cols(), seg_len.len());
@@ -282,13 +323,103 @@ impl SplitCols {
     #[inline]
     pub(crate) fn finish_parts_col(&mut self, seg_len: usize, ty: CrossType) {
         debug_assert!({
-            let col = &self.parts.data[*self.parts.offsets.last().unwrap() as usize..];
+            let col = &self.parts.data[self.parts.building_start()..];
             col[..seg_len].windows(2).all(|w| w[0] < w[1])
                 && col[seg_len..].windows(2).all(|w| w[0] < w[1])
         });
         self.parts.offsets.push(self.parts.data.len() as u32);
         self.seg_len.push(seg_len as u32);
         self.ty.push(ty);
+    }
+}
+
+// ---------------------------------------------------------------------
+// buffer recycling
+// ---------------------------------------------------------------------
+
+/// Per-thread freelists for the arena buffers behind [`FlatCols`],
+/// [`SplitCols`], and the bit-matrix columns. Every divide materializes
+/// child arenas and drops them when its subtree completes — with plain
+/// `Vec`s that is ~10 round trips through the allocator per divide,
+/// dominating the solver's allocation count. Dropping an arena instead
+/// parks its buffers here and the next divide on the thread adopts them.
+///
+/// Two tiers per type: buffers up to [`RECYCLE_CAP_ELEMS`] elements park
+/// on a long freelist (the bulk of the recursion), while the handful of
+/// top-level arenas above it go to a short big-buffer list bounded by
+/// [`BIG_POOL_VECS`] entries and [`BIG_POOL_TOTAL_ELEMS`] total retained
+/// elements. Without the big tier every solve re-mmaps and re-faults the
+/// multi-megabyte root arenas, which costs more wall time than all the
+/// small allocations combined.
+macro_rules! buf_pool {
+    ($take:ident, $recycle:ident, $pool:ident, $big:ident, $t:ty) => {
+        thread_local! {
+            static $pool: RefCell<Vec<Vec<$t>>> = const { RefCell::new(Vec::new()) };
+            static $big: RefCell<Vec<Vec<$t>>> = const { RefCell::new(Vec::new()) };
+        }
+
+        pub(crate) fn $take(cap: usize) -> Vec<$t> {
+            let mut v = if cap > RECYCLE_CAP_ELEMS {
+                // LIFO matches the recursion: the largest arena drops
+                // last and is wanted first on the next solve
+                $big.with(|p| p.borrow_mut().pop())
+            } else {
+                $pool.with(|p| p.borrow_mut().pop())
+            }
+            .unwrap_or_default();
+            v.clear();
+            if v.capacity() < cap {
+                v.reserve(cap - v.capacity());
+            }
+            v
+        }
+
+        pub(crate) fn $recycle(v: Vec<$t>) {
+            if v.capacity() == 0 {
+                return;
+            }
+            if v.capacity() > RECYCLE_CAP_ELEMS {
+                $big.with(|p| {
+                    let mut pool = p.borrow_mut();
+                    let held: usize = pool.iter().map(|b| b.capacity()).sum();
+                    if pool.len() < BIG_POOL_VECS && held + v.capacity() <= BIG_POOL_TOTAL_ELEMS {
+                        pool.push(v);
+                    }
+                });
+                return;
+            }
+            $pool.with(|p| {
+                let mut pool = p.borrow_mut();
+                if pool.len() < 128 {
+                    pool.push(v);
+                }
+            });
+        }
+    };
+}
+
+const RECYCLE_CAP_ELEMS: usize = 1 << 16;
+/// Max entries on each big-buffer freelist.
+const BIG_POOL_VECS: usize = 8;
+/// Max total elements retained across one big-buffer freelist.
+const BIG_POOL_TOTAL_ELEMS: usize = 1 << 22;
+
+buf_pool!(take_u32, recycle_u32, BUF_U32, BIG_U32, u32);
+buf_pool!(take_u64, recycle_u64, BUF_U64, BIG_U64, u64);
+buf_pool!(take_ty, recycle_ty, BUF_TY, BIG_TY, CrossType);
+
+impl Drop for FlatCols {
+    fn drop(&mut self) {
+        recycle_u32(std::mem::take(&mut self.offsets));
+        recycle_u32(std::mem::take(&mut self.data));
+    }
+}
+
+impl Drop for SplitCols {
+    fn drop(&mut self) {
+        recycle_u32(std::mem::take(&mut self.seg_len));
+        recycle_ty(std::mem::take(&mut self.ty));
+        // parts is a FlatCols — its own drop recycles the arena
     }
 }
 
@@ -311,6 +442,20 @@ pub struct Scratch {
     /// Staging buffer (e.g. a column's host part while its segment part
     /// streams into the arena). Left empty between uses.
     pub tmp: Vec<u32>,
+    /// Merge span-classification buffers (`merge.rs`): type-b columns
+    /// with their host spans, type-a spans, type-c spans, candidate
+    /// split vertices, and the forbidden-interval list. Cleared at each
+    /// use, so unlike the tables above they carry no cleanliness
+    /// invariant.
+    pub type_b: Vec<(usize, u32, u32)>,
+    /// Type-a host spans (see `type_b`).
+    pub type_a: Vec<(u32, u32)>,
+    /// Type-c host spans (see `type_b`).
+    pub type_c: Vec<(u32, u32)>,
+    /// Candidate split vertices (see `type_b`).
+    pub cand: Vec<u32>,
+    /// Forbidden split intervals (see `type_b`).
+    pub forbidden: Vec<(u32, u32)>,
 }
 
 impl Scratch {
@@ -416,6 +561,70 @@ mod tests {
     fn unsorted_column_panics_in_debug() {
         let mut fc = FlatCols::new();
         fc.push_col([3, 1]);
+    }
+
+    #[test]
+    fn default_is_the_canonical_empty_arena() {
+        // a derived Default would leave `offsets` empty and every
+        // accessor would underflow/panic; the manual impl must match new()
+        let fc = FlatCols::default();
+        assert_eq!(fc.n_cols(), 0);
+        assert!(fc.is_empty());
+        assert_eq!(fc.total_len(), 0);
+        assert_eq!(fc.building_len(), 0);
+        assert_eq!(fc.iter().count(), 0);
+        let mut fc = FlatCols::default();
+        fc.push(0);
+        fc.push(1);
+        fc.finish_col();
+        assert_eq!(fc.col(0), &[0, 1]);
+        let sc = SplitCols::default();
+        assert_eq!(sc.len(), 0);
+        assert_eq!(sc.parts.n_cols(), 0);
+    }
+
+    #[test]
+    fn from_raw_zero_columns() {
+        // the parallel divide can legitimately produce a 0-column side;
+        // both raw constructors must normalize empty offsets
+        let fc = FlatCols::from_raw(Vec::new(), Vec::new());
+        assert_eq!(fc.n_cols(), 0);
+        let fc = FlatCols::from_raw(vec![0], Vec::new());
+        assert_eq!(fc.n_cols(), 0);
+        let sc = SplitCols::from_raw(Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        assert_eq!(sc.len(), 0);
+    }
+
+    #[test]
+    fn all_singleton_columns_cancel_to_empty() {
+        // every column shrinks below two atoms → all cancelled; the arena
+        // must come out empty and stay usable
+        let mut fc = FlatCols::new();
+        for a in 0..4u32 {
+            fc.push(a);
+            fc.cancel_col();
+        }
+        assert_eq!(fc.n_cols(), 0);
+        assert_eq!(fc.total_len(), 0);
+        fc.push_col([0, 1]);
+        assert_eq!(fc.col(0), &[0, 1]);
+    }
+
+    #[test]
+    fn one_atom_universe_shapes() {
+        // a 1-atom universe admits only singleton (dropped) or empty
+        // columns; finishing/cancelling empty columns must be panic-free
+        let mut fc = FlatCols::with_capacity(0, 0);
+        fc.finish_col(); // empty column: windows(2) over an empty slice
+        assert_eq!(fc.n_cols(), 1);
+        assert_eq!(fc.col(0), &[] as &[u32]);
+        fc.cancel_col();
+        assert_eq!(fc.building_len(), 0);
+        let mut sc = SplitCols::with_capacity(1, 1);
+        sc.parts.push(0);
+        sc.finish_parts_col(1, CrossType::C);
+        assert_eq!(sc.seg(0), &[0]);
+        assert_eq!(sc.host(0), &[] as &[u32]);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! checkable Tucker witness.
 
 pub mod align;
+pub mod bitmat;
 pub mod circular;
 pub mod flat;
 pub mod interval_graphs;

@@ -61,22 +61,34 @@ pub(crate) fn merge_with(
 ) -> Result<Vec<u32>, NotC1p> {
     let n = seg.len() + host.len();
     with_scratch(n, |s| {
-        // host positions in s.pos, segment positions in s.place
+        // host positions in s.pos, segment positions in s.place; the
+        // classification/candidate buffers ride along from the same pool
+        let crate::flat::Scratch { pos, place, type_b, type_a, type_c, cand, forbidden, .. } = s;
         for (i, &a) in host.iter().enumerate() {
-            s.pos[a as usize] = i as u32;
+            pos[a as usize] = i as u32;
         }
         for (i, &a) in seg.iter().enumerate() {
-            s.place[a as usize] = i as u32;
+            place[a as usize] = i as u32;
         }
-        let out = merge_inner(seg, host, columns, mode, &s.pos, &s.place, par);
+        let bufs = MergeBufs { type_b, type_a, type_c, cand, forbidden };
+        let out = merge_inner(seg, host, columns, mode, pos, place, bufs, par);
         for &a in host {
-            s.pos[a as usize] = u32::MAX;
+            pos[a as usize] = u32::MAX;
         }
         for &a in seg {
-            s.place[a as usize] = u32::MAX;
+            place[a as usize] = u32::MAX;
         }
         out
     })
+}
+
+/// Pooled working vectors for one merge attempt (all cleared at use).
+struct MergeBufs<'a> {
+    type_b: &'a mut Vec<(usize, u32, u32)>,
+    type_a: &'a mut Vec<(u32, u32)>,
+    type_c: &'a mut Vec<(u32, u32)>,
+    cand: &'a mut Vec<u32>,
+    forbidden: &'a mut Vec<(u32, u32)>,
 }
 
 /// `(lo, hi+1)` span of `atoms` under `pos` (must be contiguous —
@@ -102,6 +114,7 @@ fn span_of(pos: &[u32], atoms: &[u32]) -> Option<(u32, u32)> {
     Some((lo, hi + 1))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn merge_inner(
     seg: &[u32],
     host: &[u32],
@@ -109,10 +122,13 @@ fn merge_inner(
     mode: MergeMode,
     host_pos: &[u32],
     seg_pos: &[u32],
+    bufs: MergeBufs<'_>,
     par: bool,
 ) -> Result<Vec<u32>, NotC1p> {
     let hn = host.len();
-    let (type_b, type_a_spans, type_c_spans) = classify_spans(columns, host_pos, par);
+    let MergeBufs { type_b, type_a: type_a_spans, type_c: type_c_spans, cand, forbidden } = bufs;
+    classify_spans_into(columns, host_pos, par, type_b, type_a_spans, type_c_spans);
+    let (type_b, type_a_spans, type_c_spans) = (&*type_b, &*type_a_spans, &*type_c_spans);
     // On the cycle, split vertices 0 and hn coincide (the glue point).
     let alt = |w: u32| -> Option<u32> {
         match mode {
@@ -125,13 +141,11 @@ fn merge_inner(
     let touches =
         |w: u32, x: u32, y: u32| w == x || w == y || alt(w).is_some_and(|a| a == x || a == y);
     // Candidate split vertices.
-    let mut candidates: Vec<u32> = Vec::new();
+    let candidates = cand;
+    candidates.clear();
     if let Some(&(_, x0, y0)) = type_b.first() {
-        let mut seeds = vec![x0, y0];
-        seeds.extend(alt(x0));
-        seeds.extend(alt(y0));
-        seeds.dedup();
-        for w in seeds {
+        let seeds = [Some(x0), Some(y0), alt(x0), alt(y0)];
+        for w in seeds.into_iter().flatten() {
             if type_b.iter().all(|&(_, x, y)| touches(w, x, y)) && !candidates.contains(&w) {
                 candidates.push(w);
             }
@@ -143,14 +157,13 @@ fn merge_inner(
         let hi_bound = type_a_spans.iter().map(|&(_, y)| y).min().unwrap_or(hn as u32);
         if lo_bound <= hi_bound {
             // merge forbidden open intervals and scan for the first/last gap
-            let mut forbidden: Vec<(u32, u32)> = type_c_spans
-                .iter()
-                .filter(|&&(x, y)| x + 1 < y)
-                .map(|&(x, y)| (x + 1, y - 1)) // closed forbidden vertex range
-                .collect();
+            forbidden.clear();
+            forbidden.extend(
+                type_c_spans.iter().filter(|&&(x, y)| x + 1 < y).map(|&(x, y)| (x + 1, y - 1)), // closed forbidden vertex range
+            );
             forbidden.sort_unstable();
             let mut w = lo_bound;
-            for &(fx, fy) in &forbidden {
+            for &(fx, fy) in forbidden.iter() {
                 if fx <= w && w <= fy {
                     w = fy + 1;
                 }
@@ -178,11 +191,11 @@ fn merge_inner(
         candidates.retain(|&w| w != hn as u32);
     }
     let sn = seg.len() as u32;
-    for &w in &candidates {
+    for &w in candidates.iter() {
         'orient: for rev in [false, true] {
             // GAP conditions (1)/(3): each type-b column's segment part
             // must occupy the end of the segment facing its host part.
-            for &(ci, x, y) in &type_b {
+            for &(ci, x, y) in type_b.iter() {
                 let part = columns.seg(ci);
                 let mut lo = u32::MAX;
                 let mut hi = 0;
@@ -233,19 +246,27 @@ const PAR_SPAN_MIN_ENTRIES: usize = 1 << 14;
 
 type SpanClasses = (Vec<(usize, u32, u32)>, Vec<(u32, u32)>, Vec<(u32, u32)>);
 
-/// Computes host spans per crossing/type-c column — the paper's "common
-/// intersection of all the crossing columns" prefix scan. Heavy merges
-/// (top of the recursion) walk the columns chunk-parallel when `par`
-/// permits it (parallel driver only): halves classify independently,
-/// then concatenate in column order, so the result is bit-identical to
-/// the sequential scan.
-fn classify_spans(columns: &SplitCols, host_pos: &[u32], par: bool) -> SpanClasses {
+/// Computes host spans per crossing/type-c column into the pooled output
+/// vectors (cleared first) — the paper's "common intersection of all the
+/// crossing columns" prefix scan. Heavy merges (top of the recursion)
+/// walk the columns chunk-parallel when `par` permits it (parallel
+/// driver only): halves classify independently, then concatenate in
+/// column order, so the result is bit-identical to the sequential scan.
+fn classify_spans_into(
+    columns: &SplitCols,
+    host_pos: &[u32],
+    par: bool,
+    type_b: &mut Vec<(usize, u32, u32)>,
+    type_a: &mut Vec<(u32, u32)>,
+    type_c: &mut Vec<(u32, u32)>,
+) {
     fn go(
         columns: &SplitCols,
         host_pos: &[u32],
         range: std::ops::Range<usize>,
         par: bool,
-    ) -> SpanClasses {
+        out: &mut SpanClasses,
+    ) {
         // the O(range) weight sum only runs once forking is even on the
         // table (never for the sequential solver's merges)
         if par
@@ -254,34 +275,54 @@ fn classify_spans(columns: &SplitCols, host_pos: &[u32], par: bool) -> SpanClass
             && range.clone().map(|ci| columns.host(ci).len()).sum::<usize>() >= PAR_SPAN_MIN_ENTRIES
         {
             let mid = range.start + range.len() / 2;
-            let (mut left, right) = rayon::join(
-                || go(columns, host_pos, range.start..mid, par),
-                || go(columns, host_pos, mid..range.end, par),
+            let (left, right) = rayon::join(
+                || {
+                    let mut l = SpanClasses::default();
+                    go(columns, host_pos, range.start..mid, par, &mut l);
+                    l
+                },
+                || {
+                    let mut r = SpanClasses::default();
+                    go(columns, host_pos, mid..range.end, par, &mut r);
+                    r
+                },
             );
-            left.0.extend(right.0);
-            left.1.extend(right.1);
-            left.2.extend(right.2);
-            return left;
+            out.0.extend(left.0);
+            out.1.extend(left.1);
+            out.2.extend(left.2);
+            out.0.extend(right.0);
+            out.1.extend(right.1);
+            out.2.extend(right.2);
+            return;
         }
-        let mut type_b: Vec<(usize, u32, u32)> = Vec::new(); // (column, x, y)
-        let mut type_a: Vec<(u32, u32)> = Vec::new();
-        let mut type_c: Vec<(u32, u32)> = Vec::new();
         for ci in range {
             let host_part = columns.host(ci);
             let Some((x, y)) = span_of(host_pos, host_part) else { continue };
             match columns.ty(ci) {
-                CrossType::B => type_b.push((ci, x, y)),
-                CrossType::A => type_a.push((x, y)),
+                CrossType::B => out.0.push((ci, x, y)),
+                CrossType::A => out.1.push((x, y)),
                 CrossType::C => {
                     if host_part.len() >= 2 {
-                        type_c.push((x, y));
+                        out.2.push((x, y));
                     }
                 }
             }
         }
-        (type_b, type_a, type_c)
     }
-    go(columns, host_pos, 0..columns.len(), par)
+    type_b.clear();
+    type_a.clear();
+    type_c.clear();
+    if par {
+        let mut out = SpanClasses::default();
+        go(columns, host_pos, 0..columns.len(), par, &mut out);
+        type_b.extend(out.0);
+        type_a.extend(out.1);
+        type_c.extend(out.2);
+    } else {
+        let mut out = (std::mem::take(type_b), std::mem::take(type_a), std::mem::take(type_c));
+        go(columns, host_pos, 0..columns.len(), par, &mut out);
+        (*type_b, *type_a, *type_c) = out;
+    }
 }
 
 /// Checks contiguity (linear or cyclic) of every column in the merged

@@ -18,8 +18,55 @@
 //! the (sorted) atom sets fall out of a single `0..k` scan instead of
 //! per-component sorts.
 
+use crate::bitmat::{BitCols, BitSub};
 use crate::flat::FlatCols;
 use crate::solver::SubProblem;
+
+/// Column access as one column→atoms CSR view `(offsets, data)` — the
+/// one seam [`grow_segment`] needs, so the CSR and bit-matrix paths share
+/// the growth BFS *body* and their [`Growth`] results are identical by
+/// construction (same visit order, same component labels), not merely by
+/// test. [`FlatCols`] lends its own arena; [`BitCols`] materializes into
+/// the caller's scratch exactly once, so the growth's three walks over
+/// the entries (count, place, visit) decode each bitset row once instead
+/// of three times.
+pub(crate) trait AtomCols {
+    fn csr<'a>(
+        &'a self,
+        off_buf: &'a mut Vec<u32>,
+        atoms_buf: &'a mut Vec<u32>,
+    ) -> (&'a [u32], &'a [u32]);
+}
+
+impl AtomCols for FlatCols {
+    #[inline]
+    fn csr<'a>(
+        &'a self,
+        _off_buf: &'a mut Vec<u32>,
+        _atoms_buf: &'a mut Vec<u32>,
+    ) -> (&'a [u32], &'a [u32]) {
+        self.raw_csr()
+    }
+}
+
+impl AtomCols for BitCols {
+    fn csr<'a>(
+        &'a self,
+        off_buf: &'a mut Vec<u32>,
+        atoms_buf: &'a mut Vec<u32>,
+    ) -> (&'a [u32], &'a [u32]) {
+        off_buf.clear();
+        off_buf.reserve(self.n_cols() + 1);
+        off_buf.push(0);
+        atoms_buf.clear();
+        atoms_buf.reserve(self.total_len());
+        for ci in 0..self.n_cols() {
+            atoms_buf.extend(self.ones(ci));
+            off_buf.push(atoms_buf.len() as u32);
+        }
+        (off_buf, atoms_buf)
+    }
+}
 
 /// Finds a proper-size column: `|A|/3 ≤ |C| ≤ 2|A|/3` (paper Case 1).
 pub fn proper_column(sub: &SubProblem) -> Option<usize> {
@@ -50,30 +97,32 @@ pub fn tucker_transform(sub: &SubProblem) -> SubProblem {
         entries += if 3 * len <= 2 * k { len } else { k - len + 1 };
     }
     let mut cols = FlatCols::with_capacity(sub.cols.n_cols(), entries);
-    let mut present = vec![false; k];
-    for col in sub.cols.iter() {
-        if 3 * col.len() <= 2 * k {
-            // small column (Case-2 precondition: actually < k/3) — keep
-            if col.len() >= 2 {
-                cols.push_col(col.iter().copied());
+    crate::flat::with_scratch(k, |s| {
+        // s.mark doubles as the "present" bitmap; restored per column
+        for col in sub.cols.iter() {
+            if 3 * col.len() <= 2 * k {
+                // small column (Case-2 precondition: actually < k/3) — keep
+                if col.len() >= 2 {
+                    cols.push_col(col.iter().copied());
+                }
+                continue;
             }
-            continue;
+            for &a in col {
+                s.mark[a as usize] = true;
+            }
+            // complement stays ascending; r = k lands last
+            cols.extend_building_from((0..k as u32).filter(|&a| !s.mark[a as usize]));
+            cols.push(r);
+            if cols.building_len() >= 2 {
+                cols.finish_col();
+            } else {
+                cols.cancel_col();
+            }
+            for &a in col {
+                s.mark[a as usize] = false;
+            }
         }
-        for &a in col {
-            present[a as usize] = true;
-        }
-        // complement stays ascending; r = k lands last
-        cols.extend_building_from((0..k as u32).filter(|&a| !present[a as usize]));
-        cols.push(r);
-        if cols.building_len() >= 2 {
-            cols.finish_col();
-        } else {
-            cols.cancel_col();
-        }
-        for &a in col {
-            present[a as usize] = false;
-        }
-    }
+    });
     SubProblem { n: k + 1, cols }
 }
 
@@ -93,31 +142,193 @@ pub enum Growth {
 /// done here by BFS over the column–atom bipartite graph, on a CSR
 /// atom→columns adjacency).
 pub fn grow_segment(sub: &SubProblem) -> Growth {
-    let k = sub.n;
-    let m = sub.cols.n_cols();
+    grow_impl(sub.n, &sub.cols)
+}
+
+/// [`grow_segment`] for the bit-matrix representation — same BFS body via
+/// `AtomCols`, so the component/segment choice is literally the same
+/// code path.
+pub fn grow_segment_bits(sub: &BitSub) -> Growth {
+    grow_impl(sub.n, &sub.cols)
+}
+
+fn grow_impl<C: AtomCols>(k: usize, sub_cols: &C) -> Growth {
+    GROW_SCRATCH.with(|cell| {
+        let mut s = cell.borrow_mut();
+        grow_body(k, sub_cols, &mut s)
+    })
+}
+
+/// Reused working memory for [`grow_impl`]: the adjacency arrays and BFS
+/// state are rebuilt on every Case-2 divide, so pooling them per thread
+/// turns six allocations per call (one of them `O(p)`) into none after
+/// warm-up. Contents are garbage between calls — every field is
+/// re-lengthed and rewritten by `grow_body` before use.
+#[derive(Default)]
+struct GrowScratch {
+    adj_off: Vec<u32>,
+    adj: Vec<u32>,
+    cursor: Vec<u32>,
+    col_comp: Vec<u32>,
+    atom_comp: Vec<u32>,
+    queue: std::collections::VecDeque<u32>,
+    // bit-matrix callers decode their rows into this column→atoms CSR
+    csr_off: Vec<u32>,
+    csr_atoms: Vec<u32>,
+}
+
+thread_local! {
+    static GROW_SCRATCH: std::cell::RefCell<GrowScratch> =
+        std::cell::RefCell::new(GrowScratch::default());
+}
+
+fn grow_body<C: AtomCols>(k: usize, sub_cols: &C, s: &mut GrowScratch) -> Growth {
+    let GrowScratch { adj_off, adj, cursor, col_comp, atom_comp, queue, csr_off, csr_atoms } = s;
+    let (off, atoms) = sub_cols.csr(csr_off, csr_atoms);
+    let m = off.len() - 1;
     const UNSEEN: u32 = u32::MAX;
-    // CSR adjacency atom → columns (counting pass + placement pass)
-    let mut adj_off = vec![0u32; k + 1];
-    for col in sub.cols.iter() {
-        for &a in col {
-            adj_off[a as usize + 1] += 1;
+    let col = |ci: usize| &atoms[off[ci] as usize..off[ci + 1] as usize];
+
+    // Incremental union-find growth: columns ascending, each column unions
+    // its atoms into one set. The first column that pushes a set past
+    // `k/3` names a connected union of already-processed columns — in the
+    // common case it is already balanced (Case 2's small columns add
+    // `< k/3` atoms at a time) and the call ends having touched only a
+    // prefix of the entries, instead of paying the full atom→column
+    // adjacency build the BFS below needs.
+    let parent = atom_comp; // role change: union-find parent, re-lengthed
+    parent.clear();
+    parent.extend(0..k as u32);
+    let size = cursor; // role change: set size at each root
+    size.clear();
+    size.resize(k, 1);
+    let mut crossed = None;
+    for ci in 0..m {
+        let c = col(ci);
+        let Some((&a0, rest)) = c.split_first() else { continue };
+        let mut r = find(parent, a0);
+        for &a in rest {
+            let ra = find(parent, a);
+            if ra != r {
+                let (big, small) =
+                    if size[r as usize] >= size[ra as usize] { (r, ra) } else { (ra, r) };
+                parent[small as usize] = big;
+                size[big as usize] += size[small as usize];
+                r = big;
+            }
         }
+        if 3 * size[r as usize] as usize > k {
+            crossed = Some(r);
+            break;
+        }
+    }
+    match crossed {
+        Some(r) if 3 * (size[r as usize] as usize) <= 2 * k => {
+            // collect the grown atoms sorted via one ascending scan
+            let a1: Vec<u32> = (0..k as u32).filter(|&a| find(parent, a) == r).collect();
+            debug_assert_eq!(a1.len(), size[r as usize] as usize);
+            Growth::Segment(a1)
+        }
+        Some(_) => {
+            // overshoot: one column glued several near-window sets (only
+            // possible when a column violates Case 2's `< k/3` bound, or
+            // merges many sets at once). The BFS re-grows atom-by-atom,
+            // which cannot overshoot a balanced window.
+            grow_bfs(k, off, atoms, adj_off, adj, size, col_comp, parent, queue)
+        }
+        None => {
+            // no set crossed the window: the union-find sets ARE the
+            // connected components; emit them keyed by first column
+            let root_comp = col_comp; // role change: root atom → comp index
+            root_comp.clear();
+            root_comp.resize(k, UNSEEN);
+            let mut components: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
+            for ci in 0..m {
+                match col(ci).first() {
+                    Some(&a0) => {
+                        let r = find(parent, a0) as usize;
+                        if root_comp[r] == UNSEEN {
+                            root_comp[r] = components.len() as u32;
+                            components.push((Vec::new(), Vec::new()));
+                        }
+                        components[root_comp[r] as usize].1.push(ci as u32);
+                    }
+                    // an empty column is its own (atomless) component
+                    None => components.push((Vec::new(), vec![ci as u32])),
+                }
+            }
+            // isolated atoms become singleton components
+            for a in 0..k as u32 {
+                match root_comp[find(parent, a) as usize] {
+                    UNSEEN => components.push((vec![a], Vec::new())),
+                    comp => components[comp as usize].0.push(a),
+                }
+            }
+            Growth::Components(components)
+        }
+    }
+}
+
+/// Path-halving find for the growth's union-find pass.
+#[inline]
+fn find(parent: &mut [u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        parent[x as usize] = parent[parent[x as usize] as usize];
+        x = parent[x as usize];
+    }
+    x
+}
+
+/// The original adjacency-building BFS growth — now only the fallback for
+/// the rare union-find overshoot. Grows atom-by-atom, so every window
+/// check moves by less than one column's worth of atoms and the first
+/// crossing is balanced by construction.
+#[cold]
+#[allow(clippy::too_many_arguments)]
+fn grow_bfs(
+    k: usize,
+    off: &[u32],
+    atoms: &[u32],
+    adj_off: &mut Vec<u32>,
+    adj: &mut Vec<u32>,
+    cursor: &mut Vec<u32>,
+    col_comp: &mut Vec<u32>,
+    atom_comp: &mut Vec<u32>,
+    queue: &mut std::collections::VecDeque<u32>,
+) -> Growth {
+    let m = off.len() - 1;
+    let p = atoms.len();
+    const UNSEEN: u32 = u32::MAX;
+    let col = |ci: usize| &atoms[off[ci] as usize..off[ci + 1] as usize];
+    // CSR adjacency atom → columns (counting pass + placement pass)
+    adj_off.clear();
+    adj_off.resize(k + 1, 0);
+    for &a in atoms {
+        adj_off[a as usize + 1] += 1;
     }
     for i in 0..k {
         adj_off[i + 1] += adj_off[i];
     }
-    let mut adj = vec![0u32; sub.cols.total_len()];
-    let mut cursor = adj_off.clone();
-    for (ci, col) in sub.cols.iter().enumerate() {
-        for &a in col {
+    // every slot of adj[..p] is written by the placement pass, so stale
+    // words from the previous call never escape — no zero fill needed
+    if adj.len() < p {
+        adj.resize(p, 0);
+    }
+    let adj = &mut adj[..p];
+    cursor.clear();
+    cursor.extend_from_slice(adj_off);
+    for ci in 0..m {
+        for &a in col(ci) {
             adj[cursor[a as usize] as usize] = ci as u32;
             cursor[a as usize] += 1;
         }
     }
     // BFS per component, labeling atoms and columns with component ids
-    let mut col_comp = vec![UNSEEN; m];
-    let mut atom_comp = vec![UNSEEN; k];
-    let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+    col_comp.clear();
+    col_comp.resize(m, UNSEEN);
+    atom_comp.clear();
+    atom_comp.resize(k, UNSEEN);
+    queue.clear();
     let mut comp_cols: Vec<Vec<u32>> = Vec::new();
     for start in 0..m {
         if col_comp[start] != UNSEEN {
@@ -130,7 +341,7 @@ pub fn grow_segment(sub: &SubProblem) -> Growth {
         col_comp[start] = comp;
         while let Some(ci) = queue.pop_front() {
             cols.push(ci);
-            for &a in sub.cols.col(ci as usize) {
+            for &a in col(ci as usize) {
                 if atom_comp[a as usize] == UNSEEN {
                     atom_comp[a as usize] = comp;
                     n_atoms += 1;

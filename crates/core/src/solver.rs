@@ -21,10 +21,16 @@
 //! preserved through monotone renumberings and asserted in debug).
 
 use crate::align::{align_side1, align_side2, ChordInfo, CrossType};
+use crate::bitmat::{
+    component_sub_bits, prepare_split_bits, proper_column_bits, tucker_transform_bits, use_bitmat,
+    verify_spans_bits, BitSub, BITMAT_DEFAULT_THRESHOLD,
+};
 use crate::flat::{with_scratch, FlatCols, SplitCols};
 use crate::merge::{merge_with, MergeMode};
-use crate::partition::{grow_segment, proper_column, tucker_transform, Growth};
-use crate::stats::{SolveStats, PH_ALIGN, PH_DECOMPOSE, PH_MERGE, PH_PARTITION, PH_PREPARE};
+use crate::partition::{grow_segment, grow_segment_bits, proper_column, tucker_transform, Growth};
+use crate::stats::{
+    SolveStats, N_PHASES, PH_ALIGN, PH_BITMAT, PH_DECOMPOSE, PH_MERGE, PH_PARTITION, PH_PREPARE,
+};
 use crate::{NotC1p, RejectSite, Rejection};
 use c1p_matrix::{verify_linear, Atom, Ensemble};
 
@@ -38,6 +44,30 @@ macro_rules! phase {
         let __t0 = std::time::Instant::now();
         let __r = $e;
         $stats.phase_ns[$ix] += __t0.elapsed().as_nanos() as u64;
+        __r
+    }};
+}
+
+// Variant crediting a phase with the *remainder* of a call: the wall time
+// of the body minus everything the body itself attributed to other phase
+// buckets. Used at the bit-matrix conversion point — the bit subtree has
+// no fine-grained phase timing of its own (its per-divide work is too
+// small to amortize `Instant` reads), but its combine steps still accrue
+// decompose/align/merge through the shared `combine`; the rest of the
+// subtree's time lands in the wrapped bucket, keeping phases disjoint.
+macro_rules! phase_remainder {
+    ($stats:ident, $ix:ident, $e:expr) => {{
+        let __before: [u64; N_PHASES] = $stats.phase_ns;
+        let __t0 = std::time::Instant::now();
+        let __r = $e;
+        let __spent = __t0.elapsed().as_nanos() as u64;
+        let mut __nested = 0u64;
+        for (__i, (__b, __a)) in __before.iter().zip($stats.phase_ns.iter()).enumerate() {
+            if __i != $ix {
+                __nested += __a - __b;
+            }
+        }
+        $stats.phase_ns[$ix] += __spent.saturating_sub(__nested);
         __r
     }};
 }
@@ -88,6 +118,15 @@ pub struct Config {
     /// the cutoff from the instance and the current pool at driver
     /// entry.
     pub seq_cutoff: usize,
+    /// Bit-matrix crossover (DESIGN.md §14): a subproblem switches to the
+    /// packed-`u64` kernels of [`crate::bitmat`] when its atom count is
+    /// at most this threshold *and* its rows are dense enough that the
+    /// bit matrix stays within ~2× the CSR footprint (see
+    /// `bitmat::use_bitmat` for the exact rule). `0` forces pure CSR,
+    /// `usize::MAX` forces the bit path everywhere — the two endpoints of
+    /// the differential threshold sweep. The verdict (order, evidence,
+    /// witness) is identical for every value; only scheduling changes.
+    pub bitmat_threshold: usize,
 }
 
 impl Default for Config {
@@ -96,6 +135,7 @@ impl Default for Config {
             pq_base_threshold: 0,
             paranoid: cfg!(debug_assertions),
             seq_cutoff: Config::AUTO_CUTOFF,
+            bitmat_threshold: BITMAT_DEFAULT_THRESHOLD,
         }
     }
 }
@@ -108,7 +148,12 @@ impl Config {
     /// The practical profile: PQ-tree base case at the paper's `p_i ≲ log n`
     /// granularity (we cut on atom count instead; see EXPERIMENTS.md E10).
     pub fn fast() -> Self {
-        Config { pq_base_threshold: 32, paranoid: false, seq_cutoff: Config::AUTO_CUTOFF }
+        Config {
+            pq_base_threshold: 32,
+            paranoid: false,
+            seq_cutoff: Config::AUTO_CUTOFF,
+            bitmat_threshold: BITMAT_DEFAULT_THRESHOLD,
+        }
     }
 }
 
@@ -245,6 +290,16 @@ pub(crate) fn realize(
     stats: &mut SolveStats,
     depth: usize,
 ) -> Result<Vec<u32>, NotC1p> {
+    // Representation crossover: once a subtree is small/dense enough the
+    // whole recursion below this point runs on packed-u64 rows. The bit
+    // path counts its own subproblems, so delegate before counting.
+    if use_bitmat(sub.n, sub.cols.n_cols(), sub.cols.total_len(), cfg.bitmat_threshold) {
+        stats.bitmat_converts += 1;
+        return phase_remainder!(stats, PH_BITMAT, {
+            let bsub = BitSub::from_sub(sub);
+            realize_bits(&bsub, cfg, stats, depth)
+        });
+    }
     stats.subproblems += 1;
     stats.max_depth = stats.max_depth.max(depth);
     let k = sub.n;
@@ -292,6 +347,85 @@ pub(crate) fn realize(
     }
 }
 
+/// [`realize`] on the bit-matrix representation: the same Path-Realization
+/// steps with the divide kernels swapped for their word-parallel twins
+/// ([`crate::bitmat`]). Never converts back to CSR except at the PQ-tree
+/// base case (whose solver consumes a [`FlatCols`]); the combine (Steps
+/// 3–7) is the *shared* [`combine`], so verdict identity with the CSR
+/// path reduces to the divide kernels producing identical splits — which
+/// `split_differential.rs` pins across the threshold sweep.
+fn realize_bits(
+    sub: &BitSub,
+    cfg: &Config,
+    stats: &mut SolveStats,
+    depth: usize,
+) -> Result<Vec<u32>, NotC1p> {
+    stats.subproblems += 1;
+    stats.max_depth = stats.max_depth.max(depth);
+    let k = sub.n;
+    // Step 0
+    if k <= 2 {
+        stats.base_cases += 1;
+        return Ok((0..k as u32).collect());
+    }
+    if cfg.pq_base_threshold > 0 && k <= cfg.pq_base_threshold {
+        stats.pq_base_cases += 1;
+        let flat = sub.cols.to_flat();
+        return c1p_pqtree::solve(k, &flat)
+            .ok_or_else(|| Rejection::at(RejectSite::PqBase).fill(k));
+    }
+    // Step 2: the divide, word-parallel
+    if let Some(ci) = proper_column_bits(sub) {
+        stats.case1 += 1;
+        let a1: Vec<u32> = sub.cols.ones(ci).collect();
+        split_and_merge_bits(sub, &a1, MergeMode::Linear, cfg, stats, depth)
+    } else {
+        stats.case2 += 1;
+        let t = tucker_transform_bits(sub);
+        // evidence widening at the transform boundary, as in `realize`
+        let cyclic = match grow_segment_bits(&t) {
+            Growth::Segment(a1) => {
+                split_and_merge_bits(&t, &a1, MergeMode::Cyclic, cfg, stats, depth)
+                    .map_err(|e| e.widened(k))?
+            }
+            Growth::Components(comps) => {
+                let mut order = Vec::with_capacity(t.n);
+                for (atoms, col_ids) in comps {
+                    let csub = component_sub_bits(&atoms, &col_ids, &t);
+                    let local =
+                        realize_bits(&csub, cfg, stats, depth + 1).map_err(|e| e.widened(k))?;
+                    order.extend(local.iter().map(|&i| atoms[i as usize]));
+                }
+                order
+            }
+        };
+        let order = cut_at_r(&cyclic, k);
+        if cfg.paranoid {
+            verify_spans_bits(sub, &order);
+        }
+        Ok(order)
+    }
+}
+
+/// [`split_and_merge`] on bit rows; the combine is shared with CSR.
+fn split_and_merge_bits(
+    sub: &BitSub,
+    a1: &[u32],
+    mode: MergeMode,
+    cfg: &Config,
+    stats: &mut SolveStats,
+    depth: usize,
+) -> Result<Vec<u32>, NotC1p> {
+    stats.bitmat_divides += 1;
+    let data = prepare_split_bits(sub, a1);
+    let order1 = realize_bits(&data.sub1, cfg, stats, depth + 1)
+        .map_err(|e| e.fill(data.sub1.n).mapped(&data.a1))?;
+    let order2 = realize_bits(&data.sub2, cfg, stats, depth + 1)
+        .map_err(|e| e.fill(data.sub2.n).mapped(&data.a2))?;
+    combine(&data.a1, &data.a2, &data.split_cols, &order1, &order2, mode, stats, false)
+        .map_err(|e| e.fill(sub.n))
+}
+
 /// Shared Case-1/Case-2 body: split on `a1`, recurse, align, merge.
 fn split_and_merge(
     sub: &SubProblem,
@@ -301,6 +435,7 @@ fn split_and_merge(
     stats: &mut SolveStats,
     depth: usize,
 ) -> Result<Vec<u32>, NotC1p> {
+    stats.csr_divides += 1;
     let data = phase!(stats, PH_PREPARE, prepare_split(sub, a1));
     // Child evidence (child-local atoms with a non-C1P restriction) maps
     // injectively into this subproblem; each child is a constraint
@@ -310,7 +445,8 @@ fn split_and_merge(
     let order2 = realize(&data.sub2, cfg, stats, depth + 1)
         .map_err(|e| e.fill(data.sub2.n).mapped(&data.a2))?;
     // A merge failure implicates the whole subproblem.
-    combine(&data, &order1, &order2, mode, stats, false).map_err(|e| e.fill(sub.n))
+    combine(&data.a1, &data.a2, &data.split_cols, &order1, &order2, mode, stats, false)
+        .map_err(|e| e.fill(sub.n))
 }
 
 /// Everything the combine step needs, precomputed before recursion
@@ -536,9 +672,14 @@ pub fn prepare_split_par(sub: &SubProblem, a1: &[u32]) -> SplitData {
 
 /// The combine: Steps 3–7 (decompose, align, merge). Each side's alignment
 /// yields a small set of candidate re-arrangements (Section 4's switches);
-/// every pair is checked by the verifying merge.
+/// every pair is checked by the verifying merge. Takes the split pieces
+/// rather than a [`SplitData`] so the CSR and bit-matrix divides (whose
+/// child subproblems differ in representation) share it verbatim.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn combine(
-    data: &SplitData,
+    a1: &[u32],
+    a2: &[u32],
+    split_cols: &SplitCols,
     order1: &[u32],
     order2: &[u32],
     mode: MergeMode,
@@ -551,11 +692,29 @@ pub(crate) fn combine(
     // merge scan and skips Steps 3–6 (decompose + funnel) entirely when
     // it lands; the merge's own candidate checks (and the top-level
     // witness verification) keep this a pure scheduling shortcut.
-    let id_seg: Vec<u32> = order1.iter().map(|&x| data.a1[x as usize]).collect();
-    let id_host: Vec<u32> = order2.iter().map(|&x| data.a2[x as usize]).collect();
-    if let Ok(m) =
-        phase!(stats, PH_MERGE, merge_with(&id_seg, &id_host, &data.split_cols, mode, par))
-    {
+    let id_seg: Vec<u32> = order1.iter().map(|&x| a1[x as usize]).collect();
+    let id_host: Vec<u32> = order2.iter().map(|&x| a2[x as usize]).collect();
+    if let Ok(m) = phase!(stats, PH_MERGE, merge_with(&id_seg, &id_host, split_cols, mode, par)) {
+        stats.fast_merges += 1;
+        return Ok(m);
+    }
+    // Host-side-first funnel: align the host side alone and try each
+    // candidate against the identity segment order. Misalignment often
+    // sits on one side only, and a hit here skips the segment side's
+    // decomposition entirely. Trying extra pairs is sound and cannot
+    // flip a verdict: the merge verifies every candidate against the
+    // split columns, so a pair that merges is a realization either way,
+    // and a truly non-C1P junction fails all pairs no matter the order.
+    let host_cands = phase_excluding!(
+        stats,
+        PH_ALIGN,
+        PH_DECOMPOSE,
+        align_one_side(a2, order2, split_cols, false, stats)
+    );
+    let host_only = phase!(stats, PH_MERGE, {
+        host_cands.iter().find_map(|host| merge_with(&id_seg, host, split_cols, mode, par).ok())
+    });
+    if let Some(m) = host_only {
         stats.fast_merges += 1;
         return Ok(m);
     }
@@ -563,19 +722,13 @@ pub(crate) fn combine(
         stats,
         PH_ALIGN,
         PH_DECOMPOSE,
-        align_one_side(&data.a1, order1, &data.split_cols, true, stats)
-    );
-    let host_cands = phase_excluding!(
-        stats,
-        PH_ALIGN,
-        PH_DECOMPOSE,
-        align_one_side(&data.a2, order2, &data.split_cols, false, stats)
+        align_one_side(a1, order1, split_cols, true, stats)
     );
     phase!(stats, PH_MERGE, {
         let mut result = Err(NotC1p::at(RejectSite::Merge));
         'outer: for host in &host_cands {
             for seg in &seg_cands {
-                if let Ok(m) = merge_with(seg, host, &data.split_cols, mode, par) {
+                if let Ok(m) = merge_with(seg, host, split_cols, mode, par) {
                     result = Ok(m);
                     break 'outer;
                 }

@@ -1,7 +1,7 @@
 //! Trace semantics over real TCP: a live `c1pd` with sampling on must
 //! hand back, via `GetTraces`, a complete span tree for a solve —
-//! decode → admission → queue → mailbox → cache → solve (with all five
-//! solver phases laid end-to-end inside it) → flush — with monotone,
+//! decode → admission → queue → mailbox → cache → solve (with every
+//! solver phase laid end-to-end inside it) → flush — with monotone,
 //! non-overlapping children that sum to no more than the root. And the
 //! *structure* of that trace (trace id, kind, span names, parents,
 //! order) must be byte-identical between the legacy and event-loop
@@ -140,7 +140,7 @@ fn solve_trace_line(mode: &[&str]) -> String {
 
 /// The complete lifecycle for a solve: every span the pipeline promises,
 /// with a valid tree shape — monotone spans inside their parents, the
-/// five solver phases non-overlapping and summing to at most the solve
+/// solver phases non-overlapping and summing to at most the solve
 /// span, everything bounded by the root.
 fn solve_span_tree_is_complete_and_wellformed(mode: &[&str]) {
     let line = solve_trace_line(mode);
@@ -157,7 +157,11 @@ fn solve_span_tree_is_complete_and_wellformed(mode: &[&str]) {
         assert_eq!(get(name).parent, "request", "{name} parents to the root");
     }
     let phases: Vec<&Span> = spans.iter().filter(|s| s.name.starts_with("solve/")).collect();
-    assert_eq!(phases.len(), 5, "all five solver phases reported: {line}");
+    assert_eq!(
+        phases.len(),
+        c1p_core::stats::PHASE_NAMES.len(),
+        "every solver phase reported: {line}"
+    );
     for p in &phases {
         assert_eq!(p.parent, "solve", "{} parents to the solve span", p.name);
     }

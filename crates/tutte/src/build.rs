@@ -16,8 +16,15 @@
 //!    (perimeter = endpoint sequence), singleton classes become bonds,
 //!    gaps with ≥ 2 items become polygons; 2-edge members are suppressed
 //!    by splicing (the bond/polygon merge rule).
+//!
+//! The solver decomposes thousands of failed-junction sides per solve, so
+//! every transient table (span keys, groups, classes, the nesting forest)
+//! lives in per-thread pooled scratch and the per-class lists (group
+//! indices, endpoints, forest children) are ranges into shared flat
+//! buffers rather than per-class `Vec`s. Only the returned [`TutteTree`]
+//! allocates.
 
-use crate::interlace::classes_sweep;
+use crate::interlace::classes_sweep_into;
 use crate::tree::{EdgeRef, Member, MemberId, MemberShape, TutteTree, VirtId};
 
 /// Errors for malformed chord inputs.
@@ -53,17 +60,21 @@ struct SpanGroup {
     end: u32,
 }
 
-/// One interlacement class of span groups.
-#[derive(Debug, Clone)]
+/// One interlacement class of span groups. All list-like fields are
+/// `(start, end)` ranges into the scratch-pooled flat buffers
+/// (`class_flat`, `eps_flat`, `children_flat`) so a class allocates
+/// nothing.
+#[derive(Debug, Clone, Copy)]
 struct Class {
-    /// Indices into the span-group table.
-    groups: Vec<u32>,
-    /// Sorted distinct endpoint positions.
-    endpoints: Vec<u32>,
+    /// Range of span-group indices in `class_flat`.
+    groups: (u32, u32),
+    /// Range of sorted distinct endpoint positions in `eps_flat`.
+    eps: (u32, u32),
     hull_lo: u32,
     hull_hi: u32,
-    /// Children in the nesting forest, in increasing `hull_lo` order.
-    children: Vec<u32>,
+    /// Range of nesting-forest children in `children_flat`, in
+    /// increasing `hull_lo` order.
+    children: (u32, u32),
 }
 
 /// An item encountered while walking an interval of the cycle.
@@ -71,6 +82,38 @@ struct Class {
 enum Item {
     PathEdge(u32),
     Child(u32), // class index
+}
+
+/// Per-thread reusable buffers for [`decompose`]: every table here is
+/// transient (logically dead by the end of one call) and
+/// O(chords + classes) in size, so pooling turns ~15 heap round-trips per
+/// call into none on the steady state.
+#[derive(Default)]
+struct Scratch {
+    ep: Vec<u32>,
+    keys: Vec<u128>,
+    order: Vec<u32>,
+    groups: Vec<SpanGroup>,
+    spans: Vec<(u32, u32)>,
+    class_off: Vec<u32>,
+    class_flat: Vec<u32>,
+    classes: Vec<Class>,
+    eps_flat: Vec<u32>,
+    idx: Vec<u32>,
+    parent_of: Vec<u32>,
+    child_cursor: Vec<u32>,
+    children_flat: Vec<u32>,
+    top: Vec<u32>,
+    stack: Vec<u32>,
+    post: Vec<u32>,
+    dfs: Vec<(u32, bool)>,
+    class_member: Vec<MemberId>,
+    class_outer: Vec<VirtId>,
+    items: Vec<Item>,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Scratch> = Default::default();
 }
 
 struct Builder<'a> {
@@ -83,8 +126,8 @@ struct Builder<'a> {
     class_outer: Vec<VirtId>,
     /// Chord ids sorted by span; span groups index into this.
     order: &'a [u32],
-    /// Reusable buffer for [`walk_items`] (one allocation per tree, not
-    /// one per interval).
+    /// Reusable buffer for [`walk_items_into`] (pooled, not one
+    /// allocation per interval).
     items_buf: Vec<Item>,
 }
 
@@ -169,13 +212,24 @@ impl Builder<'_> {
     }
 
     /// Builds the member for class `c` (children must be built already).
-    fn build_class(&mut self, c: usize, classes: &[Class], groups: &[SpanGroup]) {
-        let class = &classes[c];
+    #[allow(clippy::too_many_arguments)]
+    fn build_class(
+        &mut self,
+        c: usize,
+        classes: &[Class],
+        groups: &[SpanGroup],
+        class_flat: &[u32],
+        children_flat: &[u32],
+        eps_flat: &[u32],
+    ) {
+        let class = classes[c];
         let outer = self.class_outer[c];
-        if class.groups.len() == 1 {
+        let kids = &children_flat[class.children.0 as usize..class.children.1 as usize];
+        let class_groups = &class_flat[class.groups.0 as usize..class.groups.1 as usize];
+        if class_groups.len() == 1 {
             // singleton class → bond {chords…, inner, outer}
-            let g = groups[class.groups[0] as usize];
-            let (inner, claim) = self.interval_edge(g.lo, g.hi, &class.children, classes);
+            let g = groups[class_groups[0] as usize];
+            let (inner, claim) = self.interval_edge(g.lo, g.hi, kids, classes);
             let mut edges: Vec<EdgeRef> = self.order[g.start as usize..g.end as usize]
                 .iter()
                 .map(|&i| EdgeRef::Chord(i))
@@ -190,36 +244,35 @@ impl Builder<'_> {
             return;
         }
         // multi-span class → rigid
-        let eps = &class.endpoints;
+        let eps = &eps_flat[class.eps.0 as usize..class.eps.1 as usize];
         let t = eps.len();
         debug_assert!(t >= 4, "interlacing spans have ≥ 4 distinct endpoints");
-        // children are distributed into the gaps between consecutive endpoints
-        let mut gap_children: Vec<Vec<u32>> = vec![Vec::new(); t - 1];
-        for &ch in &class.children {
-            let (clo, chi) = (classes[ch as usize].hull_lo, classes[ch as usize].hull_hi);
-            let gi = match eps.binary_search(&clo) {
-                Ok(i) => i,
-                Err(i) => i - 1,
-            };
-            assert!(
-                gi + 1 < t && chi <= eps[gi + 1],
-                "nested class must fit within one gap of its parent"
-            );
-            gap_children[gi].push(ch);
-        }
+        // children are distributed into the gaps between consecutive
+        // endpoints; both lists ascend by position, so each gap's children
+        // are one contiguous run of `kids`
         let mut ring = Vec::with_capacity(t);
         let mut claims: Vec<VirtId> = Vec::new();
+        let mut ci = 0;
         for gi in 0..t - 1 {
-            let (edge, claim) =
-                self.interval_edge(eps[gi], eps[gi + 1], &gap_children[gi], classes);
+            let start = ci;
+            while ci < kids.len() && classes[kids[ci] as usize].hull_lo < eps[gi + 1] {
+                let kid = &classes[kids[ci] as usize];
+                assert!(
+                    kid.hull_lo >= eps[gi] && kid.hull_hi <= eps[gi + 1],
+                    "nested class must fit within one gap of its parent"
+                );
+                ci += 1;
+            }
+            let (edge, claim) = self.interval_edge(eps[gi], eps[gi + 1], &kids[start..ci], classes);
             ring.push(edge);
             claims.extend(claim);
         }
+        debug_assert_eq!(ci, kids.len(), "every child must land in a gap");
         ring.push(EdgeRef::Virt(outer));
         // chord edges of the rigid, one per span group; parallel groups
         // hang off as bonds
-        let mut chords = Vec::with_capacity(class.groups.len());
-        for &gidx in &class.groups {
+        let mut chords = Vec::with_capacity(class_groups.len());
+        for &gidx in class_groups {
             let g = groups[gidx as usize];
             let pa = eps.binary_search(&g.lo).expect("span endpoint is a class endpoint") as u32;
             let pb = eps.binary_search(&g.hi).expect("span endpoint is a class endpoint") as u32;
@@ -285,57 +338,116 @@ pub fn decompose(n_atoms: usize, chords: &[(u32, u32)]) -> Result<TutteTree, Dec
             return Err(DecomposeError::BadChord { index: i, lo, hi });
         }
     }
-    // 1. e-parallel chords; 2. span groups
-    let mut ep: Vec<u32> = Vec::new();
-    let mut order: Vec<u32> = Vec::new();
+    SCRATCH.with(|s| Ok(decompose_inner(n_atoms, chords, &mut s.borrow_mut())))
+}
+
+/// The body of [`decompose`] after input validation, running on pooled
+/// scratch.
+fn decompose_inner(n_atoms: usize, chords: &[(u32, u32)], s: &mut Scratch) -> TutteTree {
+    let n = n_atoms as u32;
+    let Scratch {
+        ep,
+        keys,
+        order,
+        groups,
+        spans,
+        class_off,
+        class_flat,
+        classes,
+        eps_flat,
+        idx,
+        parent_of,
+        child_cursor,
+        children_flat,
+        top,
+        stack,
+        post,
+        dfs,
+        class_member,
+        class_outer,
+        items,
+    } = s;
+    // 1. e-parallel chords; 2. span groups. The span sort runs on packed
+    // `lo(32) | hi(32) | idx(32)` keys: integer comparisons, no chasing
+    // `chords` through a comparator, and the idx tie-break makes the
+    // order within a span group canonical.
+    ep.clear();
+    keys.clear();
     for (i, &(lo, hi)) in chords.iter().enumerate() {
         if lo == 0 && hi == n {
             ep.push(i as u32);
         } else {
-            order.push(i as u32);
+            keys.push((lo as u128) << 64 | (hi as u128) << 32 | i as u128);
         }
     }
-    order.sort_unstable_by_key(|&i| chords[i as usize]);
-    let mut groups: Vec<SpanGroup> = Vec::new();
-    for (oi, &i) in order.iter().enumerate() {
-        let (lo, hi) = chords[i as usize];
+    keys.sort_unstable();
+    order.clear();
+    order.extend(keys.iter().map(|&k| k as u32));
+    groups.clear();
+    for (oi, &k) in keys.iter().enumerate() {
+        let (lo, hi) = ((k >> 64) as u32, (k >> 32) as u32);
         match groups.last_mut() {
             Some(g) if g.lo == lo && g.hi == hi => g.end = oi as u32 + 1,
             _ => groups.push(SpanGroup { lo, hi, start: oi as u32, end: oi as u32 + 1 }),
         }
     }
-    // 3. interlacement classes over distinct spans
-    let spans: Vec<(u32, u32)> = groups.iter().map(|g| (g.lo, g.hi)).collect();
-    let class_groups = classes_sweep(&spans);
-    let mut classes: Vec<Class> = class_groups
-        .into_iter()
-        .map(|grp| {
-            let mut endpoints: Vec<u32> = grp
-                .iter()
-                .flat_map(|&gi| [groups[gi as usize].lo, groups[gi as usize].hi])
-                .collect();
-            endpoints.sort_unstable();
-            endpoints.dedup();
-            let hull_lo = endpoints[0];
-            let hull_hi = *endpoints.last().unwrap();
-            Class { groups: grp, endpoints, hull_lo, hull_hi, children: Vec::new() }
-        })
-        .collect();
+    // 3. interlacement classes over distinct spans; each class stores its
+    // group list, sorted distinct endpoints, and forest children as
+    // ranges into the shared flat buffers
+    spans.clear();
+    spans.extend(groups.iter().map(|g| (g.lo, g.hi)));
+    classes_sweep_into(spans, class_off, class_flat);
+    let n_classes = class_off.len() - 1;
+    classes.clear();
+    eps_flat.clear();
+    for c in 0..n_classes {
+        let grange = (class_off[c], class_off[c + 1]);
+        let e0 = eps_flat.len();
+        for &gi in &class_flat[grange.0 as usize..grange.1 as usize] {
+            eps_flat.push(groups[gi as usize].lo);
+            eps_flat.push(groups[gi as usize].hi);
+        }
+        eps_flat[e0..].sort_unstable();
+        let mut w = e0 + 1;
+        for r in e0 + 1..eps_flat.len() {
+            if eps_flat[r] != eps_flat[w - 1] {
+                eps_flat[w] = eps_flat[r];
+                w += 1;
+            }
+        }
+        eps_flat.truncate(w);
+        classes.push(Class {
+            groups: grange,
+            eps: (e0 as u32, w as u32),
+            hull_lo: eps_flat[e0],
+            hull_hi: eps_flat[w - 1],
+            children: (0, 0),
+        });
+    }
     // 4. nesting forest over hulls. Sort order: by (hull_lo asc, hull_hi
     // desc); on identical hulls the singleton class is the parent of the
     // multi-span class (the parallel chord's bond encloses the rigid).
-    let mut idx: Vec<u32> = (0..classes.len() as u32).collect();
+    idx.clear();
+    idx.extend(0..n_classes as u32);
     idx.sort_unstable_by(|&a, &b| {
         let ca = &classes[a as usize];
         let cb = &classes[b as usize];
         ca.hull_lo
             .cmp(&cb.hull_lo)
             .then(cb.hull_hi.cmp(&ca.hull_hi))
-            .then((ca.groups.len() > 1).cmp(&(cb.groups.len() > 1)))
+            .then((ca.groups.1 - ca.groups.0 > 1).cmp(&(cb.groups.1 - cb.groups.0 > 1)))
     });
-    let mut top: Vec<u32> = Vec::new();
-    let mut stack: Vec<u32> = Vec::new();
-    for &c in &idx {
+    // first walk: find each class's forest parent (or the top level) and
+    // count children; then place them contiguously, so one class's
+    // children are a run of `children_flat` in the walk's increasing
+    // hull_lo order
+    top.clear();
+    stack.clear();
+    parent_of.clear();
+    parent_of.resize(n_classes, UNSET);
+    child_cursor.clear();
+    child_cursor.resize(n_classes, 0);
+    for &c in idx.iter() {
         let (lo, hi) = (classes[c as usize].hull_lo, classes[c as usize].hull_hi);
         while let Some(&t) = stack.last() {
             let (tlo, thi) = (classes[t as usize].hull_lo, classes[t as usize].hull_hi);
@@ -350,50 +462,72 @@ pub fn decompose(n_atoms: usize, chords: &[(u32, u32)]) -> Result<TutteTree, Dec
             stack.pop();
         }
         match stack.last() {
-            Some(&p) => classes[p as usize].children.push(c),
+            Some(&p) => {
+                parent_of[c as usize] = p;
+                child_cursor[p as usize] += 1;
+            }
             None => top.push(c),
         }
         stack.push(c);
     }
+    let mut acc = 0u32;
+    for c in 0..n_classes {
+        let cnt = child_cursor[c];
+        classes[c].children = (acc, acc + cnt);
+        child_cursor[c] = acc;
+        acc += cnt;
+    }
+    children_flat.clear();
+    children_flat.resize(acc as usize, 0);
+    for &c in idx.iter() {
+        let p = parent_of[c as usize];
+        if p != UNSET {
+            children_flat[child_cursor[p as usize] as usize] = c;
+            child_cursor[p as usize] += 1;
+        }
+    }
     // 5. build members bottom-up (children precede parents in post-order)
+    class_member.clear();
+    class_member.resize(n_classes, UNSET);
+    class_outer.clear();
     let mut b = Builder {
-        members: Vec::new(),
+        members: Vec::with_capacity(2 * n_classes + 4),
         virt_parent: Vec::new(),
         virt_child: Vec::new(),
         chord_member: vec![UNSET; chords.len()],
         path_member: vec![UNSET; n_atoms],
-        class_member: vec![UNSET; classes.len()],
-        class_outer: Vec::new(),
-        order: &order,
-        items_buf: Vec::new(),
+        class_member: std::mem::take(class_member),
+        class_outer: std::mem::take(class_outer),
+        order,
+        items_buf: std::mem::take(items),
     };
-    for _ in 0..classes.len() {
+    for _ in 0..n_classes {
         let v = b.new_virt();
         b.class_outer.push(v);
     }
     // post-order traversal of the forest
-    let mut post: Vec<u32> = Vec::new();
-    {
-        let mut dfs: Vec<(u32, bool)> = top.iter().rev().map(|&c| (c, false)).collect();
-        while let Some((c, expanded)) = dfs.pop() {
-            if expanded {
-                post.push(c);
-            } else {
-                dfs.push((c, true));
-                for &ch in classes[c as usize].children.iter().rev() {
-                    dfs.push((ch, false));
-                }
+    post.clear();
+    dfs.clear();
+    dfs.extend(top.iter().rev().map(|&c| (c, false)));
+    while let Some((c, expanded)) = dfs.pop() {
+        if expanded {
+            post.push(c);
+        } else {
+            dfs.push((c, true));
+            let (k0, k1) = classes[c as usize].children;
+            for &ch in children_flat[k0 as usize..k1 as usize].iter().rev() {
+                dfs.push((ch, false));
             }
         }
     }
-    for c in post {
-        b.build_class(c as usize, &classes, &groups);
+    for &c in post.iter() {
+        b.build_class(c as usize, classes, groups, class_flat, children_flat, eps_flat);
     }
     // 6. the root
     let root: MemberId;
     if !ep.is_empty() {
         // root bond {e, e-parallel chords, inner}
-        let (inner, claim) = b.interval_edge(0, n, &top, &classes);
+        let (inner, claim) = b.interval_edge(0, n, top, classes);
         let mut edges: Vec<EdgeRef> = vec![EdgeRef::E];
         edges.extend(ep.iter().map(|&i| EdgeRef::Chord(i)));
         edges.push(inner);
@@ -402,10 +536,10 @@ pub fn decompose(n_atoms: usize, chords: &[(u32, u32)]) -> Result<TutteTree, Dec
             b.virt_parent[v as usize] = root;
         }
     } else {
-        let mut items = Vec::new();
-        walk_items_into(0, n, &top, &classes, &mut items);
-        if items.len() == 1 {
-            match items[0] {
+        let mut root_items = std::mem::take(&mut b.items_buf);
+        walk_items_into(0, n, top, classes, &mut root_items);
+        if root_items.len() == 1 {
+            match root_items[0] {
                 Item::Child(c) => {
                     // suppress the 2-polygon {e, class}: e joins the class
                     // member directly, replacing its outer marker.
@@ -430,9 +564,9 @@ pub fn decompose(n_atoms: usize, chords: &[(u32, u32)]) -> Result<TutteTree, Dec
                 }
             }
         } else {
-            let mut ring = Vec::with_capacity(items.len() + 1);
+            let mut ring = Vec::with_capacity(root_items.len() + 1);
             let mut to_fix = Vec::new();
-            for item in &items {
+            for item in &root_items {
                 match *item {
                     Item::PathEdge(i) => ring.push(EdgeRef::Path(i)),
                     Item::Child(c) => {
@@ -449,8 +583,10 @@ pub fn decompose(n_atoms: usize, chords: &[(u32, u32)]) -> Result<TutteTree, Dec
                 b.virt_parent[v as usize] = root;
             }
         }
+        b.items_buf = root_items;
     }
-    // 7. parent pointers
+    // 7. parent pointers; the pooled builder buffers go back to the
+    // scratch once the escaping tables have moved into the tree
     let mut tree = TutteTree {
         n_atoms,
         members: b.members,
@@ -460,6 +596,9 @@ pub fn decompose(n_atoms: usize, chords: &[(u32, u32)]) -> Result<TutteTree, Dec
         chord_member: b.chord_member,
         path_member: b.path_member,
     };
+    *class_member = std::mem::take(&mut b.class_member);
+    *class_outer = std::mem::take(&mut b.class_outer);
+    *items = std::mem::take(&mut b.items_buf);
     for v in 0..tree.virt_parent.len() {
         let (p, c) = (tree.virt_parent[v], tree.virt_child[v]);
         assert!(p != UNSET && c != UNSET, "marker {v} left unpaired");
@@ -467,7 +606,7 @@ pub fn decompose(n_atoms: usize, chords: &[(u32, u32)]) -> Result<TutteTree, Dec
     }
     #[cfg(debug_assertions)]
     tree.validate();
-    Ok(tree)
+    tree
 }
 
 /// Replaces one edge reference inside a member shape.
